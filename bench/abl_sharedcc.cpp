@@ -1,0 +1,64 @@
+//===- bench/abl_sharedcc.cpp - Shared code cache (future work §8) --------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 8 proposes sharing the code cache across timeslices to attack
+// the compilation slowdown (each slice otherwise starts cold), at the
+// price of per-entry consistency checks. This implements and measures
+// that proposal: JIT work is shared, per-slice tool data stays private.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace spin;
+using namespace spin::bench;
+using namespace spin::tools;
+using namespace spin::workloads;
+
+int main(int Argc, char **Argv) {
+  BenchFlags Flags;
+  Flags.parse(Argc, Argv);
+  os::CostModel Model;
+
+  outs() << "Future work (Section 8): shared code cache across slices\n\n";
+  Table T;
+  T.addColumn("Benchmark", Table::Align::Left);
+  T.addColumn("Tool", Table::Align::Left);
+  T.addColumn("SharedCC", Table::Align::Left);
+  T.addColumn("Runtime(s)");
+  T.addColumn("Compile(s)");
+  T.addColumn("vs native");
+
+  for (const char *Name : {"gcc", "vortex", "perlbmk", "crafty"}) {
+    if (!Flags.selected(Name))
+      continue;
+    const WorkloadInfo &Info = findWorkload(Name);
+    vm::Program Prog = buildWorkload(Info, Flags.Scale);
+    os::Ticks Native =
+        pin::runNative(Prog, Model, instCost(Model, Info)).WallTicks;
+    for (IcountGranularity G :
+         {IcountGranularity::Instruction, IcountGranularity::BasicBlock}) {
+      for (bool Shared : {false, true}) {
+        sp::SpOptions Opts = Flags.spOptions(Info);
+        Opts.SharedCodeCache = Shared;
+        sp::SpRunReport Rep =
+            sp::runSuperPin(Prog, makeIcountTool(G), Opts, Model);
+        T.startRow();
+        T.cell(Name);
+        T.cell(G == IcountGranularity::Instruction ? "icount1" : "icount2");
+        T.cell(Shared ? "yes" : "no");
+        T.cell(Model.ticksToSeconds(Rep.WallTicks), 2);
+        T.cell(Model.ticksToSeconds(Rep.CompileTicks), 2);
+        T.cellPercent(double(Rep.WallTicks) / double(Native), 0);
+      }
+    }
+  }
+  emit(T, Flags);
+  outs() << "\nExpectation: sharing slashes total compile time, helping "
+            "most where footprints are large (gcc) and slices short.\n";
+  return 0;
+}

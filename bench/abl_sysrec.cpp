@@ -1,0 +1,66 @@
+//===- bench/abl_sysrec.cpp - Syscall record/playback ablation ------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 4.2 ablation: gcc-like workloads hit the kernel far too often
+// for fork-per-syscall to be viable, which is why SuperPin grew the
+// record-and-playback mechanism. Sweep -spsysrecs over {0, 1000} (and the
+// paper's default) on syscall-heavy workloads and compare runtime and
+// slice counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace spin;
+using namespace spin::bench;
+using namespace spin::tools;
+using namespace spin::workloads;
+
+int main(int Argc, char **Argv) {
+  BenchFlags Flags;
+  Flags.parse(Argc, Argv);
+  os::CostModel Model;
+
+  outs() << "Ablation (Section 4.2): record/playback vs fork-per-syscall "
+            "(icount2)\n\n";
+  Table T;
+  T.addColumn("Benchmark", Table::Align::Left);
+  T.addColumn("sysrecs");
+  T.addColumn("Runtime(s)");
+  T.addColumn("vs native");
+  T.addColumn("Slices");
+  T.addColumn("Played");
+  T.addColumn("Forced");
+
+  for (const char *Name : {"gcc", "gzip", "mesa", "bzip2"}) {
+    if (!Flags.selected(Name))
+      continue;
+    const WorkloadInfo &Info = findWorkload(Name);
+    vm::Program Prog = buildWorkload(Info, Flags.Scale);
+    os::Ticks Native =
+        pin::runNative(Prog, Model, instCost(Model, Info)).WallTicks;
+    for (uint64_t Recs : {0, 1000}) {
+      sp::SpOptions Opts = Flags.spOptions(Info);
+      Opts.MaxSysRecs = Recs;
+      sp::SpRunReport Rep = sp::runSuperPin(
+          Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts, Model);
+      T.startRow();
+      T.cell(Name);
+      T.cell(Recs);
+      T.cell(Model.ticksToSeconds(Rep.WallTicks), 2);
+      T.cellPercent(double(Rep.WallTicks) / double(Native), 0);
+      T.cell(Rep.NumSlices);
+      T.cell(Rep.PlaybackSyscalls);
+      T.cell(Rep.ForcedSliceSyscalls);
+    }
+  }
+  emit(T, Flags);
+  outs() << "\nExpectation: with recording disabled (sysrecs=0), syscall-"
+            "heavy workloads fragment into many more slices and run "
+            "slower — the paper's motivation for record/playback.\n";
+  return 0;
+}

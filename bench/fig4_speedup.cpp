@@ -1,0 +1,53 @@
+//===- bench/fig4_speedup.cpp - Figure 4 reproduction ---------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 4: SuperPin speedup over serial Pin for icount1.
+// Paper result: 3x to over 7x, with one outlier at 11.2x.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace spin;
+using namespace spin::bench;
+using namespace spin::tools;
+using namespace spin::workloads;
+
+int main(int Argc, char **Argv) {
+  BenchFlags Flags;
+  Flags.parse(Argc, Argv);
+  os::CostModel Model;
+
+  outs() << "Figure 4: icount1 SuperPin speedup over Pin\n\n";
+  Table T;
+  T.addColumn("Benchmark", Table::Align::Left);
+  T.addColumn("Speedup");
+
+  double Sum = 0;
+  unsigned Count = 0;
+  for (const WorkloadInfo &Info : spec2000Suite()) {
+    if (!Flags.selected(Info.Name))
+      continue;
+    vm::Program Prog = buildWorkload(Info, Flags.Scale);
+    TripleRun R =
+        runTriple(Prog, Info, IcountGranularity::Instruction, Flags, Model);
+    double Speedup = double(R.PinTicks) / double(R.Sp.WallTicks);
+    T.startRow();
+    T.cell(Info.Name);
+    T.cell(formatFixed(Speedup, 2) + "x");
+    Sum += Speedup;
+    ++Count;
+  }
+  if (Count > 1) {
+    T.startRow();
+    T.cell("AVG");
+    T.cell(formatFixed(Sum / Count, 2) + "x");
+  }
+  emit(T, Flags);
+  outs() << "\nPaper reference: 3x to over 7x (one outlier 11.2x).\n";
+  return 0;
+}

@@ -1,0 +1,202 @@
+//===- bench/micro_engine.cpp - Engine microbenchmarks --------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks of the engine's hot components (host
+// performance, not virtual time): guest interpretation, instrumented
+// execution, trace compilation, code-cache lookup, signature record and
+// check, COW fork, and syscall record/playback.
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/DirectRun.h"
+#include "os/Kernel.h"
+#include "os/Process.h"
+#include "pin/PinVm.h"
+#include "pin/Tool.h"
+#include "superpin/Signature.h"
+#include "tools/Icount.h"
+#include "vm/Assembler.h"
+#include "vm/Interpreter.h"
+#include "workloads/Generator.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::vm;
+
+static Program &microProgram() {
+  static Program Prog = [] {
+    workloads::GenParams P;
+    P.Name = "micro";
+    P.TargetInsts = 1u << 22;
+    P.NumFuncs = 8;
+    P.BlocksPerFunc = 8;
+    P.WorkingSetBytes = 1 << 16;
+    return workloads::generateWorkload(P);
+  }();
+  return Prog;
+}
+
+static void BM_Interpreter(benchmark::State &State) {
+  Program &Prog = microProgram();
+  for (auto _ : State) {
+    State.PauseTiming();
+    Process Proc = Process::create(Prog);
+    Interpreter Interp(Prog, Proc.Cpu, Proc.Mem);
+    State.ResumeTiming();
+    RunResult R = Interp.run(200'000);
+    benchmark::DoNotOptimize(R.InstsExecuted);
+    State.SetItemsProcessed(State.items_processed() +
+                            static_cast<int64_t>(R.InstsExecuted));
+  }
+}
+BENCHMARK(BM_Interpreter);
+
+static void BM_PinVmIcount(benchmark::State &State) {
+  Program &Prog = microProgram();
+  CostModel Model;
+  bool PerInst = State.range(0) != 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Process Proc = Process::create(Prog);
+    SpServices Services;
+    auto Tool = tools::makeIcountTool(
+        PerInst ? tools::IcountGranularity::Instruction
+                : tools::IcountGranularity::BasicBlock)(Services);
+    CodeCache Cache;
+    PinVmConfig Cfg;
+    PinVm Vm(Proc, Model, Tool.get(), Cache, Cfg);
+    TickLedger Ledger;
+    State.ResumeTiming();
+    Ledger.beginStep(~uint64_t(0) >> 1);
+    uint64_t Before = Vm.retired();
+    while (Vm.retired() - Before < 100'000) {
+      VmStop Stop = Vm.run(Ledger);
+      if (Stop != VmStop::Syscall)
+        break;
+      SystemContext Ctx;
+      serviceSyscall(Proc, Ctx, nullptr);
+      Vm.noteSyscallRetired();
+      if (Proc.Status == ProcStatus::Exited)
+        break;
+    }
+    State.SetItemsProcessed(State.items_processed() +
+                            static_cast<int64_t>(Vm.retired() - Before));
+  }
+}
+BENCHMARK(BM_PinVmIcount)->Arg(1)->Arg(0);
+
+static void BM_TraceCompile(benchmark::State &State) {
+  Program &Prog = microProgram();
+  CostModel Model;
+  for (auto _ : State) {
+    auto T = compileTrace(Prog, Prog.EntryPc, Model, nullptr);
+    benchmark::DoNotOptimize(T->Steps.size());
+  }
+}
+BENCHMARK(BM_TraceCompile);
+
+static void BM_CodeCacheLookup(benchmark::State &State) {
+  Program &Prog = microProgram();
+  CostModel Model;
+  CodeCache Cache;
+  for (uint64_t I = 0; I != 256; ++I) {
+    uint64_t Pc = Program::addressOfIndex(I * 7 % Prog.Text.size());
+    if (!Cache.lookup(Pc))
+      Cache.insert(compileTrace(Prog, Pc, Model, nullptr));
+  }
+  uint64_t I = 0;
+  for (auto _ : State) {
+    uint64_t Pc = Program::addressOfIndex(++I * 7 % Prog.Text.size());
+    benchmark::DoNotOptimize(Cache.lookup(Pc));
+  }
+}
+BENCHMARK(BM_CodeCacheLookup);
+
+static void BM_SignatureRecord(benchmark::State &State) {
+  Process Proc = Process::create(microProgram());
+  for (auto _ : State) {
+    sp::SliceSignature Sig = sp::recordSignature(Proc, true);
+    benchmark::DoNotOptimize(Sig.Pc);
+  }
+}
+BENCHMARK(BM_SignatureRecord);
+
+static void BM_SignatureCheck(benchmark::State &State) {
+  Process Proc = Process::create(microProgram());
+  sp::SliceSignature Sig = sp::recordSignature(Proc, false);
+  CostModel Model;
+  sp::SignatureStats Stats;
+  TickLedger Ledger;
+  Ledger.beginStep(~uint64_t(0) >> 1);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        sp::checkSignature(Sig, Proc, Model, true, Proc.quantumLeft(),
+                           Ledger, Stats));
+}
+BENCHMARK(BM_SignatureCheck);
+
+static void BM_ProcessFork(benchmark::State &State) {
+  Program &Prog = microProgram();
+  DirectRunResult Warm = runDirect(Prog, 100'000);
+  (void)Warm;
+  Process Proc = Process::create(Prog);
+  // Touch some pages so the fork has a page table to copy.
+  for (uint64_t I = 0; I != 64; ++I)
+    Proc.Mem.write64(AddressLayout::HeapBase + I * PageSize, I);
+  for (auto _ : State) {
+    Process Child = Proc.fork(2);
+    benchmark::DoNotOptimize(Child.Kern.Pid);
+  }
+}
+BENCHMARK(BM_ProcessFork);
+
+static void BM_CowTouchAfterFork(benchmark::State &State) {
+  Program &Prog = microProgram();
+  Process Proc = Process::create(Prog);
+  for (uint64_t I = 0; I != 64; ++I)
+    Proc.Mem.write64(AddressLayout::HeapBase + I * PageSize, I);
+  for (auto _ : State) {
+    State.PauseTiming();
+    Process Child = Proc.fork(2);
+    State.ResumeTiming();
+    for (uint64_t I = 0; I != 64; ++I)
+      Child.Mem.write64(AddressLayout::HeapBase + I * PageSize, I + 1);
+  }
+}
+BENCHMARK(BM_CowTouchAfterFork);
+
+static void BM_SyscallRecordPlayback(benchmark::State &State) {
+  // read() into a buffer: service with effects recording, then playback.
+  std::string Src = "main:\n  movi r1, 42\n  movi r0, 9\n  syscall\n"
+                    "  mov r1, r0\n  movi r2, 65536\n  movi r3, 256\n"
+                    "loop:\n  movi r0, 2\n  syscall\n  jmp loop\n";
+  std::string Err;
+  auto Prog = vm::assemble(Src, "sysbench", Err);
+  Process Proc = Process::create(*Prog);
+  Interpreter Interp(*Prog, Proc.Cpu, Proc.Mem);
+  SystemContext Ctx;
+  // Reach the first read syscall (after open).
+  Interp.run(1000);
+  serviceSyscall(Proc, Ctx, nullptr); // open
+  Interp.run(1000);
+  for (auto _ : State) {
+    SyscallEffects Eff;
+    serviceSyscall(Proc, Ctx, &Eff);
+    Proc.Cpu.Pc -= InstSize; // Rewind to replay the same syscall.
+    Proc.Cpu.Regs[0] = 2;
+    playbackSyscall(Proc, Eff);
+    Proc.Cpu.Pc -= InstSize;
+    Proc.Cpu.Regs[0] = 2;
+    benchmark::DoNotOptimize(Eff.RetVal);
+  }
+}
+BENCHMARK(BM_SyscallRecordPlayback);
+
+BENCHMARK_MAIN();

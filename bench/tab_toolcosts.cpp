@@ -1,0 +1,89 @@
+//===- bench/tab_toolcosts.cpp - Per-tool SuperPin overhead ---------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 5's implicit question for tool writers: how do different
+// instrumentation densities fare under SuperPin? One workload, every
+// shipped tool, native-relative cost under serial Pin and SuperPin.
+// The paper's framing: per-instruction tools are instrumentation-limited
+// (speedup capped by core count), light tools approach real time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "tools/BranchProfile.h"
+#include "tools/CallGraph.h"
+#include "tools/DCache.h"
+#include "tools/ICache.h"
+#include "tools/LoadValueProfile.h"
+#include "tools/MemTrace.h"
+#include "tools/OpcodeMix.h"
+#include "tools/Syscount.h"
+
+using namespace spin;
+using namespace spin::bench;
+using namespace spin::tools;
+using namespace spin::workloads;
+
+int main(int Argc, char **Argv) {
+  BenchFlags Flags;
+  Flags.parse(Argc, Argv);
+  os::CostModel Model;
+  const WorkloadInfo &Info = findWorkload(
+      Flags.Only.value().empty() ? "twolf" : Flags.Only.value());
+  vm::Program Prog = buildWorkload(Info, 0.5 * Flags.Scale.value());
+  os::Ticks Native =
+      pin::runNative(Prog, Model, instCost(Model, Info)).WallTicks;
+
+  outs() << "Tool cost overview on " << Info.Name
+         << " (relative to native)\n\n";
+  Table T;
+  T.addColumn("Tool", Table::Align::Left);
+  T.addColumn("Pin");
+  T.addColumn("SuperPin");
+  T.addColumn("Speedup");
+
+  struct Row {
+    const char *Name;
+    pin::ToolFactory Factory;
+  };
+  auto MemResult = std::make_shared<MemTraceResult>();
+  const Row Rows[] = {
+      {"icount1", makeIcountTool(IcountGranularity::Instruction)},
+      {"icount2", makeIcountTool(IcountGranularity::BasicBlock)},
+      {"opcodemix", makeOpcodeMixTool()},
+      {"dcache", makeDCacheTool(DCacheConfig())},
+      {"icache", makeICacheTool(CacheGeometry())},
+      {"branch", makeBranchProfileTool()},
+      {"callgraph", makeCallGraphTool(std::make_shared<CallGraphResult>())},
+      {"loadvalues",
+       makeLoadValueProfileTool(std::make_shared<LoadValueProfileResult>())},
+      {"syscount", makeSyscountTool(std::make_shared<SyscountResult>())},
+      {"memtrace", makeMemTraceTool(MemResult)},
+  };
+  for (const Row &R : Rows) {
+    os::Ticks Pin =
+        pin::runSerialPin(Prog, Model, instCost(Model, Info), R.Factory)
+            .WallTicks;
+    MemResult->Records.clear();
+    sp::SpRunReport Sp =
+        sp::runSuperPin(Prog, R.Factory, Flags.spOptions(Info), Model);
+    MemResult->Records.clear();
+    MemResult->Records.shrink_to_fit();
+    T.startRow();
+    T.cell(R.Name);
+    T.cellPercent(double(Pin) / double(Native), 0);
+    T.cellPercent(double(Sp.WallTicks) / double(Native), 0);
+    T.cell(formatFixed(double(Pin) / double(Sp.WallTicks), 2) + "x");
+  }
+  emit(T, Flags);
+  outs() << "\nHeavier instrumentation (icount1, opcodemix, memtrace, "
+            "caches) is instrumentation-limited:\nSuperPin's speedup "
+            "approaches the core count. Light tools (icount2, branch, "
+            "syscount)\nrun near real time, as the paper reports.\n";
+  return 0;
+}

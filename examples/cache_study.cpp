@@ -1,0 +1,83 @@
+//===- examples/cache_study.cpp - Data-cache simulation study -------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Section 5.2 use case: a data-cache simulator made
+// SuperPin-compatible with assume-then-reconcile merging. Sweeps cache
+// sizes over the pointer-chasing mcf workload and shows (a) SuperPin's
+// hit/miss totals equal a serial simulation exactly for direct-mapped
+// caches, and (b) the wall-clock advantage of simulating in parallel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pin/Runner.h"
+#include "superpin/Engine.h"
+#include "support/RawOstream.h"
+#include "support/StringExtras.h"
+#include "support/Table.h"
+#include "tools/DCache.h"
+#include "workloads/Spec2000.h"
+
+#include <cmath>
+
+using namespace spin;
+using namespace spin::tools;
+
+int main(int Argc, char **Argv) {
+  const char *Name = Argc > 1 ? Argv[1] : "mcf";
+  const workloads::WorkloadInfo &Info = workloads::findWorkload(Name);
+  vm::Program Prog = workloads::buildWorkload(Info, /*Scale=*/0.15);
+  os::CostModel Model;
+  os::Ticks InstCost = static_cast<os::Ticks>(
+      std::llround(Info.Cpi * double(Model.TicksPerInst)));
+
+  outs() << "Direct-mapped data-cache study on " << Name << "\n\n";
+  Table T;
+  T.addColumn("Cache", Table::Align::Left);
+  T.addColumn("Accesses");
+  T.addColumn("MissRate");
+  T.addColumn("Reconciled");
+  T.addColumn("Exact", Table::Align::Left);
+  T.addColumn("Pin(s)");
+  T.addColumn("SuperPin(s)");
+
+  for (uint32_t SizeKiB : {16, 64, 256, 1024}) {
+    DCacheConfig Config;
+    Config.LineBytes = 64;
+    Config.NumSets = SizeKiB * 1024 / 64;
+    Config.Assoc = 1;
+
+    auto SerialResult = std::make_shared<DCacheResult>();
+    pin::RunReport Serial = pin::runSerialPin(
+        Prog, Model, InstCost, makeDCacheTool(Config, SerialResult));
+
+    sp::SpOptions Opts;
+    Opts.SliceMs = 100;
+    Opts.Cpi = Info.Cpi;
+    auto SpResult = std::make_shared<DCacheResult>();
+    sp::SpRunReport Sp = sp::runSuperPin(
+        Prog, makeDCacheTool(Config, SpResult), Opts, Model);
+
+    bool Exact = SerialResult->Hits == SpResult->Hits &&
+                 SerialResult->Misses == SpResult->Misses &&
+                 SerialResult->Accesses == SpResult->Accesses;
+    T.startRow();
+    T.cell(std::to_string(SizeKiB) + "KiB");
+    T.cell(SpResult->Accesses);
+    T.cellPercent(double(SpResult->Misses) /
+                      double(SpResult->Accesses ? SpResult->Accesses : 1),
+                  2);
+    T.cell(SpResult->ReconciledAssumptions);
+    T.cell(Exact ? "yes" : "NO");
+    T.cell(Model.ticksToSeconds(Serial.WallTicks), 2);
+    T.cell(Model.ticksToSeconds(Sp.WallTicks), 2);
+  }
+  T.print(outs());
+  outs() << "\n'Reconciled' counts assumed hits corrected to misses at "
+            "merge time (paper Section 5.2).\n";
+  outs().flush();
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- examples/memtrace_tool.cpp - Ordered trace merging -----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 4.5's second merge pattern: "if we are tracing instructions,
+// the slice output will be buffered, then appended to the output during
+// merging." Each slice buffers its memory references; because merges run
+// in slice order, the concatenated SuperPin trace is bit-identical to a
+// serial Pin trace — verified here record by record.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pin/Runner.h"
+#include "superpin/Engine.h"
+#include "support/RawOstream.h"
+#include "tools/MemTrace.h"
+#include "workloads/Generator.h"
+
+#include <cmath>
+
+using namespace spin;
+using namespace spin::tools;
+
+int main() {
+  workloads::GenParams P;
+  P.Name = "trace-demo";
+  P.TargetInsts = 150'000;
+  P.NumFuncs = 5;
+  P.BlocksPerFunc = 6;
+  P.WorkingSetBytes = 1 << 14;
+  P.SyscallMask = 63;
+  P.Mix = workloads::SysMix::ReadWrite;
+  vm::Program Prog = workloads::generateWorkload(P);
+  os::CostModel Model;
+
+  auto SerialTrace = std::make_shared<MemTraceResult>();
+  pin::runSerialPin(Prog, Model, 100, makeMemTraceTool(SerialTrace));
+
+  sp::SpOptions Opts;
+  Opts.SliceMs = 20; // Many slices: a strong ordering test.
+  auto SpTrace = std::make_shared<MemTraceResult>();
+  sp::SpRunReport Rep =
+      sp::runSuperPin(Prog, makeMemTraceTool(SpTrace), Opts, Model);
+
+  outs() << "serial records:   " << SerialTrace->Records.size() << "\n";
+  outs() << "superpin records: " << SpTrace->Records.size() << " (across "
+         << Rep.NumSlices << " slices)\n";
+
+  bool Identical = SerialTrace->Records == SpTrace->Records;
+  outs() << "traces identical: " << (Identical ? "yes" : "NO") << "\n\n";
+
+  outs() << "first records (pc, addr, size, rw):\n";
+  size_t Show = SpTrace->Records.size() < 8 ? SpTrace->Records.size() : 8;
+  for (size_t I = 0; I != Show; ++I) {
+    const MemRecord &R = SpTrace->Records[I];
+    outs() << "  ";
+    outs().writeHex(R.Pc);
+    outs() << "  ";
+    outs().writeHex(R.Addr);
+    outs() << "  " << R.Size << "  " << (R.IsWrite ? "W" : "R") << "\n";
+  }
+  outs().flush();
+  return Identical ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+; Count primes below N by trial division, store the count, and exit.
+; A compact hand-written guest program for run_asm; heavy enough to
+; produce several SuperPin timeslices. (Primes below 10000: 1229.)
+;
+;   r1 = N (limit)     r2 = candidate    r3 = divisor
+;   r4 = prime count   r5 = divisor^2    r7 = remainder
+
+main:
+  movi r1, 10000
+  movi r2, 2
+  movi r4, 0
+  movi r10, 0            ; zero register
+
+outer:
+  bge r2, r1, done       ; while (candidate < N)
+  movi r3, 2
+
+check:
+  mul r5, r3, r3
+  blt r2, r5, isprime    ; divisor^2 > candidate: no factor exists
+  remu r7, r2, r3
+  beq r7, r10, notprime
+  addi r3, r3, 1
+  jmp check
+
+isprime:
+  addi r4, r4, 1
+
+notprime:
+  addi r2, r2, 1
+  jmp outer
+
+done:
+  ; render the count as decimal ASCII (backwards into the buffer),
+  ; newline-terminated, then write it
+  movi r11, 10
+  movi r5, outend
+  addi r5, r5, -1
+  st8 [r5+0], r11        ; '\n' == 10
+digits:
+  remu r7, r4, r11
+  addi r7, r7, 48        ; '0' + digit
+  addi r5, r5, -1
+  st8 [r5+0], r7
+  divu r4, r4, r11
+  bne r4, r10, digits
+  movi r3, outend        ; write(1, first_digit, outend - first_digit)
+  sub r3, r3, r5
+  mov r2, r5
+  movi r0, 1
+  movi r1, 1
+  syscall
+  movi r0, 0             ; exit(0)
+  movi r1, 0
+  syscall
+
+.data
+out: .space 24
+outend:

@@ -1,0 +1,50 @@
+; A two-thread demo for run_asm: the main thread and a worker each count
+; in their own cell; main spin-joins (varying r8 per iteration — see
+; docs/GUEST-MACHINE.md), then prints both totals as raw u64s and exits.
+
+main:
+  movi r10, 0
+  movi r0, 4            ; mmap_anon(65536) -> worker stack
+  movi r1, 65536
+  syscall
+  addi r2, r0, 65536
+  movi r1, worker
+  movi r0, 11           ; thread_create(worker, stack_top)
+  syscall
+  movi r4, cella
+  movi r5, 60000
+mloop:
+  incm [r4+0]
+  addi r5, r5, -1
+  bne r5, r10, mloop
+  movi r6, flag
+join:
+  addi r8, r8, 1        ; varying spin counter
+  ld64 r7, [r6+0]
+  beq r7, r10, join
+  movi r0, 1            ; write(1, cella, 16)
+  movi r1, 1
+  movi r2, cella
+  movi r3, 16
+  syscall
+  movi r0, 0            ; exit(0)
+  movi r1, 0
+  syscall
+
+worker:
+  movi r4, cellb
+  movi r5, 90000
+wloop:
+  incm [r4+0]
+  addi r5, r5, -1
+  bne r5, r10, wloop
+  movi r7, 1
+  movi r6, flag
+  st64 [r6+0], r7
+  movi r0, 12           ; thread_exit()
+  syscall
+
+.data
+cella: .word64 0
+cellb: .word64 0
+flag:  .word64 0

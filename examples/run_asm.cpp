@@ -1,0 +1,99 @@
+//===- examples/run_asm.cpp - Run a guest assembly file -------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Assembles a guest program from a .s file (syntax in
+// docs/GUEST-MACHINE.md) and runs it natively, under serial Pin, and
+// under SuperPin with icount2:
+//
+//   run_asm examples/programs/primes.s [-spmsec N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/DirectRun.h"
+#include "pin/Runner.h"
+#include "superpin/Engine.h"
+#include "superpin/Reporting.h"
+#include "support/CommandLine.h"
+#include "support/RawOstream.h"
+#include "support/StringExtras.h"
+#include "tools/Icount.h"
+#include "vm/Assembler.h"
+#include "vm/Verifier.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace spin;
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    errs() << "usage: run_asm <file.s> [-spmsec N]\n";
+    return 1;
+  }
+  std::ifstream In(Argv[1]);
+  if (!In) {
+    errs() << "error: cannot open '" << Argv[1] << "'\n";
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  std::string Err;
+  std::optional<vm::Program> Prog = vm::assemble(Buf.str(), Argv[1], Err);
+  if (!Prog) {
+    errs() << Argv[1] << ": " << Err << "\n";
+    return 1;
+  }
+  for (const vm::VerifyIssue &Issue : vm::verifyProgram(*Prog))
+    errs() << "warning: instruction " << Issue.InstIndex << ": "
+           << Issue.Message << "\n";
+
+  uint64_t SliceMs = 50;
+  for (int I = 2; I + 1 < Argc; I += 2)
+    if (std::string_view(Argv[I]) == "-spmsec")
+      if (auto V = parseUint(Argv[I + 1]))
+        SliceMs = *V;
+
+  os::CostModel Model;
+  os::DirectRunResult Native = os::runDirect(*Prog);
+  outs() << "--- native ---\n" << Native.Output;
+  outs() << "(exit " << Native.ExitCode << ", "
+         << formatWithCommas(Native.Insts) << " instructions, "
+         << Native.Syscalls << " syscalls)\n\n";
+  if (!Native.Exited) {
+    errs() << "program did not terminate within the instruction cap\n";
+    return 1;
+  }
+
+  auto PinCount = std::make_shared<tools::IcountResult>();
+  pin::RunReport Serial = pin::runSerialPin(
+      *Prog, Model, 100,
+      tools::makeIcountTool(tools::IcountGranularity::BasicBlock, PinCount));
+  outs() << "--- serial pin ---\n" << Serial.FiniOutput;
+  outs() << "(" << formatFixed(Model.ticksToSeconds(Serial.WallTicks), 3)
+         << " virtual s)\n\n";
+
+  sp::SpOptions Opts;
+  Opts.SliceMs = SliceMs;
+  auto SpCount = std::make_shared<tools::IcountResult>();
+  sp::SpRunReport Sp = sp::runSuperPin(
+      *Prog,
+      tools::makeIcountTool(tools::IcountGranularity::BasicBlock, SpCount),
+      Opts, Model);
+  outs() << "--- superpin ---\n" << Sp.FiniOutput;
+  sp::printReport(Sp, Model, outs());
+  outs() << "\n";
+  sp::printTimeline(Sp, Model, outs());
+  outs() << "\ncounts match: "
+         << (PinCount->Total == SpCount->Total &&
+                     PinCount->Total == Native.Insts
+                 ? "yes"
+                 : "NO")
+         << "\n";
+  outs().flush();
+  return 0;
+}

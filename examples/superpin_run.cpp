@@ -1,0 +1,168 @@
+//===- examples/superpin_run.cpp - Pin-style command-line driver ----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// A command-line driver in the spirit of `pin -t tool -sp 1 -- app`:
+//
+//   superpin_run -tool icount2 -workload gcc -sp 1 -spmsec 100 -spmp 8
+//
+// Switches mirror the paper's Section 5 (-sp, -spmsec, -spmp, -spsysrecs)
+// plus this reproduction's extensions (-spmemsig, -spsharedcc,
+// -spquickcheck, -spadaptive). With -sp 0 the tool runs under classic
+// serial Pin instead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pin/Runner.h"
+#include "superpin/Engine.h"
+#include "superpin/Reporting.h"
+#include "support/CommandLine.h"
+#include "support/RawOstream.h"
+#include "support/StringExtras.h"
+#include "tools/BranchProfile.h"
+#include "tools/CallGraph.h"
+#include "tools/DCache.h"
+#include "tools/ICache.h"
+#include "tools/Icount.h"
+#include "tools/OpcodeMix.h"
+#include "workloads/Spec2000.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace spin;
+using namespace spin::tools;
+
+static pin::ToolFactory makeTool(const std::string &Name) {
+  if (Name == "icount1")
+    return makeIcountTool(IcountGranularity::Instruction);
+  if (Name == "icount2")
+    return makeIcountTool(IcountGranularity::BasicBlock);
+  if (Name == "dcache")
+    return makeDCacheTool(DCacheConfig());
+  if (Name == "icache")
+    return makeICacheTool(CacheGeometry());
+  if (Name == "branch")
+    return makeBranchProfileTool();
+  if (Name == "opcodemix")
+    return makeOpcodeMixTool();
+  if (Name == "callgraph")
+    return makeCallGraphTool(std::make_shared<CallGraphResult>());
+  errs() << "unknown tool '" << Name
+         << "' (try icount1, icount2, dcache, icache, branch, opcodemix, "
+            "callgraph)\n";
+  std::exit(1);
+}
+
+int main(int Argc, char **Argv) {
+  OptionRegistry Registry;
+  Opt<std::string> ToolName(Registry, "tool", "icount2", "Pintool to run");
+  Opt<std::string> Workload(Registry, "workload", "gcc",
+                            "SPEC2000 workload name");
+  Opt<double> Scale(Registry, "scale", 0.3, "workload duration scale");
+  Opt<bool> Sp(Registry, "sp", true, "use SuperPin (0 = serial Pin)");
+  Opt<uint64_t> SpMsec(Registry, "spmsec", 100, "timeslice milliseconds");
+  Opt<uint64_t> SpMp(Registry, "spmp", 8, "max running slices");
+  Opt<uint64_t> SpSysrecs(Registry, "spsysrecs", 1000,
+                          "max syscall records per slice (0 disables)");
+  Opt<bool> SpQuick(Registry, "spquickcheck", true,
+                    "inlined quick signature check");
+  Opt<bool> SpMemsig(Registry, "spmemsig", false,
+                     "memory-operand signature extension");
+  Opt<bool> SpSharedCc(Registry, "spsharedcc", false,
+                       "share the code cache across slices");
+  Opt<bool> SpAdaptive(Registry, "spadaptive", false,
+                       "adaptive timeslice throttling");
+  Opt<uint64_t> SpAppMs(Registry, "spappms", 0,
+                        "expected app duration hint for -spadaptive");
+  Opt<uint64_t> Cpus(Registry, "cpus", 8, "physical cores");
+  Opt<uint64_t> Vcpus(Registry, "vcpus", 8, "scheduling contexts");
+  Opt<bool> Report(Registry, "report", false, "print the full run report");
+  Opt<bool> Timeline(Registry, "timeline", false,
+                     "print the Figure 1 slice timeline");
+  Opt<bool> Help(Registry, "help", false, "print options");
+  Opt<bool> List(Registry, "list", false, "list available workloads");
+
+  std::string Err;
+  if (!Registry.parse(Argc, Argv, Err)) {
+    errs() << "error: " << Err << "\n";
+    return 1;
+  }
+  if (Help) {
+    Registry.printHelp(outs());
+    return 0;
+  }
+  if (List) {
+    for (const workloads::WorkloadInfo &Info : workloads::spec2000Suite())
+      outs() << Info.Name << "  (cpi " << formatFixed(Info.Cpi, 2)
+             << ", ~" << Info.DurationMs / 1000 << "s native)\n";
+    outs().flush();
+    return 0;
+  }
+
+  const workloads::WorkloadInfo &Info = workloads::findWorkload(Workload);
+  vm::Program Prog = workloads::buildWorkload(Info, Scale);
+  os::CostModel Model;
+  os::Ticks InstCost = static_cast<os::Ticks>(
+      std::llround(Info.Cpi * double(Model.TicksPerInst)));
+
+  if (!Sp) {
+    pin::RunReport Rep =
+        pin::runSerialPin(Prog, Model, InstCost, makeTool(ToolName));
+    outs() << Rep.FiniOutput;
+    outs() << "serial pin: "
+           << formatFixed(Model.ticksToSeconds(Rep.WallTicks), 2) << "s, "
+           << formatWithCommas(Rep.Insts) << " instructions\n";
+    outs().flush();
+    return 0;
+  }
+
+  sp::SpOptions Opts;
+  Opts.SliceMs = SpMsec;
+  Opts.MaxSlices = static_cast<uint32_t>(uint64_t(SpMp));
+  Opts.MaxSysRecs = SpSysrecs;
+  Opts.QuickCheck = SpQuick;
+  Opts.MemSignature = SpMemsig;
+  Opts.SharedCodeCache = SpSharedCc;
+  Opts.AdaptiveSlices = SpAdaptive;
+  Opts.AppDurationHintMs = SpAppMs;
+  Opts.PhysCpus = static_cast<unsigned>(uint64_t(Cpus));
+  Opts.VirtCpus = static_cast<unsigned>(uint64_t(Vcpus));
+  if (Opts.VirtCpus < Opts.PhysCpus)
+    Opts.VirtCpus = Opts.PhysCpus;
+  Opts.Cpi = Info.Cpi;
+
+  sp::SpRunReport Rep = sp::runSuperPin(Prog, makeTool(ToolName), Opts, Model);
+  outs() << Rep.FiniOutput;
+  outs() << "superpin: "
+         << formatFixed(Model.ticksToSeconds(Rep.WallTicks), 2) << "s ("
+         << "native " << formatFixed(Model.ticksToSeconds(Rep.NativeTicks), 2)
+         << " + fork&others "
+         << formatFixed(Model.ticksToSeconds(Rep.ForkOthersTicks), 2)
+         << " + sleep " << formatFixed(Model.ticksToSeconds(Rep.SleepTicks), 2)
+         << " + pipeline "
+         << formatFixed(Model.ticksToSeconds(Rep.PipelineTicks), 2) << ")\n";
+  outs() << "slices: " << Rep.NumSlices << " (" << Rep.TimeoutSlices
+         << " timeout, " << Rep.SyscallSlices << " syscall), partition "
+         << (Rep.PartitionOk ? "exact" : "BROKEN") << "\n";
+  outs() << "syscalls: " << Rep.RecordedSyscalls << " recorded, "
+         << Rep.PlaybackSyscalls << " played back, "
+         << Rep.DuplicatedSyscalls << " duplicated, "
+         << Rep.ForcedSliceSyscalls << " forced slices\n";
+  outs() << "signature: " << Rep.Signature.QuickChecks << " quick, "
+         << Rep.Signature.FullChecks << " full, " << Rep.Signature.Matches
+         << " matches\n";
+  if (Report) {
+    outs() << "\n";
+    sp::printReport(Rep, Model, outs());
+  }
+  if (Timeline) {
+    outs() << "\n";
+    sp::printTimeline(Rep, Model, outs());
+  }
+  outs().flush();
+  return 0;
+}

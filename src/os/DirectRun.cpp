@@ -1,0 +1,70 @@
+//===- os/DirectRun.cpp - Run a guest program to completion ---------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/DirectRun.h"
+
+#include "os/Kernel.h"
+#include "os/Process.h"
+#include "support/ErrorHandling.h"
+#include "vm/Interpreter.h"
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::vm;
+
+DirectRunResult spin::os::runDirect(const Program &Prog, uint64_t MaxInsts) {
+  Process Proc = Process::create(Prog);
+  Interpreter Interp(Prog, Proc.Cpu, Proc.Mem);
+  DirectRunResult Result;
+
+  while (Proc.Status == ProcStatus::Running &&
+         Interp.instructionsRetired() < MaxInsts) {
+    // Chunks are capped by the guest-thread quantum so multithreaded
+    // programs follow the deterministic round-robin schedule; an expired
+    // quantum drains to the next basic-block boundary before rotating.
+    uint64_t Budget = MaxInsts - Interp.instructionsRetired();
+    RunResult R;
+    if (Proc.quantumExpired()) {
+      R = Interp.runToBlockEnd(Budget);
+    } else {
+      uint64_t Cap =
+          Budget < Proc.quantumLeft() ? Budget : Proc.quantumLeft();
+      R = Interp.run(Cap);
+    }
+    Proc.noteRetired(R.InstsExecuted);
+    switch (R.Reason) {
+    case StopReason::Syscall: {
+      SystemContext Ctx;
+      Ctx.NowMs = Interp.instructionsRetired() / 1000;
+      Ctx.OutputBuf = &Result.Output;
+      serviceSyscall(Proc, Ctx, nullptr);
+      Interp.noteSyscallRetired();
+      Proc.noteRetired(1);
+      ++Result.Syscalls;
+      break;
+    }
+    case StopReason::Halt:
+      reportFatalError("guest program '" + Prog.Name +
+                       "' executed halt (programs must exit via syscall)");
+    case StopReason::BadPc:
+      reportFatalError("guest program '" + Prog.Name +
+                       "' jumped outside its text segment");
+    case StopReason::Budget:
+    case StopReason::BlockEnd:
+      break;
+    }
+    if (Proc.quantumExpired() && (R.Reason == StopReason::BlockEnd ||
+                                  R.Reason == StopReason::Syscall ||
+                                  R.EndedAtBlockBoundary))
+      Proc.rotateThread();
+  }
+
+  Result.Exited = Proc.Status == ProcStatus::Exited;
+  Result.ExitCode = Proc.ExitCode;
+  Result.Insts = Interp.instructionsRetired();
+  return Result;
+}

@@ -1,0 +1,43 @@
+//===- os/DirectRun.h - Run a guest program to completion -------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience entry point that runs a guest program under the plain
+/// interpreter + kernel with no scheduler and no instrumentation. This is
+/// the ground truth the correctness properties compare against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_OS_DIRECTRUN_H
+#define SUPERPIN_OS_DIRECTRUN_H
+
+#include <cstdint>
+#include <string>
+
+namespace spin::vm {
+class Program;
+}
+
+namespace spin::os {
+
+struct DirectRunResult {
+  bool Exited = false; ///< false if the instruction cap was hit first
+  int ExitCode = 0;
+  uint64_t Insts = 0; ///< retired instructions (including syscalls)
+  uint64_t Syscalls = 0;
+  std::string Output;
+};
+
+/// Runs \p Prog until exit or until \p MaxInsts instructions retire.
+/// The virtual clock seen through gettimems advances at 1000 baseline
+/// instructions per millisecond (matching CostModel defaults).
+DirectRunResult runDirect(const vm::Program &Prog,
+                          uint64_t MaxInsts = 2'000'000'000ULL);
+
+} // namespace spin::os
+
+#endif // SUPERPIN_OS_DIRECTRUN_H

@@ -1,0 +1,252 @@
+//===- os/Kernel.cpp - Deterministic guest kernel -------------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/Kernel.h"
+
+#include "os/Process.h"
+#include "support/ErrorHandling.h"
+#include "support/MathExtras.h"
+#include "support/Random.h"
+#include "vm/Instruction.h"
+
+#include <cassert>
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::vm;
+
+SyscallClass spin::os::classifySyscall(uint64_t Number) {
+  switch (static_cast<Sys>(Number)) {
+  case Sys::Exit:
+    return SyscallClass::Exit;
+  case Sys::Brk:
+  case Sys::MmapAnon:
+  case Sys::Munmap:
+  case Sys::Rand:
+    return SyscallClass::Duplicable;
+  case Sys::Write:
+  case Sys::Read:
+  case Sys::GetTimeMs:
+  case Sys::GetPid:
+    return SyscallClass::Replayable;
+  case Sys::Open:
+  case Sys::Close:
+  case Sys::ThreadCreate:
+  case Sys::ThreadExit:
+  case Sys::NumSyscalls:
+    break;
+  }
+  // Unknown syscalls (and thread lifecycle changes, whose slices need a
+  // fixed thread population) take the paper's conservative default.
+  return SyscallClass::ForceSlice;
+}
+
+std::string_view spin::os::getSyscallName(uint64_t Number) {
+  switch (static_cast<Sys>(Number)) {
+  case Sys::Exit:
+    return "exit";
+  case Sys::Write:
+    return "write";
+  case Sys::Read:
+    return "read";
+  case Sys::Brk:
+    return "brk";
+  case Sys::MmapAnon:
+    return "mmap_anon";
+  case Sys::Munmap:
+    return "munmap";
+  case Sys::GetTimeMs:
+    return "gettimems";
+  case Sys::GetPid:
+    return "getpid";
+  case Sys::Rand:
+    return "rand";
+  case Sys::Open:
+    return "open";
+  case Sys::Close:
+    return "close";
+  case Sys::ThreadCreate:
+    return "thread_create";
+  case Sys::ThreadExit:
+    return "thread_exit";
+  case Sys::NumSyscalls:
+    break;
+  }
+  return "unknown";
+}
+
+uint64_t SyscallEffects::sizeBytes() const {
+  uint64_t Size = 16; // number + retval
+  for (const auto &[Addr, Bytes] : MemWrites) {
+    (void)Addr;
+    Size += 8 + Bytes.size();
+  }
+  return Size;
+}
+
+uint64_t spin::os::pendingSyscallNumber(const Process &Proc) {
+  return Proc.Cpu.Regs[0];
+}
+
+/// Deterministic content byte \p Offset of the synthetic file \p Seed.
+static uint8_t fileByte(uint64_t Seed, uint64_t Offset) {
+  uint64_t Z = Seed + Offset * 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return static_cast<uint8_t>(Z >> 56);
+}
+
+void spin::os::serviceSyscall(Process &Proc, const SystemContext &Ctx,
+                              SyscallEffects *Effects) {
+  const Instruction *I = Proc.program().fetch(Proc.Cpu.Pc);
+  assert(I && I->isSyscall() && "pc does not address a syscall");
+  (void)I;
+
+  uint64_t Number = Proc.Cpu.Regs[0];
+  uint64_t A1 = Proc.Cpu.Regs[1];
+  uint64_t A2 = Proc.Cpu.Regs[2];
+  uint64_t A3 = Proc.Cpu.Regs[3];
+  uint64_t Ret = 0;
+  bool Exited = false;
+  bool SwitchedThread = false;
+
+  if (Effects) {
+    Effects->Number = Number;
+    Effects->MemWrites.clear();
+  }
+
+  switch (static_cast<Sys>(Number)) {
+  case Sys::Exit:
+    Proc.Status = ProcStatus::Exited;
+    Proc.ExitCode = static_cast<int>(A1);
+    Ret = A1; // So playback can reproduce the exit code from RetVal.
+    Exited = true;
+    break;
+  case Sys::Write: {
+    // write(fd=A1, buf=A2, len=A3). fd is accepted but unused; all output
+    // funnels to the context buffer.
+    uint64_t Len = A3;
+    if (!Ctx.SuppressOutput && Ctx.OutputBuf && Len > 0) {
+      std::vector<uint8_t> Bytes(Len);
+      Proc.Mem.readBytes(A2, Bytes.data(), Len);
+      Ctx.OutputBuf->append(reinterpret_cast<const char *>(Bytes.data()),
+                            Len);
+    }
+    Ret = Len;
+    break;
+  }
+  case Sys::Read: {
+    // read(fd=A1, buf=A2, len=A3) from a synthetic deterministic file.
+    auto It = Proc.Kern.Files.find(A1);
+    if (It == Proc.Kern.Files.end()) {
+      Ret = ~uint64_t(0); // -1: bad fd
+      break;
+    }
+    uint64_t Len = A3;
+    std::vector<uint8_t> Bytes(Len);
+    for (uint64_t K = 0; K != Len; ++K)
+      Bytes[K] = fileByte(It->second.Seed, It->second.Offset + K);
+    It->second.Offset += Len;
+    if (Len > 0) {
+      Proc.Mem.writeBytes(A2, Bytes.data(), Len);
+      if (Effects)
+        Effects->MemWrites.emplace_back(A2, std::move(Bytes));
+    }
+    Ret = Len;
+    break;
+  }
+  case Sys::Brk:
+    if (A1 != 0)
+      Proc.Kern.Brk = A1;
+    Ret = Proc.Kern.Brk;
+    break;
+  case Sys::MmapAnon: {
+    uint64_t Len = alignTo(A1 ? A1 : 1, vm::PageSize);
+    Ret = Proc.Kern.MmapNext;
+    Proc.Kern.MmapNext += Len;
+    break;
+  }
+  case Sys::Munmap:
+    Proc.Mem.discardRange(alignDown(A1, vm::PageSize),
+                          alignTo(A2, vm::PageSize));
+    Ret = 0;
+    break;
+  case Sys::GetTimeMs:
+    Ret = Ctx.NowMs;
+    break;
+  case Sys::GetPid:
+    Ret = Proc.Kern.Pid;
+    break;
+  case Sys::Rand: {
+    SplitMix64 Rng(Proc.Kern.RngState);
+    Ret = Rng.next();
+    Proc.Kern.RngState = Ret;
+    break;
+  }
+  case Sys::Open: {
+    // open(pathAddr=A1): the "file" is synthesized from a hash of the path.
+    uint64_t Seed = 0xcbf29ce484222325ULL;
+    for (uint64_t Addr = A1;; ++Addr) {
+      uint8_t C = Proc.Mem.read8(Addr);
+      if (C == 0)
+        break;
+      Seed = (Seed ^ C) * 0x100000001b3ULL;
+      if (Addr - A1 > 4096)
+        break; // Unterminated path: stop scanning.
+    }
+    uint64_t Fd = Proc.Kern.NextFd++;
+    Proc.Kern.Files[Fd] = KernelState::OpenFile{Seed, 0};
+    Ret = Fd;
+    break;
+  }
+  case Sys::Close:
+    Ret = Proc.Kern.Files.erase(A1) ? 0 : ~uint64_t(0);
+    break;
+  case Sys::ThreadCreate:
+    Ret = Proc.spawnThread(/*Pc=*/A1, /*Sp=*/A2);
+    break;
+  case Sys::ThreadExit:
+    // Advance past the syscall first so the parked pc is sane if the
+    // slot is ever inspected, then retire the thread (which loads the
+    // next live thread's state, or exits the process).
+    Proc.Cpu.Pc += InstSize;
+    Proc.exitCurrentThread();
+    SwitchedThread = true;
+    Exited = Proc.Status == ProcStatus::Exited;
+    break;
+  case Sys::NumSyscalls:
+  default:
+    Ret = ~uint64_t(0); // ENOSYS equivalent.
+    break;
+  }
+
+  if (!SwitchedThread) {
+    Proc.Cpu.Regs[0] = Ret;
+    if (!Exited)
+      Proc.Cpu.Pc += InstSize;
+  }
+  if (Effects) {
+    Effects->RetVal = Ret;
+    Effects->ProcessExited = Exited;
+  }
+}
+
+void spin::os::playbackSyscall(Process &Proc, const SyscallEffects &Effects) {
+  const Instruction *I = Proc.program().fetch(Proc.Cpu.Pc);
+  assert(I && I->isSyscall() && "playback target is not a syscall");
+  (void)I;
+  assert(Proc.Cpu.Regs[0] == Effects.Number &&
+         "slice diverged from master: different syscall number");
+  for (const auto &[Addr, Bytes] : Effects.MemWrites)
+    Proc.Mem.writeBytes(Addr, Bytes.data(), Bytes.size());
+  Proc.Cpu.Regs[0] = Effects.RetVal;
+  if (Effects.ProcessExited) {
+    Proc.Status = ProcStatus::Exited;
+    Proc.ExitCode = static_cast<int>(Effects.RetVal);
+  } else {
+    Proc.Cpu.Pc += InstSize;
+  }
+}

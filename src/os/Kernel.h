@@ -1,0 +1,73 @@
+//===- os/Kernel.h - Deterministic guest kernel -----------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated kernel: services guest syscalls deterministically and can
+/// report the full effects of each call (register result + memory writes)
+/// so that SuperPin's control process can record them for slice playback
+/// (paper Section 4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_OS_KERNEL_H
+#define SUPERPIN_OS_KERNEL_H
+
+#include "os/Syscalls.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spin::os {
+
+class Process;
+
+/// Environment the kernel needs beyond per-process state.
+struct SystemContext {
+  /// Virtual wall clock in milliseconds (from the scheduler).
+  uint64_t NowMs = 0;
+  /// When true, Write syscalls compute results but emit nothing (slices
+  /// must not duplicate the master's output).
+  bool SuppressOutput = false;
+  /// Receives Write output when not suppressed; may be null.
+  std::string *OutputBuf = nullptr;
+};
+
+/// The recorded effects of one serviced syscall — everything a slice needs
+/// to reproduce it without re-executing (paper Section 4.2's
+/// record-and-playback records).
+struct SyscallEffects {
+  uint64_t Number = 0;
+  uint64_t RetVal = 0;
+  bool ProcessExited = false;
+  /// Guest memory modified by the kernel (e.g. a read() buffer).
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> MemWrites;
+
+  /// Approximate record footprint in bytes (for stats).
+  uint64_t sizeBytes() const;
+};
+
+/// Services the syscall \p Proc's pc points at: executes its semantics,
+/// writes the result to r0, advances pc past the syscall instruction, and
+/// (if \p Effects is non-null) records the full effects.
+///
+/// \pre Proc.Cpu.Pc addresses a Syscall instruction.
+void serviceSyscall(Process &Proc, const SystemContext &Ctx,
+                    SyscallEffects *Effects);
+
+/// Applies previously recorded \p Effects to \p Proc instead of
+/// re-executing the syscall: sets r0, replays memory writes, advances pc.
+/// This is the slice-side playback path.
+void playbackSyscall(Process &Proc, const SyscallEffects &Effects);
+
+/// Reads the syscall number a stopped process is about to execute (r0).
+uint64_t pendingSyscallNumber(const Process &Proc);
+
+} // namespace spin::os
+
+#endif // SUPERPIN_OS_KERNEL_H

@@ -1,0 +1,95 @@
+//===- os/Process.cpp - Simulated guest process ---------------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/Process.h"
+
+#include <cassert>
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::vm;
+
+Process Process::create(const Program &Prog) {
+  Process P(Prog);
+  Prog.loadDataInto(P.Mem);
+  // Leave a small red zone below StackTop so [sp + small] stays mapped.
+  P.Cpu.setSp(AddressLayout::StackTop - 256);
+  P.Cpu.Pc = Prog.EntryPc;
+  P.Threads.resize(1);
+  P.Threads[0].Live = true; // Slot contents live in Cpu while current.
+  return P;
+}
+
+Process Process::fork(uint64_t ChildPid) const {
+  Process Child(*Prog);
+  Child.Cpu = Cpu;
+  Child.Mem = Mem.fork();
+  Child.Kern = Kern;
+  Child.Kern.Pid = ChildPid;
+  Child.Status = Status;
+  Child.ExitCode = ExitCode;
+  Child.Threads = Threads;
+  Child.CurThread = CurThread;
+  Child.LiveThreads = LiveThreads;
+  Child.QuantumLeft = QuantumLeft;
+  return Child;
+}
+
+uint64_t Process::spawnThread(uint64_t Pc, uint64_t Sp) {
+  ThreadSlot Slot;
+  Slot.Cpu.Pc = Pc;
+  Slot.Cpu.setSp(Sp);
+  Slot.Live = true;
+  Threads.push_back(Slot);
+  ++LiveThreads;
+  return Threads.size() - 1;
+}
+
+void Process::exitCurrentThread() {
+  assert(Threads[CurThread].Live && "current thread already dead");
+  Threads[CurThread].Live = false;
+  --LiveThreads;
+  if (LiveThreads == 0) {
+    Status = ProcStatus::Exited;
+    ExitCode = 0;
+    return;
+  }
+  switchToNextThread();
+}
+
+void Process::switchToNextThread() {
+  assert(LiveThreads >= 1 && "no live thread to switch to");
+  // Park the current state (even if dead; harmless) and find the next
+  // live slot in circular tid order.
+  Threads[CurThread].Cpu = Cpu;
+  uint32_t Next = CurThread;
+  do {
+    Next = (Next + 1) % Threads.size();
+  } while (!Threads[Next].Live);
+  CurThread = Next;
+  Cpu = Threads[Next].Cpu;
+  QuantumLeft = ThreadQuantum;
+}
+
+void Process::noteRetired(uint64_t Retired) {
+  if (Status == ProcStatus::Exited)
+    return;
+  QuantumLeft = Retired < QuantumLeft ? QuantumLeft - Retired : 0;
+  // Single-threaded: re-arm immediately (the quantum only matters when
+  // there is someone to rotate to; keeping it a pure function of the
+  // retired stream keeps forked replicas consistent).
+  if (QuantumLeft == 0 && LiveThreads <= 1)
+    QuantumLeft = ThreadQuantum;
+}
+
+std::vector<uint64_t> Process::threadPcs() const {
+  std::vector<uint64_t> Pcs;
+  Pcs.reserve(Threads.size());
+  for (uint32_t I = 0; I != Threads.size(); ++I)
+    Pcs.push_back(I == CurThread ? Cpu.Pc : Threads[I].Cpu.Pc);
+  return Pcs;
+}

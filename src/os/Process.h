@@ -1,0 +1,142 @@
+//===- os/Process.h - Simulated guest process -------------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated process: CPU state, COW guest memory, and per-process kernel
+/// state. Process::fork() is the substrate for SuperPin slice spawning —
+/// it clones all three, sharing memory pages copy-on-write exactly as the
+/// paper's fork() does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_OS_PROCESS_H
+#define SUPERPIN_OS_PROCESS_H
+
+#include "vm/GuestMemory.h"
+#include "vm/Program.h"
+
+#include <unordered_map>
+
+namespace spin::os {
+
+/// Per-process kernel-side state; forked by value with the process.
+struct KernelState {
+  uint64_t Pid = 1;
+  uint64_t Brk = vm::AddressLayout::HeapBase;
+  uint64_t MmapNext = vm::AddressLayout::MmapBase;
+  uint64_t RngState = 0x5eedULL;
+  uint64_t NextFd = 3;
+
+  struct OpenFile {
+    uint64_t Seed = 0;   ///< content generator seed (synthetic input file)
+    uint64_t Offset = 0; ///< read cursor
+  };
+  std::unordered_map<uint64_t, OpenFile> Files;
+};
+
+enum class ProcStatus : uint8_t { Running, Exited };
+
+/// A runnable guest process image, possibly with several guest threads.
+///
+/// Threads (the paper's Section 8 future work, implemented here) follow a
+/// deterministic round-robin schedule: the current thread runs for
+/// ThreadQuantum retired instructions, then control rotates to the next
+/// live thread. Because the schedule is a pure function of the retired-
+/// instruction stream — and SuperPin's correctness invariants already
+/// guarantee master and slices retire identical streams — a forked slice
+/// replays exactly the master's interleaving with no recording beyond the
+/// (forked) scheduler state itself.
+///
+/// `Cpu` always holds the *current* thread's architectural state; parked
+/// threads live in `Threads`. Single-threaded processes never touch any
+/// of the thread machinery.
+class Process {
+public:
+  /// Instructions a thread runs before the scheduler rotates.
+  static constexpr uint64_t ThreadQuantum = 2000;
+
+  /// Creates the initial process for \p Prog: data segment loaded, stack
+  /// mapped, pc at the entry point, one thread.
+  static Process create(const vm::Program &Prog);
+
+  /// COW fork. The caller assigns the child's pid.
+  Process fork(uint64_t ChildPid) const;
+
+  const vm::Program &program() const { return *Prog; }
+
+  // --- Threads ----------------------------------------------------------
+
+  /// Live threads (>= 1 while Running).
+  unsigned numLiveThreads() const { return LiveThreads; }
+  bool isMultiThreaded() const { return LiveThreads > 1; }
+
+  /// Index of the thread currently loaded into Cpu.
+  uint32_t currentThread() const { return CurThread; }
+
+  /// Instructions left in the current thread's quantum.
+  uint64_t quantumLeft() const { return QuantumLeft; }
+
+  /// Creates a new thread starting at \p Pc with stack pointer \p Sp;
+  /// returns its tid (its index). Called by the kernel.
+  uint64_t spawnThread(uint64_t Pc, uint64_t Sp);
+
+  /// Ends the current thread. If it was the last live thread the process
+  /// exits with code 0. The scheduler rotates to the next live thread.
+  /// Called by the kernel.
+  void exitCurrentThread();
+
+  /// Accounts \p Retired instructions against the current quantum
+  /// (saturating at zero; single-threaded processes re-arm immediately).
+  /// Never switches threads: executors rotate explicitly at the next
+  /// dynamic basic-block boundary so preemption can't split a block —
+  /// BBL-granularity tools must observe the same block stream in every
+  /// engine.
+  void noteRetired(uint64_t Retired);
+
+  /// True when the quantum is spent and another live thread is waiting;
+  /// the executor should rotate at the next block boundary.
+  bool quantumExpired() const {
+    return QuantumLeft == 0 && LiveThreads > 1 &&
+           Status == ProcStatus::Running;
+  }
+
+  /// Parks the current thread, loads the next live one (round-robin),
+  /// and re-arms the quantum. Executors must drop cached trace cursors.
+  void rotateThread() { switchToNextThread(); }
+
+  /// Pc of every live-or-dead thread slot (current thread's from Cpu);
+  /// used by the slice-boundary signature.
+  std::vector<uint64_t> threadPcs() const;
+
+  vm::CpuState Cpu;
+  vm::GuestMemory Mem;
+  KernelState Kern;
+  ProcStatus Status = ProcStatus::Running;
+  int ExitCode = 0;
+
+private:
+  struct ThreadSlot {
+    vm::CpuState Cpu;
+    bool Live = false;
+  };
+
+  explicit Process(const vm::Program &Prog) : Prog(&Prog) {}
+
+  /// Rotates to the next live thread after CurThread (parks Cpu, loads
+  /// the successor, resets the quantum). No-op when single-threaded.
+  void switchToNextThread();
+
+  const vm::Program *Prog;
+  std::vector<ThreadSlot> Threads; ///< slot per tid; slot 0 = main thread
+  uint32_t CurThread = 0;
+  unsigned LiveThreads = 1;
+  uint64_t QuantumLeft = ThreadQuantum;
+};
+
+} // namespace spin::os
+
+#endif // SUPERPIN_OS_PROCESS_H

@@ -1,0 +1,138 @@
+//===- os/Scheduler.cpp - Discrete-time multiprocessor simulator ----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/Scheduler.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace spin;
+using namespace spin::os;
+
+SimTask::~SimTask() = default;
+
+Scheduler::Scheduler(const CostModel &Model, unsigned PhysCpus,
+                     unsigned VirtCpus)
+    : Model(Model), PhysCpus(PhysCpus), VirtCpus(VirtCpus),
+      Quantum(Model.TicksPerMs / 10) {
+  assert(PhysCpus >= 1 && VirtCpus >= PhysCpus && "bad CPU configuration");
+  if (Quantum == 0)
+    Quantum = 1;
+}
+
+Scheduler::TaskId Scheduler::addTask(std::unique_ptr<SimTask> Task,
+                                     bool StartBlocked) {
+  Tasks.push_back(Entry{std::move(Task), StartBlocked ? TaskStatus::Blocked
+                                                      : TaskStatus::Runnable});
+  return static_cast<TaskId>(Tasks.size() - 1);
+}
+
+void Scheduler::wake(TaskId Id) {
+  assert(Id < Tasks.size() && "bad task id");
+  if (Tasks[Id].Status == TaskStatus::Blocked)
+    Tasks[Id].Status = TaskStatus::Runnable;
+}
+
+bool Scheduler::hasExited(TaskId Id) const {
+  assert(Id < Tasks.size() && "bad task id");
+  return Tasks[Id].Status == TaskStatus::Exited;
+}
+
+Ticks Scheduler::cpuTime(TaskId Id) const {
+  assert(Id < Tasks.size() && "bad task id");
+  return Tasks[Id].CpuTicks;
+}
+
+double Scheduler::speedFactor(unsigned K) const {
+  assert(K >= 1 && "no tasks selected");
+  double PerTask = 1.0;
+  if (K > PhysCpus) {
+    // SMT: K contexts share PhysCpus cores; total throughput is boosted by
+    // SmtThroughput but divided among the sharers.
+    PerTask = static_cast<double>(PhysCpus) * Model.SmtThroughput /
+              static_cast<double>(K);
+    if (PerTask > 1.0)
+      PerTask = 1.0;
+  }
+  // SMP memory-system contention: every additional busy core taxes all.
+  unsigned BusyCores = K < PhysCpus ? K : PhysCpus;
+  PerTask /= 1.0 + Model.SmpTaxPerCpu * static_cast<double>(BusyCores - 1);
+  return PerTask;
+}
+
+void Scheduler::runToCompletion() {
+  unsigned IdleRounds = 0;
+  while (true) {
+    // Snapshot the runnable set (tasks added during this quantum run next
+    // quantum). Start from a rotating cursor for round-robin fairness.
+    size_t NumTasks = Tasks.size();
+    std::vector<TaskId> Selected;
+    Selected.reserve(VirtCpus);
+    bool AnyBlocked = false;
+    bool AnyAlive = false;
+    for (size_t Off = 0; Off != NumTasks; ++Off) {
+      TaskId Id = static_cast<TaskId>((RotateCursor + Off) % NumTasks);
+      TaskStatus S = Tasks[Id].Status;
+      if (S == TaskStatus::Exited)
+        continue;
+      AnyAlive = true;
+      if (S == TaskStatus::Blocked) {
+        AnyBlocked = true;
+        continue;
+      }
+      if (Selected.size() < VirtCpus)
+        Selected.push_back(Id);
+    }
+    if (!AnyAlive)
+      return; // All tasks finished.
+    if (Selected.empty()) {
+      if (AnyBlocked) {
+        std::string Msg = "scheduler deadlock: all live tasks blocked:";
+        for (const Entry &E : Tasks)
+          if (E.Status == TaskStatus::Blocked) {
+            Msg += ' ';
+            Msg += E.Task->name();
+          }
+        reportFatalError(Msg);
+      }
+      return;
+    }
+    RotateCursor = (RotateCursor + 1) % NumTasks;
+
+    unsigned K = static_cast<unsigned>(Selected.size());
+    if (K > PeakParallel)
+      PeakParallel = K;
+    Ticks Grant = static_cast<Ticks>(
+        std::floor(static_cast<double>(Quantum) * speedFactor(K)));
+    if (Grant == 0)
+      Grant = 1;
+
+    Ticks TotalUsed = 0;
+    for (TaskId Id : Selected) {
+      // A task selected earlier in this quantum may have been blocked by a
+      // peer or may have exited via a wake-handler; honor its new status.
+      if (Tasks[Id].Status != TaskStatus::Runnable)
+        continue;
+      TaskStep Result = Tasks[Id].Task->step(Grant);
+      assert(Result.Used <= Grant && "task overused its grant");
+      Tasks[Id].CpuTicks += Result.Used;
+      Tasks[Id].Status = Result.Status;
+      TotalUsed += Result.Used;
+    }
+
+    Clock += Quantum;
+    if (TotalUsed == 0) {
+      if (++IdleRounds > 100000)
+        reportFatalError("scheduler livelock: runnable tasks make no "
+                         "progress");
+    } else {
+      IdleRounds = 0;
+    }
+  }
+}

@@ -1,0 +1,155 @@
+//===- os/Scheduler.h - Discrete-time multiprocessor simulator --*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic discrete-time multiprocessor. Tasks (the master
+/// application, SuperPin slices, serial Pin runs) are cooperative SimTask
+/// objects that consume granted ticks; the scheduler advances a virtual
+/// wall clock in fixed quanta, selecting up to VirtCpus runnable tasks per
+/// quantum and scaling their grants for SMT sharing and SMP memory-system
+/// contention (paper Section 6.3: hyperthreading and SMP scalability
+/// effects).
+///
+/// This substitutes for the paper's 8-way Xeon host: parallel wall-clock
+/// behaviour is simulated in virtual time so all experiment shapes are
+/// machine-independent and bit-reproducible (see DESIGN.md Section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_OS_SCHEDULER_H
+#define SUPERPIN_OS_SCHEDULER_H
+
+#include "os/CostModel.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spin::os {
+
+enum class TaskStatus : uint8_t {
+  Runnable, ///< wants CPU
+  Blocked,  ///< waits for an explicit wake()
+  Exited,   ///< finished; never scheduled again
+};
+
+struct TaskStep {
+  Ticks Used = 0;
+  TaskStatus Status = TaskStatus::Runnable;
+};
+
+/// A cooperative simulated thread of execution.
+class SimTask {
+public:
+  virtual ~SimTask();
+  virtual std::string_view name() const = 0;
+
+  /// Consumes up to \p Budget ticks of work. Implementations use a
+  /// TickLedger to carry over actions whose cost exceeds the grant.
+  virtual TaskStep step(Ticks Budget) = 0;
+};
+
+/// Grant-consumption bookkeeping for SimTask implementations. An action
+/// whose cost exceeds the remaining grant is applied immediately but its
+/// unpaid cost carries over as debt into the next step, so expensive
+/// events (fork, signature record, JIT bursts) stretch over virtual time
+/// without the task having to split them.
+class TickLedger {
+public:
+  /// Starts a step with \p Budget ticks; outstanding debt is paid first.
+  void beginStep(Ticks Budget) {
+    this->Budget = Budget;
+    Used = Debt < Budget ? Debt : Budget;
+    Debt -= Used;
+  }
+
+  /// True while the task may take another action this step.
+  bool hasBudget() const { return Debt == 0 && Used < Budget; }
+
+  /// Remaining ticks in this step's grant (0 when in debt).
+  Ticks remaining() const { return Debt == 0 ? Budget - Used : 0; }
+
+  /// Charges \p Cost ticks; overflow beyond the grant becomes debt.
+  void charge(Ticks Cost) {
+    Ticks Avail = Budget - Used;
+    if (Cost <= Avail) {
+      Used += Cost;
+      return;
+    }
+    Debt += Cost - Avail;
+    Used = Budget;
+  }
+
+  Ticks used() const { return Used; }
+  bool inDebt() const { return Debt != 0; }
+
+private:
+  Ticks Debt = 0;
+  Ticks Budget = 0;
+  Ticks Used = 0;
+};
+
+/// The discrete-time multiprocessor.
+class Scheduler {
+public:
+  using TaskId = uint32_t;
+
+  /// \p PhysCpus physical cores; \p VirtCpus schedulable contexts
+  /// (> PhysCpus models SMT/hyperthreading).
+  Scheduler(const CostModel &Model, unsigned PhysCpus, unsigned VirtCpus);
+
+  /// Adds a task (safe to call from inside a running task's step()).
+  /// \p StartBlocked tasks wait for a wake() before first scheduling.
+  TaskId addTask(std::unique_ptr<SimTask> Task, bool StartBlocked = false);
+
+  /// Makes a blocked task runnable (no-op if runnable or exited).
+  void wake(TaskId Id);
+
+  /// True if the task has exited.
+  bool hasExited(TaskId Id) const;
+
+  /// Runs quanta until every task has exited. Reports a fatal error on
+  /// deadlock (only blocked tasks remain) or livelock (no runnable task
+  /// consumes any ticks for many consecutive rounds).
+  void runToCompletion();
+
+  /// Virtual wall clock.
+  Ticks now() const { return Clock; }
+  uint64_t nowMs() const { return Model.ticksToMs(Clock); }
+
+  /// Total work ticks consumed by a task so far.
+  Ticks cpuTime(TaskId Id) const;
+
+  /// Peak number of tasks selected in one quantum (parallelism achieved).
+  unsigned peakParallelism() const { return PeakParallel; }
+
+  const CostModel &costModel() const { return Model; }
+
+private:
+  struct Entry {
+    std::unique_ptr<SimTask> Task;
+    TaskStatus Status;
+    Ticks CpuTicks = 0;
+  };
+
+  const CostModel &Model;
+  unsigned PhysCpus;
+  unsigned VirtCpus;
+  Ticks Quantum;
+  Ticks Clock = 0;
+  std::vector<Entry> Tasks;
+  size_t RotateCursor = 0;
+  unsigned PeakParallel = 0;
+
+  /// Per-task grant multiplier when K tasks run together.
+  double speedFactor(unsigned K) const;
+};
+
+} // namespace spin::os
+
+#endif // SUPERPIN_OS_SCHEDULER_H

@@ -1,0 +1,75 @@
+//===- os/Syscalls.h - Guest system-call ABI --------------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guest system-call ABI and SuperPin's syscall taxonomy (paper §4.2).
+///
+/// Calling convention: syscall number in r0, arguments in r1..r3, result in
+/// r0. The taxonomy determines how the control process treats each syscall
+/// when the master performs it:
+///
+///  * Duplicable — a slice may simply re-execute the call against its own
+///    (forked) kernel state and obtain identical results: `brk`, anonymous
+///    `mmap` (deterministic placement), `munmap`, `rand` (per-process
+///    PRNG state forks with the process).
+///  * Replayable — results depend on global or external state; the control
+///    process records register results and memory effects and slices play
+///    them back: `read` (external input), `write` (slices must not emit
+///    output twice), `gettimems` (slices run later than the master did),
+///    `getpid` (slices have different pids).
+///  * ForceSlice — the paper's "unsure about the effects" default: end the
+///    current timeslice at this syscall: `open`, `close`, and the thread
+///    syscalls (`thread_create`/`thread_exit`), so a slice's window always
+///    covers a fixed thread population and the deterministic round-robin
+///    schedule replays exactly (the §8 multithreading extension).
+///  * Exit — terminates the process (and for the master, the run).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_OS_SYSCALLS_H
+#define SUPERPIN_OS_SYSCALLS_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace spin::os {
+
+enum class Sys : uint64_t {
+  Exit = 0,      ///< exit(code): terminate the process
+  Write = 1,     ///< write(fd, buf, len) -> len
+  Read = 2,      ///< read(fd, buf, len) -> bytes read
+  Brk = 3,       ///< brk(addr) -> new break (addr==0 queries)
+  MmapAnon = 4,  ///< mmap_anon(len) -> addr (deterministic placement)
+  Munmap = 5,    ///< munmap(addr, len) -> 0
+  GetTimeMs = 6, ///< gettimems() -> virtual wall clock in ms
+  GetPid = 7,    ///< getpid() -> pid
+  Rand = 8,      ///< rand() -> 64-bit pseudo-random value (per-process)
+  Open = 9,      ///< open(path) -> fd; synthetic deterministic file
+  Close = 10,    ///< close(fd) -> 0
+  ThreadCreate = 11, ///< thread_create(pc, sp) -> tid (§8 extension)
+  ThreadExit = 12,   ///< thread_exit(): ends the calling thread
+  NumSyscalls
+};
+
+/// SuperPin's treatment of a master syscall (paper Section 4.2).
+enum class SyscallClass : uint8_t {
+  Duplicable, ///< slices re-execute against forked kernel state
+  Replayable, ///< control records effects; slices play them back
+  ForceSlice, ///< always start a new timeslice at this syscall
+  Exit,       ///< process termination
+};
+
+/// Returns the SuperPin taxonomy class of \p Number. Unknown numbers
+/// classify as ForceSlice (the paper's conservative default).
+SyscallClass classifySyscall(uint64_t Number);
+
+/// Returns a printable name ("read", "brk", ...; "unknown" otherwise).
+std::string_view getSyscallName(uint64_t Number);
+
+} // namespace spin::os
+
+#endif // SUPERPIN_OS_SYSCALLS_H

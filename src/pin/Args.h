@@ -1,0 +1,67 @@
+//===- pin/Args.h - Analysis-call argument marshalling ----------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IARG_* equivalents of Pin's analysis-call argument system. A tool
+/// attaches a list of Arg descriptors to each inserted call; the VM
+/// evaluates them against pre-execution architectural state and passes the
+/// resulting uint64 values to the analysis function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_PIN_ARGS_H
+#define SUPERPIN_PIN_ARGS_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace spin::pin {
+
+/// What a marshalled argument evaluates to (Pin's IARG_...).
+enum class ArgKind : uint8_t {
+  Uint64,      ///< IARG_UINT64: the constant in Payload
+  InstPtr,     ///< IARG_INST_PTR: pc of the instrumented instruction
+  MemoryEa,    ///< IARG_MEMORY{READ,WRITE}_EA: effective address
+  MemorySize,  ///< IARG_MEMORY{READ,WRITE}_SIZE: access width in bytes
+  BranchTaken, ///< IARG_BRANCH_TAKEN: 1 if the branch will be taken
+  BranchTarget, ///< IARG_BRANCH_TARGET_ADDR: where control transfers to
+  RegValue,    ///< IARG_REG_VALUE: value of register index Payload
+  ThreadId,    ///< IARG_THREAD_ID: current guest thread index
+  SliceNum,    ///< SuperPin extension: current slice number (0 serially)
+};
+
+/// One argument descriptor.
+struct Arg {
+  ArgKind Kind;
+  uint64_t Payload = 0;
+
+  static Arg imm(uint64_t Value) { return {ArgKind::Uint64, Value}; }
+  static Arg instPtr() { return {ArgKind::InstPtr, 0}; }
+  static Arg memoryEa() { return {ArgKind::MemoryEa, 0}; }
+  static Arg memorySize() { return {ArgKind::MemorySize, 0}; }
+  static Arg branchTaken() { return {ArgKind::BranchTaken, 0}; }
+  static Arg branchTarget() { return {ArgKind::BranchTarget, 0}; }
+  static Arg regValue(unsigned Reg) { return {ArgKind::RegValue, Reg}; }
+  static Arg threadId() { return {ArgKind::ThreadId, 0}; }
+  static Arg sliceNum() { return {ArgKind::SliceNum, 0}; }
+};
+
+/// Evaluated arguments are passed as a pointer to this fixed-size array.
+constexpr unsigned MaxAnalysisArgs = 6;
+using ArgValues = uint64_t[MaxAnalysisArgs];
+
+/// An analysis routine. Pin would call a bare function pointer; tools here
+/// bind member functions/lambdas, which std::function carries.
+using AnalysisFn = std::function<void(const uint64_t *Args)>;
+
+/// An InsertIfCall predicate: nonzero means "run the Then call".
+using PredicateFn = std::function<uint64_t(const uint64_t *Args)>;
+
+} // namespace spin::pin
+
+#endif // SUPERPIN_PIN_ARGS_H

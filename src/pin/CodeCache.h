@@ -1,0 +1,79 @@
+//===- pin/CodeCache.h - Compiled trace cache -------------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code cache: compiled traces keyed by entry pc. Each SuperPin slice
+/// normally owns a private cache that starts cold — the source of the
+/// paper's "compilation slowdown" (Section 6.3 item 2). The cache can also
+/// be shared across slices (the Section 8 future-work optimization); the
+/// shared mode is exercised by the abl_sharedcc benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_PIN_CODECACHE_H
+#define SUPERPIN_PIN_CODECACHE_H
+
+#include "pin/Trace.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace spin::pin {
+
+/// Registry of trace entry points that some slice has already compiled.
+/// This models the paper's Section 8 shared-code-cache proposal: because
+/// each tool instance holds slice-local data, instrumented code itself
+/// stays per-slice, but the expensive JIT work is shared — a slice
+/// adopting an already-compiled trace pays only a cheap consistency-check
+/// cost instead of full compilation.
+struct SharedJitRegistry {
+  std::unordered_set<uint64_t> Compiled;
+  /// Divisor applied to compile cost for adopted traces.
+  static constexpr uint64_t AdoptDiscount = 20;
+};
+
+class CodeCache {
+public:
+  /// Returns the trace starting at \p Pc, or nullptr on a miss.
+  CompiledTrace *lookup(uint64_t Pc) {
+    ++Lookups;
+    auto It = Traces.find(Pc);
+    if (It == Traces.end()) {
+      ++Misses;
+      return nullptr;
+    }
+    return It->second.get();
+  }
+
+  /// Inserts a freshly compiled trace and returns a stable pointer to it.
+  CompiledTrace *insert(std::unique_ptr<CompiledTrace> T) {
+    uint64_t Pc = T->StartPc;
+    CompiledTrace *Raw = T.get();
+    CompiledInsts += T->Steps.size();
+    Traces[Pc] = std::move(T);
+    return Raw;
+  }
+
+  /// Drops every trace (cache flush).
+  void flush() { Traces.clear(); }
+
+  uint64_t numTraces() const { return Traces.size(); }
+  uint64_t lookups() const { return Lookups; }
+  uint64_t misses() const { return Misses; }
+  uint64_t compiledInsts() const { return CompiledInsts; }
+
+private:
+  std::unordered_map<uint64_t, std::unique_ptr<CompiledTrace>> Traces;
+  uint64_t Lookups = 0;
+  uint64_t Misses = 0;
+  uint64_t CompiledInsts = 0;
+};
+
+} // namespace spin::pin
+
+#endif // SUPERPIN_PIN_CODECACHE_H

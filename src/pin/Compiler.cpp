@@ -1,0 +1,65 @@
+//===- pin/Compiler.cpp - Trace formation and instrumentation -------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pin/Compiler.h"
+
+#include "pin/Tool.h"
+#include "vm/Program.h"
+
+#include <cassert>
+
+using namespace spin;
+using namespace spin::pin;
+using namespace spin::vm;
+
+std::unique_ptr<CompiledTrace>
+spin::pin::compileTrace(const Program &Prog, uint64_t StartPc,
+                        const os::CostModel &Model, Tool *UserTool,
+                        CompilerLimits Limits) {
+  assert(Prog.fetch(StartPc) && "trace start outside text segment");
+  auto T = std::make_unique<CompiledTrace>();
+  T->StartPc = StartPc;
+  T->BblStart.push_back(0);
+
+  uint64_t Pc = StartPc;
+  uint32_t BblIndex = 0;
+  while (T->Steps.size() < Limits.MaxInsts) {
+    if (Pc == Limits.BoundaryPc && Pc != StartPc)
+      break; // Detection sites start their own trace (see CompilerLimits).
+    const Instruction *I = Prog.fetch(Pc);
+    if (!I)
+      break; // Fell off the end of text; runtime reports BadPc there.
+    TraceStep Step;
+    Step.Inst = I;
+    Step.Pc = Pc;
+    Step.BblIndex = BblIndex;
+    T->Steps.push_back(std::move(Step));
+    if (I->endsTrace())
+      break;
+    if (I->isCondBranch()) {
+      // The fall-through side continues the trace in a new basic block,
+      // unless the block budget is exhausted.
+      if (BblIndex + 1 >= Limits.MaxBbls)
+        break;
+      ++BblIndex;
+      T->BblStart.push_back(static_cast<uint32_t>(T->Steps.size()));
+    }
+    Pc += InstSize;
+  }
+  // A trailing empty block can appear when the instruction budget ends
+  // exactly at a conditional branch; drop it.
+  if (T->BblStart.back() == T->Steps.size())
+    T->BblStart.pop_back();
+  T->NumBbls = static_cast<uint32_t>(T->BblStart.size());
+  T->CompileCost = Model.JitCompilePerInst * T->Steps.size();
+
+  if (UserTool && !T->Steps.empty()) {
+    Trace View(*T);
+    UserTool->instrumentTrace(View);
+  }
+  return T;
+}

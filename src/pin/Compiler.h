@@ -1,0 +1,55 @@
+//===- pin/Compiler.h - Trace formation and instrumentation -----*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniPin JIT front end: decodes a trace of guest code starting at a
+/// given pc (continuing through the fall-through side of conditional
+/// branches, as Pin traces do), then runs the tool's instrumentation
+/// callback over it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_PIN_COMPILER_H
+#define SUPERPIN_PIN_COMPILER_H
+
+#include "pin/Trace.h"
+
+#include <memory>
+
+namespace spin::vm {
+class Program;
+}
+
+namespace spin::pin {
+
+class Tool;
+
+/// Trace-formation limits (Pin-like defaults).
+struct CompilerLimits {
+  uint32_t MaxInsts = 48;
+  uint32_t MaxBbls = 3;
+  /// Forced trace boundary: no trace may flow *through* this address (it
+  /// may only start one). SuperPin slices set it to their signature
+  /// detection pc so basic blocks never span the slice boundary —
+  /// otherwise BBL-granularity tools (icount2) would attribute the
+  /// unexecuted bbl tail to the wrong slice. 0 disables.
+  uint64_t BoundaryPc = 0;
+};
+
+/// Compiles the trace starting at \p StartPc: decodes guest instructions,
+/// assigns basic-block boundaries, computes the compile cost, and lets
+/// \p UserTool (if non-null) insert analysis calls.
+///
+/// \pre \p StartPc addresses a valid text instruction.
+std::unique_ptr<CompiledTrace>
+compileTrace(const vm::Program &Prog, uint64_t StartPc,
+             const os::CostModel &Model, Tool *UserTool,
+             CompilerLimits Limits = CompilerLimits());
+
+} // namespace spin::pin
+
+#endif // SUPERPIN_PIN_COMPILER_H

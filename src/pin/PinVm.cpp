@@ -1,0 +1,179 @@
+//===- pin/PinVm.cpp - Instrumented execution engine ----------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pin/PinVm.h"
+
+#include "pin/Tool.h"
+#include "vm/Exec.h"
+
+#include <cassert>
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::vm;
+
+PinVm::PinVm(Process &Proc, const CostModel &Model, Tool *UserTool,
+             CodeCache &Cache, PinVmConfig Config)
+    : Proc(Proc), Model(Model), UserTool(UserTool), Cache(Cache),
+      Config(Config) {}
+
+bool PinVm::dispatch(TickLedger &Ledger) {
+  Ledger.charge(Model.TraceDispatchCost +
+                (Config.SharedJit ? Model.SharedCacheCheckCost : 0));
+  ++NumTraceEntries;
+  CompiledTrace *T = Cache.lookup(Proc.Cpu.Pc);
+  if (!T) {
+    if (!Proc.program().fetch(Proc.Cpu.Pc))
+      return false;
+    std::unique_ptr<CompiledTrace> Fresh = compileTrace(
+        Proc.program(), Proc.Cpu.Pc, Model, UserTool, Config.Limits);
+    Ticks Cost = Fresh->CompileCost;
+    if (Config.SharedJit) {
+      if (Config.SharedJit->Compiled.count(Fresh->StartPc))
+        Cost /= SharedJitRegistry::AdoptDiscount; // adopt, don't recompile
+      else
+        Config.SharedJit->Compiled.insert(Fresh->StartPc);
+    }
+    Ledger.charge(Cost);
+    CompileTicks += Cost;
+    ++NumTracesCompiled;
+    T = Cache.insert(std::move(Fresh));
+  }
+  CurTrace = T;
+  CurStep = 0;
+  return true;
+}
+
+void PinVm::evalArgs(const std::vector<Arg> &Args, const TraceStep &Step,
+                     uint64_t *Out) const {
+  const CpuState &S = Proc.Cpu;
+  for (size_t I = 0; I != Args.size(); ++I) {
+    const Arg &A = Args[I];
+    switch (A.Kind) {
+    case ArgKind::Uint64:
+      Out[I] = A.Payload;
+      break;
+    case ArgKind::InstPtr:
+      Out[I] = Step.Pc;
+      break;
+    case ArgKind::MemoryEa: {
+      uint32_t Size;
+      Out[I] = computeMemEA(*Step.Inst, S, Size);
+      break;
+    }
+    case ArgKind::MemorySize: {
+      uint32_t Size;
+      computeMemEA(*Step.Inst, S, Size);
+      Out[I] = Size;
+      break;
+    }
+    case ArgKind::BranchTaken:
+      Out[I] = wouldBranch(*Step.Inst, S) ? 1 : 0;
+      break;
+    case ArgKind::BranchTarget:
+      Out[I] = branchTargetOf(*Step.Inst, Step.Pc, S, Proc.Mem);
+      break;
+    case ArgKind::RegValue:
+      assert(A.Payload < NumRegs && "bad register in analysis arg");
+      Out[I] = S.Regs[A.Payload];
+      break;
+    case ArgKind::ThreadId:
+      Out[I] = Proc.currentThread();
+      break;
+    case ArgKind::SliceNum:
+      Out[I] = Config.SliceNum;
+      break;
+    }
+  }
+}
+
+void PinVm::runAnalysisCalls(const TraceStep &Step, TickLedger &Ledger,
+                             bool After) {
+  uint64_t Values[MaxAnalysisArgs];
+  for (const CallSite &Site : Step.Calls) {
+    if (Site.After != After)
+      continue;
+    if (Site.If) {
+      Ledger.charge(Model.InlinedCheckCost + Site.IfUserCost);
+      ++NumInlinedChecks;
+      evalArgs(Site.IfArgs, Step, Values);
+      if (Site.If(Values) == 0)
+        continue;
+      if (!Site.Fn)
+        continue; // If without Then: predicate only.
+    }
+    Ledger.charge(Model.AnalysisCallBase +
+                  Site.Args.size() * Model.AnalysisCallPerArg +
+                  Site.FnUserCost);
+    ++NumAnalysisCalls;
+    evalArgs(Site.Args, Step, Values);
+    Site.Fn(Values);
+  }
+}
+
+VmStop PinVm::run(TickLedger &Ledger) {
+  while (Ledger.hasBudget()) {
+    if (StopRequested) {
+      StopRequested = false;
+      return VmStop::ToolStop;
+    }
+    if (!CurTrace) {
+      if (!dispatch(Ledger))
+        return VmStop::BadPc;
+      continue; // Re-check budget after paying dispatch/compile cost.
+    }
+    assert(CurStep < CurTrace->Steps.size() && "trace cursor out of range");
+    const TraceStep &Step = CurTrace->Steps[CurStep];
+    assert(Step.Pc == Proc.Cpu.Pc && "trace desynchronized from pc");
+
+    // 1. Signature detection (SuperPin §4.4) fires before anything else at
+    //    the armed address; a match means this instruction belongs to the
+    //    next slice and must not execute or be counted here.
+    if (Detect && Step.Pc == ArmedPc) {
+      if (Detect(Ledger))
+        return VmStop::Detected;
+    }
+
+    // 2. IPOINT_BEFORE analysis calls.
+    runAnalysisCalls(Step, Ledger, /*After=*/false);
+
+    // 3. The instruction itself.
+    ExecInfo Info;
+    ExecStatus Status =
+        executeInstruction(*Step.Inst, Step.Pc, Proc.Cpu, Proc.Mem, Info);
+    if (Status == ExecStatus::Syscall) {
+      // Leave the cursor past this trace; the environment services the
+      // syscall and the next run() dispatches at the post-syscall pc.
+      CurTrace = nullptr;
+      return VmStop::Syscall;
+    }
+    Ledger.charge(Config.InstCost + Model.PinDispatchPerInst);
+    ++Retired;
+    if (CapRemaining != ~uint64_t(0) && CapRemaining != 0)
+      --CapRemaining;
+    if (Status == ExecStatus::Halt)
+      return VmStop::BadPc; // Guests must exit via syscall.
+
+    // 4. IPOINT_AFTER analysis calls (post-execution state).
+    runAnalysisCalls(Step, Ledger, /*After=*/true);
+
+    // 5. Advance within the trace or re-dispatch.
+    bool LeftTrace = Info.BranchTaken || CurStep + 1 >= CurTrace->Steps.size();
+    if (LeftTrace)
+      CurTrace = nullptr;
+    else
+      ++CurStep;
+
+    // 6. Guest-thread quantum: once the cap is spent, stop at the first
+    //    dynamic basic-block boundary (a retired control-flow instruction)
+    //    so preemption never splits a block (see Process::noteRetired).
+    if (CapRemaining == 0 && Step.Inst->isControlFlow())
+      return VmStop::InstCap;
+  }
+  return VmStop::Budget;
+}

@@ -1,0 +1,157 @@
+//===- pin/PinVm.h - Instrumented execution engine --------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniPin virtual machine: the dispatcher + code cache + JIT loop that
+/// executes a guest process with instrumentation. It mirrors Pin's VM:
+/// look up the next region in the code cache, compile on miss (paying
+/// compile cost), execute the instrumented trace (paying dispatch and
+/// analysis-call costs), and stop at syscalls so the environment (the
+/// serial-Pin runner, or a SuperPin slice controller) can service them.
+///
+/// SuperPin hooks:
+///  * an "armed pc" — a detection hook invoked whenever execution reaches a
+///    given instruction address, used by the signature detector (§4.4); the
+///    hook models the paper's INS_InsertIfCall/InsertThenCall costs;
+///  * requestStop() — asynchronous slice termination (SP_EndSlice).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_PIN_PINVM_H
+#define SUPERPIN_PIN_PINVM_H
+
+#include "os/Process.h"
+#include "os/Scheduler.h"
+#include "pin/CodeCache.h"
+#include "pin/Compiler.h"
+
+#include <functional>
+
+namespace spin::pin {
+
+class Tool;
+
+/// Why PinVm::run returned.
+enum class VmStop : uint8_t {
+  Budget,   ///< tick ledger exhausted; call run() again to resume
+  Syscall,  ///< pc at an unexecuted syscall (its IPOINT_BEFORE calls ran)
+  Detected, ///< the armed-pc hook reported a signature match
+  ToolStop, ///< requestStop()/SP_EndSlice
+  InstCap,  ///< setRunCap() reached (guest-thread quantum boundary)
+  BadPc,    ///< control left the text segment
+};
+
+/// Configuration of one PinVm instance.
+struct PinVmConfig {
+  /// Per-guest-instruction base cost in ticks (workload CPI × TicksPerInst).
+  os::Ticks InstCost = 100;
+  /// Shared-code-cache mode (paper §8 future work): non-null enables it.
+  /// Adds a consistency-check cost per trace entry; traces another slice
+  /// already compiled are adopted at a fraction of full compile cost.
+  SharedJitRegistry *SharedJit = nullptr;
+  /// Slice number reported through ArgKind::SliceNum (0 in serial mode).
+  uint32_t SliceNum = 0;
+  CompilerLimits Limits;
+};
+
+/// Executes one guest process with instrumentation.
+class PinVm {
+public:
+  /// \p Cache may be shared between PinVm instances when
+  /// \p Config.SharedCache is set; otherwise it must be exclusive.
+  PinVm(os::Process &Proc, const os::CostModel &Model, Tool *UserTool,
+        CodeCache &Cache, PinVmConfig Config);
+
+  /// Detection hook: invoked with the ledger (for cost charging) each time
+  /// execution reaches the armed pc, before analysis calls and before the
+  /// instruction executes. Returning true stops the VM with
+  /// VmStop::Detected.
+  using DetectHook = std::function<bool(os::TickLedger &)>;
+
+  /// \pre No trace has been compiled yet into this VM's private cache
+  /// (the boundary must shape every trace; SuperPin arms detection before
+  /// a slice starts executing).
+  void armDetection(uint64_t Pc, DetectHook Hook) {
+    assert(NumTracesCompiled == 0 || Config.Limits.BoundaryPc == Pc);
+    ArmedPc = Pc;
+    Config.Limits.BoundaryPc = Pc;
+    Detect = std::move(Hook);
+  }
+  void disarmDetection() { Detect = nullptr; }
+
+  /// Requests a stop at the next instruction boundary (SP_EndSlice).
+  void requestStop() { StopRequested = true; }
+
+  /// Caps the next run() at \p Insts retired instructions (guest-thread
+  /// quantum support): the VM stops with VmStop::InstCap exactly at the
+  /// boundary, before executing the next instruction.
+  void setRunCap(uint64_t Insts) { CapRemaining = Insts; }
+
+  /// The executor switched guest threads: the process's current pc is no
+  /// longer where this VM left off, so drop the trace cursor.
+  void noteContextSwitch() { CurTrace = nullptr; }
+
+  /// Instructions left before the current run cap (the live guest-thread
+  /// quantum when the cap was armed from Process::quantumLeft(); the
+  /// signature detector compares this against the recorded quantum).
+  uint64_t runCapRemaining() const { return CapRemaining; }
+
+  /// Executes until the ledger runs out or an architectural event occurs.
+  VmStop run(os::TickLedger &Ledger);
+
+  /// Retired guest instructions (syscalls counted via noteSyscallRetired).
+  uint64_t retired() const { return Retired; }
+  void noteSyscallRetired() { ++Retired; }
+
+  os::Process &process() { return Proc; }
+
+  // Engine statistics.
+  uint64_t analysisCalls() const { return NumAnalysisCalls; }
+  uint64_t inlinedChecks() const { return NumInlinedChecks; }
+  uint64_t tracesEntered() const { return NumTraceEntries; }
+  uint64_t tracesCompiled() const { return NumTracesCompiled; }
+  os::Ticks compileTicks() const { return CompileTicks; }
+  const CodeCache &cache() const { return Cache; }
+
+private:
+  os::Process &Proc;
+  const os::CostModel &Model;
+  Tool *UserTool;
+  CodeCache &Cache;
+  PinVmConfig Config;
+
+  const CompiledTrace *CurTrace = nullptr;
+  uint32_t CurStep = 0;
+  uint64_t ArmedPc = 0;
+  DetectHook Detect;
+  bool StopRequested = false;
+  uint64_t CapRemaining = ~uint64_t(0);
+
+  uint64_t Retired = 0;
+  uint64_t NumAnalysisCalls = 0;
+  uint64_t NumInlinedChecks = 0;
+  uint64_t NumTraceEntries = 0;
+  uint64_t NumTracesCompiled = 0;
+  os::Ticks CompileTicks = 0;
+
+  /// Ensures CurTrace/CurStep address Proc.Cpu.Pc; charges dispatch and
+  /// compile costs. Returns false if pc is outside text.
+  bool dispatch(os::TickLedger &Ledger);
+
+  /// Evaluates \p Args against current architectural state into \p Out.
+  void evalArgs(const std::vector<Arg> &Args, const TraceStep &Step,
+                uint64_t *Out) const;
+
+  /// Runs the analysis calls attached to \p Step for one insertion point
+  /// (\p After selects IPOINT_AFTER sites), charging costs.
+  void runAnalysisCalls(const TraceStep &Step, os::TickLedger &Ledger,
+                        bool After);
+};
+
+} // namespace spin::pin
+
+#endif // SUPERPIN_PIN_PINVM_H

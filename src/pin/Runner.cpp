@@ -1,0 +1,242 @@
+//===- pin/Runner.cpp - Native and serial-Pin timed runs ------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pin/Runner.h"
+
+#include "os/Kernel.h"
+#include "os/Scheduler.h"
+#include "support/ErrorHandling.h"
+#include "support/RawOstream.h"
+#include "vm/Interpreter.h"
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::vm;
+
+namespace {
+
+/// Charges page events of one process to a ledger.
+class ChargingListener : public vm::MemoryEventListener {
+public:
+  ChargingListener(const CostModel &Model) : Model(Model) {}
+
+  void attach(TickLedger *NewLedger) { Ledger = NewLedger; }
+
+  void onCowCopy(uint64_t) override {
+    if (Ledger)
+      Ledger->charge(Model.CowCopyPageCost);
+    ++CowCopies;
+  }
+  void onPageAlloc(uint64_t) override {
+    if (Ledger)
+      Ledger->charge(Model.PageAllocCost);
+    ++PageAllocs;
+  }
+
+  uint64_t CowCopies = 0;
+  uint64_t PageAllocs = 0;
+
+private:
+  const CostModel &Model;
+  TickLedger *Ledger = nullptr;
+};
+
+/// Uninstrumented single-process task.
+class NativeTask : public SimTask {
+public:
+  NativeTask(const Program &Prog, const CostModel &Model, Ticks InstCost,
+             Scheduler &Sched, RunReport &Report)
+      : Proc(Process::create(Prog)), Interp(Prog, Proc.Cpu, Proc.Mem),
+        Model(Model), InstCost(InstCost), Sched(Sched), Report(Report),
+        Listener(Model) {
+    Proc.Mem.setListener(&Listener);
+  }
+
+  std::string_view name() const override { return "native"; }
+
+  TaskStep step(Ticks Budget) override {
+    Ledger.beginStep(Budget);
+    Listener.attach(&Ledger);
+    while (Ledger.hasBudget() && Proc.Status == ProcStatus::Running) {
+      uint64_t MaxInsts = Ledger.remaining() / InstCost;
+      if (MaxInsts == 0)
+        MaxInsts = 1;
+      RunResult R;
+      if (Proc.quantumExpired()) {
+        R = Interp.runToBlockEnd(MaxInsts);
+      } else {
+        if (MaxInsts > Proc.quantumLeft())
+          MaxInsts = Proc.quantumLeft(); // guest-thread quantum
+        R = Interp.run(MaxInsts);
+      }
+      Ledger.charge(R.InstsExecuted * InstCost);
+      Proc.noteRetired(R.InstsExecuted);
+      switch (R.Reason) {
+      case StopReason::Syscall: {
+        SystemContext Ctx;
+        Ctx.NowMs = Sched.nowMs();
+        Ctx.OutputBuf = &Report.Output;
+        serviceSyscall(Proc, Ctx, nullptr);
+        Interp.noteSyscallRetired();
+        Proc.noteRetired(1);
+        Ledger.charge(InstCost + Model.SyscallCost);
+        ++Report.Syscalls;
+        break;
+      }
+      case StopReason::Halt:
+      case StopReason::BadPc:
+        reportFatalError("native run: guest fault in '" +
+                         Proc.program().Name + "'");
+      case StopReason::Budget:
+      case StopReason::BlockEnd:
+        break;
+      }
+      if (Proc.quantumExpired() && (R.Reason == StopReason::BlockEnd ||
+                                    R.Reason == StopReason::Syscall ||
+                                    R.EndedAtBlockBoundary))
+        Proc.rotateThread();
+    }
+    Listener.attach(nullptr);
+    if (Proc.Status == ProcStatus::Exited && !Ledger.inDebt()) {
+      Report.Insts = Interp.instructionsRetired();
+      Report.ExitCode = Proc.ExitCode;
+      return {Ledger.used(), TaskStatus::Exited};
+    }
+    return {Ledger.used(), TaskStatus::Runnable};
+  }
+
+private:
+  Process Proc;
+  Interpreter Interp;
+  const CostModel &Model;
+  Ticks InstCost;
+  Scheduler &Sched;
+  RunReport &Report;
+  ChargingListener Listener;
+  TickLedger Ledger;
+};
+
+/// Classic serial Pin task: the whole program runs instrumented.
+class SerialPinTask : public SimTask {
+public:
+  SerialPinTask(const Program &Prog, const CostModel &Model, Ticks InstCost,
+                const ToolFactory &Factory, PinVmConfig Config,
+                Scheduler &Sched, RunReport &Report)
+      : Proc(Process::create(Prog)), Model(Model), InstCost(InstCost),
+        Sched(Sched), Report(Report), Listener(Model),
+        ToolInstance(Factory(SerialServices)),
+        Vm(Proc, Model, ToolInstance.get(), Cache,
+           withInstCost(Config, InstCost)) {
+    Proc.Mem.setListener(&Listener);
+  }
+
+  std::string_view name() const override { return "serial-pin"; }
+
+  TaskStep step(Ticks Budget) override {
+    Ledger.beginStep(Budget);
+    Listener.attach(&Ledger);
+    while (Ledger.hasBudget() && Proc.Status == ProcStatus::Running) {
+      // A zero cap drains the current basic block before InstCap.
+      Vm.setRunCap(Proc.quantumExpired() ? 0 : Proc.quantumLeft());
+      uint64_t Before = Vm.retired();
+      VmStop Stop = Vm.run(Ledger);
+      Proc.noteRetired(Vm.retired() - Before);
+      switch (Stop) {
+      case VmStop::Syscall: {
+        ToolInstance->onSyscall(pendingSyscallNumber(Proc));
+        SystemContext Ctx;
+        Ctx.NowMs = Sched.nowMs();
+        Ctx.OutputBuf = &Report.Output;
+        serviceSyscall(Proc, Ctx, nullptr);
+        Vm.noteSyscallRetired();
+        Proc.noteRetired(1);
+        Ledger.charge(InstCost + Model.SyscallCost);
+        ++Report.Syscalls;
+        break;
+      }
+      case VmStop::BadPc:
+        reportFatalError("serial pin: guest fault in '" +
+                         Proc.program().Name + "'");
+      case VmStop::Budget:
+      case VmStop::Detected:
+      case VmStop::ToolStop:
+      case VmStop::InstCap:
+        break;
+      }
+      if (Proc.quantumExpired() &&
+          (Stop == VmStop::InstCap || Stop == VmStop::Syscall)) {
+        Proc.rotateThread();
+        Vm.noteContextSwitch();
+      }
+      if (Stop == VmStop::Budget)
+        break;
+    }
+    Listener.attach(nullptr);
+    if (Proc.Status == ProcStatus::Exited && !Ledger.inDebt()) {
+      finishReport();
+      return {Ledger.used(), TaskStatus::Exited};
+    }
+    return {Ledger.used(), TaskStatus::Runnable};
+  }
+
+private:
+  static PinVmConfig withInstCost(PinVmConfig Config, Ticks InstCost) {
+    Config.InstCost = InstCost;
+    return Config;
+  }
+
+  Process Proc;
+  const CostModel &Model;
+  Ticks InstCost;
+  Scheduler &Sched;
+  RunReport &Report;
+  ChargingListener Listener;
+  SpServices SerialServices;
+  CodeCache Cache;
+  std::unique_ptr<Tool> ToolInstance;
+  PinVm Vm;
+  TickLedger Ledger;
+
+  void finishReport() {
+    Report.Insts = Vm.retired();
+    Report.ExitCode = Proc.ExitCode;
+    Report.AnalysisCalls = Vm.analysisCalls();
+    Report.TracesCompiled = Vm.tracesCompiled();
+    Report.CompileTicks = Vm.compileTicks();
+    RawStringOstream OS(Report.FiniOutput);
+    ToolInstance->onFini(OS);
+  }
+};
+
+} // namespace
+
+RunReport spin::pin::runNative(const Program &Prog, const CostModel &Model,
+                               Ticks InstCost) {
+  RunReport Report;
+  Scheduler Sched(Model, 1, 1);
+  Sched.addTask(
+      std::make_unique<NativeTask>(Prog, Model, InstCost, Sched, Report));
+  Sched.runToCompletion();
+  Report.WallTicks = Sched.now();
+  Report.CpuTicks = Sched.cpuTime(0);
+  return Report;
+}
+
+RunReport spin::pin::runSerialPin(const Program &Prog, const CostModel &Model,
+                                  Ticks InstCost, const ToolFactory &Factory,
+                                  PinVmConfig Config) {
+  RunReport Report;
+  Scheduler Sched(Model, 1, 1);
+  Sched.addTask(std::make_unique<SerialPinTask>(Prog, Model, InstCost,
+                                                Factory, Config, Sched,
+                                                Report));
+  Sched.runToCompletion();
+  Report.WallTicks = Sched.now();
+  Report.CpuTicks = Sched.cpuTime(0);
+  return Report;
+}

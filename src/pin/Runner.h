@@ -1,0 +1,58 @@
+//===- pin/Runner.h - Native and serial-Pin timed runs ----------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timed whole-program runs on the discrete-time machine: uninstrumented
+/// ("native") and classic serial Pin. These are the two baselines every
+/// figure in the paper compares SuperPin against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_PIN_RUNNER_H
+#define SUPERPIN_PIN_RUNNER_H
+
+#include "os/CostModel.h"
+#include "pin/PinVm.h"
+#include "pin/Tool.h"
+
+#include <string>
+
+namespace spin::vm {
+class Program;
+}
+
+namespace spin::pin {
+
+/// Result of a timed single-process run.
+struct RunReport {
+  os::Ticks WallTicks = 0;  ///< virtual wall-clock duration
+  os::Ticks CpuTicks = 0;   ///< work consumed
+  uint64_t Insts = 0;       ///< retired guest instructions
+  uint64_t Syscalls = 0;
+  int ExitCode = 0;
+  std::string Output;       ///< guest program output
+  std::string FiniOutput;   ///< tool onFini output (empty for native)
+  // Engine statistics (serial Pin only).
+  uint64_t AnalysisCalls = 0;
+  uint64_t TracesCompiled = 0;
+  os::Ticks CompileTicks = 0;
+};
+
+/// Runs \p Prog uninstrumented on one CPU of the simulated machine.
+/// \p InstCost is the per-instruction cost in ticks (workload CPI ×
+/// Model.TicksPerInst).
+RunReport runNative(const vm::Program &Prog, const os::CostModel &Model,
+                    os::Ticks InstCost);
+
+/// Runs \p Prog under classic serial Pin with the tool \p Factory builds.
+RunReport runSerialPin(const vm::Program &Prog, const os::CostModel &Model,
+                       os::Ticks InstCost, const ToolFactory &Factory,
+                       PinVmConfig Config = PinVmConfig());
+
+} // namespace spin::pin
+
+#endif // SUPERPIN_PIN_RUNNER_H

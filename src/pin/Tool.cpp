@@ -1,0 +1,14 @@
+//===- pin/Tool.cpp - Pintool interface anchors ---------------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pin/Tool.h"
+
+using namespace spin;
+using namespace spin::pin;
+
+SpServices::~SpServices() = default;
+Tool::~Tool() = default;

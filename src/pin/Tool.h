@@ -1,0 +1,120 @@
+//===- pin/Tool.h - Pintool interface and SuperPin services -----*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Pintool interface. A tool instruments traces at compile time and
+/// receives lifecycle callbacks; under SuperPin one tool instance exists per
+/// slice, with slice-local data merged through SpServices shared areas
+/// (paper Section 5's API: SP_Init / SP_CreateSharedArea /
+/// SP_AddSliceBegin/EndFunction / SP_EndSlice map onto this interface; a
+/// literal free-function facade is provided in superpin/SpApi.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_PIN_TOOL_H
+#define SUPERPIN_PIN_TOOL_H
+
+#include "pin/Trace.h"
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+namespace spin {
+class RawOstream;
+}
+
+namespace spin::pin {
+
+/// How a shared area combines slice-local contributions at slice end
+/// (the autoMerge argument of SP_CreateSharedArea).
+enum class AutoMerge : uint8_t {
+  None,  ///< manual: the tool merges in its onSliceEnd callback
+  Add64, ///< treat as uint64[] and sum slice-local values into the total
+  Max64, ///< element-wise maximum
+  Min64, ///< element-wise minimum
+};
+
+/// Runtime services a tool sees. The serial-Pin implementation (this base
+/// class) reports isSuperPin()==false and hands back local pointers, which
+/// is exactly how the paper's tools degrade to traditional Pin mode.
+class SpServices {
+public:
+  virtual ~SpServices();
+
+  /// True when running under SuperPin (the SP_Init return value).
+  virtual bool isSuperPin() const { return false; }
+
+  /// Current slice number; 0 in serial mode.
+  virtual uint32_t sliceNumber() const { return 0; }
+
+  /// SP_CreateSharedArea: returns a pointer the tool uses instead of its
+  /// local buffer. Serial mode returns \p LocalData unchanged. Under
+  /// SuperPin: for AutoMerge::None the true cross-slice shared buffer
+  /// (initialized from the first creator's \p LocalData); otherwise a
+  /// slice-local shadow that the runtime folds into the shared buffer at
+  /// merge time.
+  virtual void *createSharedArea(void *LocalData, size_t Size,
+                                 AutoMerge Mode) {
+    (void)Size;
+    (void)Mode;
+    return LocalData;
+  }
+
+  /// SP_EndSlice: asks the runtime to terminate the current slice at the
+  /// next instruction boundary. No-op in serial mode.
+  virtual void endSlice() {}
+};
+
+/// Base class for all Pintools.
+///
+/// Lifecycle under serial Pin: construct -> instrumentTrace (per trace) ->
+/// onFini. Under SuperPin, per slice: construct -> onSliceBegin ->
+/// instrumentTrace/execution -> onSliceEnd (merge point, called in slice
+/// order) -> destruct; onFini runs once on the last instance after all
+/// merges.
+class Tool {
+public:
+  explicit Tool(SpServices &Services) : Services(&Services) {}
+  virtual ~Tool();
+
+  virtual std::string_view name() const = 0;
+
+  /// Called when the JIT compiles a new trace; insert analysis calls here.
+  virtual void instrumentTrace(Trace &T) = 0;
+
+  /// Called when the instrumented process is about to perform a syscall.
+  virtual void onSyscall(uint64_t Number) { (void)Number; }
+
+  /// SP_AddSliceBeginFunction: reset slice-local statistics.
+  virtual void onSliceBegin(uint32_t SliceNum) { (void)SliceNum; }
+
+  /// SP_AddSliceEndFunction: merge slice-local data into shared totals.
+  /// Called in slice order, never concurrently.
+  virtual void onSliceEnd(uint32_t SliceNum) { (void)SliceNum; }
+
+  /// PIN_AddFiniFunction: final output after the program (and all slices)
+  /// completed.
+  virtual void onFini(RawOstream &OS) { (void)OS; }
+
+protected:
+  SpServices &services() const { return *Services; }
+
+private:
+  SpServices *Services;
+};
+
+/// Creates a fresh tool instance bound to \p Services. SuperPin invokes
+/// the factory once per slice (each slice has its own copy of the Pintool,
+/// as in the paper); serial Pin invokes it once.
+using ToolFactory =
+    std::function<std::unique_ptr<Tool>(SpServices &Services)>;
+
+} // namespace spin::pin
+
+#endif // SUPERPIN_PIN_TOOL_H

@@ -1,0 +1,79 @@
+//===- pin/Trace.cpp - Instrumentation view implementations ---------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pin/Trace.h"
+
+#include <cassert>
+
+using namespace spin;
+using namespace spin::pin;
+
+void Ins::insertCall(AnalysisFn Fn, std::vector<Arg> Args,
+                     os::Ticks UserCost) {
+  assert(Args.size() <= MaxAnalysisArgs && "too many analysis arguments");
+  CallSite Site;
+  Site.Fn = std::move(Fn);
+  Site.Args = std::move(Args);
+  Site.FnUserCost = UserCost;
+  step().Calls.push_back(std::move(Site));
+}
+
+void Ins::insertAfterCall(AnalysisFn Fn, std::vector<Arg> Args,
+                          os::Ticks UserCost) {
+  assert(Args.size() <= MaxAnalysisArgs && "too many analysis arguments");
+  assert(!inst().isSyscall() && "IPOINT_AFTER unsupported on syscalls");
+#ifndef NDEBUG
+  for (const Arg &A : Args)
+    assert(A.Kind != ArgKind::MemoryEa && A.Kind != ArgKind::MemorySize &&
+           A.Kind != ArgKind::BranchTaken &&
+           A.Kind != ArgKind::BranchTarget &&
+           "argument kind undefined at IPOINT_AFTER");
+#endif
+  CallSite Site;
+  Site.Fn = std::move(Fn);
+  Site.Args = std::move(Args);
+  Site.FnUserCost = UserCost;
+  Site.After = true;
+  step().Calls.push_back(std::move(Site));
+}
+
+void Ins::insertIfCall(PredicateFn If, std::vector<Arg> Args,
+                       os::Ticks UserCost) {
+  assert(Args.size() <= MaxAnalysisArgs && "too many analysis arguments");
+  assert((step().Calls.empty() || step().Calls.back().Fn) &&
+         "insertIfCall after an unpaired insertIfCall");
+  CallSite Site;
+  Site.If = std::move(If);
+  Site.IfArgs = std::move(Args);
+  Site.IfUserCost = UserCost;
+  step().Calls.push_back(std::move(Site));
+}
+
+void Ins::insertThenCall(AnalysisFn Fn, std::vector<Arg> Args,
+                         os::Ticks UserCost) {
+  assert(Args.size() <= MaxAnalysisArgs && "too many analysis arguments");
+  assert(!step().Calls.empty() && step().Calls.back().If &&
+         !step().Calls.back().Fn &&
+         "insertThenCall without a preceding insertIfCall");
+  CallSite &Site = step().Calls.back();
+  Site.Fn = std::move(Fn);
+  Site.Args = std::move(Args);
+  Site.FnUserCost = UserCost;
+}
+
+uint32_t Bbl::numIns() const {
+  uint32_t Begin = Owner->BblStart[BblIndex];
+  uint32_t End = BblIndex + 1 < Owner->NumBbls
+                     ? Owner->BblStart[BblIndex + 1]
+                     : static_cast<uint32_t>(Owner->Steps.size());
+  return End - Begin;
+}
+
+Ins Bbl::insAt(uint32_t I) const {
+  assert(I < numIns() && "instruction index out of range");
+  return Ins(*Owner, firstStep() + I);
+}

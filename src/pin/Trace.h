@@ -1,0 +1,158 @@
+//===- pin/Trace.h - Compiled traces and instrumentation views --*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniPin compilation unit: a trace of straight-line guest code
+/// (possibly spanning several basic blocks past not-taken conditional
+/// branches, like Pin traces), plus the Trace/Bbl/Ins views a Pintool uses
+/// to insert analysis calls during compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_PIN_TRACE_H
+#define SUPERPIN_PIN_TRACE_H
+
+#include "os/CostModel.h"
+#include "pin/Args.h"
+#include "vm/Instruction.h"
+
+#include <memory>
+#include <vector>
+
+namespace spin::pin {
+
+/// One analysis call site attached to an instruction (IPOINT_BEFORE).
+/// Either a plain call (If empty) or an If/Then pair: If is evaluated
+/// inline cheaply; Fn runs only when If returns nonzero (or always, for
+/// plain calls).
+struct CallSite {
+  PredicateFn If;          ///< empty for plain calls
+  AnalysisFn Fn;           ///< the analysis routine (Then for If/Then)
+  std::vector<Arg> Args;   ///< arguments for Fn
+  std::vector<Arg> IfArgs; ///< arguments for If
+  os::Ticks FnUserCost = 0; ///< modeled cost of the routine body
+  os::Ticks IfUserCost = 0; ///< modeled extra cost of the If body
+  /// IPOINT_AFTER: run after the instruction executes, with arguments
+  /// evaluated against post-execution state. Not allowed on syscalls.
+  bool After = false;
+};
+
+/// One guest instruction within a compiled trace.
+struct TraceStep {
+  const vm::Instruction *Inst = nullptr;
+  uint64_t Pc = 0;
+  uint32_t BblIndex = 0; ///< which basic block of the trace this is in
+  std::vector<CallSite> Calls;
+};
+
+/// A compiled, instrumented trace stored in the code cache.
+struct CompiledTrace {
+  uint64_t StartPc = 0;
+  std::vector<TraceStep> Steps;
+  uint32_t NumBbls = 0;
+  os::Ticks CompileCost = 0;
+
+  /// Index of the first step of basic block \p B.
+  std::vector<uint32_t> BblStart;
+};
+
+class Bbl;
+class Trace;
+
+/// Instrumentation-time view of one instruction (Pin's INS).
+class Ins {
+public:
+  Ins(CompiledTrace &Owner, uint32_t StepIndex)
+      : Owner(&Owner), StepIndex(StepIndex) {}
+
+  uint64_t address() const { return step().Pc; }
+  const vm::Instruction &inst() const { return *step().Inst; }
+
+  bool isMemoryRead() const { return inst().isMemRead(); }
+  bool isMemoryWrite() const { return inst().isMemWrite(); }
+  bool isBranch() const { return inst().isControlFlow(); }
+  bool isCall() const { return inst().isCall(); }
+  bool isRet() const { return inst().isRet(); }
+  bool isSyscall() const { return inst().isSyscall(); }
+  bool hasMemOperand() const { return inst().hasMemOperand(); }
+
+  /// Pin's INS_InsertCall at IPOINT_BEFORE: \p Fn runs with \p Args every
+  /// time this instruction executes. \p UserCost models the virtual-time
+  /// cost of the routine body (the call/spill overhead is added by the
+  /// cost model).
+  void insertCall(AnalysisFn Fn, std::vector<Arg> Args,
+                  os::Ticks UserCost = 100);
+
+  /// Pin's INS_InsertCall at IPOINT_AFTER: \p Fn runs after the
+  /// instruction executes; RegValue arguments observe post-execution
+  /// state (e.g. a load's destination). Memory/branch argument kinds are
+  /// meaningless here and asserted against, as are syscall instructions
+  /// (which the VM never executes itself).
+  void insertAfterCall(AnalysisFn Fn, std::vector<Arg> Args,
+                       os::Ticks UserCost = 100);
+
+  /// Pin's INS_InsertIfCall: \p If is inlined at this instruction; pair it
+  /// with insertThenCall. Asserts if called twice without a Then.
+  void insertIfCall(PredicateFn If, std::vector<Arg> Args,
+                    os::Ticks UserCost = 0);
+
+  /// Pin's INS_InsertThenCall: binds \p Fn to the preceding insertIfCall.
+  void insertThenCall(AnalysisFn Fn, std::vector<Arg> Args,
+                      os::Ticks UserCost = 100);
+
+private:
+  friend class Bbl;
+  friend class Trace;
+  CompiledTrace *Owner;
+  uint32_t StepIndex;
+
+  TraceStep &step() const { return Owner->Steps[StepIndex]; }
+};
+
+/// Instrumentation-time view of one basic block (Pin's BBL).
+class Bbl {
+public:
+  Bbl(CompiledTrace &Owner, uint32_t BblIndex)
+      : Owner(&Owner), BblIndex(BblIndex) {}
+
+  uint64_t address() const { return Owner->Steps[firstStep()].Pc; }
+  uint32_t numIns() const;
+
+  /// First instruction of the block (Pin's BBL_InsHead).
+  Ins insHead() const { return Ins(*Owner, firstStep()); }
+
+  /// The \p I-th instruction of the block.
+  Ins insAt(uint32_t I) const;
+
+private:
+  CompiledTrace *Owner;
+  uint32_t BblIndex;
+
+  uint32_t firstStep() const { return Owner->BblStart[BblIndex]; }
+};
+
+/// Instrumentation-time view of a whole trace (Pin's TRACE).
+class Trace {
+public:
+  explicit Trace(CompiledTrace &Owner) : Owner(&Owner) {}
+
+  uint64_t address() const { return Owner->StartPc; }
+  uint32_t numBbls() const { return Owner->NumBbls; }
+  uint32_t numIns() const {
+    return static_cast<uint32_t>(Owner->Steps.size());
+  }
+
+  Bbl bblAt(uint32_t B) const { return Bbl(*Owner, B); }
+  Ins insAt(uint32_t StepIndex) const { return Ins(*Owner, StepIndex); }
+
+private:
+  CompiledTrace *Owner;
+};
+
+} // namespace spin::pin
+
+#endif // SUPERPIN_PIN_TRACE_H

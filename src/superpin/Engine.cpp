@@ -1,0 +1,702 @@
+//===- superpin/Engine.cpp - The SuperPin runtime -------------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Structure: runSuperPin builds a Coordinator (shared run state), a
+// MasterTask, and — as the master executes — SliceTasks, all scheduled on
+// the discrete-time multiprocessor.
+//
+// The MasterTask folds the paper's control and timer processes into the
+// master's own step loop (their decisions happen at master syscall stops
+// and timeouts; their costs are charged to the master), which is
+// semantically equivalent to separate ptrace-attached processes and keeps
+// the simulation deterministic (see DESIGN.md §5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "superpin/Engine.h"
+
+#include "os/Kernel.h"
+#include "os/Process.h"
+#include "os/Scheduler.h"
+#include "pin/PinVm.h"
+#include "pin/Runner.h"
+#include "superpin/SharedAreas.h"
+#include "support/ErrorHandling.h"
+#include "support/RawOstream.h"
+#include "vm/Interpreter.h"
+
+#include <cassert>
+#include <cmath>
+#include <optional>
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::sp;
+using namespace spin::vm;
+
+namespace {
+
+/// Pages of the Section 4.1 memory bubble the master materializes at
+/// startup so master and slice address-space mappings stay identical.
+constexpr uint64_t BubblePages = 64;
+
+/// One syscall the master performed inside a slice's window: either a
+/// recorded-effects playback entry or a "re-execute it yourself" marker
+/// for duplicable calls.
+struct WindowSyscall {
+  bool IsPlayback;
+  SyscallEffects Effects; ///< Number always valid; full effects if playback
+};
+
+/// Everything a slice needs to replay its window and find its end.
+struct SliceWindow {
+  std::vector<WindowSyscall> Sys;
+  enum class End : uint8_t { Signature, SyscallBoundary, AppExit } EndKind;
+  SliceSignature Sig; ///< valid for End::Signature
+  uint64_t ExpectedInsts = 0;
+};
+
+class SliceTask;
+
+/// Shared mutable state of one SuperPin run.
+struct Coordinator {
+  Coordinator(Scheduler &Sched, const CostModel &Model, const SpOptions &Opts,
+              const Program &Prog, const ToolFactory &Factory,
+              SpRunReport &Report)
+      : Sched(Sched), Model(Model), Opts(Opts), Prog(Prog), Factory(Factory),
+        Report(Report),
+        InstCost(static_cast<Ticks>(
+            std::llround(Opts.Cpi * static_cast<double>(Model.TicksPerInst)))) {
+  }
+
+  Scheduler &Sched;
+  const CostModel &Model;
+  const SpOptions &Opts;
+  const Program &Prog;
+  const ToolFactory &Factory;
+  SpRunReport &Report;
+  Ticks InstCost;
+
+  SharedAreaRegistry Areas;
+  SharedJitRegistry SharedJit;
+
+  Scheduler::TaskId MasterId = 0;
+  std::vector<SliceTask *> Slices;
+  std::vector<Scheduler::TaskId> SliceIds;
+  uint32_t RunningSlices = 0;
+  uint32_t NextMerge = 0;
+  uint32_t MergedCount = 0;
+  uint64_t NextPid = 2;
+
+  bool allMerged() const { return MergedCount == Slices.size(); }
+
+  void sliceEnded() {
+    assert(RunningSlices > 0 && "slice end underflow");
+    --RunningSlices;
+    Sched.wake(MasterId); // Possibly stalled at -spmp.
+  }
+
+  void sliceMerged();
+};
+
+/// An instrumented timeslice (paper Section 3): a COW fork of the master
+/// executing under its own Pin VM and tool instance.
+class SliceTask final : public SimTask, vm::MemoryEventListener {
+public:
+  SliceTask(Coordinator &C, const Process &Master, uint32_t Num,
+            uint64_t StartIndex, bool ChargeSigRecord)
+      : C(C), Num(Num), Proc(Master.fork(C.NextPid++)),
+        Services(C.Areas, Num), ToolInst(C.Factory(Services)),
+        Vm(Proc, C.Model, ToolInst.get(),
+           PrivateCache, makeConfig(C, Num)),
+        Label("slice-" + std::to_string(Num)) {
+    Info.Num = Num;
+    Info.StartIndex = StartIndex;
+    Info.SpawnTime = C.Sched.now();
+    Proc.Mem.setListener(this);
+    // §4.1: the slice releases the memory bubble so its VM allocations
+    // land there, preserving identical app mappings with the master.
+    Proc.Mem.discardRange(AddressLayout::BubbleBase,
+                          BubblePages * vm::PageSize);
+    Services.setEndSliceHook([this] { Vm.requestStop(); });
+    ToolInst->onSliceBegin(Num);
+    if (ChargeSigRecord)
+      Ledger.charge(C.Model.SigRecordCost); // §4.4 recording mode
+  }
+
+  std::string_view name() const override { return Label; }
+
+  /// Called by the master when this slice's window closes; wakes the
+  /// task. Only from this point on does the slice count as "running" for
+  /// the -spmp stall limit (a slice sleeping for its window consumes no
+  /// CPU, matching the paper's "maximum number of running slices").
+  void completeWindow(SliceWindow W) {
+    assert(!Window && "window completed twice");
+    Window.emplace(std::move(W));
+    Info.ReadyTime = C.Sched.now();
+    ++C.RunningSlices;
+    C.Sched.wake(C.SliceIds[Num]);
+  }
+
+  TaskStep step(Ticks Budget) override {
+    Ledger.beginStep(Budget);
+    CurLedger = &Ledger;
+    TaskStatus St = stepImpl();
+    CurLedger = nullptr;
+    return {Ledger.used(), St};
+  }
+
+  void onCowCopy(uint64_t) override {
+    if (CurLedger)
+      CurLedger->charge(C.Model.CowCopyPageCost);
+    ++C.Report.SliceCowCopies;
+  }
+  void onPageAlloc(uint64_t) override {
+    if (CurLedger)
+      CurLedger->charge(C.Model.PageAllocCost);
+  }
+
+private:
+  enum class Phase : uint8_t { WaitWindow, Running, WaitMerge, Drain };
+
+  Coordinator &C;
+  uint32_t Num;
+  Process Proc;
+  SliceServices Services;
+  std::unique_ptr<Tool> ToolInst;
+  CodeCache PrivateCache;
+  PinVm Vm;
+  std::string Label;
+  TickLedger Ledger;
+  TickLedger *CurLedger = nullptr;
+  Phase Ph = Phase::WaitWindow;
+  std::optional<SliceWindow> Window;
+  size_t SysPos = 0;
+  SignatureStats SigSt;
+  SliceInfo Info;
+  bool EndReached = false;
+
+  static PinVmConfig makeConfig(Coordinator &C, uint32_t Num) {
+    PinVmConfig Cfg;
+    Cfg.InstCost = C.InstCost;
+    Cfg.SliceNum = Num;
+    if (C.Opts.SharedCodeCache)
+      Cfg.SharedJit = &C.SharedJit;
+    return Cfg;
+  }
+
+  TaskStatus stepImpl() {
+    if (Ledger.inDebt())
+      return TaskStatus::Runnable; // Paying off an expensive action.
+    while (true) {
+      switch (Ph) {
+      case Phase::WaitWindow:
+        if (!Window)
+          return TaskStatus::Blocked;
+        installDetection();
+        Ph = Phase::Running;
+        break;
+      case Phase::Running:
+        runSlice();
+        if (!EndReached)
+          return TaskStatus::Runnable; // Budget exhausted.
+        Info.EndTime = C.Sched.now();
+        C.sliceEnded();
+        Ph = Phase::WaitMerge;
+        break;
+      case Phase::WaitMerge:
+        if (C.NextMerge != Num)
+          return TaskStatus::Blocked;
+        doMerge();
+        Ph = Phase::Drain;
+        break;
+      case Phase::Drain:
+        return Ledger.inDebt() ? TaskStatus::Runnable : TaskStatus::Exited;
+      }
+    }
+  }
+
+  void installDetection() {
+    if (Window->EndKind != SliceWindow::End::Signature)
+      return;
+    Vm.armDetection(Window->Sig.Pc, [this](TickLedger &L) {
+      // Detection is meaningless while recorded syscalls are pending: the
+      // boundary state includes their effects. The check instrumentation
+      // still executes (and is charged) as in the paper.
+      if (SysPos != Window->Sys.size()) {
+        if (C.Opts.QuickCheck) {
+          L.charge(C.Model.InlinedCheckCost);
+          ++SigSt.QuickChecks;
+        } else {
+          L.charge(C.Model.SigFullCheckCost);
+          ++SigSt.FullChecks;
+        }
+        return false;
+      }
+      return checkSignature(Window->Sig, Proc, C.Model, C.Opts.QuickCheck,
+                            Vm.runCapRemaining(), L, SigSt);
+    });
+  }
+
+  void runSlice() {
+    while (Ledger.hasBudget() && !EndReached) {
+      // A zero cap drains the current basic block before InstCap.
+      Vm.setRunCap(Proc.quantumExpired() ? 0 : Proc.quantumLeft());
+      uint64_t Before = Vm.retired();
+      VmStop Stop = Vm.run(Ledger);
+      Proc.noteRetired(Vm.retired() - Before);
+      switch (Stop) {
+      case VmStop::Budget:
+        return;
+      case VmStop::InstCap:
+        break; // Quantum boundary at a block end; rotate below.
+      case VmStop::Detected:
+        endSlice(SliceEndKind::Signature);
+        break;
+      case VmStop::ToolStop:
+        endSlice(SliceEndKind::ToolStop);
+        break;
+      case VmStop::Syscall:
+        handleSyscall();
+        break;
+      case VmStop::BadPc:
+        reportFatalError("slice " + std::to_string(Num) +
+                         ": control left the text segment (divergence)");
+      }
+      if (Proc.quantumExpired() && !EndReached &&
+          (Stop == VmStop::InstCap || Stop == VmStop::Syscall)) {
+        Proc.rotateThread();
+        Vm.noteContextSwitch();
+      }
+    }
+  }
+
+  void handleSyscall() {
+    uint64_t Number = pendingSyscallNumber(Proc);
+    ToolInst->onSyscall(Number);
+    if (SysPos < Window->Sys.size()) {
+      WindowSyscall &WS = Window->Sys[SysPos++];
+      if (WS.Effects.Number != Number)
+        reportFatalError("slice " + std::to_string(Num) +
+                         ": syscall sequence diverged from master");
+      if (WS.IsPlayback) {
+        playbackSyscall(Proc, WS.Effects);
+        Ledger.charge(C.InstCost + C.Model.SyscallPlaybackCost);
+        ++Info.PlayedBackSyscalls;
+        ++C.Report.PlaybackSyscalls;
+      } else {
+        // Duplicable: re-execute against this slice's forked kernel state
+        // with output suppressed.
+        SystemContext Ctx;
+        Ctx.NowMs = C.Sched.nowMs();
+        Ctx.SuppressOutput = true;
+        serviceSyscall(Proc, Ctx, nullptr);
+        Ledger.charge(C.InstCost + C.Model.SyscallCost);
+        ++Info.DuplicatedSyscalls;
+        ++C.Report.DuplicatedSyscalls;
+      }
+      Vm.noteSyscallRetired();
+      Proc.noteRetired(1);
+      if (Proc.Status == ProcStatus::Exited)
+        endSlice(SliceEndKind::AppExit);
+      return;
+    }
+    // Past the recorded list: this must be the window's boundary syscall.
+    // It is counted here (its IPOINT_BEFORE analysis already ran) but
+    // executed only by the master; the successor starts after it.
+    if (Window->EndKind == SliceWindow::End::SyscallBoundary) {
+      Vm.noteSyscallRetired();
+      endSlice(SliceEndKind::SyscallBoundary);
+      return;
+    }
+    reportFatalError(
+        "slice " + std::to_string(Num) +
+        ": overran its window into an unrecorded syscall (missed "
+        "signature?) retired=" + std::to_string(Vm.retired()) +
+        " expected=" + std::to_string(Window->ExpectedInsts) +
+        " sigpc=" + std::to_string(Window->Sig.Pc) +
+        " sigquantum=" + std::to_string(Window->Sig.QuantumLeft) +
+        " sigthread=" + std::to_string(Window->Sig.CurThread) +
+        " curthread=" + std::to_string(Proc.currentThread()) +
+        " syscallnum=" + std::to_string(pendingSyscallNumber(Proc)));
+  }
+
+  void endSlice(SliceEndKind Kind) {
+    Info.EndKind = Kind;
+    EndReached = true;
+    Vm.disarmDetection();
+  }
+
+  void doMerge() {
+    // §4.5: merges run in slice order; the coordinator guarantees it.
+    Ledger.charge(C.Model.MergeBaseCost +
+                  C.Areas.totalBytes() * C.Model.MergePerByteCost);
+    ToolInst->onSliceEnd(Num);
+    Services.mergeShadows();
+    Info.MergeTime = C.Sched.now();
+    Info.RetiredInsts = Vm.retired();
+    Info.ExpectedInsts = Window->ExpectedInsts;
+    C.Report.SliceInsts += Vm.retired();
+    C.Report.Signature.mergeFrom(SigSt);
+    C.Report.TracesCompiled += Vm.tracesCompiled();
+    C.Report.CompileTicks += Vm.compileTicks();
+    C.Report.Slices.push_back(Info);
+    C.sliceMerged();
+  }
+};
+
+void Coordinator::sliceMerged() {
+  ++MergedCount;
+  ++NextMerge;
+  if (NextMerge < SliceIds.size())
+    Sched.wake(SliceIds[NextMerge]);
+  Sched.wake(MasterId); // Possibly waiting for all merges before Fini.
+}
+
+/// The master application plus the folded-in control and timer processes.
+class MasterTask final : public SimTask, vm::MemoryEventListener {
+public:
+  MasterTask(Coordinator &C)
+      : C(C), Proc(Process::create(C.Prog)),
+        Interp(C.Prog, Proc.Cpu, Proc.Mem) {
+    Proc.Mem.setListener(this);
+  }
+
+  std::string_view name() const override { return "master"; }
+
+  TaskStep step(Ticks Budget) override {
+    Ledger.beginStep(Budget);
+    CurLedger = &Ledger;
+    TaskStatus St = stepImpl();
+    CurLedger = nullptr;
+    return {Ledger.used(), St};
+  }
+
+  void onCowCopy(uint64_t) override {
+    if (CurLedger)
+      CurLedger->charge(C.Model.CowCopyPageCost);
+    ++C.Report.MasterCowCopies;
+  }
+  void onPageAlloc(uint64_t) override {
+    if (CurLedger)
+      CurLedger->charge(C.Model.PageAllocCost);
+  }
+
+private:
+  enum class Phase : uint8_t {
+    Startup,
+    Running,
+    Stalled,
+    WaitMerges,
+    Done,
+  };
+  enum class SpawnKind : uint8_t { None, Timeout, Boundary };
+
+  Coordinator &C;
+  Process Proc;
+  Interpreter Interp;
+  TickLedger Ledger;
+  TickLedger *CurLedger = nullptr;
+  Phase Ph = Phase::Startup;
+
+  Ticks Deadline = 0;
+  uint64_t WindowStart = 0;
+  std::vector<WindowSyscall> WindowSys;
+  uint64_t RecordedInWindow = 0;
+  SpawnKind Pending = SpawnKind::None;
+  Ticks StallStart = 0;
+
+  TaskStatus stepImpl() {
+    if (Ledger.inDebt())
+      return TaskStatus::Runnable;
+    while (true) {
+      switch (Ph) {
+      case Phase::Startup:
+        allocateBubble();
+        spawnSlice(/*ChargeSigRecord=*/false);
+        Deadline = C.Sched.now() + effectiveSliceTicks();
+        Ph = Phase::Running;
+        break;
+      case Phase::Running: {
+        if (Pending != SpawnKind::None) {
+          if (C.RunningSlices >= C.Opts.MaxSlices) {
+            Ph = Phase::Stalled;
+            StallStart = C.Sched.now();
+            return TaskStatus::Blocked;
+          }
+          doPendingSpawn();
+        }
+        if (C.Sched.now() >= Deadline) {
+          if (Interp.instructionsRetired() > WindowStart) {
+            Pending = SpawnKind::Timeout;
+            continue; // Re-enter to apply the stall check.
+          }
+          // Empty window (master made no progress): just re-arm the timer.
+          Deadline = C.Sched.now() + effectiveSliceTicks();
+        }
+        if (!Ledger.hasBudget())
+          return TaskStatus::Runnable;
+        runChunk();
+        break;
+      }
+      case Phase::Stalled:
+        // Woken: a slice finished (or merged). Account the sleep.
+        C.Report.SleepTicks += C.Sched.now() - StallStart;
+        Ph = Phase::Running;
+        break;
+      case Phase::WaitMerges:
+        if (!C.allMerged())
+          return TaskStatus::Blocked;
+        runFini();
+        Ph = Phase::Done;
+        return TaskStatus::Exited;
+      case Phase::Done:
+        return TaskStatus::Exited;
+      }
+    }
+  }
+
+  Ticks effectiveSliceTicks() const {
+    uint64_t Ms = C.Opts.SliceMs;
+    if (C.Opts.AdaptiveSlices && C.Opts.AppDurationHintMs > 0) {
+      // §8 future work: shrink slices near the expected end so the final
+      // pipeline drain is short.
+      uint64_t Elapsed = C.Model.ticksToMs(C.Sched.now());
+      uint64_t Remain = C.Opts.AppDurationHintMs > Elapsed
+                            ? C.Opts.AppDurationHintMs - Elapsed
+                            : 0;
+      uint64_t Target = Remain / (C.Opts.MaxSlices ? C.Opts.MaxSlices : 1);
+      if (Target < C.Opts.MinSliceMs)
+        Target = C.Opts.MinSliceMs;
+      if (Target < Ms)
+        Ms = Target;
+    }
+    return C.Model.msTicks(Ms);
+  }
+
+  void allocateBubble() {
+    // §4.1: materialize the bubble pages so they are part of every fork's
+    // page table and the slices can release them.
+    for (uint64_t P = 0; P != BubblePages; ++P)
+      Proc.Mem.write64(AddressLayout::BubbleBase + P * vm::PageSize, 0);
+  }
+
+  void runChunk() {
+    uint64_t MaxInsts = Ledger.remaining() / C.InstCost;
+    if (MaxInsts == 0)
+      MaxInsts = 1;
+    RunResult R;
+    if (Proc.quantumExpired()) {
+      R = Interp.runToBlockEnd(MaxInsts);
+    } else {
+      if (MaxInsts > Proc.quantumLeft())
+        MaxInsts = Proc.quantumLeft(); // guest-thread quantum
+      R = Interp.run(MaxInsts);
+    }
+    Proc.noteRetired(R.InstsExecuted);
+    Ledger.charge(R.InstsExecuted * C.InstCost);
+    C.Report.NativeTicks += R.InstsExecuted * C.InstCost;
+    switch (R.Reason) {
+    case StopReason::Syscall:
+      handleSyscall();
+      break;
+    case StopReason::Halt:
+    case StopReason::BadPc:
+      reportFatalError("master: guest fault in '" + C.Prog.Name + "'");
+    case StopReason::Budget:
+    case StopReason::BlockEnd:
+      break;
+    }
+    if (Proc.quantumExpired() && (R.Reason == StopReason::BlockEnd ||
+                                  R.Reason == StopReason::Syscall ||
+                                  R.EndedAtBlockBoundary))
+      Proc.rotateThread();
+  }
+
+  void handleSyscall() {
+    uint64_t Number = pendingSyscallNumber(Proc);
+    SyscallClass Cls = classifySyscall(Number);
+    // The syscall instruction + kernel service are native work; the
+    // ptrace stop is control overhead (lands in the fork&others residual).
+    Ledger.charge(C.InstCost + C.Model.SyscallCost);
+    C.Report.NativeTicks += C.InstCost + C.Model.SyscallCost;
+    Ledger.charge(C.Model.PtraceStopCost);
+    ++C.Report.MasterSyscalls;
+
+    SystemContext Ctx;
+    Ctx.NowMs = C.Sched.nowMs();
+    Ctx.OutputBuf = &C.Report.Output;
+
+    switch (Cls) {
+    case SyscallClass::Duplicable: {
+      serviceSyscall(Proc, Ctx, nullptr);
+      Interp.noteSyscallRetired();
+      Proc.noteRetired(1);
+      WindowSyscall WS;
+      WS.IsPlayback = false;
+      WS.Effects.Number = Number;
+      WindowSys.push_back(std::move(WS));
+      break;
+    }
+    case SyscallClass::Replayable: {
+      bool CanRecord = C.Opts.MaxSysRecs > 0 &&
+                       RecordedInWindow < C.Opts.MaxSysRecs;
+      SyscallEffects Eff;
+      serviceSyscall(Proc, Ctx, CanRecord ? &Eff : nullptr);
+      Interp.noteSyscallRetired();
+      Proc.noteRetired(1);
+      if (CanRecord) {
+        Ledger.charge(C.Model.SyscallRecordCost);
+        WindowSyscall WS;
+        WS.IsPlayback = true;
+        WS.Effects = std::move(Eff);
+        WindowSys.push_back(std::move(WS));
+        ++RecordedInWindow;
+        ++C.Report.RecordedSyscalls;
+      } else {
+        // §4.2: recording disabled or over -spsysrecs: force a new slice.
+        ++C.Report.ForcedSliceSyscalls;
+        Pending = SpawnKind::Boundary;
+      }
+      break;
+    }
+    case SyscallClass::ForceSlice: {
+      serviceSyscall(Proc, Ctx, nullptr);
+      Interp.noteSyscallRetired();
+      Proc.noteRetired(1);
+      ++C.Report.ForcedSliceSyscalls;
+      Pending = SpawnKind::Boundary;
+      break;
+    }
+    case SyscallClass::Exit: {
+      SyscallEffects Eff;
+      serviceSyscall(Proc, Ctx, &Eff);
+      Interp.noteSyscallRetired();
+      Proc.noteRetired(1);
+      WindowSyscall WS;
+      WS.IsPlayback = true;
+      WS.Effects = std::move(Eff);
+      WindowSys.push_back(std::move(WS));
+      ++C.Report.RecordedSyscalls;
+      finishWindow(SliceWindow::End::AppExit, SliceSignature());
+      C.Report.MasterInsts = Interp.instructionsRetired();
+      C.Report.MasterExitTicks = C.Sched.now();
+      C.Report.ExitCode = Proc.ExitCode;
+      Ph = Phase::WaitMerges;
+      break;
+    }
+    }
+  }
+
+  void doPendingSpawn() {
+    SpawnKind Kind = Pending;
+    Pending = SpawnKind::None;
+    if (Kind == SpawnKind::Timeout) {
+      SliceSignature Sig =
+          recordSignature(Proc, C.Opts.MemSignature);
+      finishWindow(SliceWindow::End::Signature, std::move(Sig));
+      spawnSlice(/*ChargeSigRecord=*/true);
+      ++C.Report.TimeoutSlices;
+    } else {
+      finishWindow(SliceWindow::End::SyscallBoundary, SliceSignature());
+      spawnSlice(/*ChargeSigRecord=*/false);
+      ++C.Report.SyscallSlices;
+    }
+    Deadline = C.Sched.now() + effectiveSliceTicks();
+  }
+
+  /// Closes the current window and hands it to the last spawned slice.
+  void finishWindow(SliceWindow::End EndKind, SliceSignature Sig) {
+    assert(!C.Slices.empty() && "no slice owns the open window");
+    SliceWindow W;
+    W.Sys = std::move(WindowSys);
+    W.EndKind = EndKind;
+    W.Sig = std::move(Sig);
+    W.ExpectedInsts = Interp.instructionsRetired() - WindowStart;
+    C.Slices.back()->completeWindow(std::move(W));
+    WindowStart = Interp.instructionsRetired();
+    WindowSys.clear();
+    RecordedInWindow = 0;
+  }
+
+  void spawnSlice(bool ChargeSigRecord) {
+    // §6.3 fork overhead: base cost plus the page-table copy.
+    Ledger.charge(C.Model.ForkBaseCost +
+                  Proc.Mem.numPages() * C.Model.ForkPerPageCost);
+    uint32_t Num = static_cast<uint32_t>(C.Slices.size());
+    auto Slice = std::make_unique<SliceTask>(
+        C, Proc, Num, Interp.instructionsRetired(), ChargeSigRecord);
+    C.Slices.push_back(Slice.get());
+    C.SliceIds.push_back(C.Sched.addTask(std::move(Slice)));
+    ++C.Report.NumSlices;
+  }
+
+  void runFini() {
+    SliceServices FiniServices(C.Areas, static_cast<uint32_t>(C.Slices.size()),
+                               /*FiniMode=*/true);
+    std::unique_ptr<Tool> FiniTool = C.Factory(FiniServices);
+    RawStringOstream OS(C.Report.FiniOutput);
+    FiniTool->onFini(OS);
+  }
+};
+
+} // namespace
+
+SpRunReport spin::sp::runSuperPin(const Program &Prog,
+                                  const ToolFactory &Factory,
+                                  const SpOptions &Opts,
+                                  const CostModel &Model) {
+  if (!Opts.Enabled) {
+    // -sp 0: degrade to traditional serial Pin (paper Section 5) and
+    // express the outcome in SpRunReport terms.
+    Ticks InstCost = static_cast<Ticks>(
+        std::llround(Opts.Cpi * static_cast<double>(Model.TicksPerInst)));
+    pin::RunReport Serial = pin::runSerialPin(Prog, Model, InstCost, Factory);
+    SpRunReport Report;
+    Report.WallTicks = Serial.WallTicks;
+    Report.MasterExitTicks = Serial.WallTicks;
+    Report.NativeTicks = Serial.WallTicks;
+    Report.MasterInsts = Serial.Insts;
+    Report.SliceInsts = Serial.Insts;
+    Report.MasterSyscalls = Serial.Syscalls;
+    Report.ExitCode = Serial.ExitCode;
+    Report.Output = std::move(Serial.Output);
+    Report.FiniOutput = std::move(Serial.FiniOutput);
+    Report.TracesCompiled = Serial.TracesCompiled;
+    Report.CompileTicks = Serial.CompileTicks;
+    Report.PeakParallelism = 1;
+    return Report;
+  }
+
+  SpRunReport Report;
+  Scheduler Sched(Model, Opts.PhysCpus, Opts.VirtCpus);
+  Coordinator C(Sched, Model, Opts, Prog, Factory, Report);
+  C.MasterId = Sched.addTask(std::make_unique<MasterTask>(C));
+  Sched.runToCompletion();
+
+  Report.WallTicks = Sched.now();
+  Report.PipelineTicks = Report.WallTicks - Report.MasterExitTicks;
+  Ticks Accounted = Report.NativeTicks + Report.SleepTicks;
+  Report.ForkOthersTicks = Report.MasterExitTicks > Accounted
+                               ? Report.MasterExitTicks - Accounted
+                               : 0;
+  Report.PeakParallelism = Sched.peakParallelism();
+
+  // Partition invariant: slice windows must tile the master's dynamic
+  // instruction stream exactly (SP_EndSlice gaps and §4.4 false positives
+  // legitimately break this; the report records it).
+  uint64_t Cursor = 0;
+  for (const SliceInfo &S : Report.Slices) {
+    if (S.StartIndex != Cursor || S.RetiredInsts != S.ExpectedInsts)
+      Report.PartitionOk = false;
+    Cursor = S.StartIndex + S.ExpectedInsts;
+  }
+  if (Cursor != Report.MasterInsts)
+    Report.PartitionOk = false;
+  return Report;
+}

@@ -1,0 +1,116 @@
+//===- superpin/Engine.h - The SuperPin runtime -----------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SuperPin engine: runs an uninstrumented master application at full
+/// speed while forking instrumented timeslices that execute in parallel on
+/// the simulated multiprocessor, then merges slice results in order
+/// (paper Sections 3-5). runSuperPin() is the main entry point of this
+/// library; RunNative/RunSerialPin in pin/Runner.h provide the baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPERPIN_ENGINE_H
+#define SUPERPIN_SUPERPIN_ENGINE_H
+
+#include "os/CostModel.h"
+#include "pin/Tool.h"
+#include "superpin/Signature.h"
+#include "superpin/SpOptions.h"
+
+#include <string>
+#include <vector>
+
+namespace spin::vm {
+class Program;
+}
+
+namespace spin::sp {
+
+/// Why a slice terminated.
+enum class SliceEndKind : uint8_t {
+  Signature,       ///< §4.4 signature detection at a timeout boundary
+  SyscallBoundary, ///< stopped at a force-slice syscall boundary
+  AppExit,         ///< final slice: played back the application's exit
+  ToolStop,        ///< the tool requested SP_EndSlice
+};
+
+/// Per-slice record for reports and invariant checking.
+struct SliceInfo {
+  uint32_t Num = 0;
+  /// Master dynamic-instruction index at which this slice starts.
+  uint64_t StartIndex = 0;
+  /// Instructions the master executed in this slice's window.
+  uint64_t ExpectedInsts = 0;
+  /// Instructions the slice actually retired under instrumentation.
+  uint64_t RetiredInsts = 0;
+  SliceEndKind EndKind = SliceEndKind::Signature;
+  os::Ticks SpawnTime = 0;
+  /// When the window closed (the successor recorded its signature) and
+  /// the slice stopped sleeping — Figure 1's "resume" moment.
+  os::Ticks ReadyTime = 0;
+  os::Ticks EndTime = 0;
+  os::Ticks MergeTime = 0;
+  uint64_t PlayedBackSyscalls = 0;
+  uint64_t DuplicatedSyscalls = 0;
+};
+
+/// Everything a SuperPin run produces. Time buckets follow Figure 6:
+/// WallTicks = NativeTicks + ForkOthersTicks + SleepTicks + PipelineTicks.
+struct SpRunReport {
+  // --- Time ---------------------------------------------------------
+  os::Ticks WallTicks = 0;       ///< run end (last merge + fini)
+  os::Ticks MasterExitTicks = 0; ///< when the master application exited
+  os::Ticks NativeTicks = 0;     ///< master productive execution
+  os::Ticks ForkOthersTicks = 0; ///< fork, COW, control, contention losses
+  os::Ticks SleepTicks = 0;      ///< master stalled at -spmp
+  os::Ticks PipelineTicks = 0;   ///< post-exit drain of remaining slices
+
+  // --- Master -------------------------------------------------------
+  uint64_t MasterInsts = 0;
+  uint64_t MasterSyscalls = 0;
+  int ExitCode = 0;
+  std::string Output;     ///< application output (master's, canonical)
+  std::string FiniOutput; ///< tool Fini output after all merges
+
+  // --- Slices ---------------------------------------------------------
+  uint64_t NumSlices = 0;
+  uint64_t TimeoutSlices = 0;
+  uint64_t SyscallSlices = 0;
+  uint64_t SliceInsts = 0; ///< total instrumented instructions retired
+  std::vector<SliceInfo> Slices;
+  /// True when slice windows exactly partition the master's instruction
+  /// stream (false indicates the §4.4 false positive, or a bug).
+  bool PartitionOk = true;
+
+  // --- Syscall handling (§4.2) -----------------------------------------
+  uint64_t RecordedSyscalls = 0;
+  uint64_t PlaybackSyscalls = 0;
+  uint64_t DuplicatedSyscalls = 0;
+  uint64_t ForcedSliceSyscalls = 0;
+
+  // --- Signature mechanism (§4.4) ---------------------------------------
+  SignatureStats Signature;
+
+  // --- Engine ---------------------------------------------------------
+  uint64_t MasterCowCopies = 0;
+  uint64_t SliceCowCopies = 0;
+  uint64_t TracesCompiled = 0;
+  os::Ticks CompileTicks = 0;
+  unsigned PeakParallelism = 0;
+};
+
+/// Runs \p Prog under SuperPin with the Pintool \p Factory builds (one
+/// instance per slice). Deterministic: identical inputs give a
+/// bit-identical report.
+SpRunReport runSuperPin(const vm::Program &Prog,
+                        const pin::ToolFactory &Factory, const SpOptions &Opts,
+                        const os::CostModel &Model);
+
+} // namespace spin::sp
+
+#endif // SUPERPIN_SUPERPIN_ENGINE_H

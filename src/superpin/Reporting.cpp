@@ -1,0 +1,120 @@
+//===- superpin/Reporting.cpp - Run-report rendering ----------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "superpin/Reporting.h"
+
+#include "support/RawOstream.h"
+#include "support/Statistic.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::sp;
+
+void spin::sp::printReport(const SpRunReport &Report, const CostModel &Model,
+                           RawOstream &OS) {
+  auto Sec = [&](Ticks T) { return formatFixed(Model.ticksToSeconds(T), 3); };
+  OS << "=== SuperPin run report ===\n";
+  OS << "wall time            " << Sec(Report.WallTicks) << "s\n";
+  OS << "  native             " << Sec(Report.NativeTicks) << "s\n";
+  OS << "  fork & others      " << Sec(Report.ForkOthersTicks) << "s\n";
+  OS << "  sleep (stalls)     " << Sec(Report.SleepTicks) << "s\n";
+  OS << "  pipeline drain     " << Sec(Report.PipelineTicks) << "s\n";
+  OS << "master: " << Report.MasterInsts << " instructions, "
+     << Report.MasterSyscalls << " syscalls, exit code " << Report.ExitCode
+     << "\n";
+  OS << "slices: " << Report.NumSlices << " total ("
+     << Report.TimeoutSlices << " timeout, " << Report.SyscallSlices
+     << " syscall-boundary), " << Report.SliceInsts
+     << " instrumented instructions, partition "
+     << (Report.PartitionOk ? "exact" : "BROKEN") << "\n";
+  OS << "syscalls: " << Report.RecordedSyscalls << " recorded, "
+     << Report.PlaybackSyscalls << " played back, "
+     << Report.DuplicatedSyscalls << " duplicated, "
+     << Report.ForcedSliceSyscalls << " forced slices\n";
+  OS << "signature: " << Report.Signature.QuickChecks << " quick / "
+     << Report.Signature.FullChecks << " full / "
+     << Report.Signature.StackChecks << " stack / "
+     << Report.Signature.Matches << " matches\n";
+  OS << "engine: " << Report.TracesCompiled << " traces compiled ("
+     << Sec(Report.CompileTicks) << "s), COW " << Report.MasterCowCopies
+     << " master / " << Report.SliceCowCopies << " slice, peak parallelism "
+     << Report.PeakParallelism << "\n";
+}
+
+void spin::sp::exportStatistics(const SpRunReport &Report,
+                                StatisticRegistry &Stats) {
+  Stats.counter("superpin.wall.ticks") = Report.WallTicks;
+  Stats.counter("superpin.wall.native") = Report.NativeTicks;
+  Stats.counter("superpin.wall.forkothers") = Report.ForkOthersTicks;
+  Stats.counter("superpin.wall.sleep") = Report.SleepTicks;
+  Stats.counter("superpin.wall.pipeline") = Report.PipelineTicks;
+  Stats.counter("superpin.master.insts") = Report.MasterInsts;
+  Stats.counter("superpin.master.syscalls") = Report.MasterSyscalls;
+  Stats.counter("superpin.slices.total") = Report.NumSlices;
+  Stats.counter("superpin.slices.timeout") = Report.TimeoutSlices;
+  Stats.counter("superpin.slices.syscall") = Report.SyscallSlices;
+  Stats.counter("superpin.slices.insts") = Report.SliceInsts;
+  Stats.counter("superpin.sys.recorded") = Report.RecordedSyscalls;
+  Stats.counter("superpin.sys.playback") = Report.PlaybackSyscalls;
+  Stats.counter("superpin.sys.duplicated") = Report.DuplicatedSyscalls;
+  Stats.counter("superpin.sys.forced") = Report.ForcedSliceSyscalls;
+  Stats.counter("superpin.sig.quick") = Report.Signature.QuickChecks;
+  Stats.counter("superpin.sig.full") = Report.Signature.FullChecks;
+  Stats.counter("superpin.sig.stack") = Report.Signature.StackChecks;
+  Stats.counter("superpin.sig.matches") = Report.Signature.Matches;
+  Stats.counter("superpin.jit.traces") = Report.TracesCompiled;
+  Stats.counter("superpin.jit.ticks") = Report.CompileTicks;
+  Stats.counter("superpin.cow.master") = Report.MasterCowCopies;
+  Stats.counter("superpin.cow.slices") = Report.SliceCowCopies;
+}
+
+void spin::sp::printTimeline(const SpRunReport &Report,
+                             const CostModel &Model, RawOstream &OS,
+                             unsigned Columns, unsigned MaxSlices) {
+  if (Report.WallTicks == 0 || Columns < 8)
+    return;
+  double TicksPerCol = double(Report.WallTicks) / double(Columns);
+  auto Col = [&](Ticks T) {
+    unsigned C = static_cast<unsigned>(double(T) / TicksPerCol);
+    return C < Columns ? C : Columns - 1;
+  };
+
+  OS << "timeline ('.' sleep, '#' run, '|' merge; full width = "
+     << formatFixed(Model.ticksToSeconds(Report.WallTicks), 2) << "s)\n";
+  // Master lane: runs from 0 to MasterExit.
+  std::string Lane(Columns, ' ');
+  for (unsigned C = 0; C <= Col(Report.MasterExitTicks); ++C)
+    Lane[C] = '#';
+  OS << "  master   ";
+  OS << Lane << '\n';
+
+  unsigned Shown = 0;
+  for (const SliceInfo &S : Report.Slices) {
+    if (Shown++ >= MaxSlices) {
+      OS << "  ... (" << (Report.Slices.size() - MaxSlices)
+         << " more slices)\n";
+      break;
+    }
+    std::string Row(Columns, ' ');
+    unsigned CSpawn = Col(S.SpawnTime);
+    unsigned CReady = Col(S.ReadyTime);
+    unsigned CEnd = Col(S.EndTime);
+    unsigned CMerge = Col(S.MergeTime);
+    for (unsigned C = CSpawn; C <= CReady; ++C)
+      Row[C] = '.';
+    for (unsigned C = CReady; C <= CEnd; ++C)
+      Row[C] = '#';
+    Row[CMerge] = '|';
+    OS << "  S" << (S.Num + 1);
+    OS.indent(S.Num + 1 < 10 ? 7 : (S.Num + 1 < 100 ? 6 : 5));
+    OS << Row << '\n';
+  }
+}

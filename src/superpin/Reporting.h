@@ -1,0 +1,47 @@
+//===- superpin/Reporting.h - Run-report rendering --------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable rendering of SpRunReport: a summary block, a statistics
+/// export, and an ASCII timeline in the spirit of the paper's Figure 1
+/// (master on one lane, each slice's sleep/run/drain phases on its own
+/// lane, time flowing left to right).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPERPIN_REPORTING_H
+#define SUPERPIN_SUPERPIN_REPORTING_H
+
+#include "superpin/Engine.h"
+
+namespace spin {
+class RawOstream;
+class StatisticRegistry;
+}
+
+namespace spin::sp {
+
+/// Prints the full run summary (time breakdown, slices, syscalls,
+/// signature statistics).
+void printReport(const SpRunReport &Report, const os::CostModel &Model,
+                 RawOstream &OS);
+
+/// Exports the report's scalar metrics into \p Stats (names are stable
+/// and dotted, e.g. "superpin.slices.timeout").
+void exportStatistics(const SpRunReport &Report, StatisticRegistry &Stats);
+
+/// Renders the Figure 1 timeline: one lane for the master and one per
+/// slice (capped at \p MaxSlices lanes), with '.' = sleeping (waiting for
+/// the successor's signature), '#' = executing instrumented code, '|' =
+/// merge. \p Columns sets the horizontal resolution.
+void printTimeline(const SpRunReport &Report, const os::CostModel &Model,
+                   RawOstream &OS, unsigned Columns = 72,
+                   unsigned MaxSlices = 24);
+
+} // namespace spin::sp
+
+#endif // SUPERPIN_SUPERPIN_REPORTING_H

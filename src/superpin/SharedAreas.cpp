@@ -1,0 +1,89 @@
+//===- superpin/SharedAreas.cpp - Cross-slice shared memory ---------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "superpin/SharedAreas.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace spin;
+using namespace spin::pin;
+using namespace spin::sp;
+
+void *SharedAreaRegistry::canonical(uint32_t Index, const void *InitData,
+                                    size_t Size, AutoMerge Mode) {
+  if (Index == Areas.size()) {
+    Area A;
+    A.Data.resize(Size);
+    std::memcpy(A.Data.data(), InitData, Size);
+    A.Mode = Mode;
+    TotalBytes += Size;
+    Areas.push_back(std::move(A));
+  }
+  if (Index >= Areas.size())
+    reportFatalError("shared areas created out of order across slices");
+  Area &A = Areas[Index];
+  if (A.Data.size() != Size || A.Mode != Mode)
+    reportFatalError("shared area shape mismatch across slices (tools must "
+                     "create identical areas in identical order)");
+  return A.Data.data();
+}
+
+void SharedAreaRegistry::fold(uint32_t Index, const void *Shadow) {
+  assert(Index < Areas.size() && "unknown shared area");
+  Area &A = Areas[Index];
+  assert(A.Mode != AutoMerge::None && "folding a manual-merge area");
+  assert(A.Data.size() % 8 == 0 && "auto-merge areas must be uint64[]");
+  size_t Words = A.Data.size() / 8;
+  uint64_t *Dst = reinterpret_cast<uint64_t *>(A.Data.data());
+  const uint64_t *Src = static_cast<const uint64_t *>(Shadow);
+  for (size_t I = 0; I != Words; ++I) {
+    switch (A.Mode) {
+    case AutoMerge::Add64:
+      Dst[I] += Src[I];
+      break;
+    case AutoMerge::Max64:
+      if (Src[I] > Dst[I])
+        Dst[I] = Src[I];
+      break;
+    case AutoMerge::Min64:
+      if (Src[I] < Dst[I])
+        Dst[I] = Src[I];
+      break;
+    case AutoMerge::None:
+      break;
+    }
+  }
+}
+
+void *SliceServices::createSharedArea(void *LocalData, size_t Size,
+                                      AutoMerge Mode) {
+  uint32_t Index = NextIndex++;
+  void *Canonical = Registry->canonical(Index, LocalData, Size, Mode);
+  if (Mode == AutoMerge::None || FiniMode)
+    return Canonical;
+  if (Size % 8 != 0)
+    reportFatalError("auto-merge shared areas must be multiples of 8 bytes");
+  // Private shadow initialized to the mode's identity element.
+  auto S = std::make_unique<Shadow>();
+  S->Index = Index;
+  uint64_t Identity = Mode == AutoMerge::Min64 ? ~uint64_t(0) : 0;
+  S->Data.resize(Size);
+  uint64_t *Words = reinterpret_cast<uint64_t *>(S->Data.data());
+  for (size_t I = 0; I != Size / 8; ++I)
+    Words[I] = Identity;
+  void *Ptr = S->Data.data();
+  Shadows.push_back(std::move(S));
+  return Ptr;
+}
+
+void SliceServices::mergeShadows() {
+  for (const std::unique_ptr<Shadow> &S : Shadows)
+    Registry->fold(S->Index, S->Data.data());
+}

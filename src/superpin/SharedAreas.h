@@ -1,0 +1,101 @@
+//===- superpin/SharedAreas.h - Cross-slice shared memory -------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SP_CreateSharedArea runtime (paper Section 5). Each slice's tool
+/// instance creates areas in the same order, so areas are identified by
+/// creation index. Manual-merge areas (AutoMerge::None) hand every slice
+/// the one true shared buffer — tools touch it only inside onSliceEnd,
+/// which the runtime serializes in slice order. Auto-merge areas hand each
+/// slice a private shadow initialized to the mode's identity; the runtime
+/// folds shadows into the shared buffer at merge time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPERPIN_SHAREDAREAS_H
+#define SUPERPIN_SUPERPIN_SHAREDAREAS_H
+
+#include "pin/Tool.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace spin::sp {
+
+/// Owns the canonical shared buffers, keyed by creation index.
+class SharedAreaRegistry {
+public:
+  /// Returns the canonical buffer for area \p Index, creating it from
+  /// \p InitData (the first creator's local data) if new. Asserts that
+  /// size and mode agree across creators.
+  void *canonical(uint32_t Index, const void *InitData, size_t Size,
+                  pin::AutoMerge Mode);
+
+  /// Folds a slice-local \p Shadow into area \p Index per its merge mode.
+  void fold(uint32_t Index, const void *Shadow);
+
+  /// Total bytes across all areas (merge cost model input).
+  uint64_t totalBytes() const { return TotalBytes; }
+
+  size_t numAreas() const { return Areas.size(); }
+
+private:
+  struct Area {
+    std::vector<uint8_t> Data;
+    pin::AutoMerge Mode = pin::AutoMerge::None;
+  };
+  std::vector<Area> Areas;
+  uint64_t TotalBytes = 0;
+};
+
+/// The SpServices implementation handed to each slice's tool instance.
+class SliceServices : public pin::SpServices {
+public:
+  /// \p FiniMode builds the services for the post-merge Fini tool
+  /// instance: createSharedArea then always returns the canonical buffer
+  /// (so onFini reads merged totals), never a shadow.
+  SliceServices(SharedAreaRegistry &Registry, uint32_t SliceNum,
+                bool FiniMode = false)
+      : Registry(&Registry), SliceNum(SliceNum), FiniMode(FiniMode) {}
+
+  bool isSuperPin() const override { return true; }
+  uint32_t sliceNumber() const override { return SliceNum; }
+
+  void *createSharedArea(void *LocalData, size_t Size,
+                         pin::AutoMerge Mode) override;
+
+  /// Binds the end-slice request sink (the slice task installs itself).
+  void setEndSliceHook(std::function<void()> Hook) {
+    EndSliceHook = std::move(Hook);
+  }
+  void endSlice() override {
+    if (EndSliceHook)
+      EndSliceHook();
+  }
+
+  /// Folds all auto-merge shadows into the registry. Called by the slice
+  /// task during its merge turn (slice order is enforced by the caller).
+  void mergeShadows();
+
+private:
+  struct Shadow {
+    uint32_t Index;
+    std::vector<uint8_t> Data;
+  };
+
+  SharedAreaRegistry *Registry;
+  uint32_t SliceNum;
+  bool FiniMode;
+  uint32_t NextIndex = 0;
+  std::vector<std::unique_ptr<Shadow>> Shadows;
+  std::function<void()> EndSliceHook;
+};
+
+} // namespace spin::sp
+
+#endif // SUPERPIN_SUPERPIN_SHAREDAREAS_H

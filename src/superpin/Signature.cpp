@@ -1,0 +1,201 @@
+//===- superpin/Signature.cpp - Slice-boundary signatures -----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "superpin/Signature.h"
+
+#include "os/Process.h"
+#include "vm/Exec.h"
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::sp;
+using namespace spin::vm;
+
+/// Scans forward from \p Pc for up to SigQuickScanInsts instructions (or
+/// the first unconditional control transfer) collecting destination
+/// registers; the first two distinct ones become the quick-check
+/// registers. Mirrors the paper's recorder, which gives up after "a
+/// specified block count" and uses defaults.
+static void chooseQuickRegs(const Program &Prog, uint64_t Pc,
+                            SliceSignature &Sig) {
+  // The registers most likely to differ between loop iterations are
+  // accumulators — destinations that also appear among their own sources
+  // (counters, induction variables, chained pointers). Plain destinations
+  // are a weaker fallback: a `movi rX, constant` ahead of the boundary
+  // would make rX compare equal on every iteration and defeat the quick
+  // check entirely.
+  uint8_t SelfUpdate[2];
+  unsigned NumSelf = 0;
+  uint8_t PlainDest[2];
+  unsigned NumPlain = 0;
+
+  auto AddTo = [](uint8_t (&Arr)[2], unsigned &Count, uint8_t Reg) {
+    if (Count >= 1 && Arr[0] == Reg)
+      return;
+    if (Count < 2)
+      Arr[Count++] = Reg;
+  };
+
+  uint64_t Cursor = Pc;
+  for (unsigned I = 0; I != SigQuickScanInsts && NumSelf < 2; ++I) {
+    const Instruction *Inst = Prog.fetch(Cursor);
+    if (!Inst)
+      break;
+    uint8_t Dest = 0xff;
+    bool Self = false;
+    switch (Inst->info().Format) {
+    case OpFormat::R2:
+      Dest = Inst->A;
+      break;
+    case OpFormat::R3:
+      Dest = Inst->A;
+      Self = Inst->A == Inst->B || Inst->A == Inst->C;
+      break;
+    case OpFormat::R2I:
+      Dest = Inst->A;
+      Self = Inst->A == Inst->B;
+      break;
+    case OpFormat::R1I:
+      Dest = Inst->A; // movi: never self-updating
+      break;
+    case OpFormat::Mem:
+      if (Inst->Op != Opcode::Incm) {
+        Dest = Inst->A; // loads write rd
+        Self = Inst->A == Inst->B; // pointer chase: r = [r]
+      }
+      break;
+    case OpFormat::R1:
+      if (Inst->Op == Opcode::Pop)
+        Dest = Inst->A;
+      break;
+    case OpFormat::None:
+    case OpFormat::MemStore:
+    case OpFormat::JumpI:
+    case OpFormat::Branch:
+      break;
+    }
+    if (Dest != 0xff) {
+      if (Self)
+        AddTo(SelfUpdate, NumSelf, Dest);
+      else
+        AddTo(PlainDest, NumPlain, Dest);
+    }
+    // Keep scanning around the loop through direct jumps.
+    if (Inst->Op == Opcode::Jmp) {
+      Cursor = static_cast<uint64_t>(Inst->Imm);
+      continue;
+    }
+    if (Inst->isUnconditional())
+      break;
+    Cursor += InstSize;
+  }
+
+  uint8_t Chosen[2];
+  unsigned NumChosen = 0;
+  for (unsigned I = 0; I != NumSelf && NumChosen < 2; ++I)
+    AddTo(Chosen, NumChosen, SelfUpdate[I]);
+  for (unsigned I = 0; I != NumPlain && NumChosen < 2; ++I)
+    AddTo(Chosen, NumChosen, PlainDest[I]);
+  if (NumChosen >= 1)
+    Sig.QuickReg0 = Chosen[0];
+  if (NumChosen >= 2)
+    Sig.QuickReg1 = Chosen[1];
+  Sig.QuickRegsChosen = NumChosen == 2;
+}
+
+/// Finds a memory word to sample for the -spmemsig extension: the first
+/// store/incm reachable within the scan window, with its effective address
+/// evaluated against the recorded register state.
+static void chooseMemSig(const Process &Proc, SliceSignature &Sig) {
+  const Program &Prog = Proc.program();
+  uint64_t Pc = Sig.Pc;
+  for (unsigned I = 0; I != SigQuickScanInsts; ++I) {
+    const Instruction *Inst = Prog.fetch(Pc);
+    if (!Inst)
+      return;
+    if (Inst->isMemWrite() && Inst->hasMemOperand()) {
+      uint32_t Size;
+      Sig.MemSigAddr = computeMemEA(*Inst, Proc.Cpu, Size);
+      Sig.MemSigValue = Proc.Mem.read64(Sig.MemSigAddr);
+      Sig.HasMemSig = true;
+      return;
+    }
+    // Follow direct jumps (the interesting store is often at the loop
+    // head, behind the backedge); give up at indirect control flow.
+    if (Inst->Op == Opcode::Jmp) {
+      Pc = static_cast<uint64_t>(Inst->Imm);
+      continue;
+    }
+    if (Inst->isControlFlow() && Inst->isUnconditional())
+      return;
+    Pc += InstSize;
+  }
+}
+
+SliceSignature spin::sp::recordSignature(const Process &Proc,
+                                         bool WantMemSig) {
+  SliceSignature Sig;
+  Sig.Pc = Proc.Cpu.Pc;
+  Sig.Regs = Proc.Cpu.Regs;
+  uint64_t Sp = Proc.Cpu.sp();
+  for (unsigned I = 0; I != SigStackWords; ++I)
+    Sig.Stack[I] = Proc.Mem.read64(Sp + I * 8);
+  chooseQuickRegs(Proc.program(), Sig.Pc, Sig);
+  if (WantMemSig)
+    chooseMemSig(Proc, Sig);
+  if (Proc.isMultiThreaded()) {
+    Sig.ThreadPcs = Proc.threadPcs();
+    Sig.CurThread = Proc.currentThread();
+    Sig.QuantumLeft = Proc.quantumLeft();
+  }
+  return Sig;
+}
+
+bool spin::sp::checkSignature(const SliceSignature &Sig, const Process &Proc,
+                              const CostModel &Model, bool UseQuickCheck,
+                              uint64_t EffectiveQuantumLeft,
+                              TickLedger &Ledger, SignatureStats &Stats) {
+  const vm::CpuState &S = Proc.Cpu;
+  if (UseQuickCheck) {
+    // The inlined INS_InsertIfCall: compare the two likely-changing
+    // registers. This is the cost paid on *every* pass over the armed pc.
+    Ledger.charge(Model.InlinedCheckCost);
+    ++Stats.QuickChecks;
+    if (S.Regs[Sig.QuickReg0] != Sig.Regs[Sig.QuickReg0] ||
+        S.Regs[Sig.QuickReg1] != Sig.Regs[Sig.QuickReg1])
+      return false;
+  }
+  // The INS_InsertThenCall full architectural comparison.
+  Ledger.charge(Model.SigFullCheckCost);
+  ++Stats.FullChecks;
+  if (S.Regs != Sig.Regs)
+    return false;
+  // Stack comparison.
+  Ledger.charge(Model.SigStackCheckCost);
+  ++Stats.StackChecks;
+  uint64_t Sp = S.sp();
+  for (unsigned I = 0; I != SigStackWords; ++I)
+    if (Proc.Mem.read64(Sp + I * 8) != Sig.Stack[I])
+      return false;
+  // Memory-signature extension.
+  if (Sig.HasMemSig) {
+    Ledger.charge(Model.SigMemCheckCost);
+    ++Stats.MemChecks;
+    if (Proc.Mem.read64(Sig.MemSigAddr) != Sig.MemSigValue)
+      return false;
+  }
+  // Guest-thread extension: the boundary state includes the scheduler
+  // position and every thread's pc.
+  if (!Sig.ThreadPcs.empty()) {
+    if (Proc.currentThread() != Sig.CurThread ||
+        EffectiveQuantumLeft != Sig.QuantumLeft ||
+        Proc.threadPcs() != Sig.ThreadPcs)
+      return false;
+  }
+  ++Stats.Matches;
+  return true;
+}

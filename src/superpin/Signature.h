@@ -1,0 +1,118 @@
+//===- superpin/Signature.h - Slice-boundary signatures ---------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 4.4 signature mechanism. A timeout slice ends at an
+/// arbitrary instruction; the boundary is identified by a signature of the
+/// machine state recorded when the successor slice is spawned:
+///
+///  * the program counter (detection is only attempted there),
+///  * the full architectural register file,
+///  * the top 100 words of the stack,
+///  * (extension, -spmemsig) one memory word written near the boundary,
+///    which repairs the documented false positive of a loop whose only
+///    changing state is in memory.
+///
+/// Detection layers costs exactly as the paper does: a quick inlined check
+/// of the two registers "most likely to change" (INS_InsertIfCall), then a
+/// full register comparison (INS_InsertThenCall), then the stack check.
+/// The recorder picks the quick registers by scanning the code around the
+/// boundary for register destinations within a bounded block count,
+/// falling back to default registers when no candidates emerge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPERPIN_SIGNATURE_H
+#define SUPERPIN_SUPERPIN_SIGNATURE_H
+
+#include "os/CostModel.h"
+#include "os/Scheduler.h"
+#include "vm/Program.h"
+
+#include <array>
+#include <cstdint>
+
+namespace spin::os {
+class Process;
+}
+
+namespace spin::sp {
+
+struct SpOptions;
+
+/// Words of stack state captured in a signature (paper: "top 100 words").
+constexpr unsigned SigStackWords = 100;
+
+/// Instructions the recorder scans for quick-register candidates
+/// ("a specified block count" in the paper).
+constexpr unsigned SigQuickScanInsts = 16;
+
+/// A recorded slice-boundary signature.
+struct SliceSignature {
+  uint64_t Pc = 0;
+  std::array<uint64_t, vm::NumRegs> Regs{};
+  std::array<uint64_t, SigStackWords> Stack{};
+  /// The two registers checked by the inlined quick check.
+  uint8_t QuickReg0 = 1;
+  uint8_t QuickReg1 = vm::RegSp;
+  /// True if the recorder found real candidates (else defaults were used).
+  bool QuickRegsChosen = false;
+  /// Memory-signature extension (-spmemsig).
+  bool HasMemSig = false;
+  uint64_t MemSigAddr = 0;
+  uint64_t MemSigValue = 0;
+
+  /// Guest-thread extension (§8): pcs of every thread slot, the current
+  /// thread, and the remaining scheduling quantum. For single-threaded
+  /// processes this degenerates to one pc that the Pc field already
+  /// carries.
+  std::vector<uint64_t> ThreadPcs;
+  uint32_t CurThread = 0;
+  uint64_t QuantumLeft = 0;
+};
+
+/// Detection statistics (the paper reports the quick check escalating to a
+/// full check only ~2% of the time, and stack checks usually running once).
+struct SignatureStats {
+  uint64_t QuickChecks = 0; ///< inlined two-register checks executed
+  uint64_t FullChecks = 0;  ///< full register comparisons triggered
+  uint64_t StackChecks = 0; ///< stack comparisons (after full check passed)
+  uint64_t MemChecks = 0;   ///< memory-signature comparisons
+  uint64_t Matches = 0;     ///< boundary detections
+
+  void mergeFrom(const SignatureStats &Other) {
+    QuickChecks += Other.QuickChecks;
+    FullChecks += Other.FullChecks;
+    StackChecks += Other.StackChecks;
+    MemChecks += Other.MemChecks;
+    Matches += Other.Matches;
+  }
+};
+
+/// Captures the signature of \p Proc's current state (used at successor
+/// spawn time). Scans code from Proc's pc for quick-register candidates
+/// and, when \p WantMemSig, for a nearby memory write to sample.
+SliceSignature recordSignature(const os::Process &Proc, bool WantMemSig);
+
+/// Runs the layered detection check of \p Sig against \p Proc's current
+/// state, charging modeled costs to \p Ledger and updating \p Stats.
+///
+/// \p UseQuickCheck false (ablation) skips the inlined check and always
+/// pays for the full comparison. \p EffectiveQuantumLeft is the *live*
+/// scheduling-quantum counter at the detection site (the executor's
+/// in-flight instruction cap; Process::quantumLeft() itself is only
+/// synchronized between run chunks). Ignored for single-threaded
+/// signatures.
+/// \returns true if every enabled layer matches (boundary reached).
+bool checkSignature(const SliceSignature &Sig, const os::Process &Proc,
+                    const os::CostModel &Model, bool UseQuickCheck,
+                    uint64_t EffectiveQuantumLeft, os::TickLedger &Ledger,
+                    SignatureStats &Stats);
+
+} // namespace spin::sp
+
+#endif // SUPERPIN_SUPERPIN_SIGNATURE_H

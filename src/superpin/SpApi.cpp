@@ -1,0 +1,101 @@
+//===- superpin/SpApi.cpp - Paper-style SuperPin tool API -----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "superpin/SpApi.h"
+
+#include <utility>
+#include <vector>
+
+using namespace spin;
+using namespace spin::pin;
+using namespace spin::sp;
+
+SpToolContext::~SpToolContext() = default;
+
+namespace {
+
+/// Tool implementation that dispatches to registered std::functions.
+class FunctionTool final : public Tool, public SpToolContext {
+public:
+  FunctionTool(SpServices &Services, std::string ToolName,
+               const SpToolMain &Main)
+      : Tool(Services), ToolName(std::move(ToolName)) {
+    Main(*this);
+  }
+
+  // --- Tool ----------------------------------------------------------
+  std::string_view name() const override { return ToolName; }
+
+  void instrumentTrace(Trace &T) override {
+    for (const auto &Fn : TraceFns)
+      Fn(T);
+  }
+
+  void onSliceBegin(uint32_t SliceNum) override {
+    if (ResetFn)
+      ResetFn(SliceNum);
+    for (const auto &Fn : SliceBeginFns)
+      Fn(SliceNum);
+  }
+
+  void onSliceEnd(uint32_t SliceNum) override {
+    for (const auto &Fn : SliceEndFns)
+      Fn(SliceNum);
+  }
+
+  void onFini(RawOstream &OS) override {
+    for (const auto &Fn : FiniFns)
+      Fn(OS);
+  }
+
+  // --- SpToolContext ---------------------------------------------------
+  bool SP_Init(std::function<void(uint32_t)> NewResetFn) override {
+    ResetFn = std::move(NewResetFn);
+    return services().isSuperPin();
+  }
+
+  void *SP_CreateSharedArea(void *LocalData, size_t Size,
+                            AutoMerge Mode) override {
+    return services().createSharedArea(LocalData, Size, Mode);
+  }
+
+  void SP_AddSliceBeginFunction(std::function<void(uint32_t)> Fn) override {
+    SliceBeginFns.push_back(std::move(Fn));
+  }
+
+  void SP_AddSliceEndFunction(std::function<void(uint32_t)> Fn) override {
+    SliceEndFns.push_back(std::move(Fn));
+  }
+
+  void SP_EndSlice() override { services().endSlice(); }
+
+  void
+  TRACE_AddInstrumentFunction(std::function<void(Trace &)> Fn) override {
+    TraceFns.push_back(std::move(Fn));
+  }
+
+  void PIN_AddFiniFunction(std::function<void(RawOstream &)> Fn) override {
+    FiniFns.push_back(std::move(Fn));
+  }
+
+private:
+  std::string ToolName;
+  std::function<void(uint32_t)> ResetFn;
+  std::vector<std::function<void(Trace &)>> TraceFns;
+  std::vector<std::function<void(uint32_t)>> SliceBeginFns;
+  std::vector<std::function<void(uint32_t)>> SliceEndFns;
+  std::vector<std::function<void(RawOstream &)>> FiniFns;
+};
+
+} // namespace
+
+ToolFactory spin::sp::makeFunctionTool(std::string Name, SpToolMain Main) {
+  return [Name = std::move(Name),
+          Main = std::move(Main)](SpServices &Services) {
+    return std::make_unique<FunctionTool>(Services, Name, Main);
+  };
+}

@@ -1,0 +1,85 @@
+//===- superpin/SpApi.h - Paper-style SuperPin tool API ---------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A function-registration facade mirroring the paper's Section 5 API and
+/// its Figure 2 icount example. A tool is a "main" function that registers
+/// callbacks on an SpToolContext:
+///
+/// \code
+///   ToolFactory F = makeFunctionTool("icount2", [](SpToolContext &Ctx) {
+///     auto St = std::make_shared<State>();           // tool globals
+///     Ctx.SP_Init([St](uint32_t) { St->Icount = 0; });    // ToolReset
+///     St->Shared = (uint64_t *)Ctx.SP_CreateSharedArea(
+///         &St->Icount, sizeof(uint64_t), AutoMerge::None);
+///     Ctx.SP_AddSliceEndFunction(
+///         [St](uint32_t) { *St->Shared += St->Icount; }); // Merge
+///     Ctx.TRACE_AddInstrumentFunction([St](Trace &T) { ... });
+///     Ctx.PIN_AddFiniFunction([St](RawOstream &OS) { ... });
+///   });
+/// \endcode
+///
+/// Exactly as in the paper, each SuperPin slice gets its own copy of the
+/// Pintool: the main function runs once per slice instance, so per-slice
+/// state lives in what it captures. SP_Init returns true under SuperPin
+/// and false under serial Pin, and SP_CreateSharedArea degrades to the
+/// local pointer serially.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPERPIN_SPAPI_H
+#define SUPERPIN_SUPERPIN_SPAPI_H
+
+#include "pin/Tool.h"
+
+#include <functional>
+#include <string>
+
+namespace spin::sp {
+
+/// Registration surface handed to a function-style tool's main.
+class SpToolContext {
+public:
+  virtual ~SpToolContext();
+
+  /// SP_Init: registers the slice-local reset function and reports whether
+  /// SuperPin is active.
+  virtual bool SP_Init(std::function<void(uint32_t)> ResetFn) = 0;
+
+  /// SP_CreateSharedArea (see pin::SpServices::createSharedArea).
+  virtual void *SP_CreateSharedArea(void *LocalData, size_t Size,
+                                    pin::AutoMerge Mode) = 0;
+
+  /// SP_AddSliceBeginFunction.
+  virtual void
+  SP_AddSliceBeginFunction(std::function<void(uint32_t)> Fn) = 0;
+
+  /// SP_AddSliceEndFunction (the manual merge hook; slice order).
+  virtual void SP_AddSliceEndFunction(std::function<void(uint32_t)> Fn) = 0;
+
+  /// SP_EndSlice: terminate the current slice at the next boundary. Safe
+  /// to call from analysis routines.
+  virtual void SP_EndSlice() = 0;
+
+  /// TRACE_AddInstrumentFunction.
+  virtual void
+  TRACE_AddInstrumentFunction(std::function<void(pin::Trace &)> Fn) = 0;
+
+  /// PIN_AddFiniFunction.
+  virtual void
+  PIN_AddFiniFunction(std::function<void(RawOstream &)> Fn) = 0;
+};
+
+using SpToolMain = std::function<void(SpToolContext &)>;
+
+/// Wraps a paper-style tool main into a ToolFactory usable with both
+/// runSerialPin and runSuperPin.
+pin::ToolFactory makeFunctionTool(std::string Name, SpToolMain Main);
+
+} // namespace spin::sp
+
+#endif // SUPERPIN_SUPERPIN_SPAPI_H

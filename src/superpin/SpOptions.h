@@ -1,0 +1,75 @@
+//===- superpin/SpOptions.h - SuperPin configuration knobs ------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SuperPin's configuration, mirroring the paper's command-line switches
+/// (Section 5) plus the extensions this reproduction implements:
+///
+///   -sp 1          -> Enabled
+///   -spmsec 1000   -> SliceMs
+///   -spmp 8        -> MaxSlices
+///   -spsysrecs 1000-> MaxSysRecs (0 disables record/playback)
+///
+/// Extensions (all default-off or paper-default):
+///   -spquickcheck  -> QuickCheck (ablation of the §4.4 two-register check)
+///   -spmemsig      -> MemSignature (§4.4 proposed false-positive fix)
+///   -spsharedcc    -> SharedCodeCache (§8 future work)
+///   -spadaptive    -> AdaptiveSlices + AppDurationHintMs (§8 future work)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPERPIN_SPOPTIONS_H
+#define SUPERPIN_SUPERPIN_SPOPTIONS_H
+
+#include <cstdint>
+
+namespace spin::sp {
+
+struct SpOptions {
+  /// -sp: run under SuperPin (false degrades to serial Pin behaviour).
+  bool Enabled = true;
+
+  /// -spmsec: timeslice interval in virtual milliseconds.
+  uint64_t SliceMs = 1000;
+
+  /// -spmp: maximum number of simultaneously running slices; the master
+  /// stalls when the limit is reached.
+  uint32_t MaxSlices = 8;
+
+  /// -spsysrecs: maximum recorded syscalls per slice; 0 disables
+  /// record/playback so every replayable syscall forces a new slice.
+  uint64_t MaxSysRecs = 1000;
+
+  /// Machine shape (the paper's host: 8 physical cores, 16 with HT).
+  unsigned PhysCpus = 8;
+  /// Schedulable contexts; > PhysCpus models hyperthreading.
+  unsigned VirtCpus = 8;
+
+  /// Workload CPI (cost of one guest instruction / baseline instruction).
+  /// Memory-bound workloads (mcf) run high; branchy integer codes low.
+  double Cpi = 1.0;
+
+  // --- Extensions -------------------------------------------------------
+  /// §4.4 quick two-register inlined check before the full state check.
+  bool QuickCheck = true;
+  /// §4.4 extension: include one memory word in the signature, fixing the
+  /// documented memory-only loop-counter false positive.
+  bool MemSignature = false;
+  /// §8 future work: share one code cache across all slices.
+  bool SharedCodeCache = false;
+  /// §8 future work: shrink timeslices near the end of execution.
+  bool AdaptiveSlices = false;
+  /// Expected application duration used by AdaptiveSlices (0 = unknown,
+  /// adaptivity disabled).
+  uint64_t AppDurationHintMs = 0;
+  /// Minimum adaptive timeslice in ms.
+  uint64_t MinSliceMs = 50;
+};
+
+} // namespace spin::sp
+
+#endif // SUPERPIN_SUPERPIN_SPOPTIONS_H

@@ -1,0 +1,158 @@
+//===- support/CommandLine.cpp - Pin-style option parsing -----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include "support/RawOstream.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace spin;
+
+OptionBase::~OptionBase() = default;
+
+template <typename T>
+Opt<T>::Opt(OptionRegistry &Registry, std::string_view Name, T Default,
+            std::string_view Help)
+    : OptionBase(Name, Help), Value(Default), Default(Default) {
+  Registry.registerOption(this);
+}
+
+template <typename T> bool Opt<T>::parseValue(std::string_view Text) {
+  if constexpr (std::is_same_v<T, bool>) {
+    if (Text == "1" || Text == "true") {
+      Value = true;
+    } else if (Text == "0" || Text == "false") {
+      Value = false;
+    } else {
+      return false;
+    }
+  } else if constexpr (std::is_same_v<T, uint64_t>) {
+    std::optional<uint64_t> Parsed = parseUint(Text);
+    if (!Parsed)
+      return false;
+    Value = *Parsed;
+  } else if constexpr (std::is_same_v<T, int64_t>) {
+    std::optional<int64_t> Parsed = parseInt(Text);
+    if (!Parsed)
+      return false;
+    Value = *Parsed;
+  } else if constexpr (std::is_same_v<T, double>) {
+    char *End = nullptr;
+    std::string Copy(Text);
+    double Parsed = std::strtod(Copy.c_str(), &End);
+    if (End != Copy.c_str() + Copy.size() || Copy.empty())
+      return false;
+    Value = Parsed;
+  } else {
+    Value = T(Text);
+  }
+  Occurred = true;
+  return true;
+}
+
+template <typename T> std::string Opt<T>::defaultString() const {
+  if constexpr (std::is_same_v<T, bool>)
+    return Default ? "1" : "0";
+  else if constexpr (std::is_same_v<T, uint64_t>)
+    return std::to_string(Default);
+  else if constexpr (std::is_same_v<T, int64_t>)
+    return std::to_string(Default);
+  else if constexpr (std::is_same_v<T, double>)
+    return formatFixed(Default, 3);
+  else
+    return Default;
+}
+
+template class spin::Opt<bool>;
+template class spin::Opt<uint64_t>;
+template class spin::Opt<int64_t>;
+template class spin::Opt<double>;
+template class spin::Opt<std::string>;
+
+void OptionRegistry::registerOption(OptionBase *Option) {
+  assert(!lookup(Option->name()) && "duplicate option name");
+  Options.push_back(Option);
+}
+
+OptionBase *OptionRegistry::lookup(std::string_view Name) const {
+  for (OptionBase *Option : Options)
+    if (Option->name() == Name)
+      return Option;
+  return nullptr;
+}
+
+bool OptionRegistry::parse(const std::vector<std::string> &Args,
+                           std::string &ErrorMsg) {
+  AppArgs.clear();
+  size_t I = 0;
+  while (I < Args.size()) {
+    const std::string &Token = Args[I];
+    if (Token == "--") {
+      AppArgs.assign(Args.begin() + static_cast<long>(I) + 1, Args.end());
+      return true;
+    }
+    if (Token.empty() || Token[0] != '-') {
+      ErrorMsg = "expected option, got '" + Token + "'";
+      return false;
+    }
+    std::string_view Name = std::string_view(Token).substr(1);
+    std::string_view Inline;
+    bool HasInline = false;
+    if (size_t Eq = Name.find('='); Eq != std::string_view::npos) {
+      Inline = Name.substr(Eq + 1);
+      Name = Name.substr(0, Eq);
+      HasInline = true;
+    }
+    OptionBase *Option = lookup(Name);
+    if (!Option) {
+      ErrorMsg = "unknown option '-" + std::string(Name) + "'";
+      return false;
+    }
+    std::string_view ValueText;
+    if (HasInline) {
+      ValueText = Inline;
+      ++I;
+    } else {
+      if (I + 1 >= Args.size()) {
+        ErrorMsg = "option '-" + std::string(Name) + "' requires a value";
+        return false;
+      }
+      ValueText = Args[I + 1];
+      I += 2;
+    }
+    if (!Option->parseValue(ValueText)) {
+      ErrorMsg = "invalid value '" + std::string(ValueText) +
+                 "' for option '-" + std::string(Name) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OptionRegistry::parse(int Argc, const char *const *Argv,
+                           std::string &ErrorMsg) {
+  std::vector<std::string> Args;
+  for (int I = 1; I < Argc; ++I)
+    Args.emplace_back(Argv[I]);
+  return parse(Args, ErrorMsg);
+}
+
+void OptionRegistry::printHelp(RawOstream &OS) const {
+  std::vector<OptionBase *> Sorted = Options;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const OptionBase *A, const OptionBase *B) {
+              return A->name() < B->name();
+            });
+  for (const OptionBase *Option : Sorted) {
+    OS << "  -";
+    OS.writePadded(Option->name(), 14);
+    OS << Option->help() << " (default: " << Option->defaultString() << ")\n";
+  }
+}

@@ -1,0 +1,118 @@
+//===- support/CommandLine.h - Pin-style option parsing ---------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Pin-style command-line option ("knob") facility. Pin invocations look
+/// like `pin -t tool -sp 1 -spmsec 1000 -- application args...`; options are
+/// single-dash name/value pairs and `--` separates the guest application's
+/// own arguments. Options are registered explicitly with an OptionRegistry
+/// (no static constructors, per the coding standards).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPPORT_COMMANDLINE_H
+#define SUPERPIN_SUPPORT_COMMANDLINE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spin {
+
+class RawOstream;
+class OptionRegistry;
+
+/// Base class for a registered option. Holds the name, help text, and the
+/// occurrence state; subclasses parse and store the typed value.
+class OptionBase {
+public:
+  OptionBase(std::string_view Name, std::string_view Help)
+      : Name(Name), Help(Help) {}
+  virtual ~OptionBase();
+
+  const std::string &name() const { return Name; }
+  const std::string &help() const { return Help; }
+  bool wasSet() const { return Occurred; }
+
+  /// Parses \p Text into the typed value. \returns false on syntax error.
+  virtual bool parseValue(std::string_view Text) = 0;
+
+  /// Renders the default value for help output.
+  virtual std::string defaultString() const = 0;
+
+protected:
+  friend class OptionRegistry;
+  std::string Name;
+  std::string Help;
+  bool Occurred = false;
+};
+
+/// Typed option. Supported types: bool, uint64_t, int64_t, double,
+/// std::string.
+template <typename T> class Opt : public OptionBase {
+public:
+  Opt(OptionRegistry &Registry, std::string_view Name, T Default,
+      std::string_view Help);
+
+  const T &value() const { return Value; }
+  operator const T &() const { return Value; }
+
+  /// Sets the value programmatically (used by tests and sweep harnesses).
+  void setValue(T NewValue) {
+    Value = NewValue;
+    Occurred = true;
+  }
+
+  bool parseValue(std::string_view Text) override;
+  std::string defaultString() const override;
+
+private:
+  T Value;
+  T Default;
+};
+
+/// Holds all options for one engine/tool invocation and parses argv.
+class OptionRegistry {
+public:
+  /// Registers \p Option; asserts on duplicate names.
+  void registerOption(OptionBase *Option);
+
+  /// Parses \p Args as `-name value` pairs until `--` or the end. Tokens
+  /// after `--` are collected as guest-application arguments.
+  ///
+  /// \returns true on success; on failure writes a diagnostic into
+  /// \p ErrorMsg and returns false.
+  bool parse(const std::vector<std::string> &Args, std::string &ErrorMsg);
+
+  /// Convenience overload for C-style argv (argv[0] is skipped).
+  bool parse(int Argc, const char *const *Argv, std::string &ErrorMsg);
+
+  /// Application arguments found after `--`.
+  const std::vector<std::string> &appArgs() const { return AppArgs; }
+
+  /// Looks up an option by name; returns nullptr if not registered.
+  OptionBase *lookup(std::string_view Name) const;
+
+  /// Prints a help table of all registered options.
+  void printHelp(RawOstream &OS) const;
+
+private:
+  std::vector<OptionBase *> Options;
+  std::vector<std::string> AppArgs;
+};
+
+extern template class Opt<bool>;
+extern template class Opt<uint64_t>;
+extern template class Opt<int64_t>;
+extern template class Opt<double>;
+extern template class Opt<std::string>;
+
+} // namespace spin
+
+#endif // SUPERPIN_SUPPORT_COMMANDLINE_H

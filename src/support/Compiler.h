@@ -1,0 +1,28 @@
+//===- support/Compiler.h - Compiler abstraction macros ---------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler-abstraction macros used throughout the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPPORT_COMPILER_H
+#define SUPERPIN_SUPPORT_COMPILER_H
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SP_LIKELY(X) __builtin_expect(!!(X), 1)
+#define SP_UNLIKELY(X) __builtin_expect(!!(X), 0)
+#define SP_NOINLINE __attribute__((noinline))
+#define SP_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define SP_LIKELY(X) (X)
+#define SP_UNLIKELY(X) (X)
+#define SP_NOINLINE
+#define SP_ALWAYS_INLINE inline
+#endif
+
+#endif // SUPERPIN_SUPPORT_COMPILER_H

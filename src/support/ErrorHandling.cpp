@@ -1,0 +1,25 @@
+//===- support/ErrorHandling.cpp - Fatal error reporting ------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace spin;
+
+void spin::reportFatalError(std::string_view Msg) {
+  std::fprintf(stderr, "superpin fatal error: %.*s\n",
+               static_cast<int>(Msg.size()), Msg.data());
+  std::abort();
+}
+
+void spin::spUnreachableInternal(const char *Msg, const char *File,
+                                 unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

@@ -1,0 +1,37 @@
+//===- support/ErrorHandling.h - Fatal error reporting ----------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and an llvm_unreachable-style marker. Following the
+/// LLVM convention the library never throws; programmatic errors abort with a
+/// diagnostic and recoverable errors are reported through return values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPPORT_ERRORHANDLING_H
+#define SUPERPIN_SUPPORT_ERRORHANDLING_H
+
+#include <string_view>
+
+namespace spin {
+
+/// Prints \p Msg to stderr and aborts. Used for unrecoverable invariant
+/// violations detected at runtime (kept in release builds, unlike assert).
+[[noreturn]] void reportFatalError(std::string_view Msg);
+
+/// Internal helper behind \c sp_unreachable.
+[[noreturn]] void spUnreachableInternal(const char *Msg, const char *File,
+                                        unsigned Line);
+
+} // namespace spin
+
+/// Marks a point in code that must never be reached. Prints the message,
+/// file, and line, then aborts.
+#define sp_unreachable(MSG)                                                    \
+  ::spin::spUnreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // SUPERPIN_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,150 @@
+//===- support/Json.cpp - Streaming JSON writer ---------------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/RawOstream.h"
+#include "support/StringExtras.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace spin;
+
+JsonWriter::~JsonWriter() {
+  assert(Stack.empty() && "JSON document left open");
+}
+
+void JsonWriter::beforeValue() {
+  if (Stack.empty()) {
+    assert(!WroteTopLevel && "second top-level JSON value");
+    WroteTopLevel = true;
+    return;
+  }
+  if (Stack.back() == Scope::Object) {
+    assert(PendingKey && "object value without a key");
+    PendingKey = false;
+    return;
+  }
+  if (!FirstInScope.back())
+    OS << ',';
+  FirstInScope.back() = false;
+}
+
+void JsonWriter::writeEscaped(std::string_view Str) {
+  OS << '"';
+  for (char C : Str) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  beforeValue();
+  OS << '{';
+  Stack.push_back(Scope::Object);
+  FirstInScope.push_back(true);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back() == Scope::Object &&
+         !PendingKey && "mismatched endObject");
+  OS << '}';
+  Stack.pop_back();
+  FirstInScope.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  beforeValue();
+  OS << '[';
+  Stack.push_back(Scope::Array);
+  FirstInScope.push_back(true);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!Stack.empty() && Stack.back() == Scope::Array &&
+         "mismatched endArray");
+  OS << ']';
+  Stack.pop_back();
+  FirstInScope.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view Name) {
+  assert(!Stack.empty() && Stack.back() == Scope::Object &&
+         "key outside an object");
+  assert(!PendingKey && "two keys in a row");
+  if (!FirstInScope.back())
+    OS << ',';
+  FirstInScope.back() = false;
+  writeEscaped(Name);
+  OS << ':';
+  PendingKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view Str) {
+  beforeValue();
+  writeEscaped(Str);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t N) {
+  beforeValue();
+  OS << N;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t N) {
+  beforeValue();
+  OS << N;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double D) {
+  beforeValue();
+  // JSON requires a leading digit and no inf/nan; clamp oddities to null.
+  if (D != D) {
+    OS << "null";
+    return *this;
+  }
+  OS << formatFixed(D, 6);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool B) {
+  beforeValue();
+  OS << (B ? "true" : "false");
+  return *this;
+}

@@ -1,0 +1,76 @@
+//===- support/Json.h - Streaming JSON writer -------------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer used by the benchmark harnesses to emit
+/// machine-readable experiment data (-json). Handles comma placement,
+/// nesting, and string escaping; asserts on malformed nesting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPPORT_JSON_H
+#define SUPERPIN_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace spin {
+
+class RawOstream;
+
+/// Streaming writer: beginObject/key/value/endObject etc. Values may be
+/// emitted at the top level (one document), as array elements, or after a
+/// key inside an object.
+class JsonWriter {
+public:
+  explicit JsonWriter(RawOstream &OS) : OS(OS) {}
+  ~JsonWriter();
+
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits an object key; must be inside an object, directly before the
+  /// corresponding value.
+  JsonWriter &key(std::string_view Name);
+
+  JsonWriter &value(std::string_view Str);
+  JsonWriter &value(const char *Str) { return value(std::string_view(Str)); }
+  JsonWriter &value(uint64_t N);
+  JsonWriter &value(int64_t N);
+  JsonWriter &value(int N) { return value(static_cast<int64_t>(N)); }
+  JsonWriter &value(unsigned N) { return value(static_cast<uint64_t>(N)); }
+  JsonWriter &value(double D);
+  JsonWriter &value(bool B);
+
+  /// Convenience: key + value in one call.
+  template <typename T> JsonWriter &field(std::string_view Name, T &&V) {
+    key(Name);
+    return value(std::forward<T>(V));
+  }
+
+  /// True once every scope has been closed.
+  bool complete() const { return Stack.empty() && WroteTopLevel; }
+
+private:
+  enum class Scope : uint8_t { Object, Array };
+
+  RawOstream &OS;
+  std::vector<Scope> Stack;
+  std::vector<bool> FirstInScope;
+  bool PendingKey = false;
+  bool WroteTopLevel = false;
+
+  void beforeValue();
+  void writeEscaped(std::string_view Str);
+};
+
+} // namespace spin
+
+#endif // SUPERPIN_SUPPORT_JSON_H

@@ -1,0 +1,58 @@
+//===- support/MathExtras.h - Integer math helpers --------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer arithmetic helpers used by the memory subsystem and cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPPORT_MATHEXTRAS_H
+#define SUPERPIN_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace spin {
+
+/// \returns true if \p Value is a power of two (0 is not).
+constexpr bool isPowerOf2(uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// Rounds \p Value up to the next multiple of \p Align (a power of two).
+constexpr uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+/// Rounds \p Value down to a multiple of \p Align (a power of two).
+constexpr uint64_t alignDown(uint64_t Value, uint64_t Align) {
+  return Value & ~(Align - 1);
+}
+
+/// Ceiling division for unsigned integers.
+constexpr uint64_t divideCeil(uint64_t Numerator, uint64_t Denominator) {
+  return (Numerator + Denominator - 1) / Denominator;
+}
+
+/// log2 of a power of two.
+constexpr unsigned log2Exact(uint64_t Value) {
+  unsigned Result = 0;
+  while (Value > 1) {
+    Value >>= 1;
+    ++Result;
+  }
+  return Result;
+}
+
+/// Saturating subtraction: max(A - B, 0) for unsigned operands.
+constexpr uint64_t saturatingSub(uint64_t A, uint64_t B) {
+  return A > B ? A - B : 0;
+}
+
+} // namespace spin
+
+#endif // SUPERPIN_SUPPORT_MATHEXTRAS_H

@@ -1,0 +1,65 @@
+//===- support/Random.h - Deterministic pseudo-random numbers ---*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64) used by the workload
+/// generators and property tests. Determinism across platforms is essential
+/// for reproducible experiment tables, so std::mt19937 (whose distributions
+/// are implementation-defined) is deliberately avoided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPPORT_RANDOM_H
+#define SUPERPIN_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace spin {
+
+/// SplitMix64: passes BigCrush, two xor-shift-multiply rounds per draw.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero. Uses the
+  /// widening-multiply trick to avoid modulo bias for small bounds.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be positive");
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace spin
+
+#endif // SUPERPIN_SUPPORT_RANDOM_H

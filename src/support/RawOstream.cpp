@@ -1,0 +1,93 @@
+//===- support/RawOstream.cpp - Lightweight output streams ----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RawOstream.h"
+
+#include <cinttypes>
+#include <cstring>
+
+using namespace spin;
+
+RawOstream::~RawOstream() = default;
+RawStringOstream::~RawStringOstream() = default;
+RawNullOstream::~RawNullOstream() = default;
+
+RawOstream &RawOstream::operator<<(uint64_t N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRIu64, N);
+  writeImpl(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOstream &RawOstream::operator<<(int64_t N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRId64, N);
+  writeImpl(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOstream &RawOstream::operator<<(double D) {
+  char Buf[40];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", D);
+  writeImpl(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOstream &RawOstream::writeHex(uint64_t N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "0x%" PRIx64, N);
+  writeImpl(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOstream &RawOstream::writePadded(std::string_view Str, size_t Width) {
+  *this << Str;
+  if (Str.size() < Width)
+    indent(static_cast<unsigned>(Width - Str.size()));
+  return *this;
+}
+
+RawOstream &RawOstream::writeRightPadded(std::string_view Str, size_t Width) {
+  if (Str.size() < Width)
+    indent(static_cast<unsigned>(Width - Str.size()));
+  return *this << Str;
+}
+
+RawOstream &RawOstream::indent(unsigned Count) {
+  static const char Spaces[] = "                                ";
+  while (Count > 0) {
+    unsigned Chunk = Count < 32 ? Count : 32;
+    writeImpl(Spaces, Chunk);
+    Count -= Chunk;
+  }
+  return *this;
+}
+
+RawFdOstream::~RawFdOstream() {
+  std::fflush(File);
+  if (Owned)
+    std::fclose(File);
+}
+
+void RawFdOstream::writeImpl(const char *Data, size_t Size) {
+  std::fwrite(Data, 1, Size, File);
+}
+
+RawOstream &spin::outs() {
+  static RawFdOstream Stream(stdout);
+  return Stream;
+}
+
+RawOstream &spin::errs() {
+  static RawFdOstream Stream(stderr);
+  return Stream;
+}
+
+RawOstream &spin::nulls() {
+  static RawNullOstream Stream;
+  return Stream;
+}

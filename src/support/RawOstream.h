@@ -1,0 +1,142 @@
+//===- support/RawOstream.h - Lightweight output streams --------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal raw_ostream-style stream hierarchy. The LLVM coding standards
+/// forbid <iostream> in library code (static constructor injection); this
+/// header provides the small subset of raw_ostream functionality the project
+/// needs: buffered output to stdout/stderr/files and to std::string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPPORT_RAWOSTREAM_H
+#define SUPERPIN_SUPPORT_RAWOSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace spin {
+
+/// Abstract base for all project output streams.
+///
+/// Subclasses implement writeImpl; operator<< overloads format common types.
+/// Unlike std::ostream there is no locale machinery and no static
+/// constructors, and integer formatting never allocates.
+class RawOstream {
+public:
+  RawOstream() = default;
+  RawOstream(const RawOstream &) = delete;
+  RawOstream &operator=(const RawOstream &) = delete;
+  virtual ~RawOstream();
+
+  RawOstream &operator<<(std::string_view Str) {
+    writeImpl(Str.data(), Str.size());
+    return *this;
+  }
+
+  RawOstream &operator<<(const char *Str) {
+    return *this << std::string_view(Str);
+  }
+
+  RawOstream &operator<<(const std::string &Str) {
+    return *this << std::string_view(Str);
+  }
+
+  RawOstream &operator<<(char C) {
+    writeImpl(&C, 1);
+    return *this;
+  }
+
+  RawOstream &operator<<(bool B) { return *this << (B ? "true" : "false"); }
+
+  RawOstream &operator<<(uint64_t N);
+  RawOstream &operator<<(int64_t N);
+  RawOstream &operator<<(uint32_t N) { return *this << uint64_t(N); }
+  RawOstream &operator<<(int32_t N) { return *this << int64_t(N); }
+  RawOstream &operator<<(uint16_t N) { return *this << uint64_t(N); }
+  RawOstream &operator<<(int16_t N) { return *this << int64_t(N); }
+  RawOstream &operator<<(double D);
+
+  /// Writes \p N as 0x-prefixed lowercase hexadecimal.
+  RawOstream &writeHex(uint64_t N);
+
+  /// Writes \p Str left-justified in a field of \p Width characters.
+  RawOstream &writePadded(std::string_view Str, size_t Width);
+
+  /// Writes \p Str right-justified in a field of \p Width characters.
+  RawOstream &writeRightPadded(std::string_view Str, size_t Width);
+
+  /// Writes \p Count spaces.
+  RawOstream &indent(unsigned Count);
+
+  /// Flushes any buffering the subclass performs. Default is a no-op.
+  virtual void flush() {}
+
+protected:
+  virtual void writeImpl(const char *Data, size_t Size) = 0;
+};
+
+/// Stream backed by a C FILE handle; does not own the handle by default.
+class RawFdOstream : public RawOstream {
+public:
+  explicit RawFdOstream(std::FILE *File, bool Owned = false)
+      : File(File), Owned(Owned) {}
+  ~RawFdOstream() override;
+
+  void flush() override { std::fflush(File); }
+
+protected:
+  void writeImpl(const char *Data, size_t Size) override;
+
+private:
+  std::FILE *File;
+  bool Owned;
+};
+
+/// Stream that appends into a caller-owned std::string.
+class RawStringOstream : public RawOstream {
+public:
+  explicit RawStringOstream(std::string &Storage) : Storage(Storage) {}
+  ~RawStringOstream() override;
+
+  /// Returns the accumulated contents.
+  const std::string &str() const { return Storage; }
+
+protected:
+  void writeImpl(const char *Data, size_t Size) override {
+    Storage.append(Data, Size);
+  }
+
+private:
+  std::string &Storage;
+};
+
+/// Stream that discards all output; handy for silencing reports in tests.
+class RawNullOstream : public RawOstream {
+public:
+  ~RawNullOstream() override;
+
+protected:
+  void writeImpl(const char *, size_t) override {}
+};
+
+/// Returns a stream for standard output. Safe to call at any time; the
+/// stream is lazily constructed (no static constructor).
+RawOstream &outs();
+
+/// Returns a stream for standard error.
+RawOstream &errs();
+
+/// Returns a stream that discards everything.
+RawOstream &nulls();
+
+} // namespace spin
+
+#endif // SUPERPIN_SUPPORT_RAWOSTREAM_H

@@ -1,0 +1,56 @@
+//===- support/Statistic.cpp - Named counter registry ---------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+#include "support/RawOstream.h"
+
+using namespace spin;
+
+StatisticRegistry::Entry *StatisticRegistry::find(std::string_view Name) {
+  for (Entry &E : Entries)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+const StatisticRegistry::Entry *
+StatisticRegistry::find(std::string_view Name) const {
+  for (const Entry &E : Entries)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+uint64_t &StatisticRegistry::counter(std::string_view Name) {
+  if (Entry *E = find(Name))
+    return E->Value;
+  Entries.push_back(Entry{std::string(Name), 0});
+  return Entries.back().Value;
+}
+
+uint64_t StatisticRegistry::get(std::string_view Name) const {
+  const Entry *E = find(Name);
+  return E ? E->Value : 0;
+}
+
+void StatisticRegistry::reset() {
+  for (Entry &E : Entries)
+    E.Value = 0;
+}
+
+void StatisticRegistry::mergeFrom(const StatisticRegistry &Other) {
+  for (const Entry &E : Other.Entries)
+    counter(E.Name) += E.Value;
+}
+
+void StatisticRegistry::print(RawOstream &OS) const {
+  for (const Entry &E : Entries) {
+    OS.writePadded(E.Name, 32);
+    OS << E.Value << '\n';
+  }
+}

@@ -1,0 +1,63 @@
+//===- support/Statistic.h - Named counter registry -------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named uint64 counters modeled on llvm::Statistic, scoped to
+/// an explicit StatisticRegistry instance so engine runs do not share state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPPORT_STATISTIC_H
+#define SUPERPIN_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace spin {
+
+class RawOstream;
+
+/// Owns a set of named counters. Counters are created on first access and
+/// keep registration order for deterministic reporting.
+class StatisticRegistry {
+public:
+  struct Entry {
+    std::string Name;
+    uint64_t Value = 0;
+  };
+
+  /// Returns a reference to the counter named \p Name, creating it at zero
+  /// if needed. References stay valid for the registry's lifetime (entries
+  /// live in a deque, which never relocates on growth).
+  uint64_t &counter(std::string_view Name);
+
+  /// Returns the counter value, or 0 if it was never created.
+  uint64_t get(std::string_view Name) const;
+
+  /// Resets every counter to zero without forgetting names.
+  void reset();
+
+  /// Merges all counters from \p Other into this registry by addition.
+  void mergeFrom(const StatisticRegistry &Other);
+
+  /// Prints "name: value" lines in registration order.
+  void print(RawOstream &OS) const;
+
+  const std::deque<Entry> &entries() const { return Entries; }
+
+private:
+  std::deque<Entry> Entries;
+
+  Entry *find(std::string_view Name);
+  const Entry *find(std::string_view Name) const;
+};
+
+} // namespace spin
+
+#endif // SUPERPIN_SUPPORT_STATISTIC_H

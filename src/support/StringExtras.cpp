@@ -1,0 +1,154 @@
+//===- support/StringExtras.cpp - String helpers --------------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringExtras.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace spin;
+
+static bool isSpaceChar(char C) {
+  return C == ' ' || C == '\t' || C == '\r' || C == '\n';
+}
+
+std::string_view spin::trim(std::string_view Str) {
+  size_t Begin = 0;
+  while (Begin < Str.size() && isSpaceChar(Str[Begin]))
+    ++Begin;
+  size_t End = Str.size();
+  while (End > Begin && isSpaceChar(Str[End - 1]))
+    --End;
+  return Str.substr(Begin, End - Begin);
+}
+
+std::vector<std::string_view> spin::split(std::string_view Str, char Sep) {
+  std::vector<std::string_view> Pieces;
+  size_t Start = 0;
+  for (size_t I = 0; I != Str.size(); ++I) {
+    if (Str[I] != Sep)
+      continue;
+    Pieces.push_back(Str.substr(Start, I - Start));
+    Start = I + 1;
+  }
+  Pieces.push_back(Str.substr(Start));
+  return Pieces;
+}
+
+std::vector<std::string_view> spin::splitWhitespace(std::string_view Str) {
+  std::vector<std::string_view> Pieces;
+  size_t I = 0;
+  while (I < Str.size()) {
+    while (I < Str.size() && isSpaceChar(Str[I]))
+      ++I;
+    size_t Start = I;
+    while (I < Str.size() && !isSpaceChar(Str[I]))
+      ++I;
+    if (I > Start)
+      Pieces.push_back(Str.substr(Start, I - Start));
+  }
+  return Pieces;
+}
+
+/// Shared digit-loop for parseInt/parseUint. \p Str must already have sign
+/// and prefix stripped.
+static std::optional<uint64_t> parseDigits(std::string_view Str,
+                                           unsigned Radix) {
+  if (Str.empty())
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : Str) {
+    unsigned Digit;
+    if (C >= '0' && C <= '9')
+      Digit = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Digit = static_cast<unsigned>(C - 'a' + 10);
+    else if (C >= 'A' && C <= 'F')
+      Digit = static_cast<unsigned>(C - 'A' + 10);
+    else
+      return std::nullopt;
+    if (Digit >= Radix)
+      return std::nullopt;
+    uint64_t Next = Value * Radix + Digit;
+    if (Next / Radix != Value) // Overflow.
+      return std::nullopt;
+    Value = Next;
+  }
+  return Value;
+}
+
+std::optional<uint64_t> spin::parseUint(std::string_view Str) {
+  Str = trim(Str);
+  unsigned Radix = 10;
+  if (Str.size() > 2 && Str[0] == '0' && (Str[1] == 'x' || Str[1] == 'X')) {
+    Radix = 16;
+    Str.remove_prefix(2);
+  } else if (Str.size() > 2 && Str[0] == '0' &&
+             (Str[1] == 'b' || Str[1] == 'B')) {
+    Radix = 2;
+    Str.remove_prefix(2);
+  }
+  return parseDigits(Str, Radix);
+}
+
+std::optional<int64_t> spin::parseInt(std::string_view Str) {
+  Str = trim(Str);
+  bool Negative = false;
+  if (!Str.empty() && (Str[0] == '+' || Str[0] == '-')) {
+    Negative = Str[0] == '-';
+    Str.remove_prefix(1);
+  }
+  std::optional<uint64_t> Magnitude = parseUint(Str);
+  if (!Magnitude)
+    return std::nullopt;
+  if (Negative) {
+    // Allow down to INT64_MIN whose magnitude is 2^63.
+    if (*Magnitude > (uint64_t(1) << 63))
+      return std::nullopt;
+    return -static_cast<int64_t>(*Magnitude);
+  }
+  if (*Magnitude > static_cast<uint64_t>(INT64_MAX))
+    return std::nullopt;
+  return static_cast<int64_t>(*Magnitude);
+}
+
+bool spin::isValidIdentifier(std::string_view Str) {
+  if (Str.empty())
+    return false;
+  if (std::isdigit(static_cast<unsigned char>(Str[0])))
+    return false;
+  for (char C : Str) {
+    bool Ok = std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+              C == '.' || C == '$';
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+std::string spin::formatWithCommas(uint64_t Value) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%llu",
+                          static_cast<unsigned long long>(Value));
+  std::string Result;
+  for (int I = 0; I != Len; ++I) {
+    if (I != 0 && (Len - I) % 3 == 0)
+      Result.push_back(',');
+    Result.push_back(Buf[I]);
+  }
+  return Result;
+}
+
+std::string spin::formatFixed(double Value, unsigned Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", static_cast<int>(Decimals), Value);
+  return Buf;
+}
+
+std::string spin::formatPercent(double Ratio, unsigned Decimals) {
+  return formatFixed(Ratio * 100.0, Decimals) + "%";
+}

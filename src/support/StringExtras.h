@@ -1,0 +1,58 @@
+//===- support/StringExtras.h - String helpers ------------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String-manipulation helpers used by the assembler, the command-line
+/// parser, and report formatting. All functions operate on string_view and
+/// never throw.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPPORT_STRINGEXTRAS_H
+#define SUPERPIN_SUPPORT_STRINGEXTRAS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spin {
+
+/// Removes leading and trailing whitespace (spaces, tabs, CR, LF).
+std::string_view trim(std::string_view Str);
+
+/// Splits \p Str at every occurrence of \p Sep. Empty pieces are kept so
+/// that join(split(S)) round-trips.
+std::vector<std::string_view> split(std::string_view Str, char Sep);
+
+/// Splits \p Str at whitespace runs; empty pieces are dropped.
+std::vector<std::string_view> splitWhitespace(std::string_view Str);
+
+/// Parses a signed integer with optional 0x/0b prefix and +/- sign.
+/// \returns std::nullopt on any syntax error or overflow.
+std::optional<int64_t> parseInt(std::string_view Str);
+
+/// Parses an unsigned integer with optional 0x/0b prefix.
+std::optional<uint64_t> parseUint(std::string_view Str);
+
+/// \returns true if \p Str consists only of identifier characters
+/// ([A-Za-z0-9_.$]) and starts with a non-digit. Used for label validation.
+bool isValidIdentifier(std::string_view Str);
+
+/// Formats \p Value with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string formatWithCommas(uint64_t Value);
+
+/// Formats \p Value as a fixed-point decimal with \p Decimals digits.
+std::string formatFixed(double Value, unsigned Decimals);
+
+/// Formats \p Ratio as a percentage string, e.g. 0.253 -> "25.3%".
+std::string formatPercent(double Ratio, unsigned Decimals = 1);
+
+} // namespace spin
+
+#endif // SUPERPIN_SUPPORT_STRINGEXTRAS_H

@@ -1,0 +1,102 @@
+//===- support/Table.cpp - Aligned text table writer ----------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/Json.h"
+#include "support/RawOstream.h"
+#include "support/StringExtras.h"
+
+#include <cassert>
+
+using namespace spin;
+
+void Table::addColumn(std::string_view Header, Align Alignment) {
+  assert(Rows.empty() && "columns must be added before rows");
+  Columns.push_back(Column{std::string(Header), Alignment});
+}
+
+void Table::startRow() {
+  assert(!Columns.empty() && "add columns first");
+  Rows.emplace_back();
+}
+
+void Table::cell(std::string_view Text) {
+  assert(!Rows.empty() && "startRow() before cell()");
+  assert(Rows.back().size() < Columns.size() && "too many cells in row");
+  Rows.back().emplace_back(Text);
+}
+
+void Table::cell(uint64_t Value) { cell(std::to_string(Value)); }
+
+void Table::cell(double Value, unsigned Decimals) {
+  cell(formatFixed(Value, Decimals));
+}
+
+void Table::cellPercent(double Ratio, unsigned Decimals) {
+  cell(formatPercent(Ratio, Decimals));
+}
+
+void Table::print(RawOstream &OS) const {
+  std::vector<size_t> Widths(Columns.size());
+  for (size_t C = 0; C != Columns.size(); ++C)
+    Widths[C] = Columns[C].Header.size();
+  for (const std::vector<std::string> &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto PrintCell = [&](std::string_view Text, size_t C) {
+    if (Columns[C].Alignment == Align::Left)
+      OS.writePadded(Text, Widths[C]);
+    else
+      OS.writeRightPadded(Text, Widths[C]);
+    if (C + 1 != Columns.size())
+      OS << "  ";
+  };
+
+  for (size_t C = 0; C != Columns.size(); ++C)
+    PrintCell(Columns[C].Header, C);
+  OS << '\n';
+  size_t RuleWidth = 0;
+  for (size_t C = 0; C != Columns.size(); ++C)
+    RuleWidth += Widths[C] + (C + 1 != Columns.size() ? 2 : 0);
+  for (size_t I = 0; I != RuleWidth; ++I)
+    OS << '-';
+  OS << '\n';
+  for (const std::vector<std::string> &Row : Rows) {
+    for (size_t C = 0; C != Row.size(); ++C)
+      PrintCell(Row[C], C);
+    OS << '\n';
+  }
+}
+
+void Table::printJson(RawOstream &OS) const {
+  JsonWriter J(OS);
+  J.beginArray();
+  for (const std::vector<std::string> &Row : Rows) {
+    J.beginObject();
+    for (size_t C = 0; C != Row.size(); ++C)
+      J.field(Columns[C].Header, std::string_view(Row[C]));
+    J.endObject();
+  }
+  J.endArray();
+  OS << '\n';
+}
+
+void Table::printCsv(RawOstream &OS) const {
+  for (size_t C = 0; C != Columns.size(); ++C) {
+    OS << Columns[C].Header;
+    OS << (C + 1 != Columns.size() ? "," : "\n");
+  }
+  for (const std::vector<std::string> &Row : Rows) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      OS << Row[C];
+      OS << (C + 1 != Row.size() ? "," : "\n");
+    }
+  }
+}

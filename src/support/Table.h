@@ -1,0 +1,68 @@
+//===- support/Table.h - Aligned text table writer --------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small text-table formatter used by the benchmark harnesses to print the
+/// paper's figures and tables as aligned columns (and optionally CSV for
+/// plotting).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPPORT_TABLE_H
+#define SUPERPIN_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spin {
+
+class RawOstream;
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+public:
+  enum class Align { Left, Right };
+
+  /// Adds a column header. All columns must be added before any row.
+  void addColumn(std::string_view Header, Align Alignment = Align::Right);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  void startRow();
+
+  /// Appends a cell to the current row.
+  void cell(std::string_view Text);
+  void cell(uint64_t Value);
+  void cell(double Value, unsigned Decimals);
+
+  /// Appends a percentage cell, e.g. 1.253 -> "125.3%".
+  void cellPercent(double Ratio, unsigned Decimals = 1);
+
+  /// Prints the table with a header rule.
+  void print(RawOstream &OS) const;
+
+  /// Prints the table as CSV (no alignment, comma-separated).
+  void printCsv(RawOstream &OS) const;
+
+  /// Prints the table as a JSON array of objects keyed by column header.
+  void printJson(RawOstream &OS) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  struct Column {
+    std::string Header;
+    Align Alignment;
+  };
+  std::vector<Column> Columns;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace spin
+
+#endif // SUPERPIN_SUPPORT_TABLE_H

@@ -1,0 +1,79 @@
+//===- tools/BranchProfile.cpp - Branch profiling Pintool -----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/BranchProfile.h"
+
+#include "support/RawOstream.h"
+
+using namespace spin;
+using namespace spin::pin;
+using namespace spin::tools;
+
+namespace {
+
+class BranchProfileTool final : public Tool {
+public:
+  BranchProfileTool(SpServices &Services,
+                    std::shared_ptr<BranchProfileResult> Result)
+      : Tool(Services), Result(std::move(Result)) {
+    // Auto-merged area: [cond, taken, calls, rets, indirect]. The runtime
+    // hands a slice-local shadow and sums it into the shared totals.
+    Counters = static_cast<uint64_t *>(services().createSharedArea(
+        Local, sizeof(Local), AutoMerge::Add64));
+  }
+
+  std::string_view name() const override { return "branchprofile"; }
+
+  void instrumentTrace(Trace &T) override {
+    for (uint32_t I = 0; I != T.numIns(); ++I) {
+      Ins In = T.insAt(I);
+      if (!In.isBranch())
+        continue;
+      if (In.inst().isCondBranch()) {
+        In.insertCall(
+            [this](const uint64_t *A) {
+              ++Counters[0];
+              Counters[1] += A[0];
+            },
+            {Arg::branchTaken()});
+      } else if (In.isCall()) {
+        In.insertCall([this](const uint64_t *) { ++Counters[2]; }, {});
+      } else if (In.isRet()) {
+        In.insertCall([this](const uint64_t *) { ++Counters[3]; }, {});
+      } else if (In.inst().isIndirect()) {
+        In.insertCall([this](const uint64_t *) { ++Counters[4]; }, {});
+      }
+    }
+  }
+
+  void onFini(RawOstream &OS) override {
+    OS << "branches: cond " << Counters[0] << " taken " << Counters[1]
+       << " calls " << Counters[2] << " rets " << Counters[3]
+       << " indirect " << Counters[4] << '\n';
+    if (Result) {
+      Result->CondBranches = Counters[0];
+      Result->Taken = Counters[1];
+      Result->Calls = Counters[2];
+      Result->Returns = Counters[3];
+      Result->IndirectJumps = Counters[4];
+    }
+  }
+
+private:
+  std::shared_ptr<BranchProfileResult> Result;
+  uint64_t Local[5] = {0, 0, 0, 0, 0};
+  uint64_t *Counters;
+};
+
+} // namespace
+
+ToolFactory spin::tools::makeBranchProfileTool(
+    std::shared_ptr<BranchProfileResult> Result) {
+  return [Result](SpServices &Services) {
+    return std::make_unique<BranchProfileTool>(Services, Result);
+  };
+}

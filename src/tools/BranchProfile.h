@@ -1,0 +1,38 @@
+//===- tools/BranchProfile.h - Branch profiling Pintool ---------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A branch-profiling Pintool demonstrating the auto-merge shared-area
+/// mode (SP_CreateSharedArea with addition): conditional branch and taken
+/// counts accumulate in a slice-local shadow that the runtime sums into
+/// the shared totals at merge time — no manual merge function needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_TOOLS_BRANCHPROFILE_H
+#define SUPERPIN_TOOLS_BRANCHPROFILE_H
+
+#include "pin/Tool.h"
+
+#include <memory>
+
+namespace spin::tools {
+
+struct BranchProfileResult {
+  uint64_t CondBranches = 0;
+  uint64_t Taken = 0;
+  uint64_t Calls = 0;
+  uint64_t Returns = 0;
+  uint64_t IndirectJumps = 0;
+};
+
+pin::ToolFactory
+makeBranchProfileTool(std::shared_ptr<BranchProfileResult> Result = nullptr);
+
+} // namespace spin::tools
+
+#endif // SUPERPIN_TOOLS_BRANCHPROFILE_H

@@ -1,0 +1,123 @@
+//===- tools/CacheSim.cpp - Sliceable cache simulation core ---------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/CacheSim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace spin;
+using namespace spin::tools;
+
+static constexpr uint64_t EmptyLine = ~uint64_t(0);
+static constexpr size_t TotalsWords = 4;
+
+SlicedCacheModel::SlicedCacheModel(CacheGeometry Geometry)
+    : Geometry(Geometry), Sets(Geometry.NumSets) {
+  assert(Geometry.LineBytes > 0 && Geometry.NumSets > 0 &&
+         Geometry.Assoc > 0 && "degenerate cache geometry");
+}
+
+void SlicedCacheModel::reset() {
+  for (SetState &S : Sets) {
+    S.Mru.clear();
+    S.Assumed.clear();
+    S.Evicted = false;
+    S.Touched = false;
+  }
+  LocalAccesses = LocalHits = LocalMisses = LocalReconciled = 0;
+}
+
+void SlicedCacheModel::access(uint64_t Addr) {
+  uint64_t Line = Addr / Geometry.LineBytes;
+  SetState &S = Sets[Line % Geometry.NumSets];
+  S.Touched = true;
+  ++LocalAccesses;
+  auto It = std::find(S.Mru.begin(), S.Mru.end(), Line);
+  if (It != S.Mru.end()) {
+    ++LocalHits;
+    std::rotate(S.Mru.begin(), It, It + 1); // Move to MRU position.
+    return;
+  }
+  // While the set has unknown residual capacity (no eviction yet, ways
+  // left), assume the pre-slice contents held this line (§5.2).
+  if (AssumeMode && !S.Evicted && S.Mru.size() < Geometry.Assoc) {
+    ++LocalHits;
+    S.Assumed.push_back(Line);
+    S.Mru.insert(S.Mru.begin(), Line);
+    return;
+  }
+  ++LocalMisses;
+  S.Mru.insert(S.Mru.begin(), Line);
+  if (S.Mru.size() > Geometry.Assoc) {
+    S.Mru.pop_back();
+    S.Evicted = true;
+  }
+}
+
+size_t SlicedCacheModel::sharedSizeBytes() const {
+  return (TotalsWords + size_t(Geometry.NumSets) * Geometry.Assoc) * 8;
+}
+
+void SlicedCacheModel::initSharedImage(void *Base) const {
+  uint64_t *Words = static_cast<uint64_t *>(Base);
+  std::memset(Words, 0, TotalsWords * 8);
+  uint64_t *Lines = Words + TotalsWords;
+  for (size_t I = 0; I != size_t(Geometry.NumSets) * Geometry.Assoc; ++I)
+    Lines[I] = EmptyLine;
+}
+
+void SlicedCacheModel::mergeInto(void *SharedBase) {
+  uint64_t *Totals = static_cast<uint64_t *>(SharedBase);
+  uint64_t *Lines = Totals + TotalsWords;
+  for (uint32_t SetIdx = 0; SetIdx != Geometry.NumSets; ++SetIdx) {
+    SetState &S = Sets[SetIdx];
+    if (!S.Touched)
+      continue;
+    uint64_t *Prev = Lines + size_t(SetIdx) * Geometry.Assoc;
+    // Reconcile: an assumed hit whose line was not resident at the slice
+    // boundary was really a miss.
+    for (uint64_t Line : S.Assumed) {
+      bool WasResident = false;
+      for (uint32_t W = 0; W != Geometry.Assoc; ++W)
+        if (Prev[W] == Line)
+          WasResident = true;
+      if (!WasResident) {
+        --LocalHits;
+        ++LocalMisses;
+        ++LocalReconciled;
+      }
+    }
+    // Install this slice's final view, backfilled with surviving
+    // pre-slice lines (exact for direct-mapped; LRU-approximate wider).
+    std::vector<uint64_t> Final = S.Mru;
+    for (uint32_t W = 0;
+         W != Geometry.Assoc && Final.size() < Geometry.Assoc; ++W) {
+      uint64_t Line = Prev[W];
+      if (Line != EmptyLine &&
+          std::find(Final.begin(), Final.end(), Line) == Final.end())
+        Final.push_back(Line);
+    }
+    for (uint32_t W = 0; W != Geometry.Assoc; ++W)
+      Prev[W] = W < Final.size() ? Final[W] : EmptyLine;
+  }
+  Totals[0] += LocalAccesses;
+  Totals[1] += LocalHits;
+  Totals[2] += LocalMisses;
+  Totals[3] += LocalReconciled;
+}
+
+void SlicedCacheModel::readTotals(const void *Base, uint64_t &Accesses,
+                                  uint64_t &Hits, uint64_t &Misses,
+                                  uint64_t &Reconciled) {
+  const uint64_t *Totals = static_cast<const uint64_t *>(Base);
+  Accesses = Totals[0];
+  Hits = Totals[1];
+  Misses = Totals[2];
+  Reconciled = Totals[3];
+}

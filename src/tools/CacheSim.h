@@ -1,0 +1,100 @@
+//===- tools/CacheSim.h - Sliceable cache simulation core -------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cache-simulation core shared by the data-cache and instruction-
+/// cache Pintools: an LRU set-associative cache with the paper's Section
+/// 5.2 assume-then-reconcile support for SuperPin slices.
+///
+/// In assume mode (a slice with unknown pre-slice cache contents), the
+/// first accesses that would fill a set's unknown residual capacity are
+/// assumed to hit and recorded; mergeInto() later compares each assumption
+/// against the previous slices' final state in the shared area, converts
+/// wrong assumptions to misses, and installs this slice's final state.
+/// For direct-mapped caches the reconstruction is exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_TOOLS_CACHESIM_H
+#define SUPERPIN_TOOLS_CACHESIM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spin::tools {
+
+struct CacheGeometry {
+  uint32_t LineBytes = 64;
+  uint32_t NumSets = 1024;
+  uint32_t Assoc = 1; ///< 1 = direct-mapped (the paper's §5.2 example)
+
+  uint64_t sizeBytes() const {
+    return uint64_t(LineBytes) * NumSets * Assoc;
+  }
+};
+
+/// One simulated cache instance with slice-local counters.
+///
+/// Shared-area layout (produced by initSharedImage, consumed/updated by
+/// mergeInto): four uint64 totals [accesses, hits, misses, reconciled]
+/// followed by NumSets*Assoc line slots in MRU-to-LRU order.
+class SlicedCacheModel {
+public:
+  explicit SlicedCacheModel(CacheGeometry Geometry);
+
+  /// Assume mode on = SuperPin slice semantics; off = classic serial
+  /// simulation (cold start counts as misses).
+  void setAssumeMode(bool Assume) { AssumeMode = Assume; }
+
+  /// Simulates one access; updates local counters.
+  void access(uint64_t Addr);
+
+  /// Clears slice-local state (start of a new slice).
+  void reset();
+
+  // Slice-local counters.
+  uint64_t accesses() const { return LocalAccesses; }
+  uint64_t hits() const { return LocalHits; }
+  uint64_t misses() const { return LocalMisses; }
+
+  /// Bytes the cross-slice shared area needs.
+  size_t sharedSizeBytes() const;
+
+  /// Writes the initial shared image (zero totals, empty sets).
+  void initSharedImage(void *Base) const;
+
+  /// Reconciles assumptions against \p SharedBase, installs this
+  /// instance's final set states, and adds local counters to the shared
+  /// totals. Call in slice order.
+  void mergeInto(void *SharedBase);
+
+  /// Reads the four totals out of a shared image.
+  static void readTotals(const void *Base, uint64_t &Accesses,
+                         uint64_t &Hits, uint64_t &Misses,
+                         uint64_t &Reconciled);
+
+private:
+  struct SetState {
+    std::vector<uint64_t> Mru; ///< present lines, MRU first (<= Assoc)
+    std::vector<uint64_t> Assumed;
+    bool Evicted = false;
+    bool Touched = false;
+  };
+
+  CacheGeometry Geometry;
+  bool AssumeMode = false;
+  std::vector<SetState> Sets;
+  uint64_t LocalAccesses = 0;
+  uint64_t LocalHits = 0;
+  uint64_t LocalMisses = 0;
+  uint64_t LocalReconciled = 0;
+};
+
+} // namespace spin::tools
+
+#endif // SUPERPIN_TOOLS_CACHESIM_H

@@ -1,0 +1,112 @@
+//===- tools/CallGraph.cpp - Dynamic call-graph Pintool -------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/CallGraph.h"
+
+#include "support/RawOstream.h"
+#include "vm/Program.h"
+
+#include <vector>
+
+using namespace spin;
+using namespace spin::pin;
+using namespace spin::tools;
+
+namespace {
+
+class CallGraphTool final : public Tool {
+public:
+  CallGraphTool(SpServices &Services, std::shared_ptr<CallGraphResult> Result)
+      : Tool(Services), Result(std::move(Result)) {
+    resetStack();
+  }
+
+  std::string_view name() const override { return "callgraph"; }
+
+  void instrumentTrace(Trace &T) override {
+    for (uint32_t I = 0; I != T.numIns(); ++I) {
+      Ins In = T.insAt(I);
+      if (In.isCall()) {
+        In.insertCall(
+            [this](const uint64_t *A) {
+              uint64_t Callee = A[0];
+              std::vector<uint64_t> &Stack = stackOf(A[1]);
+              ++Local[{Stack.back(), Callee}];
+              ++Calls;
+              Stack.push_back(Callee);
+            },
+            {Arg::branchTarget(), Arg::threadId()});
+      } else if (In.isRet()) {
+        In.insertCall(
+            [this](const uint64_t *A) {
+              // Popping past the inherited stack means this return
+              // belongs to a frame created before the slice started.
+              std::vector<uint64_t> &Stack = stackOf(A[0]);
+              if (Stack.size() > 1)
+                Stack.pop_back();
+            },
+            {Arg::threadId()});
+      }
+    }
+  }
+
+  void onSliceBegin(uint32_t SliceNum) override {
+    Local.clear();
+    Calls = 0;
+    resetStack();
+    // Slice 0 starts at the program entry with a real (empty) stack;
+    // later slices inherit unknown frames (one shadow stack per thread).
+    BaseCaller = SliceNum == 0 ? EntrySentinel : UnknownCaller;
+    Stacks.clear();
+  }
+
+  void onSliceEnd(uint32_t) override { flush(); }
+
+  void onFini(RawOstream &OS) override {
+    if (!services().isSuperPin())
+      flush();
+    OS << "callgraph: " << Result->Edges.size() << " edges, "
+       << Result->TotalCalls << " calls\n";
+  }
+
+private:
+  /// Caller key for top-level code (the program entry frame).
+  static constexpr uint64_t EntrySentinel = 0;
+
+  std::shared_ptr<CallGraphResult> Result;
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> Local;
+  /// One shadow stack per guest thread id.
+  std::map<uint64_t, std::vector<uint64_t>> Stacks;
+  uint64_t BaseCaller = EntrySentinel;
+  uint64_t Calls = 0;
+
+  void resetStack() { Stacks.clear(); }
+
+  std::vector<uint64_t> &stackOf(uint64_t Tid) {
+    std::vector<uint64_t> &Stack = Stacks[Tid];
+    if (Stack.empty())
+      Stack.push_back(BaseCaller);
+    return Stack;
+  }
+
+  void flush() {
+    for (const auto &[Edge, Count] : Local)
+      Result->Edges[Edge] += Count;
+    Result->TotalCalls += Calls;
+    Local.clear();
+    Calls = 0;
+  }
+};
+
+} // namespace
+
+ToolFactory
+spin::tools::makeCallGraphTool(std::shared_ptr<CallGraphResult> Result) {
+  return [Result](SpServices &Services) {
+    return std::make_unique<CallGraphTool>(Services, Result);
+  };
+}

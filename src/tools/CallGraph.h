@@ -1,0 +1,57 @@
+//===- tools/CallGraph.h - Dynamic call-graph Pintool -----------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dynamic call-graph profiler: counts caller->callee edges by
+/// maintaining a shadow call stack through call/ret instrumentation.
+///
+/// SuperPin caveat (a live illustration of the paper's Section 4.5
+/// discussion of inter-slice dependences): a slice starts mid-program with
+/// an unknown call stack, so edges whose caller frame was inherited from
+/// the previous slice are attributed to the UnknownCaller sentinel rather
+/// than reconstructed. Total edge counts are preserved; only attribution
+/// of those boundary frames degrades. Returns that pop past the inherited
+/// stack are simply ignored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_TOOLS_CALLGRAPH_H
+#define SUPERPIN_TOOLS_CALLGRAPH_H
+
+#include "pin/Tool.h"
+
+#include <map>
+#include <memory>
+
+namespace spin::tools {
+
+/// Sentinel caller address for frames inherited across a slice boundary.
+constexpr uint64_t UnknownCaller = ~uint64_t(0);
+
+struct CallGraphResult {
+  /// (caller entry pc, callee entry pc) -> call count. The caller key is
+  /// the target of the call that created the enclosing frame (or the
+  /// program entry / UnknownCaller).
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> Edges;
+  uint64_t TotalCalls = 0;
+
+  /// Sum of counts on edges from UnknownCaller (slice-boundary frames).
+  uint64_t unknownCallerCalls() const {
+    uint64_t Sum = 0;
+    for (const auto &[Edge, Count] : Edges)
+      if (Edge.first == UnknownCaller)
+        Sum += Count;
+    return Sum;
+  }
+};
+
+pin::ToolFactory
+makeCallGraphTool(std::shared_ptr<CallGraphResult> Result);
+
+} // namespace spin::tools
+
+#endif // SUPERPIN_TOOLS_CALLGRAPH_H

@@ -1,0 +1,62 @@
+//===- tools/Composite.cpp - Run several Pintools at once -----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/Composite.h"
+
+#include <memory>
+
+using namespace spin;
+using namespace spin::pin;
+using namespace spin::tools;
+
+namespace {
+
+class CompositeTool final : public Tool {
+public:
+  CompositeTool(SpServices &Services,
+                const std::vector<ToolFactory> &Factories)
+      : Tool(Services) {
+    SubTools.reserve(Factories.size());
+    for (const ToolFactory &F : Factories)
+      SubTools.push_back(F(Services));
+  }
+
+  std::string_view name() const override { return "composite"; }
+
+  void instrumentTrace(Trace &T) override {
+    for (auto &Sub : SubTools)
+      Sub->instrumentTrace(T);
+  }
+  void onSyscall(uint64_t Number) override {
+    for (auto &Sub : SubTools)
+      Sub->onSyscall(Number);
+  }
+  void onSliceBegin(uint32_t SliceNum) override {
+    for (auto &Sub : SubTools)
+      Sub->onSliceBegin(SliceNum);
+  }
+  void onSliceEnd(uint32_t SliceNum) override {
+    for (auto &Sub : SubTools)
+      Sub->onSliceEnd(SliceNum);
+  }
+  void onFini(RawOstream &OS) override {
+    for (auto &Sub : SubTools)
+      Sub->onFini(OS);
+  }
+
+private:
+  std::vector<std::unique_ptr<Tool>> SubTools;
+};
+
+} // namespace
+
+ToolFactory
+spin::tools::makeCompositeTool(std::vector<ToolFactory> Factories) {
+  return [Factories = std::move(Factories)](SpServices &Services) {
+    return std::make_unique<CompositeTool>(Services, Factories);
+  };
+}

@@ -1,0 +1,32 @@
+//===- tools/Composite.h - Run several Pintools at once ---------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tool adapter that multiplexes any number of Pintools into a single
+/// instrumented run: every sub-tool instruments every trace and receives
+/// every lifecycle callback, in registration order. Shared-area creation
+/// order stays deterministic because sub-tools construct in order, so
+/// composite tools work under SuperPin exactly like single ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_TOOLS_COMPOSITE_H
+#define SUPERPIN_TOOLS_COMPOSITE_H
+
+#include "pin/Tool.h"
+
+#include <vector>
+
+namespace spin::tools {
+
+/// Combines \p Factories into one ToolFactory.
+pin::ToolFactory
+makeCompositeTool(std::vector<pin::ToolFactory> Factories);
+
+} // namespace spin::tools
+
+#endif // SUPERPIN_TOOLS_COMPOSITE_H

@@ -1,0 +1,84 @@
+//===- tools/DCache.cpp - Data-cache simulator Pintool --------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/DCache.h"
+
+#include "support/RawOstream.h"
+
+#include <vector>
+
+using namespace spin;
+using namespace spin::pin;
+using namespace spin::tools;
+
+namespace {
+
+class DCacheTool final : public Tool {
+public:
+  DCacheTool(SpServices &Services, DCacheConfig Config,
+             std::shared_ptr<DCacheResult> Result)
+      : Tool(Services), Result(std::move(Result)), Cache(Config) {
+    InitImage.resize(Cache.sharedSizeBytes());
+    Cache.initSharedImage(InitImage.data());
+    SharedBase = services().createSharedArea(
+        InitImage.data(), InitImage.size(), AutoMerge::None);
+    Cache.setAssumeMode(services().isSuperPin());
+  }
+
+  std::string_view name() const override { return "dcache"; }
+
+  void instrumentTrace(Trace &T) override {
+    for (uint32_t I = 0; I != T.numIns(); ++I) {
+      Ins In = T.insAt(I);
+      if (!In.isMemoryRead() && !In.isMemoryWrite())
+        continue;
+      In.insertCall([this](const uint64_t *A) { Cache.access(A[0]); },
+                    {Arg::memoryEa()},
+                    /*UserCost=*/250);
+    }
+  }
+
+  void onSliceBegin(uint32_t) override { Cache.reset(); }
+
+  void onSliceEnd(uint32_t) override { Cache.mergeInto(SharedBase); }
+
+  void onFini(RawOstream &OS) override {
+    uint64_t Accesses, Hits, Misses, Reconciled;
+    if (services().isSuperPin()) {
+      SlicedCacheModel::readTotals(SharedBase, Accesses, Hits, Misses,
+                                   Reconciled);
+    } else {
+      Accesses = Cache.accesses();
+      Hits = Cache.hits();
+      Misses = Cache.misses();
+      Reconciled = 0;
+    }
+    OS << "dcache: accesses " << Accesses << " hits " << Hits << " misses "
+       << Misses << " reconciled " << Reconciled << '\n';
+    if (Result) {
+      Result->Accesses = Accesses;
+      Result->Hits = Hits;
+      Result->Misses = Misses;
+      Result->ReconciledAssumptions = Reconciled;
+    }
+  }
+
+private:
+  std::shared_ptr<DCacheResult> Result;
+  SlicedCacheModel Cache;
+  std::vector<uint8_t> InitImage;
+  void *SharedBase;
+};
+
+} // namespace
+
+ToolFactory spin::tools::makeDCacheTool(DCacheConfig Config,
+                                        std::shared_ptr<DCacheResult> Result) {
+  return [Config, Result](SpServices &Services) {
+    return std::make_unique<DCacheTool>(Services, Config, Result);
+  };
+}

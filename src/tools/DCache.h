@@ -1,0 +1,50 @@
+//===- tools/DCache.h - Data-cache simulator Pintool ------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 5.2 data-cache SuperTool: a data-cache simulator
+/// converted to SuperPin with the assume-then-reconcile recipe of
+/// Section 4.5 (implemented by tools/CacheSim.h). Each slice starts with
+/// an unknown cache; the first access to each set is assumed to hit and
+/// recorded; at merge time (slice order) the assumptions are compared
+/// against the previous slices' final cache state and corrected, then the
+/// slice's final state overwrites the shared state.
+///
+/// For a direct-mapped cache this reconstruction is exact: SuperPin's
+/// hit/miss totals equal a serial simulation bit-for-bit (a tested
+/// invariant). For set-associative caches the slice-initial LRU order is
+/// unknowable, so results are a close approximation (documented; access
+/// counts remain exact).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_TOOLS_DCACHE_H
+#define SUPERPIN_TOOLS_DCACHE_H
+
+#include "pin/Tool.h"
+#include "tools/CacheSim.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace spin::tools {
+
+using DCacheConfig = CacheGeometry;
+
+struct DCacheResult {
+  uint64_t Accesses = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t ReconciledAssumptions = 0; ///< assumed hits corrected to misses
+};
+
+pin::ToolFactory makeDCacheTool(DCacheConfig Config,
+                                std::shared_ptr<DCacheResult> Result = nullptr);
+
+} // namespace spin::tools
+
+#endif // SUPERPIN_TOOLS_DCACHE_H

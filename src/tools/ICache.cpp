@@ -1,0 +1,85 @@
+//===- tools/ICache.cpp - Instruction-cache simulator Pintool -------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/ICache.h"
+
+#include "support/RawOstream.h"
+
+#include <vector>
+
+using namespace spin;
+using namespace spin::pin;
+using namespace spin::tools;
+
+namespace {
+
+class ICacheTool final : public Tool {
+public:
+  ICacheTool(SpServices &Services, CacheGeometry Geometry,
+             std::shared_ptr<ICacheResult> Result)
+      : Tool(Services), Result(std::move(Result)), Cache(Geometry) {
+    InitImage.resize(Cache.sharedSizeBytes());
+    Cache.initSharedImage(InitImage.data());
+    SharedBase = services().createSharedArea(
+        InitImage.data(), InitImage.size(), AutoMerge::None);
+    Cache.setAssumeMode(services().isSuperPin());
+  }
+
+  std::string_view name() const override { return "icache"; }
+
+  void instrumentTrace(Trace &T) override {
+    // The fetch stream: every instruction accesses the cache at its pc.
+    // Guest instructions are InstSize bytes, so consecutive instructions
+    // share lines naturally.
+    for (uint32_t I = 0; I != T.numIns(); ++I)
+      T.insAt(I).insertCall(
+          [this](const uint64_t *A) { Cache.access(A[0]); },
+          {Arg::instPtr()},
+          /*UserCost=*/200);
+  }
+
+  void onSliceBegin(uint32_t) override { Cache.reset(); }
+
+  void onSliceEnd(uint32_t) override { Cache.mergeInto(SharedBase); }
+
+  void onFini(RawOstream &OS) override {
+    uint64_t Accesses, Hits, Misses, Reconciled;
+    if (services().isSuperPin()) {
+      SlicedCacheModel::readTotals(SharedBase, Accesses, Hits, Misses,
+                                   Reconciled);
+    } else {
+      Accesses = Cache.accesses();
+      Hits = Cache.hits();
+      Misses = Cache.misses();
+      Reconciled = 0;
+    }
+    OS << "icache: accesses " << Accesses << " hits " << Hits << " misses "
+       << Misses << " reconciled " << Reconciled << '\n';
+    if (Result) {
+      Result->Accesses = Accesses;
+      Result->Hits = Hits;
+      Result->Misses = Misses;
+      Result->ReconciledAssumptions = Reconciled;
+    }
+  }
+
+private:
+  std::shared_ptr<ICacheResult> Result;
+  SlicedCacheModel Cache;
+  std::vector<uint8_t> InitImage;
+  void *SharedBase;
+};
+
+} // namespace
+
+ToolFactory
+spin::tools::makeICacheTool(CacheGeometry Geometry,
+                            std::shared_ptr<ICacheResult> Result) {
+  return [Geometry, Result](SpServices &Services) {
+    return std::make_unique<ICacheTool>(Services, Geometry, Result);
+  };
+}

@@ -1,0 +1,39 @@
+//===- tools/ICache.h - Instruction-cache simulator Pintool -----*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An instruction-cache simulator — the other classic "cache simulation
+/// driver" use case from the paper's introduction. Drives the shared
+/// CacheSim core with the instruction-fetch stream (one access per
+/// executed instruction at its pc) and merges across SuperPin slices with
+/// the same assume-then-reconcile recipe as the data cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_TOOLS_ICACHE_H
+#define SUPERPIN_TOOLS_ICACHE_H
+
+#include "pin/Tool.h"
+#include "tools/CacheSim.h"
+
+#include <memory>
+
+namespace spin::tools {
+
+struct ICacheResult {
+  uint64_t Accesses = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t ReconciledAssumptions = 0;
+};
+
+pin::ToolFactory makeICacheTool(CacheGeometry Geometry,
+                                std::shared_ptr<ICacheResult> Result = nullptr);
+
+} // namespace spin::tools
+
+#endif // SUPERPIN_TOOLS_ICACHE_H

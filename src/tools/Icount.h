@@ -1,0 +1,48 @@
+//===- tools/Icount.h - Instruction counting Pintools -----------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's two instruction-counting Pintools (Sections 5.1 and 6):
+///
+///  * icount1 — a counter increment inserted before every instruction;
+///    the instrumentation-limited tool of Figures 3 and 4.
+///  * icount2 — one increment per basic block, adding BBL_NumIns; the
+///    lighter tool of Figure 5.
+///
+/// Both degrade to traditional Pin mode exactly as the paper's Figure 2
+/// tool does: SP_CreateSharedArea returns the local counter serially.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_TOOLS_ICOUNT_H
+#define SUPERPIN_TOOLS_ICOUNT_H
+
+#include "pin/Tool.h"
+
+#include <memory>
+
+namespace spin::tools {
+
+enum class IcountGranularity : uint8_t {
+  Instruction, ///< icount1: one call per instruction
+  BasicBlock,  ///< icount2: one call per basic block
+};
+
+/// Receives the final count at Fini time (shared across tool instances).
+struct IcountResult {
+  uint64_t Total = 0;
+};
+
+/// Builds the icount tool factory. \p Result, if non-null, receives the
+/// merged total when the tool's Fini runs.
+pin::ToolFactory
+makeIcountTool(IcountGranularity Granularity,
+               std::shared_ptr<IcountResult> Result = nullptr);
+
+} // namespace spin::tools
+
+#endif // SUPERPIN_TOOLS_ICOUNT_H

@@ -1,0 +1,90 @@
+//===- tools/LoadValueProfile.cpp - Load-value width profiler -------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/LoadValueProfile.h"
+
+#include "support/RawOstream.h"
+#include "vm/Instruction.h"
+
+using namespace spin;
+using namespace spin::pin;
+using namespace spin::tools;
+
+namespace {
+
+class LoadValueProfileTool final : public Tool {
+public:
+  LoadValueProfileTool(SpServices &Services,
+                       std::shared_ptr<LoadValueProfileResult> Result)
+      : Tool(Services), Result(std::move(Result)) {
+    // [loads, zero, fit8, fit16, fit32, wide]
+    Counters = static_cast<uint64_t *>(services().createSharedArea(
+        Local, sizeof(Local), AutoMerge::Add64));
+  }
+
+  std::string_view name() const override { return "loadvalues"; }
+
+  void instrumentTrace(Trace &T) override {
+    for (uint32_t I = 0; I != T.numIns(); ++I) {
+      Ins In = T.insAt(I);
+      const vm::Instruction &Inst = In.inst();
+      // Plain loads only: pop/ret also read memory but model control/stack
+      // traffic rather than data values.
+      bool IsLoad = Inst.Op == vm::Opcode::Ld8u ||
+                    Inst.Op == vm::Opcode::Ld16u ||
+                    Inst.Op == vm::Opcode::Ld32u ||
+                    Inst.Op == vm::Opcode::Ld64;
+      if (!IsLoad)
+        continue;
+      In.insertAfterCall(
+          [this](const uint64_t *A) { classify(A[0]); },
+          {Arg::regValue(Inst.A)});
+    }
+  }
+
+  void onFini(RawOstream &OS) override {
+    OS << "loads: " << Counters[0] << " zero " << Counters[1] << " fit8 "
+       << Counters[2] << " fit16 " << Counters[3] << " fit32 "
+       << Counters[4] << " wide " << Counters[5] << '\n';
+    if (Result) {
+      Result->Loads = Counters[0];
+      Result->ZeroLoads = Counters[1];
+      Result->Fit8 = Counters[2];
+      Result->Fit16 = Counters[3];
+      Result->Fit32 = Counters[4];
+      Result->Wide = Counters[5];
+    }
+  }
+
+private:
+  std::shared_ptr<LoadValueProfileResult> Result;
+  uint64_t Local[6] = {};
+  uint64_t *Counters;
+
+  void classify(uint64_t Value) {
+    ++Counters[0];
+    if (Value == 0)
+      ++Counters[1];
+    else if (Value < (1u << 8))
+      ++Counters[2];
+    else if (Value < (1u << 16))
+      ++Counters[3];
+    else if (Value < (uint64_t(1) << 32))
+      ++Counters[4];
+    else
+      ++Counters[5];
+  }
+};
+
+} // namespace
+
+ToolFactory spin::tools::makeLoadValueProfileTool(
+    std::shared_ptr<LoadValueProfileResult> Result) {
+  return [Result](SpServices &Services) {
+    return std::make_unique<LoadValueProfileTool>(Services, Result);
+  };
+}

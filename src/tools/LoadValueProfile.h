@@ -1,0 +1,41 @@
+//===- tools/LoadValueProfile.h - Load-value width profiler -----*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profiles the values produced by load instructions using IPOINT_AFTER
+/// instrumentation (the destination register is observed after the load
+/// executes): how many loads return zero, and how many significant bits
+/// the loaded values carry (≤8/≤16/≤32/64). This is the classic
+/// value-compressibility analysis, and it doubles as the engine's
+/// IPOINT_AFTER regression tool. Uses an auto-merged shared area.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_TOOLS_LOADVALUEPROFILE_H
+#define SUPERPIN_TOOLS_LOADVALUEPROFILE_H
+
+#include "pin/Tool.h"
+
+#include <memory>
+
+namespace spin::tools {
+
+struct LoadValueProfileResult {
+  uint64_t Loads = 0;
+  uint64_t ZeroLoads = 0;
+  uint64_t Fit8 = 0;  ///< nonzero values fitting in 8 bits
+  uint64_t Fit16 = 0; ///< in 16 but not 8
+  uint64_t Fit32 = 0; ///< in 32 but not 16
+  uint64_t Wide = 0;  ///< needing more than 32 bits
+};
+
+pin::ToolFactory
+makeLoadValueProfileTool(std::shared_ptr<LoadValueProfileResult> Result);
+
+} // namespace spin::tools
+
+#endif // SUPERPIN_TOOLS_LOADVALUEPROFILE_H

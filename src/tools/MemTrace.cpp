@@ -1,0 +1,70 @@
+//===- tools/MemTrace.cpp - Memory tracing Pintool ------------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/MemTrace.h"
+
+#include "support/RawOstream.h"
+
+using namespace spin;
+using namespace spin::pin;
+using namespace spin::tools;
+
+namespace {
+
+class MemTraceTool final : public Tool {
+public:
+  MemTraceTool(SpServices &Services, std::shared_ptr<MemTraceResult> Result)
+      : Tool(Services), Result(std::move(Result)) {}
+
+  std::string_view name() const override { return "memtrace"; }
+
+  void instrumentTrace(Trace &T) override {
+    for (uint32_t I = 0; I != T.numIns(); ++I) {
+      Ins In = T.insAt(I);
+      if (!In.isMemoryRead() && !In.isMemoryWrite())
+        continue;
+      bool IsWrite = In.isMemoryWrite();
+      In.insertCall(
+          [this, IsWrite](const uint64_t *A) {
+            Buffer.push_back(MemRecord{A[0], A[1],
+                                       static_cast<uint32_t>(A[2]), IsWrite});
+          },
+          {Arg::instPtr(), Arg::memoryEa(), Arg::memorySize()},
+          /*UserCost=*/300);
+    }
+  }
+
+  void onSliceBegin(uint32_t) override { Buffer.clear(); }
+
+  /// §4.5: buffered slice output is appended at merge time (slice order).
+  void onSliceEnd(uint32_t) override { flush(); }
+
+  void onFini(RawOstream &OS) override {
+    if (!services().isSuperPin())
+      flush(); // Serial mode: no merge phase; flush at the end.
+    OS << "memtrace: " << Result->Records.size() << " references\n";
+  }
+
+private:
+  std::shared_ptr<MemTraceResult> Result;
+  std::vector<MemRecord> Buffer;
+
+  void flush() {
+    Result->Records.insert(Result->Records.end(), Buffer.begin(),
+                           Buffer.end());
+    Buffer.clear();
+  }
+};
+
+} // namespace
+
+ToolFactory
+spin::tools::makeMemTraceTool(std::shared_ptr<MemTraceResult> Result) {
+  return [Result](SpServices &Services) {
+    return std::make_unique<MemTraceTool>(Services, Result);
+  };
+}

@@ -1,0 +1,64 @@
+//===- tools/OpcodeMix.cpp - Opcode histogram Pintool ---------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/OpcodeMix.h"
+
+#include "support/RawOstream.h"
+
+using namespace spin;
+using namespace spin::pin;
+using namespace spin::tools;
+using namespace spin::vm;
+
+namespace {
+
+class OpcodeMixTool final : public Tool {
+public:
+  OpcodeMixTool(SpServices &Services, std::shared_ptr<OpcodeMixResult> Result)
+      : Tool(Services), Result(std::move(Result)) {
+    Counts = static_cast<uint64_t *>(services().createSharedArea(
+        Local.data(), Local.size() * sizeof(uint64_t), AutoMerge::Add64));
+  }
+
+  std::string_view name() const override { return "opcodemix"; }
+
+  void instrumentTrace(Trace &T) override {
+    for (uint32_t I = 0; I != T.numIns(); ++I) {
+      Ins In = T.insAt(I);
+      In.insertCall([this](const uint64_t *A) { ++Counts[A[0]]; },
+                    {Arg::imm(static_cast<uint64_t>(In.inst().Op))});
+    }
+  }
+
+  void onFini(RawOstream &OS) override {
+    OS << "opcode mix:\n";
+    for (unsigned I = 0; I != NumOpcodes; ++I) {
+      if (Counts[I] == 0)
+        continue;
+      OS << "  ";
+      OS.writePadded(getOpcodeInfo(static_cast<Opcode>(I)).Mnemonic, 10);
+      OS << Counts[I] << '\n';
+    }
+    if (Result)
+      for (unsigned I = 0; I != NumOpcodes; ++I)
+        Result->Counts[I] = Counts[I];
+  }
+
+private:
+  std::shared_ptr<OpcodeMixResult> Result;
+  std::array<uint64_t, NumOpcodes> Local{};
+  uint64_t *Counts;
+};
+
+} // namespace
+
+ToolFactory
+spin::tools::makeOpcodeMixTool(std::shared_ptr<OpcodeMixResult> Result) {
+  return [Result](SpServices &Services) {
+    return std::make_unique<OpcodeMixTool>(Services, Result);
+  };
+}

@@ -1,0 +1,42 @@
+//===- tools/OpcodeMix.h - Opcode histogram Pintool -------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counts dynamic executions per opcode ("profiling dynamic instruction
+/// types", one of the paper's motivating workload-analysis tasks). Uses an
+/// auto-merged uint64 array indexed by opcode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_TOOLS_OPCODEMIX_H
+#define SUPERPIN_TOOLS_OPCODEMIX_H
+
+#include "pin/Tool.h"
+#include "vm/Instruction.h"
+
+#include <array>
+#include <memory>
+
+namespace spin::tools {
+
+struct OpcodeMixResult {
+  std::array<uint64_t, vm::NumOpcodes> Counts{};
+
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (uint64_t C : Counts)
+      Sum += C;
+    return Sum;
+  }
+};
+
+pin::ToolFactory
+makeOpcodeMixTool(std::shared_ptr<OpcodeMixResult> Result = nullptr);
+
+} // namespace spin::tools
+
+#endif // SUPERPIN_TOOLS_OPCODEMIX_H

@@ -1,0 +1,88 @@
+//===- tools/Sampler.cpp - SP_EndSlice sampling profiler ------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/Sampler.h"
+
+#include "support/RawOstream.h"
+
+using namespace spin;
+using namespace spin::pin;
+using namespace spin::tools;
+
+namespace {
+
+class SamplerTool final : public Tool {
+public:
+  SamplerTool(SpServices &Services, uint64_t SampleBudget,
+              std::shared_ptr<SamplerResult> Result)
+      : Tool(Services), SampleBudget(SampleBudget), Result(std::move(Result)) {
+  }
+
+  std::string_view name() const override { return "sampler"; }
+
+  void instrumentTrace(Trace &T) override {
+    for (uint32_t B = 0; B != T.numBbls(); ++B) {
+      Bbl Block = T.bblAt(B);
+      uint64_t Addr = Block.address();
+      Block.insHead().insertCall(
+          [this, Addr](const uint64_t *) {
+            if (Done)
+              return;
+            ++Local[Addr];
+            ++Sampled;
+            if (SampleBudget != 0 && Sampled >= SampleBudget) {
+              Done = true;
+              ++EndedEarly;
+              services().endSlice(); // SP_EndSlice
+            }
+          },
+          {});
+    }
+  }
+
+  void onSliceBegin(uint32_t) override {
+    Local.clear();
+    Sampled = 0;
+    EndedEarly = 0;
+    Done = false;
+  }
+
+  void onSliceEnd(uint32_t) override { flush(); }
+
+  void onFini(RawOstream &OS) override {
+    if (!services().isSuperPin())
+      flush();
+    OS << "sampler: " << Result->SampledBlocks << " block samples, "
+       << Result->SlicesEndedEarly << " slices ended early\n";
+  }
+
+private:
+  uint64_t SampleBudget;
+  std::shared_ptr<SamplerResult> Result;
+  std::map<uint64_t, uint64_t> Local;
+  uint64_t Sampled = 0;
+  uint64_t EndedEarly = 0;
+  bool Done = false;
+
+  void flush() {
+    for (const auto &[Addr, Count] : Local)
+      Result->BlockCounts[Addr] += Count;
+    Result->SampledBlocks += Sampled;
+    Result->SlicesEndedEarly += EndedEarly;
+    Local.clear();
+  }
+};
+
+} // namespace
+
+ToolFactory
+spin::tools::makeSamplerTool(uint64_t SampleBudget,
+                             std::shared_ptr<SamplerResult> Result) {
+  return [SampleBudget, Result](SpServices &Services) {
+    return std::make_unique<SamplerTool>(Services, SampleBudget, Result);
+  };
+}

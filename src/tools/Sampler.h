@@ -1,0 +1,41 @@
+//===- tools/Sampler.h - SP_EndSlice sampling profiler ----------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sampled profiler in the style of Shadow Profiling [18], the paper's
+/// cited SP_EndSlice user: each slice profiles only its first SampleBudget
+/// basic-block executions and then calls SP_EndSlice, trading coverage for
+/// overhead. The merged result is a pc histogram of the sampled prefix of
+/// every timeslice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_TOOLS_SAMPLER_H
+#define SUPERPIN_TOOLS_SAMPLER_H
+
+#include "pin/Tool.h"
+
+#include <map>
+#include <memory>
+
+namespace spin::tools {
+
+struct SamplerResult {
+  /// Block address -> sampled execution count (ordered for determinism).
+  std::map<uint64_t, uint64_t> BlockCounts;
+  uint64_t SampledBlocks = 0;
+  uint64_t SlicesEndedEarly = 0;
+};
+
+/// \p SampleBudget: basic-block executions profiled per slice before the
+/// tool requests SP_EndSlice (0 = unlimited, never end early).
+pin::ToolFactory makeSamplerTool(uint64_t SampleBudget,
+                                 std::shared_ptr<SamplerResult> Result);
+
+} // namespace spin::tools
+
+#endif // SUPERPIN_TOOLS_SAMPLER_H

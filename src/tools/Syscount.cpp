@@ -1,0 +1,63 @@
+//===- tools/Syscount.cpp - Syscall counting Pintool ----------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/Syscount.h"
+
+#include "os/Syscalls.h"
+#include "support/RawOstream.h"
+
+using namespace spin;
+using namespace spin::pin;
+using namespace spin::tools;
+
+namespace {
+
+class SyscountTool final : public Tool {
+public:
+  SyscountTool(SpServices &Services, std::shared_ptr<SyscountResult> Result)
+      : Tool(Services), Result(std::move(Result)) {}
+
+  std::string_view name() const override { return "syscount"; }
+
+  void instrumentTrace(Trace &) override {}
+
+  void onSyscall(uint64_t Number) override { ++Local[Number]; }
+
+  void onSliceBegin(uint32_t) override { Local.clear(); }
+
+  void onSliceEnd(uint32_t) override { flush(); }
+
+  void onFini(RawOstream &OS) override {
+    if (!services().isSuperPin())
+      flush();
+    OS << "syscalls:\n";
+    for (const auto &[Number, Count] : Result->CountByNumber) {
+      OS << "  ";
+      OS.writePadded(os::getSyscallName(Number), 12);
+      OS << Count << '\n';
+    }
+  }
+
+private:
+  std::shared_ptr<SyscountResult> Result;
+  std::map<uint64_t, uint64_t> Local;
+
+  void flush() {
+    for (const auto &[Number, Count] : Local)
+      Result->CountByNumber[Number] += Count;
+    Local.clear();
+  }
+};
+
+} // namespace
+
+ToolFactory
+spin::tools::makeSyscountTool(std::shared_ptr<SyscountResult> Result) {
+  return [Result](SpServices &Services) {
+    return std::make_unique<SyscountTool>(Services, Result);
+  };
+}

@@ -1,0 +1,42 @@
+//===- tools/Syscount.h - Syscall counting Pintool --------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counts system calls by number, in the spirit of Pin's classic syscount
+/// sample tool. Exercises the Tool::onSyscall notification path: under
+/// SuperPin the hook fires inside slices for every syscall the slice
+/// consumes (played back, re-executed, or boundary), so the merged counts
+/// equal a serial run's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_TOOLS_SYSCOUNT_H
+#define SUPERPIN_TOOLS_SYSCOUNT_H
+
+#include "pin/Tool.h"
+
+#include <map>
+#include <memory>
+
+namespace spin::tools {
+
+struct SyscountResult {
+  std::map<uint64_t, uint64_t> CountByNumber;
+
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (const auto &[Number, Count] : CountByNumber)
+      Sum += Count;
+    return Sum;
+  }
+};
+
+pin::ToolFactory makeSyscountTool(std::shared_ptr<SyscountResult> Result);
+
+} // namespace spin::tools
+
+#endif // SUPERPIN_TOOLS_SYSCOUNT_H

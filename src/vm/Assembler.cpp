@@ -1,0 +1,394 @@
+//===- vm/Assembler.cpp - Two-pass guest assembler ------------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Assembler.h"
+
+#include "support/StringExtras.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace spin;
+using namespace spin::vm;
+
+namespace {
+
+/// One pending instruction plus unresolved label references.
+struct PendingInst {
+  Instruction Inst;
+  std::string ImmLabel; ///< label to resolve into Inst.Imm, if nonempty
+  unsigned Line = 0;
+};
+
+class Assembler {
+public:
+  Assembler(std::string_view Source, std::string_view Name)
+      : Source(Source), Name(Name) {}
+
+  std::optional<Program> run(std::string &ErrorMsg);
+
+private:
+  std::string_view Source;
+  std::string_view Name;
+
+  std::vector<PendingInst> Pending;
+  std::vector<uint8_t> Data;
+  std::unordered_map<std::string, uint64_t> Symbols;
+  bool InData = false;
+  unsigned LineNo = 0;
+  std::string Error;
+
+  bool fail(std::string Msg) {
+    Error = "line " + std::to_string(LineNo) + ": " + std::move(Msg);
+    return false;
+  }
+
+  bool parseLine(std::string_view Line);
+  bool parseDirective(std::string_view Head, std::string_view Rest);
+  bool parseInstruction(std::string_view Head, std::string_view Rest);
+  bool parseReg(std::string_view Token, uint8_t &Reg);
+  bool parseImmOrLabel(std::string_view Token, PendingInst &PI);
+  bool parseMemOperand(std::string_view Token, uint8_t &Base, int64_t &Off);
+  bool defineLabel(std::string_view Label);
+  bool parseStringLiteral(std::string_view Token, std::string &Out);
+};
+
+} // namespace
+
+bool Assembler::parseReg(std::string_view Token, uint8_t &Reg) {
+  Token = trim(Token);
+  if (Token == "sp") {
+    Reg = RegSp;
+    return true;
+  }
+  if (Token.size() >= 2 && Token[0] == 'r') {
+    std::optional<uint64_t> Num = parseUint(Token.substr(1));
+    if (Num && *Num < NumRegs) {
+      Reg = static_cast<uint8_t>(*Num);
+      return true;
+    }
+  }
+  return fail("expected register, got '" + std::string(Token) + "'");
+}
+
+bool Assembler::parseImmOrLabel(std::string_view Token, PendingInst &PI) {
+  Token = trim(Token);
+  if (std::optional<int64_t> Value = parseInt(Token)) {
+    PI.Inst.Imm = *Value;
+    return true;
+  }
+  if (isValidIdentifier(Token)) {
+    PI.ImmLabel = std::string(Token);
+    return true;
+  }
+  return fail("expected immediate or label, got '" + std::string(Token) +
+              "'");
+}
+
+bool Assembler::parseMemOperand(std::string_view Token, uint8_t &Base,
+                                int64_t &Off) {
+  Token = trim(Token);
+  if (Token.size() < 3 || Token.front() != '[' || Token.back() != ']')
+    return fail("expected memory operand [reg+off], got '" +
+                std::string(Token) + "'");
+  std::string_view Inner = trim(Token.substr(1, Token.size() - 2));
+  // Find a +/- separator after the register name (if any).
+  size_t SepPos = Inner.find_first_of("+-", 1);
+  std::string_view RegPart =
+      SepPos == std::string_view::npos ? Inner : Inner.substr(0, SepPos);
+  if (!parseReg(RegPart, Base))
+    return false;
+  Off = 0;
+  if (SepPos != std::string_view::npos) {
+    std::optional<int64_t> Value = parseInt(Inner.substr(SepPos));
+    if (!Value)
+      return fail("bad memory offset in '" + std::string(Token) + "'");
+    Off = *Value;
+  }
+  return true;
+}
+
+bool Assembler::defineLabel(std::string_view Label) {
+  if (!isValidIdentifier(Label))
+    return fail("invalid label '" + std::string(Label) + "'");
+  std::string Key(Label);
+  if (Symbols.count(Key))
+    return fail("redefinition of label '" + Key + "'");
+  uint64_t Addr = InData ? AddressLayout::DataBase + Data.size()
+                         : Program::addressOfIndex(Pending.size());
+  Symbols.emplace(std::move(Key), Addr);
+  return true;
+}
+
+bool Assembler::parseStringLiteral(std::string_view Token, std::string &Out) {
+  Token = trim(Token);
+  if (Token.size() < 2 || Token.front() != '"' || Token.back() != '"')
+    return fail("expected string literal");
+  std::string_view Body = Token.substr(1, Token.size() - 2);
+  for (size_t I = 0; I != Body.size(); ++I) {
+    char C = Body[I];
+    if (C == '\\' && I + 1 != Body.size()) {
+      ++I;
+      switch (Body[I]) {
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case '0':
+        Out.push_back('\0');
+        break;
+      case '\\':
+        Out.push_back('\\');
+        break;
+      case '"':
+        Out.push_back('"');
+        break;
+      default:
+        return fail("unknown escape in string literal");
+      }
+    } else {
+      Out.push_back(C);
+    }
+  }
+  return true;
+}
+
+bool Assembler::parseDirective(std::string_view Head, std::string_view Rest) {
+  if (Head == ".text") {
+    InData = false;
+    return true;
+  }
+  if (Head == ".data") {
+    InData = true;
+    return true;
+  }
+  if (!InData)
+    return fail("directive '" + std::string(Head) +
+                "' only allowed in .data section");
+  if (Head == ".space") {
+    std::optional<uint64_t> Size = parseUint(Rest);
+    if (!Size)
+      return fail(".space needs a size");
+    Data.resize(Data.size() + *Size, 0);
+    return true;
+  }
+  if (Head == ".align") {
+    std::optional<uint64_t> Align = parseUint(Rest);
+    if (!Align || *Align == 0 || (*Align & (*Align - 1)) != 0)
+      return fail(".align needs a power-of-two argument");
+    while (Data.size() % *Align != 0)
+      Data.push_back(0);
+    return true;
+  }
+  if (Head == ".asciiz") {
+    std::string Text;
+    if (!parseStringLiteral(Rest, Text))
+      return false;
+    for (char C : Text)
+      Data.push_back(static_cast<uint8_t>(C));
+    Data.push_back(0);
+    return true;
+  }
+  unsigned Width = 0;
+  if (Head == ".word8")
+    Width = 1;
+  else if (Head == ".word16")
+    Width = 2;
+  else if (Head == ".word32")
+    Width = 4;
+  else if (Head == ".word64")
+    Width = 8;
+  else
+    return fail("unknown directive '" + std::string(Head) + "'");
+  for (std::string_view Piece : split(Rest, ',')) {
+    std::optional<int64_t> Value = parseInt(trim(Piece));
+    if (!Value)
+      return fail("bad value in " + std::string(Head));
+    uint64_t Bits = static_cast<uint64_t>(*Value);
+    for (unsigned I = 0; I != Width; ++I)
+      Data.push_back(static_cast<uint8_t>(Bits >> (8 * I)));
+  }
+  return true;
+}
+
+bool Assembler::parseInstruction(std::string_view Head,
+                                 std::string_view Rest) {
+  if (InData)
+    return fail("instruction in .data section");
+
+  // Find the opcode by mnemonic.
+  Opcode Op = Opcode::NumOpcodes;
+  for (unsigned I = 0; I != NumOpcodes; ++I) {
+    if (getOpcodeInfo(static_cast<Opcode>(I)).Mnemonic == Head) {
+      Op = static_cast<Opcode>(I);
+      break;
+    }
+  }
+  if (Op == Opcode::NumOpcodes)
+    return fail("unknown mnemonic '" + std::string(Head) + "'");
+
+  PendingInst PI;
+  PI.Inst.Op = Op;
+  PI.Line = LineNo;
+  std::vector<std::string_view> Ops;
+  for (std::string_view Piece : split(Rest, ','))
+    if (!trim(Piece).empty())
+      Ops.push_back(trim(Piece));
+
+  auto Expect = [&](size_t N) {
+    if (Ops.size() == N)
+      return true;
+    return fail("expected " + std::to_string(N) + " operand(s) for '" +
+                std::string(Head) + "'");
+  };
+
+  const OpcodeInfo &Info = getOpcodeInfo(Op);
+  switch (Info.Format) {
+  case OpFormat::None:
+    if (!Expect(0))
+      return false;
+    break;
+  case OpFormat::R1:
+    if (!Expect(1) || !parseReg(Ops[0], PI.Inst.A))
+      return false;
+    break;
+  case OpFormat::R2:
+    if (!Expect(2) || !parseReg(Ops[0], PI.Inst.A) ||
+        !parseReg(Ops[1], PI.Inst.B))
+      return false;
+    break;
+  case OpFormat::R3:
+    if (!Expect(3) || !parseReg(Ops[0], PI.Inst.A) ||
+        !parseReg(Ops[1], PI.Inst.B) || !parseReg(Ops[2], PI.Inst.C))
+      return false;
+    break;
+  case OpFormat::R1I:
+    if (!Expect(2) || !parseReg(Ops[0], PI.Inst.A) ||
+        !parseImmOrLabel(Ops[1], PI))
+      return false;
+    break;
+  case OpFormat::R2I:
+    if (!Expect(3) || !parseReg(Ops[0], PI.Inst.A) ||
+        !parseReg(Ops[1], PI.Inst.B) || !parseImmOrLabel(Ops[2], PI))
+      return false;
+    break;
+  case OpFormat::Mem:
+    if (PI.Inst.Op == Opcode::Incm) {
+      if (!Expect(1) || !parseMemOperand(Ops[0], PI.Inst.B, PI.Inst.Imm))
+        return false;
+    } else if (!Expect(2) || !parseReg(Ops[0], PI.Inst.A) ||
+               !parseMemOperand(Ops[1], PI.Inst.B, PI.Inst.Imm)) {
+      return false;
+    }
+    break;
+  case OpFormat::MemStore:
+    if (!Expect(2) || !parseMemOperand(Ops[0], PI.Inst.A, PI.Inst.Imm) ||
+        !parseReg(Ops[1], PI.Inst.B))
+      return false;
+    break;
+  case OpFormat::JumpI:
+    if (!Expect(1) || !parseImmOrLabel(Ops[0], PI))
+      return false;
+    break;
+  case OpFormat::Branch:
+    if (!Expect(3) || !parseReg(Ops[0], PI.Inst.A) ||
+        !parseReg(Ops[1], PI.Inst.B) || !parseImmOrLabel(Ops[2], PI))
+      return false;
+    break;
+  }
+  Pending.push_back(std::move(PI));
+  return true;
+}
+
+bool Assembler::parseLine(std::string_view Line) {
+  // Strip comments.
+  size_t CommentPos = Line.find_first_of(";#");
+  if (CommentPos != std::string_view::npos)
+    Line = Line.substr(0, CommentPos);
+  Line = trim(Line);
+  if (Line.empty())
+    return true;
+
+  // Leading labels (possibly several).
+  while (true) {
+    size_t Colon = Line.find(':');
+    if (Colon == std::string_view::npos)
+      break;
+    std::string_view Candidate = trim(Line.substr(0, Colon));
+    // A colon inside a string literal or operand list is not a label.
+    if (!isValidIdentifier(Candidate))
+      break;
+    if (!defineLabel(Candidate))
+      return false;
+    Line = trim(Line.substr(Colon + 1));
+    if (Line.empty())
+      return true;
+  }
+
+  // Split mnemonic/directive from operands.
+  size_t SpacePos = Line.find_first_of(" \t");
+  std::string_view Head =
+      SpacePos == std::string_view::npos ? Line : Line.substr(0, SpacePos);
+  std::string_view Rest =
+      SpacePos == std::string_view::npos ? "" : trim(Line.substr(SpacePos));
+
+  if (!Head.empty() && Head[0] == '.')
+    return parseDirective(Head, Rest);
+  return parseInstruction(Head, Rest);
+}
+
+std::optional<Program> Assembler::run(std::string &ErrorMsg) {
+  // Pass 1: parse everything, collecting labels and pending instructions.
+  size_t Pos = 0;
+  while (Pos <= Source.size()) {
+    size_t Eol = Source.find('\n', Pos);
+    if (Eol == std::string_view::npos)
+      Eol = Source.size();
+    ++LineNo;
+    if (!parseLine(Source.substr(Pos, Eol - Pos))) {
+      ErrorMsg = Error;
+      return std::nullopt;
+    }
+    Pos = Eol + 1;
+  }
+
+  // Pass 2: resolve label immediates.
+  Program Prog;
+  Prog.Name = std::string(Name);
+  Prog.Symbols = Symbols;
+  Prog.DataInit = std::move(Data);
+  Prog.Text.reserve(Pending.size());
+  for (PendingInst &PI : Pending) {
+    if (!PI.ImmLabel.empty()) {
+      auto It = Symbols.find(PI.ImmLabel);
+      if (It == Symbols.end()) {
+        ErrorMsg = "line " + std::to_string(PI.Line) +
+                   ": undefined label '" + PI.ImmLabel + "'";
+        return std::nullopt;
+      }
+      PI.Inst.Imm = static_cast<int64_t>(It->second);
+    }
+    Prog.Text.push_back(PI.Inst);
+  }
+  if (Prog.Text.empty()) {
+    ErrorMsg = "program has no instructions";
+    return std::nullopt;
+  }
+  auto MainIt = Symbols.find("main");
+  Prog.EntryPc = MainIt != Symbols.end() ? MainIt->second
+                                         : AddressLayout::TextBase;
+  return Prog;
+}
+
+std::optional<Program> spin::vm::assemble(std::string_view Source,
+                                          std::string_view Name,
+                                          std::string &ErrorMsg) {
+  Assembler Asm(Source, Name);
+  return Asm.run(ErrorMsg);
+}

@@ -1,0 +1,57 @@
+//===- vm/Assembler.h - Two-pass guest assembler ----------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-pass assembler for the guest ISA. It exists so tests and examples
+/// can express guest programs readably; the workload generators use the
+/// ProgramBuilder API instead.
+///
+/// Syntax:
+/// \code
+///   ; line comment (also #)
+///   .text                 ; switch to text section (default)
+///   .data                 ; switch to data section
+///   main:                 ; label (text: instruction addr; data: byte addr)
+///     movi r1, 100
+///     movi r2, buf        ; labels are address constants
+///   loop:
+///     addi r1, r1, -1
+///     bne  r1, r0, loop
+///     ld64 r3, [r2+8]
+///     st64 [r2+16], r3
+///     syscall
+///   .data
+///   buf:  .space 64
+///   vals: .word64 1, 2, 3
+///   msg:  .asciiz "hi"
+///   .align 8
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_VM_ASSEMBLER_H
+#define SUPERPIN_VM_ASSEMBLER_H
+
+#include "vm/Program.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace spin::vm {
+
+/// Assembles \p Source into a Program named \p Name. The entry point is the
+/// `main` label if present, otherwise the first text instruction.
+///
+/// \returns the program, or std::nullopt with a "line N: message" diagnostic
+/// in \p ErrorMsg.
+std::optional<Program> assemble(std::string_view Source, std::string_view Name,
+                                std::string &ErrorMsg);
+
+} // namespace spin::vm
+
+#endif // SUPERPIN_VM_ASSEMBLER_H

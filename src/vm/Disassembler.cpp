@@ -1,0 +1,86 @@
+//===- vm/Disassembler.cpp - Guest instruction printing -------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Disassembler.h"
+
+#include "support/ErrorHandling.h"
+#include "vm/Program.h"
+
+#include <cstdio>
+
+using namespace spin;
+using namespace spin::vm;
+
+static std::string immString(int64_t Imm) { return std::to_string(Imm); }
+
+std::string spin::vm::disassemble(const Instruction &I) {
+  const OpcodeInfo &Info = I.info();
+  std::string Out(Info.Mnemonic);
+  auto Reg = [](uint8_t R) { return std::string(getRegName(R)); };
+  switch (Info.Format) {
+  case OpFormat::None:
+    break;
+  case OpFormat::R1:
+    Out += " " + Reg(I.A);
+    break;
+  case OpFormat::R2:
+    Out += " " + Reg(I.A) + ", " + Reg(I.B);
+    break;
+  case OpFormat::R3:
+    Out += " " + Reg(I.A) + ", " + Reg(I.B) + ", " + Reg(I.C);
+    break;
+  case OpFormat::R1I:
+    Out += " " + Reg(I.A) + ", " + immString(I.Imm);
+    break;
+  case OpFormat::R2I:
+    Out += " " + Reg(I.A) + ", " + Reg(I.B) + ", " + immString(I.Imm);
+    break;
+  case OpFormat::Mem:
+    if (I.Op == Opcode::Incm)
+      Out += " [" + Reg(I.B) + (I.Imm >= 0 ? "+" : "") + immString(I.Imm) +
+             "]";
+    else
+      Out += " " + Reg(I.A) + ", [" + Reg(I.B) + (I.Imm >= 0 ? "+" : "") +
+             immString(I.Imm) + "]";
+    break;
+  case OpFormat::MemStore:
+    Out += " [" + Reg(I.A) + (I.Imm >= 0 ? "+" : "") + immString(I.Imm) +
+           "], " + Reg(I.B);
+    break;
+  case OpFormat::JumpI:
+    Out += " " + immString(I.Imm);
+    break;
+  case OpFormat::Branch:
+    Out += " " + Reg(I.A) + ", " + Reg(I.B) + ", " + immString(I.Imm);
+    break;
+  }
+  return Out;
+}
+
+std::string spin::vm::disassembleProgram(const Program &Prog) {
+  // Build a reverse symbol map for label comments.
+  std::unordered_map<uint64_t, std::string> Labels;
+  for (const auto &[Name, Addr] : Prog.Symbols)
+    Labels.emplace(Addr, Name);
+
+  std::string Out;
+  for (uint64_t Index = 0; Index != Prog.Text.size(); ++Index) {
+    uint64_t Addr = Program::addressOfIndex(Index);
+    auto LabelIt = Labels.find(Addr);
+    if (LabelIt != Labels.end()) {
+      Out += LabelIt->second;
+      Out += ":\n";
+    }
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "  %08llx:  ",
+                  static_cast<unsigned long long>(Addr));
+    Out += Buf;
+    Out += disassemble(Prog.Text[Index]);
+    Out += '\n';
+  }
+  return Out;
+}

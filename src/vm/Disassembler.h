@@ -1,0 +1,33 @@
+//===- vm/Disassembler.h - Guest instruction printing -----------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders decoded guest instructions back to assembly text. The output is
+/// accepted by the Assembler, which the round-trip tests rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_VM_DISASSEMBLER_H
+#define SUPERPIN_VM_DISASSEMBLER_H
+
+#include "vm/Instruction.h"
+
+#include <string>
+
+namespace spin::vm {
+
+class Program;
+
+/// Renders \p I as one line of assembly (no trailing newline).
+std::string disassemble(const Instruction &I);
+
+/// Renders the whole program with addresses and label comments.
+std::string disassembleProgram(const Program &Prog);
+
+} // namespace spin::vm
+
+#endif // SUPERPIN_VM_DISASSEMBLER_H

@@ -1,0 +1,326 @@
+//===- vm/Exec.h - Single-instruction execution semantics -------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one place that defines guest instruction semantics. Both the plain
+/// interpreter (native execution of the master application) and the MiniPin
+/// JIT-compiled traces (instrumented slice execution) call executeInstruction
+/// so the two paths can never diverge behaviourally — a prerequisite for
+/// SuperPin's slices reproducing exactly the master's computation.
+///
+/// Division by zero follows the RISC-V convention (quotient = all ones,
+/// remainder = dividend) so no instruction can fault; the only architectural
+/// events are Syscall and Halt.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_VM_EXEC_H
+#define SUPERPIN_VM_EXEC_H
+
+#include "support/ErrorHandling.h"
+#include "vm/GuestMemory.h"
+#include "vm/Instruction.h"
+#include "vm/Program.h"
+
+namespace spin::vm {
+
+/// Outcome classification of one instruction.
+enum class ExecStatus : uint8_t {
+  Ok,      ///< executed; CpuState advanced
+  Syscall, ///< NOT executed; the environment must service it and advance Pc
+  Halt,    ///< halt instruction reached
+};
+
+/// Side-channel facts about an executed instruction, consumed by the
+/// instrumentation argument marshalling (IARG_* equivalents).
+struct ExecInfo {
+  uint64_t MemAddr = 0;    ///< effective address if the op touches memory
+  uint32_t MemSize = 0;    ///< access size in bytes (0 if none)
+  bool BranchTaken = false;
+};
+
+/// Computes the effective address of \p I's memory operand (including the
+/// implicit stack accesses of push/pop/call/ret) given pre-execution state.
+/// Returns 0 and sets \p Size to 0 for non-memory instructions.
+inline uint64_t computeMemEA(const Instruction &I, const CpuState &S,
+                             uint32_t &Size) {
+  switch (I.Op) {
+  case Opcode::Ld8u:
+    Size = 1;
+    return S.Regs[I.B] + static_cast<uint64_t>(I.Imm);
+  case Opcode::Ld16u:
+    Size = 2;
+    return S.Regs[I.B] + static_cast<uint64_t>(I.Imm);
+  case Opcode::Ld32u:
+    Size = 4;
+    return S.Regs[I.B] + static_cast<uint64_t>(I.Imm);
+  case Opcode::Ld64:
+  case Opcode::Incm:
+    Size = 8;
+    return S.Regs[I.B] + static_cast<uint64_t>(I.Imm);
+  case Opcode::St8:
+    Size = 1;
+    return S.Regs[I.A] + static_cast<uint64_t>(I.Imm);
+  case Opcode::St16:
+    Size = 2;
+    return S.Regs[I.A] + static_cast<uint64_t>(I.Imm);
+  case Opcode::St32:
+    Size = 4;
+    return S.Regs[I.A] + static_cast<uint64_t>(I.Imm);
+  case Opcode::St64:
+    Size = 8;
+    return S.Regs[I.A] + static_cast<uint64_t>(I.Imm);
+  case Opcode::Push:
+  case Opcode::Call:
+  case Opcode::Callr:
+    Size = 8;
+    return S.sp() - 8;
+  case Opcode::Pop:
+  case Opcode::Ret:
+    Size = 8;
+    return S.sp();
+  default:
+    Size = 0;
+    return 0;
+  }
+}
+
+/// Evaluates, without side effects, whether control-flow instruction \p I
+/// would transfer control (true for unconditional transfers). Used to
+/// marshal IARG_BRANCH_TAKEN before the instruction executes.
+inline bool wouldBranch(const Instruction &I, const CpuState &S) {
+  switch (I.Op) {
+  case Opcode::Beq:
+    return S.Regs[I.A] == S.Regs[I.B];
+  case Opcode::Bne:
+    return S.Regs[I.A] != S.Regs[I.B];
+  case Opcode::Blt:
+    return static_cast<int64_t>(S.Regs[I.A]) <
+           static_cast<int64_t>(S.Regs[I.B]);
+  case Opcode::Bge:
+    return static_cast<int64_t>(S.Regs[I.A]) >=
+           static_cast<int64_t>(S.Regs[I.B]);
+  case Opcode::Bltu:
+    return S.Regs[I.A] < S.Regs[I.B];
+  case Opcode::Bgeu:
+    return S.Regs[I.A] >= S.Regs[I.B];
+  default:
+    return I.isControlFlow();
+  }
+}
+
+/// Evaluates, without side effects, where control-flow instruction \p I
+/// would transfer to if taken (IARG_BRANCH_TARGET_ADDR). Returns the
+/// fall-through address for non-control-flow instructions.
+inline uint64_t branchTargetOf(const Instruction &I, uint64_t Pc,
+                               const CpuState &S, const GuestMemory &M) {
+  switch (I.Op) {
+  case Opcode::Jmp:
+  case Opcode::Call:
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Bltu:
+  case Opcode::Bgeu:
+    return static_cast<uint64_t>(I.Imm);
+  case Opcode::Jr:
+  case Opcode::Callr:
+    return S.Regs[I.A];
+  case Opcode::Ret:
+    return M.read64(S.sp());
+  default:
+    return Pc + InstSize;
+  }
+}
+
+/// Executes \p I at \p Pc, updating \p S (including S.Pc) and \p M.
+/// \p Info receives memory/branch facts for instrumentation.
+inline ExecStatus executeInstruction(const Instruction &I, uint64_t Pc,
+                                     CpuState &S, GuestMemory &M,
+                                     ExecInfo &Info) {
+  uint64_t NextPc = Pc + InstSize;
+  Info.BranchTaken = false;
+  Info.MemAddr = computeMemEA(I, S, Info.MemSize);
+
+  switch (I.Op) {
+  case Opcode::Nop:
+    break;
+  case Opcode::Halt:
+    S.Pc = Pc;
+    return ExecStatus::Halt;
+  case Opcode::Mov:
+    S.Regs[I.A] = S.Regs[I.B];
+    break;
+  case Opcode::Movi:
+    S.Regs[I.A] = static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::Add:
+    S.Regs[I.A] = S.Regs[I.B] + S.Regs[I.C];
+    break;
+  case Opcode::Sub:
+    S.Regs[I.A] = S.Regs[I.B] - S.Regs[I.C];
+    break;
+  case Opcode::Mul:
+    S.Regs[I.A] = S.Regs[I.B] * S.Regs[I.C];
+    break;
+  case Opcode::Divu:
+    S.Regs[I.A] =
+        S.Regs[I.C] == 0 ? ~uint64_t(0) : S.Regs[I.B] / S.Regs[I.C];
+    break;
+  case Opcode::Remu:
+    S.Regs[I.A] = S.Regs[I.C] == 0 ? S.Regs[I.B] : S.Regs[I.B] % S.Regs[I.C];
+    break;
+  case Opcode::And:
+    S.Regs[I.A] = S.Regs[I.B] & S.Regs[I.C];
+    break;
+  case Opcode::Or:
+    S.Regs[I.A] = S.Regs[I.B] | S.Regs[I.C];
+    break;
+  case Opcode::Xor:
+    S.Regs[I.A] = S.Regs[I.B] ^ S.Regs[I.C];
+    break;
+  case Opcode::Shl:
+    S.Regs[I.A] = S.Regs[I.B] << (S.Regs[I.C] & 63);
+    break;
+  case Opcode::Shr:
+    S.Regs[I.A] = S.Regs[I.B] >> (S.Regs[I.C] & 63);
+    break;
+  case Opcode::Sar:
+    S.Regs[I.A] = static_cast<uint64_t>(static_cast<int64_t>(S.Regs[I.B]) >>
+                                        (S.Regs[I.C] & 63));
+    break;
+  case Opcode::Slt:
+    S.Regs[I.A] = static_cast<int64_t>(S.Regs[I.B]) <
+                          static_cast<int64_t>(S.Regs[I.C])
+                      ? 1
+                      : 0;
+    break;
+  case Opcode::Sltu:
+    S.Regs[I.A] = S.Regs[I.B] < S.Regs[I.C] ? 1 : 0;
+    break;
+  case Opcode::Addi:
+    S.Regs[I.A] = S.Regs[I.B] + static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::Muli:
+    S.Regs[I.A] = S.Regs[I.B] * static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::Andi:
+    S.Regs[I.A] = S.Regs[I.B] & static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::Ori:
+    S.Regs[I.A] = S.Regs[I.B] | static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::Xori:
+    S.Regs[I.A] = S.Regs[I.B] ^ static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::Shli:
+    S.Regs[I.A] = S.Regs[I.B] << (static_cast<uint64_t>(I.Imm) & 63);
+    break;
+  case Opcode::Shri:
+    S.Regs[I.A] = S.Regs[I.B] >> (static_cast<uint64_t>(I.Imm) & 63);
+    break;
+  case Opcode::Slti:
+    S.Regs[I.A] =
+        static_cast<int64_t>(S.Regs[I.B]) < I.Imm ? 1 : 0;
+    break;
+  case Opcode::Ld8u:
+    S.Regs[I.A] = M.read8(Info.MemAddr);
+    break;
+  case Opcode::Ld16u:
+    S.Regs[I.A] = M.read16(Info.MemAddr);
+    break;
+  case Opcode::Ld32u:
+    S.Regs[I.A] = M.read32(Info.MemAddr);
+    break;
+  case Opcode::Ld64:
+    S.Regs[I.A] = M.read64(Info.MemAddr);
+    break;
+  case Opcode::St8:
+    M.write8(Info.MemAddr, static_cast<uint8_t>(S.Regs[I.B]));
+    break;
+  case Opcode::St16:
+    M.write16(Info.MemAddr, static_cast<uint16_t>(S.Regs[I.B]));
+    break;
+  case Opcode::St32:
+    M.write32(Info.MemAddr, static_cast<uint32_t>(S.Regs[I.B]));
+    break;
+  case Opcode::St64:
+    M.write64(Info.MemAddr, S.Regs[I.B]);
+    break;
+  case Opcode::Incm:
+    M.write64(Info.MemAddr, M.read64(Info.MemAddr) + 1);
+    break;
+  case Opcode::Push:
+    S.setSp(S.sp() - 8);
+    M.write64(S.sp(), S.Regs[I.A]);
+    break;
+  case Opcode::Pop:
+    S.Regs[I.A] = M.read64(S.sp());
+    S.setSp(S.sp() + 8);
+    break;
+  case Opcode::Jmp:
+    NextPc = static_cast<uint64_t>(I.Imm);
+    Info.BranchTaken = true;
+    break;
+  case Opcode::Jr:
+    NextPc = S.Regs[I.A];
+    Info.BranchTaken = true;
+    break;
+  case Opcode::Call:
+    S.setSp(S.sp() - 8);
+    M.write64(S.sp(), Pc + InstSize);
+    NextPc = static_cast<uint64_t>(I.Imm);
+    Info.BranchTaken = true;
+    break;
+  case Opcode::Callr:
+    S.setSp(S.sp() - 8);
+    M.write64(S.sp(), Pc + InstSize);
+    NextPc = S.Regs[I.A];
+    Info.BranchTaken = true;
+    break;
+  case Opcode::Ret:
+    NextPc = M.read64(S.sp());
+    S.setSp(S.sp() + 8);
+    Info.BranchTaken = true;
+    break;
+  case Opcode::Beq:
+    Info.BranchTaken = S.Regs[I.A] == S.Regs[I.B];
+    break;
+  case Opcode::Bne:
+    Info.BranchTaken = S.Regs[I.A] != S.Regs[I.B];
+    break;
+  case Opcode::Blt:
+    Info.BranchTaken = static_cast<int64_t>(S.Regs[I.A]) <
+                       static_cast<int64_t>(S.Regs[I.B]);
+    break;
+  case Opcode::Bge:
+    Info.BranchTaken = static_cast<int64_t>(S.Regs[I.A]) >=
+                       static_cast<int64_t>(S.Regs[I.B]);
+    break;
+  case Opcode::Bltu:
+    Info.BranchTaken = S.Regs[I.A] < S.Regs[I.B];
+    break;
+  case Opcode::Bgeu:
+    Info.BranchTaken = S.Regs[I.A] >= S.Regs[I.B];
+    break;
+  case Opcode::Syscall:
+    S.Pc = Pc; // Not executed; environment services it and advances Pc.
+    return ExecStatus::Syscall;
+  case Opcode::NumOpcodes:
+    sp_unreachable("invalid opcode");
+  }
+
+  if (I.isCondBranch() && Info.BranchTaken)
+    NextPc = static_cast<uint64_t>(I.Imm);
+  S.Pc = NextPc;
+  return ExecStatus::Ok;
+}
+
+} // namespace spin::vm
+
+#endif // SUPERPIN_VM_EXEC_H

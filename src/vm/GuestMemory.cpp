@@ -1,0 +1,150 @@
+//===- vm/GuestMemory.cpp - Paged copy-on-write guest memory --------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/GuestMemory.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace spin;
+using namespace spin::vm;
+
+MemoryEventListener::~MemoryEventListener() = default;
+
+GuestMemory GuestMemory::fork() const {
+  GuestMemory Child;
+  Child.Pages = Pages; // Shares every page; both sides now COW.
+  return Child;
+}
+
+uint64_t GuestMemory::numSharedPages() const {
+  uint64_t Shared = 0;
+  for (const auto &[PageNum, Ptr] : Pages)
+    if (Ptr.use_count() > 1)
+      ++Shared;
+  return Shared;
+}
+
+const GuestMemory::Page *GuestMemory::getPageForRead(uint64_t PageNum) const {
+  auto It = Pages.find(PageNum);
+  return It == Pages.end() ? nullptr : It->second.get();
+}
+
+GuestMemory::Page *GuestMemory::getPageForWrite(uint64_t PageNum) {
+  PagePtr &Slot = Pages[PageNum];
+  if (!Slot) {
+    Slot = std::make_shared<Page>();
+    if (Listener)
+      Listener->onPageAlloc(PageNum << PageShift);
+  } else if (Slot.use_count() > 1) {
+    Slot = std::make_shared<Page>(*Slot);
+    if (Listener)
+      Listener->onCowCopy(PageNum << PageShift);
+  }
+  return Slot.get();
+}
+
+template <typename T> T GuestMemory::readScalar(uint64_t Addr) const {
+  uint64_t Offset = Addr & (PageSize - 1);
+  if (Offset + sizeof(T) <= PageSize) {
+    const Page *P = getPageForRead(Addr >> PageShift);
+    if (!P)
+      return T(0);
+    T Value;
+    std::memcpy(&Value, P->Bytes.data() + Offset, sizeof(T));
+    return Value;
+  }
+  // Slow path: straddles a page boundary.
+  T Value;
+  readBytes(Addr, &Value, sizeof(T));
+  return Value;
+}
+
+template <typename T> void GuestMemory::writeScalar(uint64_t Addr, T Value) {
+  uint64_t Offset = Addr & (PageSize - 1);
+  if (Offset + sizeof(T) <= PageSize) {
+    Page *P = getPageForWrite(Addr >> PageShift);
+    std::memcpy(P->Bytes.data() + Offset, &Value, sizeof(T));
+    return;
+  }
+  writeBytes(Addr, &Value, sizeof(T));
+}
+
+uint8_t GuestMemory::read8(uint64_t Addr) const {
+  return readScalar<uint8_t>(Addr);
+}
+uint16_t GuestMemory::read16(uint64_t Addr) const {
+  return readScalar<uint16_t>(Addr);
+}
+uint32_t GuestMemory::read32(uint64_t Addr) const {
+  return readScalar<uint32_t>(Addr);
+}
+uint64_t GuestMemory::read64(uint64_t Addr) const {
+  return readScalar<uint64_t>(Addr);
+}
+void GuestMemory::write8(uint64_t Addr, uint8_t Value) {
+  writeScalar(Addr, Value);
+}
+void GuestMemory::write16(uint64_t Addr, uint16_t Value) {
+  writeScalar(Addr, Value);
+}
+void GuestMemory::write32(uint64_t Addr, uint32_t Value) {
+  writeScalar(Addr, Value);
+}
+void GuestMemory::write64(uint64_t Addr, uint64_t Value) {
+  writeScalar(Addr, Value);
+}
+
+void GuestMemory::readBytes(uint64_t Addr, void *Out, uint64_t Size) const {
+  uint8_t *Dest = static_cast<uint8_t *>(Out);
+  while (Size > 0) {
+    uint64_t Offset = Addr & (PageSize - 1);
+    uint64_t Chunk = PageSize - Offset;
+    if (Chunk > Size)
+      Chunk = Size;
+    if (const Page *P = getPageForRead(Addr >> PageShift))
+      std::memcpy(Dest, P->Bytes.data() + Offset, Chunk);
+    else
+      std::memset(Dest, 0, Chunk);
+    Dest += Chunk;
+    Addr += Chunk;
+    Size -= Chunk;
+  }
+}
+
+void GuestMemory::writeBytes(uint64_t Addr, const void *Data, uint64_t Size) {
+  const uint8_t *Src = static_cast<const uint8_t *>(Data);
+  while (Size > 0) {
+    uint64_t Offset = Addr & (PageSize - 1);
+    uint64_t Chunk = PageSize - Offset;
+    if (Chunk > Size)
+      Chunk = Size;
+    Page *P = getPageForWrite(Addr >> PageShift);
+    std::memcpy(P->Bytes.data() + Offset, Src, Chunk);
+    Src += Chunk;
+    Addr += Chunk;
+    Size -= Chunk;
+  }
+}
+
+void GuestMemory::discardRange(uint64_t Addr, uint64_t Size) {
+  uint64_t End = Addr + Size;
+  while (Addr < End) {
+    uint64_t Offset = Addr & (PageSize - 1);
+    uint64_t Chunk = PageSize - Offset;
+    if (Chunk > End - Addr)
+      Chunk = End - Addr;
+    if (Offset == 0 && Chunk == PageSize) {
+      Pages.erase(Addr >> PageShift);
+    } else if (Pages.count(Addr >> PageShift)) {
+      // Zero the partial range without dropping the page.
+      Page *P = getPageForWrite(Addr >> PageShift);
+      std::memset(P->Bytes.data() + Offset, 0, Chunk);
+    }
+    Addr += Chunk;
+  }
+}

@@ -1,0 +1,30 @@
+//===- vm/Instruction.cpp - Guest ISA instruction metadata ----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Instruction.h"
+
+using namespace spin;
+using namespace spin::vm;
+
+static const OpcodeInfo OpcodeTable[] = {
+#define VISA_OP(NAME, MNEMONIC, FORMAT, FLAGS)                                 \
+  {MNEMONIC, OpFormat::FORMAT, static_cast<uint16_t>(FLAGS)},
+#include "vm/Opcodes.def"
+};
+
+const OpcodeInfo &spin::vm::getOpcodeInfo(Opcode Op) {
+  assert(static_cast<unsigned>(Op) < NumOpcodes && "invalid opcode");
+  return OpcodeTable[static_cast<unsigned>(Op)];
+}
+
+std::string_view spin::vm::getRegName(unsigned Reg) {
+  static const std::string_view Names[NumRegs] = {
+      "r0", "r1", "r2",  "r3",  "r4",  "r5",  "r6",  "r7",
+      "r8", "r9", "r10", "r11", "r12", "r13", "r14", "sp"};
+  assert(Reg < NumRegs && "invalid register number");
+  return Names[Reg];
+}

@@ -1,0 +1,117 @@
+//===- vm/Instruction.h - Guest ISA instruction representation --*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guest instruction set ("VISA") enumeration, per-opcode metadata, and
+/// the decoded Instruction struct. The guest ISA plays the role IA-32 played
+/// in the original SuperPin: a deterministic machine language that the
+/// MiniPin JIT decodes, instruments, and executes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_VM_INSTRUCTION_H
+#define SUPERPIN_VM_INSTRUCTION_H
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+
+namespace spin::vm {
+
+/// Operand encoding shape of an opcode.
+enum class OpFormat : uint8_t {
+  None,     ///< no operands (nop, ret, syscall, halt)
+  R1,       ///< one register (jr, push, pop, callr)
+  R2,       ///< rd, ra (mov)
+  R3,       ///< rd, ra, rb (ALU)
+  R1I,      ///< rd, imm (movi)
+  R2I,      ///< rd, ra, imm (ALU-immediate)
+  Mem,      ///< rd, [ra + imm] (loads; INCM uses [ra + imm] only)
+  MemStore, ///< [ra + imm], rb (stores)
+  JumpI,    ///< imm target (jmp, call)
+  Branch,   ///< ra, rb, imm target
+};
+
+/// Semantic property bits per opcode.
+enum OpFlags : uint16_t {
+  OF_None = 0,
+  OF_MemRead = 1 << 0,
+  OF_MemWrite = 1 << 1,
+  OF_CtrlFlow = 1 << 2,
+  OF_Uncond = 1 << 3,
+  OF_IsCall = 1 << 4,
+  OF_IsRet = 1 << 5,
+  OF_IsSyscall = 1 << 6,
+  OF_Indirect = 1 << 7,  ///< target comes from a register or the stack
+  OF_EndsTrace = 1 << 8, ///< JIT never continues a trace past this opcode
+};
+
+/// Guest opcodes, generated from Opcodes.def.
+enum class Opcode : uint8_t {
+#define VISA_OP(NAME, MNEMONIC, FORMAT, FLAGS) NAME,
+#include "vm/Opcodes.def"
+  NumOpcodes
+};
+
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::NumOpcodes);
+
+/// Static metadata for one opcode.
+struct OpcodeInfo {
+  std::string_view Mnemonic;
+  OpFormat Format;
+  uint16_t Flags;
+};
+
+/// Returns the metadata row for \p Op.
+const OpcodeInfo &getOpcodeInfo(Opcode Op);
+
+/// Number of general-purpose registers. r15 doubles as the stack pointer.
+constexpr unsigned NumRegs = 16;
+constexpr uint8_t RegSp = 15;
+
+/// Guest instructions occupy 4 bytes of guest address space each, so
+/// pc arithmetic looks like a classic RISC.
+constexpr uint64_t InstSize = 4;
+
+/// A decoded guest instruction. The assembler produces these directly; there
+/// is no binary encoding step (the JIT and interpreter consume the decoded
+/// form, as Pin's decoder cache would).
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  uint8_t A = 0;  ///< rd, or ra for stores/branches
+  uint8_t B = 0;  ///< ra, or rb
+  uint8_t C = 0;  ///< rb (R3 format only)
+  int64_t Imm = 0;
+
+  const OpcodeInfo &info() const { return getOpcodeInfo(Op); }
+
+  bool isMemRead() const { return info().Flags & OF_MemRead; }
+  bool isMemWrite() const { return info().Flags & OF_MemWrite; }
+  bool isControlFlow() const { return info().Flags & OF_CtrlFlow; }
+  bool isUnconditional() const { return info().Flags & OF_Uncond; }
+  bool isCall() const { return info().Flags & OF_IsCall; }
+  bool isRet() const { return info().Flags & OF_IsRet; }
+  bool isSyscall() const { return info().Flags & OF_IsSyscall; }
+  bool isIndirect() const { return info().Flags & OF_Indirect; }
+  bool endsTrace() const { return info().Flags & OF_EndsTrace; }
+
+  /// Conditional branch: control flow that can fall through.
+  bool isCondBranch() const { return isControlFlow() && !isUnconditional(); }
+
+  /// True if the instruction computes a [base + offset] effective address.
+  bool hasMemOperand() const {
+    OpFormat F = info().Format;
+    return F == OpFormat::Mem || F == OpFormat::MemStore;
+  }
+};
+
+/// Returns the register name ("r0".."r14", "sp").
+std::string_view getRegName(unsigned Reg);
+
+} // namespace spin::vm
+
+#endif // SUPERPIN_VM_INSTRUCTION_H

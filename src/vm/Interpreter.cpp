@@ -1,0 +1,67 @@
+//===- vm/Interpreter.cpp - Resumable guest interpreter -------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interpreter.h"
+
+#include "vm/Exec.h"
+
+using namespace spin;
+using namespace spin::vm;
+
+RunResult Interpreter::runToBlockEnd(uint64_t SafetyCap) {
+  uint64_t Executed = 0;
+  ExecInfo Info;
+  while (Executed < SafetyCap) {
+    const Instruction *I = Prog.fetch(Cpu.Pc);
+    if (!I) {
+      Retired += Executed;
+      return {StopReason::BadPc, Executed, false};
+    }
+    ExecStatus Status = executeInstruction(*I, Cpu.Pc, Cpu, Mem, Info);
+    if (Status == ExecStatus::Syscall) {
+      Retired += Executed;
+      return {StopReason::Syscall, Executed, false};
+    }
+    ++Executed;
+    if (Status == ExecStatus::Halt) {
+      Retired += Executed;
+      return {StopReason::Halt, Executed, false};
+    }
+    if (I->isControlFlow()) {
+      Retired += Executed;
+      return {StopReason::BlockEnd, Executed, true};
+    }
+  }
+  Retired += Executed;
+  return {StopReason::Budget, Executed, false};
+}
+
+RunResult Interpreter::run(uint64_t MaxInsts) {
+  uint64_t Executed = 0;
+  bool LastWasCF = false;
+  ExecInfo Info;
+  while (Executed < MaxInsts) {
+    const Instruction *I = Prog.fetch(Cpu.Pc);
+    if (!I) {
+      Retired += Executed;
+      return {StopReason::BadPc, Executed, LastWasCF};
+    }
+    ExecStatus Status = executeInstruction(*I, Cpu.Pc, Cpu, Mem, Info);
+    if (Status == ExecStatus::Syscall) {
+      Retired += Executed;
+      return {StopReason::Syscall, Executed, LastWasCF};
+    }
+    ++Executed;
+    LastWasCF = I->isControlFlow();
+    if (Status == ExecStatus::Halt) {
+      Retired += Executed;
+      return {StopReason::Halt, Executed, LastWasCF};
+    }
+  }
+  Retired += Executed;
+  return {StopReason::Budget, Executed, LastWasCF};
+}

@@ -1,0 +1,79 @@
+//===- vm/Interpreter.h - Resumable guest interpreter -----------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The plain (uninstrumented) guest interpreter. This is "native execution"
+/// in the SuperPin model: the master application runs here at full speed
+/// while instrumented slices run under the MiniPin VM. The interpreter is
+/// resumable — run() executes up to a budget of instructions and returns,
+/// so the discrete-time scheduler can interleave it with other tasks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_VM_INTERPRETER_H
+#define SUPERPIN_VM_INTERPRETER_H
+
+#include "vm/Program.h"
+
+#include <cstdint>
+
+namespace spin::vm {
+
+class GuestMemory;
+
+/// Why a run() call returned.
+enum class StopReason : uint8_t {
+  Budget,    ///< instruction budget exhausted; call run() again to resume
+  Syscall,   ///< pc points at an unexecuted syscall instruction
+  Halt,      ///< halt instruction reached
+  BadPc,     ///< pc left the text segment (wild jump)
+  BlockEnd,  ///< runToBlockEnd: a control-flow instruction retired
+};
+
+struct RunResult {
+  StopReason Reason;
+  uint64_t InstsExecuted;
+  /// True when the last executed instruction was control flow, i.e. the
+  /// stop position is a dynamic basic-block boundary. Guest-thread
+  /// executors rotate immediately in that case instead of draining.
+  bool EndedAtBlockBoundary = false;
+};
+
+/// Executes a guest program against externally-owned CPU and memory state.
+class Interpreter {
+public:
+  Interpreter(const Program &Prog, CpuState &Cpu, GuestMemory &Mem)
+      : Prog(Prog), Cpu(Cpu), Mem(Mem) {}
+
+  /// Runs until the budget is exhausted or an architectural event occurs.
+  /// On StopReason::Syscall the syscall instruction has NOT been executed;
+  /// the caller services it and must advance Cpu.Pc past it.
+  RunResult run(uint64_t MaxInsts);
+
+  /// Runs until a control-flow instruction retires (StopReason::BlockEnd),
+  /// bounded by \p SafetyCap. Guest-thread executors use this to align
+  /// context switches to dynamic basic-block boundaries.
+  RunResult runToBlockEnd(uint64_t SafetyCap);
+
+  /// Total instructions retired across all run() calls.
+  uint64_t instructionsRetired() const { return Retired; }
+
+  /// The environment calls this after servicing a syscall so that syscall
+  /// instructions count exactly once in the retired-instruction stream
+  /// (keeping native, Pin, and SuperPin counts comparable).
+  void noteSyscallRetired() { ++Retired; }
+
+private:
+  const Program &Prog;
+  CpuState &Cpu;
+  GuestMemory &Mem;
+  uint64_t Retired = 0;
+};
+
+} // namespace spin::vm
+
+#endif // SUPERPIN_VM_INTERPRETER_H

@@ -1,0 +1,19 @@
+//===- vm/Program.cpp - Guest program image -------------------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Program.h"
+
+#include "vm/GuestMemory.h"
+
+using namespace spin;
+using namespace spin::vm;
+
+void Program::loadDataInto(GuestMemory &Memory) const {
+  if (!DataInit.empty())
+    Memory.writeBytes(AddressLayout::DataBase, DataInit.data(),
+                      DataInit.size());
+}

@@ -1,0 +1,103 @@
+//===- vm/Program.h - Guest program image -----------------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A loaded guest program: text (decoded instructions), initialized data,
+/// symbols, and the standard address-space layout. Text is immutable and
+/// fetched by index (the guest ISA has no self-modifying code, which the
+/// original SuperPin also could not slice through).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_VM_PROGRAM_H
+#define SUPERPIN_VM_PROGRAM_H
+
+#include "vm/Instruction.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spin::vm {
+
+class GuestMemory;
+
+/// Standard guest address-space layout. The wide gaps leave room for the
+/// heap to grow (brk), for mmap regions, and for SuperPin's memory bubble.
+struct AddressLayout {
+  static constexpr uint64_t TextBase = 0x0000000000010000ULL;
+  static constexpr uint64_t DataBase = 0x0000000004000000ULL;
+  static constexpr uint64_t HeapBase = 0x0000000008000000ULL;
+  static constexpr uint64_t MmapBase = 0x0000000100000000ULL;
+  static constexpr uint64_t BubbleBase = 0x0000000200000000ULL;
+  static constexpr uint64_t BubbleSize = 0x0000000010000000ULL;
+  static constexpr uint64_t StackTop = 0x0000000300000000ULL;
+  static constexpr uint64_t StackSize = 0x0000000000800000ULL;
+};
+
+/// An immutable guest program image.
+class Program {
+public:
+  std::string Name;
+  std::vector<Instruction> Text;
+  std::vector<uint8_t> DataInit;
+  std::unordered_map<std::string, uint64_t> Symbols;
+  uint64_t EntryPc = AddressLayout::TextBase;
+
+  /// Guest address of instruction index \p Index.
+  static uint64_t addressOfIndex(uint64_t Index) {
+    return AddressLayout::TextBase + Index * InstSize;
+  }
+
+  /// Instruction index of guest address \p Pc (asserts alignment).
+  static uint64_t indexOfAddress(uint64_t Pc) {
+    assert(Pc >= AddressLayout::TextBase && (Pc % InstSize) == 0 &&
+           "pc outside text segment");
+    return (Pc - AddressLayout::TextBase) / InstSize;
+  }
+
+  /// Fetches the instruction at guest address \p Pc, or nullptr if \p Pc is
+  /// outside the text segment.
+  const Instruction *fetch(uint64_t Pc) const {
+    if (Pc < AddressLayout::TextBase || (Pc % InstSize) != 0)
+      return nullptr;
+    uint64_t Index = (Pc - AddressLayout::TextBase) / InstSize;
+    if (Index >= Text.size())
+      return nullptr;
+    return &Text[Index];
+  }
+
+  /// Address one past the last text instruction.
+  uint64_t textEnd() const { return addressOfIndex(Text.size()); }
+
+  /// Looks up a symbol; asserts that it exists.
+  uint64_t symbol(const std::string &Sym) const {
+    auto It = Symbols.find(Sym);
+    assert(It != Symbols.end() && "unknown symbol");
+    return It->second;
+  }
+
+  /// Copies the initialized data segment into \p Memory at DataBase.
+  void loadDataInto(GuestMemory &Memory) const;
+};
+
+/// Architectural register state of a guest hardware thread.
+struct CpuState {
+  std::array<uint64_t, NumRegs> Regs{};
+  uint64_t Pc = 0;
+
+  uint64_t sp() const { return Regs[RegSp]; }
+  void setSp(uint64_t Value) { Regs[RegSp] = Value; }
+
+  bool operator==(const CpuState &Other) const = default;
+};
+
+} // namespace spin::vm
+
+#endif // SUPERPIN_VM_PROGRAM_H

@@ -1,0 +1,87 @@
+//===- vm/ProgramBuilder.cpp - Programmatic guest code emission -----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/ProgramBuilder.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathExtras.h"
+
+using namespace spin;
+using namespace spin::vm;
+
+ProgramBuilder::LabelId ProgramBuilder::createLabel() {
+  LabelAddrs.push_back(-1);
+  return static_cast<LabelId>(LabelAddrs.size() - 1);
+}
+
+void ProgramBuilder::bind(LabelId Label) {
+  assert(Label < LabelAddrs.size() && "unknown label");
+  assert(LabelAddrs[Label] == -1 && "label bound twice");
+  LabelAddrs[Label] = static_cast<int64_t>(currentAddress());
+}
+
+void ProgramBuilder::defineSymbol(const std::string &Name) {
+  assert(!Prog.Symbols.count(Name) && "symbol redefined");
+  Prog.Symbols.emplace(Name, currentAddress());
+}
+
+uint64_t ProgramBuilder::allocData(uint64_t Size, uint64_t Align) {
+  assert(isPowerOf2(Align) && "alignment must be a power of two");
+  DataSize = alignTo(DataSize, Align);
+  uint64_t Addr = AddressLayout::DataBase + DataSize;
+  DataSize += Size;
+  return Addr;
+}
+
+void ProgramBuilder::initData64(uint64_t Addr, uint64_t Value) {
+  assert(Addr >= AddressLayout::DataBase && "address below data segment");
+  uint64_t Offset = Addr - AddressLayout::DataBase;
+  assert(Offset + 8 <= DataSize && "initializer outside allocated data");
+  if (Prog.DataInit.size() < Offset + 8)
+    Prog.DataInit.resize(Offset + 8, 0);
+  for (unsigned I = 0; I != 8; ++I)
+    Prog.DataInit[Offset + I] = static_cast<uint8_t>(Value >> (8 * I));
+}
+
+void ProgramBuilder::initDataBytes(uint64_t Addr, const void *Data,
+                                   uint64_t Size) {
+  assert(Addr >= AddressLayout::DataBase && "address below data segment");
+  uint64_t Offset = Addr - AddressLayout::DataBase;
+  assert(Offset + Size <= DataSize && "initializer outside allocated data");
+  if (Prog.DataInit.size() < Offset + Size)
+    Prog.DataInit.resize(Offset + Size, 0);
+  const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
+  for (uint64_t I = 0; I != Size; ++I)
+    Prog.DataInit[Offset + I] = Bytes[I];
+}
+
+void ProgramBuilder::moviLabel(Reg D, LabelId Label) {
+  Fixups.push_back(Fixup{Prog.Text.size(), Label});
+  emit({Opcode::Movi, D.Index, 0, 0, 0});
+}
+
+void ProgramBuilder::emitWithLabel(Instruction I, LabelId Label) {
+  Fixups.push_back(Fixup{Prog.Text.size(), Label});
+  emit(I);
+}
+
+Program ProgramBuilder::take() {
+  for (const Fixup &F : Fixups) {
+    assert(F.Label < LabelAddrs.size() && "unknown label in fixup");
+    if (LabelAddrs[F.Label] == -1)
+      reportFatalError("program builder: unbound label used in '" +
+                       Prog.Name + "'");
+    Prog.Text[F.InstIndex].Imm = LabelAddrs[F.Label];
+  }
+  Fixups.clear();
+  auto MainIt = Prog.Symbols.find("main");
+  Prog.EntryPc = MainIt != Prog.Symbols.end() ? MainIt->second
+                                              : AddressLayout::TextBase;
+  if (Prog.Text.empty())
+    reportFatalError("program builder: empty program '" + Prog.Name + "'");
+  return std::move(Prog);
+}

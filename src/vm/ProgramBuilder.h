@@ -1,0 +1,218 @@
+//===- vm/ProgramBuilder.h - Programmatic guest code emission ---*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An emission API for constructing guest programs in C++. The SPEC2000-like
+/// workload generators use this to synthesize programs with controlled code
+/// footprint, loop structure, memory behaviour, and syscall frequency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_VM_PROGRAMBUILDER_H
+#define SUPERPIN_VM_PROGRAMBUILDER_H
+
+#include "vm/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace spin::vm {
+
+/// Register operand wrapper for builder calls; implicit from unsigned.
+struct Reg {
+  uint8_t Index;
+  constexpr Reg(unsigned Index) : Index(static_cast<uint8_t>(Index)) {
+    assert(Index < NumRegs && "bad register");
+  }
+};
+
+/// Builds a Program instruction by instruction with label fixups.
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(std::string Name) { Prog.Name = std::move(Name); }
+
+  using LabelId = uint32_t;
+
+  /// Creates an unbound label.
+  LabelId createLabel();
+
+  /// Binds \p Label to the next emitted instruction.
+  void bind(LabelId Label);
+
+  /// Defines a named symbol at the next emitted instruction (for Program
+  /// consumers; "main" sets the entry point).
+  void defineSymbol(const std::string &Name);
+
+  /// Reserves \p Size bytes in the data segment, \p Align-aligned.
+  /// \returns the guest address of the block.
+  uint64_t allocData(uint64_t Size, uint64_t Align = 8);
+
+  /// Writes a 64-bit initial value into the data segment at \p Addr.
+  void initData64(uint64_t Addr, uint64_t Value);
+
+  /// Writes raw bytes into the data segment at \p Addr.
+  void initDataBytes(uint64_t Addr, const void *Data, uint64_t Size);
+
+  /// Current instruction address (address the next emit will have).
+  uint64_t currentAddress() const {
+    return Program::addressOfIndex(Prog.Text.size());
+  }
+
+  // --- Instruction emitters (one per opcode, grouped by format) ---
+  void nop() { emit({Opcode::Nop}); }
+  void halt() { emit({Opcode::Halt}); }
+  void mov(Reg D, Reg A) { emit({Opcode::Mov, D.Index, A.Index}); }
+  void movi(Reg D, int64_t Imm) {
+    emit({Opcode::Movi, D.Index, 0, 0, Imm});
+  }
+  /// movi of a code label's address (resolved at take()).
+  void moviLabel(Reg D, LabelId Label);
+
+  void add(Reg D, Reg A, Reg B) {
+    emit({Opcode::Add, D.Index, A.Index, B.Index});
+  }
+  void sub(Reg D, Reg A, Reg B) {
+    emit({Opcode::Sub, D.Index, A.Index, B.Index});
+  }
+  void mul(Reg D, Reg A, Reg B) {
+    emit({Opcode::Mul, D.Index, A.Index, B.Index});
+  }
+  void divu(Reg D, Reg A, Reg B) {
+    emit({Opcode::Divu, D.Index, A.Index, B.Index});
+  }
+  void remu(Reg D, Reg A, Reg B) {
+    emit({Opcode::Remu, D.Index, A.Index, B.Index});
+  }
+  void and_(Reg D, Reg A, Reg B) {
+    emit({Opcode::And, D.Index, A.Index, B.Index});
+  }
+  void or_(Reg D, Reg A, Reg B) {
+    emit({Opcode::Or, D.Index, A.Index, B.Index});
+  }
+  void xor_(Reg D, Reg A, Reg B) {
+    emit({Opcode::Xor, D.Index, A.Index, B.Index});
+  }
+  void shl(Reg D, Reg A, Reg B) {
+    emit({Opcode::Shl, D.Index, A.Index, B.Index});
+  }
+  void shr(Reg D, Reg A, Reg B) {
+    emit({Opcode::Shr, D.Index, A.Index, B.Index});
+  }
+  void sar(Reg D, Reg A, Reg B) {
+    emit({Opcode::Sar, D.Index, A.Index, B.Index});
+  }
+  void slt(Reg D, Reg A, Reg B) {
+    emit({Opcode::Slt, D.Index, A.Index, B.Index});
+  }
+  void sltu(Reg D, Reg A, Reg B) {
+    emit({Opcode::Sltu, D.Index, A.Index, B.Index});
+  }
+
+  void addi(Reg D, Reg A, int64_t Imm) {
+    emit({Opcode::Addi, D.Index, A.Index, 0, Imm});
+  }
+  void muli(Reg D, Reg A, int64_t Imm) {
+    emit({Opcode::Muli, D.Index, A.Index, 0, Imm});
+  }
+  void andi(Reg D, Reg A, int64_t Imm) {
+    emit({Opcode::Andi, D.Index, A.Index, 0, Imm});
+  }
+  void ori(Reg D, Reg A, int64_t Imm) {
+    emit({Opcode::Ori, D.Index, A.Index, 0, Imm});
+  }
+  void xori(Reg D, Reg A, int64_t Imm) {
+    emit({Opcode::Xori, D.Index, A.Index, 0, Imm});
+  }
+  void shli(Reg D, Reg A, int64_t Imm) {
+    emit({Opcode::Shli, D.Index, A.Index, 0, Imm});
+  }
+  void shri(Reg D, Reg A, int64_t Imm) {
+    emit({Opcode::Shri, D.Index, A.Index, 0, Imm});
+  }
+  void slti(Reg D, Reg A, int64_t Imm) {
+    emit({Opcode::Slti, D.Index, A.Index, 0, Imm});
+  }
+
+  void ld8u(Reg D, Reg Base, int64_t Off) {
+    emit({Opcode::Ld8u, D.Index, Base.Index, 0, Off});
+  }
+  void ld16u(Reg D, Reg Base, int64_t Off) {
+    emit({Opcode::Ld16u, D.Index, Base.Index, 0, Off});
+  }
+  void ld32u(Reg D, Reg Base, int64_t Off) {
+    emit({Opcode::Ld32u, D.Index, Base.Index, 0, Off});
+  }
+  void ld64(Reg D, Reg Base, int64_t Off) {
+    emit({Opcode::Ld64, D.Index, Base.Index, 0, Off});
+  }
+  void st8(Reg Base, int64_t Off, Reg V) {
+    emit({Opcode::St8, Base.Index, V.Index, 0, Off});
+  }
+  void st16(Reg Base, int64_t Off, Reg V) {
+    emit({Opcode::St16, Base.Index, V.Index, 0, Off});
+  }
+  void st32(Reg Base, int64_t Off, Reg V) {
+    emit({Opcode::St32, Base.Index, V.Index, 0, Off});
+  }
+  void st64(Reg Base, int64_t Off, Reg V) {
+    emit({Opcode::St64, Base.Index, V.Index, 0, Off});
+  }
+  void incm(Reg Base, int64_t Off) {
+    emit({Opcode::Incm, 0, Base.Index, 0, Off});
+  }
+
+  void push(Reg A) { emit({Opcode::Push, A.Index}); }
+  void pop(Reg D) { emit({Opcode::Pop, D.Index}); }
+
+  void jmp(LabelId Target) { emitWithLabel({Opcode::Jmp}, Target); }
+  void jr(Reg A) { emit({Opcode::Jr, A.Index}); }
+  void call(LabelId Target) { emitWithLabel({Opcode::Call}, Target); }
+  void callr(Reg A) { emit({Opcode::Callr, A.Index}); }
+  void ret() { emit({Opcode::Ret}); }
+
+  void beq(Reg A, Reg B, LabelId T) {
+    emitWithLabel({Opcode::Beq, A.Index, B.Index}, T);
+  }
+  void bne(Reg A, Reg B, LabelId T) {
+    emitWithLabel({Opcode::Bne, A.Index, B.Index}, T);
+  }
+  void blt(Reg A, Reg B, LabelId T) {
+    emitWithLabel({Opcode::Blt, A.Index, B.Index}, T);
+  }
+  void bge(Reg A, Reg B, LabelId T) {
+    emitWithLabel({Opcode::Bge, A.Index, B.Index}, T);
+  }
+  void bltu(Reg A, Reg B, LabelId T) {
+    emitWithLabel({Opcode::Bltu, A.Index, B.Index}, T);
+  }
+  void bgeu(Reg A, Reg B, LabelId T) {
+    emitWithLabel({Opcode::Bgeu, A.Index, B.Index}, T);
+  }
+
+  void syscall() { emit({Opcode::Syscall}); }
+
+  /// Finalizes the program: resolves all fixups and returns the image.
+  /// The builder must not be reused afterwards.
+  Program take();
+
+private:
+  Program Prog;
+  std::vector<int64_t> LabelAddrs; ///< -1 while unbound
+  struct Fixup {
+    uint64_t InstIndex;
+    LabelId Label;
+  };
+  std::vector<Fixup> Fixups;
+  uint64_t DataSize = 0;
+
+  void emit(Instruction I) { Prog.Text.push_back(I); }
+  void emitWithLabel(Instruction I, LabelId Label);
+};
+
+} // namespace spin::vm
+
+#endif // SUPERPIN_VM_PROGRAMBUILDER_H

@@ -1,0 +1,85 @@
+//===- vm/Verifier.cpp - Static guest-program verification ----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Verifier.h"
+
+#include "vm/Program.h"
+
+using namespace spin;
+using namespace spin::vm;
+
+static bool isTextAddress(const Program &Prog, uint64_t Addr) {
+  return Addr >= AddressLayout::TextBase && Addr < Prog.textEnd() &&
+         (Addr % InstSize) == 0;
+}
+
+std::vector<VerifyIssue> spin::vm::verifyProgram(const Program &Prog) {
+  std::vector<VerifyIssue> Issues;
+  auto Report = [&](uint64_t Index, std::string Msg) {
+    Issues.push_back(VerifyIssue{Index, std::move(Msg)});
+  };
+
+  if (Prog.Text.empty()) {
+    Report(~0ull, "program has no instructions");
+    return Issues;
+  }
+  if (!isTextAddress(Prog, Prog.EntryPc))
+    Report(~0ull, "entry point outside the text segment");
+
+  for (uint64_t Index = 0; Index != Prog.Text.size(); ++Index) {
+    const Instruction &I = Prog.Text[Index];
+
+    // Register ranges (assembler-produced programs always pass; this
+    // defends hand-constructed Instruction streams).
+    auto CheckReg = [&](uint8_t Reg, const char *Which) {
+      if (Reg >= NumRegs)
+        Report(Index, std::string("register operand ") + Which +
+                          " out of range");
+    };
+    switch (I.info().Format) {
+    case OpFormat::R3:
+      CheckReg(I.C, "C");
+      [[fallthrough]];
+    case OpFormat::R2:
+    case OpFormat::R2I:
+    case OpFormat::Mem:
+    case OpFormat::MemStore:
+    case OpFormat::Branch:
+      CheckReg(I.B, "B");
+      [[fallthrough]];
+    case OpFormat::R1:
+    case OpFormat::R1I:
+      CheckReg(I.A, "A");
+      break;
+    case OpFormat::None:
+    case OpFormat::JumpI:
+      break;
+    }
+
+    // Direct control-flow targets must land on text instructions.
+    bool HasDirectTarget =
+        I.isControlFlow() && !I.isIndirect() &&
+        (I.info().Format == OpFormat::JumpI ||
+         I.info().Format == OpFormat::Branch);
+    if (HasDirectTarget &&
+        !isTextAddress(Prog, static_cast<uint64_t>(I.Imm)))
+      Report(Index, "control-flow target outside the text segment");
+
+    if (I.Op == Opcode::Halt)
+      Report(Index, "halt instruction (guests must exit via syscall)");
+  }
+
+  // Falling off the end: the last instruction must not have fall-through.
+  const Instruction &Last = Prog.Text.back();
+  bool LastFallsThrough =
+      !(Last.isControlFlow() && Last.isUnconditional()) && !Last.isSyscall();
+  if (LastFallsThrough)
+    Report(Prog.Text.size() - 1,
+           "control flow can run past the end of the text segment");
+
+  return Issues;
+}

@@ -1,0 +1,44 @@
+//===- vm/Verifier.h - Static guest-program verification --------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static well-formedness checker for guest programs. The workload
+/// generators and the assembler are both verified against it in tests, and
+/// library users can run it before handing programs to the engines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_VM_VERIFIER_H
+#define SUPERPIN_VM_VERIFIER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spin::vm {
+
+class Program;
+
+struct VerifyIssue {
+  uint64_t InstIndex; ///< offending instruction (or ~0 for program-level)
+  std::string Message;
+};
+
+/// Checks \p Prog for static problems:
+///  * direct branch/jump/call targets outside the text segment or
+///    misaligned;
+///  * an entry point outside text;
+///  * control flow that can fall off the end of the text segment;
+///  * register operands out of range (defends hand-built Instructions);
+///  * use of the halt instruction (guests must exit via syscall).
+///
+/// \returns all issues found (empty = verified).
+std::vector<VerifyIssue> verifyProgram(const Program &Prog);
+
+} // namespace spin::vm
+
+#endif // SUPERPIN_VM_VERIFIER_H

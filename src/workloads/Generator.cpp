@@ -1,0 +1,384 @@
+//===- workloads/Generator.cpp - Synthetic workload generator -------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Generator.h"
+
+#include "os/Syscalls.h"
+#include "support/MathExtras.h"
+#include "support/Random.h"
+#include "vm/ProgramBuilder.h"
+
+#include <cassert>
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::vm;
+using namespace spin::workloads;
+
+namespace {
+
+// Register allocation convention of generated programs (documented in
+// Generator.h): r12 is a dedicated zero, r4 the working-set base, r5 the
+// LCG state, r6 the running checksum, r7/r8 the outer/inner counters,
+// r9-r11 scratch, r13 the input fd, r14 the pointer-chase cursor.
+constexpr Reg Zero{12}, WsBase{4}, Lcg{5}, Sum{6}, Outer{7}, Inner{8};
+constexpr Reg S0{9}, S1{10}, S2{11}, Fd{13}, Chase{14};
+
+class WorkloadEmitter {
+public:
+  explicit WorkloadEmitter(const GenParams &P)
+      : P(P), B(P.Name), Rng(P.Seed) {}
+
+  Program emit();
+
+private:
+  const GenParams &P;
+  ProgramBuilder B;
+  SplitMix64 Rng;
+
+  uint64_t WsAddr = 0;
+  uint64_t TableAddr = 0;
+  uint64_t RBufAddr = 0;
+  uint64_t OutBufAddr = 0;
+  uint64_t PathAddr = 0;
+  std::vector<uint64_t> FuncAddrs;
+
+  uint64_t wsWords() const { return P.WorkingSetBytes / 8; }
+
+  /// Words initialized by the startup loop (and covered by the pointer-
+  /// chase ring). Capped so initialization stays a small fraction of the
+  /// instruction budget: large working sets still spread stores across
+  /// all their pages (COW/fork behaviour), but loads outside the
+  /// initialized prefix simply read zeroes.
+  uint64_t initWords() const {
+    uint64_t Words = wsWords();
+    if (Words > 32768)
+      Words = 32768;
+    uint64_t BudgetCap = P.TargetInsts / 20;
+    if (BudgetCap < 1024)
+      BudgetCap = 1024;
+    if (Words > BudgetCap)
+      Words = BudgetCap;
+    // Power of two for ring/mask arithmetic.
+    uint64_t Pow2 = 1;
+    while (Pow2 * 2 <= Words)
+      Pow2 *= 2;
+    return Pow2;
+  }
+
+  void emitSyscall(Sys Number) {
+    B.movi(Reg{0}, static_cast<int64_t>(Number));
+    B.syscall();
+  }
+
+  /// Emits one body block; returns its exact dynamic instruction count
+  /// (identical on both diamond paths by construction).
+  uint64_t emitBlock(unsigned BlockIdx) {
+    uint64_t Dyn = 0;
+    // LCG step: r5 = r5 * A + C.
+    B.muli(Lcg, Lcg, 6364136223846793005LL);
+    B.addi(Lcg, Lcg, static_cast<int64_t>((Rng.next() | 1) & 0xffff));
+    Dyn += 2;
+    // Working-set address: r9 = r4 + (r5 & WordMask) * 8.
+    B.andi(S0, Lcg, static_cast<int64_t>(wsWords() - 1));
+    B.shli(S0, S0, 3);
+    B.add(S0, S0, WsBase);
+    Dyn += 3;
+    // Memory operation.
+    if (P.StoreEvery != 0 && BlockIdx % P.StoreEvery == P.StoreEvery - 1) {
+      B.st64(S0, 0, Sum);
+      Dyn += 1;
+    } else {
+      B.ld64(S1, S0, 0);
+      B.xor_(Sum, Sum, S1);
+      Dyn += 2;
+    }
+    // mcf-style dependent chase.
+    if (P.PointerChase && BlockIdx % 2 == 0) {
+      B.ld64(Chase, Chase, 0);
+      B.xor_(Sum, Sum, Chase);
+      Dyn += 2;
+    }
+    // ALU filler.
+    for (unsigned I = 0; I != P.AluPerBlock; ++I) {
+      switch (I % 4) {
+      case 0:
+        B.add(S1, S1, Lcg);
+        break;
+      case 1:
+        B.xor_(S2, S1, Sum);
+        break;
+      case 2:
+        B.sub(S1, S1, S2);
+        break;
+      case 3:
+        B.mul(S2, S2, Lcg);
+        break;
+      }
+      ++Dyn;
+    }
+    // Balanced diamond: both paths execute three instructions after the
+    // two-instruction test, so the dynamic count is path-independent.
+    if (P.DiamondBranches && BlockIdx % 2 == 1) {
+      ProgramBuilder::LabelId Else = B.createLabel();
+      ProgramBuilder::LabelId End = B.createLabel();
+      B.andi(S2, Lcg, 1 << (BlockIdx % 5));
+      B.beq(S2, Zero, Else);
+      B.xori(Sum, Sum, 0x55);
+      B.addi(S1, S1, 7);
+      B.jmp(End);
+      B.bind(Else);
+      B.xori(Sum, Sum, 0xAA);
+      B.addi(S1, S1, 3);
+      B.nop();
+      B.bind(End);
+      Dyn += 5;
+    }
+    return Dyn;
+  }
+
+  /// Emits one generated function at \p FuncLabel; returns its dynamic
+  /// cost per call (excluding the caller's call instruction). Functions
+  /// are emitted in reverse index order so a chained callee's cost is
+  /// known when its caller is emitted.
+  uint64_t emitFunction(unsigned FuncIdx, ProgramBuilder::LabelId FuncLabel,
+                        ProgramBuilder::LabelId NextLabel, uint64_t NextDyn) {
+    B.bind(FuncLabel);
+    FuncAddrs[FuncIdx] = B.currentAddress();
+    uint64_t Dyn = 0;
+    B.push(Inner);
+    B.movi(Inner, P.InnerIters);
+    Dyn += 2;
+    ProgramBuilder::LabelId Loop = B.createLabel();
+    B.bind(Loop);
+    uint64_t BodyDyn = 0;
+    for (unsigned Blk = 0; Blk != P.BlocksPerFunc; ++Blk)
+      BodyDyn += emitBlock(Blk);
+    B.addi(Inner, Inner, -1);
+    B.bne(Inner, Zero, Loop);
+    BodyDyn += 2;
+    Dyn += P.InnerIters * BodyDyn;
+    // Call-chain: tail-call the next function once per invocation (chain
+    // segments are bounded by ChainEvery, so depth stays finite).
+    bool Chains = P.ChainEvery != 0 && FuncIdx + 1 < P.NumFuncs &&
+                  (FuncIdx % P.ChainEvery) != P.ChainEvery - 1;
+    if (Chains) {
+      B.call(NextLabel);
+      Dyn += 1 + NextDyn;
+    }
+    B.pop(Inner);
+    B.ret();
+    Dyn += 2;
+    return Dyn;
+  }
+
+  /// Emits the periodic syscall block; returns its dynamic count.
+  uint64_t emitSysBlock() {
+    switch (P.Mix) {
+    case SysMix::None:
+      return 0;
+    case SysMix::BrkHeavy:
+      // Query the break, grow it a page, touch the new top.
+      B.movi(Reg{1}, 0);
+      emitSyscall(Sys::Brk);
+      B.addi(Reg{1}, Reg{0}, 4096);
+      emitSyscall(Sys::Brk);
+      B.st64(Reg{0}, -8, Sum);
+      return 7;
+    case SysMix::ReadWrite:
+      B.mov(Reg{1}, Fd);
+      B.movi(Reg{2}, static_cast<int64_t>(RBufAddr));
+      B.movi(Reg{3}, 64);
+      emitSyscall(Sys::Read);
+      B.movi(S0, static_cast<int64_t>(RBufAddr));
+      B.ld64(S1, S0, 0);
+      B.xor_(Sum, Sum, S1);
+      return 8;
+    case SysMix::Mixed:
+      // Time feeds scratch only: the checksum must not depend on the wall
+      // clock (it differs across execution environments by design), but
+      // the recorded result still exercises syscall playback.
+      emitSyscall(Sys::GetTimeMs);
+      B.xor_(S1, S1, Reg{0});
+      emitSyscall(Sys::GetPid);
+      B.xor_(Sum, Sum, Reg{0});
+      emitSyscall(Sys::Rand);
+      B.xor_(Sum, Sum, Reg{0});
+      return 9;
+    case SysMix::OpenClose:
+      B.movi(Reg{1}, static_cast<int64_t>(PathAddr));
+      emitSyscall(Sys::Open);
+      B.mov(Reg{1}, Reg{0});
+      emitSyscall(Sys::Close);
+      return 6;
+    }
+    return 0;
+  }
+
+  /// Dynamic count of the working-set init loop (covers initWords()).
+  uint64_t emitWsInit() {
+    uint64_t Words = initWords();
+    B.movi(Inner, static_cast<int64_t>(Words));
+    ProgramBuilder::LabelId Loop = B.createLabel();
+    B.bind(Loop);
+    B.addi(Inner, Inner, -1);
+    B.shli(S0, Inner, 3);
+    B.add(S0, S0, WsBase);
+    uint64_t PerIter;
+    if (P.PointerChase) {
+      // ws[i] = &ws[(i + stride) & mask]: a ring with a large odd stride
+      // so consecutive chases jump across the initialized region.
+      B.addi(S1, Inner, 97);
+      B.andi(S1, S1, static_cast<int64_t>(Words - 1));
+      B.shli(S1, S1, 3);
+      B.add(S1, S1, WsBase);
+      B.st64(S0, 0, S1);
+      PerIter = 9;
+    } else {
+      B.st64(S0, 0, Inner);
+      PerIter = 5;
+    }
+    B.bne(Inner, Zero, Loop);
+    return 1 + Words * PerIter;
+  }
+
+  uint64_t sysPeriod() const { return P.SyscallMask + 1; }
+};
+
+Program WorkloadEmitter::emit() {
+  assert(isPowerOf2(P.WorkingSetBytes) && "working set must be 2^n");
+  assert((P.SyscallMask == 0 || isPowerOf2(P.SyscallMask + 1)) &&
+         "syscall mask must be 2^n - 1");
+
+  // Data segment.
+  WsAddr = B.allocData(P.WorkingSetBytes, 4096);
+  unsigned TableSlots = 1;
+  while (TableSlots < P.NumFuncs)
+    TableSlots *= 2;
+  TableAddr = B.allocData(TableSlots * 8, 8);
+  RBufAddr = B.allocData(64, 8);
+  OutBufAddr = B.allocData(8, 8);
+  PathAddr = B.allocData(16, 8);
+  B.initDataBytes(PathAddr, "input.dat", 10);
+
+  // Functions first (reverse order so chained callees precede callers);
+  // "main" follows them.
+  FuncAddrs.assign(P.NumFuncs, 0);
+  std::vector<ProgramBuilder::LabelId> FuncLabels;
+  for (unsigned F = 0; F != P.NumFuncs; ++F)
+    FuncLabels.push_back(B.createLabel());
+  std::vector<uint64_t> FuncDyns(P.NumFuncs, 0);
+  for (unsigned F = P.NumFuncs; F-- != 0;) {
+    ProgramBuilder::LabelId Next = F + 1 < P.NumFuncs ? FuncLabels[F + 1]
+                                                      : FuncLabels[F];
+    uint64_t NextDyn = F + 1 < P.NumFuncs ? FuncDyns[F + 1] : 0;
+    FuncDyns[F] = emitFunction(F, FuncLabels[F], Next, NextDyn);
+  }
+  // Average dispatched cost over the jump-table slots (exact over each
+  // full pass of the table).
+  double FuncDyn = 0;
+  for (unsigned Slot = 0; Slot != TableSlots; ++Slot)
+    FuncDyn += static_cast<double>(FuncDyns[Slot % P.NumFuncs]);
+  FuncDyn /= TableSlots;
+
+  // Jump table: slot i -> function (i % NumFuncs).
+  for (unsigned Slot = 0; Slot != TableSlots; ++Slot)
+    B.initData64(TableAddr + Slot * 8, FuncAddrs[Slot % P.NumFuncs]);
+
+  B.defineSymbol("main");
+  uint64_t Prologue = 0;
+  B.movi(Zero, 0);
+  B.movi(WsBase, static_cast<int64_t>(WsAddr));
+  B.movi(Lcg, static_cast<int64_t>(P.Seed | 1));
+  B.movi(Sum, 0);
+  B.movi(Chase, static_cast<int64_t>(WsAddr));
+  Prologue += 5;
+  Prologue += emitWsInit();
+  bool NeedsFd = P.Mix == SysMix::ReadWrite;
+  if (NeedsFd) {
+    B.movi(Reg{1}, static_cast<int64_t>(PathAddr));
+    emitSyscall(Sys::Open);
+    B.mov(Fd, Reg{0});
+    Prologue += 4;
+  }
+
+  // Solve the outer iteration count against the instruction budget.
+  uint64_t SysDynPlaceholder = 0;
+  switch (P.Mix) {
+  case SysMix::None:
+    SysDynPlaceholder = 0;
+    break;
+  case SysMix::BrkHeavy:
+    SysDynPlaceholder = 7;
+    break;
+  case SysMix::ReadWrite:
+    SysDynPlaceholder = 8;
+    break;
+  case SysMix::Mixed:
+    SysDynPlaceholder = 9;
+    break;
+  case SysMix::OpenClose:
+    SysDynPlaceholder = 6;
+    break;
+  }
+  double PerIter = 6 /*dispatch+callr*/ + FuncDyn + 2 /*outer ctrl*/;
+  if (P.SyscallMask != 0)
+    PerIter += 2; // mask test
+  double SysAmortized =
+      P.SyscallMask != 0
+          ? static_cast<double>(SysDynPlaceholder) / double(sysPeriod())
+          : 0.0;
+  uint64_t Epilogue = 10;
+  uint64_t Budget =
+      P.TargetInsts > Prologue + Epilogue
+          ? P.TargetInsts - Prologue - Epilogue
+          : static_cast<uint64_t>(PerIter) + 1;
+  uint64_t OuterIters =
+      static_cast<uint64_t>(static_cast<double>(Budget) /
+                            (PerIter + SysAmortized));
+  if (OuterIters == 0)
+    OuterIters = 1;
+
+  B.movi(Outer, static_cast<int64_t>(OuterIters));
+  ProgramBuilder::LabelId OuterLoop = B.createLabel();
+  B.bind(OuterLoop);
+  // Dispatch through the jump table (indirect call).
+  B.andi(S1, Outer, static_cast<int64_t>(TableSlots - 1));
+  B.shli(S1, S1, 3);
+  B.movi(S0, static_cast<int64_t>(TableAddr));
+  B.add(S0, S0, S1);
+  B.ld64(S0, S0, 0);
+  B.callr(S0);
+  if (P.SyscallMask != 0) {
+    ProgramBuilder::LabelId Skip = B.createLabel();
+    B.andi(S1, Outer, static_cast<int64_t>(P.SyscallMask));
+    B.bne(S1, Zero, Skip);
+    emitSysBlock();
+    B.bind(Skip);
+  }
+  B.addi(Outer, Outer, -1);
+  B.bne(Outer, Zero, OuterLoop);
+
+  // Epilogue: write the checksum, then exit(0).
+  B.movi(S0, static_cast<int64_t>(OutBufAddr));
+  B.st64(S0, 0, Sum);
+  B.movi(Reg{1}, 1);
+  B.movi(Reg{2}, static_cast<int64_t>(OutBufAddr));
+  B.movi(Reg{3}, 8);
+  emitSyscall(Sys::Write);
+  B.movi(Reg{1}, 0);
+  emitSyscall(Sys::Exit);
+
+  return B.take();
+}
+
+} // namespace
+
+Program spin::workloads::generateWorkload(const GenParams &P) {
+  WorkloadEmitter E(P);
+  return E.emit();
+}

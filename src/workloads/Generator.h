@@ -1,0 +1,80 @@
+//===- workloads/Generator.h - Synthetic workload generator -----*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parameterized guest-program generator behind the SPEC2000-named
+/// workloads. Programs have a fixed shape — init, an outer driver loop
+/// dispatching through a jump table to generated functions, periodic
+/// syscall blocks, a final checksum write, exit — with per-benchmark
+/// parameters controlling code footprint, memory behaviour, branchiness,
+/// call depth, and syscall mix.
+///
+/// Two properties the experiments rely on:
+///  * determinism — identical parameters produce an identical program
+///    whose execution is identical (checksum output included);
+///  * analytically balanced control flow — branch diamonds execute the
+///    same instruction count on both sides, so the generator can compute
+///    the dynamic instruction count of one outer iteration exactly and
+///    size the program to its target instruction budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_WORKLOADS_GENERATOR_H
+#define SUPERPIN_WORKLOADS_GENERATOR_H
+
+#include "vm/Program.h"
+
+#include <string>
+
+namespace spin::workloads {
+
+/// Syscall flavor of a workload's periodic kernel interaction.
+enum class SysMix : uint8_t {
+  None,      ///< pure computation (FP-loop codes: swim, mgrid, ...)
+  BrkHeavy,  ///< frequent brk growth (the paper's gcc motivation, §4.2)
+  ReadWrite, ///< read from a synthetic input file + occasional writes
+  Mixed,     ///< gettime/getpid/rand/write pot-pourri
+  OpenClose, ///< periodic open/close: ForceSlice boundaries (§4.2 default)
+};
+
+struct GenParams {
+  std::string Name = "workload";
+  /// Approximate dynamic instructions (the generator sizes the outer loop
+  /// to come within one iteration of this).
+  uint64_t TargetInsts = 1'000'000;
+  /// Code footprint: functions × blocks × filler ALU per block.
+  unsigned NumFuncs = 16;
+  unsigned BlocksPerFunc = 8;
+  unsigned AluPerBlock = 4;
+  /// Every Nth block stores instead of loading.
+  unsigned StoreEvery = 3;
+  /// Emit balanced branch diamonds inside blocks.
+  bool DiamondBranches = true;
+  /// mcf-style dependent pointer chasing through a ring in memory.
+  bool PointerChase = false;
+  /// Working set (power of two bytes).
+  uint64_t WorkingSetBytes = 1 << 16;
+  /// Run the syscall block when (outer-counter & (SyscallMask)) == 0;
+  /// 0 disables periodic syscalls entirely.
+  uint64_t SyscallMask = 0;
+  SysMix Mix = SysMix::None;
+  /// Inner loop iterations per function call.
+  unsigned InnerIters = 8;
+  /// Call-chain depth: after its loop, function i tail-calls function
+  /// i+1 when (i % ChainEvery) != ChainEvery-1; 0 disables chaining
+  /// (every function is a leaf). Call-heavy workloads (perlbmk, parser)
+  /// use small values for deep dynamic call stacks.
+  unsigned ChainEvery = 0;
+  uint64_t Seed = 0x5eed;
+};
+
+/// Generates the program. Deterministic in \p P.
+vm::Program generateWorkload(const GenParams &P);
+
+} // namespace spin::workloads
+
+#endif // SUPERPIN_WORKLOADS_GENERATOR_H

@@ -1,0 +1,115 @@
+//===- workloads/Spec2000.cpp - SPEC2000-named workload suite -------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Spec2000.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cmath>
+
+using namespace spin;
+using namespace spin::vm;
+using namespace spin::workloads;
+
+/// Builds one suite entry. \p Funcs/\p Blocks/\p Alu set the code
+/// footprint; \p Ws the working set; \p SysMask/\p Mix the syscall
+/// behaviour (mask 2^n-1, syscall block every 2^n outer iterations).
+static WorkloadInfo entry(const char *Name, double Cpi, uint64_t DurationMs,
+                          unsigned Funcs, unsigned Blocks, unsigned Alu,
+                          uint64_t Ws, uint64_t SysMask, SysMix Mix,
+                          bool Diamond = true, bool Chase = false,
+                          unsigned Inner = 8, uint64_t Seed = 0,
+                          unsigned Chain = 0) {
+  WorkloadInfo Info;
+  Info.Name = Name;
+  Info.Cpi = Cpi;
+  Info.DurationMs = DurationMs;
+  GenParams &P = Info.Params;
+  P.Name = Name;
+  P.NumFuncs = Funcs;
+  P.BlocksPerFunc = Blocks;
+  P.AluPerBlock = Alu;
+  P.WorkingSetBytes = Ws;
+  P.SyscallMask = SysMask;
+  P.Mix = Mix;
+  P.DiamondBranches = Diamond;
+  P.PointerChase = Chase;
+  P.InnerIters = Inner;
+  P.ChainEvery = Chain;
+  P.StoreEvery = 3;
+  // Distinct seeds keep the suite's programs from being clones.
+  P.Seed = Seed ? Seed : 0x9e3779b9u ^ (uint64_t(Name[0]) << 32 | Name[1]);
+  return Info;
+}
+
+const std::vector<WorkloadInfo> &spin::workloads::spec2000Suite() {
+  constexpr uint64_t KiB = 1024;
+  static const std::vector<WorkloadInfo> Suite = {
+      // name        cpi   ms     fn  blk alu  ws        mask  mix
+      entry("ammp", 1.3, 8000, 15, 10, 5, 1024 * KiB, 0, SysMix::None,
+            true, /*Chase=*/true),
+      entry("applu", 1.5, 9000, 12, 12, 8, 1024 * KiB, 0, SysMix::None,
+            /*Diamond=*/false, false, 16),
+      entry("apsi", 1.2, 4500, 18, 10, 6, 512 * KiB, 0, SysMix::None),
+      entry("art", 2.2, 2200, 6, 8, 4, 2048 * KiB, 0, SysMix::None,
+            /*Diamond=*/false, false, 24),
+      entry("bzip2", 0.9, 8000, 12, 10, 4, 256 * KiB, 63, SysMix::ReadWrite),
+      entry("crafty", 0.7, 7000, 28, 10, 3, 64 * KiB, 0, SysMix::None,
+            true, false, 8, 0, /*Chain=*/5),
+      entry("eon", 0.8, 2600, 40, 10, 4, 128 * KiB, 255, SysMix::Mixed,
+            true, false, 8, 0, /*Chain=*/4),
+      entry("equake", 1.6, 6000, 10, 10, 5, 1024 * KiB, 0, SysMix::None,
+            true, /*Chase=*/true),
+      entry("facerec", 1.1, 12000, 14, 10, 6, 512 * KiB, 0, SysMix::None),
+      entry("fma3d", 1.3, 8000, 36, 12, 6, 512 * KiB, 0, SysMix::None,
+            /*Diamond=*/false),
+      entry("galgel", 1.4, 7000, 16, 12, 7, 1024 * KiB, 0, SysMix::None),
+      entry("gap", 0.9, 6000, 30, 10, 4, 256 * KiB, 127, SysMix::BrkHeavy,
+            true, false, 8, 0, /*Chain=*/4),
+      entry("gcc", 1.0, 10000, 70, 16, 5, 512 * KiB, 15, SysMix::BrkHeavy),
+      entry("gzip", 0.85, 3000, 10, 8, 4, 256 * KiB, 31, SysMix::ReadWrite),
+      entry("lucas", 1.5, 8000, 8, 10, 8, 2048 * KiB, 0, SysMix::None,
+            /*Diamond=*/false, false, 24),
+      entry("mcf", 3.2, 14000, 8, 8, 3, 4096 * KiB, 0, SysMix::None, true,
+            /*Chase=*/true, 16),
+      entry("mesa", 0.9, 3200, 35, 10, 4, 256 * KiB, 511, SysMix::Mixed),
+      entry("mgrid", 1.7, 9000, 6, 12, 10, 2048 * KiB, 0, SysMix::None,
+            /*Diamond=*/false, false, 24),
+      entry("parser", 0.9, 7000, 35, 10, 4, 128 * KiB, 127, SysMix::Mixed,
+            true, false, 8, 0, /*Chain=*/3),
+      entry("perlbmk", 0.85, 8000, 45, 12, 4, 256 * KiB, 63,
+            SysMix::BrkHeavy, true, false, 8, 0, /*Chain=*/3),
+      entry("sixtrack", 1.0, 11000, 30, 10, 6, 256 * KiB, 0, SysMix::None),
+      entry("swim", 2.0, 13000, 5, 10, 10, 4096 * KiB, 0, SysMix::None,
+            /*Diamond=*/false, false, 32),
+      entry("twolf", 1.1, 9000, 25, 12, 5, 512 * KiB, 0, SysMix::None),
+      entry("vortex", 1.0, 8000, 45, 12, 4, 512 * KiB, 255,
+            SysMix::OpenClose, true, false, 8, 0, /*Chain=*/4),
+      entry("vpr", 1.0, 4000, 30, 10, 5, 256 * KiB, 255, SysMix::Mixed),
+      entry("wupwise", 1.2, 8000, 12, 10, 6, 1024 * KiB, 0, SysMix::None),
+  };
+  return Suite;
+}
+
+const WorkloadInfo &spin::workloads::findWorkload(const std::string &Name) {
+  for (const WorkloadInfo &Info : spec2000Suite())
+    if (Name == Info.Name)
+      return Info;
+  reportFatalError("unknown workload '" + Name + "'");
+}
+
+Program spin::workloads::buildWorkload(const WorkloadInfo &Info,
+                                       double Scale) {
+  GenParams P = Info.Params;
+  // DurationMs of native time at 1000 baseline-instructions/ms and the
+  // workload's CPI determines the instruction budget.
+  double Insts = static_cast<double>(Info.DurationMs) * 1000.0 / Info.Cpi;
+  P.TargetInsts = static_cast<uint64_t>(std::llround(Insts * Scale));
+  if (P.TargetInsts < 50'000)
+    P.TargetInsts = 50'000;
+  return generateWorkload(P);
+}

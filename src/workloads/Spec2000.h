@@ -1,0 +1,48 @@
+//===- workloads/Spec2000.h - SPEC2000-named workload suite -----*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 26 SPEC2000-named synthetic workloads used by the paper's Figures
+/// 3-5. Each entry substitutes for the real benchmark with a generated
+/// program sharing its coarse character — CPI (memory-boundness), code
+/// footprint, syscall behaviour, working-set size — which are exactly the
+/// attributes the paper says drive per-benchmark variation (DESIGN.md §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_WORKLOADS_SPEC2000_H
+#define SUPERPIN_WORKLOADS_SPEC2000_H
+
+#include "workloads/Generator.h"
+
+#include <vector>
+
+namespace spin::workloads {
+
+struct WorkloadInfo {
+  const char *Name;
+  /// Native cycles per instruction: converts to the engine's per-
+  /// instruction cost and captures memory-boundness (mcf high, crafty low).
+  double Cpi;
+  /// Approximate native duration at Scale = 1, in virtual milliseconds.
+  uint64_t DurationMs;
+  GenParams Params; ///< TargetInsts filled in by buildWorkload
+};
+
+/// The full suite, in the paper's alphabetical order.
+const std::vector<WorkloadInfo> &spec2000Suite();
+
+/// Looks up a suite entry by name; asserts that it exists.
+const WorkloadInfo &findWorkload(const std::string &Name);
+
+/// Generates the program for \p Info at duration Scale (0 < Scale <= 1
+/// typical; instruction budget scales linearly).
+vm::Program buildWorkload(const WorkloadInfo &Info, double Scale = 1.0);
+
+} // namespace spin::workloads
+
+#endif // SUPERPIN_WORKLOADS_SPEC2000_H

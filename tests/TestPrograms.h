@@ -1,0 +1,87 @@
+//===- tests/TestPrograms.h - Shared guest programs for tests ---*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small assembled guest programs shared across test suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_TESTS_TESTPROGRAMS_H
+#define SUPERPIN_TESTS_TESTPROGRAMS_H
+
+#include "vm/Assembler.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+
+namespace spin::test {
+
+/// Assembles or aborts the test with the assembler diagnostic.
+inline vm::Program mustAssemble(std::string_view Source,
+                                std::string_view Name) {
+  std::string Err;
+  std::optional<vm::Program> Prog = vm::assemble(Source, Name, Err);
+  if (!Prog) {
+    ADD_FAILURE() << "assembly failed: " << Err;
+    abort();
+  }
+  return std::move(*Prog);
+}
+
+/// Counts down from \p N with a data store per iteration, then exits 0.
+/// Dynamic length: 3 + 4*N + 3 (including the exit syscall).
+inline vm::Program makeCountdown(unsigned N) {
+  std::string Src = R"(
+main:
+  movi r1, )" + std::to_string(N) +
+                    R"(
+  movi r2, 0
+  movi r3, buf
+loop:
+  addi r1, r1, -1
+  st64 [r3+0], r1
+  ld64 r4, [r3+0]
+  bne r1, r2, loop
+  movi r0, 0
+  movi r1, 0
+  syscall
+.data
+buf: .space 64
+)";
+  return mustAssemble(Src, "countdown");
+}
+
+/// The paper's Section 4.4 signature false positive: a loop whose only
+/// iteration-varying state is a memory counter (registers and stack are
+/// identical at the loop head on every iteration).
+inline vm::Program makeMemCounterLoop(unsigned Iters) {
+  std::string Src = R"(
+main:
+  movi r2, counter
+  movi r4, )" + std::to_string(Iters) +
+                    R"(
+  movi r3, 0
+loop:
+  incm [r2+0]
+  ld64 r3, [r2+0]
+  bge r3, r4, done
+  movi r3, 0
+  jmp loop
+done:
+  movi r0, 0
+  movi r1, 0
+  syscall
+.data
+counter: .word64 0
+)";
+  return mustAssemble(Src, "memcounter");
+}
+
+} // namespace spin::test
+
+#endif // SUPERPIN_TESTS_TESTPROGRAMS_H

@@ -1,0 +1,234 @@
+//===- tests/fuzz_test.cpp - Random-program differential testing ----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Generates random but terminating-by-construction guest programs and
+// differentially tests the three execution engines on them: the plain
+// interpreter (ground truth), serial MiniPin, and SuperPin. Any semantic
+// divergence between the execution paths, any slice mis-partitioning, and
+// any signature/playback defect shows up as a count or output mismatch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/DirectRun.h"
+#include "pin/Runner.h"
+#include "superpin/Engine.h"
+#include "support/Random.h"
+#include "tools/Icount.h"
+#include "vm/ProgramBuilder.h"
+#include "vm/Verifier.h"
+
+#include "gtest/gtest.h"
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::tools;
+using namespace spin::vm;
+
+namespace {
+
+/// Builds a random program. Termination is guaranteed by construction:
+/// all loops are counted with dedicated registers, and functions may only
+/// call higher-numbered functions (no recursion).
+///
+/// Register convention: r12 = zero, r11 = data base, r13/r14 = loop
+/// counters (outer/inner), r1-r10 scratch, r6 = checksum.
+class RandomProgram {
+public:
+  explicit RandomProgram(uint64_t Seed) : Rng(Seed), B("fuzz") {}
+
+  Program build() {
+    DataAddr = B.allocData(4096, 4096);
+    OutAddr = B.allocData(8, 8);
+    unsigned NumFuncs = 1 + Rng.nextBelow(4);
+
+    // Emit leaf-most functions first so calls only go "upward" in index
+    // (downward in address), guaranteeing acyclic calls.
+    std::vector<ProgramBuilder::LabelId> FuncLabels;
+    for (unsigned F = 0; F != NumFuncs; ++F) {
+      ProgramBuilder::LabelId L = B.createLabel();
+      B.bind(L);
+      emitFunction(FuncLabels); // may call any already-emitted function
+      FuncLabels.push_back(L);
+    }
+
+    B.defineSymbol("main");
+    B.movi(Reg{12}, 0);
+    B.movi(Reg{11}, static_cast<int64_t>(DataAddr));
+    B.movi(Reg{6}, static_cast<int64_t>(Rng.nextBelow(1000)));
+    // Outer driver loop.
+    unsigned OuterIters = 40 + Rng.nextBelow(120);
+    B.movi(Reg{13}, OuterIters);
+    ProgramBuilder::LabelId Outer = B.createLabel();
+    B.bind(Outer);
+    for (unsigned I = 0, N = 1 + Rng.nextBelow(3); I != N; ++I)
+      B.call(FuncLabels[Rng.nextBelow(FuncLabels.size())]);
+    maybeSyscall();
+    B.addi(Reg{13}, Reg{13}, -1);
+    B.bne(Reg{13}, Reg{12}, Outer);
+
+    // Write the checksum, then exit 0.
+    B.movi(Reg{1}, static_cast<int64_t>(OutAddr));
+    B.st64(Reg{1}, 0, Reg{6});
+    B.movi(Reg{1}, 1);
+    B.movi(Reg{2}, static_cast<int64_t>(OutAddr));
+    B.movi(Reg{3}, 8);
+    B.movi(Reg{0}, 1); // write
+    B.syscall();
+    B.movi(Reg{0}, 0); // exit
+    B.movi(Reg{1}, 0);
+    B.syscall();
+    return B.take();
+  }
+
+private:
+  SplitMix64 Rng;
+  ProgramBuilder B;
+  uint64_t DataAddr = 0;
+  uint64_t OutAddr = 0;
+
+  Reg scratch() { return Reg{1 + unsigned(Rng.nextBelow(5))}; } // r1-r5
+
+  /// One random non-control instruction.
+  void emitOp() {
+    Reg D = scratch(), A = scratch(), C = scratch();
+    switch (Rng.nextBelow(14)) {
+    case 0:
+      B.add(D, A, C);
+      break;
+    case 1:
+      B.sub(D, A, C);
+      break;
+    case 2:
+      B.mul(D, A, C);
+      break;
+    case 3:
+      B.divu(D, A, C); // div-by-zero is defined (RISC-V semantics)
+      break;
+    case 4:
+      B.xor_(Reg{6}, Reg{6}, A);
+      break;
+    case 5:
+      B.shli(D, A, static_cast<int64_t>(Rng.nextBelow(8)));
+      break;
+    case 6:
+      B.slt(D, A, C);
+      break;
+    case 7:
+      B.movi(D, static_cast<int64_t>(Rng.nextBelow(1 << 20)));
+      break;
+    case 8: { // load from data
+      B.andi(D, A, 4088 & ~7); // offset 0..4080, 8-aligned
+      B.add(D, D, Reg{11});
+      B.ld64(C, D, 0);
+      B.xor_(Reg{6}, Reg{6}, C);
+      break;
+    }
+    case 9: { // store to data
+      B.andi(D, A, 4088 & ~7);
+      B.add(D, D, Reg{11});
+      B.st64(D, 0, Reg{6});
+      break;
+    }
+    case 10:
+      B.incm(Reg{11}, static_cast<int64_t>(Rng.nextBelow(500) * 8));
+      break;
+    case 11: { // balanced-ish diamond (sides may differ in count; all
+               // engines execute identically, so that is fine here)
+      ProgramBuilder::LabelId Else = B.createLabel();
+      ProgramBuilder::LabelId End = B.createLabel();
+      B.andi(D, Reg{6}, 1 << Rng.nextBelow(4));
+      B.beq(D, Reg{12}, Else);
+      B.xori(Reg{6}, Reg{6}, 0x11);
+      B.jmp(End);
+      B.bind(Else);
+      B.addi(Reg{6}, Reg{6}, 3);
+      B.bind(End);
+      break;
+    }
+    case 12:
+      B.push(A);
+      B.pop(A);
+      break;
+    case 13:
+      B.sar(D, A, C);
+      break;
+    }
+  }
+
+  void maybeSyscall() {
+    switch (Rng.nextBelow(6)) {
+    case 0: // getpid (replayable)
+      B.movi(Reg{0}, 7);
+      B.syscall();
+      B.xor_(Reg{6}, Reg{6}, Reg{0});
+      break;
+    case 1: // rand (duplicable)
+      B.movi(Reg{0}, 8);
+      B.syscall();
+      B.xor_(Reg{6}, Reg{6}, Reg{0});
+      break;
+    case 2: // brk query (duplicable)
+      B.movi(Reg{0}, 3);
+      B.movi(Reg{1}, 0);
+      B.syscall();
+      break;
+    default:
+      break; // most iterations: no syscall
+    }
+  }
+
+  void emitFunction(const std::vector<ProgramBuilder::LabelId> &Callees) {
+    B.push(Reg{14});
+    unsigned Iters = 2 + Rng.nextBelow(8);
+    B.movi(Reg{14}, Iters);
+    ProgramBuilder::LabelId Loop = B.createLabel();
+    B.bind(Loop);
+    for (unsigned I = 0, N = 3 + Rng.nextBelow(10); I != N; ++I)
+      emitOp();
+    if (!Callees.empty() && Rng.nextBool(0.5))
+      B.call(Callees[Rng.nextBelow(Callees.size())]);
+    B.addi(Reg{14}, Reg{14}, -1);
+    B.bne(Reg{14}, Reg{12}, Loop);
+    B.pop(Reg{14});
+    B.ret();
+  }
+};
+
+class RandomProgramFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramFuzz, EnginesAgree) {
+  Program Prog = RandomProgram(GetParam()).build();
+  ASSERT_TRUE(verifyProgram(Prog).empty());
+
+  DirectRunResult Native = runDirect(Prog, 50'000'000);
+  ASSERT_TRUE(Native.Exited) << "fuzz program must terminate";
+  ASSERT_EQ(Native.Output.size(), 8u) << "checksum must be written";
+
+  CostModel Model;
+  auto SerialCount = std::make_shared<IcountResult>();
+  RunReport Serial = runSerialPin(
+      Prog, Model, 100,
+      makeIcountTool(IcountGranularity::Instruction, SerialCount));
+  EXPECT_EQ(SerialCount->Total, Native.Insts);
+  EXPECT_EQ(Serial.Output, Native.Output);
+
+  sp::SpOptions Opts;
+  Opts.SliceMs = 3 + GetParam() % 17; // vary boundary placement per seed
+  auto SpCount = std::make_shared<IcountResult>();
+  sp::SpRunReport Sp = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, SpCount), Opts,
+      Model);
+  EXPECT_EQ(SpCount->Total, Native.Insts);
+  EXPECT_EQ(Sp.Output, Native.Output);
+  EXPECT_TRUE(Sp.PartitionOk);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramFuzz,
+                         ::testing::Range(uint64_t(1), uint64_t(25)));
+
+} // namespace

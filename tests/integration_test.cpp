@@ -1,0 +1,366 @@
+//===- tests/integration_test.cpp - Cross-module property sweeps ----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Parameterized sweeps of the system-level invariants (DESIGN.md §6)
+// across workloads × tools × SuperPin configurations, plus engine edge
+// cases that the unit suites do not reach.
+//
+//===----------------------------------------------------------------------===//
+
+#include "superpin/Engine.h"
+#include "superpin/Reporting.h"
+
+#include "os/DirectRun.h"
+#include "pin/Runner.h"
+#include "support/RawOstream.h"
+#include "support/Statistic.h"
+#include "tools/DCache.h"
+#include "tools/Icount.h"
+#include "workloads/Spec2000.h"
+
+#include "TestPrograms.h"
+
+#include "gtest/gtest.h"
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::test;
+using namespace spin::tools;
+using namespace spin::vm;
+using namespace spin::workloads;
+
+namespace {
+
+// --- Count preservation sweep -------------------------------------------
+// workload x granularity x timeslice: merged SuperPin counts must equal
+// the native instruction count, the partition must be exact, and the
+// master's output must be canonical.
+
+using CountSweepParam =
+    std::tuple<const char * /*workload*/, int /*granularity*/,
+               int /*sliceMs*/>;
+
+class CountPreservationSweep
+    : public ::testing::TestWithParam<CountSweepParam> {};
+
+TEST_P(CountPreservationSweep, SuperPinPreservesCounts) {
+  const auto &[Name, Granularity, SliceMs] = GetParam();
+  const WorkloadInfo &Info = findWorkload(Name);
+  Program Prog = buildWorkload(Info, 0.015);
+  DirectRunResult Native = runDirect(Prog);
+  ASSERT_TRUE(Native.Exited);
+
+  sp::SpOptions Opts;
+  Opts.SliceMs = static_cast<uint64_t>(SliceMs);
+  Opts.Cpi = Info.Cpi;
+  auto Count = std::make_shared<IcountResult>();
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog,
+      makeIcountTool(static_cast<IcountGranularity>(Granularity), Count),
+      Opts, CostModel());
+
+  EXPECT_EQ(Count->Total, Native.Insts);
+  EXPECT_TRUE(Rep.PartitionOk);
+  EXPECT_EQ(Rep.Output, Native.Output);
+  EXPECT_EQ(Rep.ExitCode, 0);
+  EXPECT_EQ(Rep.MasterInsts, Native.Insts);
+  EXPECT_EQ(Rep.SliceInsts, Native.Insts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, CountPreservationSweep,
+    ::testing::Combine(
+        ::testing::Values("gcc", "mcf", "gzip", "vortex", "eon", "swim"),
+        ::testing::Values(int(IcountGranularity::Instruction),
+                          int(IcountGranularity::BasicBlock)),
+        ::testing::Values(15, 40, 110)),
+    [](const ::testing::TestParamInfo<CountSweepParam> &I) {
+      return std::string(std::get<0>(I.param)) +
+             (std::get<1>(I.param) ? "_bbl" : "_ins") + "_" +
+             std::to_string(std::get<2>(I.param)) + "ms";
+    });
+
+// --- Configuration sweep --------------------------------------------------
+// Orthogonal engine options must never affect tool results.
+
+struct ConfigCase {
+  const char *Label;
+  void (*Apply)(sp::SpOptions &);
+};
+
+class ConfigSweep : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(ConfigSweep, OptionsNeverChangeResults) {
+  const WorkloadInfo &Info = findWorkload("gzip");
+  Program Prog = buildWorkload(Info, 0.02);
+  DirectRunResult Native = runDirect(Prog);
+
+  sp::SpOptions Opts;
+  Opts.SliceMs = 30;
+  Opts.Cpi = Info.Cpi;
+  GetParam().Apply(Opts);
+  auto Count = std::make_shared<IcountResult>();
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, Count), Opts,
+      CostModel());
+  EXPECT_EQ(Count->Total, Native.Insts) << GetParam().Label;
+  EXPECT_TRUE(Rep.PartitionOk) << GetParam().Label;
+  EXPECT_EQ(Rep.Output, Native.Output) << GetParam().Label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Options, ConfigSweep,
+    ::testing::Values(
+        ConfigCase{"memsig", [](sp::SpOptions &O) { O.MemSignature = true; }},
+        ConfigCase{"noquick", [](sp::SpOptions &O) { O.QuickCheck = false; }},
+        ConfigCase{"sharedcc",
+                   [](sp::SpOptions &O) { O.SharedCodeCache = true; }},
+        ConfigCase{"sysrecs0", [](sp::SpOptions &O) { O.MaxSysRecs = 0; }},
+        ConfigCase{"sysrecs2", [](sp::SpOptions &O) { O.MaxSysRecs = 2; }},
+        ConfigCase{"mp1", [](sp::SpOptions &O) { O.MaxSlices = 1; }},
+        ConfigCase{"mp2", [](sp::SpOptions &O) { O.MaxSlices = 2; }},
+        ConfigCase{"cpus2",
+                   [](sp::SpOptions &O) {
+                     O.PhysCpus = 2;
+                     O.VirtCpus = 2;
+                   }},
+        ConfigCase{"smt",
+                   [](sp::SpOptions &O) {
+                     O.PhysCpus = 4;
+                     O.VirtCpus = 8;
+                   }},
+        ConfigCase{"adaptive",
+                   [](sp::SpOptions &O) {
+                     O.AdaptiveSlices = true;
+                     O.AppDurationHintMs = 150;
+                     O.MinSliceMs = 5;
+                   }}),
+    [](const ::testing::TestParamInfo<ConfigCase> &I) {
+      return std::string(I.param.Label);
+    });
+
+// --- Dcache exactness sweep ------------------------------------------------
+
+using DCacheParam = std::tuple<const char *, int /*numSets*/>;
+
+class DCacheSweep : public ::testing::TestWithParam<DCacheParam> {};
+
+TEST_P(DCacheSweep, DirectMappedExact) {
+  const auto &[Name, NumSets] = GetParam();
+  const WorkloadInfo &Info = findWorkload(Name);
+  Program Prog = buildWorkload(Info, 0.015);
+  CostModel Model;
+  DCacheConfig Config;
+  Config.NumSets = static_cast<uint32_t>(NumSets);
+
+  auto Serial = std::make_shared<DCacheResult>();
+  runSerialPin(Prog, Model, 100, makeDCacheTool(Config, Serial));
+  sp::SpOptions Opts;
+  Opts.SliceMs = 25;
+  Opts.Cpi = Info.Cpi;
+  auto Sp = std::make_shared<DCacheResult>();
+  sp::runSuperPin(Prog, makeDCacheTool(Config, Sp), Opts, Model);
+
+  EXPECT_EQ(Serial->Accesses, Sp->Accesses);
+  EXPECT_EQ(Serial->Hits, Sp->Hits);
+  EXPECT_EQ(Serial->Misses, Sp->Misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Caches, DCacheSweep,
+    ::testing::Combine(::testing::Values("mcf", "gzip", "twolf"),
+                       ::testing::Values(32, 512, 8192)),
+    [](const ::testing::TestParamInfo<DCacheParam> &I) {
+      return std::string(std::get<0>(I.param)) + "_" +
+             std::to_string(std::get<1>(I.param)) + "sets";
+    });
+
+// --- Determinism sweep ------------------------------------------------------
+
+class DeterminismSweep : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(DeterminismSweep, BitIdenticalReports) {
+  const WorkloadInfo &Info = findWorkload(GetParam());
+  Program Prog = buildWorkload(Info, 0.015);
+  sp::SpOptions Opts;
+  Opts.SliceMs = 35;
+  Opts.Cpi = Info.Cpi;
+  auto Run = [&] {
+    return sp::runSuperPin(
+        Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts,
+        CostModel());
+  };
+  sp::SpRunReport A = Run();
+  sp::SpRunReport B = Run();
+  EXPECT_EQ(A.WallTicks, B.WallTicks);
+  EXPECT_EQ(A.MasterExitTicks, B.MasterExitTicks);
+  EXPECT_EQ(A.NativeTicks, B.NativeTicks);
+  EXPECT_EQ(A.ForkOthersTicks, B.ForkOthersTicks);
+  EXPECT_EQ(A.SleepTicks, B.SleepTicks);
+  EXPECT_EQ(A.NumSlices, B.NumSlices);
+  EXPECT_EQ(A.Signature.QuickChecks, B.Signature.QuickChecks);
+  EXPECT_EQ(A.MasterCowCopies, B.MasterCowCopies);
+  ASSERT_EQ(A.Slices.size(), B.Slices.size());
+  for (size_t I = 0; I != A.Slices.size(); ++I) {
+    EXPECT_EQ(A.Slices[I].SpawnTime, B.Slices[I].SpawnTime);
+    EXPECT_EQ(A.Slices[I].ReadyTime, B.Slices[I].ReadyTime);
+    EXPECT_EQ(A.Slices[I].EndTime, B.Slices[I].EndTime);
+    EXPECT_EQ(A.Slices[I].MergeTime, B.Slices[I].MergeTime);
+    EXPECT_EQ(A.Slices[I].RetiredInsts, B.Slices[I].RetiredInsts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, DeterminismSweep,
+                         ::testing::Values("gcc", "mcf", "eon", "bzip2"));
+
+// --- Engine edge cases --------------------------------------------------
+
+sp::SpOptions edgeOptions() {
+  sp::SpOptions Opts;
+  Opts.SliceMs = 50;
+  return Opts;
+}
+
+TEST(EngineEdge, ImmediateExitProgram) {
+  // The whole program is one window ending at app exit.
+  Program Prog = mustAssemble("main:\n  movi r0, 0\n  movi r1, 5\n"
+                              "  syscall\n",
+                              "instant");
+  auto Count = std::make_shared<IcountResult>();
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, Count),
+      edgeOptions(), CostModel());
+  EXPECT_EQ(Rep.ExitCode, 5);
+  EXPECT_EQ(Rep.NumSlices, 1u);
+  EXPECT_EQ(Count->Total, 3u);
+  EXPECT_TRUE(Rep.PartitionOk);
+  ASSERT_EQ(Rep.Slices.size(), 1u);
+  EXPECT_EQ(Rep.Slices[0].EndKind, sp::SliceEndKind::AppExit);
+}
+
+TEST(EngineEdge, HugeTimesliceMakesOneSlice) {
+  Program Prog = makeCountdown(5000);
+  sp::SpOptions Opts = edgeOptions();
+  Opts.SliceMs = 1'000'000;
+  auto Count = std::make_shared<IcountResult>();
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, Count), Opts,
+      CostModel());
+  EXPECT_EQ(Rep.NumSlices, 1u);
+  EXPECT_EQ(Rep.TimeoutSlices, 0u);
+  EXPECT_EQ(Count->Total, 3 + 4 * 5000 + 3u);
+}
+
+TEST(EngineEdge, TinyTimesliceManySlices) {
+  Program Prog = makeCountdown(200'000);
+  sp::SpOptions Opts = edgeOptions();
+  Opts.SliceMs = 5;
+  auto Count = std::make_shared<IcountResult>();
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, Count), Opts,
+      CostModel());
+  EXPECT_GT(Rep.NumSlices, 50u);
+  EXPECT_EQ(Count->Total, 3 + 4 * 200'000 + 3u);
+  EXPECT_TRUE(Rep.PartitionOk);
+}
+
+TEST(EngineEdge, SingleCpuStillCorrect) {
+  Program Prog = makeCountdown(50'000);
+  sp::SpOptions Opts = edgeOptions();
+  Opts.PhysCpus = 1;
+  Opts.VirtCpus = 1;
+  Opts.SliceMs = 20;
+  auto Count = std::make_shared<IcountResult>();
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, Count), Opts,
+      CostModel());
+  EXPECT_EQ(Count->Total, 3 + 4 * 50'000 + 3u);
+  EXPECT_TRUE(Rep.PartitionOk);
+  // With one CPU, SuperPin degenerates to slower-than-serial execution;
+  // it must still terminate and merge correctly.
+  EXPECT_GT(Rep.WallTicks, 0u);
+}
+
+TEST(EngineEdge, CpiScalesNativeBucket) {
+  Program Prog = makeCountdown(50'000);
+  sp::SpOptions Opts = edgeOptions();
+  Opts.Cpi = 1.0;
+  sp::SpRunReport Fast = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts,
+      CostModel());
+  Opts.Cpi = 2.5;
+  sp::SpRunReport Slow = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts,
+      CostModel());
+  double Ratio = double(Slow.NativeTicks) / double(Fast.NativeTicks);
+  EXPECT_NEAR(Ratio, 2.5, 0.1);
+}
+
+TEST(EngineEdge, SliceTimesAreOrdered) {
+  Program Prog = buildWorkload(findWorkload("apsi"), 0.02);
+  sp::SpOptions Opts = edgeOptions();
+  Opts.SliceMs = 20;
+  Opts.Cpi = findWorkload("apsi").Cpi;
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts,
+      CostModel());
+  ASSERT_GT(Rep.Slices.size(), 2u);
+  Ticks PrevMerge = 0;
+  for (const sp::SliceInfo &S : Rep.Slices) {
+    EXPECT_LE(S.SpawnTime, S.ReadyTime);
+    EXPECT_LE(S.ReadyTime, S.EndTime);
+    EXPECT_LE(S.EndTime, S.MergeTime);
+    EXPECT_GE(S.MergeTime, PrevMerge) << "merges must be in slice order";
+    PrevMerge = S.MergeTime;
+  }
+  EXPECT_LE(Rep.MasterExitTicks, Rep.Slices.back().MergeTime);
+}
+
+// --- Reporting ------------------------------------------------------------
+
+TEST(Reporting, ReportAndTimelineRender) {
+  Program Prog = buildWorkload(findWorkload("gzip"), 0.02);
+  sp::SpOptions Opts = edgeOptions();
+  Opts.SliceMs = 25;
+  Opts.Cpi = findWorkload("gzip").Cpi;
+  CostModel Model;
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts, Model);
+
+  std::string Text;
+  RawStringOstream OS(Text);
+  sp::printReport(Rep, Model, OS);
+  EXPECT_NE(Text.find("SuperPin run report"), std::string::npos);
+  EXPECT_NE(Text.find("pipeline drain"), std::string::npos);
+  EXPECT_NE(Text.find("partition exact"), std::string::npos);
+
+  std::string Chart;
+  RawStringOstream ChartOS(Chart);
+  sp::printTimeline(Rep, Model, ChartOS, 60, 8);
+  EXPECT_NE(Chart.find("master"), std::string::npos);
+  EXPECT_NE(Chart.find("S1"), std::string::npos);
+  EXPECT_NE(Chart.find('#'), std::string::npos);
+  EXPECT_NE(Chart.find('|'), std::string::npos);
+}
+
+TEST(Reporting, StatisticsExportIsComplete) {
+  Program Prog = buildWorkload(findWorkload("gzip"), 0.015);
+  sp::SpOptions Opts = edgeOptions();
+  Opts.Cpi = findWorkload("gzip").Cpi;
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts,
+      CostModel());
+  StatisticRegistry Stats;
+  sp::exportStatistics(Rep, Stats);
+  EXPECT_EQ(Stats.get("superpin.wall.ticks"), Rep.WallTicks);
+  EXPECT_EQ(Stats.get("superpin.slices.total"), Rep.NumSlices);
+  EXPECT_EQ(Stats.get("superpin.sig.matches"), Rep.Signature.Matches);
+  EXPECT_GE(Stats.entries().size(), 20u);
+}
+
+} // namespace

@@ -1,0 +1,479 @@
+//===- tests/os_test.cpp - Kernel, process, scheduler tests ---------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/DirectRun.h"
+#include "os/Kernel.h"
+#include "os/Process.h"
+#include "os/Scheduler.h"
+#include "os/Syscalls.h"
+
+#include "TestPrograms.h"
+#include "vm/Interpreter.h"
+
+#include "gtest/gtest.h"
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::test;
+using namespace spin::vm;
+
+namespace {
+
+/// Builds a process stopped at its first syscall with the given registers.
+struct SyscallFixture {
+  Program Prog;
+  Process Proc;
+
+  explicit SyscallFixture(std::string_view Body)
+      : Prog(mustAssemble(std::string("main:\n") + std::string(Body) +
+                              "\n  syscall\n  syscall\n  syscall\n  syscall\n"
+                              "  syscall\n  syscall\n  syscall\n  syscall\n",
+                          "sysfix")),
+        Proc(Process::create(Prog)) {
+    runToSyscall();
+  }
+
+  void runToSyscall() {
+    Interpreter I(Prog, Proc.Cpu, Proc.Mem);
+    RunResult R = I.run(100000);
+    ASSERT_EQ(R.Reason, StopReason::Syscall);
+  }
+};
+
+TEST(Kernel, Classification) {
+  EXPECT_EQ(classifySyscall(uint64_t(Sys::Exit)), SyscallClass::Exit);
+  EXPECT_EQ(classifySyscall(uint64_t(Sys::Brk)), SyscallClass::Duplicable);
+  EXPECT_EQ(classifySyscall(uint64_t(Sys::MmapAnon)),
+            SyscallClass::Duplicable);
+  EXPECT_EQ(classifySyscall(uint64_t(Sys::Rand)), SyscallClass::Duplicable);
+  EXPECT_EQ(classifySyscall(uint64_t(Sys::Read)), SyscallClass::Replayable);
+  EXPECT_EQ(classifySyscall(uint64_t(Sys::Write)), SyscallClass::Replayable);
+  EXPECT_EQ(classifySyscall(uint64_t(Sys::GetTimeMs)),
+            SyscallClass::Replayable);
+  EXPECT_EQ(classifySyscall(uint64_t(Sys::Open)), SyscallClass::ForceSlice);
+  // Unknown syscalls take the conservative default (paper Section 4.2).
+  EXPECT_EQ(classifySyscall(999), SyscallClass::ForceSlice);
+  EXPECT_EQ(getSyscallName(uint64_t(Sys::Brk)), "brk");
+  EXPECT_EQ(getSyscallName(999), "unknown");
+}
+
+TEST(Kernel, BrkQueryAndSet) {
+  SyscallFixture F("  movi r0, 3\n  movi r1, 0");
+  SystemContext Ctx;
+  serviceSyscall(F.Proc, Ctx, nullptr);
+  EXPECT_EQ(F.Proc.Cpu.Regs[0], AddressLayout::HeapBase); // query
+  // Grow.
+  F.Proc.Cpu.Regs[0] = uint64_t(Sys::Brk);
+  F.Proc.Cpu.Regs[1] = AddressLayout::HeapBase + 0x10000;
+  serviceSyscall(F.Proc, Ctx, nullptr);
+  EXPECT_EQ(F.Proc.Cpu.Regs[0], AddressLayout::HeapBase + 0x10000);
+  EXPECT_EQ(F.Proc.Kern.Brk, AddressLayout::HeapBase + 0x10000);
+}
+
+TEST(Kernel, MmapIsDeterministicPerProcessState) {
+  SyscallFixture F("  movi r0, 4\n  movi r1, 8192");
+  SystemContext Ctx;
+  serviceSyscall(F.Proc, Ctx, nullptr);
+  uint64_t First = F.Proc.Cpu.Regs[0];
+  EXPECT_EQ(First, AddressLayout::MmapBase);
+  F.Proc.Cpu.Regs[0] = uint64_t(Sys::MmapAnon);
+  F.Proc.Cpu.Regs[1] = 4096;
+  serviceSyscall(F.Proc, Ctx, nullptr);
+  EXPECT_EQ(F.Proc.Cpu.Regs[0], First + 8192);
+}
+
+TEST(Kernel, DuplicableSyscallsAgreeAfterFork) {
+  // The §4.2 "duplicable" premise: a forked process re-executing the same
+  // duplicable syscall sequence gets identical results.
+  SyscallFixture F("  movi r0, 8"); // rand
+  Process Child = F.Proc.fork(2);
+  SystemContext Ctx;
+  serviceSyscall(F.Proc, Ctx, nullptr);
+  serviceSyscall(Child, Ctx, nullptr);
+  EXPECT_EQ(F.Proc.Cpu.Regs[0], Child.Cpu.Regs[0]);
+  EXPECT_EQ(F.Proc.Kern.RngState, Child.Kern.RngState);
+}
+
+TEST(Kernel, OpenReadDeterministicContent) {
+  // 67108864 == AddressLayout::DataBase.
+  SyscallFixture F("  movi r1, 67108864\n  movi r0, 9");
+  F.Proc.Mem.writeBytes(AddressLayout::DataBase, "f1", 3);
+  SystemContext Ctx;
+  serviceSyscall(F.Proc, Ctx, nullptr); // open -> fd
+  uint64_t Fd = F.Proc.Cpu.Regs[0];
+  ASSERT_GE(Fd, 3u);
+
+  // Two sequential reads return different content (offset advances)...
+  auto ReadAt = [&](uint64_t Buf) {
+    F.Proc.Cpu.Regs[0] = uint64_t(Sys::Read);
+    F.Proc.Cpu.Regs[1] = Fd;
+    F.Proc.Cpu.Regs[2] = Buf;
+    F.Proc.Cpu.Regs[3] = 16;
+    serviceSyscall(F.Proc, Ctx, nullptr);
+    return F.Proc.Cpu.Regs[0];
+  };
+  uint64_t Buf = AddressLayout::DataBase + 0x100;
+  EXPECT_EQ(ReadAt(Buf), 16u);
+  uint64_t First = F.Proc.Mem.read64(Buf);
+  EXPECT_EQ(ReadAt(Buf + 32), 16u);
+  uint64_t Second = F.Proc.Mem.read64(Buf + 32);
+  EXPECT_NE(First, Second);
+
+  // ...but reopening the same path restarts the deterministic stream.
+  F.Proc.Cpu.Regs[0] = uint64_t(Sys::Open);
+  F.Proc.Cpu.Regs[1] = AddressLayout::DataBase;
+  serviceSyscall(F.Proc, Ctx, nullptr);
+  uint64_t Fd2 = F.Proc.Cpu.Regs[0];
+  F.Proc.Cpu.Regs[0] = uint64_t(Sys::Read);
+  F.Proc.Cpu.Regs[1] = Fd2;
+  F.Proc.Cpu.Regs[2] = Buf + 64;
+  F.Proc.Cpu.Regs[3] = 16;
+  serviceSyscall(F.Proc, Ctx, nullptr);
+  EXPECT_EQ(F.Proc.Mem.read64(Buf + 64), First);
+}
+
+TEST(Kernel, WriteRespectsSuppression) {
+  // 67108864 == AddressLayout::DataBase.
+  SyscallFixture F("  movi r2, 67108864\n  movi r0, 1\n"
+                   "  movi r1, 1\n  movi r3, 5");
+  F.Proc.Mem.writeBytes(AddressLayout::DataBase, "hello", 5);
+  std::string Out;
+  SystemContext Ctx;
+  Ctx.OutputBuf = &Out;
+  serviceSyscall(F.Proc, Ctx, nullptr);
+  EXPECT_EQ(Out, "hello");
+  EXPECT_EQ(F.Proc.Cpu.Regs[0], 5u);
+
+  // Suppressed (slice mode): same return value, no output.
+  F.Proc.Cpu.Regs[0] = uint64_t(Sys::Write);
+  F.Proc.Cpu.Regs[1] = 1;
+  F.Proc.Cpu.Regs[2] = AddressLayout::DataBase;
+  F.Proc.Cpu.Regs[3] = 5;
+  Ctx.SuppressOutput = true;
+  serviceSyscall(F.Proc, Ctx, nullptr);
+  EXPECT_EQ(Out, "hello");
+  EXPECT_EQ(F.Proc.Cpu.Regs[0], 5u);
+}
+
+TEST(Kernel, RecordPlaybackReproducesState) {
+  // Record a read on one process; play it back on a fork taken before the
+  // syscall; the two must end in identical states (DESIGN.md invariant 4).
+  SyscallFixture F("  movi r1, 67108864\n  movi r0, 9");
+  F.Proc.Mem.writeBytes(AddressLayout::DataBase, "data", 5);
+  SystemContext Ctx;
+  serviceSyscall(F.Proc, Ctx, nullptr); // open
+  uint64_t Fd = F.Proc.Cpu.Regs[0];
+  F.runToSyscall();
+  F.Proc.Cpu.Regs[0] = uint64_t(Sys::Read);
+  F.Proc.Cpu.Regs[1] = Fd;
+  F.Proc.Cpu.Regs[2] = AddressLayout::DataBase + 0x200;
+  F.Proc.Cpu.Regs[3] = 64;
+
+  Process Replica = F.Proc.fork(2);
+  SyscallEffects Eff;
+  serviceSyscall(F.Proc, Ctx, &Eff);
+  EXPECT_EQ(Eff.Number, uint64_t(Sys::Read));
+  EXPECT_EQ(Eff.MemWrites.size(), 1u);
+
+  playbackSyscall(Replica, Eff);
+  EXPECT_EQ(Replica.Cpu.Pc, F.Proc.Cpu.Pc);
+  EXPECT_EQ(Replica.Cpu.Regs[0], F.Proc.Cpu.Regs[0]);
+  for (uint64_t Off = 0; Off != 64; Off += 8)
+    EXPECT_EQ(Replica.Mem.read64(AddressLayout::DataBase + 0x200 + Off),
+              F.Proc.Mem.read64(AddressLayout::DataBase + 0x200 + Off));
+}
+
+TEST(Kernel, ExitRecordsCode) {
+  SyscallFixture F("  movi r0, 0\n  movi r1, 7");
+  Process Replica = F.Proc.fork(2);
+  SyscallEffects Eff;
+  SystemContext Ctx;
+  serviceSyscall(F.Proc, Ctx, &Eff);
+  EXPECT_EQ(F.Proc.Status, ProcStatus::Exited);
+  EXPECT_EQ(F.Proc.ExitCode, 7);
+  EXPECT_TRUE(Eff.ProcessExited);
+  playbackSyscall(Replica, Eff);
+  EXPECT_EQ(Replica.Status, ProcStatus::Exited);
+  EXPECT_EQ(Replica.ExitCode, 7);
+}
+
+// --- Process -----------------------------------------------------------
+
+TEST(Process, ForkCopiesEverything) {
+  Program Prog = makeCountdown(50);
+  Process P = Process::create(Prog);
+  Interpreter I(Prog, P.Cpu, P.Mem);
+  I.run(20);
+  P.Kern.Brk = 0x9999000;
+  Process Child = P.fork(42);
+  EXPECT_EQ(Child.Cpu, P.Cpu);
+  EXPECT_EQ(Child.Kern.Pid, 42u);
+  EXPECT_EQ(Child.Kern.Brk, 0x9999000u);
+
+  // The two continue independently to the same deterministic result.
+  Interpreter Ic(Prog, Child.Cpu, Child.Mem);
+  RunResult Rp = I.run(100000);
+  RunResult Rc = Ic.run(100000);
+  EXPECT_EQ(Rp.Reason, StopReason::Syscall);
+  EXPECT_EQ(Rc.Reason, StopReason::Syscall);
+  EXPECT_EQ(P.Cpu, Child.Cpu);
+}
+
+// --- Scheduler ---------------------------------------------------------
+
+/// Busy-works for a fixed number of ticks, then exits.
+class WorkTask : public SimTask {
+public:
+  WorkTask(std::string Name, Ticks Work) : Name(std::move(Name)), Left(Work) {}
+  std::string_view name() const override { return Name; }
+  TaskStep step(Ticks Budget) override {
+    Ticks Used = Budget < Left ? Budget : Left;
+    Left -= Used;
+    return {Used, Left == 0 ? TaskStatus::Exited : TaskStatus::Runnable};
+  }
+
+private:
+  std::string Name;
+  Ticks Left;
+};
+
+TEST(Scheduler, SingleTaskWallClockMatchesWork) {
+  CostModel Model;
+  Scheduler Sched(Model, 1, 1);
+  Sched.addTask(std::make_unique<WorkTask>("w", 100 * Model.TicksPerMs / 10));
+  Sched.runToCompletion();
+  // One task, one CPU: wall time == work (quantum-rounded).
+  EXPECT_EQ(Sched.now(), 100 * Model.TicksPerMs / 10);
+  EXPECT_EQ(Sched.cpuTime(0), 100 * Model.TicksPerMs / 10);
+}
+
+TEST(Scheduler, ParallelTasksOverlap) {
+  CostModel Model;
+  Model.SmpTaxPerCpu = 0.0; // Isolate pure parallelism.
+  Ticks Work = 1000 * Model.TicksPerMs / 10;
+  // Four equal tasks on 4 CPUs finish in ~the time of one.
+  Scheduler Par(Model, 4, 4);
+  for (int I = 0; I != 4; ++I)
+    Par.addTask(std::make_unique<WorkTask>("w" + std::to_string(I), Work));
+  Par.runToCompletion();
+  EXPECT_EQ(Par.now(), Work);
+
+  // The same four tasks on 1 CPU take ~4x as long.
+  Scheduler Ser(Model, 1, 1);
+  for (int I = 0; I != 4; ++I)
+    Ser.addTask(std::make_unique<WorkTask>("w" + std::to_string(I), Work));
+  Ser.runToCompletion();
+  EXPECT_GE(Ser.now(), 4 * Work);
+  EXPECT_LE(Ser.now(), 4 * Work + 4 * Model.TicksPerMs);
+}
+
+TEST(Scheduler, SmpTaxSlowsConcurrentTasks) {
+  CostModel Model; // default SmpTaxPerCpu > 0
+  Ticks Work = 1000 * Model.TicksPerMs / 10;
+  Scheduler Par(Model, 4, 4);
+  for (int I = 0; I != 4; ++I)
+    Par.addTask(std::make_unique<WorkTask>("w" + std::to_string(I), Work));
+  Par.runToCompletion();
+  EXPECT_GT(Par.now(), Work) << "memory contention must cost something";
+  EXPECT_LT(Par.now(), Work * 3 / 2);
+}
+
+TEST(Scheduler, SmtSharesCores) {
+  CostModel Model;
+  Model.SmpTaxPerCpu = 0.0;
+  Model.SmtThroughput = 1.25;
+  Ticks Work = 1000 * Model.TicksPerMs / 10;
+  // Two tasks on one physical core with 2 SMT contexts: total throughput
+  // 1.25 => both finish in 2*Work/1.25 = 1.6*Work.
+  Scheduler Smt(Model, 1, 2);
+  Smt.addTask(std::make_unique<WorkTask>("a", Work));
+  Smt.addTask(std::make_unique<WorkTask>("b", Work));
+  Smt.runToCompletion();
+  Ticks Expected = static_cast<Ticks>(2.0 * double(Work) / 1.25);
+  EXPECT_NEAR(double(Smt.now()), double(Expected),
+              double(2 * Model.TicksPerMs));
+}
+
+/// Blocks until woken, then exits.
+class WaiterTask : public SimTask {
+public:
+  std::string_view name() const override { return "waiter"; }
+  TaskStep step(Ticks) override { return {0, TaskStatus::Exited}; }
+};
+
+/// Works, then wakes a waiter.
+class WakerTask : public SimTask {
+public:
+  WakerTask(Scheduler &Sched, Scheduler::TaskId Target, Ticks Work)
+      : Sched(Sched), Target(Target), Left(Work) {}
+  std::string_view name() const override { return "waker"; }
+  TaskStep step(Ticks Budget) override {
+    Ticks Used = Budget < Left ? Budget : Left;
+    Left -= Used;
+    if (Left == 0) {
+      Sched.wake(Target);
+      return {Used, TaskStatus::Exited};
+    }
+    return {Used, TaskStatus::Runnable};
+  }
+
+private:
+  Scheduler &Sched;
+  Scheduler::TaskId Target;
+  Ticks Left;
+};
+
+TEST(Scheduler, BlockedTasksWaitForWake) {
+  CostModel Model;
+  Scheduler Sched(Model, 2, 2);
+  Scheduler::TaskId Waiter =
+      Sched.addTask(std::make_unique<WaiterTask>(), /*StartBlocked=*/true);
+  Sched.addTask(
+      std::make_unique<WakerTask>(Sched, Waiter, 50 * Model.TicksPerMs));
+  Sched.runToCompletion();
+  EXPECT_TRUE(Sched.hasExited(Waiter));
+}
+
+TEST(Scheduler, TasksAddedMidRunAreScheduled) {
+  CostModel Model;
+  class Spawner : public SimTask {
+  public:
+    Spawner(Scheduler &Sched, bool &ChildRan) : Sched(Sched),
+                                                ChildRan(ChildRan) {}
+    std::string_view name() const override { return "spawner"; }
+    TaskStep step(Ticks Budget) override {
+      if (!Spawned) {
+        Spawned = true;
+        Sched.addTask(std::make_unique<WorkTask>("child", Budget / 2));
+        ChildRan = true;
+      }
+      return {Budget / 4, TaskStatus::Exited};
+    }
+
+  private:
+    Scheduler &Sched;
+    bool &ChildRan;
+    bool Spawned = false;
+  };
+  bool ChildRan = false;
+  Scheduler Sched(Model, 2, 2);
+  Sched.addTask(std::make_unique<Spawner>(Sched, ChildRan));
+  Sched.runToCompletion();
+  EXPECT_TRUE(ChildRan);
+}
+
+// --- DirectRun ---------------------------------------------------------
+
+TEST(DirectRun, CapStopsRunawayPrograms) {
+  std::string Err;
+  auto Prog = assemble("main:\n  jmp main\n", "spin", Err);
+  ASSERT_TRUE(Prog);
+  DirectRunResult R = runDirect(*Prog, 10000);
+  EXPECT_FALSE(R.Exited);
+  EXPECT_EQ(R.Insts, 10000u);
+}
+
+} // namespace
+
+// --- Scheduler fairness and accounting (appended suite) ---------------------
+
+namespace {
+
+TEST(Scheduler, RoundRobinSharesFairly) {
+  // Three equal tasks on two CPUs: all should finish within one quantum
+  // of each other, each receiving ~2/3 CPU share.
+  CostModel Model;
+  Model.SmpTaxPerCpu = 0.0;
+  Ticks Work = 600 * Model.TicksPerMs / 10;
+  Scheduler Sched(Model, 2, 2);
+  for (int I = 0; I != 3; ++I)
+    Sched.addTask(std::make_unique<WorkTask>("w" + std::to_string(I), Work));
+  Sched.runToCompletion();
+  // Total work = 3W over 2 CPUs => wall ~ 1.5W.
+  EXPECT_NEAR(double(Sched.now()), 1.5 * double(Work),
+              double(4 * Model.TicksPerMs));
+  for (Scheduler::TaskId Id = 0; Id != 3; ++Id)
+    EXPECT_EQ(Sched.cpuTime(Id), Work);
+}
+
+TEST(Scheduler, CpuTimeConservation) {
+  // Sum of per-task CPU time can never exceed wall * PhysCpus-equivalent
+  // throughput (with the default SMP tax it is strictly below).
+  CostModel Model;
+  Ticks Work = 400 * Model.TicksPerMs / 10;
+  Scheduler Sched(Model, 4, 4);
+  for (int I = 0; I != 9; ++I)
+    Sched.addTask(std::make_unique<WorkTask>("w" + std::to_string(I), Work));
+  Sched.runToCompletion();
+  Ticks Total = 0;
+  for (Scheduler::TaskId Id = 0; Id != 9; ++Id)
+    Total += Sched.cpuTime(Id);
+  EXPECT_EQ(Total, 9 * Work);
+  EXPECT_LE(Total, Sched.now() * 4);
+}
+
+TEST(Scheduler, PeakParallelismTracksLoad) {
+  CostModel Model;
+  Ticks Work = 100 * Model.TicksPerMs / 10;
+  Scheduler Sched(Model, 8, 8);
+  for (int I = 0; I != 5; ++I)
+    Sched.addTask(std::make_unique<WorkTask>("w" + std::to_string(I), Work));
+  Sched.runToCompletion();
+  EXPECT_EQ(Sched.peakParallelism(), 5u);
+}
+
+} // namespace
+
+// --- TickLedger (appended suite) ---------------------------------------------
+
+namespace {
+
+TEST(TickLedger, ChargesWithinBudget) {
+  TickLedger L;
+  L.beginStep(100);
+  EXPECT_TRUE(L.hasBudget());
+  EXPECT_EQ(L.remaining(), 100u);
+  L.charge(30);
+  EXPECT_EQ(L.used(), 30u);
+  EXPECT_EQ(L.remaining(), 70u);
+  L.charge(70);
+  EXPECT_FALSE(L.hasBudget());
+  EXPECT_FALSE(L.inDebt());
+}
+
+TEST(TickLedger, OverflowBecomesDebt) {
+  TickLedger L;
+  L.beginStep(100);
+  L.charge(250); // 150 of debt
+  EXPECT_EQ(L.used(), 100u);
+  EXPECT_TRUE(L.inDebt());
+  EXPECT_EQ(L.remaining(), 0u);
+
+  L.beginStep(100); // pays 100 of the debt
+  EXPECT_EQ(L.used(), 100u);
+  EXPECT_TRUE(L.inDebt());
+
+  L.beginStep(100); // pays the last 50
+  EXPECT_EQ(L.used(), 50u);
+  EXPECT_FALSE(L.inDebt());
+  EXPECT_TRUE(L.hasBudget());
+}
+
+TEST(TickLedger, ChargeBeforeBeginStepIsAllDebt) {
+  // SuperPin charges the §4.4 signature-record cost at slice creation,
+  // before the first scheduled step.
+  TickLedger L;
+  L.charge(500);
+  L.beginStep(200);
+  EXPECT_EQ(L.used(), 200u);
+  EXPECT_TRUE(L.inDebt());
+  L.beginStep(400);
+  EXPECT_EQ(L.used(), 300u);
+  EXPECT_FALSE(L.inDebt());
+}
+
+} // namespace

@@ -1,0 +1,400 @@
+//===- tests/pin_test.cpp - MiniPin engine tests --------------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pin/CodeCache.h"
+#include "pin/Compiler.h"
+#include "pin/PinVm.h"
+#include "pin/Runner.h"
+#include "pin/Tool.h"
+
+#include "TestPrograms.h"
+#include "os/DirectRun.h"
+#include "os/Kernel.h"
+
+#include "gtest/gtest.h"
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::test;
+using namespace spin::vm;
+
+namespace {
+
+/// A tool assembled from lambdas, for white-box engine tests.
+class LambdaTool : public Tool {
+public:
+  using InstrumentFn = std::function<void(Trace &)>;
+  LambdaTool(SpServices &Services, InstrumentFn Fn)
+      : Tool(Services), Fn(std::move(Fn)) {}
+  std::string_view name() const override { return "lambda"; }
+  void instrumentTrace(Trace &T) override { Fn(T); }
+
+private:
+  InstrumentFn Fn;
+};
+
+// --- Trace compilation --------------------------------------------------
+
+TEST(Compiler, TraceEndsAtUnconditionalFlow) {
+  Program P = mustAssemble(R"(
+main:
+  addi r1, r1, 1
+  addi r1, r1, 2
+  jmp main
+)",
+                           "t");
+  CostModel Model;
+  auto T = compileTrace(P, P.EntryPc, Model, nullptr);
+  EXPECT_EQ(T->Steps.size(), 3u);
+  EXPECT_EQ(T->NumBbls, 1u);
+  EXPECT_EQ(T->Steps.back().Inst->Op, Opcode::Jmp);
+}
+
+TEST(Compiler, TraceSpansConditionalBranches) {
+  Program P = mustAssemble(R"(
+main:
+  addi r1, r1, 1
+  beq r1, r2, main
+  addi r1, r1, 2
+  beq r1, r3, main
+  addi r1, r1, 3
+  jmp main
+)",
+                           "t");
+  CostModel Model;
+  auto T = compileTrace(P, P.EntryPc, Model, nullptr);
+  // MaxBbls default 3: bbl1 = [addi, beq], bbl2 = [addi, beq], bbl3 =
+  // [addi, jmp].
+  EXPECT_EQ(T->NumBbls, 3u);
+  EXPECT_EQ(T->Steps.size(), 6u);
+  EXPECT_EQ(T->Steps[0].BblIndex, 0u);
+  EXPECT_EQ(T->Steps[2].BblIndex, 1u);
+  EXPECT_EQ(T->Steps[4].BblIndex, 2u);
+}
+
+TEST(Compiler, MaxBblsLimitsTraces) {
+  Program P = mustAssemble(R"(
+main:
+  beq r1, r2, main
+  beq r1, r3, main
+  beq r1, r4, main
+  beq r1, r5, main
+  jmp main
+)",
+                           "t");
+  CostModel Model;
+  CompilerLimits Limits;
+  Limits.MaxBbls = 2;
+  auto T = compileTrace(P, P.EntryPc, Model, nullptr, Limits);
+  EXPECT_EQ(T->NumBbls, 2u);
+  EXPECT_EQ(T->Steps.size(), 2u);
+}
+
+TEST(Compiler, BoundaryPcSplitsTraces) {
+  Program P = mustAssemble(R"(
+main:
+  addi r1, r1, 1
+  addi r1, r1, 2
+  addi r1, r1, 3
+  jmp main
+)",
+                           "t");
+  CostModel Model;
+  CompilerLimits Limits;
+  Limits.BoundaryPc = P.EntryPc + 2 * InstSize;
+  auto T = compileTrace(P, P.EntryPc, Model, nullptr, Limits);
+  EXPECT_EQ(T->Steps.size(), 2u) << "trace must stop before the boundary";
+  // A trace MAY start at the boundary.
+  auto T2 = compileTrace(P, Limits.BoundaryPc, Model, nullptr, Limits);
+  EXPECT_EQ(T2->StartPc, Limits.BoundaryPc);
+  EXPECT_EQ(T2->Steps.size(), 2u);
+}
+
+TEST(Compiler, SyscallEndsTrace) {
+  Program P = mustAssemble("main:\n  addi r1, r1, 1\n  syscall\n  nop\n",
+                           "t");
+  CostModel Model;
+  auto T = compileTrace(P, P.EntryPc, Model, nullptr);
+  EXPECT_EQ(T->Steps.size(), 2u);
+  EXPECT_TRUE(T->Steps.back().Inst->isSyscall());
+}
+
+TEST(Compiler, CompileCostScalesWithLength) {
+  Program P = makeCountdown(5);
+  CostModel Model;
+  auto T = compileTrace(P, P.EntryPc, Model, nullptr);
+  EXPECT_EQ(T->CompileCost, Model.JitCompilePerInst * T->Steps.size());
+}
+
+// --- Instrumentation objects -------------------------------------------
+
+TEST(InstrObjects, BblViewsPartitionTheTrace) {
+  Program P = mustAssemble(R"(
+main:
+  addi r1, r1, 1
+  beq r1, r2, main
+  addi r1, r1, 2
+  jmp main
+)",
+                           "t");
+  CostModel Model;
+  auto CT = compileTrace(P, P.EntryPc, Model, nullptr);
+  Trace T(*CT);
+  ASSERT_EQ(T.numBbls(), 2u);
+  EXPECT_EQ(T.bblAt(0).numIns(), 2u);
+  EXPECT_EQ(T.bblAt(1).numIns(), 2u);
+  EXPECT_EQ(T.bblAt(0).insHead().address(), P.EntryPc);
+  EXPECT_EQ(T.bblAt(1).insHead().address(), P.EntryPc + 2 * InstSize);
+  EXPECT_EQ(T.bblAt(0).numIns() + T.bblAt(1).numIns(), T.numIns());
+}
+
+TEST(InstrObjects, InsPredicates) {
+  Program P = mustAssemble(R"(
+main:
+  ld64 r1, [r2+8]
+  st64 [r2+8], r1
+  beq r1, r2, main
+  call main
+  ret
+  syscall
+)",
+                           "t");
+  CostModel Model;
+  CompilerLimits Limits;
+  Limits.MaxBbls = 10;
+  auto CT = compileTrace(P, P.EntryPc, Model, nullptr, Limits);
+  Trace T(*CT);
+  EXPECT_TRUE(T.insAt(0).isMemoryRead());
+  EXPECT_FALSE(T.insAt(0).isMemoryWrite());
+  EXPECT_TRUE(T.insAt(1).isMemoryWrite());
+  EXPECT_TRUE(T.insAt(2).isBranch());
+  // The trace stops at the call (unconditional transfer).
+  EXPECT_TRUE(T.insAt(T.numIns() - 1).isCall());
+}
+
+// --- PinVm execution ----------------------------------------------------
+
+struct VmHarness {
+  Program Prog;
+  Process Proc;
+  SpServices Services;
+  CodeCache Cache;
+  std::unique_ptr<LambdaTool> ToolPtr;
+  std::unique_ptr<PinVm> Vm;
+
+  VmHarness(Program P, LambdaTool::InstrumentFn Fn, PinVmConfig Config = {})
+      : Prog(std::move(P)), Proc(Process::create(Prog)) {
+    ToolPtr = std::make_unique<LambdaTool>(Services, std::move(Fn));
+    Vm = std::make_unique<PinVm>(Proc, Model, ToolPtr.get(), Cache, Config);
+  }
+
+  /// Runs to process exit; returns retired count.
+  uint64_t runToExit() {
+    TickLedger Ledger;
+    while (Proc.Status == ProcStatus::Running) {
+      Ledger.beginStep(1'000'000'000);
+      VmStop Stop = Vm->run(Ledger);
+      if (Stop == VmStop::Syscall) {
+        SystemContext Ctx;
+        serviceSyscall(Proc, Ctx, nullptr);
+        Vm->noteSyscallRetired();
+        continue;
+      }
+      if (Stop != VmStop::Budget)
+        ADD_FAILURE() << "unexpected stop " << int(Stop);
+    }
+    return Vm->retired();
+  }
+
+  CostModel Model;
+};
+
+TEST(PinVm, ExecutionMatchesInterpreter) {
+  Program P = makeCountdown(200);
+  DirectRunResult Native = runDirect(P);
+  VmHarness H(makeCountdown(200), [](Trace &) {});
+  uint64_t Retired = H.runToExit();
+  EXPECT_EQ(Retired, Native.Insts);
+  EXPECT_EQ(H.Proc.ExitCode, 0);
+}
+
+TEST(PinVm, AnalysisCallCountsAndArgs) {
+  // Count instructions via instrumentation and capture EAs of stores.
+  uint64_t Count = 0;
+  std::vector<uint64_t> StoreEas;
+  VmHarness H(makeCountdown(10), [&](Trace &T) {
+    for (uint32_t I = 0; I != T.numIns(); ++I) {
+      T.insAt(I).insertCall([&](const uint64_t *) { ++Count; }, {});
+      if (T.insAt(I).isMemoryWrite())
+        T.insAt(I).insertCall(
+            [&](const uint64_t *A) { StoreEas.push_back(A[0]); },
+            {Arg::memoryEa()});
+    }
+  });
+  uint64_t Retired = H.runToExit();
+  EXPECT_EQ(Count, Retired);
+  // Ten iterations, one st64 each, same buffer address.
+  ASSERT_EQ(StoreEas.size(), 10u);
+  for (uint64_t Ea : StoreEas)
+    EXPECT_EQ(Ea, AddressLayout::DataBase);
+}
+
+TEST(PinVm, BranchTakenArg) {
+  // countdown's bne is taken N-1 times and falls through once.
+  uint64_t Taken = 0, NotTaken = 0;
+  VmHarness H(makeCountdown(10), [&](Trace &T) {
+    for (uint32_t I = 0; I != T.numIns(); ++I)
+      if (T.insAt(I).inst().isCondBranch())
+        T.insAt(I).insertCall(
+            [&](const uint64_t *A) { A[0] ? ++Taken : ++NotTaken; },
+            {Arg::branchTaken()});
+  });
+  H.runToExit();
+  EXPECT_EQ(Taken, 9u);
+  EXPECT_EQ(NotTaken, 1u);
+}
+
+TEST(PinVm, IfThenCallSemantics) {
+  // If-predicate gates the Then call; count both executions.
+  uint64_t IfRuns = 0, ThenRuns = 0;
+  VmHarness H(makeCountdown(10), [&](Trace &T) {
+    for (uint32_t I = 0; I != T.numIns(); ++I) {
+      if (!T.insAt(I).inst().isCondBranch())
+        continue;
+      T.insAt(I).insertIfCall(
+          [&](const uint64_t *A) -> uint64_t {
+            ++IfRuns;
+            return A[0] & 1; // r1 odd
+          },
+          {Arg::regValue(1)});
+      T.insAt(I).insertThenCall([&](const uint64_t *) { ++ThenRuns; }, {});
+    }
+  });
+  H.runToExit();
+  EXPECT_EQ(IfRuns, 10u);
+  EXPECT_EQ(ThenRuns, 5u); // r1 = 9,8,...,0 at the branch: odd 5 times
+  EXPECT_EQ(H.Vm->inlinedChecks(), 10u);
+  EXPECT_EQ(H.Vm->analysisCalls(), 5u);
+}
+
+TEST(PinVm, SliceNumArg) {
+  PinVmConfig Config;
+  Config.SliceNum = 17;
+  uint64_t Seen = ~0ull;
+  VmHarness H(
+      makeCountdown(1),
+      [&](Trace &T) {
+        T.insAt(0).insertCall([&](const uint64_t *A) { Seen = A[0]; },
+                              {Arg::sliceNum()});
+      },
+      Config);
+  H.runToExit();
+  EXPECT_EQ(Seen, 17u);
+}
+
+TEST(PinVm, CodeCacheReusesTraces) {
+  VmHarness H(makeCountdown(1000), [](Trace &) {});
+  H.runToExit();
+  // The loop body compiles once and is re-entered many times.
+  EXPECT_LT(H.Vm->tracesCompiled(), 10u);
+  EXPECT_GE(H.Vm->tracesEntered(), 1000u);
+  EXPECT_EQ(H.Cache.misses(), H.Vm->tracesCompiled());
+}
+
+TEST(PinVm, ArmedDetectionFiresBeforeExecution) {
+  Program P = makeCountdown(10);
+  uint64_t LoopPc = P.symbol("loop");
+  VmHarness H(std::move(P), [](Trace &) {});
+  unsigned Hits = 0;
+  H.Vm->armDetection(LoopPc, [&](TickLedger &) {
+    ++Hits;
+    return Hits == 3; // Stop on the third pass.
+  });
+  TickLedger Ledger;
+  Ledger.beginStep(1'000'000'000);
+  VmStop Stop = H.Vm->run(Ledger);
+  EXPECT_EQ(Stop, VmStop::Detected);
+  EXPECT_EQ(Hits, 3u);
+  EXPECT_EQ(H.Proc.Cpu.Pc, LoopPc) << "detection stops before execution";
+  // 3 setup + 2 full iterations of 4.
+  EXPECT_EQ(H.Vm->retired(), 3 + 2 * 4u);
+}
+
+TEST(PinVm, RequestStopIsToolStop) {
+  VmHarness H(makeCountdown(100000), [](Trace &) {});
+  TickLedger Ledger;
+  Ledger.beginStep(1'000'000'000);
+  H.Vm->requestStop();
+  EXPECT_EQ(H.Vm->run(Ledger), VmStop::ToolStop);
+  EXPECT_EQ(H.Vm->retired(), 0u);
+}
+
+TEST(PinVm, BudgetStopsAndResumesExactly) {
+  Program P = makeCountdown(100);
+  DirectRunResult Native = runDirect(P);
+  VmHarness H(makeCountdown(100), [](Trace &) {});
+  TickLedger Ledger;
+  uint64_t Rounds = 0;
+  while (H.Proc.Status == ProcStatus::Running) {
+    Ledger.beginStep(5000); // Tiny budget: many suspensions.
+    VmStop Stop = H.Vm->run(Ledger);
+    ++Rounds;
+    if (Stop == VmStop::Syscall) {
+      SystemContext Ctx;
+      serviceSyscall(H.Proc, Ctx, nullptr);
+      H.Vm->noteSyscallRetired();
+    }
+    ASSERT_LT(Rounds, 100000u);
+  }
+  EXPECT_GT(Rounds, 10u) << "budget should actually fragment execution";
+  EXPECT_EQ(H.Vm->retired(), Native.Insts);
+}
+
+TEST(PinVm, SharedJitDiscountsAdoptedTraces) {
+  CostModel Model;
+  SharedJitRegistry Shared;
+  PinVmConfig Config;
+  Config.SharedJit = &Shared;
+
+  Program P1 = makeCountdown(50);
+  VmHarness A(std::move(P1), [](Trace &) {}, Config);
+  A.runToExit();
+  os::Ticks FirstCompile = A.Vm->compileTicks();
+
+  Program P2 = makeCountdown(50);
+  VmHarness B(std::move(P2), [](Trace &) {}, Config);
+  B.runToExit();
+  EXPECT_LT(B.Vm->compileTicks(), FirstCompile / 5)
+      << "second VM must adopt, not recompile";
+}
+
+// --- Runner -------------------------------------------------------------
+
+TEST(Runner, NativeVsSerialPinTiming) {
+  Program P = makeCountdown(20000);
+  CostModel Model;
+  RunReport Native = runNative(P, Model, 100);
+  RunReport Pin = runSerialPin(P, Model, 100, [](SpServices &S) {
+    return std::make_unique<LambdaTool>(S, [](Trace &) {});
+  });
+  EXPECT_EQ(Native.Insts, Pin.Insts);
+  EXPECT_GT(Pin.WallTicks, Native.WallTicks)
+      << "even uninstrumented Pin pays dispatch overhead";
+  EXPECT_LT(Pin.WallTicks, Native.WallTicks * 2);
+}
+
+TEST(Runner, InstCostScalesNativeTime) {
+  Program P = makeCountdown(20000);
+  CostModel Model;
+  RunReport Fast = runNative(P, Model, 100);
+  RunReport Slow = runNative(P, Model, 320); // CPI 3.2
+  double Ratio = double(Slow.WallTicks) / double(Fast.WallTicks);
+  EXPECT_NEAR(Ratio, 3.2, 0.2);
+}
+
+} // namespace

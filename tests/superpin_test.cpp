@@ -1,0 +1,497 @@
+//===- tests/superpin_test.cpp - SuperPin engine tests --------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end properties of the SuperPin engine (DESIGN.md Section 6):
+// count preservation, slice partitioning, syscall record/playback
+// fidelity, determinism, signature behaviour including the Section 4.4
+// false positive and its -spmemsig fix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "superpin/Engine.h"
+
+#include "os/DirectRun.h"
+#include "pin/Runner.h"
+#include "tools/Icount.h"
+#include "workloads/Spec2000.h"
+
+#include "TestPrograms.h"
+
+#include "gtest/gtest.h"
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::sp;
+using namespace spin::test;
+using namespace spin::tools;
+using namespace spin::vm;
+using namespace spin::workloads;
+
+namespace {
+
+CostModel testModel() { return CostModel(); }
+
+SpOptions testOptions() {
+  SpOptions Opts;
+  Opts.SliceMs = 50; // Small slices so tiny programs produce many.
+  Opts.PhysCpus = 8;
+  Opts.VirtCpus = 8;
+  return Opts;
+}
+
+/// A small generated workload exercising calls, branches, memory, and
+/// replayable + duplicable syscalls.
+Program smallWorkload(uint64_t TargetInsts = 400'000,
+                      workloads::SysMix Mix = workloads::SysMix::Mixed) {
+  GenParams P;
+  P.Name = "small";
+  P.TargetInsts = TargetInsts;
+  P.NumFuncs = 6;
+  P.BlocksPerFunc = 6;
+  P.AluPerBlock = 3;
+  P.WorkingSetBytes = 1 << 14;
+  P.SyscallMask = Mix == workloads::SysMix::None ? 0 : 63;
+  P.Mix = Mix;
+  return generateWorkload(P);
+}
+
+TEST(SuperPin, CountPreservationOnSmallWorkload) {
+  Program Prog = smallWorkload();
+  CostModel Model = testModel();
+  DirectRunResult Native = runDirect(Prog);
+  ASSERT_TRUE(Native.Exited);
+
+  auto SerialResult = std::make_shared<IcountResult>();
+  RunReport Serial =
+      runSerialPin(Prog, Model, 100,
+                   makeIcountTool(IcountGranularity::Instruction,
+                                  SerialResult));
+  EXPECT_EQ(SerialResult->Total, Native.Insts)
+      << "serial Pin icount1 must equal the native instruction count";
+
+  auto SpResult = std::make_shared<IcountResult>();
+  SpRunReport Sp = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, SpResult),
+      testOptions(), Model);
+  EXPECT_EQ(Sp.ExitCode, 0);
+  EXPECT_EQ(SpResult->Total, Native.Insts)
+      << "SuperPin merged icount1 must equal the native instruction count";
+  EXPECT_TRUE(Sp.PartitionOk);
+  EXPECT_GT(Sp.NumSlices, 1u) << "test should actually slice";
+}
+
+TEST(SuperPin, Icount2AgreesWithIcount1) {
+  Program Prog = smallWorkload();
+  CostModel Model = testModel();
+  auto R1 = std::make_shared<IcountResult>();
+  auto R2 = std::make_shared<IcountResult>();
+  runSuperPin(Prog, makeIcountTool(IcountGranularity::Instruction, R1),
+              testOptions(), Model);
+  runSuperPin(Prog, makeIcountTool(IcountGranularity::BasicBlock, R2),
+              testOptions(), Model);
+  EXPECT_EQ(R1->Total, R2->Total);
+}
+
+TEST(SuperPin, SlicePartitionIsExact) {
+  Program Prog = smallWorkload();
+  SpRunReport Rep =
+      runSuperPin(Prog, makeIcountTool(IcountGranularity::BasicBlock),
+                  testOptions(), testModel());
+  ASSERT_GT(Rep.Slices.size(), 1u);
+  uint64_t Cursor = 0;
+  for (const SliceInfo &S : Rep.Slices) {
+    EXPECT_EQ(S.StartIndex, Cursor) << "gap/overlap at slice " << S.Num;
+    EXPECT_EQ(S.RetiredInsts, S.ExpectedInsts)
+        << "slice " << S.Num << " did not reproduce its window";
+    Cursor = S.StartIndex + S.ExpectedInsts;
+  }
+  EXPECT_EQ(Cursor, Rep.MasterInsts);
+  EXPECT_TRUE(Rep.PartitionOk);
+}
+
+TEST(SuperPin, OutputIsMasterCanonical) {
+  // Slices must not duplicate application output; the master's write()
+  // stream is canonical and equals the native run's.
+  Program Prog = smallWorkload();
+  DirectRunResult Native = runDirect(Prog);
+  SpRunReport Rep =
+      runSuperPin(Prog, makeIcountTool(IcountGranularity::BasicBlock),
+                  testOptions(), testModel());
+  EXPECT_EQ(Rep.Output, Native.Output);
+  EXPECT_FALSE(Rep.Output.empty()) << "workload should emit a checksum";
+}
+
+TEST(SuperPin, DeterministicReports) {
+  Program Prog = smallWorkload();
+  auto RunOnce = [&] {
+    return runSuperPin(Prog, makeIcountTool(IcountGranularity::Instruction),
+                       testOptions(), testModel());
+  };
+  SpRunReport A = RunOnce();
+  SpRunReport B = RunOnce();
+  EXPECT_EQ(A.WallTicks, B.WallTicks);
+  EXPECT_EQ(A.NumSlices, B.NumSlices);
+  EXPECT_EQ(A.SliceInsts, B.SliceInsts);
+  EXPECT_EQ(A.Signature.QuickChecks, B.Signature.QuickChecks);
+  EXPECT_EQ(A.FiniOutput, B.FiniOutput);
+  ASSERT_EQ(A.Slices.size(), B.Slices.size());
+  for (size_t I = 0; I != A.Slices.size(); ++I) {
+    EXPECT_EQ(A.Slices[I].RetiredInsts, B.Slices[I].RetiredInsts);
+    EXPECT_EQ(A.Slices[I].MergeTime, B.Slices[I].MergeTime);
+  }
+}
+
+TEST(SuperPin, SyscallRecordPlaybackFidelity) {
+  // A read-heavy workload: read() results feed the checksum, so any
+  // playback infidelity would change slice-side control flow or counts.
+  Program Prog = smallWorkload(300'000, workloads::SysMix::ReadWrite);
+  DirectRunResult Native = runDirect(Prog);
+  auto SpResult = std::make_shared<IcountResult>();
+  SpRunReport Rep = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, SpResult),
+      testOptions(), testModel());
+  EXPECT_EQ(SpResult->Total, Native.Insts);
+  EXPECT_EQ(Rep.Output, Native.Output);
+  EXPECT_GT(Rep.PlaybackSyscalls, 0u) << "test should exercise playback";
+  EXPECT_TRUE(Rep.PartitionOk);
+}
+
+TEST(SuperPin, SysrecsZeroForcesSliceAtEveryReplayableSyscall) {
+  Program Prog = smallWorkload(200'000, workloads::SysMix::ReadWrite);
+  SpOptions Opts = testOptions();
+  Opts.MaxSysRecs = 0; // -spsysrecs 0: disable recording (paper §5)
+  Opts.SliceMs = 1000; // Timeouts out of the way: slicing via syscalls.
+  auto SpResult = std::make_shared<IcountResult>();
+  SpRunReport Rep = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, SpResult),
+      Opts, testModel());
+  // Only the application's exit record plays back (it is always recorded
+  // so the final slice can terminate); every other replayable syscall
+  // forced a new slice.
+  EXPECT_EQ(Rep.PlaybackSyscalls, 1u);
+  EXPECT_GT(Rep.SyscallSlices, 2u);
+  EXPECT_TRUE(Rep.PartitionOk);
+  DirectRunResult Native = runDirect(Prog);
+  EXPECT_EQ(SpResult->Total, Native.Insts);
+}
+
+TEST(SuperPin, ForceSliceSyscallsCreateBoundaries) {
+  Program Prog = smallWorkload(200'000, workloads::SysMix::OpenClose);
+  SpOptions Opts = testOptions();
+  Opts.SliceMs = 1000;
+  SpRunReport Rep =
+      runSuperPin(Prog, makeIcountTool(IcountGranularity::Instruction),
+                  Opts, testModel());
+  EXPECT_GT(Rep.ForcedSliceSyscalls, 0u);
+  EXPECT_GT(Rep.SyscallSlices, 0u);
+  EXPECT_TRUE(Rep.PartitionOk);
+}
+
+TEST(SuperPin, MaxSlicesOneSerializes) {
+  // -spmp 1: the master must stall; the run still completes correctly.
+  Program Prog = smallWorkload(150'000);
+  SpOptions Opts = testOptions();
+  Opts.MaxSlices = 1;
+  auto SpResult = std::make_shared<IcountResult>();
+  SpRunReport Rep = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, SpResult),
+      Opts, testModel());
+  DirectRunResult Native = runDirect(Prog);
+  EXPECT_EQ(SpResult->Total, Native.Insts);
+  EXPECT_GT(Rep.SleepTicks, 0u) << "master should stall at -spmp 1";
+}
+
+TEST(SuperPin, TimeBucketsSumToWall) {
+  Program Prog = smallWorkload();
+  SpRunReport Rep =
+      runSuperPin(Prog, makeIcountTool(IcountGranularity::Instruction),
+                  testOptions(), testModel());
+  EXPECT_EQ(Rep.NativeTicks + Rep.ForkOthersTicks + Rep.SleepTicks +
+                Rep.PipelineTicks,
+            Rep.WallTicks);
+  EXPECT_GT(Rep.PipelineTicks, 0u);
+}
+
+TEST(SuperPin, SignatureDetectionStats) {
+  Program Prog = smallWorkload(500'000, workloads::SysMix::None);
+  SpRunReport Rep =
+      runSuperPin(Prog, makeIcountTool(IcountGranularity::BasicBlock),
+                  testOptions(), testModel());
+  ASSERT_GT(Rep.TimeoutSlices, 1u);
+  // Every timeout slice that ended by signature matched exactly once.
+  EXPECT_EQ(Rep.Signature.Matches + /*final slice*/ 0,
+            static_cast<uint64_t>(
+                std::count_if(Rep.Slices.begin(), Rep.Slices.end(),
+                              [](const SliceInfo &S) {
+                                return S.EndKind == SliceEndKind::Signature;
+                              })));
+  // The paper's headline stat: the quick check rarely escalates.
+  EXPECT_GT(Rep.Signature.QuickChecks, Rep.Signature.FullChecks);
+}
+
+TEST(SuperPin, MemCounterLoopFalsePositiveAndMemsigFix) {
+  // Section 4.4's documented false positive: registers and stack repeat
+  // every iteration; only memory changes.
+  Program Prog = makeMemCounterLoop(60'000);
+  DirectRunResult Native = runDirect(Prog);
+  ASSERT_TRUE(Native.Exited);
+
+  bool SawFalsePositive = false;
+  for (uint64_t SliceMs : {7, 11, 13, 17, 23}) {
+    SpOptions Opts = testOptions();
+    Opts.SliceMs = SliceMs;
+    auto R = std::make_shared<IcountResult>();
+    SpRunReport Rep = runSuperPin(
+        Prog, makeIcountTool(IcountGranularity::Instruction, R), Opts,
+        testModel());
+    if (R->Total != Native.Insts || !Rep.PartitionOk)
+      SawFalsePositive = true;
+  }
+  EXPECT_TRUE(SawFalsePositive)
+      << "the Section 4.4 false positive should reproduce without -spmemsig";
+
+  // The proposed memory-signature extension repairs it.
+  for (uint64_t SliceMs : {7, 11, 13, 17, 23}) {
+    SpOptions Opts = testOptions();
+    Opts.SliceMs = SliceMs;
+    Opts.MemSignature = true;
+    auto R = std::make_shared<IcountResult>();
+    SpRunReport Rep = runSuperPin(
+        Prog, makeIcountTool(IcountGranularity::Instruction, R), Opts,
+        testModel());
+    EXPECT_EQ(R->Total, Native.Insts) << "-spmemsig failed at " << SliceMs;
+    EXPECT_TRUE(Rep.PartitionOk);
+    EXPECT_GT(Rep.Signature.MemChecks, 0u);
+  }
+}
+
+TEST(SuperPin, QuickCheckAblationGivesSameResults) {
+  Program Prog = smallWorkload();
+  DirectRunResult Native = runDirect(Prog);
+  SpOptions Opts = testOptions();
+  Opts.QuickCheck = false;
+  auto R = std::make_shared<IcountResult>();
+  SpRunReport Rep = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, R), Opts,
+      testModel());
+  EXPECT_EQ(R->Total, Native.Insts);
+  EXPECT_EQ(Rep.Signature.QuickChecks, 0u);
+  EXPECT_GT(Rep.Signature.FullChecks, 0u);
+}
+
+TEST(SuperPin, SharedCodeCacheModeIsCorrectAndCheaper) {
+  Program Prog = smallWorkload(500'000, workloads::SysMix::None);
+  DirectRunResult Native = runDirect(Prog);
+  SpOptions Opts = testOptions();
+  auto R1 = std::make_shared<IcountResult>();
+  SpRunReport Private = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, R1), Opts,
+      testModel());
+  Opts.SharedCodeCache = true;
+  auto R2 = std::make_shared<IcountResult>();
+  SpRunReport Shared = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, R2), Opts,
+      testModel());
+  EXPECT_EQ(R1->Total, Native.Insts);
+  EXPECT_EQ(R2->Total, Native.Insts);
+  EXPECT_LT(Shared.CompileTicks, Private.CompileTicks)
+      << "sharing the code cache should reduce total compile time";
+}
+
+TEST(SuperPin, AdaptiveSlicesShrinkPipeline) {
+  Program Prog = smallWorkload(600'000, workloads::SysMix::None);
+  SpOptions Opts = testOptions();
+  Opts.SliceMs = 200;
+  SpRunReport Fixed =
+      runSuperPin(Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts,
+                  testModel());
+  Opts.AdaptiveSlices = true;
+  Opts.AppDurationHintMs = Fixed.MasterExitTicks / testModel().TicksPerMs;
+  Opts.MinSliceMs = 10;
+  SpRunReport Adaptive =
+      runSuperPin(Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts,
+                  testModel());
+  EXPECT_LT(Adaptive.PipelineTicks, Fixed.PipelineTicks)
+      << "adaptive timeslices should shrink the pipeline drain";
+}
+
+TEST(SuperPin, SuiteWorkloadSmoke) {
+  // A few representative suite members at tiny scale: counts preserved.
+  for (const char *Name : {"gcc", "mcf", "crafty", "gzip", "vortex"}) {
+    const WorkloadInfo &Info = findWorkload(Name);
+    Program Prog = buildWorkload(Info, 0.02);
+    DirectRunResult Native = runDirect(Prog);
+    ASSERT_TRUE(Native.Exited) << Name;
+    SpOptions Opts = testOptions();
+    Opts.Cpi = Info.Cpi;
+    auto R = std::make_shared<IcountResult>();
+    SpRunReport Rep = runSuperPin(
+        Prog, makeIcountTool(IcountGranularity::Instruction, R), Opts,
+        testModel());
+    EXPECT_EQ(R->Total, Native.Insts) << Name;
+    EXPECT_TRUE(Rep.PartitionOk) << Name;
+    EXPECT_EQ(Rep.Output, Native.Output) << Name;
+  }
+}
+
+} // namespace
+
+// --- Cost-model robustness (appended suite) --------------------------------
+
+namespace {
+
+/// Tool results must be invariant under ANY cost model: costs shape
+/// virtual time, never semantics. Exercises the ledger/debt machinery
+/// with extreme constants.
+class CostModelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostModelSweep, CostsNeverChangeResults) {
+  CostModel Model;
+  switch (GetParam()) {
+  case 0: // free engine: everything except instructions costs nothing
+    Model.JitCompilePerInst = 0;
+    Model.AnalysisCallBase = 0;
+    Model.AnalysisCallPerArg = 0;
+    Model.ForkBaseCost = 0;
+    Model.CowCopyPageCost = 0;
+    Model.SyscallCost = 0;
+    Model.PtraceStopCost = 0;
+    Model.SigRecordCost = 0;
+    Model.MergeBaseCost = 0;
+    break;
+  case 1: // brutally expensive engine: multi-quantum debts everywhere
+    Model.JitCompilePerInst = 200'000;
+    Model.AnalysisCallBase = 50'000;
+    Model.ForkBaseCost = 50'000'000;
+    Model.CowCopyPageCost = 500'000;
+    Model.SigRecordCost = 5'000'000;
+    Model.MergeBaseCost = 2'000'000;
+    break;
+  case 2: // heavy contention and weak SMT
+    Model.SmpTaxPerCpu = 0.2;
+    Model.SmtThroughput = 1.0;
+    break;
+  case 3: // coarse clock (bigger quanta)
+    Model.TicksPerMs = 1'000'000;
+    break;
+  }
+  Program Prog = smallWorkload(120'000);
+  DirectRunResult Native = runDirect(Prog);
+  SpOptions Opts = testOptions();
+  auto Count = std::make_shared<IcountResult>();
+  SpRunReport Rep = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, Count), Opts,
+      Model);
+  EXPECT_EQ(Count->Total, Native.Insts);
+  EXPECT_TRUE(Rep.PartitionOk);
+  EXPECT_EQ(Rep.Output, Native.Output);
+  EXPECT_EQ(Rep.NativeTicks + Rep.ForkOthersTicks + Rep.SleepTicks +
+                Rep.PipelineTicks,
+            Rep.WallTicks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Extremes, CostModelSweep,
+                         ::testing::Range(0, 4));
+
+TEST(SuperPin, MemoryBubblePreservesAppMappings) {
+  // §4.1: the master pre-allocates a bubble of anonymous memory that each
+  // slice releases at spawn, so VM-side allocations never perturb the
+  // application's address space. Verify the mechanism end to end: the
+  // run stays exact, and the master actually materialized bubble pages.
+  Program Prog = smallWorkload(100'000, workloads::SysMix::BrkHeavy);
+  DirectRunResult Native = runDirect(Prog);
+  auto Count = std::make_shared<IcountResult>();
+  SpRunReport Rep = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, Count),
+      testOptions(), testModel());
+  EXPECT_EQ(Count->Total, Native.Insts);
+  EXPECT_TRUE(Rep.PartitionOk);
+  // Every slice fork copies the bubble's page-table entries; COW activity
+  // proves the fork/page machinery ran (brk-heavy master touches pages).
+  EXPECT_GT(Rep.MasterCowCopies, 0u);
+}
+
+} // namespace
+
+// --- Shared areas (appended suite) ------------------------------------------
+
+#include "superpin/SharedAreas.h"
+
+namespace {
+
+TEST(SharedAreas, ManualModeReturnsCanonicalBuffer) {
+  SharedAreaRegistry Registry;
+  SliceServices S0(Registry, 0), S1(Registry, 1);
+  uint64_t Init = 42;
+  void *P0 = S0.createSharedArea(&Init, sizeof(Init), pin::AutoMerge::None);
+  void *P1 = S1.createSharedArea(&Init, sizeof(Init), pin::AutoMerge::None);
+  EXPECT_EQ(P0, P1) << "manual areas are truly shared";
+  EXPECT_EQ(*static_cast<uint64_t *>(P0), 42u)
+      << "initialized from the first creator's local data";
+  *static_cast<uint64_t *>(P0) = 7;
+  EXPECT_EQ(*static_cast<uint64_t *>(P1), 7u);
+}
+
+TEST(SharedAreas, AutoMergeModesFold) {
+  SharedAreaRegistry Registry;
+  SliceServices S0(Registry, 0), S1(Registry, 1);
+  uint64_t Init[3] = {0, 0, 0};
+  // A min-merging tool initializes its locals to the identity, exactly as
+  // a serial min-tool would (the canonical buffer copies the first
+  // creator's local data).
+  uint64_t MinInit[3] = {~0ull, ~0ull, ~0ull};
+  // Area 0: Add64; area 1: Max64; area 2: Min64.
+  auto *Add0 = static_cast<uint64_t *>(
+      S0.createSharedArea(Init, sizeof(Init), pin::AutoMerge::Add64));
+  auto *Max0 = static_cast<uint64_t *>(
+      S0.createSharedArea(Init, sizeof(Init), pin::AutoMerge::Max64));
+  auto *Min0 = static_cast<uint64_t *>(
+      S0.createSharedArea(MinInit, sizeof(MinInit), pin::AutoMerge::Min64));
+  auto *Add1 = static_cast<uint64_t *>(
+      S1.createSharedArea(Init, sizeof(Init), pin::AutoMerge::Add64));
+  auto *Max1 = static_cast<uint64_t *>(
+      S1.createSharedArea(Init, sizeof(Init), pin::AutoMerge::Max64));
+  auto *Min1 = static_cast<uint64_t *>(
+      S1.createSharedArea(MinInit, sizeof(MinInit), pin::AutoMerge::Min64));
+  EXPECT_NE(Add0, Add1) << "auto-merge areas hand out private shadows";
+
+  Add0[0] = 10;
+  Max0[1] = 5;
+  Min0[2] = 9;
+  Add1[0] = 32;
+  Max1[1] = 3;
+  Min1[2] = 4;
+  S0.mergeShadows();
+  S1.mergeShadows();
+
+  // Read the canonical results through a fini-mode service.
+  SliceServices Fini(Registry, 2, /*FiniMode=*/true);
+  auto *AddC = static_cast<uint64_t *>(
+      Fini.createSharedArea(Init, sizeof(Init), pin::AutoMerge::Add64));
+  auto *MaxC = static_cast<uint64_t *>(
+      Fini.createSharedArea(Init, sizeof(Init), pin::AutoMerge::Max64));
+  auto *MinC = static_cast<uint64_t *>(
+      Fini.createSharedArea(MinInit, sizeof(MinInit), pin::AutoMerge::Min64));
+  EXPECT_EQ(AddC[0], 42u);
+  EXPECT_EQ(MaxC[1], 5u);
+  EXPECT_EQ(MinC[2], 4u);
+  // Untouched Min lanes stay at the identity (shadows fold away).
+  EXPECT_EQ(MinC[0], ~0ull);
+}
+
+TEST(SharedAreasDeath, ShapeMismatchIsFatal) {
+  SharedAreaRegistry Registry;
+  SliceServices S0(Registry, 0), S1(Registry, 1);
+  uint64_t A = 0;
+  uint32_t B = 0;
+  S0.createSharedArea(&A, sizeof(A), pin::AutoMerge::None);
+  EXPECT_DEATH(S1.createSharedArea(&B, sizeof(B), pin::AutoMerge::None),
+               "shape mismatch");
+}
+
+} // namespace

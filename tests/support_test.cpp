@@ -1,0 +1,345 @@
+//===- tests/support_test.cpp - Support library unit tests ----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/MathExtras.h"
+#include "support/Random.h"
+#include "support/RawOstream.h"
+#include "support/Statistic.h"
+#include "support/StringExtras.h"
+#include "support/Table.h"
+
+#include "gtest/gtest.h"
+
+using namespace spin;
+
+namespace {
+
+// --- StringExtras ------------------------------------------------------
+
+TEST(StringExtras, Trim) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringExtras, Split) {
+  auto Pieces = split("a,b,,c", ',');
+  ASSERT_EQ(Pieces.size(), 4u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[2], "");
+  EXPECT_EQ(Pieces[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StringExtras, SplitWhitespace) {
+  auto Pieces = splitWhitespace("  one\ttwo   three \n");
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[1], "two");
+  EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(StringExtras, ParseUint) {
+  EXPECT_EQ(parseUint("123"), 123u);
+  EXPECT_EQ(parseUint("0x1f"), 31u);
+  EXPECT_EQ(parseUint("0b101"), 5u);
+  EXPECT_EQ(parseUint(" 42 "), 42u);
+  EXPECT_EQ(parseUint("18446744073709551615"), ~uint64_t(0));
+  EXPECT_FALSE(parseUint(""));
+  EXPECT_FALSE(parseUint("12x"));
+  EXPECT_FALSE(parseUint("18446744073709551616")); // overflow
+  EXPECT_FALSE(parseUint("-1"));
+}
+
+TEST(StringExtras, ParseInt) {
+  EXPECT_EQ(parseInt("-17"), -17);
+  EXPECT_EQ(parseInt("+17"), 17);
+  EXPECT_EQ(parseInt("-0x10"), -16);
+  EXPECT_EQ(parseInt("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(parseInt("-9223372036854775808"), INT64_MIN);
+  EXPECT_FALSE(parseInt("9223372036854775808"));
+  EXPECT_FALSE(parseInt("--3"));
+}
+
+TEST(StringExtras, Identifiers) {
+  EXPECT_TRUE(isValidIdentifier("main"));
+  EXPECT_TRUE(isValidIdentifier("_x.y$z"));
+  EXPECT_FALSE(isValidIdentifier("1abc"));
+  EXPECT_FALSE(isValidIdentifier(""));
+  EXPECT_FALSE(isValidIdentifier("a b"));
+}
+
+TEST(StringExtras, Formatting) {
+  EXPECT_EQ(formatWithCommas(0), "0");
+  EXPECT_EQ(formatWithCommas(999), "999");
+  EXPECT_EQ(formatWithCommas(1000), "1,000");
+  EXPECT_EQ(formatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(formatFixed(1.2345, 2), "1.23");
+  EXPECT_EQ(formatPercent(0.253, 1), "25.3%");
+}
+
+// --- MathExtras --------------------------------------------------------
+
+TEST(MathExtras, Basics) {
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(4096));
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_FALSE(isPowerOf2(12));
+  EXPECT_EQ(alignTo(13, 8), 16u);
+  EXPECT_EQ(alignTo(16, 8), 16u);
+  EXPECT_EQ(alignDown(13, 8), 8u);
+  EXPECT_EQ(divideCeil(10, 3), 4u);
+  EXPECT_EQ(divideCeil(9, 3), 3u);
+  EXPECT_EQ(log2Exact(4096), 12u);
+  EXPECT_EQ(saturatingSub(3, 5), 0u);
+  EXPECT_EQ(saturatingSub(5, 3), 2u);
+}
+
+// --- Random ------------------------------------------------------------
+
+TEST(Random, DeterministicAcrossInstances) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, BoundsRespected) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I != 1000; ++I) {
+    EXPECT_LT(Rng.nextBelow(10), 10u);
+    uint64_t V = Rng.nextInRange(5, 9);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 9u);
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Random, RoughlyUniform) {
+  SplitMix64 Rng(99);
+  unsigned Buckets[10] = {};
+  for (int I = 0; I != 10000; ++I)
+    ++Buckets[Rng.nextBelow(10)];
+  for (unsigned Count : Buckets) {
+    EXPECT_GT(Count, 800u);
+    EXPECT_LT(Count, 1200u);
+  }
+}
+
+// --- RawOstream --------------------------------------------------------
+
+TEST(RawOstream, FormatsScalars) {
+  std::string Out;
+  RawStringOstream OS(Out);
+  OS << "x=" << 42 << " n=" << int64_t(-7) << " b=" << true << " c=" << 'z';
+  OS.writeHex(255);
+  EXPECT_EQ(Out, "x=42 n=-7 b=true c=z0xff");
+}
+
+TEST(RawOstream, Padding) {
+  std::string Out;
+  RawStringOstream OS(Out);
+  OS.writePadded("ab", 5);
+  OS << "|";
+  OS.writeRightPadded("cd", 5);
+  EXPECT_EQ(Out, "ab   |   cd");
+}
+
+TEST(RawOstream, NullsDiscards) {
+  nulls() << "anything" << 123;
+  SUCCEED();
+}
+
+// --- Statistic ---------------------------------------------------------
+
+TEST(Statistic, CountersAndMerge) {
+  StatisticRegistry A;
+  A.counter("x") += 3;
+  A.counter("x") += 2;
+  A.counter("y") = 10;
+  EXPECT_EQ(A.get("x"), 5u);
+  EXPECT_EQ(A.get("missing"), 0u);
+
+  StatisticRegistry B;
+  B.counter("x") = 1;
+  B.counter("z") = 7;
+  A.mergeFrom(B);
+  EXPECT_EQ(A.get("x"), 6u);
+  EXPECT_EQ(A.get("z"), 7u);
+
+  A.reset();
+  EXPECT_EQ(A.get("x"), 0u);
+  EXPECT_EQ(A.entries().size(), 3u); // names survive reset
+}
+
+TEST(Statistic, ReferenceStability) {
+  StatisticRegistry R;
+  uint64_t &First = R.counter("first");
+  for (int I = 0; I != 100; ++I)
+    R.counter("c" + std::to_string(I));
+  First = 55;
+  EXPECT_EQ(R.get("first"), 55u);
+}
+
+// --- CommandLine -------------------------------------------------------
+
+TEST(CommandLine, ParsesTypedOptions) {
+  OptionRegistry Registry;
+  Opt<bool> Sp(Registry, "sp", false, "superpin");
+  Opt<uint64_t> Msec(Registry, "spmsec", 1000, "slice ms");
+  Opt<int64_t> Delta(Registry, "delta", 0, "signed");
+  Opt<double> Ratio(Registry, "ratio", 1.0, "ratio");
+  Opt<std::string> Tool(Registry, "t", "none", "tool");
+
+  std::string Err;
+  std::vector<std::string> Args = {"-sp",    "1",     "-spmsec", "250",
+                                   "-delta", "-5",    "-ratio",  "0.5",
+                                   "-t",     "icount"};
+  ASSERT_TRUE(Registry.parse(Args, Err)) << Err;
+  EXPECT_TRUE(Sp.value());
+  EXPECT_EQ(Msec.value(), 250u);
+  EXPECT_EQ(Delta.value(), -5);
+  EXPECT_DOUBLE_EQ(Ratio.value(), 0.5);
+  EXPECT_EQ(Tool.value(), "icount");
+  EXPECT_TRUE(Sp.wasSet());
+}
+
+TEST(CommandLine, EqualsSyntaxAndAppArgs) {
+  OptionRegistry Registry;
+  Opt<uint64_t> N(Registry, "n", 1, "count");
+  std::string Err;
+  std::vector<std::string> Args = {"-n=9", "--", "app", "arg1"};
+  ASSERT_TRUE(Registry.parse(Args, Err)) << Err;
+  EXPECT_EQ(N.value(), 9u);
+  ASSERT_EQ(Registry.appArgs().size(), 2u);
+  EXPECT_EQ(Registry.appArgs()[0], "app");
+}
+
+TEST(CommandLine, Diagnostics) {
+  OptionRegistry Registry;
+  Opt<uint64_t> N(Registry, "n", 1, "count");
+  std::string Err;
+  EXPECT_FALSE(Registry.parse({"-bogus", "1"}, Err));
+  EXPECT_NE(Err.find("bogus"), std::string::npos);
+  EXPECT_FALSE(Registry.parse({"-n"}, Err));
+  EXPECT_NE(Err.find("requires a value"), std::string::npos);
+  EXPECT_FALSE(Registry.parse({"-n", "xyz"}, Err));
+  EXPECT_NE(Err.find("invalid value"), std::string::npos);
+  EXPECT_FALSE(Registry.parse({"stray"}, Err));
+}
+
+TEST(CommandLine, DefaultsSurviveNoArgs) {
+  OptionRegistry Registry;
+  Opt<uint64_t> N(Registry, "n", 123, "count");
+  std::string Err;
+  ASSERT_TRUE(Registry.parse({}, Err));
+  EXPECT_EQ(N.value(), 123u);
+  EXPECT_FALSE(N.wasSet());
+}
+
+// --- Table -------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  Table T;
+  T.addColumn("name", Table::Align::Left);
+  T.addColumn("value");
+  T.startRow();
+  T.cell("a");
+  T.cell(uint64_t(1));
+  T.startRow();
+  T.cell("long-name");
+  T.cell(uint64_t(12345));
+  std::string Out;
+  RawStringOstream OS(Out);
+  T.print(OS);
+  EXPECT_NE(Out.find("name       value"), std::string::npos);
+  EXPECT_NE(Out.find("long-name  12345"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table T;
+  T.addColumn("a");
+  T.addColumn("b");
+  T.startRow();
+  T.cell(uint64_t(1));
+  T.cellPercent(0.5, 0);
+  std::string Out;
+  RawStringOstream OS(Out);
+  T.printCsv(OS);
+  EXPECT_EQ(Out, "a,b\n1,50%\n");
+}
+
+} // namespace
+
+// --- JsonWriter (appended suite) ----------------------------------------
+
+#include "support/Json.h"
+
+namespace {
+
+static std::string jsonOf(std::function<void(JsonWriter &)> Fn) {
+  std::string Out;
+  RawStringOstream OS(Out);
+  JsonWriter J(OS);
+  Fn(J);
+  EXPECT_TRUE(J.complete());
+  return Out;
+}
+
+TEST(Json, ScalarsAndNesting) {
+  std::string Out = jsonOf([](JsonWriter &J) {
+    J.beginObject()
+        .field("name", "superpin")
+        .field("count", uint64_t(42))
+        .field("delta", int64_t(-3))
+        .field("ok", true)
+        .key("nested")
+        .beginArray()
+        .value(uint64_t(1))
+        .value(uint64_t(2))
+        .endArray()
+        .endObject();
+  });
+  EXPECT_EQ(Out, "{\"name\":\"superpin\",\"count\":42,\"delta\":-3,"
+                 "\"ok\":true,\"nested\":[1,2]}");
+}
+
+TEST(Json, StringEscaping) {
+  std::string Out = jsonOf([](JsonWriter &J) {
+    J.beginArray().value("a\"b\\c\nd\te").endArray();
+  });
+  EXPECT_EQ(Out, "[\"a\\\"b\\\\c\\nd\\te\"]");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(jsonOf([](JsonWriter &J) { J.beginObject().endObject(); }),
+            "{}");
+  EXPECT_EQ(jsonOf([](JsonWriter &J) { J.beginArray().endArray(); }), "[]");
+}
+
+TEST(Json, DoublesAreFixedPoint) {
+  std::string Out =
+      jsonOf([](JsonWriter &J) { J.beginArray().value(1.5).endArray(); });
+  EXPECT_EQ(Out, "[1.500000]");
+}
+
+TEST(Table, JsonOutput) {
+  Table T;
+  T.addColumn("bench");
+  T.addColumn("pct");
+  T.startRow();
+  T.cell("gcc");
+  T.cellPercent(1.25, 0);
+  std::string Out;
+  RawStringOstream OS(Out);
+  T.printJson(OS);
+  EXPECT_EQ(Out, "[{\"bench\":\"gcc\",\"pct\":\"125%\"}]\n");
+}
+
+} // namespace

@@ -1,0 +1,395 @@
+//===- tests/threads_test.cpp - Guest-thread (§8) tests -------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Section 8 future work, implemented: multithreaded guests
+// under a deterministic round-robin schedule that SuperPin slices replay
+// exactly. Thread lifecycle syscalls are force-slice boundaries, so each
+// window covers a fixed thread population.
+//
+// Guest spin-waits deliberately vary a register per iteration: a spin
+// loop with fully repeating state is the §4.4 false-positive case (the
+// documented signature limitation applies to threads too).
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/DirectRun.h"
+#include "os/Process.h"
+#include "pin/Runner.h"
+#include "superpin/Engine.h"
+#include "tools/Icount.h"
+#include "tools/MemTrace.h"
+
+#include "TestPrograms.h"
+
+#include "gtest/gtest.h"
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::test;
+using namespace spin::tools;
+using namespace spin::vm;
+
+namespace {
+
+/// Main thread and one worker increment separate cells; the worker sets a
+/// done-flag that the main thread spin-waits on (with a varying spin
+/// counter in r8), then main writes both cells and exits.
+Program twoThreadProgram(unsigned MainIters, unsigned WorkerIters) {
+  std::string Src = R"(
+main:
+  movi r10, 0
+  movi r0, 4            ; mmap_anon(65536) -> worker stack
+  movi r1, 65536
+  syscall
+  addi r2, r0, 65536
+  movi r1, worker
+  movi r0, 11           ; thread_create(worker, stack)
+  syscall
+  movi r4, cella
+  movi r5, )" + std::to_string(MainIters) + R"(
+mloop:
+  incm [r4+0]
+  addi r5, r5, -1
+  bne r5, r10, mloop
+  movi r6, flag
+wait:
+  addi r8, r8, 1        ; varying spin counter (see file header)
+  ld64 r7, [r6+0]
+  beq r7, r10, wait
+  movi r0, 1            ; write(1, cella, 16): both counters
+  movi r1, 1
+  movi r2, cella
+  movi r3, 16
+  syscall
+  movi r0, 0            ; exit(0)
+  movi r1, 0
+  syscall
+
+worker:
+  movi r4, cellb
+  movi r5, )" + std::to_string(WorkerIters) + R"(
+wloop:
+  incm [r4+0]
+  addi r5, r5, -1
+  bne r5, r10, wloop
+  movi r7, 1
+  movi r6, flag
+  st64 [r6+0], r7
+  movi r0, 12           ; thread_exit()
+  syscall
+
+.data
+cella: .word64 0
+cellb: .word64 0
+flag:  .word64 0
+)";
+  return mustAssemble(Src, "twothread");
+}
+
+/// Reads a little-endian u64 out of program output.
+uint64_t outputWord(const std::string &Out, size_t Index) {
+  uint64_t V = 0;
+  for (unsigned B = 0; B != 8; ++B)
+    V |= uint64_t(uint8_t(Out[Index * 8 + B])) << (8 * B);
+  return V;
+}
+
+TEST(Threads, KernelSpawnAndExit) {
+  Process Proc = Process::create(makeCountdown(5));
+  EXPECT_FALSE(Proc.isMultiThreaded());
+  uint64_t Tid = Proc.spawnThread(Proc.program().EntryPc, 0x1000);
+  EXPECT_EQ(Tid, 1u);
+  EXPECT_TRUE(Proc.isMultiThreaded());
+  EXPECT_EQ(Proc.numLiveThreads(), 2u);
+  // Rotate explicitly, then exit the worker.
+  Proc.rotateThread();
+  EXPECT_EQ(Proc.currentThread(), 1u);
+  EXPECT_EQ(Proc.Cpu.Pc, Proc.program().EntryPc);
+  EXPECT_EQ(Proc.Cpu.sp(), 0x1000u);
+  Proc.exitCurrentThread();
+  EXPECT_EQ(Proc.numLiveThreads(), 1u);
+  EXPECT_EQ(Proc.currentThread(), 0u);
+  EXPECT_EQ(Proc.Status, ProcStatus::Running);
+}
+
+TEST(Threads, QuantumRotatesRoundRobin) {
+  Process Proc = Process::create(makeCountdown(5));
+  Proc.spawnThread(Proc.program().EntryPc, 0x1000);
+  Proc.spawnThread(Proc.program().EntryPc, 0x2000);
+  EXPECT_EQ(Proc.currentThread(), 0u);
+  Proc.noteRetired(Process::ThreadQuantum - 1);
+  EXPECT_FALSE(Proc.quantumExpired());
+  Proc.noteRetired(1);
+  EXPECT_TRUE(Proc.quantumExpired()); // executor rotates at block end
+  Proc.rotateThread();
+  EXPECT_EQ(Proc.currentThread(), 1u);
+  EXPECT_FALSE(Proc.quantumExpired()); // fresh quantum after rotation
+  Proc.noteRetired(Process::ThreadQuantum);
+  Proc.rotateThread();
+  EXPECT_EQ(Proc.currentThread(), 2u);
+  Proc.noteRetired(Process::ThreadQuantum);
+  Proc.rotateThread();
+  EXPECT_EQ(Proc.currentThread(), 0u); // wrapped around
+}
+
+TEST(Threads, ForkCarriesThreadState) {
+  Process Proc = Process::create(makeCountdown(5));
+  Proc.spawnThread(Proc.program().EntryPc, 0x1000);
+  Proc.noteRetired(100);
+  Process Child = Proc.fork(2);
+  EXPECT_EQ(Child.numLiveThreads(), 2u);
+  EXPECT_EQ(Child.currentThread(), Proc.currentThread());
+  EXPECT_EQ(Child.quantumLeft(), Proc.quantumLeft());
+  EXPECT_EQ(Child.threadPcs(), Proc.threadPcs());
+}
+
+TEST(Threads, NativeRunsBothThreadsToCompletion) {
+  Program Prog = twoThreadProgram(30'000, 50'000);
+  DirectRunResult R = runDirect(Prog);
+  ASSERT_TRUE(R.Exited);
+  ASSERT_EQ(R.Output.size(), 16u);
+  EXPECT_EQ(outputWord(R.Output, 0), 30'000u) << "main counter";
+  EXPECT_EQ(outputWord(R.Output, 1), 50'000u) << "worker counter";
+}
+
+TEST(Threads, DeterministicInterleaving) {
+  Program Prog = twoThreadProgram(20'000, 20'000);
+  DirectRunResult A = runDirect(Prog);
+  DirectRunResult B = runDirect(Prog);
+  EXPECT_EQ(A.Insts, B.Insts);
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+TEST(Threads, SerialPinMatchesNative) {
+  Program Prog = twoThreadProgram(20'000, 30'000);
+  DirectRunResult Native = runDirect(Prog);
+  CostModel Model;
+  auto Count = std::make_shared<IcountResult>();
+  RunReport Rep = runSerialPin(
+      Prog, Model, 100,
+      makeIcountTool(IcountGranularity::Instruction, Count));
+  EXPECT_EQ(Count->Total, Native.Insts)
+      << "instrumented threading must retire the same stream";
+  EXPECT_EQ(Rep.Output, Native.Output);
+}
+
+TEST(Threads, SuperPinSlicesReplayTheInterleaving) {
+  Program Prog = twoThreadProgram(40'000, 60'000);
+  DirectRunResult Native = runDirect(Prog);
+  CostModel Model;
+  sp::SpOptions Opts;
+  Opts.SliceMs = 30;
+  auto Count = std::make_shared<IcountResult>();
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, Count), Opts,
+      Model);
+  EXPECT_EQ(Count->Total, Native.Insts);
+  EXPECT_EQ(Rep.Output, Native.Output);
+  EXPECT_TRUE(Rep.PartitionOk);
+  EXPECT_GT(Rep.NumSlices, 2u);
+  // thread_create and thread_exit are force-slice boundaries.
+  EXPECT_GE(Rep.ForcedSliceSyscalls, 2u);
+}
+
+TEST(Threads, MemTraceIdenticalAcrossModes) {
+  // The strongest interleaving witness: the global memory-reference order
+  // of both threads must match between serial Pin and SuperPin.
+  Program Prog = twoThreadProgram(8'000, 12'000);
+  CostModel Model;
+  auto Serial = std::make_shared<MemTraceResult>();
+  runSerialPin(Prog, Model, 100, makeMemTraceTool(Serial));
+  sp::SpOptions Opts;
+  Opts.SliceMs = 15;
+  auto Sp = std::make_shared<MemTraceResult>();
+  sp::SpRunReport Rep =
+      sp::runSuperPin(Prog, makeMemTraceTool(Sp), Opts, Model);
+  ASSERT_GT(Rep.NumSlices, 2u);
+  ASSERT_FALSE(Serial->Records.empty());
+  EXPECT_TRUE(Serial->Records == Sp->Records)
+      << "slice replay must reproduce the exact thread interleaving";
+}
+
+TEST(Threads, IcountTwoGranularitiesAgree) {
+  Program Prog = twoThreadProgram(15'000, 25'000);
+  CostModel Model;
+  sp::SpOptions Opts;
+  Opts.SliceMs = 25;
+  auto R1 = std::make_shared<IcountResult>();
+  auto R2 = std::make_shared<IcountResult>();
+  sp::runSuperPin(Prog, makeIcountTool(IcountGranularity::Instruction, R1),
+                  Opts, Model);
+  sp::runSuperPin(Prog, makeIcountTool(IcountGranularity::BasicBlock, R2),
+                  Opts, Model);
+  EXPECT_EQ(R1->Total, R2->Total);
+}
+
+class ThreadSliceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSliceSweep, CountsPreservedAcrossSliceSizes) {
+  Program Prog = twoThreadProgram(25'000, 35'000);
+  DirectRunResult Native = runDirect(Prog);
+  sp::SpOptions Opts;
+  Opts.SliceMs = static_cast<uint64_t>(GetParam());
+  auto Count = std::make_shared<IcountResult>();
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, Count), Opts,
+      CostModel());
+  EXPECT_EQ(Count->Total, Native.Insts);
+  EXPECT_TRUE(Rep.PartitionOk);
+  EXPECT_EQ(Rep.Output, Native.Output);
+}
+
+INSTANTIATE_TEST_SUITE_P(SliceSizes, ThreadSliceSweep,
+                         ::testing::Values(7, 13, 29, 61, 200));
+
+} // namespace
+
+// --- Threaded tools (appended suite) ----------------------------------------
+
+#include "tools/CallGraph.h"
+#include "tools/Syscount.h"
+
+namespace {
+
+TEST(Threads, CallGraphUsesPerThreadStacks) {
+  // Both threads call functions; the per-thread shadow stacks must keep
+  // caller attribution consistent between serial Pin and SuperPin
+  // (per-callee totals exact, as in the single-threaded contract).
+  std::string Src = R"(
+main:
+  movi r10, 0
+  movi r0, 4
+  movi r1, 65536
+  syscall
+  addi r2, r0, 65536
+  movi r1, tworker
+  movi r0, 11
+  syscall
+  movi r5, 4000
+mcall:
+  call funca
+  addi r5, r5, -1
+  bne r5, r10, mcall
+  movi r6, flag
+mwait:
+  addi r8, r8, 1
+  ld64 r7, [r6+0]
+  beq r7, r10, mwait
+  movi r0, 0
+  movi r1, 0
+  syscall
+funca:
+  addi r3, r3, 7
+  ret
+funcb:
+  addi r3, r3, 11
+  ret
+tworker:
+  movi r5, 6000
+wcall:
+  call funcb
+  addi r5, r5, -1
+  bne r5, r10, wcall
+  movi r7, 1
+  movi r6, flag
+  st64 [r6+0], r7
+  movi r0, 12
+  syscall
+.data
+flag: .word64 0
+)";
+  Program Prog = mustAssemble(Src, "mtcalls");
+  CostModel Model;
+  auto Serial = std::make_shared<CallGraphResult>();
+  runSerialPin(Prog, Model, 100, makeCallGraphTool(Serial));
+  EXPECT_EQ(Serial->TotalCalls, 10'000u);
+  EXPECT_EQ(Serial->unknownCallerCalls(), 0u);
+
+  sp::SpOptions Opts;
+  Opts.SliceMs = 10;
+  auto Sp = std::make_shared<CallGraphResult>();
+  sp::SpRunReport Rep =
+      sp::runSuperPin(Prog, makeCallGraphTool(Sp), Opts, Model);
+  ASSERT_GT(Rep.NumSlices, 2u);
+  EXPECT_EQ(Sp->TotalCalls, 10'000u);
+  std::map<uint64_t, uint64_t> SerialPerCallee, SpPerCallee;
+  for (const auto &[Edge, Count] : Serial->Edges)
+    SerialPerCallee[Edge.second] += Count;
+  for (const auto &[Edge, Count] : Sp->Edges)
+    SpPerCallee[Edge.second] += Count;
+  EXPECT_EQ(SerialPerCallee, SpPerCallee);
+}
+
+TEST(Threads, SyscountSeesThreadSyscalls) {
+  Program Prog = twoThreadProgram(10'000, 15'000);
+  CostModel Model;
+  auto Serial = std::make_shared<SyscountResult>();
+  runSerialPin(Prog, Model, 100, makeSyscountTool(Serial));
+  sp::SpOptions Opts;
+  Opts.SliceMs = 20;
+  auto Sp = std::make_shared<SyscountResult>();
+  sp::runSuperPin(Prog, makeSyscountTool(Sp), Opts, Model);
+  EXPECT_EQ(Serial->CountByNumber, Sp->CountByNumber);
+  EXPECT_EQ(Sp->CountByNumber[11], 1u); // thread_create
+  EXPECT_EQ(Sp->CountByNumber[12], 1u); // thread_exit
+}
+
+} // namespace
+
+// --- Threaded configuration sweep (appended suite) ---------------------------
+
+namespace {
+
+struct MtConfigCase {
+  const char *Label;
+  void (*Apply)(sp::SpOptions &);
+};
+
+class MtConfigSweep : public ::testing::TestWithParam<MtConfigCase> {};
+
+TEST_P(MtConfigSweep, OptionsNeverChangeThreadedResults) {
+  Program Prog = twoThreadProgram(18'000, 26'000);
+  DirectRunResult Native = runDirect(Prog);
+  sp::SpOptions Opts;
+  Opts.SliceMs = 20;
+  GetParam().Apply(Opts);
+  auto Count = std::make_shared<IcountResult>();
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, Count), Opts,
+      CostModel());
+  EXPECT_EQ(Count->Total, Native.Insts) << GetParam().Label;
+  EXPECT_TRUE(Rep.PartitionOk) << GetParam().Label;
+  EXPECT_EQ(Rep.Output, Native.Output) << GetParam().Label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Options, MtConfigSweep,
+    ::testing::Values(
+        MtConfigCase{"memsig",
+                     [](sp::SpOptions &O) { O.MemSignature = true; }},
+        MtConfigCase{"noquick",
+                     [](sp::SpOptions &O) { O.QuickCheck = false; }},
+        MtConfigCase{"sharedcc",
+                     [](sp::SpOptions &O) { O.SharedCodeCache = true; }},
+        MtConfigCase{"mp1", [](sp::SpOptions &O) { O.MaxSlices = 1; }},
+        MtConfigCase{"cpus2",
+                     [](sp::SpOptions &O) {
+                       O.PhysCpus = 2;
+                       O.VirtCpus = 2;
+                     }},
+        MtConfigCase{"adaptive",
+                     [](sp::SpOptions &O) {
+                       O.AdaptiveSlices = true;
+                       O.AppDurationHintMs = 200;
+                       O.MinSliceMs = 5;
+                     }}),
+    [](const ::testing::TestParamInfo<MtConfigCase> &I) {
+      return std::string(I.param.Label);
+    });
+
+} // namespace

@@ -1,0 +1,490 @@
+//===- tests/tools_test.cpp - Pintool correctness tests -------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Every shipped Pintool must produce identical results under serial Pin
+// and under SuperPin (after merging). This is the paper's implicit
+// correctness contract for convertible tools (Section 4.5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/BranchProfile.h"
+#include "tools/DCache.h"
+#include "tools/Icount.h"
+#include "tools/MemTrace.h"
+#include "tools/OpcodeMix.h"
+#include "tools/Sampler.h"
+
+#include "TestPrograms.h"
+#include "os/DirectRun.h"
+#include "pin/Runner.h"
+#include "superpin/Engine.h"
+#include "superpin/SpApi.h"
+#include "workloads/Generator.h"
+
+#include "gtest/gtest.h"
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::test;
+using namespace spin::tools;
+using namespace spin::vm;
+
+namespace {
+
+Program toolWorkload(workloads::SysMix Mix = workloads::SysMix::Mixed,
+                     uint64_t Insts = 250'000) {
+  workloads::GenParams P;
+  P.Name = "toolwork";
+  P.TargetInsts = Insts;
+  P.NumFuncs = 5;
+  P.BlocksPerFunc = 6;
+  P.AluPerBlock = 3;
+  P.WorkingSetBytes = 1 << 15;
+  P.SyscallMask = Mix == workloads::SysMix::None ? 0 : 63;
+  P.Mix = Mix;
+  return workloads::generateWorkload(P);
+}
+
+sp::SpOptions spOptions() {
+  sp::SpOptions Opts;
+  Opts.SliceMs = 40;
+  return Opts;
+}
+
+// --- icount -------------------------------------------------------------
+
+TEST(Tools, IcountSerialEqualsSuperPinAndNative) {
+  Program Prog = toolWorkload();
+  CostModel Model;
+  DirectRunResult Native = runDirect(Prog);
+  for (IcountGranularity G :
+       {IcountGranularity::Instruction, IcountGranularity::BasicBlock}) {
+    auto Serial = std::make_shared<IcountResult>();
+    runSerialPin(Prog, Model, 100, makeIcountTool(G, Serial));
+    auto Sp = std::make_shared<IcountResult>();
+    sp::runSuperPin(Prog, makeIcountTool(G, Sp), spOptions(), Model);
+    EXPECT_EQ(Serial->Total, Native.Insts);
+    EXPECT_EQ(Sp->Total, Native.Insts);
+  }
+}
+
+TEST(Tools, IcountFiniOutputMatchesFigure2) {
+  Program Prog = makeCountdown(100);
+  CostModel Model;
+  RunReport Rep = runSerialPin(
+      Prog, Model, 100, makeIcountTool(IcountGranularity::BasicBlock));
+  EXPECT_NE(Rep.FiniOutput.find("Total Count: "), std::string::npos);
+}
+
+// --- dcache -------------------------------------------------------------
+
+TEST(Tools, DCacheDirectMappedExactAcrossModes) {
+  Program Prog = toolWorkload(workloads::SysMix::ReadWrite);
+  CostModel Model;
+  for (uint32_t NumSets : {64, 256, 2048}) {
+    DCacheConfig Config;
+    Config.NumSets = NumSets;
+    Config.Assoc = 1;
+    auto Serial = std::make_shared<DCacheResult>();
+    runSerialPin(Prog, Model, 100, makeDCacheTool(Config, Serial));
+    auto Sp = std::make_shared<DCacheResult>();
+    sp::SpRunReport Rep = sp::runSuperPin(Prog, makeDCacheTool(Config, Sp),
+                                          spOptions(), Model);
+    ASSERT_GT(Rep.NumSlices, 2u);
+    EXPECT_EQ(Serial->Accesses, Sp->Accesses) << NumSets;
+    EXPECT_EQ(Serial->Hits, Sp->Hits) << NumSets;
+    EXPECT_EQ(Serial->Misses, Sp->Misses) << NumSets;
+    EXPECT_GT(Sp->ReconciledAssumptions, 0u)
+        << "the assume-hit mechanism should actually fire";
+  }
+}
+
+TEST(Tools, DCacheSetAssociativeConservesAccesses) {
+  // LRU state across slice boundaries is approximate (documented), but
+  // access counts must be exact and hit counts close.
+  Program Prog = toolWorkload(workloads::SysMix::None);
+  CostModel Model;
+  DCacheConfig Config;
+  Config.NumSets = 128;
+  Config.Assoc = 4;
+  auto Serial = std::make_shared<DCacheResult>();
+  runSerialPin(Prog, Model, 100, makeDCacheTool(Config, Serial));
+  auto Sp = std::make_shared<DCacheResult>();
+  sp::runSuperPin(Prog, makeDCacheTool(Config, Sp), spOptions(), Model);
+  EXPECT_EQ(Serial->Accesses, Sp->Accesses);
+  EXPECT_EQ(Serial->Hits + Serial->Misses, Serial->Accesses);
+  EXPECT_EQ(Sp->Hits + Sp->Misses, Sp->Accesses);
+  double SerialRate = double(Serial->Hits) / double(Serial->Accesses);
+  double SpRate = double(Sp->Hits) / double(Sp->Accesses);
+  EXPECT_NEAR(SerialRate, SpRate, 0.02);
+}
+
+TEST(Tools, DCacheHitRateImprovesWithSize) {
+  Program Prog = toolWorkload(workloads::SysMix::None);
+  CostModel Model;
+  uint64_t PrevMisses = ~0ull;
+  for (uint32_t NumSets : {16, 128, 4096}) {
+    DCacheConfig Config;
+    Config.NumSets = NumSets;
+    auto R = std::make_shared<DCacheResult>();
+    runSerialPin(Prog, Model, 100, makeDCacheTool(Config, R));
+    EXPECT_LE(R->Misses, PrevMisses);
+    PrevMisses = R->Misses;
+  }
+}
+
+// --- branch profile ------------------------------------------------------
+
+TEST(Tools, BranchProfileMatchesAcrossModes) {
+  Program Prog = toolWorkload();
+  CostModel Model;
+  auto Serial = std::make_shared<BranchProfileResult>();
+  runSerialPin(Prog, Model, 100, makeBranchProfileTool(Serial));
+  auto Sp = std::make_shared<BranchProfileResult>();
+  sp::runSuperPin(Prog, makeBranchProfileTool(Sp), spOptions(), Model);
+  EXPECT_EQ(Serial->CondBranches, Sp->CondBranches);
+  EXPECT_EQ(Serial->Taken, Sp->Taken);
+  EXPECT_EQ(Serial->Calls, Sp->Calls);
+  EXPECT_EQ(Serial->Returns, Sp->Returns);
+  EXPECT_EQ(Serial->IndirectJumps, Sp->IndirectJumps);
+  EXPECT_GT(Serial->CondBranches, 0u);
+  EXPECT_GT(Serial->Calls, 0u);
+  EXPECT_EQ(Serial->Calls, Serial->Returns)
+      << "generated workloads balance calls and returns";
+}
+
+// --- opcode mix ----------------------------------------------------------
+
+TEST(Tools, OpcodeMixMatchesAcrossModesAndTotals) {
+  Program Prog = toolWorkload();
+  CostModel Model;
+  DirectRunResult Native = runDirect(Prog);
+  auto Serial = std::make_shared<OpcodeMixResult>();
+  runSerialPin(Prog, Model, 100, makeOpcodeMixTool(Serial));
+  auto Sp = std::make_shared<OpcodeMixResult>();
+  sp::runSuperPin(Prog, makeOpcodeMixTool(Sp), spOptions(), Model);
+  EXPECT_EQ(Serial->Counts, Sp->Counts);
+  EXPECT_EQ(Serial->total(), Native.Insts);
+  EXPECT_GT(Serial->Counts[size_t(Opcode::Syscall)], 0u);
+}
+
+// --- memtrace ------------------------------------------------------------
+
+TEST(Tools, MemTraceOrderedIdenticalAcrossModes) {
+  Program Prog = toolWorkload(workloads::SysMix::ReadWrite, 120'000);
+  CostModel Model;
+  auto Serial = std::make_shared<MemTraceResult>();
+  runSerialPin(Prog, Model, 100, makeMemTraceTool(Serial));
+  auto Sp = std::make_shared<MemTraceResult>();
+  sp::SpRunReport Rep = sp::runSuperPin(Prog, makeMemTraceTool(Sp),
+                                        spOptions(), Model);
+  ASSERT_GT(Rep.NumSlices, 2u);
+  ASSERT_FALSE(Serial->Records.empty());
+  EXPECT_EQ(Serial->Records.size(), Sp->Records.size());
+  EXPECT_TRUE(Serial->Records == Sp->Records)
+      << "slice-order merging must reconstruct the exact serial trace";
+}
+
+// --- sampler -------------------------------------------------------------
+
+TEST(Tools, SamplerUnlimitedCoversSerialProfile) {
+  // Block-granularity histograms are trace-partition dependent: a slice
+  // whose boundary lands mid-block re-forms traces with an extra head at
+  // the boundary pc (real Pin behaves the same way when code is entered
+  // at a new address). The invariant is containment: every serially
+  // observed block appears with the exact same count under SuperPin; the
+  // only additions are boundary-split tails.
+  Program Prog = toolWorkload(workloads::SysMix::None, 150'000);
+  CostModel Model;
+  auto Serial = std::make_shared<SamplerResult>();
+  runSerialPin(Prog, Model, 100, makeSamplerTool(0, Serial));
+  auto Sp = std::make_shared<SamplerResult>();
+  sp::SpRunReport Rep =
+      sp::runSuperPin(Prog, makeSamplerTool(0, Sp), spOptions(), Model);
+  ASSERT_FALSE(Serial->BlockCounts.empty());
+  for (const auto &[Addr, Count] : Serial->BlockCounts) {
+    auto It = Sp->BlockCounts.find(Addr);
+    ASSERT_NE(It, Sp->BlockCounts.end()) << "missing block " << Addr;
+    EXPECT_EQ(It->second, Count) << "count mismatch at block " << Addr;
+  }
+  EXPECT_LE(Sp->BlockCounts.size(),
+            Serial->BlockCounts.size() + Rep.NumSlices)
+      << "at most one extra split block per slice boundary";
+  EXPECT_EQ(Serial->SlicesEndedEarly, 0u);
+  EXPECT_EQ(Sp->SlicesEndedEarly, 0u);
+}
+
+TEST(Tools, SamplerBudgetEndsSlicesEarly) {
+  Program Prog = toolWorkload(workloads::SysMix::None, 300'000);
+  CostModel Model;
+  auto Sp = std::make_shared<SamplerResult>();
+  sp::SpRunReport Rep =
+      sp::runSuperPin(Prog, makeSamplerTool(500, Sp), spOptions(), Model);
+  EXPECT_GT(Sp->SlicesEndedEarly, 0u);
+  EXPECT_FALSE(Rep.PartitionOk)
+      << "SP_EndSlice intentionally leaves coverage gaps";
+  // Sampled count is capped near budget * slices.
+  EXPECT_LE(Sp->SampledBlocks, 500 * Rep.NumSlices + Rep.NumSlices);
+  // Some slices ended via ToolStop.
+  bool SawToolStop = false;
+  for (const sp::SliceInfo &S : Rep.Slices)
+    if (S.EndKind == sp::SliceEndKind::ToolStop)
+      SawToolStop = true;
+  EXPECT_TRUE(SawToolStop);
+}
+
+// --- function-style API (SpApi) -------------------------------------------
+
+TEST(Tools, FunctionToolMirrorsClassTool) {
+  Program Prog = toolWorkload();
+  CostModel Model;
+  DirectRunResult Native = runDirect(Prog);
+
+  auto Count = std::make_shared<uint64_t>(0);
+  ToolFactory Factory =
+      sp::makeFunctionTool("fig2", [Count](sp::SpToolContext &Ctx) {
+        struct State {
+          uint64_t Icount = 0;
+          uint64_t *Shared;
+        };
+        auto St = std::make_shared<State>();
+        Ctx.SP_Init([St](uint32_t) { St->Icount = 0; });
+        St->Shared = static_cast<uint64_t *>(Ctx.SP_CreateSharedArea(
+            &St->Icount, sizeof(uint64_t), AutoMerge::None));
+        Ctx.SP_AddSliceEndFunction(
+            [St](uint32_t) { *St->Shared += St->Icount; });
+        Ctx.TRACE_AddInstrumentFunction([St](Trace &T) {
+          for (uint32_t B = 0; B != T.numBbls(); ++B) {
+            Bbl Block = T.bblAt(B);
+            Block.insHead().insertCall(
+                [St](const uint64_t *A) { St->Icount += A[0]; },
+                {Arg::imm(Block.numIns())});
+          }
+        });
+        Ctx.PIN_AddFiniFunction(
+            [St, Count](RawOstream &) { *Count = *St->Shared; });
+      });
+
+  sp::SpRunReport Rep = sp::runSuperPin(Prog, Factory, spOptions(), Model);
+  EXPECT_EQ(*Count, Native.Insts);
+  EXPECT_TRUE(Rep.PartitionOk);
+
+  // Same tool under serial Pin (SP_Init returns false there).
+  *Count = 0;
+  runSerialPin(Prog, Model, 100, Factory);
+  EXPECT_EQ(*Count, Native.Insts);
+}
+
+} // namespace
+
+// --- CallGraph (appended suite) -------------------------------------------
+
+#include "tools/CallGraph.h"
+
+namespace {
+
+TEST(Tools, CallGraphSerialFindsAllEdges) {
+  Program Prog = toolWorkload(workloads::SysMix::None, 120'000);
+  CostModel Model;
+  auto Serial = std::make_shared<CallGraphResult>();
+  runSerialPin(Prog, Model, 100, makeCallGraphTool(Serial));
+  auto Branch = std::make_shared<BranchProfileResult>();
+  runSerialPin(Prog, Model, 100, makeBranchProfileTool(Branch));
+  EXPECT_EQ(Serial->TotalCalls, Branch->Calls)
+      << "call-graph total must equal the branch profiler's call count";
+  EXPECT_GT(Serial->Edges.size(), 3u);
+  EXPECT_EQ(Serial->unknownCallerCalls(), 0u);
+}
+
+TEST(Tools, CallGraphSuperPinPreservesPerCalleeTotals) {
+  // Slice-boundary frames degrade caller attribution to UnknownCaller
+  // (documented); per-callee call totals must still be exact.
+  Program Prog = toolWorkload(workloads::SysMix::None, 200'000);
+  CostModel Model;
+  auto Serial = std::make_shared<CallGraphResult>();
+  runSerialPin(Prog, Model, 100, makeCallGraphTool(Serial));
+  auto Sp = std::make_shared<CallGraphResult>();
+  sp::SpRunReport Rep =
+      sp::runSuperPin(Prog, makeCallGraphTool(Sp), spOptions(), Model);
+  ASSERT_GT(Rep.NumSlices, 2u);
+  EXPECT_EQ(Serial->TotalCalls, Sp->TotalCalls);
+
+  std::map<uint64_t, uint64_t> SerialPerCallee, SpPerCallee;
+  for (const auto &[Edge, Count] : Serial->Edges)
+    SerialPerCallee[Edge.second] += Count;
+  for (const auto &[Edge, Count] : Sp->Edges)
+    SpPerCallee[Edge.second] += Count;
+  EXPECT_EQ(SerialPerCallee, SpPerCallee);
+}
+
+} // namespace
+
+// --- ICache (appended suite) -----------------------------------------------
+
+#include "tools/ICache.h"
+
+namespace {
+
+TEST(Tools, ICacheDirectMappedExactAcrossModes) {
+  Program Prog = toolWorkload(workloads::SysMix::None, 200'000);
+  CostModel Model;
+  CacheGeometry Geometry;
+  Geometry.NumSets = 256;
+  Geometry.LineBytes = 32;
+  auto Serial = std::make_shared<ICacheResult>();
+  runSerialPin(Prog, Model, 100, makeICacheTool(Geometry, Serial));
+  auto Sp = std::make_shared<ICacheResult>();
+  sp::SpRunReport Rep = sp::runSuperPin(Prog, makeICacheTool(Geometry, Sp),
+                                        spOptions(), Model);
+  ASSERT_GT(Rep.NumSlices, 2u);
+  EXPECT_EQ(Serial->Accesses, Sp->Accesses);
+  EXPECT_EQ(Serial->Hits, Sp->Hits);
+  EXPECT_EQ(Serial->Misses, Sp->Misses);
+  // The fetch stream is the instruction stream.
+  DirectRunResult Native = runDirect(Prog);
+  EXPECT_EQ(Serial->Accesses, Native.Insts);
+}
+
+TEST(Tools, ICacheHotLoopsHitAlmostAlways) {
+  Program Prog = toolWorkload(workloads::SysMix::None, 150'000);
+  CostModel Model;
+  CacheGeometry Geometry; // 64KiB i-cache vs a few-KiB footprint
+  auto R = std::make_shared<ICacheResult>();
+  runSerialPin(Prog, Model, 100, makeICacheTool(Geometry, R));
+  EXPECT_GT(double(R->Hits) / double(R->Accesses), 0.99);
+}
+
+TEST(Tools, SpDisabledDegradesToSerialPin) {
+  // -sp 0 through the library API: same counts, no slices.
+  Program Prog = toolWorkload(workloads::SysMix::Mixed, 100'000);
+  CostModel Model;
+  DirectRunResult Native = runDirect(Prog);
+  sp::SpOptions Opts;
+  Opts.Enabled = false;
+  auto Count = std::make_shared<IcountResult>();
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction, Count), Opts,
+      Model);
+  EXPECT_EQ(Count->Total, Native.Insts);
+  EXPECT_EQ(Rep.NumSlices, 0u);
+  EXPECT_EQ(Rep.Output, Native.Output);
+  EXPECT_NE(Rep.FiniOutput.find("Total Count"), std::string::npos);
+}
+
+} // namespace
+
+// --- IPOINT_AFTER, LoadValueProfile, Composite (appended suite) -------------
+
+#include "tools/Composite.h"
+#include "tools/LoadValueProfile.h"
+
+namespace {
+
+TEST(Tools, LoadValueProfileObservesPostExecState) {
+  // A program with known load results: zeros from fresh memory, then a
+  // known wide constant.
+  Program Prog = mustAssemble(R"(
+main:
+  movi r2, buf
+  movi r4, 3000000000
+  st64 [r2+0], r4
+  ld64 r3, [r2+0]     ; wide (needs 32.. bits: 3e9 > 2^31, < 2^32 -> fit32)
+  ld64 r5, [r2+8]     ; zero
+  ld8u r6, [r2+0]     ; fit8 (low byte of 3e9 = 0x00? compute below)
+  movi r0, 0
+  movi r1, 0
+  syscall
+.data
+buf: .space 16
+)",
+                              "loads");
+  CostModel Model;
+  auto R = std::make_shared<LoadValueProfileResult>();
+  runSerialPin(Prog, Model, 100, makeLoadValueProfileTool(R));
+  EXPECT_EQ(R->Loads, 3u);
+  EXPECT_EQ(R->Fit32, 1u); // 3,000,000,000 fits in 32 bits, not 16
+  EXPECT_EQ(R->ZeroLoads + R->Fit8, 2u); // the zero load + the byte load
+}
+
+TEST(Tools, LoadValueProfileMatchesAcrossModes) {
+  Program Prog = toolWorkload(workloads::SysMix::ReadWrite, 150'000);
+  CostModel Model;
+  auto Serial = std::make_shared<LoadValueProfileResult>();
+  runSerialPin(Prog, Model, 100, makeLoadValueProfileTool(Serial));
+  auto Sp = std::make_shared<LoadValueProfileResult>();
+  sp::runSuperPin(Prog, makeLoadValueProfileTool(Sp), spOptions(), Model);
+  EXPECT_EQ(Serial->Loads, Sp->Loads);
+  EXPECT_EQ(Serial->ZeroLoads, Sp->ZeroLoads);
+  EXPECT_EQ(Serial->Fit8, Sp->Fit8);
+  EXPECT_EQ(Serial->Fit16, Sp->Fit16);
+  EXPECT_EQ(Serial->Fit32, Sp->Fit32);
+  EXPECT_EQ(Serial->Wide, Sp->Wide);
+  EXPECT_GT(Serial->Loads, 0u);
+}
+
+TEST(Tools, CompositeToolRunsAllSubTools) {
+  Program Prog = toolWorkload(workloads::SysMix::Mixed, 150'000);
+  CostModel Model;
+  DirectRunResult Native = runDirect(Prog);
+
+  auto Count = std::make_shared<IcountResult>();
+  auto Cache = std::make_shared<DCacheResult>();
+  auto Branch = std::make_shared<BranchProfileResult>();
+  std::vector<ToolFactory> Subs = {
+      makeIcountTool(IcountGranularity::Instruction, Count),
+      makeDCacheTool(DCacheConfig(), Cache),
+      makeBranchProfileTool(Branch)};
+  sp::SpRunReport Rep = sp::runSuperPin(Prog, makeCompositeTool(Subs),
+                                        spOptions(), Model);
+  EXPECT_TRUE(Rep.PartitionOk);
+  EXPECT_EQ(Count->Total, Native.Insts);
+  EXPECT_GT(Cache->Accesses, 0u);
+  EXPECT_GT(Branch->CondBranches, 0u);
+  // All three tools' Fini output concatenates.
+  EXPECT_NE(Rep.FiniOutput.find("Total Count"), std::string::npos);
+  EXPECT_NE(Rep.FiniOutput.find("dcache:"), std::string::npos);
+  EXPECT_NE(Rep.FiniOutput.find("branches:"), std::string::npos);
+
+  // And the composite matches individually-run tools.
+  auto Count2 = std::make_shared<IcountResult>();
+  sp::runSuperPin(Prog,
+                  makeIcountTool(IcountGranularity::Instruction, Count2),
+                  spOptions(), Model);
+  EXPECT_EQ(Count->Total, Count2->Total);
+}
+
+} // namespace
+
+// --- Syscount (appended suite) ----------------------------------------------
+
+#include "os/Syscalls.h"
+#include "tools/Syscount.h"
+
+namespace {
+
+TEST(Tools, SyscountMatchesAcrossModesAndNative) {
+  Program Prog = toolWorkload(workloads::SysMix::Mixed, 200'000);
+  CostModel Model;
+  DirectRunResult Native = runDirect(Prog);
+
+  auto Serial = std::make_shared<SyscountResult>();
+  runSerialPin(Prog, Model, 100, makeSyscountTool(Serial));
+  EXPECT_EQ(Serial->total(), Native.Syscalls);
+
+  auto Sp = std::make_shared<SyscountResult>();
+  sp::SpRunReport Rep =
+      sp::runSuperPin(Prog, makeSyscountTool(Sp), spOptions(), Model);
+  ASSERT_GT(Rep.NumSlices, 2u);
+  EXPECT_EQ(Serial->CountByNumber, Sp->CountByNumber)
+      << "per-number syscall counts must merge exactly";
+  // The Mixed workload performs gettime/getpid/rand plus write+exit.
+  EXPECT_GT(Sp->CountByNumber[uint64_t(os::Sys::GetPid)], 0u);
+  EXPECT_EQ(Sp->CountByNumber[uint64_t(os::Sys::Exit)], 1u);
+}
+
+} // namespace

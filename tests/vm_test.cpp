@@ -1,0 +1,491 @@
+//===- tests/vm_test.cpp - Guest VM unit tests ----------------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Assembler.h"
+#include "vm/Disassembler.h"
+#include "vm/Exec.h"
+#include "vm/GuestMemory.h"
+#include "vm/Interpreter.h"
+#include "vm/ProgramBuilder.h"
+
+#include "TestPrograms.h"
+#include "os/DirectRun.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+using namespace spin;
+using namespace spin::vm;
+using namespace spin::test;
+
+namespace {
+
+// --- GuestMemory -----------------------------------------------------
+
+TEST(GuestMemory, ReadOfUnmappedIsZero) {
+  GuestMemory M;
+  EXPECT_EQ(M.read64(0x1000), 0u);
+  EXPECT_EQ(M.read8(0xdeadbeef), 0u);
+  EXPECT_EQ(M.numPages(), 0u);
+}
+
+TEST(GuestMemory, ScalarRoundTrip) {
+  GuestMemory M;
+  M.write8(10, 0xab);
+  M.write16(100, 0xbeef);
+  M.write32(200, 0xdeadbeefu);
+  M.write64(300, 0x0123456789abcdefULL);
+  EXPECT_EQ(M.read8(10), 0xab);
+  EXPECT_EQ(M.read16(100), 0xbeef);
+  EXPECT_EQ(M.read32(200), 0xdeadbeefu);
+  EXPECT_EQ(M.read64(300), 0x0123456789abcdefULL);
+}
+
+TEST(GuestMemory, CrossPageAccess) {
+  GuestMemory M;
+  uint64_t Addr = PageSize - 3;
+  M.write64(Addr, 0x1122334455667788ULL);
+  EXPECT_EQ(M.read64(Addr), 0x1122334455667788ULL);
+  EXPECT_EQ(M.numPages(), 2u);
+}
+
+TEST(GuestMemory, LittleEndianLayout) {
+  GuestMemory M;
+  M.write32(0, 0x04030201u);
+  EXPECT_EQ(M.read8(0), 1);
+  EXPECT_EQ(M.read8(1), 2);
+  EXPECT_EQ(M.read8(2), 3);
+  EXPECT_EQ(M.read8(3), 4);
+}
+
+TEST(GuestMemory, ForkSharesThenIsolates) {
+  GuestMemory Parent;
+  Parent.write64(0x1000, 42);
+  GuestMemory Child = Parent.fork();
+  EXPECT_EQ(Child.read64(0x1000), 42u);
+  EXPECT_EQ(Parent.numSharedPages(), 1u);
+
+  Child.write64(0x1000, 99);
+  EXPECT_EQ(Parent.read64(0x1000), 42u) << "child write leaked to parent";
+  EXPECT_EQ(Child.read64(0x1000), 99u);
+
+  Parent.write64(0x1008, 7);
+  EXPECT_EQ(Child.read64(0x1008), 0u) << "parent write leaked to child";
+}
+
+/// Counts COW events for the fault-charging tests.
+struct CountingListener : MemoryEventListener {
+  unsigned Cows = 0;
+  unsigned Allocs = 0;
+  void onCowCopy(uint64_t) override { ++Cows; }
+  void onPageAlloc(uint64_t) override { ++Allocs; }
+};
+
+TEST(GuestMemory, CowFaultFiresOncePerPage) {
+  GuestMemory Parent;
+  Parent.write64(0x1000, 1);
+  Parent.write64(0x2000, 2);
+  GuestMemory Child = Parent.fork();
+  CountingListener Listener;
+  Child.setListener(&Listener);
+  Child.write64(0x1000, 10);
+  Child.write64(0x1008, 11); // same page: no second fault
+  Child.write64(0x2000, 20);
+  EXPECT_EQ(Listener.Cows, 2u);
+  Child.write64(0x9000, 1); // unmapped: alloc, not COW
+  EXPECT_EQ(Listener.Allocs, 1u);
+}
+
+TEST(GuestMemory, ForkIsolationFuzz) {
+  // Property: random interleaved writes after fork never leak across.
+  SplitMix64 Rng(123);
+  GuestMemory A;
+  for (int I = 0; I != 200; ++I)
+    A.write64(Rng.nextBelow(1 << 20) & ~7ull, Rng.next());
+  GuestMemory B = A.fork();
+  // Snapshot some addresses.
+  std::vector<uint64_t> Addrs, ValsA;
+  for (int I = 0; I != 100; ++I) {
+    uint64_t Addr = Rng.nextBelow(1 << 20) & ~7ull;
+    Addrs.push_back(Addr);
+    ValsA.push_back(A.read64(Addr));
+  }
+  // Mutate B heavily.
+  for (int I = 0; I != 500; ++I)
+    B.write64(Rng.nextBelow(1 << 20) & ~7ull, Rng.next());
+  for (size_t I = 0; I != Addrs.size(); ++I)
+    EXPECT_EQ(A.read64(Addrs[I]), ValsA[I]);
+}
+
+TEST(GuestMemory, DiscardRangeDropsWholePagesZeroesPartial) {
+  GuestMemory M;
+  M.write64(0x1000, 1);
+  M.write64(0x2000, 2);
+  M.write64(0x2800, 3);
+  M.discardRange(0x1000, PageSize); // whole page
+  EXPECT_EQ(M.numPages(), 1u);
+  M.discardRange(0x2800, 8); // partial: zero without dropping
+  EXPECT_EQ(M.read64(0x2000), 2u);
+  EXPECT_EQ(M.read64(0x2800), 0u);
+}
+
+// --- Assembler / Disassembler -----------------------------------------
+
+TEST(Assembler, RejectsErrorsWithLineNumbers) {
+  std::string Err;
+  EXPECT_FALSE(assemble("main:\n  bogus r1\n", "t", Err));
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+  EXPECT_FALSE(assemble("main:\n  movi r99, 1\n", "t", Err));
+  EXPECT_FALSE(assemble("main:\n  jmp nowhere\n", "t", Err));
+  EXPECT_NE(Err.find("nowhere"), std::string::npos) << Err;
+  EXPECT_FALSE(assemble("x: x:\n  nop\n", "t", Err)); // redefinition
+  EXPECT_FALSE(assemble("", "t", Err)); // empty program
+}
+
+TEST(Assembler, LabelsAndData) {
+  Program P = mustAssemble(R"(
+main:
+  movi r1, buf
+  movi r2, vals
+  jmp main
+.data
+buf:  .space 16
+vals: .word64 7, -1
+msg:  .asciiz "hi\n"
+)",
+                           "t");
+  uint64_t Buf = P.symbol("buf");
+  uint64_t Vals = P.symbol("vals");
+  EXPECT_EQ(Buf, AddressLayout::DataBase);
+  EXPECT_EQ(Vals, Buf + 16);
+  EXPECT_EQ(P.Text[0].Imm, static_cast<int64_t>(Buf));
+  // .word64 7, -1 little-endian.
+  EXPECT_EQ(P.DataInit[16], 7);
+  EXPECT_EQ(P.DataInit[24], 0xff);
+  // .asciiz appends NUL.
+  EXPECT_EQ(P.DataInit[32], 'h');
+  EXPECT_EQ(P.DataInit[34], '\n');
+  EXPECT_EQ(P.DataInit[35], 0);
+}
+
+TEST(Assembler, EntryPointDefaultsAndMain) {
+  Program P1 = mustAssemble("start:\n  nop\nmain:\n  nop\n", "t");
+  EXPECT_EQ(P1.EntryPc, P1.symbol("main"));
+  Program P2 = mustAssemble("  nop\n", "t");
+  EXPECT_EQ(P2.EntryPc, AddressLayout::TextBase);
+}
+
+TEST(Disassembler, RoundTripsThroughAssembler) {
+  // Every opcode appears; disassemble then re-assemble and compare.
+  Program P = mustAssemble(R"(
+main:
+  nop
+  mov r1, r2
+  movi r3, -17
+  add r1, r2, r3
+  divu r4, r5, r6
+  sar r7, r8, r9
+  sltu r1, r2, r3
+  addi r1, r2, 100
+  slti r4, r5, -3
+  ld8u r1, [r2+4]
+  ld64 r3, [sp-8]
+  st32 [r4+12], r5
+  incm [r6+0]
+  push r7
+  pop r8
+  jr r9
+  beq r1, r2, main
+  bgeu r3, r4, main
+  call main
+  callr r5
+  ret
+  syscall
+  jmp main
+)",
+                           "t");
+  std::string Text;
+  for (const Instruction &I : P.Text) {
+    Text += "  " + disassemble(I) + "\n";
+  }
+  Program P2 = mustAssemble("main:\n" + Text, "t2");
+  ASSERT_EQ(P.Text.size(), P2.Text.size());
+  for (size_t I = 0; I != P.Text.size(); ++I) {
+    EXPECT_EQ(P.Text[I].Op, P2.Text[I].Op) << "at " << I;
+    EXPECT_EQ(P.Text[I].A, P2.Text[I].A) << "at " << I;
+    EXPECT_EQ(P.Text[I].B, P2.Text[I].B) << "at " << I;
+    EXPECT_EQ(P.Text[I].C, P2.Text[I].C) << "at " << I;
+    EXPECT_EQ(P.Text[I].Imm, P2.Text[I].Imm) << "at " << I;
+  }
+}
+
+// --- Interpreter semantics ---------------------------------------------
+
+/// Runs a fragment with r1/r2 preset and returns the CPU state when it
+/// reaches the trailing syscall. \p Data is appended as a .data section.
+static CpuState runFragment(const std::string &Body, uint64_t R1 = 0,
+                            uint64_t R2 = 0, const std::string &Data = "") {
+  std::string Src = "main:\n" + Body + "\n  movi r0, 0\n  syscall\n";
+  if (!Data.empty())
+    Src += ".data\n" + Data;
+  Program P = mustAssemble(Src, "frag");
+  GuestMemory M;
+  P.loadDataInto(M);
+  CpuState S;
+  S.Pc = P.EntryPc;
+  S.setSp(AddressLayout::StackTop - 256);
+  S.Regs[1] = R1;
+  S.Regs[2] = R2;
+  Interpreter I(P, S, M);
+  RunResult R = I.run(100000);
+  EXPECT_EQ(R.Reason, StopReason::Syscall);
+  return S;
+}
+
+TEST(Interpreter, AluBasics) {
+  EXPECT_EQ(runFragment("  add r3, r1, r2", 5, 7).Regs[3], 12u);
+  EXPECT_EQ(runFragment("  sub r3, r1, r2", 5, 7).Regs[3],
+            static_cast<uint64_t>(-2));
+  EXPECT_EQ(runFragment("  mul r3, r1, r2", 5, 7).Regs[3], 35u);
+  EXPECT_EQ(runFragment("  divu r3, r1, r2", 40, 8).Regs[3], 5u);
+  EXPECT_EQ(runFragment("  remu r3, r1, r2", 43, 8).Regs[3], 3u);
+  EXPECT_EQ(runFragment("  and r3, r1, r2", 0xf0f, 0xff).Regs[3], 0xfu);
+  EXPECT_EQ(runFragment("  or r3, r1, r2", 0xf00, 0xff).Regs[3], 0xfffu);
+  EXPECT_EQ(runFragment("  xor r3, r1, r2", 0xff, 0x0f).Regs[3], 0xf0u);
+  EXPECT_EQ(runFragment("  shl r3, r1, r2", 3, 4).Regs[3], 48u);
+  EXPECT_EQ(runFragment("  shr r3, r1, r2", 48, 4).Regs[3], 3u);
+}
+
+TEST(Interpreter, DivisionByZeroFollowsRiscV) {
+  EXPECT_EQ(runFragment("  divu r3, r1, r2", 40, 0).Regs[3], ~uint64_t(0));
+  EXPECT_EQ(runFragment("  remu r3, r1, r2", 40, 0).Regs[3], 40u);
+}
+
+TEST(Interpreter, SarIsArithmetic) {
+  CpuState S = runFragment("  sar r3, r1, r2", static_cast<uint64_t>(-16), 2);
+  EXPECT_EQ(static_cast<int64_t>(S.Regs[3]), -4);
+}
+
+TEST(Interpreter, SltSigned) {
+  EXPECT_EQ(runFragment("  slt r3, r1, r2", static_cast<uint64_t>(-1), 1)
+                .Regs[3],
+            1u);
+  EXPECT_EQ(runFragment("  sltu r3, r1, r2", static_cast<uint64_t>(-1), 1)
+                .Regs[3],
+            0u);
+  EXPECT_EQ(runFragment("  slti r3, r1, -5", static_cast<uint64_t>(-10), 0)
+                .Regs[3],
+            1u);
+}
+
+TEST(Interpreter, ShiftAmountsMaskTo63) {
+  EXPECT_EQ(runFragment("  shl r3, r1, r2", 1, 64).Regs[3], 1u);
+  EXPECT_EQ(runFragment("  shli r3, r1, 65", 2, 0).Regs[3], 4u);
+}
+
+TEST(Interpreter, LoadStoreWidths) {
+  CpuState S = runFragment(R"(
+  movi r4, buf
+  movi r5, -1
+  st64 [r4+0], r5
+  ld8u r6, [r4+0]
+  ld16u r7, [r4+0]
+  ld32u r8, [r4+0]
+)",
+                           0, 0, "buf: .space 8\n");
+  EXPECT_EQ(S.Regs[6], 0xffu);
+  EXPECT_EQ(S.Regs[7], 0xffffu);
+  EXPECT_EQ(S.Regs[8], 0xffffffffu);
+}
+
+TEST(Interpreter, PushPopCallRet) {
+  CpuState S = runFragment(R"(
+  movi r3, 5
+  push r3
+  movi r3, 0
+  pop r4
+  call fn
+  jmp after
+fn:
+  movi r5, 77
+  ret
+after:
+  nop
+)");
+  EXPECT_EQ(S.Regs[4], 5u);
+  EXPECT_EQ(S.Regs[5], 77u);
+  EXPECT_EQ(S.sp(), AddressLayout::StackTop - 256);
+}
+
+TEST(Interpreter, IncmIncrementsMemory) {
+  CpuState S = runFragment(R"(
+  movi r4, ctr
+  incm [r4+0]
+  incm [r4+0]
+  incm [r4+0]
+  ld64 r5, [r4+0]
+)",
+                           0, 0, "ctr: .word64 39\n");
+  EXPECT_EQ(S.Regs[5], 42u);
+}
+
+TEST(Interpreter, CountdownRunsExactInstructionCount) {
+  Program P = makeCountdown(10);
+  os::DirectRunResult R = os::runDirect(P);
+  EXPECT_TRUE(R.Exited);
+  EXPECT_EQ(R.ExitCode, 0);
+  // 3 setup + 10 iterations x 4 + 2 exit-setup + 1 exit syscall.
+  EXPECT_EQ(R.Insts, 3 + 4 * 10 + 2 + 1u);
+}
+
+TEST(Interpreter, BudgetStopsAndResumes) {
+  Program P = makeCountdown(100);
+  GuestMemory M;
+  P.loadDataInto(M);
+  CpuState S;
+  S.Pc = P.EntryPc;
+  S.setSp(AddressLayout::StackTop - 256);
+  Interpreter I(P, S, M);
+  uint64_t Total = 0;
+  while (true) {
+    RunResult R = I.run(7);
+    Total += R.InstsExecuted;
+    if (R.Reason == StopReason::Syscall)
+      break;
+    ASSERT_EQ(R.Reason, StopReason::Budget);
+  }
+  EXPECT_EQ(Total, I.instructionsRetired());
+  EXPECT_EQ(Total, 3 + 4 * 100 + 2u); // stopped at the syscall
+}
+
+TEST(Exec, WouldBranchMatchesExecution) {
+  // Property: wouldBranch agrees with executeInstruction's BranchTaken for
+  // random register contents across all branch opcodes.
+  SplitMix64 Rng(7);
+  GuestMemory M;
+  for (Opcode Op : {Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge,
+                    Opcode::Bltu, Opcode::Bgeu}) {
+    for (int Trial = 0; Trial != 200; ++Trial) {
+      Instruction I;
+      I.Op = Op;
+      I.A = 1;
+      I.B = 2;
+      I.Imm = static_cast<int64_t>(AddressLayout::TextBase);
+      CpuState S;
+      // Mix small and extreme values to hit signed/unsigned edges.
+      S.Regs[1] = Trial % 3 ? Rng.next() : Rng.nextBelow(4);
+      S.Regs[2] = Trial % 5 ? Rng.next() : S.Regs[1];
+      bool Predicted = wouldBranch(I, S);
+      ExecInfo Info;
+      executeInstruction(I, AddressLayout::TextBase + 400, S, M, Info);
+      EXPECT_EQ(Predicted, Info.BranchTaken);
+    }
+  }
+}
+
+// --- ProgramBuilder ----------------------------------------------------
+
+TEST(ProgramBuilder, EmitsRunnableProgram) {
+  ProgramBuilder B("built");
+  uint64_t Data = B.allocData(64);
+  B.initData64(Data, 5);
+  B.defineSymbol("main");
+  B.movi(Reg{1}, static_cast<int64_t>(Data));
+  B.ld64(Reg{2}, Reg{1}, 0);
+  ProgramBuilder::LabelId Loop = B.createLabel();
+  B.bind(Loop);
+  B.addi(Reg{2}, Reg{2}, -1);
+  B.movi(Reg{3}, 0);
+  B.bne(Reg{2}, Reg{3}, Loop);
+  B.movi(Reg{0}, 0);
+  B.movi(Reg{1}, 0);
+  B.syscall();
+  Program P = B.take();
+  os::DirectRunResult R = os::runDirect(P);
+  EXPECT_TRUE(R.Exited);
+  // 2 setup + 5 iterations * 3 + 2 + syscall.
+  EXPECT_EQ(R.Insts, 2 + 5 * 3 + 2 + 1u);
+}
+
+} // namespace
+
+// --- Verifier (appended suite) ------------------------------------------
+
+#include "vm/Verifier.h"
+#include "workloads/Spec2000.h"
+
+namespace {
+
+TEST(Verifier, AcceptsWellFormedPrograms) {
+  EXPECT_TRUE(verifyProgram(makeCountdown(5)).empty());
+  EXPECT_TRUE(verifyProgram(makeMemCounterLoop(10)).empty());
+}
+
+TEST(Verifier, AcceptsEveryGeneratedWorkload) {
+  for (const auto &Info : workloads::spec2000Suite()) {
+    std::vector<VerifyIssue> Issues =
+        verifyProgram(workloads::buildWorkload(Info, 0.01));
+    EXPECT_TRUE(Issues.empty())
+        << Info.Name << ": " << (Issues.empty() ? "" : Issues[0].Message);
+  }
+}
+
+TEST(Verifier, RejectsBadBranchTarget) {
+  Program P = makeCountdown(5);
+  P.Text[6].Imm = 12345; // the loop bne: misaligned, pre-text target
+  ASSERT_EQ(P.Text[6].Op, Opcode::Bne);
+  std::vector<VerifyIssue> Issues = verifyProgram(P);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_NE(Issues[0].Message.find("target"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBadRegister) {
+  Program P = makeCountdown(5);
+  P.Text[0].A = 99;
+  EXPECT_FALSE(verifyProgram(P).empty());
+}
+
+TEST(Verifier, RejectsFallOffEnd) {
+  Program P = mustAssemble("main:\n  addi r1, r1, 1\n", "bad");
+  std::vector<VerifyIssue> Issues = verifyProgram(P);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_NE(Issues[0].Message.find("past the end"), std::string::npos);
+}
+
+TEST(Verifier, RejectsHalt) {
+  Program P = mustAssemble("main:\n  halt\n", "bad");
+  ASSERT_FALSE(verifyProgram(P).empty());
+}
+
+TEST(Exec, BranchTargetOfMatchesExecution) {
+  // Property: for control-flow instructions that are taken, the
+  // pre-computed target equals the post-execution pc.
+  Program P = mustAssemble(R"(
+main:
+  call fn
+  jmp main
+fn:
+  ret
+)",
+                           "t");
+  GuestMemory M;
+  CpuState S;
+  S.Pc = P.EntryPc;
+  S.setSp(AddressLayout::StackTop - 256);
+  for (int Step = 0; Step != 20; ++Step) {
+    const Instruction *I = P.fetch(S.Pc);
+    ASSERT_NE(I, nullptr);
+    uint64_t Predicted = branchTargetOf(*I, S.Pc, S, M);
+    ExecInfo Info;
+    executeInstruction(*I, S.Pc, S, M, Info);
+    if (Info.BranchTaken) {
+      EXPECT_EQ(S.Pc, Predicted);
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===- tests/workloads_test.cpp - Workload generator tests ----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Generator.h"
+#include "workloads/Spec2000.h"
+
+#include "os/DirectRun.h"
+
+#include "gtest/gtest.h"
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::vm;
+using namespace spin::workloads;
+
+namespace {
+
+TEST(Workloads, SuiteHas26UniqueEntries) {
+  const auto &Suite = spec2000Suite();
+  EXPECT_EQ(Suite.size(), 26u);
+  for (size_t I = 0; I != Suite.size(); ++I)
+    for (size_t J = I + 1; J != Suite.size(); ++J)
+      EXPECT_STRNE(Suite[I].Name, Suite[J].Name);
+  // Alphabetical, as in the paper's figures.
+  for (size_t I = 1; I != Suite.size(); ++I)
+    EXPECT_LT(std::string(Suite[I - 1].Name), std::string(Suite[I].Name));
+}
+
+TEST(Workloads, EveryEntryTerminatesNearItsBudget) {
+  for (const WorkloadInfo &Info : spec2000Suite()) {
+    Program Prog = buildWorkload(Info, /*Scale=*/0.01);
+    uint64_t Target = static_cast<uint64_t>(
+        double(Info.DurationMs) * 1000.0 / Info.Cpi * 0.01);
+    if (Target < 50'000)
+      Target = 50'000;
+    DirectRunResult R = runDirect(Prog, Target * 3 + 200'000);
+    EXPECT_TRUE(R.Exited) << Info.Name << " did not terminate";
+    EXPECT_EQ(R.ExitCode, 0) << Info.Name;
+    // The generator solves the outer iteration count analytically; allow
+    // one iteration of slack plus prologue rounding.
+    double Ratio = double(R.Insts) / double(Target);
+    EXPECT_GT(Ratio, 0.8) << Info.Name << " undershoots: " << R.Insts;
+    EXPECT_LT(Ratio, 1.2) << Info.Name << " overshoots: " << R.Insts;
+  }
+}
+
+TEST(Workloads, DeterministicGenerationAndExecution) {
+  const WorkloadInfo &Info = findWorkload("gcc");
+  Program A = buildWorkload(Info, 0.01);
+  Program B = buildWorkload(Info, 0.01);
+  ASSERT_EQ(A.Text.size(), B.Text.size());
+  for (size_t I = 0; I != A.Text.size(); ++I)
+    EXPECT_EQ(A.Text[I].Imm, B.Text[I].Imm) << I;
+  DirectRunResult Ra = runDirect(A);
+  DirectRunResult Rb = runDirect(B);
+  EXPECT_EQ(Ra.Insts, Rb.Insts);
+  EXPECT_EQ(Ra.Output, Rb.Output);
+}
+
+TEST(Workloads, DistinctSeedsGiveDistinctOutputs) {
+  DirectRunResult Gcc = runDirect(buildWorkload(findWorkload("gcc"), 0.01));
+  DirectRunResult Vpr = runDirect(buildWorkload(findWorkload("vpr"), 0.01));
+  EXPECT_NE(Gcc.Output, Vpr.Output);
+}
+
+TEST(Workloads, SyscallMixesProduceExpectedCalls) {
+  // gcc: brk-heavy => many syscalls; swim: pure compute => only the final
+  // write+exit.
+  DirectRunResult Gcc = runDirect(buildWorkload(findWorkload("gcc"), 0.05));
+  DirectRunResult Swim =
+      runDirect(buildWorkload(findWorkload("swim"), 0.05));
+  EXPECT_GT(Gcc.Syscalls, 25u);
+  EXPECT_EQ(Swim.Syscalls, 2u);
+}
+
+TEST(Workloads, ScaleControlsLength) {
+  const WorkloadInfo &Info = findWorkload("crafty");
+  DirectRunResult Small = runDirect(buildWorkload(Info, 0.01));
+  DirectRunResult Large = runDirect(buildWorkload(Info, 0.03));
+  double Ratio = double(Large.Insts) / double(Small.Insts);
+  EXPECT_GT(Ratio, 2.0);
+  EXPECT_LT(Ratio, 4.0);
+}
+
+TEST(Workloads, FootprintTracksParameters) {
+  GenParams Small;
+  Small.NumFuncs = 4;
+  Small.BlocksPerFunc = 4;
+  Small.TargetInsts = 100'000;
+  GenParams Big = Small;
+  Big.NumFuncs = 40;
+  Big.BlocksPerFunc = 16;
+  Program SmallProg = generateWorkload(Small);
+  Program BigProg = generateWorkload(Big);
+  EXPECT_GT(BigProg.Text.size(), SmallProg.Text.size() * 10);
+}
+
+TEST(Workloads, PointerChaseChasesPointers) {
+  GenParams P;
+  P.PointerChase = true;
+  P.TargetInsts = 60'000;
+  P.WorkingSetBytes = 1 << 14;
+  Program Prog = generateWorkload(P);
+  DirectRunResult R = runDirect(Prog);
+  EXPECT_TRUE(R.Exited);
+}
+
+TEST(Workloads, UnknownNameIsFatal) {
+  EXPECT_DEATH(findWorkload("not-a-benchmark"), "unknown workload");
+}
+
+} // namespace
