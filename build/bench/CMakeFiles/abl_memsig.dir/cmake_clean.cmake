@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_memsig.dir/abl_memsig.cpp.o"
+  "CMakeFiles/abl_memsig.dir/abl_memsig.cpp.o.d"
+  "abl_memsig"
+  "abl_memsig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_memsig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_quickcheck.dir/abl_quickcheck.cpp.o"
+  "CMakeFiles/abl_quickcheck.dir/abl_quickcheck.cpp.o.d"
+  "abl_quickcheck"
+  "abl_quickcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_quickcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sharedcc.dir/abl_sharedcc.cpp.o"
+  "CMakeFiles/abl_sharedcc.dir/abl_sharedcc.cpp.o.d"
+  "abl_sharedcc"
+  "abl_sharedcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sharedcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sysrec.dir/abl_sysrec.cpp.o"
+  "CMakeFiles/abl_sysrec.dir/abl_sysrec.cpp.o.d"
+  "abl_sysrec"
+  "abl_sysrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sysrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

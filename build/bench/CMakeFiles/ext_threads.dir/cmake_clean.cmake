@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_threads.dir/ext_threads.cpp.o"
+  "CMakeFiles/ext_threads.dir/ext_threads.cpp.o.d"
+  "ext_threads"
+  "ext_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_timeline.dir/fig1_timeline.cpp.o"
+  "CMakeFiles/fig1_timeline.dir/fig1_timeline.cpp.o.d"
+  "fig1_timeline"
+  "fig1_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_timeslice.dir/fig6_timeslice.cpp.o"
+  "CMakeFiles/fig6_timeslice.dir/fig6_timeslice.cpp.o.d"
+  "fig6_timeslice"
+  "fig6_timeslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_timeslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_parallelism.dir/fig7_parallelism.cpp.o"
+  "CMakeFiles/fig7_parallelism.dir/fig7_parallelism.cpp.o.d"
+  "fig7_parallelism"
+  "fig7_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_signature_stats.dir/tab_signature_stats.cpp.o"
+  "CMakeFiles/tab_signature_stats.dir/tab_signature_stats.cpp.o.d"
+  "tab_signature_stats"
+  "tab_signature_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_signature_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_toolcosts.dir/tab_toolcosts.cpp.o"
+  "CMakeFiles/tab_toolcosts.dir/tab_toolcosts.cpp.o.d"
+  "tab_toolcosts"
+  "tab_toolcosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_toolcosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

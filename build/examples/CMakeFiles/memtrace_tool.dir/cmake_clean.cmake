@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtrace_tool.dir/memtrace_tool.cpp.o"
+  "CMakeFiles/memtrace_tool.dir/memtrace_tool.cpp.o.d"
+  "memtrace_tool"
+  "memtrace_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtrace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_profiler.dir/sampling_profiler.cpp.o"
+  "CMakeFiles/sampling_profiler.dir/sampling_profiler.cpp.o.d"
+  "sampling_profiler"
+  "sampling_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superpin_run.dir/superpin_run.cpp.o"
+  "CMakeFiles/superpin_run.dir/superpin_run.cpp.o.d"
+  "superpin_run"
+  "superpin_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superpin_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/DirectRun.cpp" "src/os/CMakeFiles/sp_os.dir/DirectRun.cpp.o" "gcc" "src/os/CMakeFiles/sp_os.dir/DirectRun.cpp.o.d"
+  "/root/repo/src/os/Kernel.cpp" "src/os/CMakeFiles/sp_os.dir/Kernel.cpp.o" "gcc" "src/os/CMakeFiles/sp_os.dir/Kernel.cpp.o.d"
+  "/root/repo/src/os/Process.cpp" "src/os/CMakeFiles/sp_os.dir/Process.cpp.o" "gcc" "src/os/CMakeFiles/sp_os.dir/Process.cpp.o.d"
+  "/root/repo/src/os/Scheduler.cpp" "src/os/CMakeFiles/sp_os.dir/Scheduler.cpp.o" "gcc" "src/os/CMakeFiles/sp_os.dir/Scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/sp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

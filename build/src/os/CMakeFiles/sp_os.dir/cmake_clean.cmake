@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_os.dir/DirectRun.cpp.o"
+  "CMakeFiles/sp_os.dir/DirectRun.cpp.o.d"
+  "CMakeFiles/sp_os.dir/Kernel.cpp.o"
+  "CMakeFiles/sp_os.dir/Kernel.cpp.o.d"
+  "CMakeFiles/sp_os.dir/Process.cpp.o"
+  "CMakeFiles/sp_os.dir/Process.cpp.o.d"
+  "CMakeFiles/sp_os.dir/Scheduler.cpp.o"
+  "CMakeFiles/sp_os.dir/Scheduler.cpp.o.d"
+  "libsp_os.a"
+  "libsp_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pin/Compiler.cpp" "src/pin/CMakeFiles/sp_pin.dir/Compiler.cpp.o" "gcc" "src/pin/CMakeFiles/sp_pin.dir/Compiler.cpp.o.d"
+  "/root/repo/src/pin/PinVm.cpp" "src/pin/CMakeFiles/sp_pin.dir/PinVm.cpp.o" "gcc" "src/pin/CMakeFiles/sp_pin.dir/PinVm.cpp.o.d"
+  "/root/repo/src/pin/Runner.cpp" "src/pin/CMakeFiles/sp_pin.dir/Runner.cpp.o" "gcc" "src/pin/CMakeFiles/sp_pin.dir/Runner.cpp.o.d"
+  "/root/repo/src/pin/Tool.cpp" "src/pin/CMakeFiles/sp_pin.dir/Tool.cpp.o" "gcc" "src/pin/CMakeFiles/sp_pin.dir/Tool.cpp.o.d"
+  "/root/repo/src/pin/Trace.cpp" "src/pin/CMakeFiles/sp_pin.dir/Trace.cpp.o" "gcc" "src/pin/CMakeFiles/sp_pin.dir/Trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/sp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

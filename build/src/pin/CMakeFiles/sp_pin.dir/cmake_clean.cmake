@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_pin.dir/Compiler.cpp.o"
+  "CMakeFiles/sp_pin.dir/Compiler.cpp.o.d"
+  "CMakeFiles/sp_pin.dir/PinVm.cpp.o"
+  "CMakeFiles/sp_pin.dir/PinVm.cpp.o.d"
+  "CMakeFiles/sp_pin.dir/Runner.cpp.o"
+  "CMakeFiles/sp_pin.dir/Runner.cpp.o.d"
+  "CMakeFiles/sp_pin.dir/Tool.cpp.o"
+  "CMakeFiles/sp_pin.dir/Tool.cpp.o.d"
+  "CMakeFiles/sp_pin.dir/Trace.cpp.o"
+  "CMakeFiles/sp_pin.dir/Trace.cpp.o.d"
+  "libsp_pin.a"
+  "libsp_pin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_pin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/superpin/Engine.cpp" "src/superpin/CMakeFiles/sp_superpin.dir/Engine.cpp.o" "gcc" "src/superpin/CMakeFiles/sp_superpin.dir/Engine.cpp.o.d"
+  "/root/repo/src/superpin/Reporting.cpp" "src/superpin/CMakeFiles/sp_superpin.dir/Reporting.cpp.o" "gcc" "src/superpin/CMakeFiles/sp_superpin.dir/Reporting.cpp.o.d"
+  "/root/repo/src/superpin/SharedAreas.cpp" "src/superpin/CMakeFiles/sp_superpin.dir/SharedAreas.cpp.o" "gcc" "src/superpin/CMakeFiles/sp_superpin.dir/SharedAreas.cpp.o.d"
+  "/root/repo/src/superpin/Signature.cpp" "src/superpin/CMakeFiles/sp_superpin.dir/Signature.cpp.o" "gcc" "src/superpin/CMakeFiles/sp_superpin.dir/Signature.cpp.o.d"
+  "/root/repo/src/superpin/SpApi.cpp" "src/superpin/CMakeFiles/sp_superpin.dir/SpApi.cpp.o" "gcc" "src/superpin/CMakeFiles/sp_superpin.dir/SpApi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pin/CMakeFiles/sp_pin.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/sp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_superpin.dir/Engine.cpp.o"
+  "CMakeFiles/sp_superpin.dir/Engine.cpp.o.d"
+  "CMakeFiles/sp_superpin.dir/Reporting.cpp.o"
+  "CMakeFiles/sp_superpin.dir/Reporting.cpp.o.d"
+  "CMakeFiles/sp_superpin.dir/SharedAreas.cpp.o"
+  "CMakeFiles/sp_superpin.dir/SharedAreas.cpp.o.d"
+  "CMakeFiles/sp_superpin.dir/Signature.cpp.o"
+  "CMakeFiles/sp_superpin.dir/Signature.cpp.o.d"
+  "CMakeFiles/sp_superpin.dir/SpApi.cpp.o"
+  "CMakeFiles/sp_superpin.dir/SpApi.cpp.o.d"
+  "libsp_superpin.a"
+  "libsp_superpin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_superpin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

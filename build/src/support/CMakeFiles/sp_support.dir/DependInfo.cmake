@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/CommandLine.cpp" "src/support/CMakeFiles/sp_support.dir/CommandLine.cpp.o" "gcc" "src/support/CMakeFiles/sp_support.dir/CommandLine.cpp.o.d"
+  "/root/repo/src/support/ErrorHandling.cpp" "src/support/CMakeFiles/sp_support.dir/ErrorHandling.cpp.o" "gcc" "src/support/CMakeFiles/sp_support.dir/ErrorHandling.cpp.o.d"
+  "/root/repo/src/support/Json.cpp" "src/support/CMakeFiles/sp_support.dir/Json.cpp.o" "gcc" "src/support/CMakeFiles/sp_support.dir/Json.cpp.o.d"
+  "/root/repo/src/support/RawOstream.cpp" "src/support/CMakeFiles/sp_support.dir/RawOstream.cpp.o" "gcc" "src/support/CMakeFiles/sp_support.dir/RawOstream.cpp.o.d"
+  "/root/repo/src/support/Statistic.cpp" "src/support/CMakeFiles/sp_support.dir/Statistic.cpp.o" "gcc" "src/support/CMakeFiles/sp_support.dir/Statistic.cpp.o.d"
+  "/root/repo/src/support/StringExtras.cpp" "src/support/CMakeFiles/sp_support.dir/StringExtras.cpp.o" "gcc" "src/support/CMakeFiles/sp_support.dir/StringExtras.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/support/CMakeFiles/sp_support.dir/Table.cpp.o" "gcc" "src/support/CMakeFiles/sp_support.dir/Table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

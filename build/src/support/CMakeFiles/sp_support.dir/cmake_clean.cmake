@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/sp_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/sp_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/sp_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/sp_support.dir/Json.cpp.o"
+  "CMakeFiles/sp_support.dir/Json.cpp.o.d"
+  "CMakeFiles/sp_support.dir/RawOstream.cpp.o"
+  "CMakeFiles/sp_support.dir/RawOstream.cpp.o.d"
+  "CMakeFiles/sp_support.dir/Statistic.cpp.o"
+  "CMakeFiles/sp_support.dir/Statistic.cpp.o.d"
+  "CMakeFiles/sp_support.dir/StringExtras.cpp.o"
+  "CMakeFiles/sp_support.dir/StringExtras.cpp.o.d"
+  "CMakeFiles/sp_support.dir/Table.cpp.o"
+  "CMakeFiles/sp_support.dir/Table.cpp.o.d"
+  "libsp_support.a"
+  "libsp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

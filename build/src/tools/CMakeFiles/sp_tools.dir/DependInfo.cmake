@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/BranchProfile.cpp" "src/tools/CMakeFiles/sp_tools.dir/BranchProfile.cpp.o" "gcc" "src/tools/CMakeFiles/sp_tools.dir/BranchProfile.cpp.o.d"
+  "/root/repo/src/tools/CacheSim.cpp" "src/tools/CMakeFiles/sp_tools.dir/CacheSim.cpp.o" "gcc" "src/tools/CMakeFiles/sp_tools.dir/CacheSim.cpp.o.d"
+  "/root/repo/src/tools/CallGraph.cpp" "src/tools/CMakeFiles/sp_tools.dir/CallGraph.cpp.o" "gcc" "src/tools/CMakeFiles/sp_tools.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/tools/Composite.cpp" "src/tools/CMakeFiles/sp_tools.dir/Composite.cpp.o" "gcc" "src/tools/CMakeFiles/sp_tools.dir/Composite.cpp.o.d"
+  "/root/repo/src/tools/DCache.cpp" "src/tools/CMakeFiles/sp_tools.dir/DCache.cpp.o" "gcc" "src/tools/CMakeFiles/sp_tools.dir/DCache.cpp.o.d"
+  "/root/repo/src/tools/ICache.cpp" "src/tools/CMakeFiles/sp_tools.dir/ICache.cpp.o" "gcc" "src/tools/CMakeFiles/sp_tools.dir/ICache.cpp.o.d"
+  "/root/repo/src/tools/Icount.cpp" "src/tools/CMakeFiles/sp_tools.dir/Icount.cpp.o" "gcc" "src/tools/CMakeFiles/sp_tools.dir/Icount.cpp.o.d"
+  "/root/repo/src/tools/LoadValueProfile.cpp" "src/tools/CMakeFiles/sp_tools.dir/LoadValueProfile.cpp.o" "gcc" "src/tools/CMakeFiles/sp_tools.dir/LoadValueProfile.cpp.o.d"
+  "/root/repo/src/tools/MemTrace.cpp" "src/tools/CMakeFiles/sp_tools.dir/MemTrace.cpp.o" "gcc" "src/tools/CMakeFiles/sp_tools.dir/MemTrace.cpp.o.d"
+  "/root/repo/src/tools/OpcodeMix.cpp" "src/tools/CMakeFiles/sp_tools.dir/OpcodeMix.cpp.o" "gcc" "src/tools/CMakeFiles/sp_tools.dir/OpcodeMix.cpp.o.d"
+  "/root/repo/src/tools/Sampler.cpp" "src/tools/CMakeFiles/sp_tools.dir/Sampler.cpp.o" "gcc" "src/tools/CMakeFiles/sp_tools.dir/Sampler.cpp.o.d"
+  "/root/repo/src/tools/Syscount.cpp" "src/tools/CMakeFiles/sp_tools.dir/Syscount.cpp.o" "gcc" "src/tools/CMakeFiles/sp_tools.dir/Syscount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pin/CMakeFiles/sp_pin.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/sp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sp_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

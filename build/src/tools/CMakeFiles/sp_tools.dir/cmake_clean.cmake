@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_tools.dir/BranchProfile.cpp.o"
+  "CMakeFiles/sp_tools.dir/BranchProfile.cpp.o.d"
+  "CMakeFiles/sp_tools.dir/CacheSim.cpp.o"
+  "CMakeFiles/sp_tools.dir/CacheSim.cpp.o.d"
+  "CMakeFiles/sp_tools.dir/CallGraph.cpp.o"
+  "CMakeFiles/sp_tools.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/sp_tools.dir/Composite.cpp.o"
+  "CMakeFiles/sp_tools.dir/Composite.cpp.o.d"
+  "CMakeFiles/sp_tools.dir/DCache.cpp.o"
+  "CMakeFiles/sp_tools.dir/DCache.cpp.o.d"
+  "CMakeFiles/sp_tools.dir/ICache.cpp.o"
+  "CMakeFiles/sp_tools.dir/ICache.cpp.o.d"
+  "CMakeFiles/sp_tools.dir/Icount.cpp.o"
+  "CMakeFiles/sp_tools.dir/Icount.cpp.o.d"
+  "CMakeFiles/sp_tools.dir/LoadValueProfile.cpp.o"
+  "CMakeFiles/sp_tools.dir/LoadValueProfile.cpp.o.d"
+  "CMakeFiles/sp_tools.dir/MemTrace.cpp.o"
+  "CMakeFiles/sp_tools.dir/MemTrace.cpp.o.d"
+  "CMakeFiles/sp_tools.dir/OpcodeMix.cpp.o"
+  "CMakeFiles/sp_tools.dir/OpcodeMix.cpp.o.d"
+  "CMakeFiles/sp_tools.dir/Sampler.cpp.o"
+  "CMakeFiles/sp_tools.dir/Sampler.cpp.o.d"
+  "CMakeFiles/sp_tools.dir/Syscount.cpp.o"
+  "CMakeFiles/sp_tools.dir/Syscount.cpp.o.d"
+  "libsp_tools.a"
+  "libsp_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

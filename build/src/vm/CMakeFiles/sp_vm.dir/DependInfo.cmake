@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Assembler.cpp" "src/vm/CMakeFiles/sp_vm.dir/Assembler.cpp.o" "gcc" "src/vm/CMakeFiles/sp_vm.dir/Assembler.cpp.o.d"
+  "/root/repo/src/vm/Disassembler.cpp" "src/vm/CMakeFiles/sp_vm.dir/Disassembler.cpp.o" "gcc" "src/vm/CMakeFiles/sp_vm.dir/Disassembler.cpp.o.d"
+  "/root/repo/src/vm/GuestMemory.cpp" "src/vm/CMakeFiles/sp_vm.dir/GuestMemory.cpp.o" "gcc" "src/vm/CMakeFiles/sp_vm.dir/GuestMemory.cpp.o.d"
+  "/root/repo/src/vm/Instruction.cpp" "src/vm/CMakeFiles/sp_vm.dir/Instruction.cpp.o" "gcc" "src/vm/CMakeFiles/sp_vm.dir/Instruction.cpp.o.d"
+  "/root/repo/src/vm/Interpreter.cpp" "src/vm/CMakeFiles/sp_vm.dir/Interpreter.cpp.o" "gcc" "src/vm/CMakeFiles/sp_vm.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/vm/Program.cpp" "src/vm/CMakeFiles/sp_vm.dir/Program.cpp.o" "gcc" "src/vm/CMakeFiles/sp_vm.dir/Program.cpp.o.d"
+  "/root/repo/src/vm/ProgramBuilder.cpp" "src/vm/CMakeFiles/sp_vm.dir/ProgramBuilder.cpp.o" "gcc" "src/vm/CMakeFiles/sp_vm.dir/ProgramBuilder.cpp.o.d"
+  "/root/repo/src/vm/Verifier.cpp" "src/vm/CMakeFiles/sp_vm.dir/Verifier.cpp.o" "gcc" "src/vm/CMakeFiles/sp_vm.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_vm.dir/Assembler.cpp.o"
+  "CMakeFiles/sp_vm.dir/Assembler.cpp.o.d"
+  "CMakeFiles/sp_vm.dir/Disassembler.cpp.o"
+  "CMakeFiles/sp_vm.dir/Disassembler.cpp.o.d"
+  "CMakeFiles/sp_vm.dir/GuestMemory.cpp.o"
+  "CMakeFiles/sp_vm.dir/GuestMemory.cpp.o.d"
+  "CMakeFiles/sp_vm.dir/Instruction.cpp.o"
+  "CMakeFiles/sp_vm.dir/Instruction.cpp.o.d"
+  "CMakeFiles/sp_vm.dir/Interpreter.cpp.o"
+  "CMakeFiles/sp_vm.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/sp_vm.dir/Program.cpp.o"
+  "CMakeFiles/sp_vm.dir/Program.cpp.o.d"
+  "CMakeFiles/sp_vm.dir/ProgramBuilder.cpp.o"
+  "CMakeFiles/sp_vm.dir/ProgramBuilder.cpp.o.d"
+  "CMakeFiles/sp_vm.dir/Verifier.cpp.o"
+  "CMakeFiles/sp_vm.dir/Verifier.cpp.o.d"
+  "libsp_vm.a"
+  "libsp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

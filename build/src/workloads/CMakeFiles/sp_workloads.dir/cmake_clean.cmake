@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_workloads.dir/Generator.cpp.o"
+  "CMakeFiles/sp_workloads.dir/Generator.cpp.o.d"
+  "CMakeFiles/sp_workloads.dir/Spec2000.cpp.o"
+  "CMakeFiles/sp_workloads.dir/Spec2000.cpp.o.d"
+  "libsp_workloads.a"
+  "libsp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

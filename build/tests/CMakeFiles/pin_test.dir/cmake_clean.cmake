@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pin_test.dir/pin_test.cpp.o"
+  "CMakeFiles/pin_test.dir/pin_test.cpp.o.d"
+  "pin_test"
+  "pin_test.pdb"
+  "pin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

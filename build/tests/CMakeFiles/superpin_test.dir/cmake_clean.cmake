@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superpin_test.dir/superpin_test.cpp.o"
+  "CMakeFiles/superpin_test.dir/superpin_test.cpp.o.d"
+  "superpin_test"
+  "superpin_test.pdb"
+  "superpin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superpin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

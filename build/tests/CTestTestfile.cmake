@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/pin_test[1]_include.cmake")
+include("/root/repo/build/tests/superpin_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/threads_test[1]_include.cmake")
