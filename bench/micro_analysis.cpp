@@ -1,0 +1,135 @@
+//===- bench/micro_analysis.cpp - Static-analysis microbenchmarks ---------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks of the src/analysis pipeline (host
+// performance): CFG construction, the individual lint passes, and the
+// syscall-site map, each reported per guest instruction via
+// SetItemsProcessed (items/s ≈ analyzed instructions per second, so
+// 1 kilo-instruction costs 1e3 / rate seconds). A final pair of
+// whole-run benchmarks contrasts a cold serial-Pin run against a
+// statically seeded one, exposing the first-execution compile stalls
+// ("compile_stalls") removed by analysis-guided trace seeding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Passes.h"
+#include "pin/Runner.h"
+#include "tools/Icount.h"
+#include "workloads/Generator.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace spin;
+using namespace spin::analysis;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::vm;
+
+static Program &analysisProgram() {
+  static Program Prog = [] {
+    workloads::GenParams P;
+    P.Name = "micro-analysis";
+    P.TargetInsts = 1u << 20;
+    P.NumFuncs = 24;
+    P.BlocksPerFunc = 10;
+    P.AluPerBlock = 4;
+    P.WorkingSetBytes = 1 << 16;
+    P.SyscallMask = 63;
+    P.Mix = workloads::SysMix::Mixed;
+    P.ChainEvery = 3;
+    return workloads::generateWorkload(P);
+  }();
+  return Prog;
+}
+
+static void BM_CfgBuild(benchmark::State &State) {
+  Program &Prog = analysisProgram();
+  for (auto _ : State) {
+    Cfg G = buildCfg(Prog);
+    benchmark::DoNotOptimize(G.numBlocks());
+    State.SetItemsProcessed(State.items_processed() +
+                            static_cast<int64_t>(Prog.Text.size()));
+  }
+}
+BENCHMARK(BM_CfgBuild);
+
+static void BM_UninitRegPass(benchmark::State &State) {
+  Program &Prog = analysisProgram();
+  Cfg G = buildCfg(Prog);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(findUninitRegReads(G).size());
+    State.SetItemsProcessed(State.items_processed() +
+                            static_cast<int64_t>(Prog.Text.size()));
+  }
+}
+BENCHMARK(BM_UninitRegPass);
+
+static void BM_StackPass(benchmark::State &State) {
+  Program &Prog = analysisProgram();
+  Cfg G = buildCfg(Prog);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(findStackImbalance(G).size());
+    State.SetItemsProcessed(State.items_processed() +
+                            static_cast<int64_t>(Prog.Text.size()));
+  }
+}
+BENCHMARK(BM_StackPass);
+
+static void BM_SyscallMapBuild(benchmark::State &State) {
+  Program &Prog = analysisProgram();
+  Cfg G = buildCfg(Prog);
+  for (auto _ : State) {
+    StaticSyscallMap Map = buildSyscallSiteMap(G);
+    benchmark::DoNotOptimize(Map.numSites());
+    State.SetItemsProcessed(State.items_processed() +
+                            static_cast<int64_t>(Prog.Text.size()));
+  }
+}
+BENCHMARK(BM_SyscallMapBuild);
+
+static void BM_FullLint(benchmark::State &State) {
+  Program &Prog = analysisProgram();
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(lintProgram(Prog).size());
+    State.SetItemsProcessed(State.items_processed() +
+                            static_cast<int64_t>(Prog.Text.size()));
+  }
+}
+BENCHMARK(BM_FullLint);
+
+/// Serial-Pin run with a cold code cache (State.range(0) == 0) or one
+/// statically seeded from the CFG (== 1). "compile_stalls" counts the
+/// lazy first-execution trace compiles the run still hit; "seeded" the
+/// traces precompiled up front.
+static void BM_SerialPinColdVsSeeded(benchmark::State &State) {
+  Program &Prog = analysisProgram();
+  CostModel Model;
+  bool Seed = State.range(0) != 0;
+  Cfg G = buildCfg(Prog);
+  uint64_t Stalls = 0, SeededTraces = 0;
+  for (auto _ : State) {
+    PinVmConfig Config;
+    if (Seed)
+      Config.SeedCfg = &G;
+    RunReport R = runSerialPin(
+        Prog, Model, 100,
+        tools::makeIcountTool(tools::IcountGranularity::BasicBlock), Config);
+    benchmark::DoNotOptimize(R.Insts);
+    Stalls = R.TracesCompiled;
+    SeededTraces = R.TracesSeeded;
+    State.SetItemsProcessed(State.items_processed() +
+                            static_cast<int64_t>(R.Insts));
+  }
+  State.counters["compile_stalls"] = static_cast<double>(Stalls);
+  State.counters["seeded"] = static_cast<double>(SeededTraces);
+}
+BENCHMARK(BM_SerialPinColdVsSeeded)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

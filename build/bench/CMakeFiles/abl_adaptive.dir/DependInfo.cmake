@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/superpin/CMakeFiles/sp_superpin.dir/DependInfo.cmake"
   "/root/repo/build/src/tools/CMakeFiles/sp_tools.dir/DependInfo.cmake"
   "/root/repo/build/src/workloads/CMakeFiles/sp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sp_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/pin/CMakeFiles/sp_pin.dir/DependInfo.cmake"
   "/root/repo/build/src/os/CMakeFiles/sp_os.dir/DependInfo.cmake"
   "/root/repo/build/src/vm/CMakeFiles/sp_vm.dir/DependInfo.cmake"

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_analysis.cpp" "bench/CMakeFiles/micro_analysis.dir/micro_analysis.cpp.o" "gcc" "bench/CMakeFiles/micro_analysis.dir/micro_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/superpin/CMakeFiles/sp_superpin.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/sp_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pin/CMakeFiles/sp_pin.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/sp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_lint.dir/spin_lint.cpp.o"
+  "CMakeFiles/spin_lint.dir/spin_lint.cpp.o.d"
+  "spin_lint"
+  "spin_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -7,6 +7,7 @@
 subdirs("support")
 subdirs("vm")
 subdirs("os")
+subdirs("analysis")
 subdirs("pin")
 subdirs("superpin")
 subdirs("tools")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Cfg.cpp" "src/analysis/CMakeFiles/sp_analysis.dir/Cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/sp_analysis.dir/Cfg.cpp.o.d"
+  "/root/repo/src/analysis/Passes.cpp" "src/analysis/CMakeFiles/sp_analysis.dir/Passes.cpp.o" "gcc" "src/analysis/CMakeFiles/sp_analysis.dir/Passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/sp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_analysis.dir/Cfg.cpp.o"
+  "CMakeFiles/sp_analysis.dir/Cfg.cpp.o.d"
+  "CMakeFiles/sp_analysis.dir/Passes.cpp.o"
+  "CMakeFiles/sp_analysis.dir/Passes.cpp.o.d"
+  "libsp_analysis.a"
+  "libsp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

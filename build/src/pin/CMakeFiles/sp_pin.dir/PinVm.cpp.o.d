@@ -216,5 +216,6 @@ src/pin/CMakeFiles/sp_pin.dir/PinVm.cpp.o: /root/repo/src/pin/PinVm.cpp \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/pin/Compiler.h \
+ /root/repo/src/analysis/Cfg.h /usr/include/c++/12/optional \
  /root/repo/src/pin/Tool.h /usr/include/c++/12/cstddef \
  /root/repo/src/vm/Exec.h /root/repo/src/support/ErrorHandling.h

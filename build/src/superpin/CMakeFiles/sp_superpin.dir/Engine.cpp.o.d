@@ -215,11 +215,13 @@ src/superpin/CMakeFiles/sp_superpin.dir/Engine.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cstddef \
  /root/repo/src/superpin/Signature.h /root/repo/src/os/Scheduler.h \
  /root/repo/src/vm/Program.h /root/repo/src/superpin/SpOptions.h \
- /root/repo/src/os/Kernel.h /root/repo/src/os/Syscalls.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/os/Process.h /root/repo/src/vm/GuestMemory.h \
- /root/repo/src/pin/PinVm.h /root/repo/src/pin/CodeCache.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/analysis/Passes.h /root/repo/src/analysis/Cfg.h \
+ /usr/include/c++/12/optional /root/repo/src/os/SyscallMap.h \
+ /root/repo/src/os/Syscalls.h /root/repo/src/vm/Verifier.h \
+ /root/repo/src/os/Kernel.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/os/Process.h \
+ /root/repo/src/vm/GuestMemory.h /root/repo/src/pin/PinVm.h \
+ /root/repo/src/pin/CodeCache.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/pin/Compiler.h \
  /root/repo/src/pin/Runner.h /root/repo/src/superpin/SharedAreas.h \
  /root/repo/src/support/ErrorHandling.h \
@@ -246,4 +248,4 @@ src/superpin/CMakeFiles/sp_superpin.dir/Engine.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/optional
+ /usr/include/c++/12/tr1/riemann_zeta.tcc

@@ -26,6 +26,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/pin/CMakeFiles/sp_pin.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sp_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/os/CMakeFiles/sp_os.dir/DependInfo.cmake"
   "/root/repo/build/src/vm/CMakeFiles/sp_vm.dir/DependInfo.cmake"
   )

@@ -121,10 +121,11 @@ src/vm/CMakeFiles/sp_vm.dir/Verifier.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/vm/Program.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/vm/Disassembler.h \
  /root/repo/src/vm/Instruction.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/vm/Opcodes.def \
- /usr/include/c++/12/array /usr/include/c++/12/unordered_map \
+ /root/repo/src/vm/Program.h /usr/include/c++/12/array \
+ /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
@@ -132,4 +133,5 @@ src/vm/CMakeFiles/sp_vm.dir/Verifier.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/cinttypes \
+ /usr/include/inttypes.h

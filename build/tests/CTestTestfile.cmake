@@ -14,3 +14,4 @@ include("/root/repo/build/tests/workloads_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/threads_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")

@@ -4,6 +4,7 @@
 
 main:
   movi r10, 0
+  movi r8, 0            ; spin-join counter (see join:)
   movi r0, 4            ; mmap_anon(65536) -> worker stack
   movi r1, 65536
   syscall
@@ -32,6 +33,7 @@ join:
   syscall
 
 worker:
+  movi r10, 0           ; threads start with a fresh register file
   movi r4, cellb
   movi r5, 90000
 wloop:

@@ -49,8 +49,7 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   for (const vm::VerifyIssue &Issue : vm::verifyProgram(*Prog))
-    errs() << "warning: instruction " << Issue.InstIndex << ": "
-           << Issue.Message << "\n";
+    errs() << "warning: " << vm::formatVerifyIssue(*Prog, Issue) << "\n";
 
   uint64_t SliceMs = 50;
   for (int I = 2; I + 1 < Argc; I += 2)

@@ -1,0 +1,140 @@
+//===- examples/spin_lint.cpp - Static lint driver for guest programs -----===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the src/analysis lint passes over guest programs and prints each
+// diagnostic with the offending pc, its disassembly, and a few lines of
+// surrounding context:
+//
+//   spin_lint prog.s [more.s ...]     lint assembly files
+//   spin_lint -workload gzip          lint a generated SPEC2000 workload
+//   spin_lint -context 3 prog.s      context lines around each finding
+//
+// Exit status is 1 when any file produced findings, 0 when all are clean.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Passes.h"
+#include "support/RawOstream.h"
+#include "support/StringExtras.h"
+#include "vm/Assembler.h"
+#include "vm/Disassembler.h"
+#include "vm/Program.h"
+#include "workloads/Spec2000.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace spin;
+
+namespace {
+
+std::string hexPc(uint64_t Pc) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%06" PRIx64, Pc);
+  return Buf;
+}
+
+/// Prints Context instructions around the finding, marking the offender.
+void printContext(const vm::Program &Prog, const analysis::Finding &F,
+                  uint64_t Context) {
+  if (F.Issue.InstIndex == vm::ProgramIssueIndex || Prog.Text.empty())
+    return;
+  uint64_t Idx = F.Issue.InstIndex;
+  if (Idx >= Prog.Text.size())
+    return;
+  uint64_t First = Idx > Context ? Idx - Context : 0;
+  uint64_t Last = Idx + Context < Prog.Text.size() ? Idx + Context
+                                                   : Prog.Text.size() - 1;
+  for (uint64_t I = First; I <= Last; ++I) {
+    outs() << (I == Idx ? "  >>> " : "      ");
+    outs() << hexPc(vm::Program::addressOfIndex(I)) << "  "
+           << vm::disassemble(Prog.Text[I]) << "\n";
+  }
+}
+
+/// Lints one program; returns the number of findings.
+size_t lintOne(const std::string &Label, const vm::Program &Prog,
+               uint64_t Context) {
+  analysis::ProgramAnalysis Static = analysis::analyzeProgram(Prog);
+  std::vector<analysis::Finding> Findings = analysis::lintProgram(Static.G);
+  for (const analysis::Finding &F : Findings) {
+    outs() << Label << ": " << analysis::formatFinding(Prog, F) << "\n";
+    printContext(Prog, F, Context);
+  }
+  if (Findings.empty())
+    outs() << Label << ": clean (" << Prog.Text.size() << " instructions, "
+           << Static.G.numBlocks() << " blocks, "
+           << Static.SyscallSites.numSites() << " syscall sites, "
+           << Static.SyscallSites.numClassified()
+           << " statically classified)\n";
+  return Findings.size();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Context = 2;
+  std::vector<std::string> Files;
+  std::vector<std::string> Workloads;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    if (A == "-context" && I + 1 < Argc) {
+      if (auto V = parseUint(Argv[++I]))
+        Context = *V;
+    } else if (A == "-workload" && I + 1 < Argc) {
+      Workloads.push_back(Argv[++I]);
+    } else if (!A.empty() && A[0] == '-') {
+      errs() << "usage: spin_lint [-context N] [-workload NAME] [file.s ...]\n";
+      return 1;
+    } else {
+      Files.emplace_back(A);
+    }
+  }
+  if (Files.empty() && Workloads.empty()) {
+    errs() << "usage: spin_lint [-context N] [-workload NAME] [file.s ...]\n";
+    return 1;
+  }
+
+  size_t TotalFindings = 0;
+  for (const std::string &File : Files) {
+    std::ifstream In(File);
+    if (!In) {
+      errs() << "error: cannot open '" << File << "'\n";
+      return 1;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    std::string Err;
+    std::optional<vm::Program> Prog = vm::assemble(Buf.str(), File, Err);
+    if (!Prog) {
+      errs() << File << ": " << Err << "\n";
+      return 1;
+    }
+    TotalFindings += lintOne(File, *Prog, Context);
+  }
+  for (const std::string &Name : Workloads) {
+    const workloads::WorkloadInfo *Info = nullptr;
+    for (const workloads::WorkloadInfo &W : workloads::spec2000Suite())
+      if (W.Name == Name)
+        Info = &W;
+    if (!Info) {
+      errs() << "error: unknown workload '" << Name << "' (see";
+      for (const workloads::WorkloadInfo &W : workloads::spec2000Suite())
+        errs() << " " << W.Name;
+      errs() << ")\n";
+      return 1;
+    }
+    vm::Program Prog = workloads::buildWorkload(*Info, 0.05);
+    TotalFindings += lintOne("workload:" + Name, Prog, Context);
+  }
+  outs().flush();
+  return TotalFindings ? 1 : 0;
+}

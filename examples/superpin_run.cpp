@@ -11,8 +11,8 @@
 //
 // Switches mirror the paper's Section 5 (-sp, -spmsec, -spmp, -spsysrecs)
 // plus this reproduction's extensions (-spmemsig, -spsharedcc,
-// -spquickcheck, -spadaptive). With -sp 0 the tool runs under classic
-// serial Pin instead.
+// -spquickcheck, -spadaptive, -spsyspredict, -spseed). With -sp 0 the
+// tool runs under classic serial Pin instead.
 //
 //===----------------------------------------------------------------------===//
 
@@ -78,6 +78,10 @@ int main(int Argc, char **Argv) {
                        "adaptive timeslice throttling");
   Opt<uint64_t> SpAppMs(Registry, "spappms", 0,
                         "expected app duration hint for -spadaptive");
+  Opt<bool> SpSysPredict(Registry, "spsyspredict", true,
+                         "predict syscall classes from static analysis");
+  Opt<bool> SpSeed(Registry, "spseed", false,
+                   "seed code caches from the static CFG");
   Opt<uint64_t> Cpus(Registry, "cpus", 8, "physical cores");
   Opt<uint64_t> Vcpus(Registry, "vcpus", 8, "scheduling contexts");
   Opt<bool> Report(Registry, "report", false, "print the full run report");
@@ -129,6 +133,8 @@ int main(int Argc, char **Argv) {
   Opts.SharedCodeCache = SpSharedCc;
   Opts.AdaptiveSlices = SpAdaptive;
   Opts.AppDurationHintMs = SpAppMs;
+  Opts.StaticSyscallPrediction = SpSysPredict;
+  Opts.StaticTraceSeed = SpSeed;
   Opts.PhysCpus = static_cast<unsigned>(uint64_t(Cpus));
   Opts.VirtCpus = static_cast<unsigned>(uint64_t(Vcpus));
   if (Opts.VirtCpus < Opts.PhysCpus)

@@ -1,0 +1,330 @@
+//===- analysis/Cfg.cpp - Guest-program control-flow graph ----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include "os/Syscalls.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace spin;
+using namespace spin::analysis;
+using namespace spin::vm;
+
+uint16_t spin::analysis::readRegs(const Instruction &I) {
+  uint16_t M = 0;
+  auto Add = [&M](unsigned Reg) {
+    if (Reg < NumRegs)
+      M |= static_cast<uint16_t>(1u << Reg);
+  };
+  switch (I.info().Format) {
+  case OpFormat::None:
+    if (I.isSyscall())
+      Add(0); // number in r0
+    if (I.isRet())
+      Add(RegSp);
+    break;
+  case OpFormat::R1:
+    // jr/callr/push read A; pop only writes it.
+    if (I.Op != Opcode::Pop)
+      Add(I.A);
+    if (I.Op == Opcode::Push || I.Op == Opcode::Pop || I.isCall())
+      Add(RegSp);
+    break;
+  case OpFormat::R1I:
+    break; // movi: immediate only
+  case OpFormat::R2:
+  case OpFormat::R2I:
+    Add(I.B);
+    break;
+  case OpFormat::R3:
+    Add(I.B);
+    Add(I.C);
+    break;
+  case OpFormat::Mem:
+    Add(I.B); // base; loads and incm leave A untouched as a source
+    break;
+  case OpFormat::MemStore:
+    Add(I.A); // base
+    Add(I.B); // stored value
+    break;
+  case OpFormat::JumpI:
+    if (I.isCall())
+      Add(RegSp);
+    break;
+  case OpFormat::Branch:
+    Add(I.A);
+    Add(I.B);
+    break;
+  }
+  return M;
+}
+
+uint16_t spin::analysis::writtenRegs(const Instruction &I) {
+  uint16_t M = 0;
+  auto Add = [&M](unsigned Reg) {
+    if (Reg < NumRegs)
+      M |= static_cast<uint16_t>(1u << Reg);
+  };
+  switch (I.info().Format) {
+  case OpFormat::None:
+    if (I.isSyscall())
+      Add(0); // result in r0
+    if (I.isRet())
+      Add(RegSp);
+    break;
+  case OpFormat::R1:
+    if (I.Op == Opcode::Pop)
+      Add(I.A);
+    if (I.Op == Opcode::Push || I.Op == Opcode::Pop || I.isCall())
+      Add(RegSp);
+    break;
+  case OpFormat::R1I:
+  case OpFormat::R2:
+  case OpFormat::R2I:
+  case OpFormat::R3:
+    Add(I.A);
+    break;
+  case OpFormat::Mem:
+    if (I.Op != Opcode::Incm)
+      Add(I.A); // loads; incm writes memory only
+    break;
+  case OpFormat::MemStore:
+    break;
+  case OpFormat::JumpI:
+    if (I.isCall())
+      Add(RegSp);
+    break;
+  case OpFormat::Branch:
+    break;
+  }
+  return M;
+}
+
+std::optional<uint32_t> Cfg::blockOfPc(uint64_t Pc) const {
+  if (!Prog->fetch(Pc))
+    return std::nullopt;
+  uint32_t B = BlockMap[Program::indexOfAddress(Pc)];
+  if (Blocks[B].FirstIndex != Program::indexOfAddress(Pc))
+    return std::nullopt;
+  return B;
+}
+
+std::vector<uint64_t> Cfg::reachableLeaderPcs() const {
+  std::vector<uint64_t> Pcs;
+  for (const BasicBlock &B : Blocks)
+    if (B.Reachable)
+      Pcs.push_back(Program::addressOfIndex(B.FirstIndex));
+  return Pcs; // Blocks are in index order, so this is ascending.
+}
+
+uint64_t Cfg::numReachableInsts() const {
+  uint64_t N = 0;
+  for (const BasicBlock &B : Blocks)
+    if (B.Reachable)
+      N += B.NumInsts;
+  return N;
+}
+
+std::optional<uint64_t> Cfg::staticRegValue(uint64_t InstIndex,
+                                            unsigned Reg) const {
+  if (InstIndex >= Prog->Text.size() || Reg >= NumRegs)
+    return std::nullopt;
+  uint16_t Bit = static_cast<uint16_t>(1u << Reg);
+  uint32_t B = BlockMap[InstIndex];
+  uint64_t I = InstIndex;
+  unsigned Hops = 0;
+  while (true) {
+    while (I != Blocks[B].FirstIndex) {
+      const Instruction &Inst = Prog->Text[--I];
+      if (writtenRegs(Inst) & Bit) {
+        if (Inst.Op == Opcode::Movi)
+          return static_cast<uint64_t>(Inst.Imm);
+        return std::nullopt;
+      }
+      // A call in the middle of the scan (only possible when crossing into
+      // a predecessor, handled below) would make the value unknowable.
+    }
+    const BasicBlock &Blk = Blocks[B];
+    if (Blk.Preds.size() != 1 || ++Hops > 4)
+      return std::nullopt;
+    uint32_t P = Blk.Preds[0];
+    if (P == B)
+      return std::nullopt;
+    // Entering via a call-return edge means a callee ran in between and
+    // could have clobbered the register.
+    if (Prog->Text[Blocks[P].lastIndex()].isCall())
+      return std::nullopt;
+    B = P;
+    I = Blocks[B].endIndex();
+  }
+}
+
+Cfg spin::analysis::buildCfg(const Program &Prog) {
+  Cfg G;
+  G.Prog = &Prog;
+  const std::vector<Instruction> &Text = Prog.Text;
+  const uint64_t N = Text.size();
+  if (N == 0)
+    return G;
+
+  auto IsText = [&Prog](uint64_t Addr) {
+    return Addr >= AddressLayout::TextBase && Addr < Prog.textEnd() &&
+           (Addr % InstSize) == 0;
+  };
+
+  // 1. Indirect-target over-approximation: text-pointing symbols (the
+  //    assembler records every label), movi immediates, and 8-byte data
+  //    words holding text addresses (jump tables built via initData64).
+  std::set<uint64_t> Candidates;
+  for (const auto &[Name, Addr] : Prog.Symbols)
+    if (IsText(Addr))
+      Candidates.insert(Program::indexOfAddress(Addr));
+  for (const Instruction &I : Text)
+    if (I.Op == Opcode::Movi && IsText(static_cast<uint64_t>(I.Imm)))
+      Candidates.insert(Program::indexOfAddress(static_cast<uint64_t>(I.Imm)));
+  const std::vector<uint8_t> &Data = Prog.DataInit;
+  for (uint64_t Off = 0; Off + 8 <= Data.size(); Off += 8) {
+    uint64_t Word = 0;
+    for (unsigned B = 0; B != 8; ++B)
+      Word |= static_cast<uint64_t>(Data[Off + B]) << (8 * B);
+    if (IsText(Word))
+      Candidates.insert(Program::indexOfAddress(Word));
+  }
+  G.IndirectTargets.assign(Candidates.begin(), Candidates.end());
+
+  // 2. Leaders: entry, direct targets, indirect candidates, and the
+  //    instruction after any block terminator (control flow, syscall,
+  //    halt — syscalls end a block so post-syscall pcs match the trace
+  //    starts the JIT dispatcher sees).
+  std::vector<bool> Leader(N, false);
+  auto MarkLeader = [&](uint64_t Idx) {
+    if (Idx < N)
+      Leader[Idx] = true;
+  };
+  MarkLeader(0);
+  if (IsText(Prog.EntryPc))
+    MarkLeader(Program::indexOfAddress(Prog.EntryPc));
+  for (uint64_t Idx : G.IndirectTargets)
+    MarkLeader(Idx);
+  for (uint64_t I = 0; I != N; ++I) {
+    const Instruction &Inst = Text[I];
+    if (Inst.isControlFlow() || Inst.isSyscall() || Inst.Op == Opcode::Halt)
+      MarkLeader(I + 1);
+    bool DirectTarget = Inst.isControlFlow() && !Inst.isIndirect();
+    if (DirectTarget && IsText(static_cast<uint64_t>(Inst.Imm)))
+      MarkLeader(Program::indexOfAddress(static_cast<uint64_t>(Inst.Imm)));
+  }
+
+  // 3. Blocks and the instruction-to-block map.
+  G.BlockMap.assign(N, 0);
+  for (uint64_t I = 0; I != N;) {
+    uint64_t End = I + 1;
+    while (End != N && !Leader[End])
+      ++End;
+    BasicBlock B;
+    B.FirstIndex = I;
+    B.NumInsts = static_cast<uint32_t>(End - I);
+    uint32_t Id = static_cast<uint32_t>(G.Blocks.size());
+    for (uint64_t J = I; J != End; ++J)
+      G.BlockMap[J] = Id;
+    G.Blocks.push_back(std::move(B));
+    I = End;
+  }
+
+  auto AddEdge = [&G](uint32_t From, uint32_t To) {
+    std::vector<uint32_t> &S = G.Blocks[From].Succs;
+    if (std::find(S.begin(), S.end(), To) != S.end())
+      return;
+    S.push_back(To);
+    G.Blocks[To].Preds.push_back(From);
+  };
+  auto BlockOfTarget = [&](uint64_t Addr) -> std::optional<uint32_t> {
+    if (!IsText(Addr))
+      return std::nullopt;
+    return G.BlockMap[Program::indexOfAddress(Addr)];
+  };
+
+  // 4. Edges. Calls get both a target edge and a fall-through edge (the
+  //    callee is assumed to return); ret is terminal; a syscall falls
+  //    through unless its statically known number is exit/thread_exit.
+  for (uint32_t Id = 0; Id != G.numBlocks(); ++Id) {
+    const uint64_t LI = G.Blocks[Id].lastIndex();
+    const Instruction &L = Text[LI];
+    auto FallThrough = [&] {
+      if (LI + 1 < N)
+        AddEdge(Id, G.BlockMap[LI + 1]);
+    };
+    if (L.isSyscall()) {
+      std::optional<uint64_t> Num = G.staticRegValue(LI, 0);
+      bool NoReturn =
+          Num && (*Num == static_cast<uint64_t>(os::Sys::Exit) ||
+                  *Num == static_cast<uint64_t>(os::Sys::ThreadExit));
+      if (!NoReturn)
+        FallThrough();
+      continue;
+    }
+    if (!L.isControlFlow()) {
+      if (L.Op != Opcode::Halt)
+        FallThrough();
+      continue;
+    }
+    if (L.isRet())
+      continue;
+    if (L.isIndirect()) {
+      for (uint64_t T : G.IndirectTargets)
+        AddEdge(Id, G.BlockMap[T]);
+    } else if (auto T = BlockOfTarget(static_cast<uint64_t>(L.Imm))) {
+      AddEdge(Id, *T);
+    }
+    if (L.isCondBranch() || L.isCall())
+      FallThrough();
+  }
+
+  // 5. Roots: the entry block plus thread entries. A thread_create site
+  //    whose target register resolves statically contributes that target;
+  //    an unresolvable one conservatively promotes every indirect-target
+  //    candidate to a root.
+  std::set<uint32_t> RootSet;
+  if (IsText(Prog.EntryPc))
+    RootSet.insert(G.BlockMap[Program::indexOfAddress(Prog.EntryPc)]);
+  else
+    RootSet.insert(0);
+  for (uint64_t I = 0; I != N; ++I) {
+    if (!Text[I].isSyscall())
+      continue;
+    std::optional<uint64_t> Num = G.staticRegValue(I, 0);
+    if (!Num || *Num != static_cast<uint64_t>(os::Sys::ThreadCreate))
+      continue;
+    std::optional<uint64_t> Target = G.staticRegValue(I, 1);
+    if (Target && IsText(*Target)) {
+      RootSet.insert(G.BlockMap[Program::indexOfAddress(*Target)]);
+    } else {
+      for (uint64_t T : G.IndirectTargets)
+        RootSet.insert(G.BlockMap[T]);
+    }
+  }
+  G.Roots.assign(RootSet.begin(), RootSet.end());
+  for (uint32_t R : G.Roots)
+    G.Blocks[R].IsRoot = true;
+
+  // 6. Reachability from the roots.
+  std::vector<uint32_t> Work(G.Roots);
+  for (uint32_t R : Work)
+    G.Blocks[R].Reachable = true;
+  while (!Work.empty()) {
+    uint32_t B = Work.back();
+    Work.pop_back();
+    for (uint32_t S : G.Blocks[B].Succs)
+      if (!G.Blocks[S].Reachable) {
+        G.Blocks[S].Reachable = true;
+        Work.push_back(S);
+      }
+  }
+  return G;
+}

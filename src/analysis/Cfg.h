@@ -1,0 +1,116 @@
+//===- analysis/Cfg.h - Guest-program control-flow graph --------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static control-flow graph over a guest Program's text segment: basic
+/// blocks at classic leader boundaries, successor/predecessor edges, and an
+/// over-approximation of indirect-jump targets gathered from the assembler's
+/// label table, movi immediates, and code addresses embedded in the
+/// initialized data segment (the workload generators' jump tables).
+///
+/// The CFG is the substrate for the dataflow passes in Passes.h and for two
+/// runtime consumers: the SuperPin master predicts slice boundaries from the
+/// static syscall-site map, and PinVm can batch-seed its code cache from
+/// reachable block leaders instead of compiling trace by trace on first
+/// execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_ANALYSIS_CFG_H
+#define SUPERPIN_ANALYSIS_CFG_H
+
+#include "vm/Program.h"
+
+#include <optional>
+#include <vector>
+
+namespace spin::analysis {
+
+/// Registers read by \p I, as a NumRegs-wide bitmask. Implicit stack-pointer
+/// traffic (push/pop/call/callr/ret) is included; out-of-range register
+/// operands (possible in hand-built Instruction streams) are ignored.
+uint16_t readRegs(const vm::Instruction &I);
+
+/// Registers written by \p I, same conventions as readRegs.
+uint16_t writtenRegs(const vm::Instruction &I);
+
+/// One basic block: a maximal straight-line run of instructions.
+struct BasicBlock {
+  uint64_t FirstIndex = 0; ///< instruction index of the leader
+  uint32_t NumInsts = 0;
+  std::vector<uint32_t> Succs;
+  std::vector<uint32_t> Preds;
+  /// Reachable from a root following CFG edges.
+  bool Reachable = false;
+  /// Program entry or a statically discovered thread entry point.
+  bool IsRoot = false;
+
+  uint64_t lastIndex() const { return FirstIndex + NumInsts - 1; }
+  uint64_t endIndex() const { return FirstIndex + NumInsts; }
+};
+
+class Cfg {
+public:
+  const vm::Program &program() const { return *Prog; }
+
+  uint32_t numBlocks() const { return static_cast<uint32_t>(Blocks.size()); }
+  const BasicBlock &block(uint32_t Id) const { return Blocks[Id]; }
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+
+  /// Block containing instruction index \p InstIndex.
+  uint32_t blockOfIndex(uint64_t InstIndex) const {
+    assert(InstIndex < BlockMap.size() && "instruction index out of range");
+    return BlockMap[InstIndex];
+  }
+
+  /// Block whose leader is guest address \p Pc, if \p Pc is in text.
+  std::optional<uint32_t> blockOfPc(uint64_t Pc) const;
+
+  /// Root block ids: the entry block plus statically discovered thread
+  /// entries (thread_create sites whose target pc resolves statically).
+  const std::vector<uint32_t> &roots() const { return Roots; }
+
+  /// Instruction indices that an indirect jump/call could target, sorted
+  /// ascending: text-pointing symbols, movi immediates that are valid text
+  /// addresses, and 8-byte words of the initialized data segment that are
+  /// valid text addresses (jump tables).
+  const std::vector<uint64_t> &indirectTargets() const {
+    return IndirectTargets;
+  }
+
+  /// Guest addresses of every reachable block leader, ascending. This is
+  /// the trace-seeding work list for PinVm.
+  std::vector<uint64_t> reachableLeaderPcs() const;
+
+  /// Instructions inside reachable blocks.
+  uint64_t numReachableInsts() const;
+
+  /// Statically resolves the value register \p Reg holds when the
+  /// instruction at \p InstIndex executes, by scanning backward for a
+  /// defining movi. The scan follows unique-predecessor edges a few blocks
+  /// up but gives up at any other defining opcode, at a call boundary
+  /// (the callee could clobber \p Reg), or at a merge point.
+  std::optional<uint64_t> staticRegValue(uint64_t InstIndex,
+                                         unsigned Reg) const;
+
+private:
+  friend Cfg buildCfg(const vm::Program &Prog);
+
+  const vm::Program *Prog = nullptr;
+  std::vector<BasicBlock> Blocks;
+  std::vector<uint32_t> BlockMap; ///< instruction index -> block id
+  std::vector<uint32_t> Roots;
+  std::vector<uint64_t> IndirectTargets;
+};
+
+/// Builds the CFG of \p Prog. Safe on malformed programs (invalid direct
+/// targets simply get no edge; vm::verifyProgram reports them).
+Cfg buildCfg(const vm::Program &Prog);
+
+} // namespace spin::analysis
+
+#endif // SUPERPIN_ANALYSIS_CFG_H

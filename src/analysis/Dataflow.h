@@ -1,0 +1,94 @@
+//===- analysis/Dataflow.h - Worklist dataflow framework --------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small forward worklist dataflow solver over the analysis Cfg. A
+/// Problem supplies:
+///
+///   using State = ...;                       // copyable block-entry fact
+///   State boundary(uint32_t RootBlock);      // fact at a CFG root
+///   void transfer(const vm::Instruction &I,  // fact through one inst
+///                 uint64_t InstIndex, State &S);
+///   bool join(State &Dest, const State &Src);// merge; true if Dest changed
+///
+/// The solver propagates from the CFG roots only, so unreachable blocks
+/// keep no state (reached() distinguishes them). Termination requires the
+/// usual monotonicity of transfer/join over a finite-height lattice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_ANALYSIS_DATAFLOW_H
+#define SUPERPIN_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Cfg.h"
+
+#include <deque>
+#include <vector>
+
+namespace spin::analysis {
+
+template <typename Problem> class ForwardSolver {
+public:
+  using State = typename Problem::State;
+
+  ForwardSolver(const Cfg &G, Problem &P) : G(G), P(P) {}
+
+  void solve() {
+    In.assign(G.numBlocks(), State());
+    Seen.assign(G.numBlocks(), false);
+    std::deque<uint32_t> Work;
+    for (uint32_t R : G.roots()) {
+      if (!Seen[R]) {
+        In[R] = P.boundary(R);
+        Seen[R] = true;
+        Work.push_back(R);
+      } else {
+        P.join(In[R], P.boundary(R));
+      }
+    }
+    while (!Work.empty()) {
+      uint32_t B = Work.front();
+      Work.pop_front();
+      State S = flowThrough(B);
+      for (uint32_t Succ : G.block(B).Succs) {
+        if (!Seen[Succ]) {
+          In[Succ] = S;
+          Seen[Succ] = true;
+          Work.push_back(Succ);
+        } else if (P.join(In[Succ], S)) {
+          Work.push_back(Succ);
+        }
+      }
+    }
+  }
+
+  /// Entry state of \p Block (valid after solve(), for reached blocks).
+  const State &blockIn(uint32_t Block) const { return In[Block]; }
+
+  /// True if dataflow reached \p Block from a root.
+  bool reached(uint32_t Block) const { return Seen[Block]; }
+
+  /// Applies the transfer function across \p Block and returns its exit
+  /// state. Also usable after solve() to re-walk a block's instructions.
+  State flowThrough(uint32_t Block) const {
+    State S = In[Block];
+    const BasicBlock &Blk = G.block(Block);
+    for (uint64_t I = Blk.FirstIndex; I != Blk.endIndex(); ++I)
+      P.transfer(G.program().Text[I], I, S);
+    return S;
+  }
+
+private:
+  const Cfg &G;
+  Problem &P;
+  std::vector<State> In;
+  std::vector<bool> Seen;
+};
+
+} // namespace spin::analysis
+
+#endif // SUPERPIN_ANALYSIS_DATAFLOW_H

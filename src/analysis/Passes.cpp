@@ -1,0 +1,287 @@
+//===- analysis/Passes.cpp - Static analysis passes -----------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Passes.h"
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace spin;
+using namespace spin::analysis;
+using namespace spin::vm;
+
+std::vector<Finding> spin::analysis::findUnreachableCode(const Cfg &G) {
+  std::vector<Finding> Fs;
+  uint32_t Id = 0;
+  while (Id != G.numBlocks()) {
+    if (G.block(Id).Reachable) {
+      ++Id;
+      continue;
+    }
+    uint64_t First = G.block(Id).FirstIndex;
+    uint64_t Insts = 0;
+    while (Id != G.numBlocks() && !G.block(Id).Reachable) {
+      Insts += G.block(Id).NumInsts;
+      ++Id;
+    }
+    Fs.push_back({"unreachable",
+                  {First, "unreachable code (" + std::to_string(Insts) +
+                              (Insts == 1 ? " instruction)"
+                                          : " instructions)")}});
+  }
+  return Fs;
+}
+
+namespace {
+
+/// Forward must-analysis: bitmask of registers definitely assigned on
+/// every path from a root. Join is intersection; roots start with only sp
+/// defined (the loader/thread-spawn guarantee).
+struct DefinedRegsProblem {
+  using State = uint16_t;
+  State boundary(uint32_t) const {
+    return static_cast<State>(1u << RegSp);
+  }
+  void transfer(const Instruction &I, uint64_t, State &S) const {
+    S |= writtenRegs(I);
+  }
+  bool join(State &Dest, const State &Src) const {
+    State Old = Dest;
+    Dest = static_cast<State>(Dest & Src);
+    return Dest != Old;
+  }
+};
+
+} // namespace
+
+std::vector<Finding> spin::analysis::findUninitRegReads(const Cfg &G) {
+  std::vector<Finding> Fs;
+  DefinedRegsProblem P;
+  ForwardSolver<DefinedRegsProblem> Solver(G, P);
+  Solver.solve();
+  for (uint32_t Id = 0; Id != G.numBlocks(); ++Id) {
+    if (!Solver.reached(Id))
+      continue;
+    uint16_t Defined = Solver.blockIn(Id);
+    const BasicBlock &B = G.block(Id);
+    for (uint64_t I = B.FirstIndex; I != B.endIndex(); ++I) {
+      const Instruction &Inst = G.program().Text[I];
+      uint16_t Unset = static_cast<uint16_t>(readRegs(Inst) & ~Defined);
+      for (unsigned R = 0; R != NumRegs; ++R)
+        if (Unset & (1u << R))
+          Fs.push_back({"uninit-reg",
+                        {I, "read of " + std::string(getRegName(R)) +
+                                ", which may be uninitialized"}});
+      Defined |= writtenRegs(Inst);
+    }
+  }
+  return Fs;
+}
+
+namespace {
+
+/// Frame depth in bytes relative to a function's entry sp; nullopt once
+/// the analysis loses track (an unmodeled sp write or a merge of
+/// conflicting depths).
+using Depth = std::optional<int64_t>;
+
+/// True when \p I writes sp as an explicit destination operand (as
+/// opposed to the implicit push/pop/call/ret adjustment).
+bool writesSpExplicitly(const Instruction &I) {
+  switch (I.info().Format) {
+  case OpFormat::R2:
+  case OpFormat::R2I:
+  case OpFormat::R3:
+  case OpFormat::R1I:
+    return I.A == RegSp;
+  case OpFormat::Mem:
+    return I.Op != Opcode::Incm && I.A == RegSp;
+  case OpFormat::R1:
+    return I.Op == Opcode::Pop && I.A == RegSp;
+  default:
+    return false;
+  }
+}
+
+/// Walks one function (all blocks reachable from \p Entry without
+/// following call, ret, or jr edges) tracking frame depth; reports pop
+/// underflow and unbalanced returns into \p Fs, deduplicated globally
+/// through \p Reported.
+void analyzeFunctionStack(const Cfg &G, uint32_t Entry,
+                          std::set<uint64_t> &Reported,
+                          std::vector<Finding> &Fs) {
+  const Program &Prog = G.program();
+  // Lattice per block: absent -> known depth -> unknown (nullopt).
+  std::map<uint32_t, Depth> DepthIn;
+  std::vector<uint32_t> Work;
+  DepthIn[Entry] = 0;
+  Work.push_back(Entry);
+  auto Report = [&](uint64_t I, std::string Msg) {
+    if (Reported.insert(I).second)
+      Fs.push_back({"stack", {I, std::move(Msg)}});
+  };
+  while (!Work.empty()) {
+    uint32_t Id = Work.back();
+    Work.pop_back();
+    Depth D = DepthIn[Id];
+    const BasicBlock &B = G.block(Id);
+    for (uint64_t I = B.FirstIndex; I != B.endIndex(); ++I) {
+      const Instruction &Inst = Prog.Text[I];
+      switch (Inst.Op) {
+      case Opcode::Push:
+        if (D)
+          *D += 8;
+        break;
+      case Opcode::Pop:
+        if (Inst.A == RegSp) {
+          D = std::nullopt; // pop sp: unmodeled
+        } else if (D) {
+          if (*D == 0) {
+            Report(I, "pop with an empty stack frame (underflows into the "
+                      "caller's frame)");
+            D = std::nullopt;
+          } else {
+            *D -= 8;
+          }
+        }
+        break;
+      case Opcode::Ret:
+        if (D && *D != 0)
+          Report(I, "return with " + std::to_string(*D) +
+                        " bytes still pushed on the stack frame");
+        break;
+      case Opcode::Addi:
+        if (Inst.A == RegSp) {
+          if (Inst.B == RegSp && D)
+            *D -= Inst.Imm; // sp -= n reserves n bytes
+          else
+            D = std::nullopt;
+        }
+        break;
+      default:
+        if (writesSpExplicitly(Inst))
+          D = std::nullopt;
+        break;
+      }
+    }
+    // Intra-function successors: calls continue only at their return
+    // point; ret ends the walk; jr targets are over-approximated tail
+    // calls, so the walk stops there too.
+    const Instruction &Last = Prog.Text[B.lastIndex()];
+    std::vector<uint32_t> Succs;
+    if (Last.isCall()) {
+      if (B.lastIndex() + 1 < Prog.Text.size())
+        Succs.push_back(G.blockOfIndex(B.lastIndex() + 1));
+    } else if (Last.isRet() || Last.Op == Opcode::Jr) {
+      // terminal within this function
+    } else {
+      Succs = B.Succs;
+    }
+    for (uint32_t S : Succs) {
+      auto It = DepthIn.find(S);
+      if (It == DepthIn.end()) {
+        DepthIn[S] = D;
+        Work.push_back(S);
+      } else if (It->second != D && It->second.has_value()) {
+        It->second = std::nullopt; // conflicting or unknown depth
+        Work.push_back(S);
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::vector<Finding> spin::analysis::findStackImbalance(const Cfg &G) {
+  std::vector<Finding> Fs;
+  if (G.numBlocks() == 0)
+    return Fs;
+  const Program &Prog = G.program();
+  std::set<uint32_t> Entries(G.roots().begin(), G.roots().end());
+  bool HasIndirectCall = false;
+  for (const BasicBlock &B : G.blocks()) {
+    const Instruction &Last = Prog.Text[B.lastIndex()];
+    if (!Last.isCall())
+      continue;
+    if (Last.isIndirect()) {
+      HasIndirectCall = true;
+    } else if (Prog.fetch(static_cast<uint64_t>(Last.Imm))) {
+      Entries.insert(
+          G.blockOfIndex(Program::indexOfAddress(
+              static_cast<uint64_t>(Last.Imm))));
+    }
+  }
+  if (HasIndirectCall)
+    for (uint64_t T : G.indirectTargets())
+      Entries.insert(G.blockOfIndex(T));
+  std::set<uint64_t> Reported;
+  for (uint32_t E : Entries)
+    analyzeFunctionStack(G, E, Reported, Fs);
+  std::sort(Fs.begin(), Fs.end(), [](const Finding &A, const Finding &B) {
+    return A.Issue.InstIndex < B.Issue.InstIndex;
+  });
+  return Fs;
+}
+
+os::StaticSyscallMap spin::analysis::buildSyscallSiteMap(const Cfg &G) {
+  os::StaticSyscallMap Map;
+  const Program &Prog = G.program();
+  for (uint64_t I = 0; I != Prog.Text.size(); ++I) {
+    if (!Prog.Text[I].isSyscall())
+      continue;
+    os::SyscallSite Site;
+    Site.Pc = Program::addressOfIndex(I);
+    if (std::optional<uint64_t> Num = G.staticRegValue(I, 0)) {
+      Site.NumberKnown = true;
+      Site.Number = *Num;
+      Site.Class = os::classifySyscall(*Num);
+    }
+    Map.add(Site);
+  }
+  return Map;
+}
+
+std::vector<Finding> spin::analysis::lintProgram(const Cfg &G,
+                                                 const LintOptions &Opts) {
+  std::vector<Finding> Fs;
+  for (VerifyIssue &Issue : verifyProgram(G.program()))
+    Fs.push_back({"verify", std::move(Issue)});
+  if (G.program().Text.empty())
+    return Fs;
+  auto Append = [&Fs](std::vector<Finding> More) {
+    for (Finding &F : More)
+      Fs.push_back(std::move(F));
+  };
+  if (Opts.CheckUnreachable)
+    Append(findUnreachableCode(G));
+  if (Opts.CheckUninitRegs)
+    Append(findUninitRegReads(G));
+  if (Opts.CheckStackBalance)
+    Append(findStackImbalance(G));
+  return Fs;
+}
+
+std::vector<Finding> spin::analysis::lintProgram(const Program &Prog,
+                                                 const LintOptions &Opts) {
+  return lintProgram(buildCfg(Prog), Opts);
+}
+
+std::string spin::analysis::formatFinding(const Program &Prog,
+                                          const Finding &F) {
+  return "[" + F.Pass + "] " + formatVerifyIssue(Prog, F.Issue);
+}
+
+ProgramAnalysis spin::analysis::analyzeProgram(const Program &Prog) {
+  ProgramAnalysis PA;
+  PA.G = buildCfg(Prog);
+  PA.SyscallSites = buildSyscallSiteMap(PA.G);
+  return PA;
+}

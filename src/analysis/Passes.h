@@ -1,0 +1,90 @@
+//===- analysis/Passes.h - Static analysis passes ---------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete analyses over the Cfg:
+///
+///  * reachability  — blocks no root can reach (dead code);
+///  * uninit-reg    — reads of registers not definitely assigned on every
+///    path from the entry (lint semantics: although the hardware zeroes
+///    registers at process/thread start, relying on that is almost always
+///    a bug in guest code, so only sp counts as defined at a root);
+///  * stack         — per-function push/pop/ret balance checking;
+///  * syscall sites — enumerates static syscall pcs and pre-classifies the
+///    resolvable ones via os::classifySyscall into an os::StaticSyscallMap.
+///
+/// lintProgram() is the one-call driver: vm::verifyProgram runs first as
+/// pass zero (structural well-formedness), then the CFG passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_ANALYSIS_PASSES_H
+#define SUPERPIN_ANALYSIS_PASSES_H
+
+#include "analysis/Cfg.h"
+#include "os/SyscallMap.h"
+#include "vm/Verifier.h"
+
+#include <string>
+#include <vector>
+
+namespace spin::analysis {
+
+/// One diagnostic from a lint pass.
+struct Finding {
+  std::string Pass;      ///< pass slug: "verify", "unreachable", ...
+  vm::VerifyIssue Issue; ///< instruction index (or program-level) + message
+};
+
+struct LintOptions {
+  bool CheckUnreachable = true;
+  bool CheckUninitRegs = true;
+  bool CheckStackBalance = true;
+};
+
+/// Blocks unreachable from every root; consecutive dead blocks merge into
+/// one finding at the first dead instruction.
+std::vector<Finding> findUnreachableCode(const Cfg &G);
+
+/// Register reads not dominated by a write, on reachable paths only.
+std::vector<Finding> findUninitRegReads(const Cfg &G);
+
+/// Pop-below-frame and return-with-nonempty-frame, per function. Function
+/// entries are the CFG roots, direct call targets, and — when the program
+/// contains an indirect call — every indirect-target candidate. Depth
+/// tracking gives up (silently) at writes to sp other than `addi sp, sp,
+/// imm` and does not follow jr edges (indirect tail calls).
+std::vector<Finding> findStackImbalance(const Cfg &G);
+
+/// Enumerates syscall instructions; sites whose number resolves statically
+/// (Cfg::staticRegValue on r0) are pre-classified via os::classifySyscall.
+os::StaticSyscallMap buildSyscallSiteMap(const Cfg &G);
+
+/// Runs pass zero (vm::verifyProgram) plus the selected CFG passes on a
+/// prebuilt graph.
+std::vector<Finding> lintProgram(const Cfg &G,
+                                 const LintOptions &Opts = LintOptions());
+
+/// Convenience overload: builds the CFG internally.
+std::vector<Finding> lintProgram(const vm::Program &Prog,
+                                 const LintOptions &Opts = LintOptions());
+
+/// Renders a finding as "[pass] pc 0x... (disassembly): message".
+std::string formatFinding(const vm::Program &Prog, const Finding &F);
+
+/// The analysis results the engines consume, built once per program.
+struct ProgramAnalysis {
+  Cfg G;
+  os::StaticSyscallMap SyscallSites;
+};
+
+/// Builds the CFG and the static syscall-site map for \p Prog.
+ProgramAnalysis analyzeProgram(const vm::Program &Prog);
+
+} // namespace spin::analysis
+
+#endif // SUPERPIN_ANALYSIS_PASSES_H

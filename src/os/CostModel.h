@@ -47,6 +47,10 @@ struct CostModel {
   Ticks PinDispatchPerInst = 25;
   /// JIT compilation cost per guest instruction compiled into a trace.
   Ticks JitCompilePerInst = 1'500;
+  /// JIT cost per instruction when batch-seeding the code cache from
+  /// static basic-block leaders: no dispatcher round-trip or context sync
+  /// per trace, so it is cheaper than on-demand JitCompilePerInst.
+  Ticks JitSeedPerInst = 750;
   /// Dispatcher cost per trace entry (code-cache lookup + context sync).
   Ticks TraceDispatchCost = 60;
   /// Cost of one analysis call (register save/restore + call), plus the

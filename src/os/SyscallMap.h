@@ -1,0 +1,67 @@
+//===- os/SyscallMap.h - Static syscall-site map ----------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An ahead-of-time map of a program's syscall instructions, built by the
+/// analysis library (Passes.h) and consumed by the SuperPin master: a site
+/// whose syscall number is statically known carries its §4.2 taxonomy class
+/// precomputed, so the control logic can predict slice boundaries at the
+/// trap pc instead of classifying from scratch at every ptrace stop. The
+/// runtime must still compare the trapped number against the static one —
+/// a site reached with a different r0 (computed numbers) falls back to
+/// trap-time classification, which keeps the prediction behavior-neutral.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_OS_SYSCALLMAP_H
+#define SUPERPIN_OS_SYSCALLMAP_H
+
+#include "os/Syscalls.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace spin::os {
+
+/// One statically discovered syscall instruction.
+struct SyscallSite {
+  uint64_t Pc = 0;
+  /// True when the syscall number (r0 at the site) resolved statically.
+  bool NumberKnown = false;
+  uint64_t Number = 0;              ///< valid when NumberKnown
+  SyscallClass Class = SyscallClass::ForceSlice; ///< valid when NumberKnown
+};
+
+/// Static syscall sites keyed by pc.
+class StaticSyscallMap {
+public:
+  void add(const SyscallSite &S) { Sites[S.Pc] = S; }
+
+  /// The site at \p Pc, or nullptr if \p Pc is not a static syscall site.
+  const SyscallSite *site(uint64_t Pc) const {
+    auto It = Sites.find(Pc);
+    return It == Sites.end() ? nullptr : &It->second;
+  }
+
+  uint64_t numSites() const { return Sites.size(); }
+
+  uint64_t numClassified() const {
+    uint64_t N = 0;
+    for (const auto &[Pc, S] : Sites)
+      N += S.NumberKnown;
+    return N;
+  }
+
+  bool empty() const { return Sites.empty(); }
+
+private:
+  std::unordered_map<uint64_t, SyscallSite> Sites;
+};
+
+} // namespace spin::os
+
+#endif // SUPERPIN_OS_SYSCALLMAP_H

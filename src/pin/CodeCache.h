@@ -50,6 +50,10 @@ public:
     return It->second.get();
   }
 
+  /// True if a trace starting at \p Pc is cached. Unlike lookup(), does
+  /// not touch the lookup/miss statistics (used by batch seeding).
+  bool contains(uint64_t Pc) const { return Traces.count(Pc) != 0; }
+
   /// Inserts a freshly compiled trace and returns a stable pointer to it.
   CompiledTrace *insert(std::unique_ptr<CompiledTrace> T) {
     uint64_t Pc = T->StartPc;

@@ -7,6 +7,7 @@
 
 #include "pin/PinVm.h"
 
+#include "analysis/Cfg.h"
 #include "pin/Tool.h"
 #include "vm/Exec.h"
 
@@ -116,7 +117,30 @@ void PinVm::runAnalysisCalls(const TraceStep &Step, TickLedger &Ledger,
   }
 }
 
+void PinVm::seedFromCfg(TickLedger &Ledger) {
+  Seeded = true;
+  for (uint64_t Pc : Config.SeedCfg->reachableLeaderPcs()) {
+    if (Cache.contains(Pc))
+      continue;
+    std::unique_ptr<CompiledTrace> Fresh =
+        compileTrace(Proc.program(), Pc, Model, UserTool, Config.Limits);
+    Ticks Cost = Model.JitSeedPerInst * Fresh->Steps.size();
+    if (Config.SharedJit) {
+      if (Config.SharedJit->Compiled.count(Pc))
+        Cost /= SharedJitRegistry::AdoptDiscount; // adopt, don't recompile
+      else
+        Config.SharedJit->Compiled.insert(Pc);
+    }
+    Ledger.charge(Cost);
+    SeedTicks += Cost;
+    ++NumTracesSeeded;
+    Cache.insert(std::move(Fresh));
+  }
+}
+
 VmStop PinVm::run(TickLedger &Ledger) {
+  if (Config.SeedCfg && !Seeded)
+    seedFromCfg(Ledger);
   while (Ledger.hasBudget()) {
     if (StopRequested) {
       StopRequested = false;

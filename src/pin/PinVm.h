@@ -31,6 +31,10 @@
 
 #include <functional>
 
+namespace spin::analysis {
+class Cfg;
+}
+
 namespace spin::pin {
 
 class Tool;
@@ -56,6 +60,13 @@ struct PinVmConfig {
   /// Slice number reported through ArgKind::SliceNum (0 in serial mode).
   uint32_t SliceNum = 0;
   CompilerLimits Limits;
+  /// Analysis-guided trace seeding: when set, the first run() compiles a
+  /// trace at every reachable static basic-block leader in one batch
+  /// (charged at Model.JitSeedPerInst per instruction, as ledger debt)
+  /// before executing, so the code cache warms up in one pass instead of
+  /// stalling execution trace by trace. Seeding happens inside run() —
+  /// after armDetection() — so seeded traces respect the slice boundary.
+  const analysis::Cfg *SeedCfg = nullptr;
 };
 
 /// Executes one guest process with instrumentation.
@@ -115,6 +126,10 @@ public:
   uint64_t tracesEntered() const { return NumTraceEntries; }
   uint64_t tracesCompiled() const { return NumTracesCompiled; }
   os::Ticks compileTicks() const { return CompileTicks; }
+  /// Traces precompiled from static block leaders (not counted in
+  /// tracesCompiled(), which keeps meaning on-demand compile stalls).
+  uint64_t tracesSeeded() const { return NumTracesSeeded; }
+  os::Ticks seedTicks() const { return SeedTicks; }
   const CodeCache &cache() const { return Cache; }
 
 private:
@@ -137,6 +152,12 @@ private:
   uint64_t NumTraceEntries = 0;
   uint64_t NumTracesCompiled = 0;
   os::Ticks CompileTicks = 0;
+  bool Seeded = false;
+  uint64_t NumTracesSeeded = 0;
+  os::Ticks SeedTicks = 0;
+
+  /// One-shot batch compile of all reachable static block leaders.
+  void seedFromCfg(os::TickLedger &Ledger);
 
   /// Ensures CurTrace/CurStep address Proc.Cpu.Pc; charges dispatch and
   /// compile costs. Returns false if pc is outside text.

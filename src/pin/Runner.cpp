@@ -208,6 +208,8 @@ private:
     Report.AnalysisCalls = Vm.analysisCalls();
     Report.TracesCompiled = Vm.tracesCompiled();
     Report.CompileTicks = Vm.compileTicks();
+    Report.TracesSeeded = Vm.tracesSeeded();
+    Report.SeedTicks = Vm.seedTicks();
     RawStringOstream OS(Report.FiniOutput);
     ToolInstance->onFini(OS);
   }

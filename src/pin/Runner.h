@@ -40,6 +40,10 @@ struct RunReport {
   uint64_t AnalysisCalls = 0;
   uint64_t TracesCompiled = 0;
   os::Ticks CompileTicks = 0;
+  // Static trace seeding (PinVmConfig::SeedCfg): precompiled traces and
+  // their batch-compile cost.
+  uint64_t TracesSeeded = 0;
+  os::Ticks SeedTicks = 0;
 };
 
 /// Runs \p Prog uninstrumented on one CPU of the simulated machine.

@@ -19,6 +19,7 @@
 
 #include "superpin/Engine.h"
 
+#include "analysis/Passes.h"
 #include "os/Kernel.h"
 #include "os/Process.h"
 #include "os/Scheduler.h"
@@ -84,6 +85,13 @@ struct Coordinator {
 
   SharedAreaRegistry Areas;
   SharedJitRegistry SharedJit;
+
+  /// Static syscall-site map (SpOptions::StaticSyscallPrediction); null
+  /// when prediction is disabled.
+  const os::StaticSyscallMap *SysMap = nullptr;
+  /// Static CFG used to seed slice code caches
+  /// (SpOptions::StaticTraceSeed); null when seeding is disabled.
+  const analysis::Cfg *SeedCfg = nullptr;
 
   Scheduler::TaskId MasterId = 0;
   std::vector<SliceTask *> Slices;
@@ -187,6 +195,7 @@ private:
     Cfg.SliceNum = Num;
     if (C.Opts.SharedCodeCache)
       Cfg.SharedJit = &C.SharedJit;
+    Cfg.SeedCfg = C.SeedCfg; // null unless -spseed
     return Cfg;
   }
 
@@ -345,6 +354,8 @@ private:
     C.Report.Signature.mergeFrom(SigSt);
     C.Report.TracesCompiled += Vm.tracesCompiled();
     C.Report.CompileTicks += Vm.compileTicks();
+    C.Report.TracesSeeded += Vm.tracesSeeded();
+    C.Report.SeedTicks += Vm.seedTicks();
     C.Report.Slices.push_back(Info);
     C.sliceMerged();
   }
@@ -520,7 +531,20 @@ private:
 
   void handleSyscall() {
     uint64_t Number = pendingSyscallNumber(Proc);
-    SyscallClass Cls = classifySyscall(Number);
+    // Prefer the static site classification (the pc still points at the
+    // unexecuted syscall instruction). Behavior-neutral by construction:
+    // the class is taken from the map only when the statically resolved
+    // number matches what actually trapped, so it is identical to what
+    // classifySyscall would return.
+    SyscallClass Cls;
+    const SyscallSite *Site = C.SysMap ? C.SysMap->site(Proc.Cpu.Pc) : nullptr;
+    if (Site && Site->NumberKnown && Site->Number == Number) {
+      Cls = Site->Class;
+      ++C.Report.PredictedSyscallSites;
+    } else {
+      Cls = classifySyscall(Number);
+      ++C.Report.TrapClassifiedSyscalls;
+    }
     // The syscall instruction + kernel service are native work; the
     // ptrace stop is control overhead (lands in the fork&others residual).
     Ledger.charge(C.InstCost + C.Model.SyscallCost);
@@ -651,12 +675,22 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
                                   const ToolFactory &Factory,
                                   const SpOptions &Opts,
                                   const CostModel &Model) {
+  // Ahead-of-time analysis (shared by both execution modes). Built once
+  // per run; the engine only reads it.
+  std::optional<analysis::ProgramAnalysis> Static;
+  if (Opts.StaticSyscallPrediction || Opts.StaticTraceSeed)
+    Static.emplace(analysis::analyzeProgram(Prog));
+
   if (!Opts.Enabled) {
     // -sp 0: degrade to traditional serial Pin (paper Section 5) and
     // express the outcome in SpRunReport terms.
     Ticks InstCost = static_cast<Ticks>(
         std::llround(Opts.Cpi * static_cast<double>(Model.TicksPerInst)));
-    pin::RunReport Serial = pin::runSerialPin(Prog, Model, InstCost, Factory);
+    PinVmConfig Config;
+    if (Opts.StaticTraceSeed)
+      Config.SeedCfg = &Static->G;
+    pin::RunReport Serial =
+        pin::runSerialPin(Prog, Model, InstCost, Factory, Config);
     SpRunReport Report;
     Report.WallTicks = Serial.WallTicks;
     Report.MasterExitTicks = Serial.WallTicks;
@@ -669,6 +703,10 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
     Report.FiniOutput = std::move(Serial.FiniOutput);
     Report.TracesCompiled = Serial.TracesCompiled;
     Report.CompileTicks = Serial.CompileTicks;
+    Report.TracesSeeded = Serial.TracesSeeded;
+    Report.SeedTicks = Serial.SeedTicks;
+    if (Static)
+      Report.StaticSyscallSites = Static->SyscallSites.numSites();
     Report.PeakParallelism = 1;
     return Report;
   }
@@ -676,6 +714,13 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   SpRunReport Report;
   Scheduler Sched(Model, Opts.PhysCpus, Opts.VirtCpus);
   Coordinator C(Sched, Model, Opts, Prog, Factory, Report);
+  if (Static) {
+    Report.StaticSyscallSites = Static->SyscallSites.numSites();
+    if (Opts.StaticSyscallPrediction)
+      C.SysMap = &Static->SyscallSites;
+    if (Opts.StaticTraceSeed)
+      C.SeedCfg = &Static->G;
+  }
   C.MasterId = Sched.addTask(std::make_unique<MasterTask>(C));
   Sched.runToCompletion();
 

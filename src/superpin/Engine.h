@@ -93,6 +93,13 @@ struct SpRunReport {
   uint64_t DuplicatedSyscalls = 0;
   uint64_t ForcedSliceSyscalls = 0;
 
+  // --- Static analysis (SpOptions::StaticSyscallPrediction / -TraceSeed)
+  uint64_t StaticSyscallSites = 0;    ///< sites in the static map (0 = off)
+  uint64_t PredictedSyscallSites = 0; ///< master classifications from the map
+  uint64_t TrapClassifiedSyscalls = 0; ///< fell back to trap-time classify
+  uint64_t TracesSeeded = 0;          ///< slice traces precompiled from leaders
+  os::Ticks SeedTicks = 0;            ///< batch-seeding JIT cost
+
   // --- Signature mechanism (§4.4) ---------------------------------------
   SignatureStats Signature;
 

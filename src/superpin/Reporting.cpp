@@ -39,6 +39,12 @@ void spin::sp::printReport(const SpRunReport &Report, const CostModel &Model,
      << Report.PlaybackSyscalls << " played back, "
      << Report.DuplicatedSyscalls << " duplicated, "
      << Report.ForcedSliceSyscalls << " forced slices\n";
+  if (Report.StaticSyscallSites)
+    OS << "analysis: " << Report.StaticSyscallSites
+       << " syscall sites mapped, " << Report.PredictedSyscallSites
+       << " predicted / " << Report.TrapClassifiedSyscalls
+       << " trap-classified boundaries, " << Report.TracesSeeded
+       << " traces seeded (" << Sec(Report.SeedTicks) << "s)\n";
   OS << "signature: " << Report.Signature.QuickChecks << " quick / "
      << Report.Signature.FullChecks << " full / "
      << Report.Signature.StackChecks << " stack / "
@@ -72,6 +78,11 @@ void spin::sp::exportStatistics(const SpRunReport &Report,
   Stats.counter("superpin.sig.matches") = Report.Signature.Matches;
   Stats.counter("superpin.jit.traces") = Report.TracesCompiled;
   Stats.counter("superpin.jit.ticks") = Report.CompileTicks;
+  Stats.counter("superpin.jit.seeded") = Report.TracesSeeded;
+  Stats.counter("superpin.jit.seedticks") = Report.SeedTicks;
+  Stats.counter("superpin.static.sites") = Report.StaticSyscallSites;
+  Stats.counter("superpin.sys.predicted") = Report.PredictedSyscallSites;
+  Stats.counter("superpin.sys.trapclassified") = Report.TrapClassifiedSyscalls;
   Stats.counter("superpin.cow.master") = Report.MasterCowCopies;
   Stats.counter("superpin.cow.slices") = Report.SliceCowCopies;
 }

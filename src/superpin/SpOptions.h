@@ -68,6 +68,18 @@ struct SpOptions {
   uint64_t AppDurationHintMs = 0;
   /// Minimum adaptive timeslice in ms.
   uint64_t MinSliceMs = 50;
+
+  // --- Static analysis integration (this reproduction's extension) ------
+  /// Consult the ahead-of-time syscall-site map (analysis/Passes.h) so
+  /// the control logic predicts slice-boundary classes at statically
+  /// classified sites instead of discovering every class at trap time.
+  /// Behavior-neutral: a site trapped with a different syscall number
+  /// than the static one falls back to trap-time classification.
+  bool StaticSyscallPrediction = true;
+  /// Batch-seed each slice's code cache from static basic-block leaders
+  /// before it starts executing (PinVmConfig::SeedCfg), trading one
+  /// up-front JIT burst for the per-trace first-execution compile stalls.
+  bool StaticTraceSeed = false;
 };
 
 } // namespace spin::sp

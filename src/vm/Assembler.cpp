@@ -24,6 +24,15 @@ struct PendingInst {
   unsigned Line = 0;
 };
 
+/// A label reference inside a .wordN directive (jump tables, function
+/// pointers in data), patched once all labels are known.
+struct DataFixup {
+  size_t Offset = 0; ///< byte offset into the data image
+  unsigned Width = 0;
+  std::string Label;
+  unsigned Line = 0;
+};
+
 class Assembler {
 public:
   Assembler(std::string_view Source, std::string_view Name)
@@ -36,6 +45,7 @@ private:
   std::string_view Name;
 
   std::vector<PendingInst> Pending;
+  std::vector<DataFixup> DataFixups;
   std::vector<uint8_t> Data;
   std::unordered_map<std::string, uint64_t> Symbols;
   bool InData = false;
@@ -207,9 +217,16 @@ bool Assembler::parseDirective(std::string_view Head, std::string_view Rest) {
   else
     return fail("unknown directive '" + std::string(Head) + "'");
   for (std::string_view Piece : split(Rest, ',')) {
-    std::optional<int64_t> Value = parseInt(trim(Piece));
-    if (!Value)
-      return fail("bad value in " + std::string(Head));
+    std::string_view Tok = trim(Piece);
+    std::optional<int64_t> Value = parseInt(Tok);
+    if (!Value) {
+      // A label reference (e.g. a jump-table entry): emit zeros now and
+      // patch the address in pass 2.
+      if (!isValidIdentifier(Tok))
+        return fail("bad value in " + std::string(Head));
+      DataFixups.push_back({Data.size(), Width, std::string(Tok), LineNo});
+      Value = 0;
+    }
     uint64_t Bits = static_cast<uint64_t>(*Value);
     for (unsigned I = 0; I != Width; ++I)
       Data.push_back(static_cast<uint8_t>(Bits >> (8 * I)));
@@ -359,6 +376,16 @@ std::optional<Program> Assembler::run(std::string &ErrorMsg) {
   }
 
   // Pass 2: resolve label immediates.
+  for (const DataFixup &F : DataFixups) {
+    auto It = Symbols.find(F.Label);
+    if (It == Symbols.end()) {
+      ErrorMsg = "line " + std::to_string(F.Line) + ": undefined label '" +
+                 F.Label + "'";
+      return std::nullopt;
+    }
+    for (unsigned I = 0; I != F.Width; ++I)
+      Data[F.Offset + I] = static_cast<uint8_t>(It->second >> (8 * I));
+  }
   Program Prog;
   Prog.Name = std::string(Name);
   Prog.Symbols = Symbols;

@@ -7,7 +7,11 @@
 
 #include "vm/Verifier.h"
 
+#include "vm/Disassembler.h"
 #include "vm/Program.h"
+
+#include <cinttypes>
+#include <cstdio>
 
 using namespace spin;
 using namespace spin::vm;
@@ -24,11 +28,11 @@ std::vector<VerifyIssue> spin::vm::verifyProgram(const Program &Prog) {
   };
 
   if (Prog.Text.empty()) {
-    Report(~0ull, "program has no instructions");
+    Report(ProgramIssueIndex, "program has no instructions");
     return Issues;
   }
   if (!isTextAddress(Prog, Prog.EntryPc))
-    Report(~0ull, "entry point outside the text segment");
+    Report(ProgramIssueIndex, "entry point outside the text segment");
 
   for (uint64_t Index = 0; Index != Prog.Text.size(); ++Index) {
     const Instruction &I = Prog.Text[Index];
@@ -82,4 +86,17 @@ std::vector<VerifyIssue> spin::vm::verifyProgram(const Program &Prog) {
            "control flow can run past the end of the text segment");
 
   return Issues;
+}
+
+std::string spin::vm::formatVerifyIssue(const Program &Prog,
+                                        const VerifyIssue &Issue) {
+  if (Issue.InstIndex == ProgramIssueIndex)
+    return "program: " + Issue.Message;
+  char Pc[32];
+  std::snprintf(Pc, sizeof(Pc), "pc 0x%" PRIx64,
+                Program::addressOfIndex(Issue.InstIndex));
+  std::string Text(Pc);
+  if (Issue.InstIndex < Prog.Text.size())
+    Text += " (" + disassemble(Prog.Text[Issue.InstIndex]) + ")";
+  return Text + ": " + Issue.Message;
 }

@@ -23,8 +23,12 @@ namespace spin::vm {
 
 class Program;
 
+/// Sentinel InstIndex for issues that concern the whole program rather
+/// than one instruction.
+inline constexpr uint64_t ProgramIssueIndex = ~0ull;
+
 struct VerifyIssue {
-  uint64_t InstIndex; ///< offending instruction (or ~0 for program-level)
+  uint64_t InstIndex; ///< offending instruction, or ProgramIssueIndex
   std::string Message;
 };
 
@@ -36,8 +40,18 @@ struct VerifyIssue {
 ///  * register operands out of range (defends hand-built Instructions);
 ///  * use of the halt instruction (guests must exit via syscall).
 ///
+/// These checks are also "pass zero" of the CFG-based lint driver in
+/// analysis/Passes.h, which layers reachability, uninitialized-register,
+/// and stack-balance analyses on top.
+///
 /// \returns all issues found (empty = verified).
 std::vector<VerifyIssue> verifyProgram(const Program &Prog);
+
+/// Renders \p Issue for humans: "pc 0x10008 (bne r1, r0, 0x10000):
+/// message" for instruction-level issues, "program: message" for
+/// program-level ones (the raw ProgramIssueIndex sentinel would otherwise
+/// print as a garbage 20-digit number).
+std::string formatVerifyIssue(const Program &Prog, const VerifyIssue &Issue);
 
 } // namespace spin::vm
 

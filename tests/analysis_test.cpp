@@ -1,0 +1,530 @@
+//===- tests/analysis_test.cpp - Static analysis subsystem tests ----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers src/analysis: CFG construction (leaders, edges, indirect-target
+// over-approximation, thread roots), the dataflow passes (unreachable,
+// uninit-reg, stack balance), the static syscall-site map, the lint driver
+// on crafted-bad and known-clean corpora, the VerifyIssue pretty-printer,
+// and the engine integrations (syscall prediction, trace seeding).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Passes.h"
+#include "os/DirectRun.h"
+#include "os/Syscalls.h"
+#include "pin/Runner.h"
+#include "superpin/Engine.h"
+#include "tools/Icount.h"
+#include "vm/Disassembler.h"
+#include "workloads/Spec2000.h"
+
+#include "TestPrograms.h"
+#include "gtest/gtest.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace spin;
+using namespace spin::analysis;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::sp;
+using namespace spin::test;
+using namespace spin::tools;
+using namespace spin::vm;
+using namespace spin::workloads;
+
+namespace {
+
+std::vector<Finding> lintOf(const Program &Prog) { return lintProgram(Prog); }
+
+std::string findingsToString(const Program &Prog,
+                             const std::vector<Finding> &Fs) {
+  std::string S;
+  for (const Finding &F : Fs)
+    S += formatFinding(Prog, F) + "\n";
+  return S;
+}
+
+/// True if any finding comes from \p Pass.
+bool hasPass(const std::vector<Finding> &Fs, std::string_view Pass) {
+  for (const Finding &F : Fs)
+    if (F.Pass == Pass)
+      return true;
+  return false;
+}
+
+// --- CFG construction ----------------------------------------------------
+
+TEST(Cfg, CountdownStructure) {
+  Program P = makeCountdown(5);
+  Cfg G = buildCfg(P);
+  ASSERT_GT(G.numBlocks(), 1u);
+  // Every instruction belongs to exactly one block, blocks tile the text.
+  uint64_t Covered = 0;
+  for (const BasicBlock &B : G.blocks()) {
+    EXPECT_EQ(B.FirstIndex, Covered);
+    Covered += B.NumInsts;
+  }
+  EXPECT_EQ(Covered, P.Text.size());
+  // The whole program is reachable from the entry root.
+  EXPECT_EQ(G.numReachableInsts(), P.Text.size());
+  ASSERT_EQ(G.roots().size(), 1u);
+  EXPECT_TRUE(G.block(G.roots()[0]).IsRoot);
+}
+
+TEST(Cfg, BranchMakesTwoSuccessors) {
+  Program P = makeCountdown(5);
+  Cfg G = buildCfg(P);
+  // Find the block ending in the loop's bne: it must have exactly two
+  // successors (loop head + fall-through).
+  bool FoundBne = false;
+  for (const BasicBlock &B : G.blocks()) {
+    const Instruction &Last = P.Text[B.lastIndex()];
+    if (Last.Op == Opcode::Bne) {
+      FoundBne = true;
+      EXPECT_EQ(B.Succs.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(FoundBne);
+}
+
+TEST(Cfg, CallGetsTargetAndFallthroughEdges) {
+  Program P = mustAssemble(R"(
+main:
+  call fn
+  movi r0, 0
+  movi r1, 0
+  syscall
+fn:
+  movi r2, 7
+  ret
+)",
+                           "calls");
+  Cfg G = buildCfg(P);
+  uint32_t CallBlock = *G.blockOfPc(Program::addressOfIndex(0));
+  ASSERT_EQ(G.block(CallBlock).Succs.size(), 2u);
+  EXPECT_EQ(G.numReachableInsts(), P.Text.size());
+  // The ret block is terminal.
+  uint32_t FnBlock = G.blockOfIndex(P.Text.size() - 1);
+  EXPECT_TRUE(G.block(FnBlock).Succs.empty());
+}
+
+TEST(Cfg, IndirectTargetsFromDataWordsAndMovi) {
+  // A jump table in .data plus a movi-loaded function pointer: both must
+  // be candidates, and the jr must get edges to every candidate.
+  Program P = mustAssemble(R"(
+main:
+  movi r1, table
+  ld64 r2, [r1+0]
+  jr r2
+fa:
+  movi r3, fb
+  jr r3
+fb:
+  movi r0, 0
+  movi r1, 0
+  syscall
+.data
+table: .word64 fa
+)",
+                           "indirect");
+  Cfg G = buildCfg(P);
+  uint64_t FaIdx = Program::indexOfAddress(P.Symbols.at("fa"));
+  uint64_t FbIdx = Program::indexOfAddress(P.Symbols.at("fb"));
+  const std::vector<uint64_t> &Cands = G.indirectTargets();
+  EXPECT_NE(std::find(Cands.begin(), Cands.end(), FaIdx), Cands.end())
+      << "data word must make fa a candidate";
+  EXPECT_NE(std::find(Cands.begin(), Cands.end(), FbIdx), Cands.end())
+      << "movi immediate must make fb a candidate";
+  // Everything is reachable through the over-approximated jr edges.
+  EXPECT_EQ(G.numReachableInsts(), P.Text.size());
+}
+
+TEST(Cfg, ExitSyscallEndsControlFlow) {
+  Program P = mustAssemble(R"(
+main:
+  movi r0, 0
+  movi r1, 0
+  syscall
+  movi r2, 1
+  jmp main
+)",
+                           "exitfall");
+  Cfg G = buildCfg(P);
+  // The exit syscall's statically known number cuts the fall-through
+  // edge, leaving the trailing code unreachable.
+  EXPECT_LT(G.numReachableInsts(), P.Text.size());
+}
+
+TEST(Cfg, ThreadCreateTargetBecomesRoot) {
+  Program P = mustAssemble(R"(
+main:
+  movi r0, 4
+  movi r1, 4096
+  syscall
+  addi r2, r0, 4096
+  movi r1, worker
+  movi r0, 11
+  syscall
+  movi r0, 0
+  movi r1, 0
+  syscall
+worker:
+  movi r0, 12
+  syscall
+)",
+                           "threads");
+  Cfg G = buildCfg(P);
+  uint32_t WorkerBlock =
+      *G.blockOfPc(P.Symbols.at("worker"));
+  EXPECT_TRUE(G.block(WorkerBlock).IsRoot);
+  EXPECT_TRUE(G.block(WorkerBlock).Reachable);
+  ASSERT_GE(G.roots().size(), 2u);
+}
+
+TEST(Cfg, StaticRegValueResolvesMoviAndGivesUpOnMov) {
+  Program P = mustAssemble(R"(
+main:
+  movi r5, 3
+  movi r0, 6
+  syscall
+  mov r0, r5
+  syscall
+  movi r0, 0
+  movi r1, 0
+  syscall
+)",
+                           "sysnum");
+  Cfg G = buildCfg(P);
+  // First syscall (index 2): r0 = 6 via the adjacent movi.
+  EXPECT_EQ(G.staticRegValue(2, 0), std::optional<uint64_t>(6));
+  // Second syscall (index 4): r0 came through a mov — unknowable.
+  EXPECT_EQ(G.staticRegValue(4, 0), std::nullopt);
+}
+
+// --- Passes: negatives on crafted-bad programs ---------------------------
+
+TEST(Passes, FlagsUnreachableCode) {
+  Program P = mustAssemble(R"(
+main:
+  movi r0, 0
+  movi r1, 0
+  syscall
+dead:
+  movi r2, 1
+  jmp dead
+)",
+                           "dead");
+  Cfg G = buildCfg(P);
+  std::vector<Finding> Fs = findUnreachableCode(G);
+  ASSERT_EQ(Fs.size(), 1u) << "consecutive dead blocks merge";
+  EXPECT_EQ(Fs[0].Issue.InstIndex, 3u);
+  EXPECT_NE(Fs[0].Issue.Message.find("unreachable"), std::string::npos);
+}
+
+TEST(Passes, FlagsReadBeforeWrite) {
+  Program P = mustAssemble(R"(
+main:
+  add r2, r1, r3
+  movi r0, 0
+  movi r1, 0
+  syscall
+)",
+                           "uninit");
+  std::vector<Finding> Fs = findUninitRegReads(buildCfg(P));
+  ASSERT_EQ(Fs.size(), 2u) << findingsToString(P, Fs);
+  EXPECT_NE(Fs[0].Issue.Message.find("r1"), std::string::npos);
+  EXPECT_NE(Fs[1].Issue.Message.find("r3"), std::string::npos);
+}
+
+TEST(Passes, FlagsPartiallyDefinedJoin) {
+  // r4 is written on the taken path only; the join must intersect away
+  // its definedness before the read.
+  Program P = mustAssemble(R"(
+main:
+  movi r1, 1
+  movi r2, 2
+  beq r1, r2, skip
+  movi r4, 9
+skip:
+  add r5, r4, r1
+  movi r0, 0
+  movi r1, 0
+  syscall
+)",
+                           "join");
+  std::vector<Finding> Fs = findUninitRegReads(buildCfg(P));
+  ASSERT_EQ(Fs.size(), 1u) << findingsToString(P, Fs);
+  EXPECT_EQ(Fs[0].Issue.InstIndex, 4u);
+  EXPECT_NE(Fs[0].Issue.Message.find("r4"), std::string::npos);
+}
+
+TEST(Passes, SpIsDefinedAtEntry) {
+  // push reads sp at the first instruction: must NOT be flagged (the
+  // loader guarantees sp).
+  Program P = mustAssemble(R"(
+main:
+  movi r1, 5
+  push r1
+  pop r2
+  movi r0, 0
+  movi r1, 0
+  syscall
+)",
+                           "sp");
+  EXPECT_TRUE(findUninitRegReads(buildCfg(P)).empty());
+}
+
+TEST(Passes, FlagsPopUnderflow) {
+  Program P = mustAssemble(R"(
+main:
+  call fn
+  movi r0, 0
+  movi r1, 0
+  syscall
+fn:
+  pop r3
+  ret
+)",
+                           "underflow");
+  std::vector<Finding> Fs = findStackImbalance(buildCfg(P));
+  ASSERT_EQ(Fs.size(), 1u) << findingsToString(P, Fs);
+  EXPECT_NE(Fs[0].Issue.Message.find("empty stack frame"),
+            std::string::npos);
+}
+
+TEST(Passes, FlagsUnbalancedReturn) {
+  Program P = mustAssemble(R"(
+main:
+  call fn
+  movi r0, 0
+  movi r1, 0
+  syscall
+fn:
+  movi r3, 1
+  push r3
+  ret
+)",
+                           "leak");
+  std::vector<Finding> Fs = findStackImbalance(buildCfg(P));
+  ASSERT_EQ(Fs.size(), 1u) << findingsToString(P, Fs);
+  EXPECT_NE(Fs[0].Issue.Message.find("8 bytes still pushed"),
+            std::string::npos);
+}
+
+TEST(Passes, BalancedFunctionIsClean) {
+  Program P = mustAssemble(R"(
+main:
+  call fn
+  movi r0, 0
+  movi r1, 0
+  syscall
+fn:
+  push r3
+  movi r3, 2
+  addi sp, sp, -16
+  addi sp, sp, 16
+  pop r3
+  ret
+)",
+                           "balanced");
+  EXPECT_TRUE(findStackImbalance(buildCfg(P)).empty());
+}
+
+// --- Syscall-site map ----------------------------------------------------
+
+TEST(SyscallMap, WorkloadSitesFullyClassified) {
+  Program Prog = buildWorkload(findWorkload("gzip"), 0.02);
+  Cfg G = buildCfg(Prog);
+  StaticSyscallMap Map = buildSyscallSiteMap(G);
+  ASSERT_GT(Map.numSites(), 0u);
+  // The generator always emits `movi r0, N` adjacent to the syscall, so
+  // every site resolves and pre-classifies identically to trap time.
+  EXPECT_EQ(Map.numClassified(), Map.numSites());
+  for (uint64_t I = 0; I != Prog.Text.size(); ++I) {
+    if (!Prog.Text[I].isSyscall())
+      continue;
+    const SyscallSite *Site = Map.site(Program::addressOfIndex(I));
+    ASSERT_NE(Site, nullptr);
+    ASSERT_TRUE(Site->NumberKnown);
+    EXPECT_EQ(Site->Class, classifySyscall(Site->Number));
+  }
+}
+
+// --- Lint driver on known-clean corpora ----------------------------------
+
+TEST(Lint, CleanOnGeneratedWorkloadVariations) {
+  // Property: buildWorkload/generateWorkload output analyzes clean under
+  // every pass across >= 32 distinct parameterizations.
+  unsigned Checked = 0;
+  for (const WorkloadInfo &Info : spec2000Suite()) { // 26 entries
+    Program Prog = buildWorkload(Info, 0.01);
+    std::vector<Finding> Fs = lintOf(Prog);
+    EXPECT_TRUE(Fs.empty())
+        << Info.Name << ":\n" << findingsToString(Prog, Fs);
+    ++Checked;
+  }
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    GenParams P;
+    P.Name = "prop" + std::to_string(Seed);
+    P.Seed = 0xbeef + Seed * 0x1111;
+    P.TargetInsts = 50'000;
+    P.NumFuncs = 2 + static_cast<unsigned>(Seed) % 7;
+    P.BlocksPerFunc = 2 + static_cast<unsigned>(Seed * 3) % 9;
+    P.AluPerBlock = 1 + static_cast<unsigned>(Seed) % 5;
+    P.DiamondBranches = Seed % 2 == 0;
+    P.PointerChase = Seed % 3 == 0;
+    P.SyscallMask = Seed % 2 ? 15 : 0;
+    P.Mix = Seed % 2 ? SysMix::Mixed : SysMix::None;
+    P.ChainEvery = static_cast<unsigned>(Seed) % 4;
+    Program Prog = generateWorkload(P);
+    std::vector<Finding> Fs = lintOf(Prog);
+    EXPECT_TRUE(Fs.empty())
+        << P.Name << ":\n" << findingsToString(Prog, Fs);
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 32u);
+}
+
+TEST(Lint, CleanOnExamplePrograms) {
+  for (const char *Name : {"primes.s", "threads.s"}) {
+    std::string Path =
+        std::string(SPIN_SOURCE_DIR "/examples/programs/") + Name;
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good()) << "cannot open " << Path;
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Program Prog = mustAssemble(Buf.str(), Name);
+    std::vector<Finding> Fs = lintOf(Prog);
+    EXPECT_TRUE(Fs.empty())
+        << Name << ":\n" << findingsToString(Prog, Fs);
+  }
+}
+
+TEST(Lint, VerifierRunsAsPassZero) {
+  Program P = makeCountdown(3);
+  P.Text[0].A = 99; // structural breakage the verifier owns
+  std::vector<Finding> Fs = lintOf(P);
+  ASSERT_FALSE(Fs.empty());
+  EXPECT_TRUE(hasPass(Fs, "verify"));
+}
+
+// --- VerifyIssue pretty-printer ------------------------------------------
+
+TEST(Format, ProgramLevelIssueHasNoSentinel) {
+  // An empty program yields a program-level issue (no instruction
+  // index); the formatter must say "program:" instead of rendering the
+  // ~0 sentinel as a bogus 20-digit instruction number.
+  Program Empty;
+  Empty.Name = "empty";
+  std::vector<VerifyIssue> Issues = verifyProgram(Empty);
+  ASSERT_FALSE(Issues.empty());
+  ASSERT_EQ(Issues[0].InstIndex, ProgramIssueIndex);
+  std::string S = formatVerifyIssue(Empty, Issues[0]);
+  EXPECT_EQ(S.find("18446744073709551615"), std::string::npos) << S;
+  EXPECT_EQ(S.rfind("program: ", 0), 0u) << S;
+}
+
+TEST(Format, InstructionIssueHasPcAndDisassembly) {
+  Program P = makeCountdown(3);
+  VerifyIssue Issue{3, "something odd"};
+  std::string S = formatVerifyIssue(P, Issue);
+  EXPECT_NE(S.find("pc 0x"), std::string::npos) << S;
+  EXPECT_NE(S.find(disassemble(P.Text[3])), std::string::npos) << S;
+  EXPECT_NE(S.find("something odd"), std::string::npos) << S;
+}
+
+// --- Engine integration --------------------------------------------------
+
+Program syscallWorkload() {
+  GenParams P;
+  P.Name = "analysis-engine";
+  P.TargetInsts = 300'000;
+  P.NumFuncs = 5;
+  P.BlocksPerFunc = 5;
+  P.AluPerBlock = 3;
+  P.WorkingSetBytes = 1 << 14;
+  P.SyscallMask = 31;
+  P.Mix = SysMix::Mixed;
+  return generateWorkload(P);
+}
+
+SpOptions fastOptions() {
+  SpOptions Opts;
+  Opts.SliceMs = 50;
+  return Opts;
+}
+
+TEST(Engine, SyscallPredictionIsCountedAndBehaviorNeutral) {
+  Program Prog = syscallWorkload();
+  CostModel Model;
+  SpOptions On = fastOptions();
+  SpRunReport WithMap = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction), On, Model);
+  ASSERT_GT(WithMap.MasterSyscalls, 0u);
+  EXPECT_GT(WithMap.StaticSyscallSites, 0u);
+  // Generated workloads classify every site statically, so the scheduler
+  // never has to fall back to trap-time classification.
+  EXPECT_EQ(WithMap.PredictedSyscallSites, WithMap.MasterSyscalls);
+  EXPECT_EQ(WithMap.TrapClassifiedSyscalls, 0u);
+
+  SpOptions Off = fastOptions();
+  Off.StaticSyscallPrediction = false;
+  SpRunReport NoMap = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction), Off, Model);
+  EXPECT_EQ(NoMap.PredictedSyscallSites, 0u);
+  EXPECT_EQ(NoMap.TrapClassifiedSyscalls, NoMap.MasterSyscalls);
+  // Prediction must not perturb the run: bit-identical timing and output.
+  EXPECT_EQ(WithMap.WallTicks, NoMap.WallTicks);
+  EXPECT_EQ(WithMap.FiniOutput, NoMap.FiniOutput);
+  EXPECT_EQ(WithMap.NumSlices, NoMap.NumSlices);
+}
+
+TEST(Engine, SerialSeedingPreservesResultsAndRemovesCompileStalls) {
+  Program Prog = syscallWorkload();
+  CostModel Model;
+  RunReport Cold = runSerialPin(Prog, Model, 100,
+                                makeIcountTool(IcountGranularity::BasicBlock));
+  ASSERT_GT(Cold.TracesCompiled, 0u);
+  EXPECT_EQ(Cold.TracesSeeded, 0u);
+
+  Cfg G = buildCfg(Prog);
+  PinVmConfig Config;
+  Config.SeedCfg = &G;
+  RunReport Seeded = runSerialPin(
+      Prog, Model, 100, makeIcountTool(IcountGranularity::BasicBlock),
+      Config);
+  EXPECT_EQ(Seeded.Insts, Cold.Insts);
+  EXPECT_EQ(Seeded.FiniOutput, Cold.FiniOutput);
+  EXPECT_EQ(Seeded.ExitCode, Cold.ExitCode);
+  EXPECT_GT(Seeded.TracesSeeded, 0u);
+  EXPECT_GT(Seeded.SeedTicks, 0u);
+  // Static seeding warms the cache in one pass: first-execution compile
+  // stalls (lazy trace compiles) all but disappear. Traces starting at
+  // post-branch pcs that are not static leaders may still compile lazily.
+  EXPECT_LT(Seeded.TracesCompiled, Cold.TracesCompiled / 2);
+}
+
+TEST(Engine, SuperPinTraceSeedKeepsResults) {
+  Program Prog = syscallWorkload();
+  CostModel Model;
+  SpRunReport Base = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction), fastOptions(),
+      Model);
+  SpOptions Seed = fastOptions();
+  Seed.StaticTraceSeed = true;
+  SpRunReport Seeded = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::Instruction), Seed, Model);
+  EXPECT_GT(Seeded.TracesSeeded, 0u);
+  EXPECT_TRUE(Seeded.PartitionOk);
+  EXPECT_EQ(Seeded.FiniOutput, Base.FiniOutput);
+  EXPECT_EQ(Seeded.SliceInsts, Base.SliceInsts);
+  EXPECT_LT(Seeded.TracesCompiled, Base.TracesCompiled);
+}
+
+} // namespace

@@ -203,7 +203,8 @@ class RandomProgramFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomProgramFuzz, EnginesAgree) {
   Program Prog = RandomProgram(GetParam()).build();
-  ASSERT_TRUE(verifyProgram(Prog).empty());
+  std::vector<VerifyIssue> Issues = verifyProgram(Prog);
+  ASSERT_TRUE(Issues.empty()) << formatVerifyIssue(Prog, Issues[0]);
 
   DirectRunResult Native = runDirect(Prog, 50'000'000);
   ASSERT_TRUE(Native.Exited) << "fuzz program must terminate";

@@ -427,10 +427,12 @@ TEST(Verifier, AcceptsWellFormedPrograms) {
 
 TEST(Verifier, AcceptsEveryGeneratedWorkload) {
   for (const auto &Info : workloads::spec2000Suite()) {
-    std::vector<VerifyIssue> Issues =
-        verifyProgram(workloads::buildWorkload(Info, 0.01));
+    Program Prog = workloads::buildWorkload(Info, 0.01);
+    std::vector<VerifyIssue> Issues = verifyProgram(Prog);
     EXPECT_TRUE(Issues.empty())
-        << Info.Name << ": " << (Issues.empty() ? "" : Issues[0].Message);
+        << Info.Name << ": "
+        << (Issues.empty() ? std::string()
+                           : formatVerifyIssue(Prog, Issues[0]));
   }
 }
 
