@@ -1,0 +1,142 @@
+//===- bench/micro_replay.cpp - Capture & replay microbenchmarks ----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks of the persistent capture pipeline
+// (host performance). BM_SuperPinRun isolates the -sprecord overhead on
+// top of the syscall recording the engine already does for slices: arg 0
+// is the plain engine (-spsysrecs-only baseline), arg 1 attaches the
+// CaptureWriter sink. BM_EncodeCapture / BM_DecodeCapture measure the
+// SPRL wire-format throughput (bytes/s), and BM_ReplayAll the re-execution
+// rate of a captured run (items/s ≈ replayed guest instructions per
+// second).
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/CaptureWriter.h"
+#include "replay/Log.h"
+#include "replay/ReplayEngine.h"
+#include "superpin/Engine.h"
+#include "tools/Icount.h"
+#include "workloads/Generator.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::replay;
+using namespace spin::sp;
+using namespace spin::vm;
+
+static Program &replayProgram() {
+  static Program Prog = [] {
+    workloads::GenParams P;
+    P.Name = "micro-replay";
+    P.TargetInsts = 1u << 20;
+    P.NumFuncs = 16;
+    P.BlocksPerFunc = 8;
+    P.AluPerBlock = 4;
+    P.WorkingSetBytes = 1 << 16;
+    P.SyscallMask = 63;
+    P.Mix = workloads::SysMix::Mixed;
+    return workloads::generateWorkload(P);
+  }();
+  return Prog;
+}
+
+static SpOptions benchOptions() {
+  SpOptions Opts;
+  Opts.SliceMs = 50;
+  Opts.MaxSlices = 8;
+  return Opts;
+}
+
+/// One captured run of the benchmark program, shared by the codec and
+/// replay benchmarks below.
+static RunCapture &capturedRun() {
+  static RunCapture Cap = [] {
+    CaptureWriter Writer;
+    SpOptions Opts = benchOptions();
+    Opts.Capture = &Writer;
+    CostModel Model;
+    runSuperPin(replayProgram(),
+                tools::makeIcountTool(tools::IcountGranularity::BasicBlock),
+                Opts, Model);
+    return Writer.take();
+  }();
+  return Cap;
+}
+
+/// Engine run without (arg 0) and with (arg 1) the capture sink. The
+/// delta is what -sprecord costs beyond the engine's own -spsysrecs
+/// syscall recording; "log_bytes" sizes the resulting log.
+static void BM_SuperPinRun(benchmark::State &State) {
+  Program &Prog = replayProgram();
+  CostModel Model;
+  bool Capture = State.range(0) != 0;
+  uint64_t LogBytes = 0, Slices = 0;
+  for (auto _ : State) {
+    CaptureWriter Writer;
+    SpOptions Opts = benchOptions();
+    if (Capture)
+      Opts.Capture = &Writer;
+    SpRunReport Rep = runSuperPin(
+        Prog, tools::makeIcountTool(tools::IcountGranularity::BasicBlock),
+        Opts, Model);
+    benchmark::DoNotOptimize(Rep.SliceInsts);
+    Slices = Rep.NumSlices;
+    if (Capture)
+      LogBytes = encodeCapture(Writer.capture()).size();
+    State.SetItemsProcessed(State.items_processed() +
+                            static_cast<int64_t>(Rep.MasterInsts));
+  }
+  State.counters["slices"] = static_cast<double>(Slices);
+  if (Capture)
+    State.counters["log_bytes"] = static_cast<double>(LogBytes);
+}
+BENCHMARK(BM_SuperPinRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+static void BM_EncodeCapture(benchmark::State &State) {
+  RunCapture &Cap = capturedRun();
+  size_t Bytes = 0;
+  for (auto _ : State) {
+    std::vector<uint8_t> Encoded = encodeCapture(Cap);
+    benchmark::DoNotOptimize(Encoded.data());
+    Bytes = Encoded.size();
+    State.SetBytesProcessed(State.bytes_processed() +
+                            static_cast<int64_t>(Encoded.size()));
+  }
+  State.counters["log_bytes"] = static_cast<double>(Bytes);
+}
+BENCHMARK(BM_EncodeCapture);
+
+static void BM_DecodeCapture(benchmark::State &State) {
+  std::vector<uint8_t> Bytes = encodeCapture(capturedRun());
+  for (auto _ : State) {
+    std::optional<RunCapture> Cap = decodeCapture(Bytes);
+    benchmark::DoNotOptimize(Cap->Slices.size());
+    State.SetBytesProcessed(State.bytes_processed() +
+                            static_cast<int64_t>(Bytes.size()));
+  }
+}
+BENCHMARK(BM_DecodeCapture);
+
+static void BM_ReplayAll(benchmark::State &State) {
+  RunCapture &Cap = capturedRun();
+  CostModel Model;
+  for (auto _ : State) {
+    ReplayEngine Engine(Cap, Model);
+    ReplayReport Rep = Engine.replayAll(
+        tools::makeIcountTool(tools::IcountGranularity::BasicBlock));
+    benchmark::DoNotOptimize(Rep.ParityOk);
+    State.SetItemsProcessed(State.items_processed() +
+                            static_cast<int64_t>(Rep.ReplayedInsts));
+  }
+  State.counters["parity_ok"] = static_cast<double>(capturedRun().Slices.size());
+}
+BENCHMARK(BM_ReplayAll)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+//===- examples/spin_record.cpp - Capture a SuperPin run to disk ----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs a workload under SuperPin with the persistent capture sink attached
+// and writes the resulting log (plus its JSON sidecar index):
+//
+//   spin_record -workload gcc -tool icount2 -sprecord gcc.sprl
+//   spin_replay -log gcc.sprl            # re-execute it (spin_replay.cpp)
+//
+// -spdefer additionally enables deferred-slice mode: when all -spmp
+// workers are busy the master spills the just-closed window to the log
+// instead of stalling, and the spilled slices drain after it exits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/CaptureWriter.h"
+#include "superpin/Engine.h"
+#include "superpin/Reporting.h"
+#include "support/CommandLine.h"
+#include "support/RawOstream.h"
+#include "support/StringExtras.h"
+#include "tools/Icount.h"
+#include "tools/MemTrace.h"
+#include "tools/OpcodeMix.h"
+#include "workloads/Spec2000.h"
+
+#include <cstdlib>
+
+using namespace spin;
+using namespace spin::tools;
+
+static pin::ToolFactory makeTool(const std::string &Name) {
+  if (Name == "icount1")
+    return makeIcountTool(IcountGranularity::Instruction);
+  if (Name == "icount2")
+    return makeIcountTool(IcountGranularity::BasicBlock);
+  if (Name == "opcodemix")
+    return makeOpcodeMixTool();
+  if (Name == "memtrace")
+    return makeMemTraceTool(std::make_shared<MemTraceResult>());
+  errs() << "unknown tool '" << Name
+         << "' (try icount1, icount2, opcodemix, memtrace)\n";
+  std::exit(1);
+}
+
+int main(int Argc, char **Argv) {
+  OptionRegistry Registry;
+  Opt<std::string> LogPath(Registry, "sprecord", "run.sprl",
+                           "capture log output path");
+  Opt<std::string> ToolName(Registry, "tool", "icount2", "Pintool to run");
+  Opt<std::string> Workload(Registry, "workload", "gcc",
+                            "SPEC2000 workload name");
+  Opt<double> Scale(Registry, "scale", 0.3, "workload duration scale");
+  Opt<uint64_t> SpMsec(Registry, "spmsec", 100, "timeslice milliseconds");
+  Opt<uint64_t> SpMp(Registry, "spmp", 8, "max running slices");
+  Opt<uint64_t> SpSysrecs(Registry, "spsysrecs", 1000,
+                          "max syscall records per slice (0 disables)");
+  Opt<bool> SpDefer(Registry, "spdefer", false,
+                    "spill slices instead of stalling at -spmp");
+  Opt<bool> Report(Registry, "report", false, "print the full run report");
+  Opt<bool> Help(Registry, "help", false, "print options");
+
+  std::string Err;
+  if (!Registry.parse(Argc, Argv, Err)) {
+    errs() << "error: " << Err << "\n";
+    return 1;
+  }
+  if (Help) {
+    Registry.printHelp(outs());
+    return 0;
+  }
+
+  const workloads::WorkloadInfo &Info = workloads::findWorkload(Workload);
+  vm::Program Prog = workloads::buildWorkload(Info, Scale);
+  os::CostModel Model;
+
+  replay::CaptureWriter Writer;
+  sp::SpOptions Opts;
+  Opts.SliceMs = SpMsec;
+  Opts.MaxSlices = static_cast<uint32_t>(uint64_t(SpMp));
+  Opts.MaxSysRecs = SpSysrecs;
+  Opts.Cpi = Info.Cpi;
+  Opts.Capture = &Writer;
+  Opts.DeferSlices = SpDefer;
+
+  sp::SpRunReport Rep = sp::runSuperPin(Prog, makeTool(ToolName), Opts, Model);
+  outs() << Rep.FiniOutput;
+  if (!Writer.save(LogPath, &Err)) {
+    errs() << "error: " << Err << "\n";
+    return 1;
+  }
+  outs() << "captured " << Rep.NumSlices << " slices ("
+         << formatWithCommas(Rep.SliceInsts) << " instructions, partition "
+         << (Rep.PartitionOk ? "exact" : "BROKEN") << ") to " << LogPath
+         << "\n";
+  if (SpDefer)
+    outs() << "deferred: " << Rep.SpilledSlices << " spilled, "
+           << Rep.DrainedSlices << " drained, " << Rep.ReplayParityOk
+           << " parity ok\n";
+  if (Report) {
+    outs() << "\n";
+    sp::printReport(Rep, Model, outs());
+  }
+  outs().flush();
+  return Rep.PartitionOk ? 0 : 1;
+}

@@ -1,0 +1,128 @@
+//===- examples/spin_replay.cpp - Re-execute a captured run ---------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Loads a capture log written by spin_record and re-executes slices from
+// it — with the same tool or a different one:
+//
+//   spin_replay -log gcc.sprl                      # all slices, icount2
+//   spin_replay -log gcc.sprl -tool memtrace       # different tool
+//   spin_replay -log gcc.sprl -slices 0,3,7        # subset
+//   spin_replay -log gcc.sprl -list                # show the slice index
+//
+// Exits non-zero if any replayed slice diverges from the capture or fails
+// icount/end-kind parity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/ReplayEngine.h"
+#include "support/CommandLine.h"
+#include "support/RawOstream.h"
+#include "support/StringExtras.h"
+#include "tools/Icount.h"
+#include "tools/MemTrace.h"
+#include "tools/OpcodeMix.h"
+
+#include <cstdlib>
+
+using namespace spin;
+using namespace spin::tools;
+
+static pin::ToolFactory makeTool(const std::string &Name) {
+  if (Name == "icount1")
+    return makeIcountTool(IcountGranularity::Instruction);
+  if (Name == "icount2")
+    return makeIcountTool(IcountGranularity::BasicBlock);
+  if (Name == "opcodemix")
+    return makeOpcodeMixTool();
+  if (Name == "memtrace")
+    return makeMemTraceTool(std::make_shared<MemTraceResult>());
+  errs() << "unknown tool '" << Name
+         << "' (try icount1, icount2, opcodemix, memtrace)\n";
+  std::exit(1);
+}
+
+/// Parses "0,3,7" into slice numbers; exits on malformed input.
+static std::vector<uint32_t> parseSliceList(const std::string &Spec) {
+  std::vector<uint32_t> Nums;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Item = Spec.substr(Pos, Comma - Pos);
+    char *End = nullptr;
+    unsigned long V = std::strtoul(Item.c_str(), &End, 10);
+    if (Item.empty() || *End != '\0') {
+      errs() << "error: bad slice list item '" << Item << "'\n";
+      std::exit(1);
+    }
+    Nums.push_back(static_cast<uint32_t>(V));
+    Pos = Comma + 1;
+  }
+  return Nums;
+}
+
+int main(int Argc, char **Argv) {
+  OptionRegistry Registry;
+  Opt<std::string> LogPath(Registry, "log", "run.sprl", "capture log to load");
+  Opt<std::string> ToolName(Registry, "tool", "icount2", "Pintool to replay");
+  Opt<std::string> Slices(Registry, "slices", "",
+                          "comma-separated slice numbers (empty = all)");
+  Opt<bool> List(Registry, "list", false, "list captured slices and exit");
+  Opt<bool> Help(Registry, "help", false, "print options");
+
+  std::string Err;
+  if (!Registry.parse(Argc, Argv, Err)) {
+    errs() << "error: " << Err << "\n";
+    return 1;
+  }
+  if (Help) {
+    Registry.printHelp(outs());
+    return 0;
+  }
+
+  std::optional<replay::RunCapture> Cap = replay::loadCapture(LogPath, &Err);
+  if (!Cap) {
+    errs() << "error: " << Err << "\n";
+    return 1;
+  }
+
+  if (List) {
+    outs() << "program " << Cap->Prog.Name << ": " << Cap->Slices.size()
+           << " slices, " << formatWithCommas(Cap->MasterInsts)
+           << " master instructions, exit code " << Cap->ExitCode << "\n";
+    for (const sp::SliceCaptureData &S : Cap->Slices)
+      outs() << "  slice " << S.Num << ": start " << S.StartIndex << ", "
+             << S.ExpectedInsts << " insts, " << S.Sys.size() << " syscalls, "
+             << replay::endKindName(S.EndKind)
+             << (S.Spilled ? ", spilled" : "") << "\n";
+    outs().flush();
+    return 0;
+  }
+
+  os::CostModel Model;
+  replay::ReplayEngine Engine(*Cap, Model);
+  replay::ReplayReport Rep =
+      Slices.value().empty()
+          ? Engine.replayAll(makeTool(ToolName))
+          : Engine.replay(makeTool(ToolName), parseSliceList(Slices));
+
+  outs() << Rep.FiniOutput;
+  outs() << "replayed " << Rep.SlicesReplayed << " of " << Cap->Slices.size()
+         << " slices: " << formatWithCommas(Rep.ReplayedInsts)
+         << " instructions, " << Rep.PlaybackSyscalls << " played back, "
+         << Rep.DuplicatedSyscalls << " duplicated\n";
+  outs() << "parity: " << Rep.ParityOk << " ok, " << Rep.ParityFailed
+         << " failed\n";
+  for (const replay::ReplaySliceResult &R : Rep.Slices)
+    if (!R.ParityOk)
+      outs() << "  slice " << R.Num << ": "
+             << (R.Diverged ? R.Note : "icount/end-kind mismatch")
+             << " (retired " << R.RetiredInsts << ")\n";
+  outs().flush();
+  return Rep.allOk() ? 0 : 1;
+}

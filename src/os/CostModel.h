@@ -72,6 +72,11 @@ struct CostModel {
   Ticks SyscallRecordCost = 800;
   /// Playing back one recorded syscall inside a slice.
   Ticks SyscallPlaybackCost = 400;
+  /// Spilling one deferred slice's window to the capture log (-spdefer)
+  /// instead of stalling the master: base bookkeeping plus a per-byte
+  /// serialization cost over the recorded effects.
+  Ticks SpillSliceCost = 25'000;
+  Ticks SpillPerByteCost = 1;
 
   // --- Fork and memory (Section 6.3 "fork overhead") --------------------
   /// Base cost of fork() (process bookkeeping, trampoline setup).

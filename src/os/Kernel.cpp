@@ -8,6 +8,7 @@
 #include "os/Kernel.h"
 
 #include "os/Process.h"
+#include "support/BinaryStream.h"
 #include "support/ErrorHandling.h"
 #include "support/MathExtras.h"
 #include "support/Random.h"
@@ -86,6 +87,31 @@ uint64_t SyscallEffects::sizeBytes() const {
     Size += 8 + Bytes.size();
   }
   return Size;
+}
+
+void spin::os::encodeSyscallEffects(const SyscallEffects &Effects,
+                                    ByteWriter &W) {
+  W.u64(Effects.Number);
+  W.u64(Effects.RetVal);
+  W.boolean(Effects.ProcessExited);
+  W.u32(static_cast<uint32_t>(Effects.MemWrites.size()));
+  for (const auto &[Addr, Bytes] : Effects.MemWrites) {
+    W.u64(Addr);
+    W.bytes(Bytes.data(), Bytes.size());
+  }
+}
+
+SyscallEffects spin::os::decodeSyscallEffects(ByteReader &R) {
+  SyscallEffects Effects;
+  Effects.Number = R.u64();
+  Effects.RetVal = R.u64();
+  Effects.ProcessExited = R.boolean();
+  uint32_t NumWrites = R.u32();
+  for (uint32_t I = 0; I != NumWrites && !R.failed(); ++I) {
+    uint64_t Addr = R.u64();
+    Effects.MemWrites.emplace_back(Addr, R.bytes());
+  }
+  return Effects;
 }
 
 uint64_t spin::os::pendingSyscallNumber(const Process &Proc) {

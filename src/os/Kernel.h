@@ -23,6 +23,11 @@
 #include <utility>
 #include <vector>
 
+namespace spin {
+class ByteReader;
+class ByteWriter;
+} // namespace spin
+
 namespace spin::os {
 
 class Process;
@@ -50,7 +55,17 @@ struct SyscallEffects {
 
   /// Approximate record footprint in bytes (for stats).
   uint64_t sizeBytes() const;
+
+  bool operator==(const SyscallEffects &Other) const = default;
 };
+
+/// Serializes \p Effects into \p W (the replay-log wire format: number,
+/// retval, exit flag, then each memory write as address + byte blob).
+void encodeSyscallEffects(const SyscallEffects &Effects, ByteWriter &W);
+
+/// Decodes one record written by encodeSyscallEffects. On malformed input
+/// the reader's error flag latches; check ByteReader::failed().
+SyscallEffects decodeSyscallEffects(ByteReader &R);
 
 /// Services the syscall \p Proc's pc points at: executes its semantics,
 /// writes the result to r0, advances pc past the syscall instruction, and

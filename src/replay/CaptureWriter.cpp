@@ -1,0 +1,49 @@
+//===- replay/CaptureWriter.cpp - CaptureSink -> RunCapture ---------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/CaptureWriter.h"
+
+#include "superpin/SpOptions.h"
+
+#include <cassert>
+
+using namespace spin;
+using namespace spin::replay;
+using namespace spin::sp;
+
+void CaptureWriter::onRunBegin(const vm::Program &Prog, const SpOptions &Opts) {
+  Cap = RunCapture();
+  Cap.Prog = Prog;
+  Cap.Cpi = Opts.Cpi;
+  Cap.SliceMs = Opts.SliceMs;
+  Cap.MaxSlices = Opts.MaxSlices;
+  Cap.MaxSysRecs = Opts.MaxSysRecs;
+  Cap.QuickCheck = Opts.QuickCheck;
+  Cap.MemSignature = Opts.MemSignature;
+  Cap.DeferSlices = Opts.DeferSlices;
+}
+
+void CaptureWriter::onWindowCaptured(SliceCaptureData Data) {
+  assert(Data.Num == Cap.Slices.size() && "windows must close in order");
+  Cap.Slices.push_back(std::move(Data));
+}
+
+void CaptureWriter::onSliceMerged(
+    uint32_t Num, uint64_t RetiredInsts,
+    std::vector<std::vector<uint8_t>> AreaSnapshots) {
+  assert(Num < Cap.Slices.size() && "merge for an unknown slice");
+  Cap.Slices[Num].RetiredInsts = RetiredInsts;
+  Cap.Slices[Num].AreaSnapshots = std::move(AreaSnapshots);
+}
+
+void CaptureWriter::onRunEnd(const SpRunReport &Report) {
+  Cap.MasterInsts = Report.MasterInsts;
+  Cap.SliceInsts = Report.SliceInsts;
+  Cap.SpilledSlices = Report.SpilledSlices;
+  Cap.ExitCode = Report.ExitCode;
+  Cap.Output = Report.Output;
+}

@@ -1,0 +1,50 @@
+//===- replay/CaptureWriter.h - CaptureSink -> RunCapture -------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard CaptureSink implementation (-sprecord): accumulates the
+/// engine's capture events into an in-memory RunCapture, which the caller
+/// saves with Log.h's saveCapture after the run returns.
+///
+///   replay::CaptureWriter Writer;
+///   Opts.Capture = &Writer;
+///   runSuperPin(Prog, Factory, Opts, Model);
+///   Writer.save("run.sprl", &Err);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_REPLAY_CAPTUREWRITER_H
+#define SUPERPIN_REPLAY_CAPTUREWRITER_H
+
+#include "replay/Log.h"
+
+namespace spin::replay {
+
+class CaptureWriter final : public sp::CaptureSink {
+public:
+  void onRunBegin(const vm::Program &Prog, const sp::SpOptions &Opts) override;
+  void onWindowCaptured(sp::SliceCaptureData Data) override;
+  void onSliceMerged(uint32_t Num, uint64_t RetiredInsts,
+                     std::vector<std::vector<uint8_t>> AreaSnapshots) override;
+  void onRunEnd(const sp::SpRunReport &Report) override;
+
+  /// The accumulated capture (complete once onRunEnd fired).
+  const RunCapture &capture() const { return Cap; }
+  RunCapture take() { return std::move(Cap); }
+
+  /// Convenience: saveCapture(capture(), Path, Err).
+  bool save(const std::string &Path, std::string *Err = nullptr) const {
+    return saveCapture(Cap, Path, Err);
+  }
+
+private:
+  RunCapture Cap;
+};
+
+} // namespace spin::replay
+
+#endif // SUPERPIN_REPLAY_CAPTUREWRITER_H

@@ -1,0 +1,340 @@
+//===- replay/Log.cpp - Persistent run-capture log format -----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/Log.h"
+
+#include "support/BinaryStream.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace spin;
+using namespace spin::replay;
+using namespace spin::sp;
+
+std::string_view spin::replay::endKindName(SliceEndKind Kind) {
+  switch (Kind) {
+  case SliceEndKind::Signature:
+    return "signature";
+  case SliceEndKind::SyscallBoundary:
+    return "syscall";
+  case SliceEndKind::AppExit:
+    return "appexit";
+  case SliceEndKind::ToolStop:
+    return "toolstop";
+  }
+  return "unknown";
+}
+
+namespace {
+
+uint64_t fnv1a(const uint8_t *Data, size_t Size) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= Data[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+void encodeProgram(const vm::Program &Prog, ByteWriter &W) {
+  W.str(Prog.Name);
+  W.u64(Prog.EntryPc);
+  W.u64(Prog.Text.size());
+  for (const vm::Instruction &I : Prog.Text) {
+    W.u8(static_cast<uint8_t>(I.Op));
+    W.u8(I.A);
+    W.u8(I.B);
+    W.u8(I.C);
+    W.i64(I.Imm);
+  }
+  W.bytes(Prog.DataInit.data(), Prog.DataInit.size());
+  // Symbols travel sorted by name so identical programs encode to
+  // identical bytes regardless of hash-map iteration order.
+  std::vector<std::pair<std::string, uint64_t>> Syms(Prog.Symbols.begin(),
+                                                     Prog.Symbols.end());
+  std::sort(Syms.begin(), Syms.end());
+  W.u64(Syms.size());
+  for (const auto &[Name, Addr] : Syms) {
+    W.str(Name);
+    W.u64(Addr);
+  }
+}
+
+vm::Program decodeProgram(ByteReader &R) {
+  vm::Program Prog;
+  Prog.Name = R.str();
+  Prog.EntryPc = R.u64();
+  uint64_t NumInsts = R.u64();
+  for (uint64_t I = 0; I != NumInsts && !R.failed(); ++I) {
+    vm::Instruction Inst;
+    Inst.Op = static_cast<vm::Opcode>(R.u8());
+    Inst.A = R.u8();
+    Inst.B = R.u8();
+    Inst.C = R.u8();
+    Inst.Imm = R.i64();
+    Prog.Text.push_back(Inst);
+  }
+  Prog.DataInit = R.bytes();
+  uint64_t NumSyms = R.u64();
+  for (uint64_t I = 0; I != NumSyms && !R.failed(); ++I) {
+    std::string Name = R.str();
+    uint64_t Addr = R.u64();
+    Prog.Symbols.emplace(std::move(Name), Addr);
+  }
+  return Prog;
+}
+
+void encodeSignature(const SliceSignature &Sig, ByteWriter &W) {
+  W.u64(Sig.Pc);
+  for (uint64_t Reg : Sig.Regs)
+    W.u64(Reg);
+  for (uint64_t Word : Sig.Stack)
+    W.u64(Word);
+  W.u8(Sig.QuickReg0);
+  W.u8(Sig.QuickReg1);
+  W.boolean(Sig.QuickRegsChosen);
+  W.boolean(Sig.HasMemSig);
+  W.u64(Sig.MemSigAddr);
+  W.u64(Sig.MemSigValue);
+  W.u64(Sig.ThreadPcs.size());
+  for (uint64_t Pc : Sig.ThreadPcs)
+    W.u64(Pc);
+  W.u32(Sig.CurThread);
+  W.u64(Sig.QuantumLeft);
+}
+
+SliceSignature decodeSignature(ByteReader &R) {
+  SliceSignature Sig;
+  Sig.Pc = R.u64();
+  for (uint64_t &Reg : Sig.Regs)
+    Reg = R.u64();
+  for (uint64_t &Word : Sig.Stack)
+    Word = R.u64();
+  Sig.QuickReg0 = R.u8();
+  Sig.QuickReg1 = R.u8();
+  Sig.QuickRegsChosen = R.boolean();
+  Sig.HasMemSig = R.boolean();
+  Sig.MemSigAddr = R.u64();
+  Sig.MemSigValue = R.u64();
+  uint64_t NumPcs = R.u64();
+  for (uint64_t I = 0; I != NumPcs && !R.failed(); ++I)
+    Sig.ThreadPcs.push_back(R.u64());
+  Sig.CurThread = R.u32();
+  Sig.QuantumLeft = R.u64();
+  return Sig;
+}
+
+void encodeSlice(const SliceCaptureData &S, ByteWriter &W) {
+  W.u32(S.Num);
+  W.u64(S.StartIndex);
+  W.u64(S.StartStateHash);
+  W.u8(static_cast<uint8_t>(S.EndKind));
+  W.boolean(S.Spilled);
+  W.u64(S.ExpectedInsts);
+  W.u64(S.RetiredInsts);
+  encodeSignature(S.Sig, W);
+  W.u64(S.Sys.size());
+  for (const CapturedSyscall &CS : S.Sys) {
+    W.u8(static_cast<uint8_t>(CS.Kind));
+    os::encodeSyscallEffects(CS.Effects, W);
+  }
+  W.u64(S.AreaSnapshots.size());
+  for (const std::vector<uint8_t> &Area : S.AreaSnapshots)
+    W.bytes(Area.data(), Area.size());
+}
+
+SliceCaptureData decodeSlice(ByteReader &R) {
+  SliceCaptureData S;
+  S.Num = R.u32();
+  S.StartIndex = R.u64();
+  S.StartStateHash = R.u64();
+  S.EndKind = static_cast<SliceEndKind>(R.u8());
+  S.Spilled = R.boolean();
+  S.ExpectedInsts = R.u64();
+  S.RetiredInsts = R.u64();
+  S.Sig = decodeSignature(R);
+  uint64_t NumSys = R.u64();
+  for (uint64_t I = 0; I != NumSys && !R.failed(); ++I) {
+    CapturedSyscall CS;
+    CS.Kind = static_cast<CapturedSysKind>(R.u8());
+    CS.Effects = os::decodeSyscallEffects(R);
+    S.Sys.push_back(std::move(CS));
+  }
+  uint64_t NumAreas = R.u64();
+  for (uint64_t I = 0; I != NumAreas && !R.failed(); ++I)
+    S.AreaSnapshots.push_back(R.bytes());
+  return S;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+spin::replay::encodeCapture(const RunCapture &Cap,
+                            std::vector<SliceIndexEntry> *Index) {
+  ByteWriter W;
+  W.u32(LogMagic);
+  W.u32(LogVersion);
+  encodeProgram(Cap.Prog, W);
+  W.f64(Cap.Cpi);
+  W.u64(Cap.SliceMs);
+  W.u32(Cap.MaxSlices);
+  W.u64(Cap.MaxSysRecs);
+  W.boolean(Cap.QuickCheck);
+  W.boolean(Cap.MemSignature);
+  W.boolean(Cap.DeferSlices);
+  W.u64(Cap.MasterInsts);
+  W.u64(Cap.SliceInsts);
+  W.u64(Cap.SpilledSlices);
+  W.i64(Cap.ExitCode);
+  W.str(Cap.Output);
+  W.u64(Cap.Slices.size());
+  for (const SliceCaptureData &S : Cap.Slices) {
+    size_t Begin = W.size();
+    encodeSlice(S, W);
+    if (Index)
+      Index->push_back({S.Num, Begin, W.size() - Begin});
+  }
+  const std::vector<uint8_t> &Payload = W.buffer();
+  W.u64(fnv1a(Payload.data(), Payload.size()));
+  return W.take();
+}
+
+std::optional<RunCapture>
+spin::replay::decodeCapture(const std::vector<uint8_t> &Bytes,
+                            std::string *Err) {
+  auto Fail = [&](std::string_view Why) {
+    if (Err)
+      *Err = std::string(Why);
+    return std::nullopt;
+  };
+  if (Bytes.size() < 16)
+    return Fail("capture log truncated");
+  // The checksum covers everything before its own 8 bytes.
+  ByteReader Tail(Bytes.data() + Bytes.size() - 8, 8);
+  if (Tail.u64() != fnv1a(Bytes.data(), Bytes.size() - 8))
+    return Fail("capture log checksum mismatch (corrupt or truncated)");
+
+  ByteReader R(Bytes.data(), Bytes.size() - 8);
+  if (R.u32() != LogMagic)
+    return Fail("not a capture log (bad magic)");
+  if (uint32_t V = R.u32(); V != LogVersion)
+    return Fail("unsupported capture log version " + std::to_string(V));
+  RunCapture Cap;
+  Cap.Prog = decodeProgram(R);
+  Cap.Cpi = R.f64();
+  Cap.SliceMs = R.u64();
+  Cap.MaxSlices = R.u32();
+  Cap.MaxSysRecs = R.u64();
+  Cap.QuickCheck = R.boolean();
+  Cap.MemSignature = R.boolean();
+  Cap.DeferSlices = R.boolean();
+  Cap.MasterInsts = R.u64();
+  Cap.SliceInsts = R.u64();
+  Cap.SpilledSlices = R.u64();
+  Cap.ExitCode = static_cast<int>(R.i64());
+  Cap.Output = R.str();
+  uint64_t NumSlices = R.u64();
+  for (uint64_t I = 0; I != NumSlices && !R.failed(); ++I)
+    Cap.Slices.push_back(decodeSlice(R));
+  if (!R.exhausted())
+    return Fail("malformed capture log payload");
+  return Cap;
+}
+
+std::string spin::replay::sidecarPath(const std::string &Path) {
+  return Path + ".json";
+}
+
+static void writeSidecar(const RunCapture &Cap,
+                         const std::vector<SliceIndexEntry> &Index,
+                         RawOstream &OS) {
+  JsonWriter J(OS);
+  J.beginObject();
+  J.field("format", "sprl");
+  J.field("version", LogVersion);
+  J.field("program", Cap.Prog.Name);
+  J.field("masterinsts", Cap.MasterInsts);
+  J.field("sliceinsts", Cap.SliceInsts);
+  J.field("spilled", Cap.SpilledSlices);
+  J.field("exitcode", static_cast<int64_t>(Cap.ExitCode));
+  J.key("slices").beginArray();
+  for (size_t I = 0; I != Cap.Slices.size(); ++I) {
+    const sp::SliceCaptureData &S = Cap.Slices[I];
+    J.beginObject();
+    J.field("num", S.Num);
+    J.field("start", S.StartIndex);
+    J.field("insts", S.ExpectedInsts);
+    J.field("retired", S.RetiredInsts);
+    J.field("end", endKindName(S.EndKind));
+    J.field("spilled", S.Spilled);
+    J.field("syscalls", static_cast<uint64_t>(S.Sys.size()));
+    J.field("offset", Index[I].Offset);
+    J.field("size", Index[I].Size);
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  OS << "\n";
+}
+
+bool spin::replay::saveCapture(const RunCapture &Cap, const std::string &Path,
+                               std::string *Err) {
+  std::vector<SliceIndexEntry> Index;
+  std::vector<uint8_t> Bytes = encodeCapture(Cap, &Index);
+
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  bool Ok = Written == Bytes.size() && std::fclose(F) == 0;
+  if (!Ok) {
+    if (Err)
+      *Err = "short write to '" + Path + "'";
+    return false;
+  }
+
+  std::FILE *SF = std::fopen(sidecarPath(Path).c_str(), "wb");
+  if (!SF) {
+    if (Err)
+      *Err = "cannot open '" + sidecarPath(Path) + "' for writing";
+    return false;
+  }
+  {
+    RawFdOstream OS(SF);
+    writeSidecar(Cap, Index, OS);
+    OS.flush();
+  }
+  if (std::fclose(SF) != 0) {
+    if (Err)
+      *Err = "short write to '" + sidecarPath(Path) + "'";
+    return false;
+  }
+  return true;
+}
+
+std::optional<RunCapture> spin::replay::loadCapture(const std::string &Path,
+                                                    std::string *Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open '" + Path + "'";
+    return std::nullopt;
+  }
+  std::vector<uint8_t> Bytes;
+  uint8_t Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  std::fclose(F);
+  return decodeCapture(Bytes, Err);
+}

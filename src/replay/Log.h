@@ -1,0 +1,102 @@
+//===- replay/Log.h - Persistent run-capture log format ---------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk capture-log format ("SPRL"): a versioned little-endian
+/// binary file holding everything a live SuperPin run produced — the full
+/// program image, the capture-time configuration, and every slice window
+/// with its syscall-effects stream, boundary signature, and merge results —
+/// plus a human-readable JSON sidecar (`<path>.json`) indexing the slices
+/// by byte offset so external tooling can inspect a log without decoding
+/// the binary. A trailing FNV-1a checksum detects truncation/corruption at
+/// load time.
+///
+/// The format is self-contained: loadCapture + replay::ReplayEngine need
+/// nothing but the file to re-execute any subset of slices with any tool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_REPLAY_LOG_H
+#define SUPERPIN_REPLAY_LOG_H
+
+#include "superpin/Capture.h"
+#include "vm/Program.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spin::replay {
+
+/// "SPRL" in little-endian byte order.
+constexpr uint32_t LogMagic = 0x4c525053u;
+/// Bump when the binary layout changes; loaders reject unknown versions.
+constexpr uint32_t LogVersion = 1;
+
+/// A complete captured run: the program, the configuration that shaped the
+/// slice windows, the per-slice records, and the live run's results (the
+/// parity reference replay validates against).
+struct RunCapture {
+  vm::Program Prog;
+
+  // --- Capture-time configuration (SpOptions subset that shapes replay) --
+  double Cpi = 1.0;
+  uint64_t SliceMs = 1000;
+  uint32_t MaxSlices = 8;
+  uint64_t MaxSysRecs = 1000;
+  bool QuickCheck = true;
+  bool MemSignature = false;
+  bool DeferSlices = false;
+
+  // --- Live-run results (replay parity reference) -----------------------
+  uint64_t MasterInsts = 0;
+  uint64_t SliceInsts = 0;
+  uint64_t SpilledSlices = 0;
+  int ExitCode = 0;
+  std::string Output;
+
+  std::vector<sp::SliceCaptureData> Slices;
+};
+
+/// Sidecar-index row: where slice \p Num's record lives in the binary.
+struct SliceIndexEntry {
+  uint32_t Num = 0;
+  uint64_t Offset = 0; ///< byte offset of the slice record in the file
+  uint64_t Size = 0;   ///< encoded size of the record in bytes
+};
+
+/// Printable name of a slice-end kind ("signature", "syscall", ...).
+std::string_view endKindName(sp::SliceEndKind Kind);
+
+/// Encodes \p Cap into the SPRL wire format (including the trailing
+/// checksum). When \p Index is non-null it receives one entry per slice.
+std::vector<uint8_t> encodeCapture(const RunCapture &Cap,
+                                   std::vector<SliceIndexEntry> *Index = nullptr);
+
+/// Decodes a buffer produced by encodeCapture. Returns std::nullopt on a
+/// bad magic/version/checksum or malformed payload; \p Err (if non-null)
+/// receives the reason.
+std::optional<RunCapture> decodeCapture(const std::vector<uint8_t> &Bytes,
+                                        std::string *Err = nullptr);
+
+/// The JSON sidecar path for a log at \p Path (`<path>.json`).
+std::string sidecarPath(const std::string &Path);
+
+/// Writes \p Cap to \p Path and its index sidecar to sidecarPath(Path).
+/// Returns false (with \p Err set) on I/O failure.
+bool saveCapture(const RunCapture &Cap, const std::string &Path,
+                 std::string *Err = nullptr);
+
+/// Loads a log written by saveCapture. The sidecar is not consulted (the
+/// binary is self-contained); it exists for external tooling.
+std::optional<RunCapture> loadCapture(const std::string &Path,
+                                      std::string *Err = nullptr);
+
+} // namespace spin::replay
+
+#endif // SUPERPIN_REPLAY_LOG_H

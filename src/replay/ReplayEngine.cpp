@@ -1,0 +1,333 @@
+//===- replay/ReplayEngine.cpp - Deferred-slice replay --------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Two layers, mirroring the live engine's split:
+//
+//  * Master reconstruction (resetMaster/fastForwardTo/applyWindow): the
+//    uninstrumented interpreter re-runs the captured instruction stream.
+//    Chunking mirrors MasterTask::runChunk — every chunk is capped at the
+//    remaining thread quantum, quantum-expired threads drain to the next
+//    block boundary, rotation happens under the same condition — so the
+//    schedule replays bit-exactly regardless of where replay's chunk
+//    boundaries fall. Each window start is validated against the capture's
+//    hashMachineState record.
+//
+//  * Slice re-execution (replaySlice): mirrors SliceTask::runSlice /
+//    handleSyscall against the captured syscall stream, with the capture's
+//    extra recording (duplicable effects, the boundary syscall) making the
+//    stream self-delimiting: a Boundary entry is the end-of-window marker.
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/ReplayEngine.h"
+
+#include "os/Kernel.h"
+#include "os/Scheduler.h"
+#include "pin/CodeCache.h"
+#include "pin/PinVm.h"
+#include "support/ErrorHandling.h"
+#include "support/RawOstream.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::replay;
+using namespace spin::sp;
+using namespace spin::vm;
+
+/// Ticks granted per replay step; replay runs outside the discrete-time
+/// scheduler, so the "budget" only bounds work between loop iterations.
+static constexpr Ticks ReplayStepTicks = 1'000'000'000;
+
+ReplayEngine::ReplayEngine(const RunCapture &Cap, const CostModel &Model)
+    : Cap(Cap), Model(Model),
+      InstCost(static_cast<Ticks>(
+          std::llround(Cap.Cpi * static_cast<double>(Model.TicksPerInst)))) {
+  resetMaster();
+}
+
+void ReplayEngine::resetMaster() {
+  Master.emplace(Process::create(Cap.Prog));
+  // Interp holds references into Master; rebuild it after every reset.
+  Interp.emplace(Cap.Prog, Master->Cpu, Master->Mem);
+  // §4.1 bubble, exactly as MasterTask::allocateBubble materializes it.
+  for (uint64_t P = 0; P != SpBubblePages; ++P)
+    Master->Mem.write64(AddressLayout::BubbleBase + P * vm::PageSize, 0);
+  NextWindow = 0;
+  NextPid = 2;
+}
+
+void ReplayEngine::fastForwardTo(uint32_t N) {
+  if (N < NextWindow)
+    resetMaster();
+  while (NextWindow < N) {
+    applyWindow(Cap.Slices[NextWindow]);
+    ++NextWindow;
+  }
+}
+
+void ReplayEngine::applyWindow(const SliceCaptureData &W) {
+  if (Interp->instructionsRetired() != W.StartIndex)
+    reportFatalError("replay: window " + std::to_string(W.Num) +
+                     " does not start at the master's position");
+  uint64_t End = W.StartIndex + W.ExpectedInsts;
+  size_t SysPos = 0;
+  while (Interp->instructionsRetired() < End &&
+         Master->Status == ProcStatus::Running) {
+    uint64_t Max = End - Interp->instructionsRetired();
+    RunResult R;
+    if (Master->quantumExpired()) {
+      R = Interp->runToBlockEnd(Max);
+    } else {
+      if (Max > Master->quantumLeft())
+        Max = Master->quantumLeft();
+      R = Interp->run(Max);
+    }
+    Master->noteRetired(R.InstsExecuted);
+    switch (R.Reason) {
+    case StopReason::Syscall: {
+      if (SysPos == W.Sys.size())
+        reportFatalError("replay: master syscall not in window " +
+                         std::to_string(W.Num) + "'s capture record");
+      const CapturedSyscall &CS = W.Sys[SysPos++];
+      uint64_t Number = pendingSyscallNumber(*Master);
+      if (CS.Effects.Number != Number)
+        reportFatalError("replay: master diverged from window " +
+                         std::to_string(W.Num) + "'s syscall sequence");
+      // Duplicable syscalls re-execute so kernel state (brk, mmap cursor,
+      // RNG) evolves as it did live; so do the thread syscalls, which
+      // playback cannot reproduce (they switch the current thread). All
+      // other effects — including clock reads and file-creating opens,
+      // whose downstream reads also play back — apply verbatim.
+      bool Reexecute =
+          CS.Kind == CapturedSysKind::Duplicate ||
+          Number == static_cast<uint64_t>(Sys::ThreadCreate) ||
+          Number == static_cast<uint64_t>(Sys::ThreadExit);
+      if (Reexecute) {
+        SystemContext Ctx;
+        Ctx.SuppressOutput = true;
+        serviceSyscall(*Master, Ctx, nullptr);
+      } else {
+        playbackSyscall(*Master, CS.Effects);
+      }
+      Interp->noteSyscallRetired();
+      Master->noteRetired(1);
+      break;
+    }
+    case StopReason::Halt:
+    case StopReason::BadPc:
+      reportFatalError("replay: master fault while rebuilding window " +
+                       std::to_string(W.Num));
+    case StopReason::Budget:
+    case StopReason::BlockEnd:
+      break;
+    }
+    if (Master->quantumExpired() && (R.Reason == StopReason::BlockEnd ||
+                                     R.Reason == StopReason::Syscall ||
+                                     R.EndedAtBlockBoundary))
+      Master->rotateThread();
+  }
+  if (SysPos != W.Sys.size())
+    reportFatalError("replay: window " + std::to_string(W.Num) + " ended with " +
+                     std::to_string(W.Sys.size() - SysPos) +
+                     " unconsumed syscall records");
+}
+
+ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
+                                            const ToolFactory &Factory,
+                                            SharedAreaRegistry &Areas) {
+  fastForwardTo(W.Num);
+  if (hashMachineState(*Master, Interp->instructionsRetired()) !=
+      W.StartStateHash)
+    reportFatalError("replay: reconstructed master state diverges from the "
+                     "capture at slice " + std::to_string(W.Num) +
+                     "'s fork point");
+
+  ReplaySliceResult Res;
+  Res.Num = W.Num;
+
+  Process Proc = Master->fork(NextPid++);
+  Proc.Mem.discardRange(AddressLayout::BubbleBase,
+                        SpBubblePages * vm::PageSize);
+  SliceServices Services(Areas, W.Num);
+  std::unique_ptr<Tool> ToolInst = Factory(Services);
+  CodeCache Cache;
+  PinVmConfig Cfg;
+  Cfg.InstCost = InstCost;
+  Cfg.SliceNum = W.Num;
+  PinVm Vm(Proc, Model, ToolInst.get(), Cache, Cfg);
+  Services.setEndSliceHook([&Vm] { Vm.requestStop(); });
+  ToolInst->onSliceBegin(W.Num);
+
+  // The recorded in-window stream; a trailing Boundary entry (if any) is
+  // the window's end marker, counted but never executed by the slice.
+  size_t InWindow = W.Sys.size();
+  if (InWindow && W.Sys.back().Kind == CapturedSysKind::Boundary)
+    --InWindow;
+  size_t SysPos = 0;
+
+  TickLedger Ledger;
+  SignatureStats SigSt;
+  bool End = false;
+  if (W.EndKind == SliceEndKind::Signature) {
+    Vm.armDetection(W.Sig.Pc, [&](TickLedger &L) {
+      // Mirrors SliceTask::installDetection: the boundary state includes
+      // the recorded syscalls' effects, so detection is meaningless (and
+      // known false) while any are pending — but the check still runs and
+      // is charged, as in the paper.
+      if (SysPos != InWindow) {
+        if (Cap.QuickCheck) {
+          L.charge(Model.InlinedCheckCost);
+          ++SigSt.QuickChecks;
+        } else {
+          L.charge(Model.SigFullCheckCost);
+          ++SigSt.FullChecks;
+        }
+        return false;
+      }
+      return checkSignature(W.Sig, Proc, Model, Cap.QuickCheck,
+                            Vm.runCapRemaining(), L, SigSt);
+    });
+  }
+
+  auto Diverge = [&](std::string Why) {
+    Res.Diverged = true;
+    Res.Note = std::move(Why);
+    End = true;
+    Vm.disarmDetection();
+  };
+  auto EndSlice = [&](SliceEndKind Kind) {
+    Res.EndKind = Kind;
+    End = true;
+    Vm.disarmDetection();
+  };
+
+  // Runaway guard: a missed boundary (e.g. a tool that perturbs control
+  // flow) must surface as divergence, not an endless loop.
+  uint64_t RunawayCap = W.ExpectedInsts * 2 + 10'000;
+
+  while (!End) {
+    Ledger.beginStep(ReplayStepTicks);
+    Vm.setRunCap(Proc.quantumExpired() ? 0 : Proc.quantumLeft());
+    uint64_t Before = Vm.retired();
+    VmStop Stop = Vm.run(Ledger);
+    Proc.noteRetired(Vm.retired() - Before);
+    switch (Stop) {
+    case VmStop::Budget:
+    case VmStop::InstCap:
+      break;
+    case VmStop::Detected:
+      EndSlice(SliceEndKind::Signature);
+      break;
+    case VmStop::ToolStop:
+      EndSlice(SliceEndKind::ToolStop);
+      break;
+    case VmStop::Syscall: {
+      uint64_t Number = pendingSyscallNumber(Proc);
+      ToolInst->onSyscall(Number);
+      if (SysPos < InWindow) {
+        const CapturedSyscall &CS = W.Sys[SysPos++];
+        if (CS.Effects.Number != Number) {
+          Diverge("syscall sequence diverged from the capture");
+          break;
+        }
+        if (CS.Kind == CapturedSysKind::Playback) {
+          playbackSyscall(Proc, CS.Effects);
+          ++Res.PlaybackSyscalls;
+        } else {
+          SystemContext Ctx;
+          Ctx.SuppressOutput = true;
+          serviceSyscall(Proc, Ctx, nullptr);
+          ++Res.DuplicatedSyscalls;
+        }
+        Vm.noteSyscallRetired();
+        Proc.noteRetired(1);
+        if (Proc.Status == ProcStatus::Exited)
+          EndSlice(SliceEndKind::AppExit);
+        break;
+      }
+      if (SysPos < W.Sys.size()) {
+        // The boundary marker: counted (its IPOINT_BEFORE analysis ran),
+        // executed only by the master; the successor starts after it.
+        if (W.Sys[SysPos].Effects.Number != Number) {
+          Diverge("boundary syscall diverged from the capture");
+          break;
+        }
+        ++SysPos;
+        Vm.noteSyscallRetired();
+        EndSlice(SliceEndKind::SyscallBoundary);
+        break;
+      }
+      Diverge("overran the window into an unrecorded syscall");
+      break;
+    }
+    case VmStop::BadPc:
+      Diverge("control left the text segment");
+      break;
+    }
+    if (Proc.quantumExpired() && !End &&
+        (Stop == VmStop::InstCap || Stop == VmStop::Syscall)) {
+      Proc.rotateThread();
+      Vm.noteContextSwitch();
+    }
+    if (!End && Vm.retired() > RunawayCap)
+      Diverge("ran past the window without reaching its boundary");
+  }
+
+  ToolInst->onSliceEnd(W.Num);
+  Services.mergeShadows();
+  Res.RetiredInsts = Vm.retired();
+  Res.ParityOk = !Res.Diverged && Res.EndKind == W.EndKind &&
+                 Res.RetiredInsts == W.RetiredInsts;
+  return Res;
+}
+
+ReplayReport ReplayEngine::replayAll(const ToolFactory &Factory) {
+  std::vector<uint32_t> Nums(Cap.Slices.size());
+  for (uint32_t I = 0; I != Nums.size(); ++I)
+    Nums[I] = I;
+  return replay(Factory, std::move(Nums));
+}
+
+ReplayReport ReplayEngine::replay(const ToolFactory &Factory,
+                                  std::vector<uint32_t> Nums) {
+  std::sort(Nums.begin(), Nums.end());
+  Nums.erase(std::unique(Nums.begin(), Nums.end()), Nums.end());
+  for (uint32_t Num : Nums)
+    if (Num >= Cap.Slices.size())
+      reportFatalError("replay: slice " + std::to_string(Num) +
+                       " not in the capture (have " +
+                       std::to_string(Cap.Slices.size()) + ")");
+
+  ReplayReport Rep;
+  SharedAreaRegistry Areas;
+  for (uint32_t Num : Nums) {
+    ReplaySliceResult Res = replaySlice(Cap.Slices[Num], Factory, Areas);
+    ++Rep.SlicesReplayed;
+    Rep.ReplayedInsts += Res.RetiredInsts;
+    Rep.PlaybackSyscalls += Res.PlaybackSyscalls;
+    Rep.DuplicatedSyscalls += Res.DuplicatedSyscalls;
+    if (Res.ParityOk)
+      ++Rep.ParityOk;
+    else
+      ++Rep.ParityFailed;
+    Rep.Slices.push_back(std::move(Res));
+  }
+
+  // Fini over the merged areas, exactly like MasterTask::runFini.
+  SliceServices FiniServices(Areas, static_cast<uint32_t>(Cap.Slices.size()),
+                             /*FiniMode=*/true);
+  std::unique_ptr<Tool> FiniTool = Factory(FiniServices);
+  RawStringOstream OS(Rep.FiniOutput);
+  FiniTool->onFini(OS);
+  return Rep;
+}
+

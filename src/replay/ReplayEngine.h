@@ -1,0 +1,109 @@
+//===- replay/ReplayEngine.h - Deferred-slice replay ------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-executes slices of a captured run (Log.h) outside the live engine.
+/// The ReplayEngine reconstructs the master by fast-forwarding the
+/// uninstrumented interpreter through recorded windows — re-executing
+/// duplicable syscalls against the rebuilt kernel state and playing back
+/// everything else from the recorded effects — then COW-forks a slice at
+/// any window start and runs it through pin::PinVm with an arbitrary tool,
+/// exactly as the live engine would have. Per-slice parity (retired icount
+/// and end kind against the capture's merge record) validates that replay
+/// reproduced the live slice; tools different from the capture-time tool
+/// replay fine as long as they do not perturb control flow (SP_EndSlice).
+///
+/// Reconstruction correctness rests on the same invariant the live slices
+/// rely on: the guest schedule is a pure function of the retired-
+/// instruction stream, because every executor caps run chunks at the
+/// remaining thread quantum (see superpin/Capture.h's hashMachineState).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_REPLAY_REPLAYENGINE_H
+#define SUPERPIN_REPLAY_REPLAYENGINE_H
+
+#include "os/Process.h"
+#include "pin/Tool.h"
+#include "replay/Log.h"
+#include "superpin/SharedAreas.h"
+#include "vm/Interpreter.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spin::replay {
+
+/// Outcome of re-executing one captured slice.
+struct ReplaySliceResult {
+  uint32_t Num = 0;
+  uint64_t RetiredInsts = 0; ///< retired under replay instrumentation
+  sp::SliceEndKind EndKind = sp::SliceEndKind::Signature;
+  /// Retired icount and end kind both match the capture's merge record.
+  bool ParityOk = false;
+  /// The slice left the recorded window (syscall-sequence mismatch, missed
+  /// signature, or runaway); Note says why. Always implies !ParityOk.
+  bool Diverged = false;
+  std::string Note;
+  uint64_t PlaybackSyscalls = 0;
+  uint64_t DuplicatedSyscalls = 0;
+};
+
+/// Aggregate outcome of a replay() call.
+struct ReplayReport {
+  uint64_t SlicesReplayed = 0;
+  uint64_t ParityOk = 0;
+  uint64_t ParityFailed = 0;
+  uint64_t ReplayedInsts = 0;
+  uint64_t PlaybackSyscalls = 0;
+  uint64_t DuplicatedSyscalls = 0;
+  std::string FiniOutput; ///< replay tool's Fini over the merged areas
+  std::vector<ReplaySliceResult> Slices;
+
+  bool allOk() const { return ParityFailed == 0; }
+};
+
+/// Replays slices from \p Cap. The capture must outlive the engine.
+class ReplayEngine {
+public:
+  ReplayEngine(const RunCapture &Cap, const os::CostModel &Model);
+
+  /// Replays every captured slice in order.
+  ReplayReport replayAll(const pin::ToolFactory &Factory);
+
+  /// Replays the given subset (deduplicated, ascending). Out-of-range
+  /// numbers are a fatal error.
+  ReplayReport replay(const pin::ToolFactory &Factory,
+                      std::vector<uint32_t> Nums);
+
+private:
+  const RunCapture &Cap;
+  const os::CostModel &Model;
+  os::Ticks InstCost;
+
+  // Master reconstruction state: windows [0, NextWindow) applied.
+  std::optional<os::Process> Master;
+  std::optional<vm::Interpreter> Interp;
+  uint32_t NextWindow = 0;
+  uint64_t NextPid = 2;
+
+  void resetMaster();
+  /// Applies windows until window \p N is next (restarting if already
+  /// past), leaving the master at slice N's fork point.
+  void fastForwardTo(uint32_t N);
+  /// Re-executes one window's instruction stream + syscalls on the master.
+  void applyWindow(const sp::SliceCaptureData &W);
+
+  ReplaySliceResult replaySlice(const sp::SliceCaptureData &W,
+                                const pin::ToolFactory &Factory,
+                                sp::SharedAreaRegistry &Areas);
+};
+
+} // namespace spin::replay
+
+#endif // SUPERPIN_REPLAY_REPLAYENGINE_H

@@ -1,0 +1,41 @@
+//===- superpin/Capture.cpp - Run-capture data model ----------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "superpin/Capture.h"
+
+#include "os/Process.h"
+
+using namespace spin;
+using namespace spin::sp;
+
+/// FNV-1a over 64-bit lanes; plenty for divergence detection.
+namespace {
+struct Fnv64 {
+  uint64_t State = 0xcbf29ce484222325ULL;
+  void mix(uint64_t V) {
+    for (int I = 0; I != 8; ++I) {
+      State ^= (V >> (8 * I)) & 0xff;
+      State *= 0x100000001b3ULL;
+    }
+  }
+};
+} // namespace
+
+uint64_t spin::sp::hashMachineState(const os::Process &Proc, uint64_t Icount) {
+  Fnv64 H;
+  H.mix(Icount);
+  H.mix(Proc.Cpu.Pc);
+  for (uint64_t Reg : Proc.Cpu.Regs)
+    H.mix(Reg);
+  H.mix(Proc.Status == os::ProcStatus::Exited ? 1 : 0);
+  H.mix(Proc.currentThread());
+  H.mix(Proc.numLiveThreads());
+  H.mix(Proc.quantumLeft());
+  for (uint64_t Pc : Proc.threadPcs())
+    H.mix(Pc);
+  return H.State;
+}

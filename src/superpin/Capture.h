@@ -1,0 +1,112 @@
+//===- superpin/Capture.h - Run-capture data model and sink -----*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine-side half of the persistent capture pipeline. The engine
+/// depends only on the abstract CaptureSink here; the concrete writer and
+/// the on-disk log format live in src/replay, which links against this
+/// library (never the other way around).
+///
+/// A capture records, per slice window, everything the live engine hands a
+/// slice (boundary kind, signature, the ordered syscall stream) *plus*
+/// what the engine normally discards: effects of duplicable and
+/// boundary syscalls, the master's start-state hash, and — at merge time —
+/// the retired icount and shared-area snapshots. That closure is what lets
+/// replay::ReplayEngine rebuild the master by fast-forwarding windows and
+/// re-execute any slice with an arbitrary tool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPERPIN_CAPTURE_H
+#define SUPERPIN_SUPERPIN_CAPTURE_H
+
+#include "os/Kernel.h"
+#include "superpin/Engine.h"
+#include "superpin/Signature.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spin::os {
+class Process;
+}
+
+namespace spin::sp {
+
+/// Pages of the §4.1 memory bubble the master materializes at startup so
+/// master and slice address-space mappings stay identical. Shared between
+/// the live engine and the replay reconstruction.
+constexpr uint64_t SpBubblePages = 64;
+
+/// How the master handled one syscall inside a captured window.
+enum class CapturedSysKind : uint8_t {
+  Playback,  ///< replayable, recorded: slices apply the effects verbatim
+  Duplicate, ///< duplicable: slices re-execute against forked kernel state
+  Boundary,  ///< window-ending syscall: executed by the master only
+};
+
+/// One syscall of a captured window, in master execution order. Effects
+/// are complete for every kind (unlike the live window, which records
+/// effects only for playback entries) so replay can reconstruct the
+/// master's post-syscall state without a live kernel decision.
+struct CapturedSyscall {
+  CapturedSysKind Kind = CapturedSysKind::Playback;
+  os::SyscallEffects Effects;
+};
+
+/// Everything recorded about one slice: the window (known when the window
+/// closes) plus the merge-time results (filled in by onSliceMerged).
+struct SliceCaptureData {
+  uint32_t Num = 0;
+  uint64_t StartIndex = 0;     ///< master dynamic-instruction index
+  uint64_t StartStateHash = 0; ///< hashMachineState at the slice's fork
+  SliceEndKind EndKind = SliceEndKind::Signature;
+  bool Spilled = false; ///< deferred to the log instead of run live
+  uint64_t ExpectedInsts = 0;
+  SliceSignature Sig; ///< valid for SliceEndKind::Signature
+  std::vector<CapturedSyscall> Sys;
+
+  // Merge-time results (parity reference for replay).
+  uint64_t RetiredInsts = 0;
+  std::vector<std::vector<uint8_t>> AreaSnapshots;
+};
+
+/// Receives capture events from a live runSuperPin. Install via
+/// SpOptions::Capture; all hooks fire in deterministic virtual-time order
+/// (windows close in slice order, merges run in slice order).
+class CaptureSink {
+public:
+  virtual ~CaptureSink() = default;
+
+  /// The run is starting; \p Prog and \p Opts are valid for its duration.
+  virtual void onRunBegin(const vm::Program &Prog, const SpOptions &Opts) = 0;
+
+  /// Slice \p Data.Num's window closed (its successor was spawned, or the
+  /// application exited). Merge-time fields are still zero.
+  virtual void onWindowCaptured(SliceCaptureData Data) = 0;
+
+  /// Slice \p Num merged: \p RetiredInsts instructions retired under
+  /// instrumentation, shared areas now hold \p AreaSnapshots.
+  virtual void onSliceMerged(uint32_t Num, uint64_t RetiredInsts,
+                             std::vector<std::vector<uint8_t>> AreaSnapshots) = 0;
+
+  /// The run completed; \p Report is final.
+  virtual void onRunEnd(const SpRunReport &Report) = 0;
+};
+
+/// Order-sensitive digest of the master-visible machine state: icount, the
+/// current thread's architectural state, every parked thread pc, and the
+/// scheduler state. Captured at each slice fork and re-derived by replay
+/// after fast-forwarding, so a reconstruction bug surfaces as a hash
+/// mismatch instead of silent divergence. Memory is deliberately excluded
+/// (hashing it would defeat COW); memory divergence is caught downstream
+/// by the syscall-sequence and signature parity checks.
+uint64_t hashMachineState(const os::Process &Proc, uint64_t Icount);
+
+} // namespace spin::sp
+
+#endif // SUPERPIN_SUPERPIN_CAPTURE_H

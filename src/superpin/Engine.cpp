@@ -25,6 +25,7 @@
 #include "os/Scheduler.h"
 #include "pin/PinVm.h"
 #include "pin/Runner.h"
+#include "superpin/Capture.h"
 #include "superpin/SharedAreas.h"
 #include "support/ErrorHandling.h"
 #include "support/RawOstream.h"
@@ -41,10 +42,6 @@ using namespace spin::sp;
 using namespace spin::vm;
 
 namespace {
-
-/// Pages of the Section 4.1 memory bubble the master materializes at
-/// startup so master and slice address-space mappings stay identical.
-constexpr uint64_t BubblePages = 64;
 
 /// One syscall the master performed inside a slice's window: either a
 /// recorded-effects playback entry or a "re-execute it yourself" marker
@@ -93,6 +90,9 @@ struct Coordinator {
   /// (SpOptions::StaticTraceSeed); null when seeding is disabled.
   const analysis::Cfg *SeedCfg = nullptr;
 
+  /// Capture sink (-sprecord); null when capture is off.
+  CaptureSink *Sink = nullptr;
+
   Scheduler::TaskId MasterId = 0;
   std::vector<SliceTask *> Slices;
   std::vector<Scheduler::TaskId> SliceIds;
@@ -100,6 +100,8 @@ struct Coordinator {
   uint32_t NextMerge = 0;
   uint32_t MergedCount = 0;
   uint64_t NextPid = 2;
+  /// True once the master exited and deferred slices may run (-spdefer).
+  bool Draining = false;
 
   bool allMerged() const { return MergedCount == Slices.size(); }
 
@@ -107,6 +109,13 @@ struct Coordinator {
     assert(RunningSlices > 0 && "slice end underflow");
     --RunningSlices;
     Sched.wake(MasterId); // Possibly stalled at -spmp.
+  }
+
+  /// Master exited: release every deferred slice into the pipeline phase.
+  void startDrain() {
+    Draining = true;
+    for (Scheduler::TaskId Id : SliceIds)
+      Sched.wake(Id);
   }
 
   void sliceMerged();
@@ -130,7 +139,7 @@ public:
     // §4.1: the slice releases the memory bubble so its VM allocations
     // land there, preserving identical app mappings with the master.
     Proc.Mem.discardRange(AddressLayout::BubbleBase,
-                          BubblePages * vm::PageSize);
+                          SpBubblePages * vm::PageSize);
     Services.setEndSliceHook([this] { Vm.requestStop(); });
     ToolInst->onSliceBegin(Num);
     if (ChargeSigRecord)
@@ -143,9 +152,18 @@ public:
   /// task. Only from this point on does the slice count as "running" for
   /// the -spmp stall limit (a slice sleeping for its window consumes no
   /// CPU, matching the paper's "maximum number of running slices").
-  void completeWindow(SliceWindow W) {
+  ///
+  /// With \p Deferred set (-spdefer under saturation) the window is
+  /// parked instead: the slice does not count as running and stays
+  /// blocked until Coordinator::startDrain() after the master exits. The
+  /// COW fork taken at spawn time acts as the slice's checkpoint, so
+  /// draining re-executes exactly the state a live run would have.
+  void completeWindow(SliceWindow W, bool Deferred) {
     assert(!Window && "window completed twice");
     Window.emplace(std::move(W));
+    DeferredSlice = Deferred;
+    if (Deferred)
+      return;
     Info.ReadyTime = C.Sched.now();
     ++C.RunningSlices;
     C.Sched.wake(C.SliceIds[Num]);
@@ -188,6 +206,7 @@ private:
   SignatureStats SigSt;
   SliceInfo Info;
   bool EndReached = false;
+  bool DeferredSlice = false;
 
   static PinVmConfig makeConfig(Coordinator &C, uint32_t Num) {
     PinVmConfig Cfg;
@@ -205,8 +224,10 @@ private:
     while (true) {
       switch (Ph) {
       case Phase::WaitWindow:
-        if (!Window)
+        if (!Window || (DeferredSlice && !C.Draining))
           return TaskStatus::Blocked;
+        if (DeferredSlice)
+          Info.ReadyTime = C.Sched.now(); // Drain start = resume moment.
         installDetection();
         Ph = Phase::Running;
         break;
@@ -215,7 +236,8 @@ private:
         if (!EndReached)
           return TaskStatus::Runnable; // Budget exhausted.
         Info.EndTime = C.Sched.now();
-        C.sliceEnded();
+        if (!DeferredSlice)
+          C.sliceEnded(); // Deferred slices never counted as running.
         Ph = Phase::WaitMerge;
         break;
       case Phase::WaitMerge:
@@ -356,7 +378,17 @@ private:
     C.Report.CompileTicks += Vm.compileTicks();
     C.Report.TracesSeeded += Vm.tracesSeeded();
     C.Report.SeedTicks += Vm.seedTicks();
+    if (DeferredSlice) {
+      ++C.Report.DrainedSlices;
+      // In-engine replay parity: a drained slice re-executed its window
+      // from the fork checkpoint; exact icount match means the deferred
+      // re-execution reproduced the live window.
+      if (Vm.retired() == Window->ExpectedInsts)
+        ++C.Report.ReplayParityOk;
+    }
     C.Report.Slices.push_back(Info);
+    if (C.Sink)
+      C.Sink->onSliceMerged(Num, Vm.retired(), C.Areas.snapshot());
     C.sliceMerged();
   }
 };
@@ -421,6 +453,9 @@ private:
   uint64_t RecordedInWindow = 0;
   SpawnKind Pending = SpawnKind::None;
   Ticks StallStart = 0;
+  /// Capture record of the open window (meaningful only with C.Sink);
+  /// initialized at spawnSlice, emitted and reset at finishWindow.
+  SliceCaptureData PendingCap;
 
   TaskStatus stepImpl() {
     if (Ledger.inDebt())
@@ -435,12 +470,16 @@ private:
         break;
       case Phase::Running: {
         if (Pending != SpawnKind::None) {
-          if (C.RunningSlices >= C.Opts.MaxSlices) {
+          bool Saturated = C.RunningSlices >= C.Opts.MaxSlices;
+          if (Saturated && !C.Opts.DeferSlices) {
             Ph = Phase::Stalled;
             StallStart = C.Sched.now();
             return TaskStatus::Blocked;
           }
-          doPendingSpawn();
+          // -spdefer: under saturation the just-closed window is spilled
+          // (the slice parks until the post-exit drain) so the master
+          // keeps running instead of sleeping.
+          doPendingSpawn(/*Defer=*/Saturated);
         }
         if (C.Sched.now() >= Deadline) {
           if (Interp.instructionsRetired() > WindowStart) {
@@ -493,7 +532,7 @@ private:
   void allocateBubble() {
     // §4.1: materialize the bubble pages so they are part of every fork's
     // page table and the slices can release them.
-    for (uint64_t P = 0; P != BubblePages; ++P)
+    for (uint64_t P = 0; P != SpBubblePages; ++P)
       Proc.Mem.write64(AddressLayout::BubbleBase + P * vm::PageSize, 0);
   }
 
@@ -558,24 +597,30 @@ private:
 
     switch (Cls) {
     case SyscallClass::Duplicable: {
-      serviceSyscall(Proc, Ctx, nullptr);
+      // The live window only needs the number (slices re-execute), but a
+      // capture also records the effects so replay can validate its
+      // duplicated results against the master's.
+      SyscallEffects Eff;
+      serviceSyscall(Proc, Ctx, C.Sink ? &Eff : nullptr);
       Interp.noteSyscallRetired();
       Proc.noteRetired(1);
       WindowSyscall WS;
       WS.IsPlayback = false;
       WS.Effects.Number = Number;
       WindowSys.push_back(std::move(WS));
+      captureSyscall(CapturedSysKind::Duplicate, std::move(Eff));
       break;
     }
     case SyscallClass::Replayable: {
       bool CanRecord = C.Opts.MaxSysRecs > 0 &&
                        RecordedInWindow < C.Opts.MaxSysRecs;
       SyscallEffects Eff;
-      serviceSyscall(Proc, Ctx, CanRecord ? &Eff : nullptr);
+      serviceSyscall(Proc, Ctx, CanRecord || C.Sink ? &Eff : nullptr);
       Interp.noteSyscallRetired();
       Proc.noteRetired(1);
       if (CanRecord) {
         Ledger.charge(C.Model.SyscallRecordCost);
+        captureSyscall(CapturedSysKind::Playback, Eff);
         WindowSyscall WS;
         WS.IsPlayback = true;
         WS.Effects = std::move(Eff);
@@ -584,17 +629,23 @@ private:
         ++C.Report.RecordedSyscalls;
       } else {
         // §4.2: recording disabled or over -spsysrecs: force a new slice.
+        // The capture keeps the effects anyway: they are the boundary
+        // syscall's outcome, which replay plays back to rebuild the
+        // master past the window.
         ++C.Report.ForcedSliceSyscalls;
         Pending = SpawnKind::Boundary;
+        captureSyscall(CapturedSysKind::Boundary, std::move(Eff));
       }
       break;
     }
     case SyscallClass::ForceSlice: {
-      serviceSyscall(Proc, Ctx, nullptr);
+      SyscallEffects Eff;
+      serviceSyscall(Proc, Ctx, C.Sink ? &Eff : nullptr);
       Interp.noteSyscallRetired();
       Proc.noteRetired(1);
       ++C.Report.ForcedSliceSyscalls;
       Pending = SpawnKind::Boundary;
+      captureSyscall(CapturedSysKind::Boundary, std::move(Eff));
       break;
     }
     case SyscallClass::Exit: {
@@ -602,6 +653,7 @@ private:
       serviceSyscall(Proc, Ctx, &Eff);
       Interp.noteSyscallRetired();
       Proc.noteRetired(1);
+      captureSyscall(CapturedSysKind::Playback, Eff);
       WindowSyscall WS;
       WS.IsPlayback = true;
       WS.Effects = std::move(Eff);
@@ -612,37 +664,87 @@ private:
       C.Report.MasterExitTicks = C.Sched.now();
       C.Report.ExitCode = Proc.ExitCode;
       Ph = Phase::WaitMerges;
+      if (C.Opts.DeferSlices)
+        C.startDrain();
       break;
     }
     }
   }
 
-  void doPendingSpawn() {
+  /// Appends one syscall to the open window's capture record. Non-playback
+  /// entries are capture-only extra recording work, charged like a §4.2
+  /// record so -sprecord overhead shows up in virtual time.
+  void captureSyscall(CapturedSysKind Kind, SyscallEffects Eff) {
+    if (!C.Sink)
+      return;
+    if (Kind != CapturedSysKind::Playback)
+      Ledger.charge(C.Model.SyscallRecordCost);
+    CapturedSyscall CS;
+    CS.Kind = Kind;
+    CS.Effects = std::move(Eff);
+    PendingCap.Sys.push_back(std::move(CS));
+  }
+
+  void doPendingSpawn(bool Defer = false) {
     SpawnKind Kind = Pending;
     Pending = SpawnKind::None;
     if (Kind == SpawnKind::Timeout) {
       SliceSignature Sig =
           recordSignature(Proc, C.Opts.MemSignature);
-      finishWindow(SliceWindow::End::Signature, std::move(Sig));
+      finishWindow(SliceWindow::End::Signature, std::move(Sig), Defer);
       spawnSlice(/*ChargeSigRecord=*/true);
       ++C.Report.TimeoutSlices;
     } else {
-      finishWindow(SliceWindow::End::SyscallBoundary, SliceSignature());
+      finishWindow(SliceWindow::End::SyscallBoundary, SliceSignature(),
+                   Defer);
       spawnSlice(/*ChargeSigRecord=*/false);
       ++C.Report.SyscallSlices;
     }
     Deadline = C.Sched.now() + effectiveSliceTicks();
   }
 
+  static SliceEndKind endKindOf(SliceWindow::End E) {
+    switch (E) {
+    case SliceWindow::End::Signature:
+      return SliceEndKind::Signature;
+    case SliceWindow::End::SyscallBoundary:
+      return SliceEndKind::SyscallBoundary;
+    case SliceWindow::End::AppExit:
+      break;
+    }
+    return SliceEndKind::AppExit;
+  }
+
   /// Closes the current window and hands it to the last spawned slice.
-  void finishWindow(SliceWindow::End EndKind, SliceSignature Sig) {
+  /// \p Defer parks the slice for the post-exit drain (-spdefer) and
+  /// charges the spill serialization instead of a master sleep.
+  void finishWindow(SliceWindow::End EndKind, SliceSignature Sig,
+                    bool Defer = false) {
     assert(!C.Slices.empty() && "no slice owns the open window");
     SliceWindow W;
     W.Sys = std::move(WindowSys);
     W.EndKind = EndKind;
     W.Sig = std::move(Sig);
     W.ExpectedInsts = Interp.instructionsRetired() - WindowStart;
-    C.Slices.back()->completeWindow(std::move(W));
+    if (Defer) {
+      // Spill cost: fixed bookkeeping plus serializing the signature
+      // (~116 words) and every recorded effect.
+      uint64_t Bytes = 960;
+      for (const WindowSyscall &WS : W.Sys)
+        Bytes += WS.Effects.sizeBytes();
+      Ledger.charge(C.Model.SpillSliceCost +
+                    Bytes * C.Model.SpillPerByteCost);
+      ++C.Report.SpilledSlices;
+    }
+    if (C.Sink) {
+      PendingCap.EndKind = endKindOf(EndKind);
+      PendingCap.Spilled = Defer;
+      PendingCap.ExpectedInsts = W.ExpectedInsts;
+      PendingCap.Sig = W.Sig;
+      C.Sink->onWindowCaptured(std::move(PendingCap));
+      PendingCap = SliceCaptureData();
+    }
+    C.Slices.back()->completeWindow(std::move(W), Defer);
     WindowStart = Interp.instructionsRetired();
     WindowSys.clear();
     RecordedInWindow = 0;
@@ -658,6 +760,13 @@ private:
     C.Slices.push_back(Slice.get());
     C.SliceIds.push_back(C.Sched.addTask(std::move(Slice)));
     ++C.Report.NumSlices;
+    if (C.Sink) {
+      PendingCap = SliceCaptureData();
+      PendingCap.Num = Num;
+      PendingCap.StartIndex = Interp.instructionsRetired();
+      PendingCap.StartStateHash =
+          hashMachineState(Proc, Interp.instructionsRetired());
+    }
   }
 
   void runFini() {
@@ -714,6 +823,9 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   SpRunReport Report;
   Scheduler Sched(Model, Opts.PhysCpus, Opts.VirtCpus);
   Coordinator C(Sched, Model, Opts, Prog, Factory, Report);
+  C.Sink = Opts.Capture;
+  if (C.Sink)
+    C.Sink->onRunBegin(Prog, Opts);
   if (Static) {
     Report.StaticSyscallSites = Static->SyscallSites.numSites();
     if (Opts.StaticSyscallPrediction)
@@ -743,5 +855,7 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   }
   if (Cursor != Report.MasterInsts)
     Report.PartitionOk = false;
+  if (C.Sink)
+    C.Sink->onRunEnd(Report);
   return Report;
 }

@@ -93,6 +93,13 @@ struct SpRunReport {
   uint64_t DuplicatedSyscalls = 0;
   uint64_t ForcedSliceSyscalls = 0;
 
+  // --- Deferred-slice mode (SpOptions::DeferSlices) ---------------------
+  uint64_t SpilledSlices = 0; ///< windows spilled instead of stalling
+  uint64_t DrainedSlices = 0; ///< spilled slices re-executed post-exit
+  /// Drained slices whose retired icount matched the live window exactly
+  /// (the in-engine replay parity check).
+  uint64_t ReplayParityOk = 0;
+
   // --- Static analysis (SpOptions::StaticSyscallPrediction / -TraceSeed)
   uint64_t StaticSyscallSites = 0;    ///< sites in the static map (0 = off)
   uint64_t PredictedSyscallSites = 0; ///< master classifications from the map

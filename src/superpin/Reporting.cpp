@@ -39,6 +39,12 @@ void spin::sp::printReport(const SpRunReport &Report, const CostModel &Model,
      << Report.PlaybackSyscalls << " played back, "
      << Report.DuplicatedSyscalls << " duplicated, "
      << Report.ForcedSliceSyscalls << " forced slices\n";
+  // Only with -spdefer activity, so reports from runs without the replay
+  // subsystem (tab_overheads et al.) are byte-identical to before.
+  if (Report.SpilledSlices || Report.DrainedSlices)
+    OS << "deferred: " << Report.SpilledSlices << " spilled, "
+       << Report.DrainedSlices << " drained, " << Report.ReplayParityOk
+       << " parity ok\n";
   if (Report.StaticSyscallSites)
     OS << "analysis: " << Report.StaticSyscallSites
        << " syscall sites mapped, " << Report.PredictedSyscallSites
@@ -72,6 +78,9 @@ void spin::sp::exportStatistics(const SpRunReport &Report,
   Stats.counter("superpin.sys.playback") = Report.PlaybackSyscalls;
   Stats.counter("superpin.sys.duplicated") = Report.DuplicatedSyscalls;
   Stats.counter("superpin.sys.forced") = Report.ForcedSliceSyscalls;
+  Stats.counter("superpin.slice.spilled") = Report.SpilledSlices;
+  Stats.counter("superpin.slice.drained") = Report.DrainedSlices;
+  Stats.counter("superpin.replay.parityok") = Report.ReplayParityOk;
   Stats.counter("superpin.sig.quick") = Report.Signature.QuickChecks;
   Stats.counter("superpin.sig.full") = Report.Signature.FullChecks;
   Stats.counter("superpin.sig.stack") = Report.Signature.StackChecks;

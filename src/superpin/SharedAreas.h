@@ -44,6 +44,16 @@ public:
 
   size_t numAreas() const { return Areas.size(); }
 
+  /// Byte-copies of every area's canonical buffer in creation order (the
+  /// capture log snapshots these after each merge).
+  std::vector<std::vector<uint8_t>> snapshot() const {
+    std::vector<std::vector<uint8_t>> Out;
+    Out.reserve(Areas.size());
+    for (const Area &A : Areas)
+      Out.push_back(A.Data);
+    return Out;
+  }
+
 private:
   struct Area {
     std::vector<uint8_t> Data;

@@ -29,6 +29,8 @@
 
 namespace spin::sp {
 
+class CaptureSink;
+
 struct SpOptions {
   /// -sp: run under SuperPin (false degrades to serial Pin behaviour).
   bool Enabled = true;
@@ -80,6 +82,18 @@ struct SpOptions {
   /// before it starts executing (PinVmConfig::SeedCfg), trading one
   /// up-front JIT burst for the per-trace first-execution compile stalls.
   bool StaticTraceSeed = false;
+
+  // --- Persistent capture & deferred replay (src/replay) ----------------
+  /// -sprecord: when non-null, the engine streams every slice window,
+  /// syscall-effects record, and merge result into this sink (see
+  /// superpin/Capture.h; replay::CaptureWriter is the standard impl).
+  /// Ignored when Enabled is false (serial Pin has no windows to capture).
+  CaptureSink *Capture = nullptr;
+  /// -spdefer: when the -spmp worker limit is hit, spill the just-closed
+  /// slice window instead of stalling the master; spilled slices drain
+  /// after the master exits. SleepTicks stays zero at the cost of a longer
+  /// pipeline phase; Reporting gains spilled/drained counters.
+  bool DeferSlices = false;
 };
 
 } // namespace spin::sp

@@ -1,0 +1,156 @@
+//===- support/BinaryStream.h - Little-endian byte (de)serialization -*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal fixed-layout binary (de)serialization used by the replay log.
+/// All multi-byte values are little-endian regardless of host order, so a
+/// capture file written on one machine loads on any other. The reader is
+/// non-throwing: any out-of-bounds access latches an error flag and yields
+/// zeros, letting callers validate once at the end instead of checking
+/// every field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPPORT_BINARYSTREAM_H
+#define SUPERPIN_SUPPORT_BINARYSTREAM_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace spin {
+
+/// Appends fixed-layout little-endian values to a growable byte buffer.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+
+  /// Raw doubles travel as their IEEE-754 bit pattern.
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+
+  void boolean(bool V) { u8(V ? 1 : 0); }
+
+  /// Length-prefixed byte blob.
+  void bytes(const void *Data, size_t Size) {
+    u64(Size);
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    Buf.insert(Buf.end(), P, P + Size);
+  }
+
+  void str(const std::string &S) { bytes(S.data(), S.size()); }
+
+  size_t size() const { return Buf.size(); }
+  const std::vector<uint8_t> &buffer() const { return Buf; }
+  std::vector<uint8_t> take() { return std::move(Buf); }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Reads fixed-layout little-endian values from a byte buffer.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit ByteReader(const std::vector<uint8_t> &Buf)
+      : Data(Buf.data()), Size(Buf.size()) {}
+
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return Data[Pos++];
+  }
+
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(Data[Pos + I]) << (8 * I);
+    Pos += 4;
+    return V;
+  }
+
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(Data[Pos + I]) << (8 * I);
+    Pos += 8;
+    return V;
+  }
+
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+
+  bool boolean() { return u8() != 0; }
+
+  std::vector<uint8_t> bytes() {
+    uint64_t N = u64();
+    if (!need(N))
+      return {};
+    std::vector<uint8_t> Out(Data + Pos, Data + Pos + N);
+    Pos += N;
+    return Out;
+  }
+
+  std::string str() {
+    uint64_t N = u64();
+    if (!need(N))
+      return {};
+    std::string Out(reinterpret_cast<const char *>(Data + Pos), N);
+    Pos += N;
+    return Out;
+  }
+
+  size_t position() const { return Pos; }
+  size_t remaining() const { return Size - Pos; }
+  bool failed() const { return Failed; }
+  /// True when every byte was consumed without error.
+  bool exhausted() const { return !Failed && Pos == Size; }
+
+private:
+  bool need(uint64_t N) {
+    if (Failed || N > Size - Pos) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace spin
+
+#endif // SUPERPIN_SUPPORT_BINARYSTREAM_H

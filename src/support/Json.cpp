@@ -11,7 +11,9 @@
 #include "support/StringExtras.h"
 
 #include <cassert>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace spin;
 
@@ -147,4 +149,291 @@ JsonWriter &JsonWriter::value(bool B) {
   beforeValue();
   OS << (B ? "true" : "false");
   return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Reader
+//===----------------------------------------------------------------------===//
+
+double JsonValue::asDouble() const {
+  switch (K) {
+  case Kind::UInt:
+    return static_cast<double>(UInt);
+  case Kind::Int:
+    return static_cast<double>(Int);
+  case Kind::Double:
+    return Double;
+  default:
+    return 0.0;
+  }
+}
+
+const JsonValue *JsonValue::get(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Val] : Members)
+    if (Name == Key)
+      return &Val;
+  return nullptr;
+}
+
+namespace spin {
+
+class JsonParser {
+public:
+  JsonParser(std::string_view Text) : Text(Text) {}
+
+  std::optional<JsonValue> run(std::string *Err) {
+    JsonValue V;
+    if (!parseValue(V) || (skipWs(), Pos != Text.size())) {
+      if (!Failed)
+        fail("trailing characters after document");
+      if (Err)
+        *Err = Msg + " at offset " + std::to_string(Pos);
+      return std::nullopt;
+    }
+    return V;
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Msg;
+
+  bool fail(std::string_view Why) {
+    if (!Failed) {
+      Failed = true;
+      Msg = Why;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char C, std::string_view What) {
+    if (consume(C))
+      return true;
+    return fail(What);
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      if (!literal("true"))
+        return fail("bad literal");
+      Out.K = JsonValue::Kind::Bool;
+      Out.Boolean = true;
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return fail("bad literal");
+      Out.K = JsonValue::Kind::Bool;
+      Out.Boolean = false;
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return fail("bad literal");
+      Out.K = JsonValue::Kind::Null;
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out) {
+    ++Pos; // '{'
+    Out.K = JsonValue::Kind::Object;
+    if (consume('}'))
+      return true;
+    while (true) {
+      skipWs();
+      std::string Key;
+      if (Pos >= Text.size() || Text[Pos] != '"' || !parseString(Key))
+        return fail("expected object key");
+      if (!expect(':', "expected ':' after object key"))
+        return false;
+      JsonValue Member;
+      if (!parseValue(Member))
+        return false;
+      Out.Members.emplace_back(std::move(Key), std::move(Member));
+      if (consume(','))
+        continue;
+      return expect('}', "expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    ++Pos; // '['
+    Out.K = JsonValue::Kind::Array;
+    if (consume(']'))
+      return true;
+    while (true) {
+      JsonValue Elem;
+      if (!parseValue(Elem))
+        return false;
+      Out.Elements.push_back(std::move(Elem));
+      if (consume(','))
+        continue;
+      return expect(']', "expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else
+            return fail("bad \\u escape");
+        }
+        // The writer only emits \u for control characters; decode the
+        // one-byte cases and pass anything wider through as '?'.
+        Out.push_back(Code < 0x100 ? static_cast<char>(Code) : '?');
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  /// Integer literals stay integers: a non-negative one parses into the
+  /// full uint64_t range (Kind::UInt), a negative one into int64_t
+  /// (Kind::Int). Fractions, exponents, and out-of-range magnitudes fall
+  /// back to double.
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    bool Negative = Pos < Text.size() && Text[Pos] == '-';
+    if (Negative)
+      ++Pos;
+    uint64_t Mag = 0;
+    bool Overflow = false;
+    size_t DigitsStart = Pos;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+      uint64_t Digit = Text[Pos] - '0';
+      if (Mag > (~uint64_t(0) - Digit) / 10)
+        Overflow = true;
+      else
+        Mag = Mag * 10 + Digit;
+      ++Pos;
+    }
+    if (Pos == DigitsStart)
+      return fail("expected a value");
+    bool Fractional = false;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      Fractional = true;
+      ++Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Fractional = true;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (!Fractional && !Overflow) {
+      if (!Negative) {
+        Out.K = JsonValue::Kind::UInt;
+        Out.UInt = Mag;
+        Out.Int = static_cast<int64_t>(Mag);
+        return true;
+      }
+      if (Mag <= static_cast<uint64_t>(INT64_MAX) + 1) {
+        Out.K = JsonValue::Kind::Int;
+        Out.Int = static_cast<int64_t>(0 - Mag);
+        return true;
+      }
+    }
+    Out.K = JsonValue::Kind::Double;
+    Out.Double =
+        std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                    nullptr);
+    return true;
+  }
+};
+
+} // namespace spin
+
+std::optional<JsonValue> spin::parseJson(std::string_view Text,
+                                         std::string *Err) {
+  return JsonParser(Text).run(Err);
 }

@@ -7,8 +7,13 @@
 ///
 /// \file
 /// A small streaming JSON writer used by the benchmark harnesses to emit
-/// machine-readable experiment data (-json). Handles comma placement,
-/// nesting, and string escaping; asserts on malformed nesting.
+/// machine-readable experiment data (-json), plus a matching recursive-
+/// descent reader (JsonValue / parseJson) used by the replay-log sidecar
+/// index. The writer handles comma placement, nesting, and string
+/// escaping; asserts on malformed nesting. The reader keeps integer
+/// literals in 64-bit integer form — a uint64_t counter such as a replay
+/// icount survives a write/parse round trip losslessly instead of being
+/// squeezed through a double (which is exact only up to 2^53).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,7 +21,11 @@
 #define SUPERPIN_SUPPORT_JSON_H
 
 #include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace spin {
@@ -70,6 +79,53 @@ private:
   void beforeValue();
   void writeEscaped(std::string_view Str);
 };
+
+/// A parsed JSON document node. Numbers keep their most faithful native
+/// representation: non-negative integer literals parse as UInt (full
+/// uint64_t range), negative integer literals as Int, and only literals
+/// with a fraction/exponent (or beyond 64-bit range) fall back to Double.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, UInt, Int, Double, String, Array,
+                              Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+
+  bool asBool() const { return Boolean; }
+  /// Valid for UInt; Int/Double callers should check kind() first.
+  uint64_t asUInt() const { return UInt; }
+  int64_t asInt() const { return Int; }
+  /// Numeric value as a double, whatever the stored kind.
+  double asDouble() const;
+  const std::string &asString() const { return Str; }
+
+  const std::vector<JsonValue> &array() const { return Elements; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue *get(std::string_view Key) const;
+
+private:
+  friend class JsonParser;
+
+  Kind K = Kind::Null;
+  bool Boolean = false;
+  uint64_t UInt = 0;
+  int64_t Int = 0;
+  double Double = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Elements;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+/// Parses one JSON document. Returns std::nullopt on malformed input and,
+/// when \p Err is non-null, stores a position-annotated message there.
+std::optional<JsonValue> parseJson(std::string_view Text,
+                                   std::string *Err = nullptr);
 
 } // namespace spin
 

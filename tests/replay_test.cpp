@@ -1,0 +1,430 @@
+//===- tests/replay_test.cpp - Capture & replay subsystem tests -----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The persistent capture pipeline end to end: syscall-effects wire format,
+// playback round-trip parity per replayable syscall class, capture-log
+// encode/decode/save/load, ReplayEngine parity against live runs (same
+// tool and different tool, full and subset), and deferred-slice mode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/CaptureWriter.h"
+#include "replay/Log.h"
+#include "replay/ReplayEngine.h"
+
+#include "os/CostModel.h"
+#include "os/Kernel.h"
+#include "os/Process.h"
+#include "superpin/Engine.h"
+#include "support/BinaryStream.h"
+#include "support/Json.h"
+#include "tools/Icount.h"
+#include "tools/MemTrace.h"
+#include "vm/Interpreter.h"
+#include "workloads/Spec2000.h"
+
+#include "TestPrograms.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::replay;
+using namespace spin::sp;
+using namespace spin::test;
+using namespace spin::tools;
+using namespace spin::vm;
+
+namespace {
+
+// --- SyscallEffects wire format -----------------------------------------
+
+TEST(EffectsCodec, RoundTripIsLossless) {
+  SyscallEffects Eff;
+  Eff.Number = uint64_t(Sys::Read);
+  Eff.RetVal = (uint64_t(1) << 53) + 1; // beyond double-exact range
+  Eff.ProcessExited = false;
+  Eff.MemWrites.push_back({~uint64_t(0) - 7, {1, 2, 3, 4, 5}});
+  Eff.MemWrites.push_back({AddressLayout::DataBase, {}});
+
+  ByteWriter W;
+  encodeSyscallEffects(Eff, W);
+  ByteReader R(W.buffer());
+  SyscallEffects Back = decodeSyscallEffects(R);
+  EXPECT_TRUE(R.exhausted());
+  EXPECT_EQ(Back, Eff);
+}
+
+TEST(EffectsCodec, TruncationLatchesError) {
+  SyscallEffects Eff;
+  Eff.Number = uint64_t(Sys::Write);
+  Eff.MemWrites.push_back({0x1000, {9, 9, 9}});
+  ByteWriter W;
+  encodeSyscallEffects(Eff, W);
+  std::vector<uint8_t> Bytes = W.take();
+  Bytes.resize(Bytes.size() - 2);
+  ByteReader R(Bytes);
+  decodeSyscallEffects(R);
+  EXPECT_TRUE(R.failed());
+}
+
+// --- playbackSyscall round-trip parity per replayable class -------------
+
+/// Stops a fresh process at its first syscall with r0..r3 loaded.
+struct SyscallFixture {
+  Program Prog;
+  Process Proc;
+
+  explicit SyscallFixture(std::string_view Body)
+      : Prog(mustAssemble(std::string("main:\n") + std::string(Body) +
+                              "\n  syscall\n  syscall\n  halt\n",
+                          "replayfix")),
+        Proc(Process::create(Prog)) {
+    runToSyscall();
+  }
+
+  void runToSyscall() {
+    Interpreter I(Prog, Proc.Cpu, Proc.Mem);
+    RunResult R = I.run(100000);
+    ASSERT_EQ(R.Reason, StopReason::Syscall);
+  }
+};
+
+/// Services the pending syscall on the original, encodes + decodes the
+/// effects, plays them back on a pre-syscall fork, and requires the two
+/// processes to end bit-identical in registers and all touched memory.
+void expectPlaybackParity(SyscallFixture &F, const SystemContext &Ctx) {
+  Process Replica = F.Proc.fork(2);
+  SyscallEffects Eff;
+  serviceSyscall(F.Proc, Ctx, &Eff);
+
+  ByteWriter W;
+  encodeSyscallEffects(Eff, W);
+  ByteReader R(W.buffer());
+  SyscallEffects Wire = decodeSyscallEffects(R);
+  ASSERT_TRUE(R.exhausted());
+  ASSERT_EQ(Wire, Eff);
+
+  playbackSyscall(Replica, Wire);
+  EXPECT_EQ(Replica.Cpu, F.Proc.Cpu); // full register file + pc
+  EXPECT_EQ(Replica.Status == ProcStatus::Exited,
+            F.Proc.Status == ProcStatus::Exited);
+  for (const auto &[Addr, Bytes] : Wire.MemWrites)
+    for (uint64_t Off = 0; Off != Bytes.size(); ++Off) {
+      uint8_t Byte = 0;
+      Replica.Mem.readBytes(Addr + Off, &Byte, 1);
+      uint8_t Orig = 0;
+      F.Proc.Mem.readBytes(Addr + Off, &Orig, 1);
+      EXPECT_EQ(Byte, Orig) << "memory diverged at " << Addr + Off;
+    }
+}
+
+TEST(Playback, WriteParity) {
+  SyscallFixture F("  movi r0, 1\n  movi r1, 1\n  movi r2, 67108864\n"
+                   "  movi r3, 16");
+  F.Proc.Mem.writeBytes(AddressLayout::DataBase, "0123456789abcdef", 16);
+  SystemContext Ctx;
+  Ctx.SuppressOutput = true;
+  expectPlaybackParity(F, Ctx);
+  EXPECT_EQ(F.Proc.Cpu.Regs[0], 16u);
+}
+
+TEST(Playback, ReadParity) {
+  // open() a synthetic file first, then read 64 bytes from it.
+  SyscallFixture F("  movi r1, 67108864\n  movi r0, 9");
+  F.Proc.Mem.writeBytes(AddressLayout::DataBase, "input", 6);
+  SystemContext Ctx;
+  serviceSyscall(F.Proc, Ctx, nullptr);
+  uint64_t Fd = F.Proc.Cpu.Regs[0];
+  F.runToSyscall();
+  F.Proc.Cpu.Regs[0] = uint64_t(Sys::Read);
+  F.Proc.Cpu.Regs[1] = Fd;
+  F.Proc.Cpu.Regs[2] = AddressLayout::DataBase + 0x100;
+  F.Proc.Cpu.Regs[3] = 64;
+  expectPlaybackParity(F, Ctx);
+}
+
+TEST(Playback, GetTimeMsParity) {
+  SyscallFixture F("  movi r0, 6");
+  SystemContext Ctx;
+  Ctx.NowMs = 123456789;
+  expectPlaybackParity(F, Ctx);
+  EXPECT_EQ(F.Proc.Cpu.Regs[0], 123456789u);
+}
+
+TEST(Playback, GetPidParity) {
+  // getpid is why playback exists: a replica fork would compute a
+  // *different* pid by re-executing; playback pins the master's.
+  SyscallFixture F("  movi r0, 7");
+  SystemContext Ctx;
+  expectPlaybackParity(F, Ctx);
+  EXPECT_EQ(F.Proc.Cpu.Regs[0], 1u);
+}
+
+TEST(Playback, ExitParity) {
+  SyscallFixture F("  movi r0, 0\n  movi r1, 41");
+  SystemContext Ctx;
+  expectPlaybackParity(F, Ctx);
+  EXPECT_EQ(F.Proc.ExitCode, 41);
+}
+
+// --- Capture log format --------------------------------------------------
+
+SpOptions captureOptions(CaptureSink *Sink, uint32_t MaxSlices = 8,
+                         bool Defer = false) {
+  SpOptions Opts;
+  Opts.SliceMs = 50;
+  Opts.MaxSlices = MaxSlices;
+  Opts.Capture = Sink;
+  Opts.DeferSlices = Defer;
+  return Opts;
+}
+
+RunCapture captureWorkload(const std::string &Name, double Scale = 0.1,
+                           uint64_t *LiveIcount = nullptr) {
+  Program Prog =
+      workloads::buildWorkload(workloads::findWorkload(Name), Scale);
+  CaptureWriter Writer;
+  auto Result = std::make_shared<IcountResult>();
+  SpOptions Opts = captureOptions(&Writer);
+  Opts.Cpi = workloads::findWorkload(Name).Cpi;
+  CostModel Model;
+  SpRunReport Rep = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock, Result), Opts,
+      Model);
+  EXPECT_TRUE(Rep.PartitionOk) << Name;
+  EXPECT_GT(Rep.NumSlices, 2u) << Name << " should actually slice";
+  if (LiveIcount)
+    *LiveIcount = Result->Total;
+  return Writer.take();
+}
+
+TEST(Log, EncodeDecodeRoundTrip) {
+  RunCapture Cap = captureWorkload("vpr");
+  std::vector<SliceIndexEntry> Index;
+  std::vector<uint8_t> Bytes = encodeCapture(Cap, &Index);
+  ASSERT_EQ(Index.size(), Cap.Slices.size());
+
+  std::string Err;
+  std::optional<RunCapture> Back = decodeCapture(Bytes, &Err);
+  ASSERT_TRUE(Back.has_value()) << Err;
+  EXPECT_EQ(Back->Prog.Name, Cap.Prog.Name);
+  EXPECT_EQ(Back->Prog.Text.size(), Cap.Prog.Text.size());
+  EXPECT_EQ(Back->Prog.Symbols, Cap.Prog.Symbols);
+  EXPECT_EQ(Back->MasterInsts, Cap.MasterInsts);
+  EXPECT_EQ(Back->SliceInsts, Cap.SliceInsts);
+  EXPECT_EQ(Back->Output, Cap.Output);
+  ASSERT_EQ(Back->Slices.size(), Cap.Slices.size());
+  for (size_t I = 0; I != Cap.Slices.size(); ++I) {
+    EXPECT_EQ(Back->Slices[I].StartStateHash, Cap.Slices[I].StartStateHash);
+    EXPECT_EQ(Back->Slices[I].ExpectedInsts, Cap.Slices[I].ExpectedInsts);
+    EXPECT_EQ(Back->Slices[I].Sys.size(), Cap.Slices[I].Sys.size());
+  }
+  // Decode -> re-encode must be byte-identical (canonical form).
+  EXPECT_EQ(encodeCapture(*Back), Bytes);
+}
+
+TEST(Log, CorruptionAndTruncationRejected) {
+  RunCapture Cap = captureWorkload("vpr");
+  std::vector<uint8_t> Bytes = encodeCapture(Cap);
+  std::string Err;
+
+  std::vector<uint8_t> Flipped = Bytes;
+  Flipped[Flipped.size() / 2] ^= 0x40;
+  EXPECT_FALSE(decodeCapture(Flipped, &Err).has_value());
+  EXPECT_NE(Err.find("checksum"), std::string::npos);
+
+  std::vector<uint8_t> Short(Bytes.begin(), Bytes.end() - 9);
+  EXPECT_FALSE(decodeCapture(Short, &Err).has_value());
+
+  std::vector<uint8_t> BadMagic = Bytes;
+  BadMagic[0] ^= 0xff;
+  EXPECT_FALSE(decodeCapture(BadMagic, &Err).has_value());
+}
+
+TEST(Log, SaveLoadAndSidecar) {
+  RunCapture Cap = captureWorkload("vpr");
+  std::string Path =
+      std::string(::testing::TempDir()) + "replay_test_save.sprl";
+  std::string Err;
+  ASSERT_TRUE(saveCapture(Cap, Path, &Err)) << Err;
+
+  std::optional<RunCapture> Back = loadCapture(Path, &Err);
+  ASSERT_TRUE(Back.has_value()) << Err;
+  EXPECT_EQ(encodeCapture(*Back), encodeCapture(Cap));
+
+  // The sidecar is valid JSON whose index matches the capture, with
+  // uint64 counters surviving the parse exactly.
+  std::FILE *F = std::fopen(sidecarPath(Path).c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  std::optional<JsonValue> Doc = parseJson(Text, &Err);
+  ASSERT_TRUE(Doc.has_value()) << Err;
+  EXPECT_EQ(Doc->get("format")->asString(), "sprl");
+  EXPECT_EQ(Doc->get("masterinsts")->asUInt(), Cap.MasterInsts);
+  ASSERT_EQ(Doc->get("slices")->array().size(), Cap.Slices.size());
+  for (size_t I = 0; I != Cap.Slices.size(); ++I) {
+    const JsonValue &S = Doc->get("slices")->array()[I];
+    EXPECT_EQ(S.get("num")->asUInt(), Cap.Slices[I].Num);
+    EXPECT_EQ(S.get("insts")->asUInt(), Cap.Slices[I].ExpectedInsts);
+    EXPECT_EQ(S.get("end")->asString(), endKindName(Cap.Slices[I].EndKind));
+  }
+  std::remove(Path.c_str());
+  std::remove(sidecarPath(Path).c_str());
+}
+
+// --- ReplayEngine parity against live runs ------------------------------
+
+TEST(Replay, SameToolReproducesLiveRunExactly) {
+  // The ISSUE acceptance bar: for several workloads, replaying every slice
+  // with the capture-time tool reproduces the live per-slice icounts and
+  // the merged total exactly.
+  CostModel Model;
+  for (const char *Name : {"gcc", "mcf", "vpr"}) {
+    uint64_t LiveIcount = 0;
+    RunCapture Cap = captureWorkload(Name, 0.1, &LiveIcount);
+
+    auto Result = std::make_shared<IcountResult>();
+    ReplayEngine Engine(Cap, Model);
+    ReplayReport Rep = Engine.replayAll(
+        makeIcountTool(IcountGranularity::BasicBlock, Result));
+
+    EXPECT_TRUE(Rep.allOk()) << Name;
+    EXPECT_EQ(Rep.SlicesReplayed, Cap.Slices.size()) << Name;
+    EXPECT_EQ(Rep.ReplayedInsts, Cap.SliceInsts) << Name;
+    EXPECT_EQ(Result->Total, LiveIcount)
+        << Name << ": replayed merge must equal the live merged icount";
+    for (const ReplaySliceResult &R : Rep.Slices) {
+      EXPECT_TRUE(R.ParityOk) << Name << " slice " << R.Num;
+      EXPECT_EQ(R.RetiredInsts, Cap.Slices[R.Num].RetiredInsts)
+          << Name << " slice " << R.Num;
+    }
+  }
+}
+
+TEST(Replay, DifferentToolCompletesWithoutDivergence) {
+  // Replay with a tool the capture never saw (icount -> memtrace): every
+  // slice must still track the recorded windows with no playback
+  // divergence.
+  RunCapture Cap = captureWorkload("gcc");
+  auto Trace = std::make_shared<MemTraceResult>();
+  CostModel Model;
+  ReplayEngine Engine(Cap, Model);
+  ReplayReport Rep = Engine.replayAll(makeMemTraceTool(Trace));
+  EXPECT_TRUE(Rep.allOk());
+  EXPECT_EQ(Rep.ReplayedInsts, Cap.SliceInsts);
+  for (const ReplaySliceResult &R : Rep.Slices)
+    EXPECT_FALSE(R.Diverged) << "slice " << R.Num << ": " << R.Note;
+  EXPECT_FALSE(Trace->Records.empty());
+}
+
+TEST(Replay, SubsetAndOutOfOrderRequests) {
+  RunCapture Cap = captureWorkload("vpr");
+  ASSERT_GE(Cap.Slices.size(), 4u);
+  CostModel Model;
+  ReplayEngine Engine(Cap, Model);
+  // Out of order + duplicate: the engine sorts and dedups, and the
+  // fast-forward restarts cleanly when asked to go backwards.
+  ReplayReport Rep =
+      Engine.replay(makeIcountTool(IcountGranularity::BasicBlock),
+                    {3, 1, 1});
+  EXPECT_EQ(Rep.SlicesReplayed, 2u);
+  EXPECT_TRUE(Rep.allOk());
+  uint64_t Expected =
+      Cap.Slices[1].RetiredInsts + Cap.Slices[3].RetiredInsts;
+  EXPECT_EQ(Rep.ReplayedInsts, Expected);
+
+  // A second request going backwards over the same engine.
+  ReplayReport Rep2 =
+      Engine.replay(makeIcountTool(IcountGranularity::BasicBlock), {0});
+  EXPECT_TRUE(Rep2.allOk());
+  EXPECT_EQ(Rep2.ReplayedInsts, Cap.Slices[0].RetiredInsts);
+}
+
+TEST(Replay, ReplayIsDeterministic) {
+  RunCapture Cap = captureWorkload("vpr");
+  CostModel Model;
+  ReplayEngine Engine(Cap, Model);
+  auto R1 = std::make_shared<IcountResult>();
+  auto R2 = std::make_shared<IcountResult>();
+  ReplayReport A =
+      Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock, R1));
+  ReplayReport B =
+      Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock, R2));
+  EXPECT_EQ(A.ReplayedInsts, B.ReplayedInsts);
+  EXPECT_EQ(A.FiniOutput, B.FiniOutput);
+  EXPECT_EQ(R1->Total, R2->Total);
+}
+
+// --- Deferred-slice mode (-spdefer) -------------------------------------
+
+TEST(Defer, SpillsInsteadOfStallingAndPreservesResults) {
+  Program Prog =
+      workloads::buildWorkload(workloads::findWorkload("gcc"), 0.1);
+  CostModel Model;
+
+  // Baseline: saturated at 2 workers, master stalls.
+  auto BaseResult = std::make_shared<IcountResult>();
+  SpOptions BaseOpts = captureOptions(nullptr, /*MaxSlices=*/2);
+  SpRunReport Base = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock, BaseResult),
+      BaseOpts, Model);
+  ASSERT_GT(Base.SleepTicks, 0u) << "baseline must actually saturate";
+
+  // Deferred: same limit, windows spill instead.
+  auto DeferResult = std::make_shared<IcountResult>();
+  SpOptions DeferOpts = captureOptions(nullptr, /*MaxSlices=*/2,
+                                       /*Defer=*/true);
+  SpRunReport Defer = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock, DeferResult),
+      DeferOpts, Model);
+
+  EXPECT_EQ(Defer.SleepTicks, 0u) << "-spdefer must never stall the master";
+  EXPECT_GT(Defer.SpilledSlices, 0u);
+  EXPECT_EQ(Defer.DrainedSlices, Defer.SpilledSlices);
+  EXPECT_EQ(Defer.ReplayParityOk, Defer.DrainedSlices)
+      << "every drained slice must reproduce its live window";
+  EXPECT_TRUE(Defer.PartitionOk);
+  EXPECT_EQ(Defer.SliceInsts, Base.SliceInsts);
+  EXPECT_EQ(DeferResult->Total, BaseResult->Total)
+      << "deferred execution must not change tool results";
+  EXPECT_EQ(Defer.Output, Base.Output);
+  // Spilling trades master progress for a longer post-exit drain.
+  EXPECT_GT(Defer.PipelineTicks, Base.PipelineTicks);
+}
+
+TEST(Defer, DeferredCaptureReplaysWithParity) {
+  Program Prog =
+      workloads::buildWorkload(workloads::findWorkload("vpr"), 0.05);
+  CaptureWriter Writer;
+  SpOptions Opts = captureOptions(&Writer, /*MaxSlices=*/2, /*Defer=*/true);
+  CostModel Model;
+  SpRunReport Rep = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts, Model);
+  ASSERT_TRUE(Rep.PartitionOk);
+  RunCapture Cap = Writer.take();
+  EXPECT_EQ(Cap.SpilledSlices, Rep.SpilledSlices);
+  uint64_t SpilledInLog = 0;
+  for (const SliceCaptureData &S : Cap.Slices)
+    SpilledInLog += S.Spilled ? 1 : 0;
+  EXPECT_EQ(SpilledInLog, Rep.SpilledSlices);
+
+  ReplayEngine Engine(Cap, Model);
+  ReplayReport RRep =
+      Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
+  EXPECT_TRUE(RRep.allOk());
+  EXPECT_EQ(RRep.ReplayedInsts, Cap.SliceInsts);
+}
+
+} // namespace

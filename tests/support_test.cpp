@@ -342,4 +342,64 @@ TEST(Table, JsonOutput) {
   EXPECT_EQ(Out, "[{\"bench\":\"gcc\",\"pct\":\"125%\"}]\n");
 }
 
+// --- JSON parser ---------------------------------------------------------
+
+TEST(JsonParse, ObjectsArraysScalars) {
+  std::optional<JsonValue> V = parseJson(
+      "{\"name\":\"sp\",\"ok\":true,\"none\":null,"
+      "\"list\":[1,-2,3.5],\"nested\":{\"k\":\"v\"}}");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->get("name")->asString(), "sp");
+  EXPECT_TRUE(V->get("ok")->asBool());
+  EXPECT_TRUE(V->get("none")->isNull());
+  const std::vector<JsonValue> &List = V->get("list")->array();
+  ASSERT_EQ(List.size(), 3u);
+  EXPECT_EQ(List[0].kind(), JsonValue::Kind::UInt);
+  EXPECT_EQ(List[0].asUInt(), 1u);
+  EXPECT_EQ(List[1].kind(), JsonValue::Kind::Int);
+  EXPECT_EQ(List[1].asInt(), -2);
+  EXPECT_EQ(List[2].kind(), JsonValue::Kind::Double);
+  EXPECT_EQ(List[2].asDouble(), 3.5);
+  EXPECT_EQ(V->get("nested")->get("k")->asString(), "v");
+  EXPECT_EQ(V->get("missing"), nullptr);
+}
+
+TEST(JsonParse, Uint64RoundTripIsLossless) {
+  // Regression: a uint64 counter above 2^53 (e.g. a replay icount or tick
+  // total) must survive a JsonWriter -> parseJson round trip exactly, not
+  // squeezed through a double.
+  const uint64_t Exact[] = {(uint64_t(1) << 53) + 1, ~uint64_t(0),
+                            uint64_t(1) << 63};
+  for (uint64_t N : Exact) {
+    std::string Out =
+        jsonOf([&](JsonWriter &J) { J.beginArray().value(N).endArray(); });
+    std::optional<JsonValue> V = parseJson(Out);
+    ASSERT_TRUE(V.has_value()) << Out;
+    ASSERT_EQ(V->array().size(), 1u);
+    EXPECT_EQ(V->array()[0].kind(), JsonValue::Kind::UInt);
+    EXPECT_EQ(V->array()[0].asUInt(), N) << "lost precision for " << N;
+  }
+  // Negative integers keep 64-bit form too.
+  std::optional<JsonValue> V = parseJson("[-9223372036854775808]");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->array()[0].kind(), JsonValue::Kind::Int);
+  EXPECT_EQ(V->array()[0].asInt(), INT64_MIN);
+}
+
+TEST(JsonParse, StringEscapesDecode) {
+  std::optional<JsonValue> V = parseJson("[\"a\\\"b\\\\c\\nd\\te\\u0041\"]");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->array()[0].asString(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParse, MalformedInputsRejected) {
+  std::string Err;
+  EXPECT_FALSE(parseJson("{\"a\":}", &Err).has_value());
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(parseJson("[1,2", &Err).has_value());
+  EXPECT_FALSE(parseJson("", &Err).has_value());
+  EXPECT_FALSE(parseJson("{} trailing", &Err).has_value());
+  EXPECT_FALSE(parseJson("+5", &Err).has_value());
+}
+
 } // namespace
