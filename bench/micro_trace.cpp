@@ -1,0 +1,122 @@
+//===- bench/micro_trace.cpp - Observability microbenchmarks --------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Host-performance microbenchmarks of the tracing subsystem: raw recorder
+// appends, histogram recording, Chrome trace serialization, and — the
+// acceptance bar — a full engine run with tracing off vs. on (compare the
+// two BM_EngineRun timings; the delta is the tracing overhead and should
+// stay in the low single digits).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceRecorder.h"
+#include "superpin/Engine.h"
+#include "support/Histogram.h"
+#include "support/RawOstream.h"
+#include "tools/Icount.h"
+#include "workloads/Generator.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace spin;
+using namespace spin::obs;
+using namespace spin::sp;
+using namespace spin::vm;
+
+static Program &traceProgram() {
+  static Program Prog = [] {
+    workloads::GenParams P;
+    P.Name = "micro-trace";
+    P.TargetInsts = 1u << 20;
+    P.NumFuncs = 8;
+    P.BlocksPerFunc = 8;
+    P.WorkingSetBytes = 1 << 16;
+    P.SyscallMask = 63;
+    P.Mix = workloads::SysMix::Mixed;
+    return workloads::generateWorkload(P);
+  }();
+  return Prog;
+}
+
+static void BM_RecorderInstant(benchmark::State &State) {
+  TraceRecorder Rec(1 << 16);
+  uint64_t Ts = 0;
+  for (auto _ : State) {
+    Rec.instant(1, EventKind::SysService, ++Ts, 42);
+    benchmark::DoNotOptimize(Rec.size());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_RecorderInstant);
+
+static void BM_RecorderSpanPair(benchmark::State &State) {
+  TraceRecorder Rec(1 << 16);
+  uint64_t Ts = 0;
+  for (auto _ : State) {
+    Rec.begin(1, EventKind::SliceRun, ++Ts);
+    Rec.end(1, EventKind::SliceRun, ++Ts, 100);
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+}
+BENCHMARK(BM_RecorderSpanPair);
+
+static void BM_HistogramRecord(benchmark::State &State) {
+  Histogram H;
+  uint64_t V = 0;
+  for (auto _ : State) {
+    H.record(V += 977);
+    benchmark::DoNotOptimize(H.count());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+static void BM_ChromeExport(benchmark::State &State) {
+  TraceRecorder Rec(1 << 14);
+  for (uint64_t I = 0; I != (1u << 14); ++I) {
+    if (I % 2)
+      Rec.begin(I % 8, EventKind::SliceRun, I * 10);
+    else
+      Rec.end(I % 8, EventKind::SliceRun, I * 10);
+  }
+  os::CostModel Model;
+  for (auto _ : State) {
+    std::string Out;
+    RawStringOstream OS(Out);
+    Rec.writeChromeTrace(OS, Model.TicksPerMs);
+    OS.flush();
+    benchmark::DoNotOptimize(Out.size());
+    State.SetBytesProcessed(State.bytes_processed() +
+                            static_cast<int64_t>(Out.size()));
+  }
+}
+BENCHMARK(BM_ChromeExport);
+
+/// The acceptance benchmark: one full engine run, Arg(0) = tracing off,
+/// Arg(1) = tracing on. The relative wall-time delta is the end-to-end
+/// tracing overhead.
+static void BM_EngineRun(benchmark::State &State) {
+  Program &Prog = traceProgram();
+  os::CostModel Model;
+  bool Traced = State.range(0) != 0;
+  for (auto _ : State) {
+    TraceRecorder Rec(1 << 18);
+    SpOptions Opts;
+    Opts.SliceMs = 50;
+    if (Traced)
+      Opts.Trace = &Rec;
+    SpRunReport Rep = runSuperPin(
+        Prog, tools::makeIcountTool(tools::IcountGranularity::BasicBlock),
+        Opts, Model);
+    benchmark::DoNotOptimize(Rep.WallTicks);
+    State.SetItemsProcessed(State.items_processed() +
+                            static_cast<int64_t>(Rep.MasterInsts));
+  }
+}
+BENCHMARK(BM_EngineRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -16,11 +16,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Metrics.h"
+#include "obs/TraceRecorder.h"
 #include "pin/Runner.h"
 #include "superpin/Engine.h"
 #include "superpin/Reporting.h"
 #include "support/CommandLine.h"
 #include "support/RawOstream.h"
+#include "support/Statistic.h"
 #include "support/StringExtras.h"
 #include "tools/BranchProfile.h"
 #include "tools/CallGraph.h"
@@ -31,10 +34,28 @@
 #include "workloads/Spec2000.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 using namespace spin;
 using namespace spin::tools;
+
+/// Writes \p Emit's output to \p Path; exits with an error if the file
+/// cannot be opened.
+template <typename Fn>
+static void writeFile(const std::string &Path, Fn Emit) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    errs() << "error: cannot open '" << Path << "' for writing\n";
+    std::exit(1);
+  }
+  {
+    RawFdOstream OS(F);
+    Emit(OS);
+    OS.flush();
+  }
+  std::fclose(F);
+}
 
 static pin::ToolFactory makeTool(const std::string &Name) {
   if (Name == "icount1")
@@ -87,6 +108,17 @@ int main(int Argc, char **Argv) {
   Opt<bool> Report(Registry, "report", false, "print the full run report");
   Opt<bool> Timeline(Registry, "timeline", false,
                      "print the Figure 1 slice timeline");
+  Opt<std::string> TracePath(Registry, "sptrace", "",
+                             "write a Chrome trace-event JSON timeline here");
+  Opt<uint64_t> TraceCap(Registry, "sptracecap",
+                         obs::TraceRecorder::DefaultCapacity,
+                         "trace ring-buffer capacity (events)");
+  Opt<bool> TraceWall(Registry, "sptracewall", false,
+                      "also stamp trace events with host wall time");
+  Opt<std::string> MetricsPath(Registry, "spmetrics", "",
+                               "write the spmetrics-v1 JSON document here");
+  Opt<std::string> StatsJsonPath(Registry, "stats-json", "",
+                                 "dump the final statistics registry as JSON");
   Opt<bool> Help(Registry, "help", false, "print options");
   Opt<bool> List(Registry, "list", false, "list available workloads");
 
@@ -141,6 +173,12 @@ int main(int Argc, char **Argv) {
     Opts.VirtCpus = Opts.PhysCpus;
   Opts.Cpi = Info.Cpi;
 
+  obs::TraceRecorder Trace(static_cast<size_t>(uint64_t(TraceCap)));
+  if (TraceWall)
+    Trace.enableWallClock();
+  if (!TracePath.value().empty())
+    Opts.Trace = &Trace;
+
   sp::SpRunReport Rep = sp::runSuperPin(Prog, makeTool(ToolName), Opts, Model);
   outs() << Rep.FiniOutput;
   outs() << "superpin: "
@@ -169,6 +207,20 @@ int main(int Argc, char **Argv) {
     outs() << "\n";
     sp::printTimeline(Rep, Model, outs());
   }
+  if (!TracePath.value().empty())
+    writeFile(TracePath, [&](RawOstream &OS) {
+      Trace.writeChromeTrace(OS, Model.TicksPerMs);
+    });
+  if (!MetricsPath.value().empty())
+    writeFile(MetricsPath, [&](RawOstream &OS) {
+      sp::writeRunMetricsJson(Rep, Model, OS);
+    });
+  if (!StatsJsonPath.value().empty())
+    writeFile(StatsJsonPath, [&](RawOstream &OS) {
+      StatisticRegistry Stats;
+      sp::exportStatistics(Rep, Stats);
+      obs::writeRegistryJson(Stats, OS);
+    });
   outs().flush();
   return 0;
 }

@@ -1,0 +1,78 @@
+//===- obs/Metrics.cpp - Schema-stable metrics JSON export ----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/Json.h"
+#include "support/RawOstream.h"
+#include "support/Statistic.h"
+
+using namespace spin;
+using namespace spin::obs;
+
+static void writeCountersAndHistograms(const StatisticRegistry &Stats,
+                                       JsonWriter &W) {
+  W.key("counters").beginObject();
+  for (const StatisticRegistry::Entry &E : Stats.entries())
+    W.field(E.Name, E.Value);
+  W.endObject();
+
+  W.key("histograms").beginObject();
+  for (const StatisticRegistry::HistEntry &H : Stats.histogramEntries()) {
+    W.key(H.Name).beginObject();
+    W.field("count", H.Hist.count());
+    W.field("sum", H.Hist.sum());
+    W.field("min", H.Hist.min());
+    W.field("max", H.Hist.max());
+    W.field("mean", H.Hist.mean());
+    W.field("p50", H.Hist.quantileBound(0.50));
+    W.field("p99", H.Hist.quantileBound(0.99));
+    W.key("buckets").beginArray();
+    for (unsigned I = 0; I != Histogram::NumBuckets; ++I) {
+      if (H.Hist.bucketCount(I) == 0)
+        continue;
+      W.beginObject();
+      W.field("lo", Histogram::bucketLow(I));
+      W.field("hi", Histogram::bucketHigh(I));
+      W.field("count", H.Hist.bucketCount(I));
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+}
+
+void spin::obs::writeRegistryJson(const StatisticRegistry &Stats,
+                                  RawOstream &OS) {
+  JsonWriter W(OS);
+  W.beginObject();
+  W.field("schema", MetricsSchema);
+  writeCountersAndHistograms(Stats, W);
+  W.endObject();
+  OS << '\n';
+}
+
+void spin::obs::writeMetricsJson(const StatisticRegistry &Stats,
+                                 const std::vector<PhaseSample> &Phases,
+                                 RawOstream &OS) {
+  JsonWriter W(OS);
+  W.beginObject();
+  W.field("schema", MetricsSchema);
+  writeCountersAndHistograms(Stats, W);
+  W.key("phases").beginArray();
+  for (const PhaseSample &P : Phases) {
+    W.beginObject();
+    W.field("name", P.Name);
+    W.field("ticks", P.Ticks);
+    W.field("seconds", P.Seconds);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  OS << '\n';
+}

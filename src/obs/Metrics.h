@@ -1,0 +1,66 @@
+//===- obs/Metrics.h - Schema-stable metrics JSON export --------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable export of a StatisticRegistry — counters, histograms,
+/// and an optional phase-timer breakdown — as one JSON document with a
+/// versioned schema ("spmetrics-v1"). Dashboards and regression harnesses
+/// key on the dotted metric names, which are append-only: renaming or
+/// removing a name is a schema break (tests pin the engine's names).
+///
+/// Document shape:
+///   {
+///     "schema": "spmetrics-v1",
+///     "counters":   { "<name>": <uint64>, ... },
+///     "histograms": { "<name>": { "count","sum","min","max","mean",
+///                                 "p50","p99",
+///                                 "buckets": [{"lo","hi","count"}, ...] } },
+///     "phases":     [ { "name", "ticks", "seconds" }, ... ]
+///   }
+///
+/// Non-empty buckets only; integers stay integers (support/Json preserves
+/// uint64 losslessly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_OBS_METRICS_H
+#define SUPERPIN_OBS_METRICS_H
+
+#include "os/CostModel.h"
+
+#include <string>
+#include <vector>
+
+namespace spin {
+class RawOstream;
+class StatisticRegistry;
+}
+
+namespace spin::obs {
+
+/// Current metrics document schema identifier.
+inline constexpr const char *MetricsSchema = "spmetrics-v1";
+
+/// One named phase of a run's wall-time breakdown.
+struct PhaseSample {
+  std::string Name;
+  os::Ticks Ticks = 0;
+  double Seconds = 0.0;
+};
+
+/// Writes the registry's counters and histograms (no phases) — the
+/// -stats-json dump.
+void writeRegistryJson(const StatisticRegistry &Stats, RawOstream &OS);
+
+/// Writes the full metrics document: counters, histograms, and the phase
+/// breakdown — the -spmetrics dump.
+void writeMetricsJson(const StatisticRegistry &Stats,
+                      const std::vector<PhaseSample> &Phases, RawOstream &OS);
+
+} // namespace spin::obs
+
+#endif // SUPERPIN_OBS_METRICS_H

@@ -1,0 +1,208 @@
+//===- obs/TraceRecorder.cpp - Span-event trace recorder ------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceRecorder.h"
+
+#include "support/Json.h"
+#include "support/RawOstream.h"
+
+#include <chrono>
+
+using namespace spin;
+using namespace spin::obs;
+
+const char *spin::obs::eventName(EventKind K) {
+  switch (K) {
+  case EventKind::MasterRun:
+    return "master.run";
+  case EventKind::MasterStall:
+    return "master.stall";
+  case EventKind::SliceFork:
+    return "slice.fork";
+  case EventKind::SliceSleep:
+    return "slice.sleep";
+  case EventKind::SliceRun:
+    return "slice.run";
+  case EventKind::SigSearch:
+    return "sig.search";
+  case EventKind::SliceMerge:
+    return "slice.merge";
+  case EventKind::DeferSpill:
+    return "defer.spill";
+  case EventKind::DeferDrain:
+    return "defer.drain";
+  case EventKind::SysService:
+    return "sys.service";
+  case EventKind::SysRecord:
+    return "sys.record";
+  case EventKind::SysPlayback:
+    return "sys.playback";
+  case EventKind::JitCompile:
+    return "jit.compile";
+  case EventKind::JitSeed:
+    return "jit.seed";
+  case EventKind::ReplayForward:
+    return "replay.forward";
+  case EventKind::ReplaySlice:
+    return "replay.slice";
+  case EventKind::ReplayParity:
+    return "replay.parity";
+  case EventKind::Parallelism:
+    return "sched.parallelism";
+  }
+  return "unknown";
+}
+
+const char *spin::obs::eventCategory(EventKind K) {
+  switch (K) {
+  case EventKind::MasterRun:
+  case EventKind::MasterStall:
+  case EventKind::SliceFork:
+  case EventKind::DeferSpill:
+    return "master";
+  case EventKind::SliceSleep:
+  case EventKind::SliceRun:
+  case EventKind::SigSearch:
+  case EventKind::SliceMerge:
+  case EventKind::DeferDrain:
+    return "slice";
+  case EventKind::SysService:
+  case EventKind::SysRecord:
+  case EventKind::SysPlayback:
+    return "os";
+  case EventKind::JitCompile:
+  case EventKind::JitSeed:
+    return "jit";
+  case EventKind::ReplayForward:
+  case EventKind::ReplaySlice:
+  case EventKind::ReplayParity:
+    return "replay";
+  case EventKind::Parallelism:
+    return "sched";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(size_t Capacity)
+    : Capacity(Capacity ? Capacity : 1) {
+  Buf.reserve(this->Capacity);
+}
+
+void TraceRecorder::push(uint32_t Lane, EventKind K, EventPhase Ph,
+                         os::Ticks Ts, uint64_t Arg) {
+  TraceEvent E;
+  E.Ts = Ts;
+  E.Arg = Arg;
+  E.Lane = Lane;
+  E.Kind = K;
+  E.Phase = Ph;
+  if (WallClock)
+    E.WallNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  if (Buf.size() < Capacity) {
+    Buf.push_back(E);
+    return;
+  }
+  // Ring full: overwrite the oldest event.
+  Buf[Head] = E;
+  Head = (Head + 1) % Capacity;
+  ++Dropped;
+}
+
+void TraceRecorder::setLaneName(uint32_t Lane, std::string Name) {
+  if (LaneNames.size() <= Lane)
+    LaneNames.resize(Lane + 1);
+  LaneNames[Lane] = std::move(Name);
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> Out;
+  Out.reserve(Buf.size());
+  for (size_t I = 0; I != Buf.size(); ++I)
+    Out.push_back(Buf[(Head + I) % Buf.size()]);
+  return Out;
+}
+
+void TraceRecorder::clear() {
+  Buf.clear();
+  Head = 0;
+  Dropped = 0;
+}
+
+void TraceRecorder::writeChromeTrace(RawOstream &OS,
+                                     os::Ticks TicksPerMs) const {
+  // Chrome trace "ts" is microseconds; 1 virtual ms = TicksPerMs ticks.
+  double UsPerTick = 1000.0 / static_cast<double>(TicksPerMs ? TicksPerMs : 1);
+  JsonWriter W(OS);
+  W.beginObject();
+  W.field("displayTimeUnit", "ms");
+  W.key("traceEvents");
+  W.beginArray();
+
+  auto Meta = [&](const char *Name, uint32_t Tid, bool HasTid) {
+    W.beginObject();
+    W.field("name", Name);
+    W.field("ph", "M");
+    W.field("pid", 1);
+    if (HasTid)
+      W.field("tid", Tid);
+    // Caller writes args and closes the object.
+  };
+  Meta("process_name", 0, false);
+  W.key("args").beginObject().field("name", ProcessName).endObject();
+  W.endObject();
+  for (uint32_t Lane = 0; Lane != LaneNames.size(); ++Lane) {
+    if (LaneNames[Lane].empty())
+      continue;
+    Meta("thread_name", Lane, true);
+    W.key("args").beginObject().field("name", LaneNames[Lane]).endObject();
+    W.endObject();
+    // Keep lanes in lane order (master on top) regardless of event order.
+    Meta("thread_sort_index", Lane, true);
+    W.key("args").beginObject().field("sort_index", Lane).endObject();
+    W.endObject();
+  }
+
+  for (const TraceEvent &E : snapshot()) {
+    W.beginObject();
+    W.field("name", eventName(E.Kind));
+    W.field("cat", eventCategory(E.Kind));
+    switch (E.Phase) {
+    case EventPhase::Begin:
+      W.field("ph", "B");
+      break;
+    case EventPhase::End:
+      W.field("ph", "E");
+      break;
+    case EventPhase::Instant:
+      W.field("ph", "i");
+      W.field("s", "t"); // thread-scoped instant
+      break;
+    case EventPhase::Counter:
+      W.field("ph", "C");
+      break;
+    }
+    W.field("pid", 1);
+    W.field("tid", E.Lane);
+    W.field("ts", static_cast<double>(E.Ts) * UsPerTick);
+    W.key("args").beginObject();
+    if (E.Phase == EventPhase::Counter)
+      W.field("value", E.Arg);
+    else
+      W.field("arg", E.Arg);
+    W.field("ticks", E.Ts);
+    if (E.WallNs)
+      W.field("wall_ns", E.WallNs);
+    W.endObject();
+    W.endObject();
+  }
+
+  W.endArray();
+  W.endObject();
+}

@@ -1,0 +1,150 @@
+//===- obs/TraceRecorder.h - Span-event trace recorder ----------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structured trace of the run's timeline: begin/end spans, instants, and
+/// counter samples, each stamped with deterministic cost-model ticks (plus
+/// optional host wall time) and assigned to a lane — the master on lane 0,
+/// each slice on its own lane — so the paper's Figure 1 story (master runs
+/// native while slices sleep, execute, search for their signature, and
+/// merge in order) becomes a loadable artifact instead of ASCII art.
+///
+/// Events land in a pre-sized ring buffer: recording is an array store
+/// (no allocation, no locking — the engine is single-threaded discrete
+/// time), and once the buffer wraps the oldest events are overwritten and
+/// counted as dropped. writeChromeTrace() serializes the retained window
+/// as Chrome trace-event JSON, loadable in Perfetto or chrome://tracing.
+///
+/// The recorder lives below every engine layer (it depends only on
+/// support/), so os/, pin/, superpin/, and replay/ can all emit into one
+/// timeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_OBS_TRACERECORDER_H
+#define SUPERPIN_OBS_TRACERECORDER_H
+
+#include "os/CostModel.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spin {
+class RawOstream;
+}
+
+namespace spin::obs {
+
+/// What happened. Kinds are stable identifiers: their names are part of
+/// the trace schema (tests pin them).
+enum class EventKind : uint8_t {
+  MasterRun,     ///< span: the master application executing natively
+  MasterStall,   ///< span: master sleeping at the -spmp limit
+  SliceFork,     ///< instant (master lane): COW fork of a new slice
+  SliceSleep,    ///< span (slice lane): waiting for the window to close
+  SliceRun,      ///< span (slice lane): executing instrumented code
+  SigSearch,     ///< span (slice lane): probing for the end signature
+  SliceMerge,    ///< instant (slice lane): in-order result merge
+  DeferSpill,    ///< instant (master lane): window spilled (-spdefer)
+  DeferDrain,    ///< instant (slice lane): spilled slice resumed post-exit
+  SysService,    ///< instant: kernel serviced a syscall
+  SysRecord,     ///< instant (master lane): syscall effects recorded (§4.2)
+  SysPlayback,   ///< instant (slice lane): recorded effects played back
+  JitCompile,    ///< instant: one trace compiled on demand
+  JitSeed,       ///< instant: static-CFG batch seed completed
+  ReplayForward, ///< span (replay): master fast-forward through one window
+  ReplaySlice,   ///< span (replay): one captured slice re-executed
+  ReplayParity,  ///< instant (replay): parity verdict (arg: 1 = ok)
+  Parallelism,   ///< counter: tasks running this scheduler quantum
+};
+
+/// Stable dotted name for \p K (e.g. "slice.run").
+const char *eventName(EventKind K);
+
+/// Chrome trace category for \p K ("master", "slice", "os", "jit",
+/// "replay", "sched").
+const char *eventCategory(EventKind K);
+
+enum class EventPhase : uint8_t { Begin, End, Instant, Counter };
+
+struct TraceEvent {
+  os::Ticks Ts = 0;     ///< deterministic virtual time
+  uint64_t WallNs = 0;  ///< host wall time, 0 unless wall clock enabled
+  uint64_t Arg = 0;     ///< kind-specific payload (count, number, flag)
+  uint32_t Lane = 0;    ///< timeline lane (Chrome tid)
+  EventKind Kind = EventKind::MasterRun;
+  EventPhase Phase = EventPhase::Instant;
+};
+
+class TraceRecorder {
+public:
+  static constexpr size_t DefaultCapacity = 1 << 16;
+  static constexpr uint32_t MasterLane = 0;
+
+  /// Lane of slice \p Num (lane 0 is the master).
+  static uint32_t sliceLane(uint32_t Num) { return Num + 1; }
+
+  explicit TraceRecorder(size_t Capacity = DefaultCapacity);
+
+  /// Also stamp events with host wall time (std::chrono::steady_clock).
+  /// Off by default: tick-only traces are bit-reproducible.
+  void enableWallClock() { WallClock = true; }
+
+  void begin(uint32_t Lane, EventKind K, os::Ticks Ts, uint64_t Arg = 0) {
+    push(Lane, K, EventPhase::Begin, Ts, Arg);
+  }
+  void end(uint32_t Lane, EventKind K, os::Ticks Ts, uint64_t Arg = 0) {
+    push(Lane, K, EventPhase::End, Ts, Arg);
+  }
+  void instant(uint32_t Lane, EventKind K, os::Ticks Ts, uint64_t Arg = 0) {
+    push(Lane, K, EventPhase::Instant, Ts, Arg);
+  }
+  /// Counter sample (rendered as its own Chrome counter track).
+  void counter(EventKind K, os::Ticks Ts, uint64_t Value) {
+    push(0, K, EventPhase::Counter, Ts, Value);
+  }
+
+  /// Names lane \p Lane in the exported trace ("master", "slice-3", ...).
+  void setLaneName(uint32_t Lane, std::string Name);
+
+  /// Process name in the exported trace (default "superpin").
+  void setProcessName(std::string Name) { ProcessName = std::move(Name); }
+
+  size_t size() const { return Buf.size(); }
+  size_t capacity() const { return Capacity; }
+  /// Events overwritten after the ring wrapped.
+  uint64_t dropped() const { return Dropped; }
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Forgets all events (lane names and capacity survive).
+  void clear();
+
+  /// Writes the retained events as a Chrome trace-event JSON document.
+  /// \p TicksPerMs converts tick stamps to trace microseconds
+  /// (os::CostModel::TicksPerMs).
+  void writeChromeTrace(RawOstream &OS, os::Ticks TicksPerMs) const;
+
+private:
+  size_t Capacity;
+  std::vector<TraceEvent> Buf; ///< ring storage, wraps at Capacity
+  size_t Head = 0;             ///< next write position once wrapped
+  uint64_t Dropped = 0;
+  bool WallClock = false;
+  std::string ProcessName = "superpin";
+  std::vector<std::string> LaneNames; ///< indexed by lane, "" = unnamed
+
+  void push(uint32_t Lane, EventKind K, EventPhase Ph, os::Ticks Ts,
+            uint64_t Arg);
+};
+
+} // namespace spin::obs
+
+#endif // SUPERPIN_OBS_TRACERECORDER_H

@@ -7,6 +7,7 @@
 
 #include "os/Kernel.h"
 
+#include "obs/TraceRecorder.h"
 #include "os/Process.h"
 #include "support/BinaryStream.h"
 #include "support/ErrorHandling.h"
@@ -138,6 +139,10 @@ void spin::os::serviceSyscall(Process &Proc, const SystemContext &Ctx,
   uint64_t Ret = 0;
   bool Exited = false;
   bool SwitchedThread = false;
+
+  if (Ctx.Trace)
+    Ctx.Trace->instant(Ctx.TraceLane, obs::EventKind::SysService, Ctx.TraceNow,
+                       Number);
 
   if (Effects) {
     Effects->Number = Number;

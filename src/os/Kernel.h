@@ -16,6 +16,7 @@
 #ifndef SUPERPIN_OS_KERNEL_H
 #define SUPERPIN_OS_KERNEL_H
 
+#include "os/CostModel.h"
 #include "os/Syscalls.h"
 
 #include <cstdint>
@@ -27,6 +28,10 @@ namespace spin {
 class ByteReader;
 class ByteWriter;
 } // namespace spin
+
+namespace spin::obs {
+class TraceRecorder;
+}
 
 namespace spin::os {
 
@@ -41,6 +46,11 @@ struct SystemContext {
   bool SuppressOutput = false;
   /// Receives Write output when not suppressed; may be null.
   std::string *OutputBuf = nullptr;
+  /// When non-null, serviceSyscall emits a "sys.service" instant on
+  /// \p TraceLane at \p TraceNow (the caller's virtual timestamp).
+  obs::TraceRecorder *Trace = nullptr;
+  uint32_t TraceLane = 0;
+  Ticks TraceNow = 0;
 };
 
 /// The recorded effects of one serviced syscall — everything a slice needs

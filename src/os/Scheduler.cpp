@@ -7,6 +7,7 @@
 
 #include "os/Scheduler.h"
 
+#include "obs/TraceRecorder.h"
 #include "support/ErrorHandling.h"
 
 #include <cassert>
@@ -108,6 +109,10 @@ void Scheduler::runToCompletion() {
     unsigned K = static_cast<unsigned>(Selected.size());
     if (K > PeakParallel)
       PeakParallel = K;
+    if (Trace && K != LastTracedParallel) {
+      Trace->counter(obs::EventKind::Parallelism, Clock, K);
+      LastTracedParallel = K;
+    }
     Ticks Grant = static_cast<Ticks>(
         std::floor(static_cast<double>(Quantum) * speedFactor(K)));
     if (Grant == 0)

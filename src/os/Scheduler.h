@@ -30,6 +30,10 @@
 #include <string_view>
 #include <vector>
 
+namespace spin::obs {
+class TraceRecorder;
+}
+
 namespace spin::os {
 
 enum class TaskStatus : uint8_t {
@@ -128,6 +132,10 @@ public:
   /// Peak number of tasks selected in one quantum (parallelism achieved).
   unsigned peakParallelism() const { return PeakParallel; }
 
+  /// Attaches a trace recorder; the scheduler emits a "sched.parallelism"
+  /// counter sample whenever the number of selected tasks changes.
+  void setTrace(obs::TraceRecorder *Recorder) { Trace = Recorder; }
+
   const CostModel &costModel() const { return Model; }
 
 private:
@@ -145,6 +153,8 @@ private:
   std::vector<Entry> Tasks;
   size_t RotateCursor = 0;
   unsigned PeakParallel = 0;
+  obs::TraceRecorder *Trace = nullptr;
+  unsigned LastTracedParallel = ~0u;
 
   /// Per-task grant multiplier when K tasks run together.
   double speedFactor(unsigned K) const;

@@ -8,6 +8,7 @@
 #include "pin/PinVm.h"
 
 #include "analysis/Cfg.h"
+#include "obs/TraceRecorder.h"
 #include "pin/Tool.h"
 #include "vm/Exec.h"
 
@@ -43,6 +44,10 @@ bool PinVm::dispatch(TickLedger &Ledger) {
     Ledger.charge(Cost);
     CompileTicks += Cost;
     ++NumTracesCompiled;
+    if (Config.Trace)
+      Config.Trace->instant(Config.TraceLane, obs::EventKind::JitCompile,
+                            Config.TraceClock ? Config.TraceClock() : 0,
+                            Fresh->Steps.size());
     T = Cache.insert(std::move(Fresh));
   }
   CurTrace = T;
@@ -136,6 +141,10 @@ void PinVm::seedFromCfg(TickLedger &Ledger) {
     ++NumTracesSeeded;
     Cache.insert(std::move(Fresh));
   }
+  if (Config.Trace && NumTracesSeeded)
+    Config.Trace->instant(Config.TraceLane, obs::EventKind::JitSeed,
+                          Config.TraceClock ? Config.TraceClock() : 0,
+                          NumTracesSeeded);
 }
 
 VmStop PinVm::run(TickLedger &Ledger) {

@@ -35,6 +35,10 @@ namespace spin::analysis {
 class Cfg;
 }
 
+namespace spin::obs {
+class TraceRecorder;
+}
+
 namespace spin::pin {
 
 class Tool;
@@ -67,6 +71,13 @@ struct PinVmConfig {
   /// stalling execution trace by trace. Seeding happens inside run() —
   /// after armDetection() — so seeded traces respect the slice boundary.
   const analysis::Cfg *SeedCfg = nullptr;
+  /// Observability (src/obs): when set, the VM emits a "jit.compile"
+  /// instant per on-demand trace compile and one "jit.seed" instant per
+  /// batch seed, on \p TraceLane, timestamped via \p TraceClock (the
+  /// environment's virtual-time source; 0 when absent).
+  obs::TraceRecorder *Trace = nullptr;
+  uint32_t TraceLane = 0;
+  std::function<os::Ticks()> TraceClock;
 };
 
 /// Executes one guest process with instrumentation.

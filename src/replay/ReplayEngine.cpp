@@ -25,6 +25,7 @@
 
 #include "replay/ReplayEngine.h"
 
+#include "obs/TraceRecorder.h"
 #include "os/Kernel.h"
 #include "os/Scheduler.h"
 #include "pin/CodeCache.h"
@@ -54,6 +55,14 @@ ReplayEngine::ReplayEngine(const RunCapture &Cap, const CostModel &Model)
   resetMaster();
 }
 
+void ReplayEngine::setTrace(obs::TraceRecorder *Recorder) {
+  Trace = Recorder;
+  if (Trace) {
+    Trace->setProcessName("spin-replay");
+    Trace->setLaneName(obs::TraceRecorder::MasterLane, "replay-master");
+  }
+}
+
 void ReplayEngine::resetMaster() {
   Master.emplace(Process::create(Cap.Prog));
   // Interp holds references into Master; rebuild it after every reset.
@@ -78,6 +87,9 @@ void ReplayEngine::applyWindow(const SliceCaptureData &W) {
   if (Interp->instructionsRetired() != W.StartIndex)
     reportFatalError("replay: window " + std::to_string(W.Num) +
                      " does not start at the master's position");
+  if (Trace)
+    Trace->begin(obs::TraceRecorder::MasterLane,
+                 obs::EventKind::ReplayForward, Now, W.Num);
   uint64_t End = W.StartIndex + W.ExpectedInsts;
   size_t SysPos = 0;
   while (Interp->instructionsRetired() < End &&
@@ -92,6 +104,7 @@ void ReplayEngine::applyWindow(const SliceCaptureData &W) {
       R = Interp->run(Max);
     }
     Master->noteRetired(R.InstsExecuted);
+    Now += R.InstsExecuted * InstCost;
     switch (R.Reason) {
     case StopReason::Syscall: {
       if (SysPos == W.Sys.size())
@@ -114,12 +127,16 @@ void ReplayEngine::applyWindow(const SliceCaptureData &W) {
       if (Reexecute) {
         SystemContext Ctx;
         Ctx.SuppressOutput = true;
+        Ctx.Trace = Trace;
+        Ctx.TraceLane = obs::TraceRecorder::MasterLane;
+        Ctx.TraceNow = Now;
         serviceSyscall(*Master, Ctx, nullptr);
       } else {
         playbackSyscall(*Master, CS.Effects);
       }
       Interp->noteSyscallRetired();
       Master->noteRetired(1);
+      Now += InstCost + Model.SyscallCost;
       break;
     }
     case StopReason::Halt:
@@ -139,6 +156,9 @@ void ReplayEngine::applyWindow(const SliceCaptureData &W) {
     reportFatalError("replay: window " + std::to_string(W.Num) + " ended with " +
                      std::to_string(W.Sys.size() - SysPos) +
                      " unconsumed syscall records");
+  if (Trace)
+    Trace->end(obs::TraceRecorder::MasterLane, obs::EventKind::ReplayForward,
+               Now, W.Num);
 }
 
 ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
@@ -154,6 +174,12 @@ ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
   ReplaySliceResult Res;
   Res.Num = W.Num;
 
+  uint32_t Lane = obs::TraceRecorder::sliceLane(W.Num);
+  if (Trace) {
+    Trace->setLaneName(Lane, "replay-slice-" + std::to_string(W.Num));
+    Trace->begin(Lane, obs::EventKind::ReplaySlice, Now, W.Num);
+  }
+
   Process Proc = Master->fork(NextPid++);
   Proc.Mem.discardRange(AddressLayout::BubbleBase,
                         SpBubblePages * vm::PageSize);
@@ -163,6 +189,11 @@ ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
   PinVmConfig Cfg;
   Cfg.InstCost = InstCost;
   Cfg.SliceNum = W.Num;
+  if (Trace) {
+    Cfg.Trace = Trace;
+    Cfg.TraceLane = Lane;
+    Cfg.TraceClock = [this] { return Now; };
+  }
   PinVm Vm(Proc, Model, ToolInst.get(), Cache, Cfg);
   Services.setEndSliceHook([&Vm] { Vm.requestStop(); });
   ToolInst->onSliceBegin(W.Num);
@@ -242,9 +273,14 @@ ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
         if (CS.Kind == CapturedSysKind::Playback) {
           playbackSyscall(Proc, CS.Effects);
           ++Res.PlaybackSyscalls;
+          if (Trace)
+            Trace->instant(Lane, obs::EventKind::SysPlayback, Now, Number);
         } else {
           SystemContext Ctx;
           Ctx.SuppressOutput = true;
+          Ctx.Trace = Trace;
+          Ctx.TraceLane = Lane;
+          Ctx.TraceNow = Now;
           serviceSyscall(Proc, Ctx, nullptr);
           ++Res.DuplicatedSyscalls;
         }
@@ -280,6 +316,7 @@ ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
     }
     if (!End && Vm.retired() > RunawayCap)
       Diverge("ran past the window without reaching its boundary");
+    Now += Ledger.used();
   }
 
   ToolInst->onSliceEnd(W.Num);
@@ -287,6 +324,11 @@ ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
   Res.RetiredInsts = Vm.retired();
   Res.ParityOk = !Res.Diverged && Res.EndKind == W.EndKind &&
                  Res.RetiredInsts == W.RetiredInsts;
+  if (Trace) {
+    Trace->end(Lane, obs::EventKind::ReplaySlice, Now, Vm.retired());
+    Trace->instant(Lane, obs::EventKind::ReplayParity, Now,
+                   Res.ParityOk ? 1 : 0);
+  }
   return Res;
 }
 

@@ -37,6 +37,10 @@
 #include <string>
 #include <vector>
 
+namespace spin::obs {
+class TraceRecorder;
+}
+
 namespace spin::replay {
 
 /// Outcome of re-executing one captured slice.
@@ -81,10 +85,21 @@ public:
   ReplayReport replay(const pin::ToolFactory &Factory,
                       std::vector<uint32_t> Nums);
 
+  /// Attaches a trace recorder: replay emits ReplayForward spans (master
+  /// lane) while rebuilding windows, a ReplaySlice span plus a parity
+  /// instant per slice, and syscall-playback / JIT-compile instants, all
+  /// on replay's own deterministic tick clock.
+  void setTrace(obs::TraceRecorder *Recorder);
+
 private:
   const RunCapture &Cap;
   const os::CostModel &Model;
   os::Ticks InstCost;
+
+  obs::TraceRecorder *Trace = nullptr;
+  /// Replay's deterministic clock (replay runs outside the live
+  /// scheduler): advances by the cost-model price of executed work.
+  os::Ticks Now = 0;
 
   // Master reconstruction state: windows [0, NextWindow) applied.
   std::optional<os::Process> Master;

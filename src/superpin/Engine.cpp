@@ -20,6 +20,7 @@
 #include "superpin/Engine.h"
 
 #include "analysis/Passes.h"
+#include "obs/TraceRecorder.h"
 #include "os/Kernel.h"
 #include "os/Process.h"
 #include "os/Scheduler.h"
@@ -93,6 +94,10 @@ struct Coordinator {
   /// Capture sink (-sprecord); null when capture is off.
   CaptureSink *Sink = nullptr;
 
+  /// Trace recorder (-sptrace); null when tracing is off. Emission charges
+  /// no virtual time, so traced runs stay tick-identical to untraced ones.
+  obs::TraceRecorder *Tr = nullptr;
+
   Scheduler::TaskId MasterId = 0;
   std::vector<SliceTask *> Slices;
   std::vector<Scheduler::TaskId> SliceIds;
@@ -135,6 +140,10 @@ public:
     Info.Num = Num;
     Info.StartIndex = StartIndex;
     Info.SpawnTime = C.Sched.now();
+    if (C.Tr) {
+      C.Tr->setLaneName(lane(), Label);
+      C.Tr->begin(lane(), obs::EventKind::SliceSleep, Info.SpawnTime);
+    }
     Proc.Mem.setListener(this);
     // §4.1: the slice releases the memory bubble so its VM allocations
     // land there, preserving identical app mappings with the master.
@@ -165,6 +174,10 @@ public:
     if (Deferred)
       return;
     Info.ReadyTime = C.Sched.now();
+    if (C.Tr) {
+      C.Tr->end(lane(), obs::EventKind::SliceSleep, Info.ReadyTime);
+      C.Tr->begin(lane(), obs::EventKind::SliceRun, Info.ReadyTime);
+    }
     ++C.RunningSlices;
     C.Sched.wake(C.SliceIds[Num]);
   }
@@ -207,6 +220,9 @@ private:
   SliceInfo Info;
   bool EndReached = false;
   bool DeferredSlice = false;
+  bool SigSearchOpen = false; ///< an open SigSearch trace span
+
+  uint32_t lane() const { return obs::TraceRecorder::sliceLane(Num); }
 
   static PinVmConfig makeConfig(Coordinator &C, uint32_t Num) {
     PinVmConfig Cfg;
@@ -215,6 +231,12 @@ private:
     if (C.Opts.SharedCodeCache)
       Cfg.SharedJit = &C.SharedJit;
     Cfg.SeedCfg = C.SeedCfg; // null unless -spseed
+    if (C.Tr) {
+      Cfg.Trace = C.Tr;
+      Cfg.TraceLane = obs::TraceRecorder::sliceLane(Num);
+      Scheduler &Sched = C.Sched;
+      Cfg.TraceClock = [&Sched] { return Sched.now(); };
+    }
     return Cfg;
   }
 
@@ -226,8 +248,15 @@ private:
       case Phase::WaitWindow:
         if (!Window || (DeferredSlice && !C.Draining))
           return TaskStatus::Blocked;
-        if (DeferredSlice)
+        if (DeferredSlice) {
           Info.ReadyTime = C.Sched.now(); // Drain start = resume moment.
+          if (C.Tr) {
+            C.Tr->end(lane(), obs::EventKind::SliceSleep, Info.ReadyTime);
+            C.Tr->instant(lane(), obs::EventKind::DeferDrain, Info.ReadyTime,
+                          Num);
+            C.Tr->begin(lane(), obs::EventKind::SliceRun, Info.ReadyTime);
+          }
+        }
         installDetection();
         Ph = Phase::Running;
         break;
@@ -236,6 +265,9 @@ private:
         if (!EndReached)
           return TaskStatus::Runnable; // Budget exhausted.
         Info.EndTime = C.Sched.now();
+        if (C.Tr)
+          C.Tr->end(lane(), obs::EventKind::SliceRun, Info.EndTime,
+                    Vm.retired());
         if (!DeferredSlice)
           C.sliceEnded(); // Deferred slices never counted as running.
         Ph = Phase::WaitMerge;
@@ -269,6 +301,13 @@ private:
         }
         return false;
       }
+      if (C.Tr && !SigSearchOpen) {
+        SigSearchOpen = true;
+        C.Tr->begin(lane(), obs::EventKind::SigSearch, C.Sched.now());
+      }
+      uint64_t Ret = Vm.retired();
+      uint64_t Exp = Window->ExpectedInsts;
+      C.Report.SigCheckDistHist.record(Exp > Ret ? Exp - Ret : Ret - Exp);
       return checkSignature(Window->Sig, Proc, C.Model, C.Opts.QuickCheck,
                             Vm.runCapRemaining(), L, SigSt);
     });
@@ -320,12 +359,18 @@ private:
         Ledger.charge(C.InstCost + C.Model.SyscallPlaybackCost);
         ++Info.PlayedBackSyscalls;
         ++C.Report.PlaybackSyscalls;
+        if (C.Tr)
+          C.Tr->instant(lane(), obs::EventKind::SysPlayback, C.Sched.now(),
+                        WS.Effects.Number);
       } else {
         // Duplicable: re-execute against this slice's forked kernel state
         // with output suppressed.
         SystemContext Ctx;
         Ctx.NowMs = C.Sched.nowMs();
         Ctx.SuppressOutput = true;
+        Ctx.Trace = C.Tr;
+        Ctx.TraceLane = lane();
+        Ctx.TraceNow = C.Sched.now();
         serviceSyscall(Proc, Ctx, nullptr);
         Ledger.charge(C.InstCost + C.Model.SyscallCost);
         ++Info.DuplicatedSyscalls;
@@ -361,6 +406,10 @@ private:
     Info.EndKind = Kind;
     EndReached = true;
     Vm.disarmDetection();
+    if (C.Tr && SigSearchOpen) {
+      SigSearchOpen = false;
+      C.Tr->end(lane(), obs::EventKind::SigSearch, C.Sched.now());
+    }
   }
 
   void doMerge() {
@@ -372,6 +421,15 @@ private:
     Info.MergeTime = C.Sched.now();
     Info.RetiredInsts = Vm.retired();
     Info.ExpectedInsts = Window->ExpectedInsts;
+    C.Report.SliceLenHist.record(Window->ExpectedInsts);
+    C.Report.SliceWaitHist.record(Info.ReadyTime - Info.SpawnTime);
+    uint64_t Recs = 0;
+    for (const WindowSyscall &WS : Window->Sys)
+      Recs += WS.IsPlayback ? 1 : 0;
+    C.Report.SliceSysRecsHist.record(Recs);
+    if (C.Tr)
+      C.Tr->instant(lane(), obs::EventKind::SliceMerge, Info.MergeTime,
+                    Vm.retired());
     C.Report.SliceInsts += Vm.retired();
     C.Report.Signature.mergeFrom(SigSt);
     C.Report.TracesCompiled += Vm.tracesCompiled();
@@ -408,6 +466,11 @@ public:
       : C(C), Proc(Process::create(C.Prog)),
         Interp(C.Prog, Proc.Cpu, Proc.Mem) {
     Proc.Mem.setListener(this);
+    if (C.Tr) {
+      C.Tr->setLaneName(obs::TraceRecorder::MasterLane, "master");
+      C.Tr->begin(obs::TraceRecorder::MasterLane, obs::EventKind::MasterRun,
+                  C.Sched.now());
+    }
   }
 
   std::string_view name() const override { return "master"; }
@@ -474,6 +537,9 @@ private:
           if (Saturated && !C.Opts.DeferSlices) {
             Ph = Phase::Stalled;
             StallStart = C.Sched.now();
+            if (C.Tr)
+              C.Tr->begin(obs::TraceRecorder::MasterLane,
+                          obs::EventKind::MasterStall, StallStart);
             return TaskStatus::Blocked;
           }
           // -spdefer: under saturation the just-closed window is spilled
@@ -497,6 +563,9 @@ private:
       case Phase::Stalled:
         // Woken: a slice finished (or merged). Account the sleep.
         C.Report.SleepTicks += C.Sched.now() - StallStart;
+        if (C.Tr)
+          C.Tr->end(obs::TraceRecorder::MasterLane,
+                    obs::EventKind::MasterStall, C.Sched.now());
         Ph = Phase::Running;
         break;
       case Phase::WaitMerges:
@@ -594,6 +663,9 @@ private:
     SystemContext Ctx;
     Ctx.NowMs = C.Sched.nowMs();
     Ctx.OutputBuf = &C.Report.Output;
+    Ctx.Trace = C.Tr;
+    Ctx.TraceLane = obs::TraceRecorder::MasterLane;
+    Ctx.TraceNow = C.Sched.now();
 
     switch (Cls) {
     case SyscallClass::Duplicable: {
@@ -620,6 +692,9 @@ private:
       Proc.noteRetired(1);
       if (CanRecord) {
         Ledger.charge(C.Model.SyscallRecordCost);
+        if (C.Tr)
+          C.Tr->instant(obs::TraceRecorder::MasterLane,
+                        obs::EventKind::SysRecord, C.Sched.now(), Number);
         captureSyscall(CapturedSysKind::Playback, Eff);
         WindowSyscall WS;
         WS.IsPlayback = true;
@@ -653,6 +728,9 @@ private:
       serviceSyscall(Proc, Ctx, &Eff);
       Interp.noteSyscallRetired();
       Proc.noteRetired(1);
+      if (C.Tr) // The exit records like any §4.2 playback entry.
+        C.Tr->instant(obs::TraceRecorder::MasterLane,
+                      obs::EventKind::SysRecord, C.Sched.now(), Number);
       captureSyscall(CapturedSysKind::Playback, Eff);
       WindowSyscall WS;
       WS.IsPlayback = true;
@@ -663,6 +741,9 @@ private:
       C.Report.MasterInsts = Interp.instructionsRetired();
       C.Report.MasterExitTicks = C.Sched.now();
       C.Report.ExitCode = Proc.ExitCode;
+      if (C.Tr)
+        C.Tr->end(obs::TraceRecorder::MasterLane, obs::EventKind::MasterRun,
+                  C.Report.MasterExitTicks, Interp.instructionsRetired());
       Ph = Phase::WaitMerges;
       if (C.Opts.DeferSlices)
         C.startDrain();
@@ -735,6 +816,10 @@ private:
       Ledger.charge(C.Model.SpillSliceCost +
                     Bytes * C.Model.SpillPerByteCost);
       ++C.Report.SpilledSlices;
+      if (C.Tr)
+        C.Tr->instant(obs::TraceRecorder::MasterLane,
+                      obs::EventKind::DeferSpill, C.Sched.now(),
+                      C.Slices.size() - 1);
     }
     if (C.Sink) {
       PendingCap.EndKind = endKindOf(EndKind);
@@ -755,6 +840,9 @@ private:
     Ledger.charge(C.Model.ForkBaseCost +
                   Proc.Mem.numPages() * C.Model.ForkPerPageCost);
     uint32_t Num = static_cast<uint32_t>(C.Slices.size());
+    if (C.Tr)
+      C.Tr->instant(obs::TraceRecorder::MasterLane, obs::EventKind::SliceFork,
+                    C.Sched.now(), Num);
     auto Slice = std::make_unique<SliceTask>(
         C, Proc, Num, Interp.instructionsRetired(), ChargeSigRecord);
     C.Slices.push_back(Slice.get());
@@ -824,6 +912,9 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   Scheduler Sched(Model, Opts.PhysCpus, Opts.VirtCpus);
   Coordinator C(Sched, Model, Opts, Prog, Factory, Report);
   C.Sink = Opts.Capture;
+  C.Tr = Opts.Trace;
+  if (C.Tr)
+    Sched.setTrace(C.Tr);
   if (C.Sink)
     C.Sink->onRunBegin(Prog, Opts);
   if (Static) {

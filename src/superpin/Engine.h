@@ -21,6 +21,7 @@
 #include "pin/Tool.h"
 #include "superpin/Signature.h"
 #include "superpin/SpOptions.h"
+#include "support/Histogram.h"
 
 #include <string>
 #include <vector>
@@ -109,6 +110,15 @@ struct SpRunReport {
 
   // --- Signature mechanism (§4.4) ---------------------------------------
   SignatureStats Signature;
+
+  // --- Distributions (src/obs) ------------------------------------------
+  // Log2-bucketed histograms, always collected (recording is a few
+  // instructions per sample and fully deterministic). Exported alongside
+  // the counters by sp::exportStatistics.
+  Histogram SliceLenHist;     ///< instructions per slice window
+  Histogram SliceSysRecsHist; ///< playback records per slice window
+  Histogram SliceWaitHist;    ///< ticks a slice slept awaiting its window
+  Histogram SigCheckDistHist; ///< |insts from boundary| at signature checks
 
   // --- Engine ---------------------------------------------------------
   uint64_t MasterCowCopies = 0;

@@ -7,6 +7,7 @@
 
 #include "superpin/Reporting.h"
 
+#include "obs/Metrics.h"
 #include "support/RawOstream.h"
 #include "support/Statistic.h"
 #include "support/StringExtras.h"
@@ -94,14 +95,21 @@ void spin::sp::exportStatistics(const SpRunReport &Report,
   Stats.counter("superpin.sys.trapclassified") = Report.TrapClassifiedSyscalls;
   Stats.counter("superpin.cow.master") = Report.MasterCowCopies;
   Stats.counter("superpin.cow.slices") = Report.SliceCowCopies;
+  Stats.histogram("superpin.hist.slice.insts") = Report.SliceLenHist;
+  Stats.histogram("superpin.hist.slice.sysrecs") = Report.SliceSysRecsHist;
+  Stats.histogram("superpin.hist.slice.waitticks") = Report.SliceWaitHist;
+  Stats.histogram("superpin.hist.sig.checkdist") = Report.SigCheckDistHist;
 }
 
 void spin::sp::printTimeline(const SpRunReport &Report,
                              const CostModel &Model, RawOstream &OS,
                              unsigned Columns, unsigned MaxSlices) {
-  if (Report.WallTicks == 0 || Columns < 8)
+  if (Columns < 8)
     return;
-  double TicksPerCol = double(Report.WallTicks) / double(Columns);
+  // A zero-length run (the guest exits before any tick elapses) still
+  // renders: every phase lands in column 0 instead of dividing by zero.
+  Ticks Wall = Report.WallTicks ? Report.WallTicks : 1;
+  double TicksPerCol = double(Wall) / double(Columns);
   auto Col = [&](Ticks T) {
     unsigned C = static_cast<unsigned>(double(T) / TicksPerCol);
     return C < Columns ? C : Columns - 1;
@@ -137,4 +145,20 @@ void spin::sp::printTimeline(const SpRunReport &Report,
     OS.indent(S.Num + 1 < 10 ? 7 : (S.Num + 1 < 100 ? 6 : 5));
     OS << Row << '\n';
   }
+}
+
+void spin::sp::writeRunMetricsJson(const SpRunReport &Report,
+                                   const CostModel &Model, RawOstream &OS) {
+  StatisticRegistry Stats;
+  exportStatistics(Report, Stats);
+  std::vector<obs::PhaseSample> Phases;
+  auto Phase = [&](const char *Name, Ticks T) {
+    Phases.push_back({Name, T, Model.ticksToSeconds(T)});
+  };
+  Phase("wall", Report.WallTicks);
+  Phase("native", Report.NativeTicks);
+  Phase("forkothers", Report.ForkOthersTicks);
+  Phase("sleep", Report.SleepTicks);
+  Phase("pipeline", Report.PipelineTicks);
+  obs::writeMetricsJson(Stats, Phases, OS);
 }

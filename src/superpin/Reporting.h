@@ -37,10 +37,17 @@ void exportStatistics(const SpRunReport &Report, StatisticRegistry &Stats);
 /// Renders the Figure 1 timeline: one lane for the master and one per
 /// slice (capped at \p MaxSlices lanes), with '.' = sleeping (waiting for
 /// the successor's signature), '#' = executing instrumented code, '|' =
-/// merge. \p Columns sets the horizontal resolution.
+/// merge. \p Columns sets the horizontal resolution. A zero-length run
+/// degenerates to a single-column timeline rather than printing nothing.
 void printTimeline(const SpRunReport &Report, const os::CostModel &Model,
                    RawOstream &OS, unsigned Columns = 72,
                    unsigned MaxSlices = 24);
+
+/// Writes the -spmetrics machine-readable document ("spmetrics-v1"): every
+/// exportStatistics counter and histogram plus the Figure 6 phase
+/// breakdown (wall/native/forkothers/sleep/pipeline) in ticks and seconds.
+void writeRunMetricsJson(const SpRunReport &Report, const os::CostModel &Model,
+                         RawOstream &OS);
 
 } // namespace spin::sp
 

@@ -27,6 +27,10 @@
 
 #include <cstdint>
 
+namespace spin::obs {
+class TraceRecorder;
+}
+
 namespace spin::sp {
 
 class CaptureSink;
@@ -94,6 +98,15 @@ struct SpOptions {
   /// after the master exits. SleepTicks stays zero at the cost of a longer
   /// pipeline phase; Reporting gains spilled/drained counters.
   bool DeferSlices = false;
+
+  // --- Observability (src/obs) ------------------------------------------
+  /// -sptrace: when non-null, the engine records the run's timeline into
+  /// this span-event recorder (master/slice lanes, fork/sleep/run/
+  /// signature-search/merge/spill/drain, syscall record & playback, JIT
+  /// compiles, scheduler parallelism). Purely additive: emission charges
+  /// no virtual time, so reports are tick-identical with tracing on or
+  /// off. Ignored when Enabled is false.
+  obs::TraceRecorder *Trace = nullptr;
 };
 
 } // namespace spin::sp

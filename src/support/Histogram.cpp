@@ -1,0 +1,50 @@
+//===- support/Histogram.cpp - Log2-bucketed value histogram --------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include "support/RawOstream.h"
+
+using namespace spin;
+
+void Histogram::mergeFrom(const Histogram &Other) {
+  for (unsigned I = 0; I != NumBuckets; ++I)
+    Buckets[I] += Other.Buckets[I];
+  Count += Other.Count;
+  Sum += Other.Sum;
+  if (Other.Count && Other.MinV < MinV)
+    MinV = Other.MinV;
+  if (Other.MaxV > MaxV)
+    MaxV = Other.MaxV;
+}
+
+uint64_t Histogram::quantileBound(double P) const {
+  if (Count == 0)
+    return 0;
+  // Smallest rank covering the quantile, clamped into [1, Count].
+  uint64_t Rank = static_cast<uint64_t>(P * static_cast<double>(Count));
+  if (Rank == 0)
+    Rank = 1;
+  if (Rank > Count)
+    Rank = Count;
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    Seen += Buckets[I];
+    if (Seen >= Rank) {
+      // The true maximum never exceeds the recorded max.
+      uint64_t Hi = bucketHigh(I);
+      return Hi < MaxV ? Hi : MaxV;
+    }
+  }
+  return MaxV;
+}
+
+void Histogram::printSummary(RawOstream &OS) const {
+  OS << "count=" << Count << " sum=" << Sum << " min=" << min()
+     << " max=" << MaxV << " p50<=" << quantileBound(0.50)
+     << " p99<=" << quantileBound(0.99);
+}

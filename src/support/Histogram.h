@@ -1,0 +1,105 @@
+//===- support/Histogram.h - Log2-bucketed value histogram ------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size histogram over uint64 values with power-of-two buckets:
+/// bucket 0 holds exact zeros and bucket i (i >= 1) holds values in
+/// [2^(i-1), 2^i). Recording is a handful of instructions (count leading
+/// zeros + array increment), so engines can record per-slice and per-check
+/// distributions on hot paths without measurable overhead; 65 buckets cover
+/// the full uint64 range. Deterministic: identical value streams produce
+/// identical state on every platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_SUPPORT_HISTOGRAM_H
+#define SUPERPIN_SUPPORT_HISTOGRAM_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace spin {
+
+class RawOstream;
+
+class Histogram {
+public:
+  /// Bucket 0 plus one bucket per bit position.
+  static constexpr unsigned NumBuckets = 65;
+
+  /// Bucket index for \p V: 0 for 0, else 1 + floor(log2(V)).
+  static unsigned bucketFor(uint64_t V) {
+    if (V == 0)
+      return 0;
+    return 64 - static_cast<unsigned>(std::countl_zero(V));
+  }
+
+  /// Inclusive lower bound of bucket \p I.
+  static uint64_t bucketLow(unsigned I) {
+    return I <= 1 ? 0 : uint64_t(1) << (I - 1);
+  }
+
+  /// Inclusive upper bound of bucket \p I.
+  static uint64_t bucketHigh(unsigned I) {
+    if (I == 0)
+      return 0;
+    if (I == 64)
+      return ~uint64_t(0);
+    return (uint64_t(1) << I) - 1;
+  }
+
+  void record(uint64_t V) {
+    ++Buckets[bucketFor(V)];
+    ++Count;
+    Sum += V;
+    if (V < MinV)
+      MinV = V;
+    if (V > MaxV)
+      MaxV = V;
+  }
+
+  void reset() {
+    Buckets.fill(0);
+    Count = 0;
+    Sum = 0;
+    MinV = ~uint64_t(0);
+    MaxV = 0;
+  }
+
+  void mergeFrom(const Histogram &Other);
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return Count ? MinV : 0; }
+  uint64_t max() const { return MaxV; }
+  double mean() const {
+    return Count ? static_cast<double>(Sum) / static_cast<double>(Count) : 0.0;
+  }
+  uint64_t bucketCount(unsigned I) const { return Buckets[I]; }
+
+  /// Upper bound of the bucket containing the \p P-quantile (0 < P <= 1);
+  /// 0 when empty. An over-approximation by at most 2x, which is all a
+  /// log2 histogram can promise.
+  uint64_t quantileBound(double P) const;
+
+  /// One-line summary: "count=N sum=S min=m max=M p50<=A p99<=B".
+  void printSummary(RawOstream &OS) const;
+
+  bool operator==(const Histogram &Other) const = default;
+
+private:
+  std::array<uint64_t, NumBuckets> Buckets{};
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t MinV = ~uint64_t(0);
+  uint64_t MaxV = 0;
+};
+
+} // namespace spin
+
+#endif // SUPERPIN_SUPPORT_HISTOGRAM_H

@@ -38,19 +38,49 @@ uint64_t StatisticRegistry::get(std::string_view Name) const {
   return E ? E->Value : 0;
 }
 
+Histogram &StatisticRegistry::histogram(std::string_view Name) {
+  for (HistEntry &H : Hists)
+    if (H.Name == Name)
+      return H.Hist;
+  Hists.push_back(HistEntry{std::string(Name), Histogram()});
+  return Hists.back().Hist;
+}
+
+const Histogram *StatisticRegistry::getHistogram(std::string_view Name) const {
+  for (const HistEntry &H : Hists)
+    if (H.Name == Name)
+      return &H.Hist;
+  return nullptr;
+}
+
 void StatisticRegistry::reset() {
   for (Entry &E : Entries)
     E.Value = 0;
+  for (HistEntry &H : Hists)
+    H.Hist.reset();
 }
 
 void StatisticRegistry::mergeFrom(const StatisticRegistry &Other) {
   for (const Entry &E : Other.Entries)
     counter(E.Name) += E.Value;
+  for (const HistEntry &H : Other.Hists)
+    histogram(H.Name).mergeFrom(H.Hist);
 }
 
 void StatisticRegistry::print(RawOstream &OS) const {
+  size_t Width = 0;
+  for (const Entry &E : Entries)
+    Width = E.Name.size() > Width ? E.Name.size() : Width;
+  for (const HistEntry &H : Hists)
+    Width = H.Name.size() > Width ? H.Name.size() : Width;
+  Width += 2; // At least two spaces between the name and value columns.
   for (const Entry &E : Entries) {
-    OS.writePadded(E.Name, 32);
+    OS.writePadded(E.Name, Width);
     OS << E.Value << '\n';
+  }
+  for (const HistEntry &H : Hists) {
+    OS.writePadded(H.Name, Width);
+    H.Hist.printSummary(OS);
+    OS << '\n';
   }
 }

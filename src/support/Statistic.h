@@ -8,11 +8,16 @@
 /// \file
 /// A registry of named uint64 counters modeled on llvm::Statistic, scoped to
 /// an explicit StatisticRegistry instance so engine runs do not share state.
+/// Besides scalar counters the registry owns named log2-bucketed histograms
+/// (support/Histogram.h) so distributions export through the same named,
+/// registration-ordered channel as counters.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SUPERPIN_SUPPORT_STATISTIC_H
 #define SUPERPIN_SUPPORT_STATISTIC_H
+
+#include "support/Histogram.h"
 
 #include <cstdint>
 #include <deque>
@@ -23,13 +28,18 @@ namespace spin {
 
 class RawOstream;
 
-/// Owns a set of named counters. Counters are created on first access and
-/// keep registration order for deterministic reporting.
+/// Owns a set of named counters and histograms. Both are created on first
+/// access and keep registration order for deterministic reporting.
 class StatisticRegistry {
 public:
   struct Entry {
     std::string Name;
     uint64_t Value = 0;
+  };
+
+  struct HistEntry {
+    std::string Name;
+    Histogram Hist;
   };
 
   /// Returns a reference to the counter named \p Name, creating it at zero
@@ -40,19 +50,30 @@ public:
   /// Returns the counter value, or 0 if it was never created.
   uint64_t get(std::string_view Name) const;
 
-  /// Resets every counter to zero without forgetting names.
+  /// Returns a reference to the histogram named \p Name, creating it empty
+  /// if needed. Same stability guarantee as counter().
+  Histogram &histogram(std::string_view Name);
+
+  /// Histogram lookup; returns nullptr when never created.
+  const Histogram *getHistogram(std::string_view Name) const;
+
+  /// Resets every counter and histogram without forgetting names.
   void reset();
 
-  /// Merges all counters from \p Other into this registry by addition.
+  /// Merges all counters and histograms from \p Other by addition.
   void mergeFrom(const StatisticRegistry &Other);
 
-  /// Prints "name: value" lines in registration order.
+  /// Prints "name  value" lines in registration order — counters first,
+  /// then histogram summaries — with names padded to the longest so the
+  /// value column aligns.
   void print(RawOstream &OS) const;
 
   const std::deque<Entry> &entries() const { return Entries; }
+  const std::deque<HistEntry> &histogramEntries() const { return Hists; }
 
 private:
   std::deque<Entry> Entries;
+  std::deque<HistEntry> Hists;
 
   Entry *find(std::string_view Name);
   const Entry *find(std::string_view Name) const;

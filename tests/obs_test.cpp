@@ -1,0 +1,558 @@
+//===- tests/obs_test.cpp - Observability subsystem tests -----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests for src/obs and the support pieces under it: the log2 histogram,
+// the registry's histogram channel and aligned printing, the span-event
+// trace recorder (ring semantics, Chrome trace-event export), the
+// schema-stable metrics documents, the golden list of exportStatistics
+// names, and the engine/replay trace wiring (balanced spans, consistency
+// with the run report, tick-identical reports with tracing on or off).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/TraceRecorder.h"
+
+#include "replay/CaptureWriter.h"
+#include "replay/ReplayEngine.h"
+#include "superpin/Engine.h"
+#include "superpin/Reporting.h"
+#include "support/Histogram.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+#include "support/Statistic.h"
+#include "tools/Icount.h"
+#include "workloads/Generator.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+
+using namespace spin;
+using namespace spin::obs;
+using namespace spin::sp;
+using namespace spin::tools;
+using namespace spin::vm;
+using namespace spin::workloads;
+
+namespace {
+
+// --- Histogram -----------------------------------------------------------
+
+TEST(Histogram, BucketForEdges) {
+  EXPECT_EQ(Histogram::bucketFor(0), 0u);
+  EXPECT_EQ(Histogram::bucketFor(1), 1u);
+  EXPECT_EQ(Histogram::bucketFor(2), 2u);
+  EXPECT_EQ(Histogram::bucketFor(3), 2u);
+  EXPECT_EQ(Histogram::bucketFor(4), 3u);
+  EXPECT_EQ(Histogram::bucketFor(7), 3u);
+  EXPECT_EQ(Histogram::bucketFor(8), 4u);
+  EXPECT_EQ(Histogram::bucketFor(uint64_t(1) << 63), 64u);
+  EXPECT_EQ(Histogram::bucketFor(~uint64_t(0)), 64u);
+}
+
+TEST(Histogram, BucketBoundsTileTheRange) {
+  // Every value must fall inside [bucketLow, bucketHigh] of its bucket.
+  for (uint64_t V : {uint64_t(0), uint64_t(1), uint64_t(2), uint64_t(3),
+                     uint64_t(1000), uint64_t(1) << 40, ~uint64_t(0)}) {
+    unsigned B = Histogram::bucketFor(V);
+    EXPECT_GE(V, Histogram::bucketLow(B)) << V;
+    EXPECT_LE(V, Histogram::bucketHigh(B)) << V;
+  }
+}
+
+TEST(Histogram, RecordAndSummaryStats) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u) << "empty histogram min reads as 0";
+  for (uint64_t V : {uint64_t(4), uint64_t(6), uint64_t(100), uint64_t(0)})
+    H.record(V);
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.sum(), 110u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 100u);
+  EXPECT_DOUBLE_EQ(H.mean(), 27.5);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(3), 2u); // 4 and 6
+  EXPECT_EQ(H.bucketCount(7), 1u); // 100 in [64,128)
+}
+
+TEST(Histogram, QuantileBound) {
+  Histogram H;
+  for (int I = 0; I != 100; ++I)
+    H.record(10); // bucket [8,16)
+  H.record(1000); // bucket [512,1024)
+  EXPECT_EQ(H.quantileBound(0.50), 15u);
+  // The single outlier is the top 1%: p100 lands in its bucket but is
+  // clamped to the observed max.
+  EXPECT_EQ(H.quantileBound(1.0), 1000u);
+  EXPECT_EQ(Histogram().quantileBound(0.5), 0u);
+}
+
+TEST(Histogram, MergeAndReset) {
+  Histogram A, B;
+  A.record(5);
+  A.record(9);
+  B.record(200);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.count(), 3u);
+  EXPECT_EQ(A.sum(), 214u);
+  EXPECT_EQ(A.min(), 5u);
+  EXPECT_EQ(A.max(), 200u);
+  A.reset();
+  EXPECT_EQ(A, Histogram());
+}
+
+// --- StatisticRegistry histograms & aligned print ------------------------
+
+TEST(StatisticRegistry, HistogramChannel) {
+  StatisticRegistry Stats;
+  Stats.histogram("b.second").record(4);
+  Stats.histogram("a.first").record(8);
+  Stats.histogram("b.second").record(4);
+  ASSERT_EQ(Stats.histogramEntries().size(), 2u);
+  // Registration order, not lexicographic.
+  EXPECT_EQ(Stats.histogramEntries()[0].Name, "b.second");
+  EXPECT_EQ(Stats.histogramEntries()[1].Name, "a.first");
+  EXPECT_EQ(Stats.histogram("b.second").count(), 2u);
+  EXPECT_EQ(Stats.getHistogram("a.first")->sum(), 8u);
+  EXPECT_EQ(Stats.getHistogram("absent"), nullptr);
+}
+
+TEST(StatisticRegistry, PrintAlignsValueColumn) {
+  StatisticRegistry Stats;
+  Stats.counter("x") = 1;
+  Stats.counter("a.much.longer.counter.name") = 2;
+  Stats.histogram("short.hist").record(3);
+  std::string Text;
+  RawStringOstream OS(Text);
+  Stats.print(OS);
+  OS.flush();
+
+  // Every line's payload must start at the same column: name, padding,
+  // then the value / summary.
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    Lines.push_back(Text.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  ASSERT_EQ(Lines.size(), 3u);
+  size_t Col = std::string::npos;
+  for (const std::string &L : Lines) {
+    size_t NameEnd = L.find(' ');
+    size_t ValueCol = L.find_first_not_of(' ', NameEnd);
+    ASSERT_NE(ValueCol, std::string::npos) << L;
+    if (Col == std::string::npos)
+      Col = ValueCol;
+    EXPECT_EQ(ValueCol, Col) << "misaligned line: " << L;
+  }
+}
+
+// --- TraceRecorder -------------------------------------------------------
+
+TEST(TraceRecorder, RecordsAndSnapshotsInOrder) {
+  TraceRecorder Rec(16);
+  Rec.begin(0, EventKind::MasterRun, 100);
+  Rec.instant(1, EventKind::SliceFork, 200, 7);
+  Rec.end(0, EventKind::MasterRun, 300);
+  ASSERT_EQ(Rec.size(), 3u);
+  EXPECT_EQ(Rec.dropped(), 0u);
+  std::vector<TraceEvent> Evs = Rec.snapshot();
+  ASSERT_EQ(Evs.size(), 3u);
+  EXPECT_EQ(Evs[0].Phase, EventPhase::Begin);
+  EXPECT_EQ(Evs[1].Kind, EventKind::SliceFork);
+  EXPECT_EQ(Evs[1].Arg, 7u);
+  EXPECT_EQ(Evs[2].Ts, 300u);
+  EXPECT_EQ(Evs[0].WallNs, 0u) << "wall clock must be off by default";
+}
+
+TEST(TraceRecorder, RingOverwritesOldest) {
+  TraceRecorder Rec(4);
+  for (uint64_t I = 0; I != 10; ++I)
+    Rec.instant(0, EventKind::SysService, I * 10, I);
+  EXPECT_EQ(Rec.size(), 4u);
+  EXPECT_EQ(Rec.capacity(), 4u);
+  EXPECT_EQ(Rec.dropped(), 6u);
+  std::vector<TraceEvent> Evs = Rec.snapshot();
+  ASSERT_EQ(Evs.size(), 4u);
+  for (size_t I = 0; I != 4; ++I)
+    EXPECT_EQ(Evs[I].Arg, 6 + I) << "snapshot must be oldest-first";
+}
+
+TEST(TraceRecorder, ClearForgetsEventsKeepsCapacity) {
+  TraceRecorder Rec(8);
+  Rec.instant(0, EventKind::SysService, 1);
+  Rec.clear();
+  EXPECT_EQ(Rec.size(), 0u);
+  EXPECT_EQ(Rec.dropped(), 0u);
+  EXPECT_EQ(Rec.capacity(), 8u);
+  Rec.instant(0, EventKind::SysService, 2, 42);
+  EXPECT_EQ(Rec.snapshot().at(0).Arg, 42u);
+}
+
+TEST(TraceRecorder, EventNamesAreStable) {
+  // These names are the trace schema; renaming one breaks consumers.
+  EXPECT_STREQ(eventName(EventKind::MasterRun), "master.run");
+  EXPECT_STREQ(eventName(EventKind::MasterStall), "master.stall");
+  EXPECT_STREQ(eventName(EventKind::SliceFork), "slice.fork");
+  EXPECT_STREQ(eventName(EventKind::SliceSleep), "slice.sleep");
+  EXPECT_STREQ(eventName(EventKind::SliceRun), "slice.run");
+  EXPECT_STREQ(eventName(EventKind::SigSearch), "sig.search");
+  EXPECT_STREQ(eventName(EventKind::SliceMerge), "slice.merge");
+  EXPECT_STREQ(eventName(EventKind::DeferSpill), "defer.spill");
+  EXPECT_STREQ(eventName(EventKind::DeferDrain), "defer.drain");
+  EXPECT_STREQ(eventName(EventKind::SysService), "sys.service");
+  EXPECT_STREQ(eventName(EventKind::SysRecord), "sys.record");
+  EXPECT_STREQ(eventName(EventKind::SysPlayback), "sys.playback");
+  EXPECT_STREQ(eventName(EventKind::JitCompile), "jit.compile");
+  EXPECT_STREQ(eventName(EventKind::JitSeed), "jit.seed");
+  EXPECT_STREQ(eventName(EventKind::ReplayForward), "replay.forward");
+  EXPECT_STREQ(eventName(EventKind::ReplaySlice), "replay.slice");
+  EXPECT_STREQ(eventName(EventKind::ReplayParity), "replay.parity");
+  EXPECT_STREQ(eventName(EventKind::Parallelism), "sched.parallelism");
+}
+
+/// Parses \p Trace's Chrome export and checks the structural invariants:
+/// valid JSON, a traceEvents array, and balanced B/E pairs per lane.
+/// Returns the parsed document.
+JsonValue parseChromeTrace(const TraceRecorder &Trace) {
+  std::string Text;
+  RawStringOstream OS(Text);
+  Trace.writeChromeTrace(OS, os::CostModel().TicksPerMs);
+  OS.flush();
+
+  std::string Err;
+  std::optional<JsonValue> Doc = parseJson(Text, &Err);
+  EXPECT_TRUE(Doc.has_value()) << Err;
+  if (!Doc)
+    return JsonValue();
+  const JsonValue *Events = Doc->get("traceEvents");
+  EXPECT_NE(Events, nullptr);
+  if (!Events)
+    return JsonValue();
+
+  std::map<uint64_t, int64_t> Depth;
+  for (const JsonValue &E : Events->array()) {
+    const JsonValue *Ph = E.get("ph");
+    EXPECT_NE(Ph, nullptr);
+    if (!Ph)
+      continue;
+    uint64_t Tid = E.get("tid") ? E.get("tid")->asUInt() : 0;
+    if (Ph->asString() == "B")
+      ++Depth[Tid];
+    else if (Ph->asString() == "E") {
+      --Depth[Tid];
+      EXPECT_GE(Depth[Tid], 0) << "E without B on lane " << Tid;
+    }
+  }
+  for (const auto &[Tid, D] : Depth)
+    EXPECT_EQ(D, 0) << "unbalanced spans on lane " << Tid;
+  return *Doc;
+}
+
+TEST(TraceRecorder, ChromeExportIsValidBalancedJson) {
+  TraceRecorder Rec;
+  Rec.setLaneName(0, "master");
+  Rec.setLaneName(1, "slice-0");
+  Rec.begin(0, EventKind::MasterRun, 0);
+  Rec.instant(0, EventKind::SliceFork, 50, 0);
+  Rec.begin(1, EventKind::SliceSleep, 50);
+  Rec.end(1, EventKind::SliceSleep, 150);
+  Rec.begin(1, EventKind::SliceRun, 150);
+  Rec.counter(EventKind::Parallelism, 160, 2);
+  Rec.end(1, EventKind::SliceRun, 400, 1234);
+  Rec.end(0, EventKind::MasterRun, 500);
+  JsonValue Doc = parseChromeTrace(Rec);
+
+  // Lane-name metadata and the counter event must be present.
+  const JsonValue *Events = Doc.get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  bool SawMasterName = false, SawCounter = false;
+  for (const JsonValue &E : Events->array()) {
+    const JsonValue *Name = E.get("name");
+    if (!Name)
+      continue;
+    if (Name->asString() == "thread_name" && E.get("args") &&
+        E.get("args")->get("name") &&
+        E.get("args")->get("name")->asString() == "master")
+      SawMasterName = true;
+    if (E.get("ph")->asString() == "C" &&
+        Name->asString() == "sched.parallelism")
+      SawCounter = true;
+  }
+  EXPECT_TRUE(SawMasterName);
+  EXPECT_TRUE(SawCounter);
+}
+
+// --- Metrics documents ---------------------------------------------------
+
+TEST(Metrics, RegistryJsonRoundTrips) {
+  StatisticRegistry Stats;
+  Stats.counter("a.count") = 7;
+  // A value beyond 2^53 must survive the write/parse round trip exactly.
+  Stats.counter("big") = (uint64_t(1) << 60) + 3;
+  Stats.histogram("h.dist").record(9);
+  std::string Text;
+  RawStringOstream OS(Text);
+  writeRegistryJson(Stats, OS);
+  OS.flush();
+
+  std::string Err;
+  std::optional<JsonValue> Doc = parseJson(Text, &Err);
+  ASSERT_TRUE(Doc.has_value()) << Err;
+  EXPECT_EQ(Doc->get("schema")->asString(), MetricsSchema);
+  EXPECT_EQ(Doc->get("counters")->get("a.count")->asUInt(), 7u);
+  EXPECT_EQ(Doc->get("counters")->get("big")->asUInt(),
+            (uint64_t(1) << 60) + 3);
+  const JsonValue *H = Doc->get("histograms")->get("h.dist");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->get("count")->asUInt(), 1u);
+  EXPECT_EQ(H->get("buckets")->array().size(), 1u);
+  EXPECT_EQ(H->get("buckets")->array()[0].get("count")->asUInt(), 1u);
+}
+
+// --- Engine integration --------------------------------------------------
+
+Program obsWorkload(uint64_t TargetInsts = 400'000) {
+  GenParams P;
+  P.Name = "obs";
+  P.TargetInsts = TargetInsts;
+  P.NumFuncs = 6;
+  P.BlocksPerFunc = 6;
+  P.AluPerBlock = 3;
+  P.WorkingSetBytes = 1 << 14;
+  P.SyscallMask = 63;
+  P.Mix = SysMix::Mixed;
+  return generateWorkload(P);
+}
+
+SpOptions obsOptions() {
+  SpOptions Opts;
+  Opts.SliceMs = 50;
+  Opts.PhysCpus = 8;
+  Opts.VirtCpus = 8;
+  return Opts;
+}
+
+os::CostModel Model() { return os::CostModel(); }
+
+/// printReport text — the full deterministic view of a run.
+std::string reportText(const SpRunReport &Rep) {
+  std::string Text;
+  RawStringOstream OS(Text);
+  printReport(Rep, os::CostModel(), OS);
+  OS.flush();
+  return Text;
+}
+
+TEST(EngineTrace, ReportIsTickIdenticalWithTracingOn) {
+  Program Prog = obsWorkload();
+  os::CostModel Model;
+  SpRunReport Plain = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), obsOptions(),
+      Model);
+
+  TraceRecorder Rec;
+  SpOptions Opts = obsOptions();
+  Opts.Trace = &Rec;
+  SpRunReport Traced = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts, Model);
+
+  EXPECT_EQ(reportText(Plain), reportText(Traced));
+  EXPECT_EQ(Plain.WallTicks, Traced.WallTicks);
+  EXPECT_GT(Rec.size(), 0u) << "tracing must actually record";
+}
+
+TEST(EngineTrace, TraceIsConsistentWithRunReport) {
+  Program Prog = obsWorkload();
+  TraceRecorder Rec(1 << 18);
+  SpOptions Opts = obsOptions();
+  Opts.Trace = &Rec;
+  SpRunReport Rep = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts, Model());
+  ASSERT_GT(Rep.NumSlices, 1u);
+  ASSERT_EQ(Rec.dropped(), 0u) << "test capacity must hold the whole run";
+
+  uint64_t Forks = 0, Merges = 0, Records = 0, Playbacks = 0;
+  uint64_t LastMergeTs = 0;
+  bool MergesOrdered = true;
+  for (const TraceEvent &E : Rec.snapshot()) {
+    switch (E.Kind) {
+    case EventKind::SliceFork:
+      ++Forks;
+      break;
+    case EventKind::SliceMerge:
+      ++Merges;
+      if (E.Ts < LastMergeTs)
+        MergesOrdered = false;
+      LastMergeTs = E.Ts;
+      break;
+    case EventKind::SysRecord:
+      ++Records;
+      break;
+    case EventKind::SysPlayback:
+      ++Playbacks;
+      break;
+    default:
+      break;
+    }
+  }
+  EXPECT_EQ(Forks, Rep.NumSlices);
+  EXPECT_EQ(Merges, Rep.NumSlices);
+  EXPECT_TRUE(MergesOrdered) << "merges must be in nondecreasing time order";
+  EXPECT_EQ(Records, Rep.RecordedSyscalls);
+  EXPECT_EQ(Playbacks, Rep.PlaybackSyscalls);
+  parseChromeTrace(Rec); // balanced spans per lane + valid JSON
+
+  // Every slice that ran has its four histogram samples.
+  EXPECT_EQ(Rep.SliceLenHist.count(), Rep.NumSlices);
+  EXPECT_EQ(Rep.SliceWaitHist.count(), Rep.NumSlices);
+  EXPECT_EQ(Rep.SliceSysRecsHist.count(), Rep.NumSlices);
+  EXPECT_EQ(Rep.SliceLenHist.sum(), Rep.MasterInsts)
+      << "slice windows must tile the master instruction stream";
+}
+
+TEST(EngineTrace, DeferredRunEmitsSpillAndDrain) {
+  Program Prog = obsWorkload(800'000);
+  TraceRecorder Rec(1 << 18);
+  SpOptions Opts = obsOptions();
+  Opts.MaxSlices = 2; // Saturate quickly so windows actually spill.
+  Opts.DeferSlices = true;
+  Opts.Trace = &Rec;
+  SpRunReport Rep = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts, Model());
+  ASSERT_GT(Rep.SpilledSlices, 0u) << "test must exercise -spdefer";
+
+  uint64_t Spills = 0, Drains = 0;
+  for (const TraceEvent &E : Rec.snapshot()) {
+    Spills += E.Kind == EventKind::DeferSpill;
+    Drains += E.Kind == EventKind::DeferDrain;
+  }
+  EXPECT_EQ(Spills, Rep.SpilledSlices);
+  EXPECT_EQ(Drains, Rep.DrainedSlices);
+  parseChromeTrace(Rec);
+}
+
+TEST(ReplayTrace, ReplayEmitsBalancedSpansAndParity) {
+  Program Prog = obsWorkload();
+  replay::CaptureWriter Writer;
+  SpOptions Opts = obsOptions();
+  Opts.Capture = &Writer;
+  runSuperPin(Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts,
+              Model());
+  replay::RunCapture Cap = Writer.take();
+  ASSERT_GT(Cap.Slices.size(), 1u);
+
+  TraceRecorder Rec(1 << 18);
+  os::CostModel M;
+  replay::ReplayEngine Engine(Cap, M);
+  Engine.setTrace(&Rec);
+  replay::ReplayReport Rep =
+      Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
+  EXPECT_TRUE(Rep.allOk());
+
+  uint64_t SliceSpans = 0, ParityOks = 0;
+  for (const TraceEvent &E : Rec.snapshot()) {
+    SliceSpans += E.Kind == EventKind::ReplaySlice &&
+                  E.Phase == EventPhase::Begin;
+    ParityOks += E.Kind == EventKind::ReplayParity && E.Arg == 1;
+  }
+  EXPECT_EQ(SliceSpans, Rep.SlicesReplayed);
+  EXPECT_EQ(ParityOks, Rep.ParityOk);
+  parseChromeTrace(Rec);
+}
+
+// --- Golden metric names -------------------------------------------------
+
+TEST(Reporting, ExportedStatisticNamesAreGolden) {
+  SpRunReport Rep;
+  StatisticRegistry Stats;
+  exportStatistics(Rep, Stats);
+
+  const char *ExpectedCounters[] = {
+      "superpin.wall.ticks",      "superpin.wall.native",
+      "superpin.wall.forkothers", "superpin.wall.sleep",
+      "superpin.wall.pipeline",   "superpin.master.insts",
+      "superpin.master.syscalls", "superpin.slices.total",
+      "superpin.slices.timeout",  "superpin.slices.syscall",
+      "superpin.slices.insts",    "superpin.sys.recorded",
+      "superpin.sys.playback",    "superpin.sys.duplicated",
+      "superpin.sys.forced",      "superpin.slice.spilled",
+      "superpin.slice.drained",   "superpin.replay.parityok",
+      "superpin.sig.quick",       "superpin.sig.full",
+      "superpin.sig.stack",       "superpin.sig.matches",
+      "superpin.jit.traces",      "superpin.jit.ticks",
+      "superpin.jit.seeded",      "superpin.jit.seedticks",
+      "superpin.static.sites",    "superpin.sys.predicted",
+      "superpin.sys.trapclassified", "superpin.cow.master",
+      "superpin.cow.slices",
+  };
+  ASSERT_EQ(Stats.entries().size(), std::size(ExpectedCounters));
+  size_t I = 0;
+  for (const StatisticRegistry::Entry &E : Stats.entries())
+    EXPECT_EQ(E.Name, ExpectedCounters[I++]) << "counter order changed";
+
+  const char *ExpectedHists[] = {
+      "superpin.hist.slice.insts",
+      "superpin.hist.slice.sysrecs",
+      "superpin.hist.slice.waitticks",
+      "superpin.hist.sig.checkdist",
+  };
+  ASSERT_EQ(Stats.histogramEntries().size(), std::size(ExpectedHists));
+  I = 0;
+  for (const StatisticRegistry::HistEntry &H : Stats.histogramEntries())
+    EXPECT_EQ(H.Name, ExpectedHists[I++]) << "histogram order changed";
+}
+
+TEST(Reporting, RunMetricsJsonParsesAndMatchesReport) {
+  Program Prog = obsWorkload();
+  SpRunReport Rep = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), obsOptions(),
+      Model());
+  std::string Text;
+  RawStringOstream OS(Text);
+  writeRunMetricsJson(Rep, Model(), OS);
+  OS.flush();
+
+  std::string Err;
+  std::optional<JsonValue> Doc = parseJson(Text, &Err);
+  ASSERT_TRUE(Doc.has_value()) << Err;
+  EXPECT_EQ(Doc->get("schema")->asString(), MetricsSchema);
+  EXPECT_EQ(Doc->get("counters")->get("superpin.wall.ticks")->asUInt(),
+            Rep.WallTicks);
+  EXPECT_EQ(Doc->get("counters")->get("superpin.slices.total")->asUInt(),
+            Rep.NumSlices);
+  const JsonValue *Hists = Doc->get("histograms");
+  ASSERT_NE(Hists, nullptr);
+  EXPECT_EQ(Hists->get("superpin.hist.slice.insts")->get("count")->asUInt(),
+            Rep.NumSlices);
+  const JsonValue *Phases = Doc->get("phases");
+  ASSERT_NE(Phases, nullptr);
+  ASSERT_EQ(Phases->array().size(), 5u);
+  EXPECT_EQ(Phases->array()[0].get("name")->asString(), "wall");
+  EXPECT_EQ(Phases->array()[0].get("ticks")->asUInt(), Rep.WallTicks);
+}
+
+// --- printTimeline degenerate runs (regression) --------------------------
+
+TEST(Reporting, TimelineHandlesZeroWallTicks) {
+  SpRunReport Rep; // WallTicks == 0: previously rendered nothing.
+  SliceInfo S;
+  Rep.Slices.push_back(S);
+  std::string Text;
+  RawStringOstream OS(Text);
+  printTimeline(Rep, Model(), OS);
+  OS.flush();
+  EXPECT_NE(Text.find("timeline"), std::string::npos)
+      << "zero-length run must still render a degenerate timeline";
+  EXPECT_NE(Text.find("master"), std::string::npos);
+  EXPECT_NE(Text.find("S1"), std::string::npos);
+}
+
+} // namespace
