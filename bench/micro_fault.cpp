@@ -1,0 +1,123 @@
+//===- bench/micro_fault.cpp - Fault & recovery microbenchmarks -----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark measurements of the fault subsystem's host overhead:
+// the per-slice plan draw, the playback hash-verify, the cost a merely
+// *armed* plan adds to a clean run (checkpoint forks + record hashing),
+// and full runs at increasing injection rates — i.e. what detection,
+// retry, and quarantine actually cost end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultPlan.h"
+#include "os/CostModel.h"
+#include "os/Kernel.h"
+#include "superpin/Engine.h"
+#include "tools/Icount.h"
+#include "workloads/Generator.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace spin;
+using namespace spin::fault;
+using namespace spin::sp;
+
+static vm::Program &faultProgram() {
+  static vm::Program Prog = [] {
+    workloads::GenParams P;
+    P.Name = "microfault";
+    P.TargetInsts = 300'000;
+    P.NumFuncs = 6;
+    P.BlocksPerFunc = 6;
+    P.AluPerBlock = 3;
+    P.WorkingSetBytes = 1 << 14;
+    P.SyscallMask = 63;
+    P.Mix = workloads::SysMix::Mixed;
+    return workloads::generateWorkload(P);
+  }();
+  return Prog;
+}
+
+static SpOptions faultOptions() {
+  SpOptions Opts;
+  Opts.SliceMs = 50;
+  Opts.PhysCpus = 8;
+  Opts.VirtCpus = 8;
+  return Opts;
+}
+
+static SpRunReport runOnce(const FaultPlan *Plan) {
+  SpOptions Opts = faultOptions();
+  Opts.Fault = Plan;
+  os::CostModel Model;
+  return runSuperPin(faultProgram(),
+                     tools::makeIcountTool(tools::IcountGranularity::BasicBlock),
+                     Opts, Model);
+}
+
+static void BM_FaultPlanForSlice(benchmark::State &State) {
+  FaultPlan Plan(17, 0.5);
+  uint32_t N = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Plan.forSlice(++N & 1023));
+}
+BENCHMARK(BM_FaultPlanForSlice);
+
+static void BM_HashSyscallEffects(benchmark::State &State) {
+  os::SyscallEffects Eff;
+  Eff.Number = 2;
+  Eff.RetVal = 256;
+  Eff.MemWrites.push_back({0x20000, std::vector<uint8_t>(256, 0xab)});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(os::hashSyscallEffects(Eff));
+}
+BENCHMARK(BM_HashSyscallEffects);
+
+/// Baseline: the engine with no plan at all.
+static void BM_RunNoPlan(benchmark::State &State) {
+  for (auto _ : State) {
+    SpRunReport Rep = runOnce(nullptr);
+    benchmark::DoNotOptimize(Rep.WallTicks);
+  }
+}
+BENCHMARK(BM_RunNoPlan)->Unit(benchmark::kMillisecond);
+
+/// An enabled plan that never fires: measures the standing cost of the
+/// recovery machinery alone — per-slice checkpoint forks and record
+/// hashing — with zero faults to recover from.
+static void BM_RunArmedPlanNoFaults(benchmark::State &State) {
+  FaultPlan Plan;
+  FaultSpec S;
+  S.Slice = ~0u; // a slice number the run never reaches
+  Plan.add(S);
+  for (auto _ : State) {
+    SpRunReport Rep = runOnce(&Plan);
+    benchmark::DoNotOptimize(Rep.WallTicks);
+  }
+}
+BENCHMARK(BM_RunArmedPlanNoFaults)->Unit(benchmark::kMillisecond);
+
+/// Full recovery cost at increasing injection rates (percent).
+static void BM_RunWithFaults(benchmark::State &State) {
+  FaultPlan Plan(17, double(State.range(0)) / 100.0);
+  uint64_t Recovered = 0, Lost = 0;
+  for (auto _ : State) {
+    SpRunReport Rep = runOnce(&Plan);
+    Recovered += Rep.RecoveredSlices;
+    Lost += Rep.LostSlices;
+    benchmark::DoNotOptimize(Rep.WallTicks);
+  }
+  State.counters["recovered"] =
+      benchmark::Counter(static_cast<double>(Recovered),
+                         benchmark::Counter::kAvgIterations);
+  State.counters["lost"] = benchmark::Counter(
+      static_cast<double>(Lost), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_RunWithFaults)->Arg(20)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -86,6 +86,10 @@ int main(int Argc, char **Argv) {
   Opts.Cpi = Info.Cpi;
   Opts.Capture = &Writer;
   Opts.DeferSlices = SpDefer;
+  if (std::string Bad = Opts.validate(); !Bad.empty()) {
+    errs() << "error: " << Bad << "\n";
+    return 1;
+  }
 
   sp::SpRunReport Rep = sp::runSuperPin(Prog, makeTool(ToolName), Opts, Model);
   outs() << Rep.FiniOutput;

@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "replay/ReplayEngine.h"
+#include "superpin/SpOptions.h"
 #include "support/CommandLine.h"
 #include "support/RawOstream.h"
 #include "support/StringExtras.h"
@@ -26,6 +27,7 @@
 #include "tools/MemTrace.h"
 #include "tools/OpcodeMix.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 using namespace spin;
@@ -73,6 +75,9 @@ int main(int Argc, char **Argv) {
   Opt<std::string> Slices(Registry, "slices", "",
                           "comma-separated slice numbers (empty = all)");
   Opt<bool> List(Registry, "list", false, "list captured slices and exit");
+  Opt<bool> SkipCorrupt(
+      Registry, "skip-corrupt", false,
+      "recover intact slices from a damaged log via the sidecar index");
   Opt<bool> Help(Registry, "help", false, "print options");
 
   std::string Err;
@@ -85,9 +90,47 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  std::optional<replay::RunCapture> Cap = replay::loadCapture(LogPath, &Err);
+  replay::LogDiagnosis Diag;
+  std::vector<uint32_t> Skipped;
+  std::optional<replay::RunCapture> Cap =
+      replay::loadCaptureLenient(LogPath, SkipCorrupt, &Diag, &Skipped);
+  if (!Diag.ok()) {
+    // Structured diagnostic: what broke, where, and the evidence.
+    errs() << "error: " << Diag.Reason << "\n";
+    errs() << "  file: " << LogPath << " (" << Diag.FileSize << " bytes)\n";
+    errs() << "  offset: " << Diag.Offset;
+    if (Diag.RecordIndex != ~uint64_t(0))
+      errs() << ", slice record " << Diag.RecordIndex;
+    errs() << "\n";
+    if (Diag.ChecksumMismatch)
+      errs() << "  checksum: expected " << Diag.ExpectedChecksum
+             << ", actual " << Diag.ActualChecksum << "\n";
+    if (Diag.Truncated)
+      errs() << "  file ends before the format says it should\n";
+    if (!Cap) {
+      if (!SkipCorrupt && Diag.RecordIndex != ~uint64_t(0))
+        errs() << "  hint: -skip-corrupt 1 recovers the intact slices\n";
+      return 1;
+    }
+    errs() << "  recovered " << Cap->Slices.size() << " slices, skipped "
+           << Skipped.size() << "\n";
+  }
   if (!Cap) {
-    errs() << "error: " << Err << "\n";
+    errs() << "error: could not load '" << LogPath << "'\n";
+    return 1;
+  }
+
+  // Sanity-check the embedded capture-time configuration the same way the
+  // capturing CLIs do; a log that decodes but carries nonsense options
+  // would replay garbage.
+  sp::SpOptions CapOpts;
+  CapOpts.SliceMs = Cap->SliceMs;
+  CapOpts.MaxSlices = Cap->MaxSlices;
+  CapOpts.MaxSysRecs = Cap->MaxSysRecs;
+  CapOpts.Cpi = Cap->Cpi;
+  if (std::string Bad = CapOpts.validate(); !Bad.empty()) {
+    errs() << "error: capture log carries an invalid configuration: " << Bad
+           << "\n";
     return 1;
   }
 
@@ -102,6 +145,18 @@ int main(int Argc, char **Argv) {
              << (S.Spilled ? ", spilled" : "") << "\n";
     outs().flush();
     return 0;
+  }
+
+  // Slices past the first corrupt record cannot be replayed even when
+  // their own records survived: the master state is only reconstructible
+  // through a contiguous window chain, and the gap's syscall effects are
+  // gone with its record. Keep the intact prefix.
+  if (!Skipped.empty()) {
+    uint32_t Gap = *std::min_element(Skipped.begin(), Skipped.end());
+    while (!Cap->Slices.empty() && Cap->Slices.back().Num >= Gap)
+      Cap->Slices.pop_back();
+    errs() << "  note: replaying the " << Cap->Slices.size()
+           << " slices before the first corrupt record\n";
   }
 
   os::CostModel Model;

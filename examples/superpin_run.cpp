@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fault/FaultPlan.h"
 #include "obs/Metrics.h"
 #include "obs/TraceRecorder.h"
 #include "pin/Runner.h"
@@ -103,6 +104,15 @@ int main(int Argc, char **Argv) {
                          "predict syscall classes from static analysis");
   Opt<bool> SpSeed(Registry, "spseed", false,
                    "seed code caches from the static CFG");
+  Opt<double> SpFault(Registry, "spfault", 0.0,
+                      "per-slice fault-injection probability (0 disables)");
+  Opt<uint64_t> SpFaultSeed(Registry, "spfaultseed", 1,
+                            "deterministic seed for the fault plan");
+  Opt<uint64_t> SpRetries(Registry, "spretries", 2,
+                          "re-fork attempts per failed slice window");
+  Opt<uint64_t> SpWatchdogMargin(
+      Registry, "spwatchdogmargin", 20000,
+      "instructions past the window length before the watchdog kills");
   Opt<uint64_t> Cpus(Registry, "cpus", 8, "physical cores");
   Opt<uint64_t> Vcpus(Registry, "vcpus", 8, "scheduling contexts");
   Opt<bool> Report(Registry, "report", false, "print the full run report");
@@ -172,6 +182,15 @@ int main(int Argc, char **Argv) {
   if (Opts.VirtCpus < Opts.PhysCpus)
     Opts.VirtCpus = Opts.PhysCpus;
   Opts.Cpi = Info.Cpi;
+  Opts.RetryBudget = static_cast<uint32_t>(uint64_t(SpRetries));
+  Opts.WatchdogMarginInsts = SpWatchdogMargin;
+  fault::FaultPlan Plan(SpFaultSeed, SpFault);
+  if (Plan.enabled())
+    Opts.Fault = &Plan;
+  if (std::string Bad = Opts.validate(); !Bad.empty()) {
+    errs() << "error: " << Bad << "\n";
+    return 1;
+  }
 
   obs::TraceRecorder Trace(static_cast<size_t>(uint64_t(TraceCap)));
   if (TraceWall)
@@ -199,6 +218,13 @@ int main(int Argc, char **Argv) {
   outs() << "signature: " << Rep.Signature.QuickChecks << " quick, "
          << Rep.Signature.FullChecks << " full, " << Rep.Signature.Matches
          << " matches\n";
+  if (Rep.FaultsInjected || Rep.RetriedSlices || Rep.QuarantinedSlices ||
+      Rep.LostSlices || Rep.BreakerTripped)
+    outs() << "faults: " << Rep.FaultsInjected << " injected, "
+           << Rep.RecoveredSlices << " recovered, " << Rep.LostSlices
+           << " lost, coverage " << Rep.CoverageInsts << "/"
+           << Rep.MasterInsts << " insts"
+           << (Rep.BreakerTripped ? ", breaker TRIPPED" : "") << "\n";
   if (Report) {
     outs() << "\n";
     sp::printReport(Rep, Model, outs());

@@ -1,0 +1,59 @@
+//===- fault/FaultPlan.cpp - Deterministic fault-injection plans ----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultPlan.h"
+
+#include "support/Random.h"
+
+using namespace spin;
+using namespace spin::fault;
+
+const char *spin::fault::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::SliceCrash:
+    return "slice-crash";
+  case FaultKind::SigSuppress:
+    return "sig-suppress";
+  case FaultKind::PlaybackCorrupt:
+    return "playback-corrupt";
+  case FaultKind::SysrecDrop:
+    return "sysrec-drop";
+  case FaultKind::SpillLoss:
+    return "spill-loss";
+  case FaultKind::SliceStall:
+    return "slice-stall";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(uint64_t Seed, double Rate) : Seed(Seed), Rate(Rate) {}
+
+std::optional<FaultSpec> FaultPlan::forSlice(uint32_t SliceNum) const {
+  auto It = Explicit.find(SliceNum);
+  if (It != Explicit.end())
+    return It->second;
+  if (Rate <= 0.0)
+    return std::nullopt;
+
+  // Key the PRNG on (Seed, SliceNum) so the draw for slice N is independent
+  // of how many other slices were queried before it. The golden-ratio
+  // multiplier decorrelates adjacent slice numbers before mixing.
+  SplitMix64 Rng(Seed ^ (uint64_t(SliceNum) * 0x9e3779b97f4a7c15ULL +
+                         0x7f4a7c15ULL));
+  if (!Rng.nextBool(Rate))
+    return std::nullopt;
+
+  FaultSpec Spec;
+  Spec.Slice = SliceNum;
+  Spec.Kind = static_cast<FaultKind>(Rng.nextBelow(NumFaultKinds));
+  Spec.AtInst = Rng.nextInRange(1, 40'000);
+  Spec.SysIndex = static_cast<uint32_t>(Rng.nextBelow(4));
+  // ~30% of seeded faults are persistent: they survive every retry and
+  // follow the window into quarantine, exercising the whole ladder.
+  Spec.FailAttempts = Rng.nextBool(0.3) ? ~0u : 1;
+  return Spec;
+}

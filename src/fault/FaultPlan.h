@@ -1,0 +1,119 @@
+//===- fault/FaultPlan.h - Deterministic fault-injection plans --*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, fully deterministic fault-injection plans for the SuperPin
+/// engine. A FaultPlan decides — per slice number, before the slice runs —
+/// whether that slice experiences a fault and which kind. The decision is a
+/// pure function of (plan seed, slice number), so two runs with the same
+/// seed inject exactly the same faults regardless of scheduling, and a test
+/// can pin a specific fault on a specific slice with an explicit FaultSpec.
+///
+/// The engine consumes the plan read-only; the plan never mutates during a
+/// run and charges no virtual time. Fault kinds model the failure surface
+/// of the paper's disposable instrumented slices: a slice that crashes
+/// mid-window, a §4.4 signature that is never detected (runaway slice), a
+/// §4.2 syscall-playback record whose effects were corrupted or dropped, a
+/// spilled deferred window that is lost before the drain, and a slice that
+/// stalls without retiring instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_FAULT_FAULTPLAN_H
+#define SUPERPIN_FAULT_FAULTPLAN_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace spin {
+namespace fault {
+
+/// The kinds of failure the plan can inject into one slice.
+enum class FaultKind : uint8_t {
+  /// The slice "crashes" (as under a buggy tool) once it has retired
+  /// FaultSpec::AtInst instructions of its window.
+  SliceCrash,
+  /// Signature detection is suppressed for the attempt: the end-of-window
+  /// hook is never armed, so the slice runs away past its window.
+  SigSuppress,
+  /// The recorded effects of the FaultSpec::SysIndex-th playback syscall
+  /// are corrupted; playback verification must catch the divergence.
+  PlaybackCorrupt,
+  /// The FaultSpec::SysIndex-th playback record is dropped from the window,
+  /// so playback desynchronises from the recorded syscall sequence.
+  SysrecDrop,
+  /// A window routed through the deferred/quarantine spill path is lost
+  /// before the post-exit drain can run it.
+  SpillLoss,
+  /// The slice stalls: it burns its whole scheduling budget without
+  /// retiring instructions until the stall watchdog kills the attempt.
+  SliceStall,
+};
+
+/// Number of distinct FaultKind values (for seeded draws and matrices).
+inline constexpr unsigned NumFaultKinds = 6;
+
+/// Stable lower-case name for reports and traces, e.g. "slice-crash".
+const char *faultKindName(FaultKind Kind);
+
+/// One injected fault, pinned to one slice.
+struct FaultSpec {
+  FaultKind Kind = FaultKind::SliceCrash;
+  /// Slice number (SliceInfo::Num) the fault applies to.
+  uint32_t Slice = 0;
+  /// For SliceCrash: the attempt dies after retiring this many window
+  /// instructions (>= 1).
+  uint64_t AtInst = 1;
+  /// For PlaybackCorrupt / SysrecDrop: index of the playback record
+  /// within the window that is corrupted or dropped.
+  uint32_t SysIndex = 0;
+  /// How many attempts of the slice the fault affects. 1 models a
+  /// transient fault (the first retry succeeds); ~0u models a persistent
+  /// fault that follows the window through retries and quarantine.
+  uint32_t FailAttempts = 1;
+};
+
+/// A deterministic map from slice number to at-most-one FaultSpec.
+///
+/// Explicitly added specs (add()) always win over the seeded draw, so
+/// tests can build exact matrices while fuzz-style sweeps use the seeded
+/// constructor alone. An empty plan (no specs, Rate == 0) is "disabled"
+/// and the engine treats it exactly like no plan at all.
+class FaultPlan {
+public:
+  /// An empty, disabled plan.
+  FaultPlan() = default;
+
+  /// A seeded random plan: each slice independently faults with
+  /// probability \p Rate, with kind and parameters drawn from a PRNG
+  /// keyed on (Seed, slice number).
+  FaultPlan(uint64_t Seed, double Rate);
+
+  /// Pins \p Spec onto slice Spec.Slice, overriding any seeded draw.
+  void add(const FaultSpec &Spec) { Explicit[Spec.Slice] = Spec; }
+
+  /// The fault for slice \p SliceNum, if any. Pure: same answer every
+  /// call, independent of call order across slices.
+  std::optional<FaultSpec> forSlice(uint32_t SliceNum) const;
+
+  /// True when the plan can ever inject a fault.
+  bool enabled() const { return !Explicit.empty() || Rate > 0.0; }
+
+  uint64_t seed() const { return Seed; }
+  double rate() const { return Rate; }
+
+private:
+  uint64_t Seed = 0;
+  double Rate = 0.0;
+  std::map<uint32_t, FaultSpec> Explicit;
+};
+
+} // namespace fault
+} // namespace spin
+
+#endif // SUPERPIN_FAULT_FAULTPLAN_H

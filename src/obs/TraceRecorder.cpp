@@ -53,6 +53,16 @@ const char *spin::obs::eventName(EventKind K) {
     return "replay.parity";
   case EventKind::Parallelism:
     return "sched.parallelism";
+  case EventKind::WatchdogKill:
+    return "fault.watchdogkill";
+  case EventKind::SliceRetry:
+    return "fault.retry";
+  case EventKind::SliceQuarantine:
+    return "fault.quarantine";
+  case EventKind::PlaybackDivergence:
+    return "fault.divergence";
+  case EventKind::BreakerTrip:
+    return "fault.breaker";
   }
   return "unknown";
 }
@@ -83,6 +93,12 @@ const char *spin::obs::eventCategory(EventKind K) {
     return "replay";
   case EventKind::Parallelism:
     return "sched";
+  case EventKind::WatchdogKill:
+  case EventKind::SliceRetry:
+  case EventKind::SliceQuarantine:
+  case EventKind::PlaybackDivergence:
+  case EventKind::BreakerTrip:
+    return "fault";
   }
   return "unknown";
 }

@@ -62,6 +62,11 @@ enum class EventKind : uint8_t {
   ReplaySlice,   ///< span (replay): one captured slice re-executed
   ReplayParity,  ///< instant (replay): parity verdict (arg: 1 = ok)
   Parallelism,   ///< counter: tasks running this scheduler quantum
+  WatchdogKill,  ///< instant (slice lane): runaway/stalled attempt killed
+  SliceRetry,    ///< instant (slice lane): window re-forked (arg: attempt)
+  SliceQuarantine, ///< instant (slice lane): window parked for post-exit rerun
+  PlaybackDivergence, ///< instant (slice lane): playback verification failed
+  BreakerTrip,   ///< instant (master lane): circuit breaker engaged
 };
 
 /// Stable dotted name for \p K (e.g. "slice.run").

@@ -105,6 +105,13 @@ struct CostModel {
   /// Per-byte cost of auto-merged shared areas.
   Ticks MergePerByteCost = 2;
 
+  // --- Fault recovery (src/fault) ---------------------------------------
+  /// Tearing down a failed slice attempt (watchdog kill, divergence
+  /// abort): signal delivery plus address-space teardown bookkeeping.
+  Ticks SliceKillCost = 5'000;
+  /// Parking a retry-exhausted window for post-exit serial re-execution.
+  Ticks QuarantineCost = 10'000;
+
   // --- Multiprocessor (Section 6.3 "SMP scalability", hyperthreading) ---
   /// Combined throughput of two SMT threads sharing one physical core,
   /// relative to one thread running alone (1.0 = no benefit from SMT).

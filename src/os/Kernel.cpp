@@ -115,6 +115,27 @@ SyscallEffects spin::os::decodeSyscallEffects(ByteReader &R) {
   return Effects;
 }
 
+uint64_t spin::os::hashSyscallEffects(const SyscallEffects &Effects) {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  auto Mix = [&Hash](uint64_t Value, unsigned Bytes = 8) {
+    for (unsigned I = 0; I != Bytes; ++I) {
+      Hash ^= (Value >> (I * 8)) & 0xff;
+      Hash *= 0x100000001b3ULL;
+    }
+  };
+  Mix(Effects.Number);
+  Mix(Effects.RetVal);
+  Mix(Effects.ProcessExited ? 1 : 0, 1);
+  Mix(Effects.MemWrites.size());
+  for (const auto &[Addr, Bytes] : Effects.MemWrites) {
+    Mix(Addr);
+    Mix(Bytes.size());
+    for (uint8_t B : Bytes)
+      Mix(B, 1);
+  }
+  return Hash;
+}
+
 uint64_t spin::os::pendingSyscallNumber(const Process &Proc) {
   return Proc.Cpu.Regs[0];
 }

@@ -77,6 +77,12 @@ void encodeSyscallEffects(const SyscallEffects &Effects, ByteWriter &W);
 /// the reader's error flag latches; check ByteReader::failed().
 SyscallEffects decodeSyscallEffects(ByteReader &R);
 
+/// Order-sensitive FNV-1a digest of \p Effects (number, retval, exit flag,
+/// every memory write). Playback verification compares the digest taken at
+/// record time against the record presented at playback time, so a
+/// corrupted or swapped record is caught before its effects are applied.
+uint64_t hashSyscallEffects(const SyscallEffects &Effects);
+
 /// Services the syscall \p Proc's pc points at: executes its semantics,
 /// writes the result to r0, advances pc past the syscall instruction, and
 /// (if \p Effects is non-null) records the full effects.

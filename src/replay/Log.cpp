@@ -173,6 +173,35 @@ SliceCaptureData decodeSlice(ByteReader &R) {
   return S;
 }
 
+/// Decodes everything between the magic/version words and the slice list.
+void decodeConfigAndResults(ByteReader &R, RunCapture &Cap) {
+  Cap.Prog = decodeProgram(R);
+  Cap.Cpi = R.f64();
+  Cap.SliceMs = R.u64();
+  Cap.MaxSlices = R.u32();
+  Cap.MaxSysRecs = R.u64();
+  Cap.QuickCheck = R.boolean();
+  Cap.MemSignature = R.boolean();
+  Cap.DeferSlices = R.boolean();
+  Cap.MasterInsts = R.u64();
+  Cap.SliceInsts = R.u64();
+  Cap.SpilledSlices = R.u64();
+  Cap.ExitCode = static_cast<int>(R.i64());
+  Cap.Output = R.str();
+}
+
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  uint8_t Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  std::fclose(F);
+  return true;
+}
+
 } // namespace
 
 std::vector<uint8_t>
@@ -227,19 +256,7 @@ spin::replay::decodeCapture(const std::vector<uint8_t> &Bytes,
   if (uint32_t V = R.u32(); V != LogVersion)
     return Fail("unsupported capture log version " + std::to_string(V));
   RunCapture Cap;
-  Cap.Prog = decodeProgram(R);
-  Cap.Cpi = R.f64();
-  Cap.SliceMs = R.u64();
-  Cap.MaxSlices = R.u32();
-  Cap.MaxSysRecs = R.u64();
-  Cap.QuickCheck = R.boolean();
-  Cap.MemSignature = R.boolean();
-  Cap.DeferSlices = R.boolean();
-  Cap.MasterInsts = R.u64();
-  Cap.SliceInsts = R.u64();
-  Cap.SpilledSlices = R.u64();
-  Cap.ExitCode = static_cast<int>(R.i64());
-  Cap.Output = R.str();
+  decodeConfigAndResults(R, Cap);
   uint64_t NumSlices = R.u64();
   for (uint64_t I = 0; I != NumSlices && !R.failed(); ++I)
     Cap.Slices.push_back(decodeSlice(R));
@@ -324,17 +341,175 @@ bool spin::replay::saveCapture(const RunCapture &Cap, const std::string &Path,
 
 std::optional<RunCapture> spin::replay::loadCapture(const std::string &Path,
                                                     std::string *Err) {
-  std::FILE *F = std::fopen(Path.c_str(), "rb");
-  if (!F) {
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes)) {
     if (Err)
       *Err = "cannot open '" + Path + "'";
     return std::nullopt;
   }
-  std::vector<uint8_t> Bytes;
-  uint8_t Buf[1 << 16];
-  size_t N;
-  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
-    Bytes.insert(Bytes.end(), Buf, Buf + N);
-  std::fclose(F);
   return decodeCapture(Bytes, Err);
+}
+
+/// Slice-record offsets from the JSON sidecar, the resync map for
+/// loadCaptureLenient. Empty when the sidecar is missing or unparsable.
+static std::vector<SliceIndexEntry>
+loadSidecarIndex(const std::string &Path) {
+  std::vector<SliceIndexEntry> Index;
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(sidecarPath(Path), Bytes))
+    return Index;
+  std::string Text(Bytes.begin(), Bytes.end());
+  std::optional<JsonValue> Doc = parseJson(Text);
+  if (!Doc)
+    return Index;
+  const JsonValue *Slices = Doc->get("slices");
+  if (!Slices)
+    return Index;
+  for (const JsonValue &S : Slices->array()) {
+    const JsonValue *Num = S.get("num");
+    const JsonValue *Off = S.get("offset");
+    const JsonValue *Size = S.get("size");
+    if (!Num || !Off || !Size)
+      continue;
+    Index.push_back({static_cast<uint32_t>(Num->asUInt()), Off->asUInt(),
+                     Size->asUInt()});
+  }
+  return Index;
+}
+
+std::optional<RunCapture>
+spin::replay::loadCaptureLenient(const std::string &Path, bool SkipCorrupt,
+                                 LogDiagnosis *Diag,
+                                 std::vector<uint32_t> *Skipped) {
+  LogDiagnosis Local;
+  LogDiagnosis &D = Diag ? *Diag : Local;
+  D = LogDiagnosis();
+
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes)) {
+    D.Reason = "cannot open '" + Path + "'";
+    return std::nullopt;
+  }
+  D.FileSize = Bytes.size();
+  if (Bytes.size() < 16) {
+    D.Truncated = true;
+    D.Offset = Bytes.size();
+    D.Reason = "capture log truncated (shorter than header + checksum)";
+    return std::nullopt;
+  }
+  size_t PaySize = Bytes.size() - 8;
+  {
+    ByteReader Tail(Bytes.data() + PaySize, 8);
+    D.ExpectedChecksum = Tail.u64();
+  }
+  D.ActualChecksum = fnv1a(Bytes.data(), PaySize);
+  if (D.ExpectedChecksum != D.ActualChecksum) {
+    D.ChecksumMismatch = true;
+    D.Offset = PaySize;
+    D.Reason = "capture log checksum mismatch (corrupt or truncated)";
+    if (!SkipCorrupt)
+      return std::nullopt;
+    // Best-effort decode below; per-record sanity limits the damage.
+  }
+
+  ByteReader R(Bytes.data(), PaySize);
+  if (R.u32() != LogMagic) {
+    D.Offset = 0;
+    D.Reason = "not a capture log (bad magic)";
+    return std::nullopt;
+  }
+  if (uint32_t V = R.u32(); V != LogVersion) {
+    D.Offset = 4;
+    D.Reason = "unsupported capture log version " + std::to_string(V);
+    return std::nullopt;
+  }
+  RunCapture Cap;
+  decodeConfigAndResults(R, Cap);
+  uint64_t NumSlices = R.u64();
+  if (R.failed()) {
+    // Nothing to resync to: the program image itself is unusable.
+    D.Offset = R.position();
+    D.Reason = "malformed capture log header";
+    return std::nullopt;
+  }
+
+  std::vector<SliceIndexEntry> Index;
+  bool IndexLoaded = false;
+  auto NextSync = [&](uint64_t After) -> uint64_t {
+    if (!IndexLoaded) {
+      Index = loadSidecarIndex(Path);
+      IndexLoaded = true;
+    }
+    uint64_t Best = 0;
+    for (const SliceIndexEntry &E : Index)
+      if (E.Offset > After && E.Offset < PaySize &&
+          (Best == 0 || E.Offset < Best))
+        Best = E.Offset;
+    return Best;
+  };
+
+  // A slice record is hundreds of bytes at minimum; a count that cannot
+  // possibly fit is itself corruption. Fall back to the sidecar's count.
+  if (NumSlices > (PaySize - R.position()) / 64 + 1) {
+    D.Offset = R.position() - 8;
+    D.Reason = "implausible slice count " + std::to_string(NumSlices);
+    if (!SkipCorrupt)
+      return std::nullopt;
+    NextSync(0); // Force the sidecar load.
+    NumSlices = Index.size();
+  }
+
+  uint64_t Cursor = R.position();
+  for (uint64_t I = 0; I != NumSlices; ++I) {
+    if (Cursor >= PaySize) {
+      if (D.Reason.empty()) {
+        D.Truncated = true;
+        D.Offset = Cursor;
+        D.RecordIndex = I;
+        D.Reason = "capture log truncated at slice record " +
+                   std::to_string(I);
+      }
+      if (!SkipCorrupt)
+        return std::nullopt;
+      if (Skipped)
+        Skipped->push_back(static_cast<uint32_t>(I));
+      continue; // Count every missing record, there is nothing to decode.
+    }
+    ByteReader SR(Bytes.data() + Cursor, PaySize - Cursor);
+    SliceCaptureData S = decodeSlice(SR);
+    // The record's own number doubles as a cheap integrity check: encode
+    // writes slices in order, so a mismatch means garbage decoded
+    // "successfully".
+    if (!SR.failed() && S.Num == I) {
+      Cursor += SR.position();
+      Cap.Slices.push_back(std::move(S));
+      continue;
+    }
+    if (D.Reason.empty()) {
+      D.Offset = Cursor;
+      D.RecordIndex = I;
+      D.Reason = "corrupt slice record " + std::to_string(I) +
+                 " at byte offset " + std::to_string(Cursor);
+    }
+    if (!SkipCorrupt)
+      return std::nullopt;
+    if (Skipped)
+      Skipped->push_back(static_cast<uint32_t>(I));
+    uint64_t Next = NextSync(Cursor);
+    if (Next == 0) {
+      // No later record to resync to; everything after this is lost.
+      for (uint64_t J = I + 1; J < NumSlices; ++J)
+        if (Skipped)
+          Skipped->push_back(static_cast<uint32_t>(J));
+      break;
+    }
+    Cursor = Next;
+  }
+  if (Cursor != PaySize && D.Reason.empty()) {
+    D.Offset = Cursor;
+    D.Reason = "malformed capture log payload (trailing bytes)";
+    if (!SkipCorrupt)
+      return std::nullopt;
+  }
+  return Cap;
 }

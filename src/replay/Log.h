@@ -97,6 +97,36 @@ bool saveCapture(const RunCapture &Cap, const std::string &Path,
 std::optional<RunCapture> loadCapture(const std::string &Path,
                                       std::string *Err = nullptr);
 
+/// Structured diagnosis of an SPRL load: what failed, where in the file,
+/// and the checksum evidence. Filled by loadCaptureLenient on success and
+/// failure alike; ok() distinguishes them.
+struct LogDiagnosis {
+  std::string Reason;  ///< empty = clean load; else the failure summary
+  uint64_t FileSize = 0; ///< bytes read from disk
+  uint64_t Offset = 0;   ///< byte offset where decoding failed
+  /// Index of the failing slice record; ~0 when the failure is in the
+  /// header, configuration block, or trailing checksum.
+  uint64_t RecordIndex = ~uint64_t(0);
+  uint64_t ExpectedChecksum = 0; ///< trailing checksum stored in the file
+  uint64_t ActualChecksum = 0;   ///< checksum recomputed over the payload
+  bool ChecksumMismatch = false;
+  bool Truncated = false; ///< file ends before the format says it should
+
+  bool ok() const { return Reason.empty(); }
+};
+
+/// Like loadCapture, but reports a structured LogDiagnosis instead of a
+/// bare string and — with \p SkipCorrupt — recovers every intact slice
+/// record from a damaged log by resyncing to the next record offset in the
+/// JSON sidecar index. Skipped record indices land in *\p Skipped. Returns
+/// nullopt only when nothing usable survives: unreadable file, bad
+/// magic/version, malformed header, or any corruption with \p SkipCorrupt
+/// off.
+std::optional<RunCapture>
+loadCaptureLenient(const std::string &Path, bool SkipCorrupt,
+                   LogDiagnosis *Diag = nullptr,
+                   std::vector<uint32_t> *Skipped = nullptr);
+
 } // namespace spin::replay
 
 #endif // SUPERPIN_REPLAY_LOG_H

@@ -15,11 +15,30 @@
 // semantically equivalent to separate ptrace-attached processes and keeps
 // the simulation deterministic (see DESIGN.md §5).
 //
+// Fault injection & recovery (src/fault): when SpOptions::Fault carries an
+// enabled plan, every slice takes a COW checkpoint of its start state and
+// the engine runs a recovery ladder around each window:
+//
+//   detect (watchdog / stall / crash / playback divergence)
+//     -> retry: re-fork from the checkpoint, up to SpOptions::RetryBudget
+//     -> quarantine: park the window for a post-exit relaxed re-execution
+//        (icount-bounded, no signature reliance, lenient playback that
+//        re-executes unverifiable records)
+//     -> account: a window that still cannot cover its instructions is
+//        reported in LostSlices with its partial CoverageInsts.
+//
+// An engine-level circuit breaker watches the window failure rate; once it
+// trips, new windows stop running concurrently and are routed straight to
+// the post-exit drain (serial-Pin-like degradation). With no plan
+// installed, none of this machinery runs and every run is tick- and
+// byte-identical to an engine without it.
+//
 //===----------------------------------------------------------------------===//
 
 #include "superpin/Engine.h"
 
 #include "analysis/Passes.h"
+#include "fault/FaultPlan.h"
 #include "obs/TraceRecorder.h"
 #include "os/Kernel.h"
 #include "os/Process.h"
@@ -32,6 +51,7 @@
 #include "support/RawOstream.h"
 #include "vm/Interpreter.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <optional>
@@ -50,6 +70,9 @@ namespace {
 struct WindowSyscall {
   bool IsPlayback;
   SyscallEffects Effects; ///< Number always valid; full effects if playback
+  /// FNV-1a digest of Effects taken at record time (fault runs only);
+  /// playback verifies the record against it before applying it.
+  uint64_t Check = 0;
 };
 
 /// Everything a slice needs to replay its window and find its end.
@@ -58,6 +81,15 @@ struct SliceWindow {
   enum class End : uint8_t { Signature, SyscallBoundary, AppExit } EndKind;
   SliceSignature Sig; ///< valid for End::Signature
   uint64_t ExpectedInsts = 0;
+  /// Injected SpillLoss: the parked window was lost before the drain.
+  bool Lost = false;
+};
+
+/// How a closed window reaches its slice.
+enum class WindowRoute : uint8_t {
+  Live,       ///< runs concurrently with the master (the normal path)
+  Deferred,   ///< -spdefer spill: parks until the post-exit drain
+  Quarantine, ///< circuit breaker: routed straight to the post-exit drain
 };
 
 class SliceTask;
@@ -98,6 +130,11 @@ struct Coordinator {
   /// no virtual time, so traced runs stay tick-identical to untraced ones.
   obs::TraceRecorder *Tr = nullptr;
 
+  /// Fault plan; null unless SpOptions::Fault is set AND enabled(), so a
+  /// disabled plan behaves exactly like no plan. All recovery machinery
+  /// (checkpoints, watchdog caps, playback verification) keys off this.
+  const fault::FaultPlan *Fault = nullptr;
+
   Scheduler::TaskId MasterId = 0;
   std::vector<SliceTask *> Slices;
   std::vector<Scheduler::TaskId> SliceIds;
@@ -107,6 +144,17 @@ struct Coordinator {
   uint64_t NextPid = 2;
   /// True once the master exited and deferred slices may run (-spdefer).
   bool Draining = false;
+  /// True once the master application has exited (drain decisions made by
+  /// slices that fail afterwards depend on it).
+  bool MasterExited = false;
+  /// Some window is parked awaiting the post-exit drain for a fault
+  /// reason (quarantine or breaker), so the drain must start even
+  /// without -spdefer.
+  bool HasParkedFailures = false;
+  /// Circuit breaker state (fault runs only).
+  bool BreakerTripped = false;
+  uint32_t ClosedWindows = 0;
+  uint32_t FailedWindows = 0;
 
   bool allMerged() const { return MergedCount == Slices.size(); }
 
@@ -123,6 +171,22 @@ struct Coordinator {
       Sched.wake(Id);
   }
 
+  /// A window failed (quarantined or lost). Trips the circuit breaker
+  /// once the failure rate over closed windows crosses the threshold.
+  void noteWindowFailed() {
+    ++FailedWindows;
+    if (BreakerTripped || ClosedWindows < Opts.BreakerMinWindows)
+      return;
+    if (static_cast<double>(FailedWindows) >=
+        Opts.BreakerFailRate * static_cast<double>(ClosedWindows)) {
+      BreakerTripped = true;
+      Report.BreakerTripped = true;
+      if (Tr)
+        Tr->instant(obs::TraceRecorder::MasterLane,
+                    obs::EventKind::BreakerTrip, Sched.now(), FailedWindows);
+    }
+  }
+
   void sliceMerged();
 };
 
@@ -133,10 +197,13 @@ public:
   SliceTask(Coordinator &C, const Process &Master, uint32_t Num,
             uint64_t StartIndex, bool ChargeSigRecord)
       : C(C), Num(Num), Proc(Master.fork(C.NextPid++)),
-        Services(C.Areas, Num), ToolInst(C.Factory(Services)),
-        Vm(Proc, C.Model, ToolInst.get(),
-           PrivateCache, makeConfig(C, Num)),
         Label("slice-" + std::to_string(Num)) {
+    if (C.Fault)
+      Fault = C.Fault->forSlice(Num);
+    Services.emplace(C.Areas, Num);
+    ToolInst = C.Factory(*Services);
+    Vm.emplace(Proc, C.Model, ToolInst.get(), PrivateCache,
+               makeConfig(C, Num));
     Info.Num = Num;
     Info.StartIndex = StartIndex;
     Info.SpawnTime = C.Sched.now();
@@ -149,7 +216,11 @@ public:
     // land there, preserving identical app mappings with the master.
     Proc.Mem.discardRange(AddressLayout::BubbleBase,
                           SpBubblePages * vm::PageSize);
-    Services.setEndSliceHook([this] { Vm.requestStop(); });
+    // Fault runs: checkpoint the post-bubble start state so a failed
+    // attempt can re-fork exactly what the first attempt saw.
+    if (C.Fault)
+      StartState.emplace(Proc.fork(C.NextPid++));
+    Services->setEndSliceHook([this] { Vm->requestStop(); });
     ToolInst->onSliceBegin(Num);
     if (ChargeSigRecord)
       Ledger.charge(C.Model.SigRecordCost); // §4.4 recording mode
@@ -162,23 +233,39 @@ public:
   /// the -spmp stall limit (a slice sleeping for its window consumes no
   /// CPU, matching the paper's "maximum number of running slices").
   ///
-  /// With \p Deferred set (-spdefer under saturation) the window is
-  /// parked instead: the slice does not count as running and stays
-  /// blocked until Coordinator::startDrain() after the master exits. The
-  /// COW fork taken at spawn time acts as the slice's checkpoint, so
-  /// draining re-executes exactly the state a live run would have.
-  void completeWindow(SliceWindow W, bool Deferred) {
+  /// Non-live routes park the window instead: the slice does not count as
+  /// running and stays blocked until Coordinator::startDrain() after the
+  /// master exits. The COW fork taken at spawn time acts as the slice's
+  /// checkpoint, so draining re-executes exactly the state a live run
+  /// would have.
+  void completeWindow(SliceWindow W, WindowRoute R) {
     assert(!Window && "window completed twice");
     Window.emplace(std::move(W));
-    DeferredSlice = Deferred;
-    if (Deferred)
+    Route = R;
+    if (R != WindowRoute::Live) {
+      // Injected SpillLoss: the parked window never survives to the
+      // drain. Counts as a failed window the moment it is parked.
+      if (faultArmed(fault::FaultKind::SpillLoss)) {
+        noteFaultFired();
+        Window->Lost = true;
+        C.noteWindowFailed();
+      }
+      if (R == WindowRoute::Quarantine) {
+        C.HasParkedFailures = true;
+        ++C.Report.QuarantinedSlices;
+        if (C.Tr)
+          C.Tr->instant(lane(), obs::EventKind::SliceQuarantine,
+                        C.Sched.now(), Num);
+      }
       return;
+    }
     Info.ReadyTime = C.Sched.now();
     if (C.Tr) {
       C.Tr->end(lane(), obs::EventKind::SliceSleep, Info.ReadyTime);
       C.Tr->begin(lane(), obs::EventKind::SliceRun, Info.ReadyTime);
     }
     ++C.RunningSlices;
+    CountedRunning = true;
     C.Sched.wake(C.SliceIds[Num]);
   }
 
@@ -201,15 +288,24 @@ public:
   }
 
 private:
-  enum class Phase : uint8_t { WaitWindow, Running, WaitMerge, Drain };
+  enum class Phase : uint8_t { WaitWindow, Running, WaitDrain, WaitMerge,
+                               Drain };
+  /// Why an attempt was aborted (fault runs only).
+  enum class FailReason : uint8_t { Crash, Watchdog, Stall, Divergence };
 
   Coordinator &C;
   uint32_t Num;
   Process Proc;
-  SliceServices Services;
+  /// Checkpoint for re-forking failed attempts (fault runs only).
+  std::optional<Process> StartState;
+  /// Services/Vm live in optionals so a retry can rebuild them in place
+  /// (PinVm holds references; SliceServices is not move-assignable).
+  /// Declaration order fixes destruction order: Vm dies before the tool,
+  /// the tool before its services.
+  std::optional<SliceServices> Services;
   std::unique_ptr<Tool> ToolInst;
   CodeCache PrivateCache;
-  PinVm Vm;
+  std::optional<PinVm> Vm;
   std::string Label;
   TickLedger Ledger;
   TickLedger *CurLedger = nullptr;
@@ -219,10 +315,32 @@ private:
   SignatureStats SigSt;
   SliceInfo Info;
   bool EndReached = false;
-  bool DeferredSlice = false;
-  bool SigSearchOpen = false; ///< an open SigSearch trace span
+  WindowRoute Route = WindowRoute::Live;
+  bool CountedRunning = false; ///< currently counted in C.RunningSlices
+  bool SigSearchOpen = false;  ///< an open SigSearch trace span
+
+  // --- Fault state (inert unless C.Fault) -------------------------------
+  std::optional<fault::FaultSpec> Fault; ///< this slice's planned fault
+  bool FaultCounted = false;  ///< FaultsInjected incremented already
+  uint32_t Attempt = 0;       ///< 0 = first execution of the window
+  bool Relaxed = false;       ///< post-exit re-execution semantics
+  bool AttemptFailed = false; ///< current attempt aborted; resolve it
+  bool Failed = false;        ///< final attempt failed; merge partially
+  bool Quarantined = false;   ///< window went through quarantine
+  Ticks StallTicks = 0;       ///< burnt by an injected stall so far
 
   uint32_t lane() const { return obs::TraceRecorder::sliceLane(Num); }
+
+  bool faultArmed(fault::FaultKind K) const {
+    return Fault && Fault->Kind == K && Attempt < Fault->FailAttempts;
+  }
+
+  void noteFaultFired() {
+    if (FaultCounted)
+      return;
+    FaultCounted = true;
+    ++C.Report.FaultsInjected;
+  }
 
   static PinVmConfig makeConfig(Coordinator &C, uint32_t Num) {
     PinVmConfig Cfg;
@@ -246,31 +364,62 @@ private:
     while (true) {
       switch (Ph) {
       case Phase::WaitWindow:
-        if (!Window || (DeferredSlice && !C.Draining))
+        if (!Window || (Route != WindowRoute::Live && !C.Draining))
           return TaskStatus::Blocked;
-        if (DeferredSlice) {
+        if (Route != WindowRoute::Live) {
           Info.ReadyTime = C.Sched.now(); // Drain start = resume moment.
           if (C.Tr) {
             C.Tr->end(lane(), obs::EventKind::SliceSleep, Info.ReadyTime);
-            C.Tr->instant(lane(), obs::EventKind::DeferDrain, Info.ReadyTime,
-                          Num);
+            if (Route == WindowRoute::Deferred)
+              C.Tr->instant(lane(), obs::EventKind::DeferDrain,
+                            Info.ReadyTime, Num);
             C.Tr->begin(lane(), obs::EventKind::SliceRun, Info.ReadyTime);
           }
+          if (Route == WindowRoute::Quarantine)
+            Relaxed = true; // Breaker route: serial-Pin-like re-execution.
+          if (Window->Lost) {
+            // The parked window is gone; nothing to execute. Merge as a
+            // zero-coverage loss so the partition gap is accounted.
+            Failed = true;
+            EndReached = true;
+            Info.EndKind = endKindOf(Window->EndKind);
+          }
         }
-        installDetection();
+        if (!EndReached && !Relaxed)
+          installDetection();
         Ph = Phase::Running;
         break;
       case Phase::Running:
         runSlice();
+        if (AttemptFailed) {
+          resolveFailure();
+          break; // Re-enter: retry, quarantine wait, or merge a failure.
+        }
         if (!EndReached)
           return TaskStatus::Runnable; // Budget exhausted.
         Info.EndTime = C.Sched.now();
         if (C.Tr)
           C.Tr->end(lane(), obs::EventKind::SliceRun, Info.EndTime,
-                    Vm.retired());
-        if (!DeferredSlice)
+                    Vm->retired());
+        if (CountedRunning) {
           C.sliceEnded(); // Deferred slices never counted as running.
+          CountedRunning = false;
+        }
         Ph = Phase::WaitMerge;
+        break;
+      case Phase::WaitDrain:
+        // Quarantined after exhausting retries: parked until the
+        // post-exit drain grants a final relaxed re-execution.
+        if (!C.Draining)
+          return TaskStatus::Blocked;
+        if (C.Tr) {
+          C.Tr->end(lane(), obs::EventKind::SliceSleep, C.Sched.now());
+          C.Tr->begin(lane(), obs::EventKind::SliceRun, C.Sched.now());
+        }
+        Relaxed = true;
+        ++Attempt;
+        beginAttempt();
+        Ph = Phase::Running;
         break;
       case Phase::WaitMerge:
         if (C.NextMerge != Num)
@@ -287,7 +436,13 @@ private:
   void installDetection() {
     if (Window->EndKind != SliceWindow::End::Signature)
       return;
-    Vm.armDetection(Window->Sig.Pc, [this](TickLedger &L) {
+    // Injected SigSuppress: the detection hook is never armed, so the
+    // slice overruns its window until the watchdog kills the attempt.
+    if (faultArmed(fault::FaultKind::SigSuppress)) {
+      noteFaultFired();
+      return;
+    }
+    Vm->armDetection(Window->Sig.Pc, [this](TickLedger &L) {
       // Detection is meaningless while recorded syscalls are pending: the
       // boundary state includes their effects. The check instrumentation
       // still executes (and is charged) as in the paper.
@@ -305,21 +460,53 @@ private:
         SigSearchOpen = true;
         C.Tr->begin(lane(), obs::EventKind::SigSearch, C.Sched.now());
       }
-      uint64_t Ret = Vm.retired();
+      uint64_t Ret = Vm->retired();
       uint64_t Exp = Window->ExpectedInsts;
       C.Report.SigCheckDistHist.record(Exp > Ret ? Exp - Ret : Ret - Exp);
       return checkSignature(Window->Sig, Proc, C.Model, C.Opts.QuickCheck,
-                            Vm.runCapRemaining(), L, SigSt);
+                            Vm->runCapRemaining(), L, SigSt);
     });
+  }
+
+  /// Ticks an injected stall may burn before the stall watchdog kills the
+  /// attempt: generously past anything a healthy slice spends.
+  Ticks stallLimit() const {
+    return C.Model.msTicks(C.Opts.SliceMs) * 2 + C.Model.ForkBaseCost;
   }
 
   void runSlice() {
     while (Ledger.hasBudget() && !EndReached) {
+      // Injected stall: the slice burns scheduling budget without
+      // retiring anything until the stall watchdog fires.
+      if (faultArmed(fault::FaultKind::SliceStall)) {
+        noteFaultFired();
+        Ticks Burn = Ledger.remaining();
+        StallTicks += Burn;
+        Ledger.charge(Burn);
+        if (StallTicks > stallLimit())
+          failAttempt(FailReason::Stall);
+        return;
+      }
       // A zero cap drains the current basic block before InstCap.
-      Vm.setRunCap(Proc.quantumExpired() ? 0 : Proc.quantumLeft());
-      uint64_t Before = Vm.retired();
-      VmStop Stop = Vm.run(Ledger);
-      Proc.noteRetired(Vm.retired() - Before);
+      uint64_t Cap = Proc.quantumExpired() ? 0 : Proc.quantumLeft();
+      if (C.Fault && Cap != 0) {
+        // Clamp so the attempt stops exactly at its watchdog limit,
+        // injected crash point, or (relaxed) window end. Block-drain
+        // overshoot from a zero cap is caught by the post-run checks.
+        uint64_t Ret = Vm->retired();
+        uint64_t Margin = std::max<uint64_t>(C.Opts.WatchdogMarginInsts, 1);
+        uint64_t Watch = Window->ExpectedInsts + Margin + 1;
+        Cap = std::min(Cap, Watch > Ret ? Watch - Ret : 1);
+        if (Relaxed && Window->ExpectedInsts > Ret)
+          Cap = std::min(Cap, Window->ExpectedInsts - Ret);
+        if (faultArmed(fault::FaultKind::SliceCrash))
+          Cap = std::min(Cap,
+                         Fault->AtInst > Ret ? Fault->AtInst - Ret : 1);
+      }
+      Vm->setRunCap(Cap);
+      uint64_t Before = Vm->retired();
+      VmStop Stop = Vm->run(Ledger);
+      Proc.noteRetired(Vm->retired() - Before);
       switch (Stop) {
       case VmStop::Budget:
         return;
@@ -335,25 +522,106 @@ private:
         handleSyscall();
         break;
       case VmStop::BadPc:
-        reportFatalError("slice " + std::to_string(Num) +
-                         ": control left the text segment (divergence)");
+        if (!C.Fault)
+          reportFatalError("slice " + std::to_string(Num) +
+                           ": control left the text segment (divergence)");
+        failAttempt(FailReason::Crash);
+        break;
+      }
+      if (AttemptFailed)
+        return;
+      if (C.Fault && !EndReached) {
+        uint64_t Ret = Vm->retired();
+        if (faultArmed(fault::FaultKind::SliceCrash) &&
+            Ret >= Fault->AtInst) {
+          noteFaultFired();
+          failAttempt(FailReason::Crash);
+          return;
+        }
+        uint64_t Margin = std::max<uint64_t>(C.Opts.WatchdogMarginInsts, 1);
+        if (Ret > Window->ExpectedInsts + Margin) {
+          // Runaway watchdog: the attempt overran its instruction budget
+          // (window length + margin) without finding its end.
+          failAttempt(FailReason::Watchdog);
+          return;
+        }
+        if (Relaxed && Ret >= Window->ExpectedInsts) {
+          // Relaxed re-execution ends on icount, not signatures.
+          endSlice(endKindOf(Window->EndKind));
+        }
       }
       if (Proc.quantumExpired() && !EndReached &&
           (Stop == VmStop::InstCap || Stop == VmStop::Syscall)) {
         Proc.rotateThread();
-        Vm.noteContextSwitch();
+        Vm->noteContextSwitch();
       }
     }
+  }
+
+  /// Relaxed-mode fallback for a record that cannot be played back:
+  /// re-execute the syscall against the slice's forked kernel state, the
+  /// way duplicable calls always run ("on-demand re-execution").
+  void reexecuteSyscall() {
+    SystemContext Ctx;
+    Ctx.NowMs = C.Sched.nowMs();
+    Ctx.SuppressOutput = true;
+    Ctx.Trace = C.Tr;
+    Ctx.TraceLane = lane();
+    Ctx.TraceNow = C.Sched.now();
+    serviceSyscall(Proc, Ctx, nullptr);
+    Ledger.charge(C.InstCost + C.Model.SyscallCost);
+    ++C.Report.ReexecutedSyscalls;
+    Vm->noteSyscallRetired();
+    Proc.noteRetired(1);
+    if (Proc.Status == ProcStatus::Exited)
+      endSlice(SliceEndKind::AppExit);
   }
 
   void handleSyscall() {
     uint64_t Number = pendingSyscallNumber(Proc);
     ToolInst->onSyscall(Number);
+    // Injected SysrecDrop: the SysIndex-th record vanished from the
+    // window, desynchronising playback from the recorded sequence.
+    if (faultArmed(fault::FaultKind::SysrecDrop) &&
+        SysPos == Fault->SysIndex && SysPos < Window->Sys.size()) {
+      noteFaultFired();
+      ++SysPos;
+    }
     if (SysPos < Window->Sys.size()) {
-      WindowSyscall &WS = Window->Sys[SysPos++];
-      if (WS.Effects.Number != Number)
-        reportFatalError("slice " + std::to_string(Num) +
-                         ": syscall sequence diverged from master");
+      WindowSyscall &WS = Window->Sys[SysPos];
+      bool Mismatch = WS.Effects.Number != Number;
+      bool Corrupt = false;
+      if (C.Fault && WS.IsPlayback && !Mismatch) {
+        // Playback verification: digest the record as presented and
+        // compare against the digest taken at record time. An injected
+        // PlaybackCorrupt presents a tampered copy.
+        SyscallEffects Probe = WS.Effects;
+        if (faultArmed(fault::FaultKind::PlaybackCorrupt) &&
+            SysPos == Fault->SysIndex) {
+          noteFaultFired();
+          Probe.RetVal ^= 0x5EEDull;
+        }
+        Corrupt = hashSyscallEffects(Probe) != WS.Check;
+      }
+      if (Mismatch || Corrupt) {
+        if (!C.Fault)
+          reportFatalError("slice " + std::to_string(Num) +
+                           ": syscall sequence diverged from master");
+        if (!Relaxed) {
+          // Abort playback at a clean syscall boundary; the retry (or
+          // quarantine) re-runs the window from its checkpoint.
+          failAttempt(FailReason::Divergence);
+          return;
+        }
+        // Relaxed: recover the lost information by re-executing the call
+        // itself. A corrupt record (numbers matched) is consumed; a
+        // sequence mismatch leaves the record for a later syscall.
+        if (!Mismatch)
+          ++SysPos;
+        reexecuteSyscall();
+        return;
+      }
+      ++SysPos;
       if (WS.IsPlayback) {
         playbackSyscall(Proc, WS.Effects);
         Ledger.charge(C.InstCost + C.Model.SyscallPlaybackCost);
@@ -376,7 +644,7 @@ private:
         ++Info.DuplicatedSyscalls;
         ++C.Report.DuplicatedSyscalls;
       }
-      Vm.noteSyscallRetired();
+      Vm->noteSyscallRetired();
       Proc.noteRetired(1);
       if (Proc.Status == ProcStatus::Exited)
         endSlice(SliceEndKind::AppExit);
@@ -385,31 +653,160 @@ private:
     // Past the recorded list: this must be the window's boundary syscall.
     // It is counted here (its IPOINT_BEFORE analysis already ran) but
     // executed only by the master; the successor starts after it.
-    if (Window->EndKind == SliceWindow::End::SyscallBoundary) {
-      Vm.noteSyscallRetired();
+    // Relaxed mode additionally requires the icount to line up, since a
+    // re-executed window can reach stray syscalls the master never saw.
+    if (Window->EndKind == SliceWindow::End::SyscallBoundary &&
+        (!Relaxed || Vm->retired() + 1 == Window->ExpectedInsts)) {
+      Vm->noteSyscallRetired();
       endSlice(SliceEndKind::SyscallBoundary);
       return;
     }
-    reportFatalError(
-        "slice " + std::to_string(Num) +
-        ": overran its window into an unrecorded syscall (missed "
-        "signature?) retired=" + std::to_string(Vm.retired()) +
-        " expected=" + std::to_string(Window->ExpectedInsts) +
-        " sigpc=" + std::to_string(Window->Sig.Pc) +
-        " sigquantum=" + std::to_string(Window->Sig.QuantumLeft) +
-        " sigthread=" + std::to_string(Window->Sig.CurThread) +
-        " curthread=" + std::to_string(Proc.currentThread()) +
-        " syscallnum=" + std::to_string(pendingSyscallNumber(Proc)));
+    if (!C.Fault)
+      reportFatalError(
+          "slice " + std::to_string(Num) +
+          ": overran its window into an unrecorded syscall (missed "
+          "signature?) retired=" + std::to_string(Vm->retired()) +
+          " expected=" + std::to_string(Window->ExpectedInsts) +
+          " sigpc=" + std::to_string(Window->Sig.Pc) +
+          " sigquantum=" + std::to_string(Window->Sig.QuantumLeft) +
+          " sigthread=" + std::to_string(Window->Sig.CurThread) +
+          " curthread=" + std::to_string(Proc.currentThread()) +
+          " syscallnum=" + std::to_string(pendingSyscallNumber(Proc)));
+    if (Relaxed) {
+      reexecuteSyscall();
+      return;
+    }
+    failAttempt(FailReason::Divergence);
   }
 
   void endSlice(SliceEndKind Kind) {
     Info.EndKind = Kind;
     EndReached = true;
-    Vm.disarmDetection();
+    Vm->disarmDetection();
     if (C.Tr && SigSearchOpen) {
       SigSearchOpen = false;
       C.Tr->end(lane(), obs::EventKind::SigSearch, C.Sched.now());
     }
+  }
+
+  static SliceEndKind endKindOf(SliceWindow::End E) {
+    switch (E) {
+    case SliceWindow::End::Signature:
+      return SliceEndKind::Signature;
+    case SliceWindow::End::SyscallBoundary:
+      return SliceEndKind::SyscallBoundary;
+    case SliceWindow::End::AppExit:
+      break;
+    }
+    return SliceEndKind::AppExit;
+  }
+
+  /// Aborts the current attempt (fault runs only): folds the wasted work
+  /// into the report, charges the kill, and flags the failure so
+  /// stepImpl's Running phase resolves it (retry / quarantine / merge).
+  void failAttempt(FailReason R) {
+    assert(C.Fault && "attempts only fail under an active fault plan");
+    AttemptFailed = true;
+    Vm->disarmDetection();
+    if (C.Tr && SigSearchOpen) {
+      SigSearchOpen = false;
+      C.Tr->end(lane(), obs::EventKind::SigSearch, C.Sched.now());
+    }
+    C.Report.WastedSliceInsts += Vm->retired();
+    C.Report.TracesCompiled += Vm->tracesCompiled();
+    C.Report.CompileTicks += Vm->compileTicks();
+    C.Report.TracesSeeded += Vm->tracesSeeded();
+    C.Report.SeedTicks += Vm->seedTicks();
+    Ledger.charge(C.Model.SliceKillCost);
+    switch (R) {
+    case FailReason::Watchdog:
+    case FailReason::Stall:
+      ++C.Report.WatchdogKills;
+      if (C.Tr)
+        C.Tr->instant(lane(), obs::EventKind::WatchdogKill, C.Sched.now(),
+                      Vm->retired());
+      break;
+    case FailReason::Divergence:
+      ++C.Report.PlaybackDivergences;
+      if (C.Tr)
+        C.Tr->instant(lane(), obs::EventKind::PlaybackDivergence,
+                      C.Sched.now(), SysPos);
+      break;
+    case FailReason::Crash:
+      break; // The retry/quarantine instants tell the story.
+    }
+  }
+
+  /// Decides what the failed attempt becomes: another retry, a parked
+  /// quarantine, or (when already relaxed) a partially-covered merge.
+  void resolveFailure() {
+    AttemptFailed = false;
+    if (Relaxed) {
+      // The last-resort re-execution failed too: merge what was covered.
+      Failed = true;
+      EndReached = true;
+      Info.EndKind = endKindOf(Window->EndKind);
+      return; // Running phase re-enters and takes the EndReached path.
+    }
+    if (Attempt < C.Opts.RetryBudget) {
+      ++Attempt;
+      ++C.Report.RetriedSlices;
+      if (C.Tr)
+        C.Tr->instant(lane(), obs::EventKind::SliceRetry, C.Sched.now(),
+                      Attempt);
+      beginAttempt();
+      return; // Still Running; runSlice continues with the fresh fork.
+    }
+    quarantine();
+  }
+
+  /// Retries exhausted: release the worker, park the window, and wait
+  /// for the post-exit drain to grant a final relaxed re-execution.
+  void quarantine() {
+    if (CountedRunning) {
+      C.sliceEnded(); // Free the -spmp worker the dead attempt held.
+      CountedRunning = false;
+    }
+    Quarantined = true;
+    ++C.Report.QuarantinedSlices;
+    C.HasParkedFailures = true;
+    C.noteWindowFailed();
+    Ledger.charge(C.Model.QuarantineCost);
+    if (C.Tr) {
+      C.Tr->instant(lane(), obs::EventKind::SliceQuarantine, C.Sched.now(),
+                    Num);
+      C.Tr->end(lane(), obs::EventKind::SliceRun, C.Sched.now());
+      C.Tr->begin(lane(), obs::EventKind::SliceSleep, C.Sched.now());
+    }
+    if (C.MasterExited)
+      C.startDrain(); // The drain signal already passed; raise it now.
+    Ph = Phase::WaitDrain;
+  }
+
+  /// Rebuilds the execution state for a fresh attempt: re-fork from the
+  /// checkpoint and recreate the VM/tool/services trio. The private code
+  /// cache must be flushed — its call sites bind the dead tool instance.
+  void beginAttempt() {
+    assert(StartState && "no checkpoint to re-fork from");
+    Ledger.charge(C.Model.ForkBaseCost +
+                  StartState->Mem.numPages() * C.Model.ForkPerPageCost);
+    Vm.reset();
+    ToolInst.reset();
+    Services.reset();
+    PrivateCache.flush();
+    Proc = StartState->fork(C.NextPid++);
+    Proc.Mem.setListener(this);
+    Services.emplace(C.Areas, Num);
+    Services->setEndSliceHook([this] { Vm->requestStop(); });
+    ToolInst = C.Factory(*Services);
+    Vm.emplace(Proc, C.Model, ToolInst.get(), PrivateCache,
+               makeConfig(C, Num));
+    ToolInst->onSliceBegin(Num);
+    SysPos = 0;
+    EndReached = false;
+    StallTicks = 0;
+    if (!Relaxed)
+      installDetection();
   }
 
   void doMerge() {
@@ -417,36 +814,59 @@ private:
     Ledger.charge(C.Model.MergeBaseCost +
                   C.Areas.totalBytes() * C.Model.MergePerByteCost);
     ToolInst->onSliceEnd(Num);
-    Services.mergeShadows();
+    Services->mergeShadows();
     Info.MergeTime = C.Sched.now();
-    Info.RetiredInsts = Vm.retired();
+    Info.RetiredInsts = Vm->retired();
     Info.ExpectedInsts = Window->ExpectedInsts;
+    Info.Attempts = Attempt + 1;
     C.Report.SliceLenHist.record(Window->ExpectedInsts);
     C.Report.SliceWaitHist.record(Info.ReadyTime - Info.SpawnTime);
     uint64_t Recs = 0;
     for (const WindowSyscall &WS : Window->Sys)
       Recs += WS.IsPlayback ? 1 : 0;
     C.Report.SliceSysRecsHist.record(Recs);
+    C.Report.SliceAttemptsHist.record(Info.Attempts);
     if (C.Tr)
       C.Tr->instant(lane(), obs::EventKind::SliceMerge, Info.MergeTime,
-                    Vm.retired());
-    C.Report.SliceInsts += Vm.retired();
+                    Vm->retired());
+    C.Report.SliceInsts += Vm->retired();
     C.Report.Signature.mergeFrom(SigSt);
-    C.Report.TracesCompiled += Vm.tracesCompiled();
-    C.Report.CompileTicks += Vm.compileTicks();
-    C.Report.TracesSeeded += Vm.tracesSeeded();
-    C.Report.SeedTicks += Vm.seedTicks();
-    if (DeferredSlice) {
+    C.Report.TracesCompiled += Vm->tracesCompiled();
+    C.Report.CompileTicks += Vm->compileTicks();
+    C.Report.TracesSeeded += Vm->tracesSeeded();
+    C.Report.SeedTicks += Vm->seedTicks();
+    // Coverage: how much of the window the final attempt successfully
+    // instrumented. A failed attempt that overran contributes nothing
+    // (its prefix cannot be trusted past the divergence point).
+    uint64_t Covered;
+    if (!Failed)
+      Covered = std::min(Info.RetiredInsts, Info.ExpectedInsts);
+    else
+      Covered = Info.RetiredInsts <= Info.ExpectedInsts ? Info.RetiredInsts
+                                                        : 0;
+    Info.CoveredInsts = Covered;
+    C.Report.CoverageInsts += Covered;
+    // A window the fault machinery touched either recovered completely
+    // or is explicitly a (possibly partial) loss.
+    bool FaultPath =
+        Failed || Quarantined || Attempt > 0 || Window->Lost || FaultCounted;
+    if (FaultPath) {
+      if (Covered == Info.ExpectedInsts && !Failed && !Window->Lost)
+        ++C.Report.RecoveredSlices;
+      else
+        ++C.Report.LostSlices;
+    }
+    if (Route == WindowRoute::Deferred) {
       ++C.Report.DrainedSlices;
       // In-engine replay parity: a drained slice re-executed its window
       // from the fork checkpoint; exact icount match means the deferred
       // re-execution reproduced the live window.
-      if (Vm.retired() == Window->ExpectedInsts)
+      if (Vm->retired() == Window->ExpectedInsts)
         ++C.Report.ReplayParityOk;
     }
     C.Report.Slices.push_back(Info);
     if (C.Sink)
-      C.Sink->onSliceMerged(Num, Vm.retired(), C.Areas.snapshot());
+      C.Sink->onSliceMerged(Num, Vm->retired(), C.Areas.snapshot());
     C.sliceMerged();
   }
 };
@@ -534,7 +954,9 @@ private:
       case Phase::Running: {
         if (Pending != SpawnKind::None) {
           bool Saturated = C.RunningSlices >= C.Opts.MaxSlices;
-          if (Saturated && !C.Opts.DeferSlices) {
+          // A tripped breaker routes windows straight to the post-exit
+          // drain, so the master never sleeps for a worker again.
+          if (Saturated && !C.Opts.DeferSlices && !C.BreakerTripped) {
             Ph = Phase::Stalled;
             StallStart = C.Sched.now();
             if (C.Tr)
@@ -699,6 +1121,10 @@ private:
         WindowSyscall WS;
         WS.IsPlayback = true;
         WS.Effects = std::move(Eff);
+        // Digest at record time (host-side, charges nothing): the
+        // playback end verifies the record against this.
+        if (C.Fault)
+          WS.Check = hashSyscallEffects(WS.Effects);
         WindowSys.push_back(std::move(WS));
         ++RecordedInWindow;
         ++C.Report.RecordedSyscalls;
@@ -735,6 +1161,8 @@ private:
       WindowSyscall WS;
       WS.IsPlayback = true;
       WS.Effects = std::move(Eff);
+      if (C.Fault)
+        WS.Check = hashSyscallEffects(WS.Effects);
       WindowSys.push_back(std::move(WS));
       ++C.Report.RecordedSyscalls;
       finishWindow(SliceWindow::End::AppExit, SliceSignature());
@@ -745,7 +1173,8 @@ private:
         C.Tr->end(obs::TraceRecorder::MasterLane, obs::EventKind::MasterRun,
                   C.Report.MasterExitTicks, Interp.instructionsRetired());
       Ph = Phase::WaitMerges;
-      if (C.Opts.DeferSlices)
+      C.MasterExited = true;
+      if (C.Opts.DeferSlices || C.HasParkedFailures)
         C.startDrain();
       break;
     }
@@ -798,16 +1227,23 @@ private:
 
   /// Closes the current window and hands it to the last spawned slice.
   /// \p Defer parks the slice for the post-exit drain (-spdefer) and
-  /// charges the spill serialization instead of a master sleep.
+  /// charges the spill serialization instead of a master sleep. A tripped
+  /// circuit breaker overrides both and quarantines the window.
   void finishWindow(SliceWindow::End EndKind, SliceSignature Sig,
                     bool Defer = false) {
     assert(!C.Slices.empty() && "no slice owns the open window");
+    ++C.ClosedWindows;
+    WindowRoute Route = WindowRoute::Live;
+    if (C.Fault && C.BreakerTripped)
+      Route = WindowRoute::Quarantine;
+    else if (Defer)
+      Route = WindowRoute::Deferred;
     SliceWindow W;
     W.Sys = std::move(WindowSys);
     W.EndKind = EndKind;
     W.Sig = std::move(Sig);
     W.ExpectedInsts = Interp.instructionsRetired() - WindowStart;
-    if (Defer) {
+    if (Route != WindowRoute::Live) {
       // Spill cost: fixed bookkeeping plus serializing the signature
       // (~116 words) and every recorded effect.
       uint64_t Bytes = 960;
@@ -815,21 +1251,23 @@ private:
         Bytes += WS.Effects.sizeBytes();
       Ledger.charge(C.Model.SpillSliceCost +
                     Bytes * C.Model.SpillPerByteCost);
-      ++C.Report.SpilledSlices;
-      if (C.Tr)
-        C.Tr->instant(obs::TraceRecorder::MasterLane,
-                      obs::EventKind::DeferSpill, C.Sched.now(),
-                      C.Slices.size() - 1);
+      if (Route == WindowRoute::Deferred) {
+        ++C.Report.SpilledSlices;
+        if (C.Tr)
+          C.Tr->instant(obs::TraceRecorder::MasterLane,
+                        obs::EventKind::DeferSpill, C.Sched.now(),
+                        C.Slices.size() - 1);
+      }
     }
     if (C.Sink) {
       PendingCap.EndKind = endKindOf(EndKind);
-      PendingCap.Spilled = Defer;
+      PendingCap.Spilled = Route == WindowRoute::Deferred;
       PendingCap.ExpectedInsts = W.ExpectedInsts;
       PendingCap.Sig = W.Sig;
       C.Sink->onWindowCaptured(std::move(PendingCap));
       PendingCap = SliceCaptureData();
     }
-    C.Slices.back()->completeWindow(std::move(W), Defer);
+    C.Slices.back()->completeWindow(std::move(W), Route);
     WindowStart = Interp.instructionsRetired();
     WindowSys.clear();
     RecordedInWindow = 0;
@@ -894,6 +1332,7 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
     Report.NativeTicks = Serial.WallTicks;
     Report.MasterInsts = Serial.Insts;
     Report.SliceInsts = Serial.Insts;
+    Report.CoverageInsts = Serial.Insts; // Serial Pin instruments all.
     Report.MasterSyscalls = Serial.Syscalls;
     Report.ExitCode = Serial.ExitCode;
     Report.Output = std::move(Serial.Output);
@@ -913,6 +1352,9 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   Coordinator C(Sched, Model, Opts, Prog, Factory, Report);
   C.Sink = Opts.Capture;
   C.Tr = Opts.Trace;
+  // Normalize: a disabled plan is exactly like no plan, so the whole
+  // recovery apparatus stays inert and flags-off runs are byte-identical.
+  C.Fault = Opts.Fault && Opts.Fault->enabled() ? Opts.Fault : nullptr;
   if (C.Tr)
     Sched.setTrace(C.Tr);
   if (C.Sink)
@@ -936,8 +1378,9 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   Report.PeakParallelism = Sched.peakParallelism();
 
   // Partition invariant: slice windows must tile the master's dynamic
-  // instruction stream exactly (SP_EndSlice gaps and §4.4 false positives
-  // legitimately break this; the report records it).
+  // instruction stream exactly (SP_EndSlice gaps, §4.4 false positives,
+  // and unrecovered faults legitimately break this; the report records
+  // it, and CoverageInsts quantifies the gap).
   uint64_t Cursor = 0;
   for (const SliceInfo &S : Report.Slices) {
     if (S.StartIndex != Cursor || S.RetiredInsts != S.ExpectedInsts)

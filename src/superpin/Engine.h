@@ -58,6 +58,12 @@ struct SliceInfo {
   os::Ticks MergeTime = 0;
   uint64_t PlayedBackSyscalls = 0;
   uint64_t DuplicatedSyscalls = 0;
+  /// Execution attempts this window consumed (1 = clean first run; each
+  /// retry and the quarantine re-run add one).
+  uint32_t Attempts = 1;
+  /// Window instructions successfully instrumented by the final attempt
+  /// (== ExpectedInsts when the window fully recovered).
+  uint64_t CoveredInsts = 0;
 };
 
 /// Everything a SuperPin run produces. Time buckets follow Figure 6:
@@ -108,6 +114,25 @@ struct SpRunReport {
   uint64_t TracesSeeded = 0;          ///< slice traces precompiled from leaders
   os::Ticks SeedTicks = 0;            ///< batch-seeding JIT cost
 
+  // --- Fault injection & recovery (src/fault) ---------------------------
+  // All zero (and absent from reports) unless SpOptions::Fault is set.
+  uint64_t FaultsInjected = 0;   ///< slices the plan actually faulted
+  uint64_t WatchdogKills = 0;    ///< runaway/stalled attempts killed
+  uint64_t PlaybackDivergences = 0; ///< playback verification aborts
+  uint64_t RetriedSlices = 0;    ///< re-fork attempts consumed
+  uint64_t QuarantinedSlices = 0; ///< windows parked for post-exit rerun
+  uint64_t RecoveredSlices = 0;  ///< faulted windows fully covered anyway
+  uint64_t LostSlices = 0;       ///< faulted windows with a coverage gap
+  uint64_t ReexecutedSyscalls = 0; ///< playback records re-executed in
+                                   ///< relaxed (quarantine) mode
+  uint64_t WastedSliceInsts = 0; ///< instructions retired by killed attempts
+  /// Master instructions successfully instrumented across all windows
+  /// (== MasterInsts on a fully clean or fully recovered run).
+  uint64_t CoverageInsts = 0;
+  /// The engine fell back to serial-Pin semantics mid-run because the
+  /// window failure rate crossed SpOptions::BreakerFailRate.
+  bool BreakerTripped = false;
+
   // --- Signature mechanism (§4.4) ---------------------------------------
   SignatureStats Signature;
 
@@ -119,6 +144,7 @@ struct SpRunReport {
   Histogram SliceSysRecsHist; ///< playback records per slice window
   Histogram SliceWaitHist;    ///< ticks a slice slept awaiting its window
   Histogram SigCheckDistHist; ///< |insts from boundary| at signature checks
+  Histogram SliceAttemptsHist; ///< attempts per window (1 = clean)
 
   // --- Engine ---------------------------------------------------------
   uint64_t MasterCowCopies = 0;

@@ -52,6 +52,24 @@ void spin::sp::printReport(const SpRunReport &Report, const CostModel &Model,
        << " predicted / " << Report.TrapClassifiedSyscalls
        << " trap-classified boundaries, " << Report.TracesSeeded
        << " traces seeded (" << Sec(Report.SeedTicks) << "s)\n";
+  // Only on fault-plan activity (-spfault), so fault-off reports stay
+  // byte-identical to before src/fault existed.
+  if (Report.FaultsInjected || Report.RetriedSlices ||
+      Report.QuarantinedSlices || Report.RecoveredSlices ||
+      Report.LostSlices || Report.WatchdogKills ||
+      Report.PlaybackDivergences || Report.BreakerTripped) {
+    OS << "faults: " << Report.FaultsInjected << " injected, "
+       << Report.WatchdogKills << " watchdog kills, "
+       << Report.PlaybackDivergences << " playback divergences, "
+       << Report.WastedSliceInsts << " wasted instructions\n";
+    OS << "recovery: " << Report.RetriedSlices << " retries, "
+       << Report.QuarantinedSlices << " quarantined, "
+       << Report.RecoveredSlices << " recovered, " << Report.LostSlices
+       << " lost, " << Report.ReexecutedSyscalls
+       << " syscalls re-executed, coverage " << Report.CoverageInsts << "/"
+       << Report.MasterInsts << " insts, breaker "
+       << (Report.BreakerTripped ? "TRIPPED" : "armed") << "\n";
+  }
   OS << "signature: " << Report.Signature.QuickChecks << " quick / "
      << Report.Signature.FullChecks << " full / "
      << Report.Signature.StackChecks << " stack / "
@@ -95,10 +113,23 @@ void spin::sp::exportStatistics(const SpRunReport &Report,
   Stats.counter("superpin.sys.trapclassified") = Report.TrapClassifiedSyscalls;
   Stats.counter("superpin.cow.master") = Report.MasterCowCopies;
   Stats.counter("superpin.cow.slices") = Report.SliceCowCopies;
+  Stats.counter("superpin.fault.injected") = Report.FaultsInjected;
+  Stats.counter("superpin.fault.watchdogkills") = Report.WatchdogKills;
+  Stats.counter("superpin.fault.divergences") = Report.PlaybackDivergences;
+  Stats.counter("superpin.fault.reexecsys") = Report.ReexecutedSyscalls;
+  Stats.counter("superpin.fault.retried") = Report.RetriedSlices;
+  Stats.counter("superpin.fault.recovered") = Report.RecoveredSlices;
+  Stats.counter("superpin.fault.quarantined") = Report.QuarantinedSlices;
+  Stats.counter("superpin.fault.lost") = Report.LostSlices;
+  Stats.counter("superpin.fault.wastedinsts") = Report.WastedSliceInsts;
+  Stats.counter("superpin.fault.coverageinsts") = Report.CoverageInsts;
+  Stats.counter("superpin.fault.breakertripped") =
+      Report.BreakerTripped ? 1 : 0;
   Stats.histogram("superpin.hist.slice.insts") = Report.SliceLenHist;
   Stats.histogram("superpin.hist.slice.sysrecs") = Report.SliceSysRecsHist;
   Stats.histogram("superpin.hist.slice.waitticks") = Report.SliceWaitHist;
   Stats.histogram("superpin.hist.sig.checkdist") = Report.SigCheckDistHist;
+  Stats.histogram("superpin.hist.slice.attempts") = Report.SliceAttemptsHist;
 }
 
 void spin::sp::printTimeline(const SpRunReport &Report,

@@ -1,0 +1,42 @@
+//===- superpin/SpOptions.cpp - Option validation -------------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "superpin/SpOptions.h"
+
+#include "fault/FaultPlan.h"
+
+using namespace spin;
+using namespace spin::sp;
+
+std::string SpOptions::validate() const {
+  // The serial path (-sp 0) ignores the slice knobs, but a nonsensical
+  // value is still a user error worth flagging before a long run.
+  if (MaxSlices == 0)
+    return "-spmp must be at least 1 (0 running slices can never make "
+           "progress; use -sp 0 for serial Pin)";
+  if (SliceMs == 0)
+    return "-spmsec must be at least 1 (a zero-length timeslice would "
+           "spawn unbounded zero-work slices)";
+  // MaxSysRecs feeds per-slice record vectors sized/stored as 32-bit
+  // counts in the SPRL capture format; cap it well below that.
+  if (MaxSysRecs > (1ull << 32))
+    return "-spsysrecs exceeds the 2^32 record-count limit of the capture "
+           "format";
+  if (PhysCpus == 0)
+    return "machine shape requires at least 1 physical CPU";
+  if (VirtCpus < PhysCpus)
+    return "virtual CPUs (scheduling contexts) must be >= physical CPUs";
+  if (Cpi <= 0.0)
+    return "CPI must be positive";
+  if (AdaptiveSlices && MinSliceMs == 0)
+    return "adaptive timeslices require a nonzero minimum slice length";
+  if (BreakerFailRate < 0.0 || BreakerFailRate > 1.0)
+    return "circuit-breaker failure rate must be within [0, 1]";
+  if (Fault && Fault->enabled() && Fault->rate() > 1.0)
+    return "-spfault rate must be within [0, 1]";
+  return {};
+}

@@ -26,9 +26,14 @@
 #define SUPERPIN_SUPERPIN_SPOPTIONS_H
 
 #include <cstdint>
+#include <string>
 
 namespace spin::obs {
 class TraceRecorder;
+}
+
+namespace spin::fault {
+class FaultPlan;
 }
 
 namespace spin::sp {
@@ -107,6 +112,33 @@ struct SpOptions {
   /// no virtual time, so reports are tick-identical with tracing on or
   /// off. Ignored when Enabled is false.
   obs::TraceRecorder *Trace = nullptr;
+
+  // --- Fault injection & recovery (src/fault) ---------------------------
+  /// -spfault/-spfaultseed: when non-null and enabled(), the engine
+  /// consults this plan per slice and injects the planned faults. A null
+  /// or disabled plan leaves every run tick- and byte-identical to a
+  /// build without fault support.
+  const fault::FaultPlan *Fault = nullptr;
+  /// -spretries: how many times a failed window is re-forked from its
+  /// captured start state before it is quarantined for post-exit serial
+  /// re-execution.
+  uint32_t RetryBudget = 2;
+  /// -spwatchdogmargin: extra instructions a slice may retire beyond its
+  /// recorded window length before the runaway watchdog kills the attempt
+  /// (only meaningful on retry/drain attempts, where the window length is
+  /// known up front).
+  uint64_t WatchdogMarginInsts = 20'000;
+  /// Circuit breaker: once at least BreakerMinWindows windows have closed
+  /// and the fraction that failed reaches BreakerFailRate, the engine
+  /// stops running slices concurrently and routes every later window
+  /// through the post-exit serial drain (serial-Pin semantics).
+  double BreakerFailRate = 0.5;
+  uint32_t BreakerMinWindows = 8;
+
+  /// Checks the option set for values the engine cannot honour (-spmp 0,
+  /// -spmsec 0, -spsysrecs overflow, ...). Returns an empty string when
+  /// valid, otherwise a one-line diagnostic naming the offending flag.
+  std::string validate() const;
 };
 
 } // namespace spin::sp

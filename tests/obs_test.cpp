@@ -216,6 +216,11 @@ TEST(TraceRecorder, EventNamesAreStable) {
   EXPECT_STREQ(eventName(EventKind::ReplaySlice), "replay.slice");
   EXPECT_STREQ(eventName(EventKind::ReplayParity), "replay.parity");
   EXPECT_STREQ(eventName(EventKind::Parallelism), "sched.parallelism");
+  EXPECT_STREQ(eventName(EventKind::WatchdogKill), "fault.watchdogkill");
+  EXPECT_STREQ(eventName(EventKind::SliceRetry), "fault.retry");
+  EXPECT_STREQ(eventName(EventKind::SliceQuarantine), "fault.quarantine");
+  EXPECT_STREQ(eventName(EventKind::PlaybackDivergence), "fault.divergence");
+  EXPECT_STREQ(eventName(EventKind::BreakerTrip), "fault.breaker");
 }
 
 /// Parses \p Trace's Chrome export and checks the structural invariants:
@@ -491,7 +496,12 @@ TEST(Reporting, ExportedStatisticNamesAreGolden) {
       "superpin.jit.seeded",      "superpin.jit.seedticks",
       "superpin.static.sites",    "superpin.sys.predicted",
       "superpin.sys.trapclassified", "superpin.cow.master",
-      "superpin.cow.slices",
+      "superpin.cow.slices",         "superpin.fault.injected",
+      "superpin.fault.watchdogkills", "superpin.fault.divergences",
+      "superpin.fault.reexecsys",    "superpin.fault.retried",
+      "superpin.fault.recovered",    "superpin.fault.quarantined",
+      "superpin.fault.lost",         "superpin.fault.wastedinsts",
+      "superpin.fault.coverageinsts", "superpin.fault.breakertripped",
   };
   ASSERT_EQ(Stats.entries().size(), std::size(ExpectedCounters));
   size_t I = 0;
@@ -503,6 +513,7 @@ TEST(Reporting, ExportedStatisticNamesAreGolden) {
       "superpin.hist.slice.sysrecs",
       "superpin.hist.slice.waitticks",
       "superpin.hist.sig.checkdist",
+      "superpin.hist.slice.attempts",
   };
   ASSERT_EQ(Stats.histogramEntries().size(), std::size(ExpectedHists));
   I = 0;

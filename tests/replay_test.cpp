@@ -427,4 +427,153 @@ TEST(Defer, DeferredCaptureReplaysWithParity) {
   EXPECT_EQ(RRep.ReplayedInsts, Cap.SliceInsts);
 }
 
+// --- Lenient loading & corruption diagnosis ------------------------------
+
+std::vector<uint8_t> slurpFile(const std::string &Path) {
+  std::vector<uint8_t> Bytes;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  EXPECT_NE(F, nullptr) << Path;
+  if (!F)
+    return Bytes;
+  uint8_t Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  std::fclose(F);
+  return Bytes;
+}
+
+void spewFile(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr) << Path;
+  ASSERT_EQ(std::fwrite(Bytes.data(), 1, Bytes.size(), F), Bytes.size());
+  std::fclose(F);
+}
+
+/// Rewrites the trailing FNV-1a so record-level damage survives the
+/// whole-file checksum gate (modelling a log corrupted before the
+/// checksum was stamped, or an attacker-free single-record bit rot the
+/// per-record sanity check must still catch).
+void restampChecksum(std::vector<uint8_t> &Bytes) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t I = 0; I != Bytes.size() - 8; ++I) {
+    H ^= Bytes[I];
+    H *= 0x100000001b3ULL;
+  }
+  for (size_t I = 0; I != 8; ++I)
+    Bytes[Bytes.size() - 8 + I] = static_cast<uint8_t>(H >> (8 * I));
+}
+
+TEST(Lenient, CleanLoadReportsOkDiagnosis) {
+  RunCapture Cap = captureWorkload("vpr");
+  std::string Path = std::string(::testing::TempDir()) + "lenient_clean.sprl";
+  std::string Err;
+  ASSERT_TRUE(saveCapture(Cap, Path, &Err)) << Err;
+
+  LogDiagnosis Diag;
+  std::vector<uint32_t> Skipped;
+  std::optional<RunCapture> Back =
+      loadCaptureLenient(Path, /*SkipCorrupt=*/false, &Diag, &Skipped);
+  ASSERT_TRUE(Back.has_value()) << Diag.Reason;
+  EXPECT_TRUE(Diag.ok());
+  EXPECT_EQ(Diag.FileSize, encodeCapture(Cap).size());
+  EXPECT_TRUE(Skipped.empty());
+  EXPECT_EQ(encodeCapture(*Back), encodeCapture(Cap));
+}
+
+TEST(Lenient, ChecksumMismatchIsDiagnosed) {
+  RunCapture Cap = captureWorkload("vpr");
+  std::string Path = std::string(::testing::TempDir()) + "lenient_cksum.sprl";
+  std::string Err;
+  ASSERT_TRUE(saveCapture(Cap, Path, &Err)) << Err;
+  std::vector<uint8_t> Bytes = slurpFile(Path);
+  Bytes[Bytes.size() / 2] ^= 0x40;
+  spewFile(Path, Bytes);
+
+  LogDiagnosis Diag;
+  EXPECT_FALSE(
+      loadCaptureLenient(Path, /*SkipCorrupt=*/false, &Diag).has_value());
+  EXPECT_FALSE(Diag.ok());
+  EXPECT_TRUE(Diag.ChecksumMismatch);
+  EXPECT_NE(Diag.ExpectedChecksum, Diag.ActualChecksum);
+  EXPECT_NE(Diag.Reason.find("checksum"), std::string::npos);
+  EXPECT_EQ(Diag.Offset, Bytes.size() - 8)
+      << "the mismatch is pinned to the trailing checksum";
+}
+
+TEST(Lenient, CorruptRecordIsLocatedAndSkipCorruptResyncs) {
+  RunCapture Cap = captureWorkload("vpr");
+  ASSERT_GE(Cap.Slices.size(), 4u);
+  std::vector<SliceIndexEntry> Index;
+  encodeCapture(Cap, &Index);
+  std::string Path = std::string(::testing::TempDir()) + "lenient_rec.sprl";
+  std::string Err;
+  ASSERT_TRUE(saveCapture(Cap, Path, &Err)) << Err;
+
+  // Smash slice record 2's leading Num field and restamp the trailing
+  // checksum: only the per-record sanity check can catch this now.
+  std::vector<uint8_t> Bytes = slurpFile(Path);
+  Bytes[Index[2].Offset] ^= 0xff;
+  restampChecksum(Bytes);
+  spewFile(Path, Bytes);
+
+  // Strict mode refuses the log but pinpoints the damage.
+  LogDiagnosis Diag;
+  EXPECT_FALSE(
+      loadCaptureLenient(Path, /*SkipCorrupt=*/false, &Diag).has_value());
+  EXPECT_FALSE(Diag.ok());
+  EXPECT_EQ(Diag.RecordIndex, 2u);
+  EXPECT_EQ(Diag.Offset, Index[2].Offset);
+  EXPECT_NE(Diag.Reason.find("corrupt slice record 2"), std::string::npos);
+
+  // -skip-corrupt recovers every other record by resyncing to the next
+  // sidecar offset past the damage.
+  std::vector<uint32_t> Skipped;
+  std::optional<RunCapture> Back =
+      loadCaptureLenient(Path, /*SkipCorrupt=*/true, &Diag, &Skipped);
+  ASSERT_TRUE(Back.has_value()) << Diag.Reason;
+  ASSERT_EQ(Skipped.size(), 1u);
+  EXPECT_EQ(Skipped[0], 2u);
+  ASSERT_EQ(Back->Slices.size(), Cap.Slices.size() - 1);
+  for (const SliceCaptureData &S : Back->Slices)
+    EXPECT_NE(S.Num, 2u);
+  // The survivors decode to exactly their original content.
+  size_t J = 0;
+  for (size_t I = 0; I != Cap.Slices.size(); ++I) {
+    if (I == 2)
+      continue;
+    EXPECT_EQ(Back->Slices[J].Num, Cap.Slices[I].Num);
+    EXPECT_EQ(Back->Slices[J].ExpectedInsts, Cap.Slices[I].ExpectedInsts);
+    EXPECT_EQ(Back->Slices[J].Sys.size(), Cap.Slices[I].Sys.size());
+    ++J;
+  }
+}
+
+TEST(Lenient, TruncatedFileIsDiagnosed) {
+  RunCapture Cap = captureWorkload("vpr");
+  std::string Path = std::string(::testing::TempDir()) + "lenient_trunc.sprl";
+  std::string Err;
+  ASSERT_TRUE(saveCapture(Cap, Path, &Err)) << Err;
+  std::vector<uint8_t> Bytes = slurpFile(Path);
+  Bytes.resize(12); // shorter than header + checksum
+  spewFile(Path, Bytes);
+
+  LogDiagnosis Diag;
+  EXPECT_FALSE(
+      loadCaptureLenient(Path, /*SkipCorrupt=*/true, &Diag).has_value());
+  EXPECT_FALSE(Diag.ok());
+  EXPECT_TRUE(Diag.Truncated);
+  EXPECT_EQ(Diag.FileSize, 12u);
+}
+
+TEST(Lenient, MissingFileIsDiagnosed) {
+  LogDiagnosis Diag;
+  EXPECT_FALSE(loadCaptureLenient(std::string(::testing::TempDir()) +
+                                      "lenient_no_such_file.sprl",
+                                  /*SkipCorrupt=*/true, &Diag)
+                   .has_value());
+  EXPECT_FALSE(Diag.ok());
+  EXPECT_NE(Diag.Reason.find("cannot open"), std::string::npos);
+}
+
 } // namespace
