@@ -129,7 +129,11 @@ inline TripleRun runTriple(const vm::Program &Prog,
   return R;
 }
 
-/// Prints \p T as a table, CSV, or JSON per the flags.
+/// Prints \p T as a table, CSV, or JSON per the flags. Cells the bench
+/// filled through the typed Table overloads (cell(uint64_t),
+/// cell(double, Decimals)) come out of -json as JSON numbers, so
+/// downstream harnesses (spbench, plotting scripts) never parse
+/// stringified numerics.
 inline void emit(const Table &T, const BenchFlags &Flags) {
   if (Flags.Json)
     T.printJson(outs());

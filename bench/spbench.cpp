@@ -1,0 +1,527 @@
+//===- bench/spbench.cpp - Telemetry pipeline + regression gate -----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs a subset of the figure/table/micro benchmark binaries plus an
+// in-process deterministic telemetry pass, and writes one versioned
+// BENCH_<date>.json document (schema "spbench-v1"):
+//
+//   spbench -smoke 1                               # CI smoke subset
+//   spbench -workloads gzip,gcc -benches fig5_icount2
+//   spbench -smoke 1 -baseline benchmarks/BENCH_2026-08-06.json
+//
+// With -baseline the run is diffed against the committed document and the
+// process exits 2 when any deterministic metric (slowdown-vs-native or an
+// attribution share) regresses past -maxreg. Host wall seconds are
+// recorded for context but never gated — only virtual-time metrics are
+// deterministic across machines.
+//
+// The per-workload attribution profile is also written as a folded-stack
+// file (<out>.folded) loadable by flamegraph.pl-style tools.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "pin/Runner.h"
+#include "prof/Bench.h"
+#include "prof/Profile.h"
+#include "superpin/Engine.h"
+#include "superpin/Reporting.h"
+#include "support/CommandLine.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+#include "support/Statistic.h"
+#include "support/StringExtras.h"
+#include "tools/Icount.h"
+#include "workloads/Spec2000.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <vector>
+
+using namespace spin;
+
+namespace {
+
+/// One external benchmark binary's collected run.
+struct BenchRun {
+  std::string Name;
+  std::string Command;
+  int ExitCode = 0;
+  double HostSeconds = 0.0;
+  std::optional<JsonValue> Output; ///< parsed -json payload, when it parsed
+  std::string ParseError;
+};
+
+/// One workload's deterministic in-process telemetry.
+struct WorkloadRun {
+  std::string Name;
+  os::Ticks NativeTicks = 0;
+  os::Ticks PinTicks = 0;
+  os::Ticks SpTicks = 0;
+  double SlowdownPin = 0.0;
+  double SlowdownSp = 0.0;
+  double HostSeconds = 0.0;
+  prof::ProfileCollector Profile;
+  StatisticRegistry Metrics;
+};
+
+double elapsedSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+std::vector<std::string> splitCommaList(const std::string &Spec) {
+  std::vector<std::string> Items;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    if (Comma > Pos)
+      Items.push_back(Spec.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  return Items;
+}
+
+/// Runs \p Command capturing stdout; returns the captured text and stores
+/// the exit code.
+std::string runCommand(const std::string &Command, int &ExitCode) {
+  std::string Out;
+  std::FILE *P = popen(Command.c_str(), "r");
+  if (!P) {
+    ExitCode = -1;
+    return Out;
+  }
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  int Status = pclose(P);
+  ExitCode = Status < 0 ? -1 : (Status >> 8) & 0xff;
+  return Out;
+}
+
+/// Extracts the JSON payload from a bench binary's stdout. The figure and
+/// table binaries print a human title line, then the JSON array, then a
+/// paper-reference note; micro_* binaries (google-benchmark) print one
+/// JSON object. Returns the substring from the first '[' or '{' to its
+/// matching last ']' or '}'.
+std::string extractJsonPayload(const std::string &Text) {
+  size_t ArrStart = Text.find('[');
+  size_t ObjStart = Text.find('{');
+  size_t Start = std::min(ArrStart == std::string::npos ? Text.size()
+                                                        : ArrStart,
+                          ObjStart == std::string::npos ? Text.size()
+                                                        : ObjStart);
+  if (Start == Text.size())
+    return std::string();
+  char Close = Text[Start] == '[' ? ']' : '}';
+  size_t End = Text.rfind(Close);
+  if (End == std::string::npos || End < Start)
+    return std::string();
+  return Text.substr(Start, End - Start + 1);
+}
+
+/// Re-emits a parsed JsonValue through a JsonWriter (used to embed the
+/// external benches' payloads and the spmetrics documents).
+void writeJsonValue(JsonWriter &W, const JsonValue &V) {
+  switch (V.kind()) {
+  case JsonValue::Kind::Null:
+    W.value("null"); // the writer has no null; keep the slot readable
+    break;
+  case JsonValue::Kind::Bool:
+    W.value(V.asBool());
+    break;
+  case JsonValue::Kind::UInt:
+    W.value(V.asUInt());
+    break;
+  case JsonValue::Kind::Int:
+    W.value(V.asInt());
+    break;
+  case JsonValue::Kind::Double:
+    W.value(V.asDouble());
+    break;
+  case JsonValue::Kind::String:
+    W.value(V.asString());
+    break;
+  case JsonValue::Kind::Array:
+    W.beginArray();
+    for (const JsonValue &E : V.array())
+      writeJsonValue(W, E);
+    W.endArray();
+    break;
+  case JsonValue::Kind::Object:
+    W.beginObject();
+    for (const auto &[K, M] : V.members()) {
+      W.key(K);
+      writeJsonValue(W, M);
+    }
+    W.endObject();
+    break;
+  }
+}
+
+std::string currentDate() {
+  std::time_t T = std::time(nullptr);
+  std::tm Tm = *std::localtime(&T);
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "%04d-%02d-%02d", Tm.tm_year + 1900,
+                Tm.tm_mon + 1, Tm.tm_mday);
+  return Buf;
+}
+
+std::string gitSha() {
+  int Exit = 0;
+  std::string Out =
+      runCommand("git rev-parse --short HEAD 2>/dev/null", Exit);
+  while (!Out.empty() && (Out.back() == '\n' || Out.back() == '\r'))
+    Out.pop_back();
+  return (Exit == 0 && !Out.empty()) ? Out : "unknown";
+}
+
+std::optional<std::string> readFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return std::nullopt;
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return Text;
+}
+
+void writeFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    errs() << "error: cannot open '" << Path << "' for writing\n";
+    std::exit(1);
+  }
+  std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+}
+
+const workloads::WorkloadInfo *lookupWorkload(const std::string &Name) {
+  for (const workloads::WorkloadInfo &Info : workloads::spec2000Suite())
+    if (Name == Info.Name)
+      return &Info;
+  return nullptr;
+}
+
+os::Ticks workloadInstCost(const os::CostModel &Model,
+                           const workloads::WorkloadInfo &Info) {
+  return static_cast<os::Ticks>(
+      Info.Cpi * static_cast<double>(Model.TicksPerInst) + 0.5);
+}
+
+/// Runs the native / serial-Pin / SuperPin triple with the attribution
+/// profiler attached to the instrumented runs.
+WorkloadRun runWorkload(const workloads::WorkloadInfo &Info, double Scale,
+                        const os::CostModel &Model) {
+  WorkloadRun R;
+  R.Name = Info.Name;
+  auto Start = std::chrono::steady_clock::now();
+
+  vm::Program Prog = workloads::buildWorkload(Info, Scale);
+  os::Ticks Cost = workloadInstCost(Model, Info);
+  R.NativeTicks = pin::runNative(Prog, Model, Cost).WallTicks;
+  R.PinTicks =
+      pin::runSerialPin(Prog, Model, Cost,
+                        tools::makeIcountTool(tools::IcountGranularity::BasicBlock))
+          .WallTicks;
+
+  sp::SpOptions Opts;
+  Opts.Cpi = Info.Cpi;
+  Opts.Profile = &R.Profile;
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, tools::makeIcountTool(tools::IcountGranularity::BasicBlock), Opts,
+      Model);
+  R.SpTicks = Rep.WallTicks;
+
+  if (R.NativeTicks > 0) {
+    R.SlowdownPin = static_cast<double>(R.PinTicks) /
+                    static_cast<double>(R.NativeTicks);
+    R.SlowdownSp = static_cast<double>(R.SpTicks) /
+                   static_cast<double>(R.NativeTicks);
+  }
+  sp::exportStatistics(Rep, R.Metrics);
+  R.Profile.exportStatistics(R.Metrics);
+  R.HostSeconds = elapsedSince(Start);
+  return R;
+}
+
+/// Attribution shares of total attributed (overhead) ticks, the
+/// deterministic quantities the gate diffs.
+void writeAttribution(JsonWriter &W, const prof::ProfileCollector &P) {
+  os::Ticks Total = P.totalAttributed();
+  W.beginObject();
+  for (unsigned I = 0; I < prof::NumCauses; ++I) {
+    prof::Cause C = static_cast<prof::Cause>(I);
+    double Share = Total ? static_cast<double>(P.totalCause(C)) /
+                               static_cast<double>(Total)
+                         : 0.0;
+    W.field(prof::causeName(C), Share);
+  }
+  W.endObject();
+}
+
+/// Embeds the workload's spmetrics-v1 registry document.
+void writeMetrics(JsonWriter &W, const StatisticRegistry &Stats) {
+  std::string Doc;
+  {
+    RawStringOstream OS(Doc);
+    obs::writeRegistryJson(Stats, OS);
+  }
+  std::string Err;
+  std::optional<JsonValue> V = parseJson(Doc, &Err);
+  if (!V) {
+    W.value("metrics-parse-error: " + Err);
+    return;
+  }
+  writeJsonValue(W, *V);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  OptionRegistry Registry;
+  Opt<std::string> Benches(Registry, "benches", "",
+                           "comma-separated external bench binaries to run");
+  Opt<std::string> Workloads(Registry, "workloads", "gzip,gcc,mcf",
+                             "workloads for the in-process telemetry pass");
+  Opt<double> Scale(Registry, "scale", 0.1, "workload duration scale");
+  Opt<bool> Smoke(Registry, "smoke", false,
+                  "CI smoke preset: fig5_icount2 + tab_overheads on "
+                  "gzip,gcc,mcf at scale 0.1");
+  Opt<std::string> BinDir(Registry, "bindir", ".",
+                          "directory holding the bench binaries");
+  Opt<std::string> OutPath(Registry, "out", "",
+                           "output path (default BENCH_<date>.json)");
+  Opt<std::string> BaselinePath(Registry, "baseline", "",
+                                "committed BENCH_*.json to gate against");
+  Opt<double> MaxReg(Registry, "maxreg", 0.10,
+                     "max relative regression before the gate fails");
+  Opt<std::string> GitSha(Registry, "gitsha", "",
+                          "git revision to record (default: git rev-parse)");
+  Opt<std::string> Date(Registry, "date", "",
+                        "date to record/name the output (default: today)");
+  Opt<bool> Help(Registry, "help", false, "print options");
+
+  std::string Err;
+  if (!Registry.parse(Argc, Argv, Err)) {
+    errs() << "error: " << Err << "\n";
+    return 1;
+  }
+  if (Help) {
+    Registry.printHelp(outs());
+    return 0;
+  }
+
+  std::string BenchList = Benches;
+  std::string WorkloadList = Workloads;
+  double RunScale = Scale;
+  if (Smoke) {
+    BenchList = "fig5_icount2,tab_overheads";
+    WorkloadList = "gzip,gcc,mcf";
+    RunScale = 0.1;
+  }
+
+  std::string RunDate = Date.value().empty() ? currentDate() : Date.value();
+  std::string Out = OutPath.value().empty() ? "BENCH_" + RunDate + ".json"
+                                            : OutPath.value();
+  std::string Sha = GitSha.value().empty() ? gitSha() : GitSha.value();
+
+  // Validate every workload up front; findWorkload() aborts on unknown
+  // names, so resolve via the suite and fail with a usable message.
+  std::vector<const workloads::WorkloadInfo *> Infos;
+  for (const std::string &Name : splitCommaList(WorkloadList)) {
+    const workloads::WorkloadInfo *Info = lookupWorkload(Name);
+    if (!Info) {
+      errs() << "error: unknown workload '" << Name << "'\n";
+      return 1;
+    }
+    Infos.push_back(Info);
+  }
+
+  os::CostModel Model;
+
+  // Deterministic in-process telemetry.
+  std::vector<WorkloadRun> Runs;
+  for (const workloads::WorkloadInfo *Info : Infos) {
+    outs() << "telemetry: " << Info->Name << " (scale "
+           << formatFixed(RunScale, 2) << ")\n";
+    outs().flush();
+    Runs.push_back(runWorkload(*Info, RunScale, Model));
+  }
+
+  // External bench binaries: one row per workload through -only so the
+  // smoke subset stays bounded; micro_* run once under google-benchmark's
+  // JSON reporter.
+  std::vector<BenchRun> BenchRuns;
+  for (const std::string &Name : splitCommaList(BenchList)) {
+    BenchRun B;
+    B.Name = Name;
+    std::string Bin = BinDir.value() + "/" + Name;
+    if (Name.rfind("micro_", 0) == 0) {
+      B.Command =
+          Bin + " --benchmark_format=json --benchmark_min_time=0.05";
+    } else {
+      // The figure binaries take one -only name; run per workload and
+      // merge the single-row arrays below.
+      B.Command = Bin + " -json 1 -scale " + formatFixed(RunScale, 3);
+    }
+    outs() << "bench: " << B.Name << "\n";
+    outs().flush();
+    auto Start = std::chrono::steady_clock::now();
+    if (Name.rfind("micro_", 0) == 0) {
+      std::string Text = runCommand(B.Command, B.ExitCode);
+      std::string Payload = extractJsonPayload(Text);
+      if (std::optional<JsonValue> V = parseJson(Payload, &B.ParseError))
+        B.Output = std::move(*V);
+    } else {
+      // Merge per-workload single-row arrays into one array document.
+      std::string Merged = "[";
+      bool First = true;
+      for (const workloads::WorkloadInfo *Info : Infos) {
+        std::string Cmd = B.Command + " -only " + Info->Name;
+        int Exit = 0;
+        std::string Text = runCommand(Cmd, Exit);
+        if (Exit != 0)
+          B.ExitCode = Exit;
+        std::string Payload = extractJsonPayload(Text);
+        // Strip the brackets to splice rows together.
+        if (Payload.size() >= 2 && Payload.front() == '[' &&
+            Payload.back() == ']') {
+          std::string Rows = Payload.substr(1, Payload.size() - 2);
+          if (!Rows.empty()) {
+            if (!First)
+              Merged += ",";
+            Merged += Rows;
+            First = false;
+          }
+        }
+      }
+      Merged += "]";
+      B.Command += " -only <workload>";
+      if (std::optional<JsonValue> V = parseJson(Merged, &B.ParseError))
+        B.Output = std::move(*V);
+    }
+    B.HostSeconds = elapsedSince(Start);
+    BenchRuns.push_back(std::move(B));
+  }
+
+  // Emit the spbench-v1 document.
+  std::string Doc;
+  {
+    RawStringOstream OS(Doc);
+    JsonWriter W(OS);
+    W.beginObject();
+    W.field("schema", prof::BenchSchema);
+    W.field("git_sha", Sha);
+    W.field("date", RunDate);
+    W.field("scale", RunScale);
+    W.key("flags").beginObject();
+    W.field("benches", BenchList);
+    W.field("workloads", WorkloadList);
+    W.field("maxreg", double(MaxReg));
+    W.endObject();
+    W.key("workloads").beginArray();
+    for (const WorkloadRun &R : Runs) {
+      W.beginObject();
+      W.field("name", R.Name);
+      W.field("native_ticks", static_cast<uint64_t>(R.NativeTicks));
+      W.field("pin_ticks", static_cast<uint64_t>(R.PinTicks));
+      W.field("sp_ticks", static_cast<uint64_t>(R.SpTicks));
+      W.field("slowdown_pin", R.SlowdownPin);
+      W.field("slowdown_sp", R.SlowdownSp);
+      W.field("host_seconds", R.HostSeconds);
+      W.key("attribution");
+      writeAttribution(W, R.Profile);
+      W.key("metrics");
+      writeMetrics(W, R.Metrics);
+      W.endObject();
+    }
+    W.endArray();
+    W.key("benches").beginArray();
+    for (const BenchRun &B : BenchRuns) {
+      W.beginObject();
+      W.field("name", B.Name);
+      W.field("command", B.Command);
+      W.field("exit_code", static_cast<int64_t>(B.ExitCode));
+      W.field("host_seconds", B.HostSeconds);
+      if (B.Output) {
+        W.key("output");
+        writeJsonValue(W, *B.Output);
+      } else {
+        W.field("parse_error", B.ParseError);
+      }
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    OS << '\n';
+  }
+  writeFile(Out, Doc);
+  outs() << "wrote " << Out << "\n";
+
+  // Folded-stack attribution profile across all telemetry workloads, with
+  // a per-workload root frame.
+  {
+    std::string Folded;
+    for (const WorkloadRun &R : Runs) {
+      std::string One;
+      {
+        RawStringOstream OS(One);
+        R.Profile.writeFolded(OS);
+      }
+      size_t Pos = 0;
+      while (Pos < One.size()) {
+        size_t Eol = One.find('\n', Pos);
+        if (Eol == std::string::npos)
+          Eol = One.size();
+        Folded += R.Name + ";" + One.substr(Pos, Eol - Pos) + "\n";
+        Pos = Eol + 1;
+      }
+    }
+    writeFile(Out + ".folded", Folded);
+    outs() << "wrote " << Out << ".folded\n";
+  }
+
+  // Regression gate.
+  if (!BaselinePath.value().empty()) {
+    std::optional<std::string> BaseText = readFile(BaselinePath);
+    if (!BaseText) {
+      errs() << "error: cannot read baseline '" << BaselinePath.value()
+             << "'\n";
+      return 2;
+    }
+    std::string BaseErr, CurErr;
+    std::optional<JsonValue> Base = parseJson(*BaseText, &BaseErr);
+    std::optional<JsonValue> Cur = parseJson(Doc, &CurErr);
+    if (!Base || !Cur) {
+      errs() << "error: gate parse failure: "
+             << (!Base ? BaseErr : CurErr) << "\n";
+      return 2;
+    }
+    prof::BenchGateConfig Cfg;
+    Cfg.MaxRelative = MaxReg;
+    prof::BenchCompareResult Result =
+        prof::compareBenchReports(*Base, *Cur, Cfg);
+    prof::printCompareResult(Result, outs());
+    outs().flush();
+    if (!Result.ok())
+      return 2;
+  }
+  outs().flush();
+  return 0;
+}

@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "prof/Profile.h"
 #include "replay/ReplayEngine.h"
 #include "superpin/SpOptions.h"
 #include "support/CommandLine.h"
@@ -28,6 +29,7 @@
 #include "tools/OpcodeMix.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 using namespace spin;
@@ -45,6 +47,23 @@ static pin::ToolFactory makeTool(const std::string &Name) {
   errs() << "unknown tool '" << Name
          << "' (try icount1, icount2, opcodemix, memtrace)\n";
   std::exit(1);
+}
+
+/// Writes \p Emit's output to \p Path; exits with an error if the file
+/// cannot be opened.
+template <typename Fn>
+static void writeFile(const std::string &Path, Fn Emit) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    errs() << "error: cannot open '" << Path << "' for writing\n";
+    std::exit(1);
+  }
+  {
+    RawFdOstream OS(F);
+    Emit(OS);
+    OS.flush();
+  }
+  std::fclose(F);
 }
 
 /// Parses "0,3,7" into slice numbers; exits on malformed input.
@@ -78,6 +97,13 @@ int main(int Argc, char **Argv) {
   Opt<bool> SkipCorrupt(
       Registry, "skip-corrupt", false,
       "recover intact slices from a damaged log via the sidecar index");
+  Opt<bool> SpProf(Registry, "spprof", false,
+                   "attribute replay virtual time to overhead causes");
+  Opt<std::string> SpProfOut(Registry, "spprof-out", "spprof.json",
+                             "spprof-v1 output path (folded stacks go to "
+                             "<path>.folded)");
+  Opt<uint64_t> SpProfTopN(Registry, "spprof-topn", 20,
+                           "hot blocks to keep in the spprof-v1 export");
   Opt<bool> Help(Registry, "help", false, "print options");
 
   std::string Err;
@@ -161,6 +187,9 @@ int main(int Argc, char **Argv) {
 
   os::CostModel Model;
   replay::ReplayEngine Engine(*Cap, Model);
+  prof::ProfileCollector Profile;
+  if (SpProf)
+    Engine.setProfile(&Profile);
   replay::ReplayReport Rep =
       Slices.value().empty()
           ? Engine.replayAll(makeTool(ToolName))
@@ -178,6 +207,17 @@ int main(int Argc, char **Argv) {
       outs() << "  slice " << R.Num << ": "
              << (R.Diverged ? R.Note : "icount/end-kind mismatch")
              << " (retired " << R.RetiredInsts << ")\n";
+  if (SpProf) {
+    writeFile(SpProfOut, [&](RawOstream &OS) {
+      Profile.writeJson(OS, static_cast<unsigned>(uint64_t(SpProfTopN)));
+    });
+    writeFile(SpProfOut.value() + ".folded",
+              [&](RawOstream &OS) { Profile.writeFolded(OS); });
+    outs() << "profile: " << formatWithCommas(Profile.totalAttributed())
+           << " attributed + " << formatWithCommas(Profile.totalNative())
+           << " native of " << formatWithCommas(Profile.totalConsumed())
+           << " ticks -> " << SpProfOut.value() << "\n";
+  }
   outs().flush();
   return Rep.allOk() ? 0 : 1;
 }

@@ -19,7 +19,9 @@
 #include "fault/FaultPlan.h"
 #include "obs/Metrics.h"
 #include "obs/TraceRecorder.h"
+#include "pin/PinVm.h"
 #include "pin/Runner.h"
+#include "prof/Profile.h"
 #include "superpin/Engine.h"
 #include "superpin/Reporting.h"
 #include "support/CommandLine.h"
@@ -127,6 +129,13 @@ int main(int Argc, char **Argv) {
                       "also stamp trace events with host wall time");
   Opt<std::string> MetricsPath(Registry, "spmetrics", "",
                                "write the spmetrics-v1 JSON document here");
+  Opt<bool> SpProf(Registry, "spprof", false,
+                   "attribute virtual time to overhead causes (src/prof)");
+  Opt<std::string> SpProfOut(Registry, "spprof-out", "spprof.json",
+                             "spprof-v1 output path (folded stacks go to "
+                             "<path>.folded)");
+  Opt<uint64_t> SpProfTopN(Registry, "spprof-topn", 20,
+                           "hot blocks to keep in the spprof-v1 export");
   Opt<std::string> StatsJsonPath(Registry, "stats-json", "",
                                  "dump the final statistics registry as JSON");
   Opt<bool> Help(Registry, "help", false, "print options");
@@ -155,13 +164,32 @@ int main(int Argc, char **Argv) {
   os::Ticks InstCost = static_cast<os::Ticks>(
       std::llround(Info.Cpi * double(Model.TicksPerInst)));
 
+  prof::ProfileCollector Profile;
+  auto WriteProfile = [&] {
+    if (!SpProf)
+      return;
+    writeFile(SpProfOut, [&](RawOstream &OS) {
+      Profile.writeJson(OS, static_cast<unsigned>(uint64_t(SpProfTopN)));
+    });
+    writeFile(SpProfOut.value() + ".folded",
+              [&](RawOstream &OS) { Profile.writeFolded(OS); });
+    outs() << "profile: " << formatWithCommas(Profile.totalAttributed())
+           << " attributed + " << formatWithCommas(Profile.totalNative())
+           << " native of " << formatWithCommas(Profile.totalConsumed())
+           << " ticks -> " << SpProfOut.value() << "\n";
+  };
+
   if (!Sp) {
-    pin::RunReport Rep =
-        pin::runSerialPin(Prog, Model, InstCost, makeTool(ToolName));
+    pin::PinVmConfig SerialCfg;
+    if (SpProf)
+      SerialCfg.Prof = &Profile.master();
+    pin::RunReport Rep = pin::runSerialPin(Prog, Model, InstCost,
+                                           makeTool(ToolName), SerialCfg);
     outs() << Rep.FiniOutput;
     outs() << "serial pin: "
            << formatFixed(Model.ticksToSeconds(Rep.WallTicks), 2) << "s, "
            << formatWithCommas(Rep.Insts) << " instructions\n";
+    WriteProfile();
     outs().flush();
     return 0;
   }
@@ -197,6 +225,8 @@ int main(int Argc, char **Argv) {
     Trace.enableWallClock();
   if (!TracePath.value().empty())
     Opts.Trace = &Trace;
+  if (SpProf)
+    Opts.Profile = &Profile;
 
   sp::SpRunReport Rep = sp::runSuperPin(Prog, makeTool(ToolName), Opts, Model);
   outs() << Rep.FiniOutput;
@@ -245,8 +275,11 @@ int main(int Argc, char **Argv) {
     writeFile(StatsJsonPath, [&](RawOstream &OS) {
       StatisticRegistry Stats;
       sp::exportStatistics(Rep, Stats);
+      if (SpProf)
+        Profile.exportStatistics(Stats);
       obs::writeRegistryJson(Stats, OS);
     });
+  WriteProfile();
   outs().flush();
   return 0;
 }

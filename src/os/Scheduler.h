@@ -80,6 +80,7 @@ public:
 
   /// Charges \p Cost ticks; overflow beyond the grant becomes debt.
   void charge(Ticks Cost) {
+    TotalCharged += Cost;
     Ticks Avail = Budget - Used;
     if (Cost <= Avail) {
       Used += Cost;
@@ -92,10 +93,16 @@ public:
   Ticks used() const { return Used; }
   bool inDebt() const { return Debt != 0; }
 
+  /// Lifetime sum of every charge(), independent of step grants and debt.
+  /// used() deltas are unreliable across a charge that overflows into
+  /// debt, so attribution code brackets opaque calls with this instead.
+  Ticks totalCharged() const { return TotalCharged; }
+
 private:
   Ticks Debt = 0;
   Ticks Budget = 0;
   Ticks Used = 0;
+  Ticks TotalCharged = 0;
 };
 
 /// The discrete-time multiprocessor.

@@ -10,6 +10,7 @@
 #include "analysis/Cfg.h"
 #include "obs/TraceRecorder.h"
 #include "pin/Tool.h"
+#include "prof/Profile.h"
 #include "vm/Exec.h"
 
 #include <cassert>
@@ -25,9 +26,11 @@ PinVm::PinVm(Process &Proc, const CostModel &Model, Tool *UserTool,
       Config(Config) {}
 
 bool PinVm::dispatch(TickLedger &Ledger) {
-  Ledger.charge(Model.TraceDispatchCost +
-                (Config.SharedJit ? Model.SharedCacheCheckCost : 0));
+  Ticks DispatchCost = Model.TraceDispatchCost +
+                       (Config.SharedJit ? Model.SharedCacheCheckCost : 0);
+  Ledger.charge(DispatchCost);
   ++NumTraceEntries;
+  Ticks CompileHere = 0;
   CompiledTrace *T = Cache.lookup(Proc.Cpu.Pc);
   if (!T) {
     if (!Proc.program().fetch(Proc.Cpu.Pc))
@@ -43,12 +46,22 @@ bool PinVm::dispatch(TickLedger &Ledger) {
     }
     Ledger.charge(Cost);
     CompileTicks += Cost;
+    CompileHere = Cost;
     ++NumTracesCompiled;
     if (Config.Trace)
       Config.Trace->instant(Config.TraceLane, obs::EventKind::JitCompile,
                             Config.TraceClock ? Config.TraceClock() : 0,
                             Fresh->Steps.size());
     T = Cache.insert(std::move(Fresh));
+  }
+  if (Config.Prof) {
+    Config.Prof->charge(prof::Cause::JitExecute, DispatchCost);
+    if (CompileHere)
+      Config.Prof->charge(prof::Cause::JitCompile, CompileHere);
+    // Dispatch and any compile stall it triggered belong to the entered
+    // block's instrumented cost.
+    Config.Prof->noteBlock(T->StartPc, /*Insts=*/0, DispatchCost + CompileHere,
+                           /*NativeT=*/0, /*Entries=*/1);
   }
   CurTrace = T;
   CurStep = 0;
@@ -137,6 +150,8 @@ void PinVm::seedFromCfg(TickLedger &Ledger) {
         Config.SharedJit->Compiled.insert(Pc);
     }
     Ledger.charge(Cost);
+    if (Config.Prof)
+      Config.Prof->charge(prof::Cause::JitCompile, Cost);
     SeedTicks += Cost;
     ++NumTracesSeeded;
     Cache.insert(std::move(Fresh));
@@ -172,8 +187,16 @@ VmStop PinVm::run(TickLedger &Ledger) {
         return VmStop::Detected;
     }
 
-    // 2. IPOINT_BEFORE analysis calls.
+    // 2. IPOINT_BEFORE analysis calls. Attribution brackets analysis with
+    //    totalCharged() deltas (user-cost charges are opaque); the bracket
+    //    opens after the detect hook so sig.search charges stay with the
+    //    hook's owner.
+    uint64_t HeadPc = CurTrace->StartPc;
+    Ticks StepBase = Config.Prof ? Ledger.totalCharged() : 0;
     runAnalysisCalls(Step, Ledger, /*After=*/false);
+    if (Config.Prof)
+      Config.Prof->charge(prof::Cause::InstrAnalysis,
+                          Ledger.totalCharged() - StepBase);
 
     // 3. The instruction itself.
     ExecInfo Info;
@@ -186,6 +209,9 @@ VmStop PinVm::run(TickLedger &Ledger) {
       return VmStop::Syscall;
     }
     Ledger.charge(Config.InstCost + Model.PinDispatchPerInst);
+    if (Config.Prof)
+      Config.Prof->charge(prof::Cause::JitExecute,
+                          Config.InstCost + Model.PinDispatchPerInst);
     ++Retired;
     if (CapRemaining != ~uint64_t(0) && CapRemaining != 0)
       --CapRemaining;
@@ -193,7 +219,17 @@ VmStop PinVm::run(TickLedger &Ledger) {
       return VmStop::BadPc; // Guests must exit via syscall.
 
     // 4. IPOINT_AFTER analysis calls (post-execution state).
+    Ticks AfterBase = Config.Prof ? Ledger.totalCharged() : 0;
     runAnalysisCalls(Step, Ledger, /*After=*/true);
+    if (Config.Prof) {
+      Config.Prof->charge(prof::Cause::InstrAnalysis,
+                          Ledger.totalCharged() - AfterBase);
+      // The block pays everything this step charged; uninstrumented, the
+      // same instruction would have cost InstCost alone.
+      Config.Prof->noteBlock(HeadPc, /*Insts=*/1,
+                             Ledger.totalCharged() - StepBase,
+                             /*NativeT=*/Config.InstCost, /*Entries=*/0);
+    }
 
     // 5. Advance within the trace or re-dispatch.
     bool LeftTrace = Info.BranchTaken || CurStep + 1 >= CurTrace->Steps.size();

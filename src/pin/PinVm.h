@@ -39,6 +39,10 @@ namespace spin::obs {
 class TraceRecorder;
 }
 
+namespace spin::prof {
+class SliceProfile;
+}
+
 namespace spin::pin {
 
 class Tool;
@@ -78,6 +82,13 @@ struct PinVmConfig {
   obs::TraceRecorder *Trace = nullptr;
   uint32_t TraceLane = 0;
   std::function<os::Ticks()> TraceClock;
+  /// Overhead attribution (src/prof): when set, every tick this VM charges
+  /// is also reported to the lane profile — compile/seed as jit.compile,
+  /// dispatch and per-instruction VM overhead as jit.execute, analysis
+  /// calls as instr.analysis — plus per-block instrumented-vs-native cost
+  /// keyed by trace-head pc. Detection-hook charges are NOT attributed
+  /// here; the hook's owner attributes them (sig.search).
+  prof::SliceProfile *Prof = nullptr;
 };
 
 /// Executes one guest process with instrumentation.

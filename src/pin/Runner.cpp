@@ -9,6 +9,7 @@
 
 #include "os/Kernel.h"
 #include "os/Scheduler.h"
+#include "prof/Profile.h"
 #include "support/ErrorHandling.h"
 #include "support/RawOstream.h"
 #include "vm/Interpreter.h"
@@ -23,18 +24,25 @@ namespace {
 /// Charges page events of one process to a ledger.
 class ChargingListener : public vm::MemoryEventListener {
 public:
-  ChargingListener(const CostModel &Model) : Model(Model) {}
+  ChargingListener(const CostModel &Model, prof::SliceProfile *Prof = nullptr)
+      : Model(Model), Prof(Prof) {}
 
   void attach(TickLedger *NewLedger) { Ledger = NewLedger; }
 
   void onCowCopy(uint64_t) override {
-    if (Ledger)
+    if (Ledger) {
       Ledger->charge(Model.CowCopyPageCost);
+      if (Prof)
+        Prof->charge(prof::Cause::Fork, Model.CowCopyPageCost);
+    }
     ++CowCopies;
   }
   void onPageAlloc(uint64_t) override {
-    if (Ledger)
+    if (Ledger) {
       Ledger->charge(Model.PageAllocCost);
+      if (Prof)
+        Prof->charge(prof::Cause::Fork, Model.PageAllocCost);
+    }
     ++PageAllocs;
   }
 
@@ -43,6 +51,7 @@ public:
 
 private:
   const CostModel &Model;
+  prof::SliceProfile *Prof;
   TickLedger *Ledger = nullptr;
 };
 
@@ -128,8 +137,8 @@ public:
                 const ToolFactory &Factory, PinVmConfig Config,
                 Scheduler &Sched, RunReport &Report)
       : Proc(Process::create(Prog)), Model(Model), InstCost(InstCost),
-        Sched(Sched), Report(Report), Listener(Model),
-        ToolInstance(Factory(SerialServices)),
+        Sched(Sched), Report(Report), Listener(Model, Config.Prof),
+        Prof(Config.Prof), ToolInstance(Factory(SerialServices)),
         Vm(Proc, Model, ToolInstance.get(), Cache,
            withInstCost(Config, InstCost)) {
     Proc.Mem.setListener(&Listener);
@@ -156,6 +165,8 @@ public:
         Vm.noteSyscallRetired();
         Proc.noteRetired(1);
         Ledger.charge(InstCost + Model.SyscallCost);
+        if (Prof) // The kernel service is work a native run pays too.
+          Prof->noteNative(InstCost + Model.SyscallCost);
         ++Report.Syscalls;
         break;
       }
@@ -177,6 +188,8 @@ public:
         break;
     }
     Listener.attach(nullptr);
+    if (Prof)
+      Prof->noteConsumed(Ledger.used());
     if (Proc.Status == ProcStatus::Exited && !Ledger.inDebt()) {
       finishReport();
       return {Ledger.used(), TaskStatus::Exited};
@@ -196,6 +209,7 @@ private:
   Scheduler &Sched;
   RunReport &Report;
   ChargingListener Listener;
+  prof::SliceProfile *Prof;
   SpServices SerialServices;
   CodeCache Cache;
   std::unique_ptr<Tool> ToolInstance;

@@ -1,0 +1,138 @@
+//===- prof/Bench.cpp - BENCH_*.json telemetry schema & gate --------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "prof/Bench.h"
+
+#include "support/Json.h"
+#include "support/RawOstream.h"
+#include "support/StringExtras.h"
+
+#include <set>
+
+using namespace spin;
+using namespace spin::prof;
+
+static void addRegression(BenchCompareResult &R, std::string Workload,
+                          std::string Metric, double Base, double Cur) {
+  R.Regressions.push_back(
+      {std::move(Workload), std::move(Metric), Base, Cur});
+}
+
+/// Numeric object member, or \p Default when absent / non-numeric.
+static double numberOf(const JsonValue &Obj, std::string_view Key,
+                       double Default = 0.0) {
+  const JsonValue *V = Obj.get(Key);
+  if (!V)
+    return Default;
+  switch (V->kind()) {
+  case JsonValue::Kind::UInt:
+  case JsonValue::Kind::Int:
+  case JsonValue::Kind::Double:
+    return V->asDouble();
+  default:
+    return Default;
+  }
+}
+
+static const JsonValue *findWorkload(const JsonValue &Doc,
+                                     const std::string &Name) {
+  const JsonValue *Ws = Doc.get("workloads");
+  if (!Ws || Ws->kind() != JsonValue::Kind::Array)
+    return nullptr;
+  for (const JsonValue &W : Ws->array())
+    if (const JsonValue *N = W.get("name"))
+      if (N->kind() == JsonValue::Kind::String && N->asString() == Name)
+        return &W;
+  return nullptr;
+}
+
+static std::vector<std::string> workloadNames(const JsonValue &Doc) {
+  std::vector<std::string> Names;
+  const JsonValue *Ws = Doc.get("workloads");
+  if (!Ws || Ws->kind() != JsonValue::Kind::Array)
+    return Names;
+  for (const JsonValue &W : Ws->array())
+    if (const JsonValue *N = W.get("name"))
+      if (N->kind() == JsonValue::Kind::String)
+        Names.push_back(N->asString());
+  return Names;
+}
+
+BenchCompareResult spin::prof::compareBenchReports(const JsonValue &Baseline,
+                                                   const JsonValue &Current,
+                                                   const BenchGateConfig &Cfg) {
+  BenchCompareResult R;
+
+  // The gate fails closed: an unreadable or mismatched document counts as
+  // a regression, never as a silent pass.
+  for (const auto &[Doc, Which] :
+       {std::pair{&Baseline, "baseline"}, {&Current, "current"}}) {
+    const JsonValue *Schema = Doc->get("schema");
+    if (!Schema || Schema->kind() != JsonValue::Kind::String ||
+        Schema->asString() != BenchSchema) {
+      addRegression(R, Which, "schema", 0, 0);
+      return R;
+    }
+  }
+
+  for (const std::string &Name : workloadNames(Baseline)) {
+    const JsonValue *Base = findWorkload(Baseline, Name);
+    const JsonValue *Cur = findWorkload(Current, Name);
+    if (!Cur) {
+      R.Notes.push_back("workload '" + Name +
+                        "' present in baseline but not in current run");
+      continue;
+    }
+
+    // Deterministic virtual slowdowns: worse means larger, gated at
+    // MaxRelative over baseline.
+    for (const char *Metric : {"slowdown_pin", "slowdown_sp"}) {
+      double B = numberOf(*Base, Metric);
+      double C = numberOf(*Cur, Metric);
+      if (B > 0 && C > B * (1.0 + Cfg.MaxRelative))
+        addRegression(R, Name, Metric, B, C);
+    }
+
+    // Attribution shares: gate each cause in either document. A share
+    // regresses when it grows past both the relative and absolute
+    // thresholds (the absolute floor keeps a 0.1% -> 0.2% move from
+    // tripping the 10% relative test).
+    const JsonValue *BaseAttr = Base->get("attribution");
+    const JsonValue *CurAttr = Cur->get("attribution");
+    std::set<std::string> CauseNames;
+    for (const JsonValue *Attr : {BaseAttr, CurAttr})
+      if (Attr && Attr->kind() == JsonValue::Kind::Object)
+        for (const auto &[K, V] : Attr->members())
+          CauseNames.insert(K);
+    for (const std::string &CauseKey : CauseNames) {
+      double B = BaseAttr ? numberOf(*BaseAttr, CauseKey) : 0.0;
+      double C = CurAttr ? numberOf(*CurAttr, CauseKey) : 0.0;
+      if (C > B * (1.0 + Cfg.MaxRelative) && C - B > Cfg.MinShareDelta)
+        addRegression(R, Name, "attribution." + CauseKey, B, C);
+    }
+  }
+
+  for (const std::string &Name : workloadNames(Current))
+    if (!findWorkload(Baseline, Name))
+      R.Notes.push_back("workload '" + Name +
+                        "' is new (no baseline entry; not gated)");
+
+  return R;
+}
+
+void spin::prof::printCompareResult(const BenchCompareResult &R,
+                                    RawOstream &OS) {
+  for (const std::string &Note : R.Notes)
+    OS << "note: " << Note << '\n';
+  for (const BenchRegression &Reg : R.Regressions)
+    OS << "REGRESSION " << Reg.Workload << ' ' << Reg.Metric << ": "
+       << formatFixed(Reg.Baseline, 4) << " -> " << formatFixed(Reg.Current, 4)
+       << '\n';
+  OS << "bench gate: " << (R.ok() ? "PASS" : "FAIL") << " ("
+     << static_cast<uint64_t>(R.Regressions.size()) << " regression(s), "
+     << static_cast<uint64_t>(R.Notes.size()) << " note(s))\n";
+}

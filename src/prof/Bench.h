@@ -1,0 +1,73 @@
+//===- prof/Bench.h - BENCH_*.json telemetry schema & gate ------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-readable performance-trajectory format ("spbench-v1") that
+/// bench/spbench emits as BENCH_<date>.json, plus the regression gate that
+/// diffs a fresh document against the committed baseline.
+///
+/// Only deterministic virtual-time metrics are gated — slowdown-vs-native
+/// and the attribution shares — because they are bit-reproducible across
+/// hosts. Host wall seconds are recorded for context but never compared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_PROF_BENCH_H
+#define SUPERPIN_PROF_BENCH_H
+
+#include <string>
+#include <vector>
+
+namespace spin {
+class JsonValue;
+class RawOstream;
+}
+
+namespace spin::prof {
+
+/// Current benchmark-telemetry schema identifier.
+inline constexpr const char *BenchSchema = "spbench-v1";
+
+/// Gate thresholds. A metric regresses when it worsens by more than
+/// MaxRelative of its baseline value; attribution shares additionally need
+/// an absolute movement above MinShareDelta so a microscopic share cannot
+/// trip the relative test.
+struct BenchGateConfig {
+  double MaxRelative = 0.10;
+  double MinShareDelta = 0.005;
+};
+
+/// One gated metric that moved past the thresholds.
+struct BenchRegression {
+  std::string Workload;
+  std::string Metric;
+  double Baseline = 0.0;
+  double Current = 0.0;
+};
+
+/// Outcome of comparing a fresh document against a baseline.
+struct BenchCompareResult {
+  std::vector<BenchRegression> Regressions;
+  /// Non-fatal observations (new workloads, baseline-only workloads).
+  std::vector<std::string> Notes;
+
+  bool ok() const { return Regressions.empty(); }
+};
+
+/// Compares the "workloads" sections of two spbench-v1 documents. A
+/// schema mismatch or a malformed document reports as a regression (the
+/// gate must fail closed).
+BenchCompareResult compareBenchReports(const JsonValue &Baseline,
+                                       const JsonValue &Current,
+                                       const BenchGateConfig &Cfg = {});
+
+/// Human-readable gate report ("PASS"/"FAIL" plus one line per finding).
+void printCompareResult(const BenchCompareResult &R, RawOstream &OS);
+
+} // namespace spin::prof
+
+#endif // SUPERPIN_PROF_BENCH_H

@@ -1,0 +1,209 @@
+//===- prof/Profile.cpp - Overhead-attribution profiler -------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "prof/Profile.h"
+
+#include "support/Json.h"
+#include "support/RawOstream.h"
+#include "support/Statistic.h"
+
+#include <algorithm>
+
+using namespace spin;
+using namespace spin::prof;
+
+const char *spin::prof::causeName(Cause C) {
+  switch (C) {
+  case Cause::JitCompile:
+    return "jit.compile";
+  case Cause::JitExecute:
+    return "jit.execute";
+  case Cause::InstrAnalysis:
+    return "instr.analysis";
+  case Cause::SigSearch:
+    return "sig.search";
+  case Cause::SysPlayback:
+    return "sys.playback";
+  case Cause::Fork:
+    return "fork";
+  case Cause::Merge:
+    return "merge";
+  case Cause::RetryWaste:
+    return "retry.waste";
+  }
+  return "unknown";
+}
+
+os::Ticks SliceProfile::attributedTicks() const {
+  os::Ticks Sum = 0;
+  for (os::Ticks T : Causes)
+    Sum += T;
+  return Sum;
+}
+
+void SliceProfile::rewindAttempt(const SliceProfile &AttemptStart) {
+  os::Ticks Waste = 0;
+  for (unsigned I = 0; I != NumCauses; ++I) {
+    Waste += Causes[I] - AttemptStart.Causes[I];
+    Causes[I] = AttemptStart.Causes[I];
+  }
+  Causes[causeIndex(Cause::RetryWaste)] += Waste;
+  // Block costs of the dead attempt are discarded rather than kept: the
+  // retry re-executes the same blocks, and double-counting them would
+  // inflate per-block slowdowns. The ticks themselves survive in the
+  // retry.waste bucket above.
+  Blocks = AttemptStart.Blocks;
+}
+
+const SliceProfile *ProfileCollector::findSlice(uint32_t Num) const {
+  auto It = Slices.find(Num);
+  return It == Slices.end() ? nullptr : &It->second;
+}
+
+os::Ticks ProfileCollector::totalConsumed() const {
+  os::Ticks Sum = 0;
+  forEachLane([&](const std::string &, const SliceProfile &P) {
+    Sum += P.consumedTicks();
+  });
+  return Sum;
+}
+
+os::Ticks ProfileCollector::totalNative() const {
+  os::Ticks Sum = 0;
+  forEachLane([&](const std::string &, const SliceProfile &P) {
+    Sum += P.nativeTicks();
+  });
+  return Sum;
+}
+
+os::Ticks ProfileCollector::totalAttributed() const {
+  os::Ticks Sum = 0;
+  forEachLane([&](const std::string &, const SliceProfile &P) {
+    Sum += P.attributedTicks();
+  });
+  return Sum;
+}
+
+os::Ticks ProfileCollector::totalCause(Cause C) const {
+  os::Ticks Sum = 0;
+  forEachLane(
+      [&](const std::string &, const SliceProfile &P) { Sum += P.cause(C); });
+  return Sum;
+}
+
+std::vector<BlockProfile> ProfileCollector::mergedBlocks() const {
+  // Dedup across lanes by pc: the block at a signature boundary executes
+  // in two adjacent slices and must appear once, with summed costs.
+  std::unordered_map<uint64_t, BlockProfile> Merged;
+  forEachLane([&](const std::string &, const SliceProfile &P) {
+    for (const auto &[Pc, B] : P.blocks()) {
+      BlockProfile &M = Merged[Pc];
+      M.Pc = Pc;
+      M.mergeFrom(B);
+    }
+  });
+  std::vector<BlockProfile> Out;
+  Out.reserve(Merged.size());
+  for (const auto &[Pc, B] : Merged)
+    Out.push_back(B);
+  std::sort(Out.begin(), Out.end(),
+            [](const BlockProfile &A, const BlockProfile &B) {
+              if (A.InstrTicks != B.InstrTicks)
+                return A.InstrTicks > B.InstrTicks;
+              return A.Pc < B.Pc;
+            });
+  return Out;
+}
+
+static double shareOf(os::Ticks Part, os::Ticks Whole) {
+  return Whole ? static_cast<double>(Part) / static_cast<double>(Whole) : 0.0;
+}
+
+void ProfileCollector::writeJson(RawOstream &OS, unsigned TopN) const {
+  os::Ticks Attributed = totalAttributed();
+  std::vector<BlockProfile> Blocks = mergedBlocks();
+
+  JsonWriter J(OS);
+  J.beginObject();
+  J.field("schema", ProfileSchema);
+  J.field("total_ticks", totalConsumed());
+  J.field("native_ticks", totalNative());
+  J.field("attributed_ticks", Attributed);
+
+  J.key("causes").beginObject();
+  for (unsigned I = 0; I != NumCauses; ++I) {
+    Cause C = static_cast<Cause>(I);
+    J.key(causeName(C)).beginObject();
+    J.field("ticks", totalCause(C));
+    J.field("share", shareOf(totalCause(C), Attributed));
+    J.endObject();
+  }
+  J.endObject();
+
+  J.key("lanes").beginArray();
+  forEachLane([&](const std::string &Name, const SliceProfile &P) {
+    J.beginObject();
+    J.field("name", std::string_view(Name));
+    J.field("consumed_ticks", P.consumedTicks());
+    J.field("native_ticks", P.nativeTicks());
+    J.field("attributed_ticks", P.attributedTicks());
+    J.key("causes").beginObject();
+    for (unsigned I = 0; I != NumCauses; ++I) {
+      Cause C = static_cast<Cause>(I);
+      if (P.cause(C))
+        J.field(causeName(C), P.cause(C));
+    }
+    J.endObject();
+    J.endObject();
+  });
+  J.endArray();
+
+  J.field("num_blocks", static_cast<uint64_t>(Blocks.size()));
+  J.key("hot_blocks").beginArray();
+  for (size_t I = 0; I != Blocks.size() && I != TopN; ++I) {
+    const BlockProfile &B = Blocks[I];
+    J.beginObject();
+    J.field("pc", B.Pc);
+    J.field("insts", B.Insts);
+    J.field("entries", B.Entries);
+    J.field("instr_ticks", B.InstrTicks);
+    J.field("native_ticks", B.NativeTicks);
+    J.field("slowdown", B.NativeTicks
+                            ? static_cast<double>(B.InstrTicks) /
+                                  static_cast<double>(B.NativeTicks)
+                            : 0.0);
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  OS << '\n';
+}
+
+void ProfileCollector::writeFolded(RawOstream &OS) const {
+  forEachLane([&](const std::string &Name, const SliceProfile &P) {
+    if (P.nativeTicks())
+      OS << "superpin;" << Name << ";native " << P.nativeTicks() << '\n';
+    for (unsigned I = 0; I != NumCauses; ++I) {
+      Cause C = static_cast<Cause>(I);
+      if (P.cause(C))
+        OS << "superpin;" << Name << ';' << causeName(C) << ' ' << P.cause(C)
+           << '\n';
+    }
+  });
+}
+
+void ProfileCollector::exportStatistics(StatisticRegistry &Stats) const {
+  Stats.counter("prof.total_ticks") += totalConsumed();
+  Stats.counter("prof.native_ticks") += totalNative();
+  Stats.counter("prof.attributed_ticks") += totalAttributed();
+  for (unsigned I = 0; I != NumCauses; ++I) {
+    Cause C = static_cast<Cause>(I);
+    Stats.counter(std::string("prof.cause.") + causeName(C)) += totalCause(C);
+  }
+  Stats.counter("prof.lanes") += 1 + Slices.size();
+  Stats.counter("prof.blocks") += mergedBlocks().size();
+}

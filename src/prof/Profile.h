@@ -1,0 +1,193 @@
+//===- prof/Profile.h - Overhead-attribution profiler -----------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The overhead-attribution profiler: charges every virtual tick a SuperPin
+/// run consumes to a stable cause taxonomy, mirroring the paper's Section 6
+/// overhead decomposition (JIT, instrumentation, signature search,
+/// fork/playback) but per slice and per guest basic block.
+///
+/// Layering: attribution is purely observational. The engine charges its
+/// TickLedgers exactly as before and *additionally* reports each charge
+/// here, so runs with the profiler attached are tick- and byte-identical
+/// to runs without it (the same contract Trace and Capture honour).
+///
+/// Every lane (the master plus one per slice) maintains the invariant
+///
+///   consumedTicks() == nativeTicks() + attributedTicks()
+///
+/// where consumed is the scheduler-visible total (the sum of per-step
+/// TickLedger::used()), native is uninstrumented guest work (master lanes
+/// only; slice execution is entirely instrumented and lands in the cause
+/// buckets), and attributed is the sum over the cause taxonomy. Tests
+/// assert the invariant exactly; the acceptance bound is 100% +/- 0.1%.
+///
+/// Exports: a versioned "spprof-v1" JSON document and a folded-stack file
+/// (`frame;frame;frame <ticks>` lines) loadable by flamegraph.pl-style
+/// tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_PROF_PROFILE_H
+#define SUPERPIN_PROF_PROFILE_H
+
+#include "os/CostModel.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spin {
+class RawOstream;
+class StatisticRegistry;
+}
+
+namespace spin::prof {
+
+/// Current attribution-profile schema identifier.
+inline constexpr const char *ProfileSchema = "spprof-v1";
+
+/// The stable cause taxonomy. Dotted names (causeName) are append-only:
+/// renaming or removing one is a schema break — dashboards and the
+/// BENCH_*.json regression gate key on them.
+enum class Cause : uint8_t {
+  JitCompile,    ///< trace compilation (on-demand and batch seeding)
+  JitExecute,    ///< code-cache execution: dispatch + per-inst VM overhead
+  InstrAnalysis, ///< analysis calls and inlined InsertIfCall predicates
+  SigSearch,     ///< §4.4 signature recording and detection checks
+  SysPlayback,   ///< §4.2 syscall record, playback, and re-execution
+  Fork,          ///< fork, COW copies, page allocs, spills, ptrace control
+  Merge,         ///< §4.5 in-order slice merging
+  RetryWaste,    ///< work discarded by failed attempts + recovery costs
+};
+
+inline constexpr unsigned NumCauses = 8;
+
+/// The dotted schema name of \p C ("jit.compile", "sig.search", ...).
+const char *causeName(Cause C);
+
+inline unsigned causeIndex(Cause C) { return static_cast<unsigned>(C); }
+
+/// Per-guest-basic-block cost record, keyed by the block's (trace head)
+/// pc. InstrTicks is everything the instrumented execution paid that the
+/// block triggered — dispatch, compile, per-instruction VM overhead,
+/// analysis calls — while NativeTicks is what the same retired
+/// instructions would have cost uninstrumented, so InstrTicks/NativeTicks
+/// is the block's instrumentation slowdown.
+struct BlockProfile {
+  uint64_t Pc = 0;
+  uint64_t Insts = 0;        ///< instructions retired in this block
+  uint64_t Entries = 0;      ///< trace-head dispatches into this block
+  os::Ticks InstrTicks = 0;  ///< instrumented cost charged to this block
+  os::Ticks NativeTicks = 0; ///< uninstrumented cost of the same work
+
+  void mergeFrom(const BlockProfile &O) {
+    Insts += O.Insts;
+    Entries += O.Entries;
+    InstrTicks += O.InstrTicks;
+    NativeTicks += O.NativeTicks;
+  }
+};
+
+/// Attribution state of one execution lane (the master or one slice).
+/// Charge sites report here; the engine's per-step loop reports the
+/// consumed total via noteConsumed.
+class SliceProfile {
+public:
+  void charge(Cause C, os::Ticks T) { Causes[causeIndex(C)] += T; }
+  void noteNative(os::Ticks T) { Native += T; }
+  void noteConsumed(os::Ticks T) { Consumed += T; }
+
+  /// Accumulates block-level cost: \p Insts retired instructions,
+  /// \p Instr instrumented ticks, \p NativeT equivalent native ticks, and
+  /// \p Entries trace-head dispatches, all charged to block \p Pc.
+  void noteBlock(uint64_t Pc, uint64_t Insts, os::Ticks Instr,
+                 os::Ticks NativeT, uint64_t Entries) {
+    BlockProfile &B = Blocks[Pc];
+    B.Pc = Pc;
+    B.Insts += Insts;
+    B.Entries += Entries;
+    B.InstrTicks += Instr;
+    B.NativeTicks += NativeT;
+  }
+
+  /// Rewinds cause and block attribution to \p AttemptStart (a copy taken
+  /// when the attempt began), folding everything charged since into
+  /// retry.waste. Consumed and native totals are kept — the ticks were
+  /// genuinely spent; only their cause was re-judged as waste.
+  void rewindAttempt(const SliceProfile &AttemptStart);
+
+  os::Ticks cause(Cause C) const { return Causes[causeIndex(C)]; }
+  os::Ticks attributedTicks() const;
+  os::Ticks nativeTicks() const { return Native; }
+  os::Ticks consumedTicks() const { return Consumed; }
+  const std::unordered_map<uint64_t, BlockProfile> &blocks() const {
+    return Blocks;
+  }
+
+private:
+  std::array<os::Ticks, NumCauses> Causes{};
+  os::Ticks Native = 0;
+  os::Ticks Consumed = 0;
+  std::unordered_map<uint64_t, BlockProfile> Blocks;
+};
+
+/// The per-run collector: owns one SliceProfile per lane and merges them —
+/// block records deduplicated by pc, so a basic block straddling a
+/// signature boundary (executed by two adjacent slices) folds into one
+/// entry — for the run-level exports.
+class ProfileCollector {
+public:
+  /// The master lane (lazily created).
+  SliceProfile &master() { return Master; }
+  const SliceProfile &masterProfile() const { return Master; }
+
+  /// Slice \p Num's lane, created on first use. References stay valid for
+  /// the collector's lifetime.
+  SliceProfile &slice(uint32_t Num) { return Slices[Num]; }
+  const std::map<uint32_t, SliceProfile> &slices() const { return Slices; }
+  const SliceProfile *findSlice(uint32_t Num) const;
+
+  // Run-level aggregates over every lane.
+  os::Ticks totalConsumed() const;
+  os::Ticks totalNative() const;
+  os::Ticks totalAttributed() const;
+  os::Ticks totalCause(Cause C) const;
+
+  /// All block records merged across lanes (dedup by pc), sorted by
+  /// descending instrumented cost, ties by ascending pc.
+  std::vector<BlockProfile> mergedBlocks() const;
+
+  /// Writes the "spprof-v1" JSON document with the \p TopN hottest blocks.
+  void writeJson(RawOstream &OS, unsigned TopN) const;
+
+  /// Writes the folded-stack export: one
+  /// "superpin;<lane>;<cause> <ticks>" line per non-zero bucket, the
+  /// format flamegraph.pl and speedscope ingest directly.
+  void writeFolded(RawOstream &OS) const;
+
+  /// Exports run-level attribution as "prof.*" counters into \p Stats so
+  /// profiles ride the spmetrics-v1 registry channel.
+  void exportStatistics(StatisticRegistry &Stats) const;
+
+private:
+  SliceProfile Master;
+  std::map<uint32_t, SliceProfile> Slices;
+
+  template <typename Fn> void forEachLane(Fn F) const {
+    F(std::string("master"), Master);
+    for (const auto &[Num, P] : Slices)
+      F("slice-" + std::to_string(Num), P);
+  }
+};
+
+} // namespace spin::prof
+
+#endif // SUPERPIN_PROF_PROFILE_H

@@ -30,6 +30,7 @@
 #include "os/Scheduler.h"
 #include "pin/CodeCache.h"
 #include "pin/PinVm.h"
+#include "prof/Profile.h"
 #include "support/ErrorHandling.h"
 #include "support/RawOstream.h"
 
@@ -105,6 +106,10 @@ void ReplayEngine::applyWindow(const SliceCaptureData &W) {
     }
     Master->noteRetired(R.InstsExecuted);
     Now += R.InstsExecuted * InstCost;
+    if (Prof) {
+      Prof->master().noteNative(R.InstsExecuted * InstCost);
+      Prof->master().noteConsumed(R.InstsExecuted * InstCost);
+    }
     switch (R.Reason) {
     case StopReason::Syscall: {
       if (SysPos == W.Sys.size())
@@ -137,6 +142,10 @@ void ReplayEngine::applyWindow(const SliceCaptureData &W) {
       Interp->noteSyscallRetired();
       Master->noteRetired(1);
       Now += InstCost + Model.SyscallCost;
+      if (Prof) {
+        Prof->master().noteNative(InstCost + Model.SyscallCost);
+        Prof->master().noteConsumed(InstCost + Model.SyscallCost);
+      }
       break;
     }
     case StopReason::Halt:
@@ -189,6 +198,8 @@ ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
   PinVmConfig Cfg;
   Cfg.InstCost = InstCost;
   Cfg.SliceNum = W.Num;
+  prof::SliceProfile *SliceProf = Prof ? &Prof->slice(W.Num) : nullptr;
+  Cfg.Prof = SliceProf;
   if (Trace) {
     Cfg.Trace = Trace;
     Cfg.TraceLane = Lane;
@@ -209,7 +220,7 @@ ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
   SignatureStats SigSt;
   bool End = false;
   if (W.EndKind == SliceEndKind::Signature) {
-    Vm.armDetection(W.Sig.Pc, [&](TickLedger &L) {
+    auto Hook = [&](TickLedger &L) {
       // Mirrors SliceTask::installDetection: the boundary state includes
       // the recorded syscalls' effects, so detection is meaningless (and
       // known false) while any are pending — but the check still runs and
@@ -226,6 +237,14 @@ ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
       }
       return checkSignature(W.Sig, Proc, Model, Cap.QuickCheck,
                             Vm.runCapRemaining(), L, SigSt);
+    };
+    Vm.armDetection(W.Sig.Pc, [Hook, SliceProf](TickLedger &L) {
+      if (!SliceProf)
+        return Hook(L);
+      Ticks Base = L.totalCharged();
+      bool Found = Hook(L);
+      SliceProf->charge(prof::Cause::SigSearch, L.totalCharged() - Base);
+      return Found;
     });
   }
 
@@ -317,6 +336,8 @@ ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
     if (!End && Vm.retired() > RunawayCap)
       Diverge("ran past the window without reaching its boundary");
     Now += Ledger.used();
+    if (SliceProf)
+      SliceProf->noteConsumed(Ledger.used());
   }
 
   ToolInst->onSliceEnd(W.Num);

@@ -41,6 +41,10 @@ namespace spin::obs {
 class TraceRecorder;
 }
 
+namespace spin::prof {
+class ProfileCollector;
+}
+
 namespace spin::replay {
 
 /// Outcome of re-executing one captured slice.
@@ -91,12 +95,19 @@ public:
   /// on replay's own deterministic tick clock.
   void setTrace(obs::TraceRecorder *Recorder);
 
+  /// Attaches an overhead-attribution collector (-spprof): master
+  /// reconstruction accrues to the collector's master lane (native work),
+  /// each replayed slice to its slice lane, on replay's deterministic
+  /// clock. Attribution charges nothing, exactly as in the live engine.
+  void setProfile(prof::ProfileCollector *Collector) { Prof = Collector; }
+
 private:
   const RunCapture &Cap;
   const os::CostModel &Model;
   os::Ticks InstCost;
 
   obs::TraceRecorder *Trace = nullptr;
+  prof::ProfileCollector *Prof = nullptr;
   /// Replay's deterministic clock (replay runs outside the live
   /// scheduler): advances by the cost-model price of executed work.
   os::Ticks Now = 0;

@@ -45,6 +45,7 @@
 #include "os/Scheduler.h"
 #include "pin/PinVm.h"
 #include "pin/Runner.h"
+#include "prof/Profile.h"
 #include "superpin/Capture.h"
 #include "superpin/SharedAreas.h"
 #include "support/ErrorHandling.h"
@@ -135,6 +136,11 @@ struct Coordinator {
   /// (checkpoints, watchdog caps, playback verification) keys off this.
   const fault::FaultPlan *Fault = nullptr;
 
+  /// Overhead-attribution collector (-spprof); null when profiling is off.
+  /// Attribution charges no virtual time, so profiled runs stay
+  /// tick-identical to unprofiled ones.
+  prof::ProfileCollector *Prof = nullptr;
+
   Scheduler::TaskId MasterId = 0;
   std::vector<SliceTask *> Slices;
   std::vector<Scheduler::TaskId> SliceIds;
@@ -198,6 +204,8 @@ public:
             uint64_t StartIndex, bool ChargeSigRecord)
       : C(C), Num(Num), Proc(Master.fork(C.NextPid++)),
         Label("slice-" + std::to_string(Num)) {
+    if (C.Prof)
+      Prof = &C.Prof->slice(Num);
     if (C.Fault)
       Fault = C.Fault->forSlice(Num);
     Services.emplace(C.Areas, Num);
@@ -222,8 +230,16 @@ public:
       StartState.emplace(Proc.fork(C.NextPid++));
     Services->setEndSliceHook([this] { Vm->requestStop(); });
     ToolInst->onSliceBegin(Num);
-    if (ChargeSigRecord)
+    if (ChargeSigRecord) {
       Ledger.charge(C.Model.SigRecordCost); // §4.4 recording mode
+      if (Prof)
+        Prof->charge(prof::Cause::SigSearch, C.Model.SigRecordCost);
+    }
+    // Fault runs: snapshot the attribution state so a failed attempt can
+    // be re-judged as retry.waste (the sig recording above is charged
+    // once per window and survives retries, so it stays outside).
+    if (Prof && C.Fault)
+      AttemptBase.emplace(*Prof);
   }
 
   std::string_view name() const override { return Label; }
@@ -274,17 +290,25 @@ public:
     CurLedger = &Ledger;
     TaskStatus St = stepImpl();
     CurLedger = nullptr;
+    if (Prof)
+      Prof->noteConsumed(Ledger.used());
     return {Ledger.used(), St};
   }
 
   void onCowCopy(uint64_t) override {
-    if (CurLedger)
+    if (CurLedger) {
       CurLedger->charge(C.Model.CowCopyPageCost);
+      if (Prof)
+        Prof->charge(prof::Cause::Fork, C.Model.CowCopyPageCost);
+    }
     ++C.Report.SliceCowCopies;
   }
   void onPageAlloc(uint64_t) override {
-    if (CurLedger)
+    if (CurLedger) {
       CurLedger->charge(C.Model.PageAllocCost);
+      if (Prof)
+        Prof->charge(prof::Cause::Fork, C.Model.PageAllocCost);
+    }
   }
 
 private:
@@ -318,6 +342,11 @@ private:
   WindowRoute Route = WindowRoute::Live;
   bool CountedRunning = false; ///< currently counted in C.RunningSlices
   bool SigSearchOpen = false;  ///< an open SigSearch trace span
+  /// This slice's attribution lane (-spprof); null when profiling is off.
+  prof::SliceProfile *Prof = nullptr;
+  /// Attribution snapshot at attempt start (fault runs with -spprof):
+  /// failAttempt rewinds to it, re-judging the attempt as retry.waste.
+  std::optional<prof::SliceProfile> AttemptBase;
 
   // --- Fault state (inert unless C.Fault) -------------------------------
   std::optional<fault::FaultSpec> Fault; ///< this slice's planned fault
@@ -349,6 +378,8 @@ private:
     if (C.Opts.SharedCodeCache)
       Cfg.SharedJit = &C.SharedJit;
     Cfg.SeedCfg = C.SeedCfg; // null unless -spseed
+    if (C.Prof)
+      Cfg.Prof = &C.Prof->slice(Num);
     if (C.Tr) {
       Cfg.Trace = C.Tr;
       Cfg.TraceLane = obs::TraceRecorder::sliceLane(Num);
@@ -442,7 +473,7 @@ private:
       noteFaultFired();
       return;
     }
-    Vm->armDetection(Window->Sig.Pc, [this](TickLedger &L) {
+    auto Hook = [this](TickLedger &L) {
       // Detection is meaningless while recorded syscalls are pending: the
       // boundary state includes their effects. The check instrumentation
       // still executes (and is charged) as in the paper.
@@ -465,6 +496,17 @@ private:
       C.Report.SigCheckDistHist.record(Exp > Ret ? Exp - Ret : Ret - Exp);
       return checkSignature(Window->Sig, Proc, C.Model, C.Opts.QuickCheck,
                             Vm->runCapRemaining(), L, SigSt);
+    };
+    // Everything the hook charges (inlined checks, full/stack/memory
+    // signature comparisons) is §4.4 signature-search overhead; bracket
+    // with totalCharged() because checkSignature charges internally.
+    Vm->armDetection(Window->Sig.Pc, [this, Hook](TickLedger &L) {
+      if (!Prof)
+        return Hook(L);
+      Ticks Base = L.totalCharged();
+      bool Found = Hook(L);
+      Prof->charge(prof::Cause::SigSearch, L.totalCharged() - Base);
+      return Found;
     });
   }
 
@@ -483,6 +525,8 @@ private:
         Ticks Burn = Ledger.remaining();
         StallTicks += Burn;
         Ledger.charge(Burn);
+        if (Prof) // Stalled progress is recovery waste by definition.
+          Prof->charge(prof::Cause::RetryWaste, Burn);
         if (StallTicks > stallLimit())
           failAttempt(FailReason::Stall);
         return;
@@ -570,6 +614,8 @@ private:
     Ctx.TraceNow = C.Sched.now();
     serviceSyscall(Proc, Ctx, nullptr);
     Ledger.charge(C.InstCost + C.Model.SyscallCost);
+    if (Prof)
+      Prof->charge(prof::Cause::SysPlayback, C.InstCost + C.Model.SyscallCost);
     ++C.Report.ReexecutedSyscalls;
     Vm->noteSyscallRetired();
     Proc.noteRetired(1);
@@ -625,6 +671,9 @@ private:
       if (WS.IsPlayback) {
         playbackSyscall(Proc, WS.Effects);
         Ledger.charge(C.InstCost + C.Model.SyscallPlaybackCost);
+        if (Prof)
+          Prof->charge(prof::Cause::SysPlayback,
+                       C.InstCost + C.Model.SyscallPlaybackCost);
         ++Info.PlayedBackSyscalls;
         ++C.Report.PlaybackSyscalls;
         if (C.Tr)
@@ -641,6 +690,9 @@ private:
         Ctx.TraceNow = C.Sched.now();
         serviceSyscall(Proc, Ctx, nullptr);
         Ledger.charge(C.InstCost + C.Model.SyscallCost);
+        if (Prof)
+          Prof->charge(prof::Cause::SysPlayback,
+                       C.InstCost + C.Model.SyscallCost);
         ++Info.DuplicatedSyscalls;
         ++C.Report.DuplicatedSyscalls;
       }
@@ -717,7 +769,13 @@ private:
     C.Report.CompileTicks += Vm->compileTicks();
     C.Report.TracesSeeded += Vm->tracesSeeded();
     C.Report.SeedTicks += Vm->seedTicks();
+    // Re-judge everything the dead attempt charged as retry.waste, then
+    // add the kill itself.
+    if (Prof && AttemptBase)
+      Prof->rewindAttempt(*AttemptBase);
     Ledger.charge(C.Model.SliceKillCost);
+    if (Prof)
+      Prof->charge(prof::Cause::RetryWaste, C.Model.SliceKillCost);
     switch (R) {
     case FailReason::Watchdog:
     case FailReason::Stall:
@@ -772,6 +830,8 @@ private:
     C.HasParkedFailures = true;
     C.noteWindowFailed();
     Ledger.charge(C.Model.QuarantineCost);
+    if (Prof)
+      Prof->charge(prof::Cause::RetryWaste, C.Model.QuarantineCost);
     if (C.Tr) {
       C.Tr->instant(lane(), obs::EventKind::SliceQuarantine, C.Sched.now(),
                     Num);
@@ -790,6 +850,11 @@ private:
     assert(StartState && "no checkpoint to re-fork from");
     Ledger.charge(C.Model.ForkBaseCost +
                   StartState->Mem.numPages() * C.Model.ForkPerPageCost);
+    // The re-fork exists only because an attempt failed: recovery cost.
+    if (Prof)
+      Prof->charge(prof::Cause::RetryWaste,
+                   C.Model.ForkBaseCost +
+                       StartState->Mem.numPages() * C.Model.ForkPerPageCost);
     Vm.reset();
     ToolInst.reset();
     Services.reset();
@@ -805,6 +870,8 @@ private:
     SysPos = 0;
     EndReached = false;
     StallTicks = 0;
+    if (Prof)
+      AttemptBase.emplace(*Prof); // Fresh rewind point for this attempt.
     if (!Relaxed)
       installDetection();
   }
@@ -813,6 +880,10 @@ private:
     // §4.5: merges run in slice order; the coordinator guarantees it.
     Ledger.charge(C.Model.MergeBaseCost +
                   C.Areas.totalBytes() * C.Model.MergePerByteCost);
+    if (Prof)
+      Prof->charge(prof::Cause::Merge,
+                   C.Model.MergeBaseCost +
+                       C.Areas.totalBytes() * C.Model.MergePerByteCost);
     ToolInst->onSliceEnd(Num);
     Services->mergeShadows();
     Info.MergeTime = C.Sched.now();
@@ -885,6 +956,8 @@ public:
   MasterTask(Coordinator &C)
       : C(C), Proc(Process::create(C.Prog)),
         Interp(C.Prog, Proc.Cpu, Proc.Mem) {
+    if (C.Prof)
+      Prof = &C.Prof->master();
     Proc.Mem.setListener(this);
     if (C.Tr) {
       C.Tr->setLaneName(obs::TraceRecorder::MasterLane, "master");
@@ -900,17 +973,25 @@ public:
     CurLedger = &Ledger;
     TaskStatus St = stepImpl();
     CurLedger = nullptr;
+    if (Prof)
+      Prof->noteConsumed(Ledger.used());
     return {Ledger.used(), St};
   }
 
   void onCowCopy(uint64_t) override {
-    if (CurLedger)
+    if (CurLedger) {
       CurLedger->charge(C.Model.CowCopyPageCost);
+      if (Prof)
+        Prof->charge(prof::Cause::Fork, C.Model.CowCopyPageCost);
+    }
     ++C.Report.MasterCowCopies;
   }
   void onPageAlloc(uint64_t) override {
-    if (CurLedger)
+    if (CurLedger) {
       CurLedger->charge(C.Model.PageAllocCost);
+      if (Prof)
+        Prof->charge(prof::Cause::Fork, C.Model.PageAllocCost);
+    }
   }
 
 private:
@@ -936,6 +1017,8 @@ private:
   uint64_t RecordedInWindow = 0;
   SpawnKind Pending = SpawnKind::None;
   Ticks StallStart = 0;
+  /// The master's attribution lane (-spprof); null when profiling is off.
+  prof::SliceProfile *Prof = nullptr;
   /// Capture record of the open window (meaningful only with C.Sink);
   /// initialized at spawnSlice, emitted and reset at finishWindow.
   SliceCaptureData PendingCap;
@@ -1041,6 +1124,8 @@ private:
     }
     Proc.noteRetired(R.InstsExecuted);
     Ledger.charge(R.InstsExecuted * C.InstCost);
+    if (Prof)
+      Prof->noteNative(R.InstsExecuted * C.InstCost);
     C.Report.NativeTicks += R.InstsExecuted * C.InstCost;
     switch (R.Reason) {
     case StopReason::Syscall:
@@ -1080,6 +1165,10 @@ private:
     Ledger.charge(C.InstCost + C.Model.SyscallCost);
     C.Report.NativeTicks += C.InstCost + C.Model.SyscallCost;
     Ledger.charge(C.Model.PtraceStopCost);
+    if (Prof) {
+      Prof->noteNative(C.InstCost + C.Model.SyscallCost);
+      Prof->charge(prof::Cause::Fork, C.Model.PtraceStopCost);
+    }
     ++C.Report.MasterSyscalls;
 
     SystemContext Ctx;
@@ -1114,6 +1203,8 @@ private:
       Proc.noteRetired(1);
       if (CanRecord) {
         Ledger.charge(C.Model.SyscallRecordCost);
+        if (Prof)
+          Prof->charge(prof::Cause::SysPlayback, C.Model.SyscallRecordCost);
         if (C.Tr)
           C.Tr->instant(obs::TraceRecorder::MasterLane,
                         obs::EventKind::SysRecord, C.Sched.now(), Number);
@@ -1187,8 +1278,11 @@ private:
   void captureSyscall(CapturedSysKind Kind, SyscallEffects Eff) {
     if (!C.Sink)
       return;
-    if (Kind != CapturedSysKind::Playback)
+    if (Kind != CapturedSysKind::Playback) {
       Ledger.charge(C.Model.SyscallRecordCost);
+      if (Prof)
+        Prof->charge(prof::Cause::SysPlayback, C.Model.SyscallRecordCost);
+    }
     CapturedSyscall CS;
     CS.Kind = Kind;
     CS.Effects = std::move(Eff);
@@ -1251,6 +1345,9 @@ private:
         Bytes += WS.Effects.sizeBytes();
       Ledger.charge(C.Model.SpillSliceCost +
                     Bytes * C.Model.SpillPerByteCost);
+      if (Prof)
+        Prof->charge(prof::Cause::Fork,
+                     C.Model.SpillSliceCost + Bytes * C.Model.SpillPerByteCost);
       if (Route == WindowRoute::Deferred) {
         ++C.Report.SpilledSlices;
         if (C.Tr)
@@ -1277,6 +1374,10 @@ private:
     // §6.3 fork overhead: base cost plus the page-table copy.
     Ledger.charge(C.Model.ForkBaseCost +
                   Proc.Mem.numPages() * C.Model.ForkPerPageCost);
+    if (Prof)
+      Prof->charge(prof::Cause::Fork,
+                   C.Model.ForkBaseCost +
+                       Proc.Mem.numPages() * C.Model.ForkPerPageCost);
     uint32_t Num = static_cast<uint32_t>(C.Slices.size());
     if (C.Tr)
       C.Tr->instant(obs::TraceRecorder::MasterLane, obs::EventKind::SliceFork,
@@ -1324,6 +1425,8 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
     PinVmConfig Config;
     if (Opts.StaticTraceSeed)
       Config.SeedCfg = &Static->G;
+    if (Opts.Profile)
+      Config.Prof = &Opts.Profile->master();
     pin::RunReport Serial =
         pin::runSerialPin(Prog, Model, InstCost, Factory, Config);
     SpRunReport Report;
@@ -1352,6 +1455,7 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   Coordinator C(Sched, Model, Opts, Prog, Factory, Report);
   C.Sink = Opts.Capture;
   C.Tr = Opts.Trace;
+  C.Prof = Opts.Profile;
   // Normalize: a disabled plan is exactly like no plan, so the whole
   // recovery apparatus stays inert and flags-off runs are byte-identical.
   C.Fault = Opts.Fault && Opts.Fault->enabled() ? Opts.Fault : nullptr;

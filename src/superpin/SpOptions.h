@@ -36,6 +36,10 @@ namespace spin::fault {
 class FaultPlan;
 }
 
+namespace spin::prof {
+class ProfileCollector;
+}
+
 namespace spin::sp {
 
 class CaptureSink;
@@ -112,6 +116,13 @@ struct SpOptions {
   /// no virtual time, so reports are tick-identical with tracing on or
   /// off. Ignored when Enabled is false.
   obs::TraceRecorder *Trace = nullptr;
+  /// -spprof: when non-null, the engine attributes every charged tick to
+  /// the src/prof cause taxonomy, per lane (master + one per slice) and
+  /// per guest basic block. Purely observational like Trace: attribution
+  /// never charges virtual time, so runs are tick- and byte-identical
+  /// with profiling on or off. Honoured by both the SuperPin and the
+  /// serial-Pin path.
+  prof::ProfileCollector *Profile = nullptr;
 
   // --- Fault injection & recovery (src/fault) ---------------------------
   /// -spfault/-spfaultseed: when non-null and enabled(), the engine

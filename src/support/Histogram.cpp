@@ -11,11 +11,18 @@
 
 using namespace spin;
 
+/// Saturating uint64 add: merged totals pin at the maximum instead of
+/// wrapping, so repeated merges of huge counters stay monotone.
+static uint64_t satAdd(uint64_t A, uint64_t B) {
+  uint64_t R = A + B;
+  return R < A ? ~uint64_t(0) : R;
+}
+
 void Histogram::mergeFrom(const Histogram &Other) {
   for (unsigned I = 0; I != NumBuckets; ++I)
-    Buckets[I] += Other.Buckets[I];
-  Count += Other.Count;
-  Sum += Other.Sum;
+    Buckets[I] = satAdd(Buckets[I], Other.Buckets[I]);
+  Count = satAdd(Count, Other.Count);
+  Sum = satAdd(Sum, Other.Sum);
   if (Other.Count && Other.MinV < MinV)
     MinV = Other.MinV;
   if (Other.MaxV > MaxV)

@@ -25,16 +25,25 @@ void Table::startRow() {
   Rows.emplace_back();
 }
 
-void Table::cell(std::string_view Text) {
+Table::Cell &Table::addCell(std::string_view Text) {
   assert(!Rows.empty() && "startRow() before cell()");
   assert(Rows.back().size() < Columns.size() && "too many cells in row");
-  Rows.back().emplace_back(Text);
+  Rows.back().push_back(Cell{std::string(Text)});
+  return Rows.back().back();
 }
 
-void Table::cell(uint64_t Value) { cell(std::to_string(Value)); }
+void Table::cell(std::string_view Text) { addCell(Text); }
+
+void Table::cell(uint64_t Value) {
+  Cell &C = addCell(std::to_string(Value));
+  C.K = Cell::Kind::UInt;
+  C.UInt = Value;
+}
 
 void Table::cell(double Value, unsigned Decimals) {
-  cell(formatFixed(Value, Decimals));
+  Cell &C = addCell(formatFixed(Value, Decimals));
+  C.K = Cell::Kind::Double;
+  C.Double = Value;
 }
 
 void Table::cellPercent(double Ratio, unsigned Decimals) {
@@ -45,10 +54,10 @@ void Table::print(RawOstream &OS) const {
   std::vector<size_t> Widths(Columns.size());
   for (size_t C = 0; C != Columns.size(); ++C)
     Widths[C] = Columns[C].Header.size();
-  for (const std::vector<std::string> &Row : Rows)
+  for (const std::vector<Cell> &Row : Rows)
     for (size_t C = 0; C != Row.size(); ++C)
-      if (Row[C].size() > Widths[C])
-        Widths[C] = Row[C].size();
+      if (Row[C].Text.size() > Widths[C])
+        Widths[C] = Row[C].Text.size();
 
   auto PrintCell = [&](std::string_view Text, size_t C) {
     if (Columns[C].Alignment == Align::Left)
@@ -68,9 +77,9 @@ void Table::print(RawOstream &OS) const {
   for (size_t I = 0; I != RuleWidth; ++I)
     OS << '-';
   OS << '\n';
-  for (const std::vector<std::string> &Row : Rows) {
+  for (const std::vector<Cell> &Row : Rows) {
     for (size_t C = 0; C != Row.size(); ++C)
-      PrintCell(Row[C], C);
+      PrintCell(Row[C].Text, C);
     OS << '\n';
   }
 }
@@ -78,24 +87,51 @@ void Table::print(RawOstream &OS) const {
 void Table::printJson(RawOstream &OS) const {
   JsonWriter J(OS);
   J.beginArray();
-  for (const std::vector<std::string> &Row : Rows) {
+  for (const std::vector<Cell> &Row : Rows) {
     J.beginObject();
-    for (size_t C = 0; C != Row.size(); ++C)
-      J.field(Columns[C].Header, std::string_view(Row[C]));
+    for (size_t C = 0; C != Row.size(); ++C) {
+      const Cell &Cl = Row[C];
+      switch (Cl.K) {
+      case Cell::Kind::UInt:
+        J.field(Columns[C].Header, Cl.UInt);
+        break;
+      case Cell::Kind::Double:
+        J.field(Columns[C].Header, Cl.Double);
+        break;
+      case Cell::Kind::String:
+        J.field(Columns[C].Header, std::string_view(Cl.Text));
+        break;
+      }
+    }
     J.endObject();
   }
   J.endArray();
   OS << '\n';
 }
 
+/// Writes one CSV field, quoting per RFC 4180 only when the text needs it.
+static void writeCsvField(RawOstream &OS, std::string_view Text) {
+  if (Text.find_first_of(",\"\r\n") == std::string_view::npos) {
+    OS << Text;
+    return;
+  }
+  OS << '"';
+  for (char Ch : Text) {
+    if (Ch == '"')
+      OS << '"';
+    OS << Ch;
+  }
+  OS << '"';
+}
+
 void Table::printCsv(RawOstream &OS) const {
   for (size_t C = 0; C != Columns.size(); ++C) {
-    OS << Columns[C].Header;
+    writeCsvField(OS, Columns[C].Header);
     OS << (C + 1 != Columns.size() ? "," : "\n");
   }
-  for (const std::vector<std::string> &Row : Rows) {
+  for (const std::vector<Cell> &Row : Rows) {
     for (size_t C = 0; C != Row.size(); ++C) {
-      OS << Row[C];
+      writeCsvField(OS, Row[C].Text);
       OS << (C + 1 != Row.size() ? "," : "\n");
     }
   }

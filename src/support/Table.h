@@ -46,10 +46,15 @@ public:
   /// Prints the table with a header rule.
   void print(RawOstream &OS) const;
 
-  /// Prints the table as CSV (no alignment, comma-separated).
+  /// Prints the table as RFC-4180 CSV: cells containing a comma, quote, or
+  /// newline are quoted, with embedded quotes doubled; simple cells stay
+  /// bare.
   void printCsv(RawOstream &OS) const;
 
   /// Prints the table as a JSON array of objects keyed by column header.
+  /// Cells added through the typed overloads (cell(uint64_t),
+  /// cell(double, Decimals)) emit JSON numbers; text and percent cells
+  /// stay JSON strings.
   void printJson(RawOstream &OS) const;
 
   size_t numRows() const { return Rows.size(); }
@@ -59,8 +64,19 @@ private:
     std::string Header;
     Align Alignment;
   };
+  /// One cell: the formatted text used by print()/printCsv(), plus the
+  /// original typed value so printJson() can emit real numbers.
+  struct Cell {
+    enum class Kind : uint8_t { String, UInt, Double };
+    std::string Text;
+    Kind K = Kind::String;
+    uint64_t UInt = 0;
+    double Double = 0.0;
+  };
   std::vector<Column> Columns;
-  std::vector<std::vector<std::string>> Rows;
+  std::vector<std::vector<Cell>> Rows;
+
+  Cell &addCell(std::string_view Text);
 };
 
 } // namespace spin

@@ -107,6 +107,40 @@ TEST(Histogram, MergeAndReset) {
   EXPECT_EQ(A, Histogram());
 }
 
+TEST(Histogram, MergeEmptyCases) {
+  Histogram A, Empty;
+  A.record(7);
+  Histogram B = A;
+  B.mergeFrom(Empty); // merging an empty histogram is a no-op
+  EXPECT_EQ(B, A);
+  // In particular the empty side's min sentinel (~0) must not clobber the
+  // real min.
+  EXPECT_EQ(B.min(), 7u);
+  Histogram C;
+  C.mergeFrom(A); // merging into an empty histogram copies the stats
+  EXPECT_EQ(C.count(), 1u);
+  EXPECT_EQ(C.sum(), 7u);
+  EXPECT_EQ(C.min(), 7u);
+  EXPECT_EQ(C.max(), 7u);
+  EXPECT_EQ(C.bucketCount(Histogram::bucketFor(7)), 1u);
+}
+
+TEST(Histogram, MergeSaturatesInsteadOfWrapping) {
+  Histogram H;
+  H.record(1);
+  // 64 self-doublings push count, sum, and the bucket past 2^64: merged
+  // totals must pin at the maximum, not wrap around to tiny values.
+  for (int I = 0; I != 64; ++I) {
+    Histogram Copy = H;
+    H.mergeFrom(Copy);
+  }
+  EXPECT_EQ(H.count(), ~uint64_t(0));
+  EXPECT_EQ(H.sum(), ~uint64_t(0));
+  EXPECT_EQ(H.bucketCount(1), ~uint64_t(0));
+  EXPECT_EQ(H.min(), 1u);
+  EXPECT_EQ(H.max(), 1u);
+}
+
 // --- StatisticRegistry histograms & aligned print ------------------------
 
 TEST(StatisticRegistry, HistogramChannel) {

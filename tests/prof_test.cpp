@@ -1,0 +1,385 @@
+//===- tests/prof_test.cpp - Overhead-attribution profiler tests ----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The src/prof subsystem end to end: the exact per-lane attribution
+// invariant (consumed == native + attributed) on live SuperPin, serial
+// Pin, and replay runs; tick- and output-identity of runs with the
+// profiler detached; the spprof-v1 JSON and folded-stack exports; and the
+// BENCH_*.json regression gate, including the deliberate >10% perturbation
+// the gate must catch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prof/Bench.h"
+#include "prof/Profile.h"
+
+#include "obs/Metrics.h"
+#include "fault/FaultPlan.h"
+#include "pin/Runner.h"
+#include "replay/CaptureWriter.h"
+#include "replay/Log.h"
+#include "replay/ReplayEngine.h"
+#include "superpin/Engine.h"
+#include "superpin/Reporting.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+#include "support/Statistic.h"
+#include "tools/Icount.h"
+#include "workloads/Spec2000.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace spin;
+using namespace spin::os;
+using namespace spin::sp;
+using namespace spin::tools;
+
+namespace {
+
+// --- Fixtures ------------------------------------------------------------
+
+vm::Program workload(const std::string &Name, double Scale = 0.1) {
+  return workloads::buildWorkload(workloads::findWorkload(Name), Scale);
+}
+
+SpOptions profOptions(const std::string &Name,
+                      prof::ProfileCollector *Profile) {
+  SpOptions Opts;
+  Opts.SliceMs = 50;
+  Opts.Cpi = workloads::findWorkload(Name).Cpi;
+  Opts.Profile = Profile;
+  return Opts;
+}
+
+SpRunReport runProfiled(const std::string &Name,
+                        prof::ProfileCollector &Profile,
+                        std::shared_ptr<IcountResult> Count = nullptr) {
+  CostModel Model;
+  return runSuperPin(workload(Name),
+                     makeIcountTool(IcountGranularity::BasicBlock, Count),
+                     profOptions(Name, &Profile), Model);
+}
+
+void expectLaneInvariant(const prof::SliceProfile &P, const char *Lane) {
+  EXPECT_EQ(P.consumedTicks(), P.nativeTicks() + P.attributedTicks())
+      << "lane " << Lane;
+}
+
+// --- The attribution invariant -------------------------------------------
+
+TEST(Profile, LaneInvariantHoldsExactly) {
+  // The acceptance bound is 100% +/- 0.1% of virtual slice time; the
+  // implementation meets it exactly because every TickLedger charge site
+  // reports a paired attribution.
+  for (const char *Name : {"gzip", "gcc", "mcf"}) {
+    prof::ProfileCollector Profile;
+    SpRunReport Rep = runProfiled(Name, Profile);
+    EXPECT_TRUE(Rep.PartitionOk) << Name;
+    EXPECT_GT(Rep.NumSlices, 1u) << Name;
+
+    expectLaneInvariant(Profile.masterProfile(), "master");
+    EXPECT_EQ(Profile.slices().size(), Rep.NumSlices) << Name;
+    for (const auto &[Num, P] : Profile.slices()) {
+      expectLaneInvariant(P, ("slice-" + std::to_string(Num)).c_str());
+      // Slices execute fully instrumented: no native bucket.
+      EXPECT_EQ(P.nativeTicks(), 0u) << Name << " slice " << Num;
+      EXPECT_GT(P.attributedTicks(), 0u) << Name << " slice " << Num;
+    }
+    EXPECT_EQ(Profile.totalConsumed(),
+              Profile.totalNative() + Profile.totalAttributed())
+        << Name;
+
+    Ticks CauseSum = 0;
+    for (unsigned I = 0; I != prof::NumCauses; ++I)
+      CauseSum += Profile.totalCause(static_cast<prof::Cause>(I));
+    EXPECT_EQ(CauseSum, Profile.totalAttributed()) << Name;
+  }
+}
+
+TEST(Profile, SerialPinLaneInvariant) {
+  CostModel Model;
+  vm::Program Prog = workload("gzip");
+  prof::ProfileCollector Profile;
+  pin::PinVmConfig Cfg;
+  Cfg.Prof = &Profile.master();
+  pin::RunReport Rep = pin::runSerialPin(
+      Prog, Model, 100, makeIcountTool(IcountGranularity::BasicBlock), Cfg);
+  EXPECT_GT(Rep.Insts, 0u);
+  expectLaneInvariant(Profile.masterProfile(), "serial-pin");
+  // Serial Pin pays the kernel services a native run would also pay; the
+  // rest is instrumentation overhead.
+  EXPECT_GT(Profile.masterProfile().attributedTicks(), 0u);
+}
+
+TEST(Profile, ReplayLaneInvariant) {
+  CostModel Model;
+  replay::CaptureWriter Writer;
+  SpOptions Opts = profOptions("vpr", nullptr);
+  Opts.Capture = &Writer;
+  SpRunReport Live = runSuperPin(
+      workload("vpr"), makeIcountTool(IcountGranularity::BasicBlock), Opts,
+      Model);
+  ASSERT_TRUE(Live.PartitionOk);
+  replay::RunCapture Cap = Writer.take();
+
+  prof::ProfileCollector Profile;
+  replay::ReplayEngine Engine(Cap, Model);
+  Engine.setProfile(&Profile);
+  replay::ReplayReport Rep =
+      Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
+  EXPECT_TRUE(Rep.allOk());
+
+  expectLaneInvariant(Profile.masterProfile(), "replay-master");
+  EXPECT_EQ(Profile.slices().size(), Rep.SlicesReplayed);
+  for (const auto &[Num, P] : Profile.slices())
+    expectLaneInvariant(P, ("replay-slice-" + std::to_string(Num)).c_str());
+}
+
+// --- Detached-profiler identity ------------------------------------------
+
+TEST(Profile, DetachedRunsAreTickIdentical) {
+  auto CountOn = std::make_shared<IcountResult>();
+  auto CountOff = std::make_shared<IcountResult>();
+  prof::ProfileCollector Profile;
+  SpRunReport On = runProfiled("gzip", Profile, CountOn);
+
+  CostModel Model;
+  SpRunReport Off = runSuperPin(
+      workload("gzip"), makeIcountTool(IcountGranularity::BasicBlock, CountOff),
+      profOptions("gzip", nullptr), Model);
+
+  EXPECT_EQ(On.WallTicks, Off.WallTicks);
+  EXPECT_EQ(On.NativeTicks, Off.NativeTicks);
+  EXPECT_EQ(On.NumSlices, Off.NumSlices);
+  EXPECT_EQ(On.Output, Off.Output);
+  EXPECT_EQ(On.FiniOutput, Off.FiniOutput);
+  EXPECT_EQ(CountOn->Total, CountOff->Total);
+
+  // The spmetrics-v1 registry export is byte-identical too: prof.* names
+  // only appear when the collector's exportStatistics is explicitly asked
+  // for.
+  auto MetricsJson = [](const SpRunReport &Rep) {
+    StatisticRegistry Stats;
+    sp::exportStatistics(Rep, Stats);
+    std::string Doc;
+    RawStringOstream OS(Doc);
+    obs::writeRegistryJson(Stats, OS);
+    return Doc;
+  };
+  EXPECT_EQ(MetricsJson(On), MetricsJson(Off));
+}
+
+// --- Attempt rewind -------------------------------------------------------
+
+TEST(Profile, RewindFoldsAttemptIntoRetryWaste) {
+  prof::SliceProfile P;
+  P.charge(prof::Cause::SigSearch, 100); // survives the rewind
+  P.noteBlock(0x40, 10, 500, 200, 1);
+  prof::SliceProfile Snapshot = P;
+
+  P.charge(prof::Cause::JitExecute, 400);
+  P.charge(prof::Cause::JitCompile, 50);
+  P.noteBlock(0x80, 5, 300, 100, 1);
+  P.noteConsumed(550);
+
+  P.rewindAttempt(Snapshot);
+  EXPECT_EQ(P.cause(prof::Cause::SigSearch), 100u);
+  EXPECT_EQ(P.cause(prof::Cause::JitExecute), 0u);
+  EXPECT_EQ(P.cause(prof::Cause::JitCompile), 0u);
+  EXPECT_EQ(P.cause(prof::Cause::RetryWaste), 450u);
+  // Total attribution is conserved: the ticks were spent, only re-judged.
+  EXPECT_EQ(P.attributedTicks(), 550u);
+  // Block records revert to the snapshot; the failed attempt's blocks are
+  // charged as waste, not as per-block cost.
+  EXPECT_EQ(P.blocks().size(), 1u);
+  EXPECT_EQ(P.blocks().count(0x40), 1u);
+}
+
+TEST(Profile, FaultInjectionKeepsInvariant) {
+  prof::ProfileCollector Profile;
+  SpOptions Opts = profOptions("gzip", &Profile);
+  fault::FaultPlan Plan(/*Seed=*/17, /*Rate=*/0.3);
+  Opts.Fault = &Plan;
+  CostModel Model;
+  SpRunReport Rep = runSuperPin(
+      workload("gzip"), makeIcountTool(IcountGranularity::BasicBlock), Opts,
+      Model);
+  ASSERT_GT(Rep.NumSlices, 1u);
+  expectLaneInvariant(Profile.masterProfile(), "master");
+  for (const auto &[Num, P] : Profile.slices())
+    expectLaneInvariant(P, ("slice-" + std::to_string(Num)).c_str());
+  if (Rep.RetriedSlices > 0)
+    EXPECT_GT(Profile.totalCause(prof::Cause::RetryWaste), 0u)
+        << "failed attempts must surface as retry.waste";
+}
+
+// --- Exports ---------------------------------------------------------------
+
+TEST(Profile, JsonExportParsesAndSharesSum) {
+  prof::ProfileCollector Profile;
+  runProfiled("gcc", Profile);
+
+  std::string Doc;
+  {
+    RawStringOstream OS(Doc);
+    Profile.writeJson(OS, 10);
+  }
+  std::string Err;
+  std::optional<JsonValue> V = parseJson(Doc, &Err);
+  ASSERT_TRUE(V.has_value()) << Err;
+  EXPECT_EQ(V->get("schema")->asString(), prof::ProfileSchema);
+  EXPECT_EQ(V->get("total_ticks")->asUInt(),
+            V->get("native_ticks")->asUInt() +
+                V->get("attributed_ticks")->asUInt());
+
+  double ShareSum = 0.0;
+  const JsonValue *Causes = V->get("causes");
+  ASSERT_NE(Causes, nullptr);
+  for (const auto &[Name, C] : Causes->members())
+    ShareSum += C.get("share")->asDouble();
+  EXPECT_NEAR(ShareSum, 1.0, 1e-3)
+      << "cause shares must sum to 100% +/- 0.1%";
+
+  const JsonValue *Blocks = V->get("hot_blocks");
+  ASSERT_NE(Blocks, nullptr);
+  ASSERT_LE(Blocks->array().size(), 10u);
+  uint64_t PrevTicks = ~uint64_t(0);
+  for (const JsonValue &B : Blocks->array()) {
+    uint64_t Instr = B.get("instr_ticks")->asUInt();
+    EXPECT_LE(Instr, PrevTicks) << "hot blocks sorted by instrumented cost";
+    EXPECT_GE(Instr, B.get("native_ticks")->asUInt())
+        << "instrumentation never beats native";
+    PrevTicks = Instr;
+  }
+}
+
+TEST(Profile, FoldedExportIsWellFormed) {
+  prof::ProfileCollector Profile;
+  runProfiled("gzip", Profile);
+
+  std::string Folded;
+  {
+    RawStringOstream OS(Folded);
+    Profile.writeFolded(OS);
+  }
+  ASSERT_FALSE(Folded.empty());
+  uint64_t FoldedTotal = 0;
+  size_t Pos = 0;
+  while (Pos < Folded.size()) {
+    size_t Eol = Folded.find('\n', Pos);
+    ASSERT_NE(Eol, std::string::npos) << "every line newline-terminated";
+    std::string Line = Folded.substr(Pos, Eol - Pos);
+    // flamegraph.pl format: "frame;frame;frame <count>".
+    size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    std::string Stack = Line.substr(0, Space);
+    EXPECT_EQ(Stack.rfind("superpin;", 0), 0u) << Line;
+    EXPECT_GE(std::count(Stack.begin(), Stack.end(), ';'), 2) << Line;
+    uint64_t Count = std::stoull(Line.substr(Space + 1));
+    EXPECT_GT(Count, 0u) << "zero buckets are skipped: " << Line;
+    FoldedTotal += Count;
+    Pos = Eol + 1;
+  }
+  EXPECT_EQ(FoldedTotal, Profile.totalConsumed())
+      << "folded stacks partition the consumed total";
+}
+
+TEST(Profile, StatisticsExportUsesProfNames) {
+  prof::ProfileCollector Profile;
+  runProfiled("gzip", Profile);
+  StatisticRegistry Stats;
+  Profile.exportStatistics(Stats);
+  EXPECT_EQ(Stats.get("prof.total_ticks"), Profile.totalConsumed());
+  EXPECT_EQ(Stats.get("prof.attributed_ticks"), Profile.totalAttributed());
+  EXPECT_EQ(Stats.get("prof.cause.jit.execute"),
+            Profile.totalCause(prof::Cause::JitExecute));
+}
+
+// --- The BENCH_*.json regression gate -------------------------------------
+
+std::string benchDoc(double SlowdownSp, double JitShare) {
+  std::string Doc;
+  RawStringOstream OS(Doc);
+  JsonWriter W(OS);
+  W.beginObject();
+  W.field("schema", prof::BenchSchema);
+  W.key("workloads").beginArray();
+  W.beginObject();
+  W.field("name", "gzip");
+  W.field("slowdown_pin", 2.5);
+  W.field("slowdown_sp", SlowdownSp);
+  W.key("attribution")
+      .beginObject()
+      .field("jit.execute", JitShare)
+      .field("jit.compile", 1.0 - JitShare)
+      .endObject();
+  W.endObject();
+  W.endArray();
+  W.endObject();
+  return Doc;
+}
+
+JsonValue parsed(const std::string &Text) {
+  std::string Err;
+  std::optional<JsonValue> V = parseJson(Text, &Err);
+  EXPECT_TRUE(V.has_value()) << Err;
+  return *V;
+}
+
+TEST(BenchGate, PassesWithinThreshold) {
+  JsonValue Base = parsed(benchDoc(3.0, 0.50));
+  JsonValue Cur = parsed(benchDoc(3.2, 0.52)); // < 10% relative growth
+  prof::BenchCompareResult R = prof::compareBenchReports(Base, Cur);
+  EXPECT_TRUE(R.ok());
+}
+
+TEST(BenchGate, CatchesDeliberatePerturbation) {
+  JsonValue Base = parsed(benchDoc(3.0, 0.50));
+  // >10% regressions in both the slowdown and an attribution share.
+  JsonValue Cur = parsed(benchDoc(3.5, 0.60));
+  prof::BenchCompareResult R = prof::compareBenchReports(Base, Cur);
+  ASSERT_EQ(R.Regressions.size(), 2u);
+  EXPECT_EQ(R.Regressions[0].Metric, "slowdown_sp");
+  EXPECT_EQ(R.Regressions[1].Metric, "attribution.jit.execute");
+
+  std::string Printed;
+  RawStringOstream OS(Printed);
+  prof::printCompareResult(R, OS);
+  EXPECT_NE(Printed.find("REGRESSION gzip slowdown_sp"), std::string::npos);
+  EXPECT_NE(Printed.find("FAIL"), std::string::npos);
+}
+
+TEST(BenchGate, SmallAbsoluteShareMovesAreNotRegressions) {
+  // 0.1% -> 0.3% triples the share but moves 0.2 points: below the
+  // absolute floor, so not a regression.
+  JsonValue Base = parsed(benchDoc(3.0, 0.001));
+  JsonValue Cur = parsed(benchDoc(3.0, 0.003));
+  prof::BenchCompareResult R = prof::compareBenchReports(Base, Cur);
+  EXPECT_TRUE(R.ok());
+}
+
+TEST(BenchGate, FailsClosedOnSchemaMismatch) {
+  JsonValue Base = parsed("{\"schema\":\"spbench-v0\",\"workloads\":[]}");
+  JsonValue Cur = parsed(benchDoc(3.0, 0.5));
+  prof::BenchCompareResult R = prof::compareBenchReports(Base, Cur);
+  ASSERT_EQ(R.Regressions.size(), 1u);
+  EXPECT_EQ(R.Regressions[0].Workload, "baseline");
+  EXPECT_EQ(R.Regressions[0].Metric, "schema");
+}
+
+TEST(BenchGate, MissingAndNewWorkloadsAreNotes) {
+  JsonValue Base = parsed(benchDoc(3.0, 0.5));
+  JsonValue Cur = parsed("{\"schema\":\"spbench-v1\",\"workloads\":"
+                         "[{\"name\":\"mcf\",\"slowdown_sp\":9.9}]}");
+  prof::BenchCompareResult R = prof::compareBenchReports(Base, Cur);
+  EXPECT_TRUE(R.ok()) << "coverage changes inform, they do not fail";
+  EXPECT_EQ(R.Notes.size(), 2u);
+}
+
+} // namespace

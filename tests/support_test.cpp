@@ -275,6 +275,24 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(Out, "a,b\n1,50%\n");
 }
 
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table T;
+  T.addColumn("name");
+  T.addColumn("note");
+  T.startRow();
+  T.cell("a,b");        // embedded comma
+  T.cell("say \"hi\""); // embedded quotes
+  T.startRow();
+  T.cell("line\nbreak"); // embedded newline
+  T.cell("plain");
+  std::string Out;
+  RawStringOstream OS(Out);
+  T.printCsv(OS);
+  EXPECT_EQ(Out, "name,note\n"
+                 "\"a,b\",\"say \"\"hi\"\"\"\n"
+                 "\"line\nbreak\",plain\n");
+}
+
 } // namespace
 
 // --- JsonWriter (appended suite) ----------------------------------------
@@ -340,6 +358,24 @@ TEST(Table, JsonOutput) {
   RawStringOstream OS(Out);
   T.printJson(OS);
   EXPECT_EQ(Out, "[{\"bench\":\"gcc\",\"pct\":\"125%\"}]\n");
+}
+
+TEST(Table, JsonTypedCellsEmitNumbers) {
+  Table T;
+  T.addColumn("bench");
+  T.addColumn("insts");
+  T.addColumn("seconds");
+  T.startRow();
+  T.cell("gzip");
+  T.cell(uint64_t(1058791));
+  T.cell(1.25, 2);
+  std::string Out;
+  RawStringOstream OS(Out);
+  T.printJson(OS);
+  // Typed cells come out as JSON numbers (doubles via the writer's fixed
+  // six-decimal form); text cells stay strings.
+  EXPECT_EQ(Out, "[{\"bench\":\"gzip\",\"insts\":1058791,"
+                 "\"seconds\":1.250000}]\n");
 }
 
 // --- JSON parser ---------------------------------------------------------
