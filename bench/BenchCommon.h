@@ -52,6 +52,9 @@ public:
   Opt<uint64_t> PhysCpus{Registry, "cpus", 8, "physical cores"};
   Opt<uint64_t> VirtCpus{Registry, "vcpus", 8,
                          "schedulable contexts (SMT when > cpus)"};
+  Opt<bool> SpRedux{Registry, "spredux", false,
+                    "suppress redundant analysis calls via static loop "
+                    "analysis (byte-identical tool output)"};
   Opt<bool> Csv{Registry, "csv", false, "emit CSV instead of a table"};
   Opt<bool> Json{Registry, "json", false, "emit JSON instead of a table"};
   Opt<std::string> Only{Registry, "only", std::string(),
@@ -88,6 +91,7 @@ public:
     if (Opts.VirtCpus < Opts.PhysCpus)
       Opts.VirtCpus = Opts.PhysCpus;
     Opts.Cpi = Info.Cpi;
+    Opts.Redux = SpRedux;
     return Opts;
   }
 };

@@ -12,12 +12,20 @@
 //   spin_lint prog.s [more.s ...]     lint assembly files
 //   spin_lint -workload gzip          lint a generated SPEC2000 workload
 //   spin_lint -context 3 prog.s      context lines around each finding
+//   spin_lint -redux-report -workload gzip
+//                                     print the loop forest and per-block
+//                                     redundancy classification (-spredux)
+//   spin_lint -redux-report -json ... same, as one spredux-report-v1 JSON
+//                                     document (for CI diffing)
 //
 // Exit status is 1 when any file produced findings, 0 when all are clean.
+// The redux report never fails the run: classification is advisory.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Passes.h"
+#include "analysis/Redundancy.h"
+#include "support/Json.h"
 #include "support/RawOstream.h"
 #include "support/StringExtras.h"
 #include "vm/Assembler.h"
@@ -78,12 +86,108 @@ size_t lintOne(const std::string &Label, const vm::Program &Prog,
   return Findings.size();
 }
 
+/// Prints the human-readable redundancy report for one program.
+void reduxReportText(const std::string &Label, const vm::Program &Prog,
+                     const analysis::RedundancyInfo &RI) {
+  const analysis::LoopForest &Forest = RI.forest();
+  outs() << Label << ": redux report — " << RI.numBlocks() << " blocks, "
+         << Forest.numLoops() << " loops, " << RI.numSuppressibleBlocks()
+         << " suppressible blocks\n";
+  for (uint32_t L = 0; L != Forest.numLoops(); ++L) {
+    const analysis::Loop &Loop = Forest.loop(L);
+    uint64_t HeaderPc = vm::Program::addressOfIndex(
+        RI.cfg().block(Loop.Header).FirstIndex);
+    outs() << "  loop " << L << ": header " << hexPc(HeaderPc) << ", depth "
+           << Loop.Depth << ", " << Loop.Blocks.size() << " blocks, "
+           << Loop.Latches.size() << " latches";
+    if (Loop.SelfLoop)
+      outs() << ", self-loop";
+    if (Loop.HasCallOrSyscall)
+      outs() << ", calls/syscalls";
+    for (const analysis::Loop::InductionVar &IV : Loop.IVs)
+      outs() << ", iv r" << unsigned(IV.Reg) << " step " << IV.Step;
+    if (Loop.EstTrip)
+      outs() << ", est-trip " << *Loop.EstTrip;
+    outs() << "\n";
+  }
+  for (uint32_t B = 0; B != RI.numBlocks(); ++B) {
+    const analysis::BlockReduxInfo &Info = RI.block(B);
+    const analysis::BasicBlock &Block = RI.cfg().block(B);
+    outs() << "  block " << B << " @ "
+           << hexPc(vm::Program::addressOfIndex(Block.FirstIndex)) << " ("
+           << Block.NumInsts << " insts): "
+           << analysis::blockReduxName(Info.Kind);
+    if (Info.LoopId != analysis::InvalidLoop)
+      outs() << " [loop " << Info.LoopId << "]";
+    outs() << " — " << Info.Why << "\n";
+  }
+}
+
+/// Appends one program's redundancy report to the shared JSON document
+/// (inside the top-level "programs" array).
+void reduxReportJson(const std::string &Label, const vm::Program &Prog,
+                     const analysis::RedundancyInfo &RI, JsonWriter &J) {
+  const analysis::LoopForest &Forest = RI.forest();
+  J.beginObject();
+  J.field("name", std::string_view(Label));
+  J.field("num_insts", static_cast<uint64_t>(Prog.Text.size()));
+  J.field("num_blocks", RI.numBlocks());
+  J.field("num_loops", Forest.numLoops());
+  J.field("suppressible_blocks", RI.numSuppressibleBlocks());
+  J.field("has_irreducible_regions", Forest.hasIrreducibleRegions());
+  J.key("loops").beginArray();
+  for (uint32_t L = 0; L != Forest.numLoops(); ++L) {
+    const analysis::Loop &Loop = Forest.loop(L);
+    J.beginObject();
+    J.field("id", L);
+    J.field("header_pc", vm::Program::addressOfIndex(
+                             RI.cfg().block(Loop.Header).FirstIndex));
+    J.field("depth", Loop.Depth);
+    J.field("num_blocks", static_cast<uint64_t>(Loop.Blocks.size()));
+    J.field("num_latches", static_cast<uint64_t>(Loop.Latches.size()));
+    J.field("self_loop", Loop.SelfLoop);
+    J.field("has_call_or_syscall", Loop.HasCallOrSyscall);
+    J.key("ivs").beginArray();
+    for (const analysis::Loop::InductionVar &IV : Loop.IVs) {
+      J.beginObject();
+      J.field("reg", static_cast<uint64_t>(IV.Reg));
+      J.field("step", static_cast<int64_t>(IV.Step));
+      J.endObject();
+    }
+    J.endArray();
+    if (Loop.EstTrip)
+      J.field("est_trip", *Loop.EstTrip);
+    J.endObject();
+  }
+  J.endArray();
+  J.key("blocks").beginArray();
+  for (uint32_t B = 0; B != RI.numBlocks(); ++B) {
+    const analysis::BlockReduxInfo &Info = RI.block(B);
+    const analysis::BasicBlock &Block = RI.cfg().block(B);
+    J.beginObject();
+    J.field("id", B);
+    J.field("pc", vm::Program::addressOfIndex(Block.FirstIndex));
+    J.field("insts", Block.NumInsts);
+    J.field("kind", analysis::blockReduxName(Info.Kind));
+    if (Info.LoopId != analysis::InvalidLoop)
+      J.field("loop", Info.LoopId);
+    J.field("why", std::string_view(Info.Why));
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   uint64_t Context = 2;
+  bool ReduxReport = false;
+  bool Json = false;
   std::vector<std::string> Files;
   std::vector<std::string> Workloads;
+  const char *Usage = "usage: spin_lint [-context N] [-workload NAME] "
+                      "[-redux-report [-json]] [file.s ...]\n";
   for (int I = 1; I < Argc; ++I) {
     std::string_view A = Argv[I];
     if (A == "-context" && I + 1 < Argc) {
@@ -91,17 +195,47 @@ int main(int Argc, char **Argv) {
         Context = *V;
     } else if (A == "-workload" && I + 1 < Argc) {
       Workloads.push_back(Argv[++I]);
+    } else if (A == "-redux-report") {
+      ReduxReport = true;
+    } else if (A == "-json") {
+      Json = true;
     } else if (!A.empty() && A[0] == '-') {
-      errs() << "usage: spin_lint [-context N] [-workload NAME] [file.s ...]\n";
+      errs() << Usage;
       return 1;
     } else {
       Files.emplace_back(A);
     }
   }
   if (Files.empty() && Workloads.empty()) {
-    errs() << "usage: spin_lint [-context N] [-workload NAME] [file.s ...]\n";
+    errs() << Usage;
     return 1;
   }
+  if (Json && !ReduxReport) {
+    errs() << "error: -json requires -redux-report\n" << Usage;
+    return 1;
+  }
+
+  std::optional<JsonWriter> J;
+  if (Json) {
+    J.emplace(outs());
+    J->beginObject();
+    J->field("schema", std::string_view("spredux-report-v1"));
+    J->key("programs").beginArray();
+  }
+
+  // Runs lint or the redux report on one assembled program.
+  auto processOne = [&](const std::string &Label,
+                        const vm::Program &Prog) -> size_t {
+    if (!ReduxReport)
+      return lintOne(Label, Prog, Context);
+    analysis::Cfg G = analysis::buildCfg(Prog);
+    analysis::RedundancyInfo RI(G);
+    if (J)
+      reduxReportJson(Label, Prog, RI, *J);
+    else
+      reduxReportText(Label, Prog, RI);
+    return 0;
+  };
 
   size_t TotalFindings = 0;
   for (const std::string &File : Files) {
@@ -118,7 +252,7 @@ int main(int Argc, char **Argv) {
       errs() << File << ": " << Err << "\n";
       return 1;
     }
-    TotalFindings += lintOne(File, *Prog, Context);
+    TotalFindings += processOne(File, *Prog);
   }
   for (const std::string &Name : Workloads) {
     const workloads::WorkloadInfo *Info = nullptr;
@@ -133,7 +267,13 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     vm::Program Prog = workloads::buildWorkload(*Info, 0.05);
-    TotalFindings += lintOne("workload:" + Name, Prog, Context);
+    TotalFindings += processOne("workload:" + Name, Prog);
+  }
+  if (J) {
+    J->endArray();
+    J->endObject();
+    J->complete();
+    outs() << "\n";
   }
   outs().flush();
   return TotalFindings ? 1 : 0;

@@ -16,6 +16,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Passes.h"
+#include "analysis/Redundancy.h"
 #include "fault/FaultPlan.h"
 #include "obs/Metrics.h"
 #include "obs/TraceRecorder.h"
@@ -39,6 +41,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 using namespace spin;
 using namespace spin::tools;
@@ -106,6 +109,9 @@ int main(int Argc, char **Argv) {
                          "predict syscall classes from static analysis");
   Opt<bool> SpSeed(Registry, "spseed", false,
                    "seed code caches from the static CFG");
+  Opt<bool> SpRedux(Registry, "spredux", false,
+                    "suppress redundant analysis calls via static loop "
+                    "analysis (byte-identical tool output)");
   Opt<double> SpFault(Registry, "spfault", 0.0,
                       "per-slice fault-injection probability (0 disables)");
   Opt<uint64_t> SpFaultSeed(Registry, "spfaultseed", 1,
@@ -181,6 +187,15 @@ int main(int Argc, char **Argv) {
 
   if (!Sp) {
     pin::PinVmConfig SerialCfg;
+    // RedundancyInfo holds a pointer into the Cfg, so both must outlive
+    // the run.
+    std::optional<analysis::Cfg> ReduxCfg;
+    std::optional<analysis::RedundancyInfo> Redux;
+    if (SpRedux) {
+      ReduxCfg.emplace(analysis::buildCfg(Prog));
+      Redux.emplace(*ReduxCfg);
+      SerialCfg.Redux = &*Redux;
+    }
     if (SpProf)
       SerialCfg.Prof = &Profile.master();
     pin::RunReport Rep = pin::runSerialPin(Prog, Model, InstCost,
@@ -205,6 +220,7 @@ int main(int Argc, char **Argv) {
   Opts.AppDurationHintMs = SpAppMs;
   Opts.StaticSyscallPrediction = SpSysPredict;
   Opts.StaticTraceSeed = SpSeed;
+  Opts.Redux = SpRedux;
   Opts.PhysCpus = static_cast<unsigned>(uint64_t(Cpus));
   Opts.VirtCpus = static_cast<unsigned>(uint64_t(Vcpus));
   if (Opts.VirtCpus < Opts.PhysCpus)

@@ -1,0 +1,530 @@
+//===- analysis/Loops.cpp - Dominators and natural-loop forest ------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Loops.h"
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spin;
+using namespace spin::analysis;
+using namespace spin::vm;
+
+//===----------------------------------------------------------------------===//
+// DomTree
+//===----------------------------------------------------------------------===//
+
+DomTree::DomTree(const Cfg &G) {
+  uint32_t N = G.numBlocks();
+  // Internal node N is the virtual super-root all real roots hang off;
+  // internal node N+1 is the "not processed yet" sentinel.
+  const uint32_t Virtual = N;
+  const uint32_t Undef = N + 1;
+  Idom.assign(N + 1, Undef);
+  Rpo.assign(N + 1, InvalidBlock);
+  Depth.assign(N + 1, 0);
+  Idom[Virtual] = Virtual;
+  Rpo[Virtual] = 0;
+
+  // Postorder DFS from each root (roots in declaration order), numbered
+  // globally so one reverse postorder covers all trees.
+  std::vector<uint32_t> Postorder;
+  Postorder.reserve(N);
+  std::vector<uint8_t> Visited(N, 0);
+  struct Frame {
+    uint32_t Block;
+    uint32_t NextSucc;
+  };
+  std::vector<Frame> Stack;
+  for (uint32_t R : G.roots()) {
+    if (Visited[R])
+      continue;
+    Visited[R] = 1;
+    Stack.push_back({R, 0});
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      const std::vector<uint32_t> &Succs = G.block(F.Block).Succs;
+      if (F.NextSucc < Succs.size()) {
+        uint32_t S = Succs[F.NextSucc++];
+        if (!Visited[S]) {
+          Visited[S] = 1;
+          Stack.push_back({S, 0});
+        }
+        continue;
+      }
+      Postorder.push_back(F.Block);
+      Stack.pop_back();
+    }
+  }
+  uint32_t Num = static_cast<uint32_t>(Postorder.size());
+  std::vector<uint32_t> RpoOrder(Num);
+  for (uint32_t I = 0; I != Num; ++I) {
+    uint32_t B = Postorder[I];
+    Rpo[B] = Num - I; // 1..Num; the virtual root keeps 0.
+    RpoOrder[Num - 1 - I] = B;
+  }
+
+  std::vector<uint8_t> IsRoot(N, 0);
+  for (uint32_t R : G.roots()) {
+    IsRoot[R] = 1;
+    Idom[R] = Virtual;
+  }
+
+  // Cooper-Harvey-Kennedy fixpoint over the reverse postorder.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B : RpoOrder) {
+      if (IsRoot[B])
+        continue;
+      uint32_t NewIdom = Undef;
+      for (uint32_t P : G.block(B).Preds) {
+        if (Rpo[P] == InvalidBlock || Idom[P] == Undef)
+          continue; // unreached or not yet processed
+        NewIdom = NewIdom == Undef ? P : intersect(P, NewIdom);
+      }
+      if (NewIdom != Undef && Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (uint32_t B : RpoOrder)
+    Depth[B] = Depth[Idom[B]] + 1;
+
+  // Externalize: the virtual root becomes InvalidBlock, and Idom entries
+  // left Undef (unreached blocks) too.
+  for (uint32_t B = 0; B != N; ++B)
+    if (Idom[B] == Virtual || Idom[B] == Undef)
+      Idom[B] = InvalidBlock;
+  Idom.resize(N);
+  Rpo.resize(N);
+  Depth.resize(N);
+}
+
+uint32_t DomTree::intersect(uint32_t A, uint32_t B) const {
+  // Pre-externalization: Idom chains terminate at the virtual root, whose
+  // Rpo is 0, so the classic two-finger walk converges there.
+  while (A != B) {
+    while (Rpo[A] > Rpo[B])
+      A = Idom[A];
+    while (Rpo[B] > Rpo[A])
+      B = Idom[B];
+  }
+  return A;
+}
+
+bool DomTree::dominates(uint32_t A, uint32_t B) const {
+  if (!reachable(A) || !reachable(B))
+    return false;
+  while (Depth[B] > Depth[A])
+    B = Idom[B];
+  return A == B;
+}
+
+//===----------------------------------------------------------------------===//
+// Loop
+//===----------------------------------------------------------------------===//
+
+bool Loop::contains(uint32_t B) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), B);
+}
+
+const Loop::InductionVar *Loop::findIV(uint8_t Reg) const {
+  for (const InductionVar &IV : IVs)
+    if (IV.Reg == Reg)
+      return &IV;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// LoopForest
+//===----------------------------------------------------------------------===//
+
+LoopForest::LoopForest(const Cfg &G, const DomTree &DT) {
+  InnermostLoop.assign(G.numBlocks(), InvalidLoop);
+  IrreducibleBlock.assign(G.numBlocks(), false);
+  discoverLoops(G, DT);
+  markIrreducible(G, DT);
+  nestLoops();
+  analyzeBodies(G);
+  estimateTrips(G);
+}
+
+void LoopForest::discoverLoops(const Cfg &G, const DomTree &DT) {
+  // Back edges T -> H (H dominates T, including H == T for self-loops),
+  // grouped by header so shared-header loops merge into one Loop.
+  std::vector<uint32_t> LoopOfHeader(G.numBlocks(), InvalidLoop);
+  for (uint32_t T = 0; T != G.numBlocks(); ++T) {
+    if (!DT.reachable(T))
+      continue;
+    for (uint32_t H : G.block(T).Succs) {
+      if (!DT.reachable(H) || !DT.dominates(H, T))
+        continue;
+      uint32_t &Id = LoopOfHeader[H];
+      if (Id == InvalidLoop) {
+        Id = static_cast<uint32_t>(Loops.size());
+        Loops.push_back(Loop());
+        Loops.back().Header = H;
+        Loops.back().Blocks.push_back(H);
+      }
+      Loop &L = Loops[Id];
+      L.Latches.push_back(T);
+      // Natural-loop flood: everything that reaches the latch backward
+      // without passing the header (restricted to reachable blocks).
+      std::vector<uint32_t> Work;
+      auto Add = [&](uint32_t B) {
+        if (B == H || L.contains(B))
+          return;
+        L.Blocks.insert(
+            std::lower_bound(L.Blocks.begin(), L.Blocks.end(), B), B);
+        Work.push_back(B);
+      };
+      Add(T);
+      while (!Work.empty()) {
+        uint32_t B = Work.back();
+        Work.pop_back();
+        for (uint32_t P : G.block(B).Preds)
+          if (DT.reachable(P))
+            Add(P);
+      }
+    }
+  }
+  for (Loop &L : Loops) {
+    std::sort(L.Latches.begin(), L.Latches.end());
+    L.Latches.erase(std::unique(L.Latches.begin(), L.Latches.end()),
+                    L.Latches.end());
+    L.SelfLoop = L.Blocks.size() == 1;
+  }
+}
+
+void LoopForest::markIrreducible(const Cfg &G, const DomTree &DT) {
+  // Iterative Tarjan SCC over the reachable subgraph.
+  uint32_t N = G.numBlocks();
+  std::vector<uint32_t> SccOf(N, InvalidBlock), Index(N, InvalidBlock),
+      Low(N, 0);
+  std::vector<uint8_t> OnStack(N, 0);
+  std::vector<uint32_t> SccStack;
+  uint32_t NextIndex = 0, NumSccs = 0;
+  struct Frame {
+    uint32_t Block;
+    uint32_t NextSucc;
+  };
+  std::vector<Frame> Stack;
+  for (uint32_t Start = 0; Start != N; ++Start) {
+    if (!DT.reachable(Start) || Index[Start] != InvalidBlock)
+      continue;
+    Stack.push_back({Start, 0});
+    Index[Start] = Low[Start] = NextIndex++;
+    SccStack.push_back(Start);
+    OnStack[Start] = 1;
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      uint32_t B = F.Block;
+      const std::vector<uint32_t> &Succs = G.block(B).Succs;
+      if (F.NextSucc < Succs.size()) {
+        uint32_t S = Succs[F.NextSucc++];
+        if (!DT.reachable(S))
+          continue;
+        if (Index[S] == InvalidBlock) {
+          Stack.push_back({S, 0});
+          Index[S] = Low[S] = NextIndex++;
+          SccStack.push_back(S);
+          OnStack[S] = 1;
+        } else if (OnStack[S]) {
+          Low[B] = std::min(Low[B], Index[S]);
+        }
+        continue;
+      }
+      if (Low[B] == Index[B]) {
+        uint32_t Scc = NumSccs++;
+        while (true) {
+          uint32_t M = SccStack.back();
+          SccStack.pop_back();
+          OnStack[M] = 0;
+          SccOf[M] = Scc;
+          if (M == B)
+            break;
+        }
+      }
+      Stack.pop_back();
+      if (!Stack.empty())
+        Low[Stack.back().Block] =
+            std::min(Low[Stack.back().Block], Low[B]);
+    }
+  }
+
+  // A retreating edge whose target does not dominate its source enters a
+  // cycle at a non-header block: the whole SCC (which may also contain
+  // reducible loops — conservatively marked along with it) is
+  // irreducible. Cross edges between different SCCs retreat in RPO terms
+  // without forming a cycle and are ignored.
+  std::vector<uint8_t> SccCyclic(NumSccs, 0);
+  std::vector<uint8_t> SccBad(NumSccs, 0);
+  std::vector<uint32_t> SccCount(NumSccs, 0);
+  for (uint32_t B = 0; B != N; ++B)
+    if (SccOf[B] != InvalidBlock)
+      ++SccCount[SccOf[B]];
+  for (uint32_t T = 0; T != N; ++T) {
+    if (!DT.reachable(T))
+      continue;
+    for (uint32_t H : G.block(T).Succs) {
+      if (!DT.reachable(H) || SccOf[T] != SccOf[H])
+        continue;
+      if (T == H || SccCount[SccOf[T]] > 1)
+        SccCyclic[SccOf[T]] = 1;
+      if (DT.rpo(H) <= DT.rpo(T) && !DT.dominates(H, T))
+        SccBad[SccOf[T]] = 1;
+    }
+  }
+  for (uint32_t B = 0; B != N; ++B) {
+    uint32_t Scc = SccOf[B];
+    if (Scc != InvalidBlock && SccBad[Scc] && SccCyclic[Scc]) {
+      IrreducibleBlock[B] = true;
+      AnyIrreducible = true;
+    }
+  }
+}
+
+void LoopForest::nestLoops() {
+  // Innermost-loop map: assign smaller loops first so the innermost wins.
+  std::vector<uint32_t> BySize(Loops.size());
+  for (uint32_t I = 0; I != Loops.size(); ++I)
+    BySize[I] = I;
+  std::sort(BySize.begin(), BySize.end(), [&](uint32_t A, uint32_t B) {
+    return Loops[A].Blocks.size() < Loops[B].Blocks.size();
+  });
+  for (uint32_t Id : BySize)
+    for (uint32_t B : Loops[Id].Blocks)
+      if (InnermostLoop[B] == InvalidLoop)
+        InnermostLoop[B] = Id;
+  // Parent: the smallest strictly-larger loop containing our header
+  // (reducible natural loops nest or are disjoint).
+  for (uint32_t Id = 0; Id != Loops.size(); ++Id) {
+    Loop &L = Loops[Id];
+    uint32_t Best = InvalidLoop;
+    for (uint32_t Other = 0; Other != Loops.size(); ++Other) {
+      if (Other == Id || Loops[Other].Blocks.size() <= L.Blocks.size())
+        continue;
+      if (!Loops[Other].contains(L.Header))
+        continue;
+      if (Best == InvalidLoop ||
+          Loops[Other].Blocks.size() < Loops[Best].Blocks.size())
+        Best = Other;
+    }
+    L.Parent = Best;
+  }
+  for (uint32_t Id : BySize) {
+    Loop &L = Loops[Id];
+    L.Depth = L.Parent == InvalidLoop ? 1 : Loops[L.Parent].Depth + 1;
+  }
+}
+
+void LoopForest::analyzeBodies(const Cfg &G) {
+  const Program &Prog = G.program();
+  for (Loop &L : Loops) {
+    std::array<uint32_t, NumRegs> Writes{};
+    std::array<uint64_t, NumRegs> WriteIndex{};
+    std::array<const Instruction *, NumRegs> WriteInst{};
+    for (uint32_t B : L.Blocks) {
+      const BasicBlock &Blk = G.block(B);
+      for (uint64_t I = Blk.FirstIndex; I != Blk.endIndex(); ++I) {
+        const Instruction &Inst = Prog.Text[I];
+        if (Inst.isCall() || Inst.isSyscall() ||
+            (Inst.isIndirect() && Inst.isControlFlow()))
+          L.HasCallOrSyscall = true;
+        uint16_t Mask = writtenRegs(Inst);
+        L.WrittenRegs |= Mask;
+        for (unsigned R = 0; R != NumRegs; ++R)
+          if (Mask & (1u << R)) {
+            ++Writes[R];
+            WriteIndex[R] = I;
+            WriteInst[R] = &Inst;
+          }
+      }
+    }
+    if (L.HasCallOrSyscall) {
+      // A callee or the kernel may write anything: no register is
+      // provably invariant and no induction variable is trustworthy.
+      L.WrittenRegs = static_cast<uint16_t>(~0u);
+      continue;
+    }
+    for (unsigned R = 0; R != NumRegs; ++R) {
+      if (Writes[R] != 1)
+        continue;
+      const Instruction &Inst = *WriteInst[R];
+      if (Inst.Op == Opcode::Addi && Inst.A == R && Inst.B == R &&
+          Inst.Imm != 0)
+        L.IVs.push_back({static_cast<uint8_t>(R), Inst.Imm, WriteIndex[R]});
+    }
+  }
+}
+
+namespace {
+
+/// Constant-register propagation for trip-count estimation, solved with
+/// the Dataflow.h forward worklist framework. Lattice per register:
+/// Const(v) or NonConst; boundary is all-NonConst (lint semantics: guest
+/// code must not rely on zeroed registers at entry).
+struct ConstPropProblem {
+  enum : uint8_t { Const = 1, NonConst = 2 };
+  struct State {
+    std::array<uint8_t, NumRegs> Tag{};
+    std::array<uint64_t, NumRegs> Val{};
+  };
+
+  State boundary(uint32_t) const {
+    State S;
+    S.Tag.fill(NonConst);
+    return S;
+  }
+
+  void transfer(const Instruction &I, uint64_t, State &S) const {
+    switch (I.Op) {
+    case Opcode::Movi:
+      if (I.A < NumRegs) {
+        S.Tag[I.A] = Const;
+        S.Val[I.A] = static_cast<uint64_t>(I.Imm);
+      }
+      return;
+    case Opcode::Mov:
+      if (I.A < NumRegs && I.B < NumRegs) {
+        S.Tag[I.A] = S.Tag[I.B];
+        S.Val[I.A] = S.Val[I.B];
+      }
+      return;
+    case Opcode::Addi:
+      if (I.A < NumRegs && I.B < NumRegs) {
+        if (S.Tag[I.B] == Const) {
+          S.Tag[I.A] = Const;
+          S.Val[I.A] = S.Val[I.B] + static_cast<uint64_t>(I.Imm);
+        } else {
+          S.Tag[I.A] = NonConst;
+        }
+      }
+      return;
+    default:
+      break;
+    }
+    if (I.isCall() || I.isSyscall() || I.isRet()) {
+      S.Tag.fill(NonConst); // callee/kernel may write anything
+      return;
+    }
+    uint16_t Mask = writtenRegs(I);
+    for (unsigned R = 0; R != NumRegs; ++R)
+      if (Mask & (1u << R))
+        S.Tag[R] = NonConst;
+  }
+
+  bool join(State &Dest, const State &Src) const {
+    bool Changed = false;
+    for (unsigned R = 0; R != NumRegs; ++R) {
+      if (Dest.Tag[R] == NonConst)
+        continue;
+      if (Src.Tag[R] == Const && Src.Val[R] == Dest.Val[R])
+        continue;
+      Dest.Tag[R] = NonConst;
+      Changed = true;
+    }
+    return Changed;
+  }
+};
+
+/// Evaluates the fused compare of \p Op on (\p A, \p B).
+bool evalCompare(Opcode Op, uint64_t A, uint64_t B) {
+  switch (Op) {
+  case Opcode::Beq:
+    return A == B;
+  case Opcode::Bne:
+    return A != B;
+  case Opcode::Blt:
+    return static_cast<int64_t>(A) < static_cast<int64_t>(B);
+  case Opcode::Bge:
+    return static_cast<int64_t>(A) >= static_cast<int64_t>(B);
+  case Opcode::Bltu:
+    return A < B;
+  case Opcode::Bgeu:
+    return A >= B;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+void LoopForest::estimateTrips(const Cfg &G) {
+  if (Loops.empty())
+    return;
+  ConstPropProblem Problem;
+  ForwardSolver<ConstPropProblem> Solver(G, Problem);
+  Solver.solve();
+  const Program &Prog = G.program();
+
+  for (Loop &L : Loops) {
+    if (L.HasCallOrSyscall || L.Latches.size() != 1 || L.IVs.empty())
+      continue;
+    // Recognized shape: the single latch ends in `bCC ra, rb, header`
+    // where one operand is an induction variable and the other is a
+    // loop-invariant constant.
+    const BasicBlock &Latch = G.block(L.Latches.front());
+    const Instruction &Br = Prog.Text[Latch.lastIndex()];
+    if (!Br.isCondBranch() ||
+        static_cast<uint64_t>(Br.Imm) !=
+            Program::addressOfIndex(G.block(L.Header).FirstIndex))
+      continue;
+    const Loop::InductionVar *IV = L.findIV(Br.A);
+    uint8_t OtherReg = Br.B;
+    bool IVFirst = true;
+    if (!IV) {
+      IV = L.findIV(Br.B);
+      OtherReg = Br.A;
+      IVFirst = false;
+    }
+    if (!IV || (L.WrittenRegs & (1u << OtherReg)))
+      continue;
+    // Entry state: join of the exit states of the header's out-of-loop
+    // predecessors (the conceptual preheader edge).
+    ConstPropProblem::State Entry;
+    bool HaveEntry = false;
+    for (uint32_t P : G.block(L.Header).Preds) {
+      if (L.contains(P) || !Solver.reached(P))
+        continue;
+      ConstPropProblem::State Out = Solver.flowThrough(P);
+      if (!HaveEntry) {
+        Entry = Out;
+        HaveEntry = true;
+      } else {
+        Problem.join(Entry, Out);
+      }
+    }
+    if (!HaveEntry || Entry.Tag[IV->Reg] != ConstPropProblem::Const ||
+        Entry.Tag[OtherReg] != ConstPropProblem::Const)
+      continue;
+    uint64_t V0 = Entry.Val[IV->Reg];
+    uint64_t C = Entry.Val[OtherReg];
+    // The body runs before the test: the count is the smallest K >= 1
+    // for which the continue-condition turns false at IV = V0 + K*step.
+    // Walk it directly (bounded); the estimate is advisory, so loops
+    // beyond the bound simply report "unknown".
+    constexpr uint64_t MaxWalk = 1'000'000;
+    std::optional<uint64_t> Trip;
+    uint64_t IVVal = V0;
+    for (uint64_t K = 1; K <= MaxWalk; ++K) {
+      IVVal += static_cast<uint64_t>(IV->Step);
+      uint64_t A = IVFirst ? IVVal : C;
+      uint64_t B = IVFirst ? C : IVVal;
+      if (!evalCompare(Br.Op, A, B)) {
+        Trip = K;
+        break;
+      }
+    }
+    L.EstTrip = Trip;
+  }
+}

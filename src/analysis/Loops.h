@@ -1,0 +1,150 @@
+//===- analysis/Loops.h - Dominators and natural-loop forest ----*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree and natural-loop forest over the analysis Cfg, plus the
+/// per-loop facts the redundancy classifier (Redundancy.h) consumes:
+/// written-register masks, induction variables, and best-effort static
+/// trip-count estimates (powered by a constant-register propagation
+/// problem run through the Dataflow.h worklist solver).
+///
+/// Irreducible regions — cycles entered at more than one block, so no
+/// header dominates the rest — are detected and marked separately: they
+/// form no Loop entries and every block they touch is flagged so
+/// downstream passes classify them conservatively (never hoist, never
+/// aggregate). Single-block self-loops are ordinary Loop entries with
+/// SelfLoop set; they have no body distinct from the header, so payloads
+/// can be aggregated at loop exit but never hoisted to a preheader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_ANALYSIS_LOOPS_H
+#define SUPERPIN_ANALYSIS_LOOPS_H
+
+#include "analysis/Cfg.h"
+
+#include <optional>
+#include <vector>
+
+namespace spin::analysis {
+
+inline constexpr uint32_t InvalidBlock = ~uint32_t(0);
+inline constexpr uint32_t InvalidLoop = ~uint32_t(0);
+
+/// Immediate-dominator tree over the reachable blocks of a Cfg, computed
+/// with the iterative Cooper-Harvey-Kennedy algorithm over a reverse
+/// postorder. Multiple roots (thread entries) hang off a virtual
+/// super-root, so dominance queries between blocks of different trees
+/// answer false instead of looping.
+class DomTree {
+public:
+  explicit DomTree(const Cfg &G);
+
+  /// Immediate dominator of \p B; InvalidBlock for roots and blocks
+  /// dataflow never reached.
+  uint32_t idom(uint32_t B) const { return Idom[B]; }
+
+  /// True when \p A dominates \p B (reflexive). Unreached blocks dominate
+  /// nothing and are dominated by nothing.
+  bool dominates(uint32_t A, uint32_t B) const;
+
+  /// True when the dominator computation reached \p B from a root.
+  bool reachable(uint32_t B) const { return Rpo[B] != InvalidBlock; }
+
+  /// Reverse-postorder number of \p B (InvalidBlock if unreached). An
+  /// edge T -> H with rpo(H) <= rpo(T) is retreating: either a back edge
+  /// (H dominates T) or an entry into an irreducible region.
+  uint32_t rpo(uint32_t B) const { return Rpo[B]; }
+
+private:
+  std::vector<uint32_t> Idom; ///< parent; InvalidBlock at roots/unreached
+  std::vector<uint32_t> Rpo;
+  std::vector<uint32_t> Depth; ///< tree depth; 0 at roots
+
+  uint32_t intersect(uint32_t A, uint32_t B) const;
+};
+
+/// One natural loop: the blocks that can reach a back edge's source
+/// without passing its header. Back edges sharing a header merge into a
+/// single Loop (shared-header loops), as LLVM's LoopInfo does.
+struct Loop {
+  uint32_t Header = InvalidBlock;
+  /// All member blocks including the header, sorted ascending.
+  std::vector<uint32_t> Blocks;
+  /// Back-edge sources, sorted ascending (== Header for a self-loop).
+  std::vector<uint32_t> Latches;
+  uint32_t Parent = InvalidLoop; ///< immediate enclosing loop
+  uint32_t Depth = 1;            ///< 1 for outermost loops
+  bool SelfLoop = false;         ///< single block branching to itself
+  /// Loop body contains a call, indirect branch, or syscall: register
+  /// invariance below is meaningless (everything is clobbered) and the
+  /// redundancy classifier treats the loop as stateful.
+  bool HasCallOrSyscall = false;
+  /// Union of registers any member block writes (clobber-all when
+  /// HasCallOrSyscall). Complement = loop-invariant registers.
+  uint16_t WrittenRegs = 0;
+
+  /// A register whose only in-loop write is `addi r, r, step`.
+  struct InductionVar {
+    uint8_t Reg = 0;
+    int64_t Step = 0;
+    uint64_t WriteIndex = 0; ///< instruction index of the addi
+  };
+  std::vector<InductionVar> IVs;
+
+  /// Static trip-count estimate (body executions per loop entry) when the
+  /// exit test is a recognized compare of an induction variable against a
+  /// loop-invariant constant; nullopt otherwise. Advisory only — the
+  /// runtime counts iterations dynamically and never trusts this.
+  std::optional<uint64_t> EstTrip;
+
+  bool contains(uint32_t B) const;
+  const InductionVar *findIV(uint8_t Reg) const;
+  uint16_t invariantRegs() const {
+    return static_cast<uint16_t>(~WrittenRegs);
+  }
+};
+
+/// The loop forest plus irreducible-region marking for one Cfg.
+class LoopForest {
+public:
+  LoopForest(const Cfg &G, const DomTree &DT);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+  const Loop &loop(uint32_t Id) const { return Loops[Id]; }
+  uint32_t numLoops() const { return static_cast<uint32_t>(Loops.size()); }
+
+  /// Innermost loop containing \p Block, or InvalidLoop.
+  uint32_t innermostLoopOf(uint32_t Block) const {
+    return InnermostLoop[Block];
+  }
+
+  /// True when \p Block belongs to a cycle with multiple entry blocks
+  /// (no dominating header). Such regions form no Loop entries.
+  bool inIrreducibleRegion(uint32_t Block) const {
+    return IrreducibleBlock[Block];
+  }
+
+  /// Any irreducible region anywhere in the program.
+  bool hasIrreducibleRegions() const { return AnyIrreducible; }
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<uint32_t> InnermostLoop;
+  std::vector<bool> IrreducibleBlock;
+  bool AnyIrreducible = false;
+
+  void discoverLoops(const Cfg &G, const DomTree &DT);
+  void markIrreducible(const Cfg &G, const DomTree &DT);
+  void nestLoops();
+  void analyzeBodies(const Cfg &G);
+  void estimateTrips(const Cfg &G);
+};
+
+} // namespace spin::analysis
+
+#endif // SUPERPIN_ANALYSIS_LOOPS_H

@@ -1,0 +1,80 @@
+//===- analysis/Redundancy.cpp - Instrumentation-redundancy info ----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Redundancy.h"
+
+using namespace spin;
+using namespace spin::analysis;
+using namespace spin::vm;
+
+const char *spin::analysis::blockReduxName(BlockRedux K) {
+  switch (K) {
+  case BlockRedux::Stateful:
+    return "stateful";
+  case BlockRedux::Aggregatable:
+    return "aggregatable";
+  case BlockRedux::Hoistable:
+    return "hoistable";
+  }
+  return "stateful";
+}
+
+RedundancyInfo::RedundancyInfo(const Cfg &G)
+    : G(&G), DT(G), Forest(G, DT) {
+  Info.resize(G.numBlocks());
+  for (uint32_t B = 0; B != G.numBlocks(); ++B) {
+    BlockReduxInfo &BI = Info[B];
+    BI.LoopId = Forest.innermostLoopOf(B);
+    if (!DT.reachable(B)) {
+      BI.Why = "unreachable from every root";
+      continue;
+    }
+    if (Forest.inIrreducibleRegion(B)) {
+      BI.Why = "irreducible region: multiple cycle entries, no dominating "
+               "header (conservative: never hoist or aggregate)";
+      continue;
+    }
+    if (BI.LoopId == InvalidLoop) {
+      BI.Why = "straight-line code outside any loop";
+      continue;
+    }
+    const Loop &L = Forest.loop(BI.LoopId);
+    if (L.HasCallOrSyscall) {
+      BI.Why = "loop body contains a call/indirect branch/syscall: every "
+               "iteration crosses a tool-observable or clobbering boundary";
+      continue;
+    }
+    if (L.SelfLoop) {
+      BI.Kind = BlockRedux::Aggregatable;
+      BI.Why = "single-block self-loop: no preheader insertion point, so "
+               "aggregate at flush boundaries but never hoist";
+      continue;
+    }
+    BI.Kind = BlockRedux::Hoistable;
+    BI.Why = "reducible loop (depth " + std::to_string(L.Depth) +
+             "): invariant payloads hoistable to the preheader, counters "
+             "aggregatable";
+  }
+}
+
+BlockRedux RedundancyInfo::classifyPc(uint64_t Pc) const {
+  const Program &Prog = G->program();
+  if (Pc < AddressLayout::TextBase || (Pc % InstSize) != 0)
+    return BlockRedux::Stateful;
+  uint64_t Index = (Pc - AddressLayout::TextBase) / InstSize;
+  if (Index >= Prog.Text.size())
+    return BlockRedux::Stateful;
+  return Info[G->blockOfIndex(Index)].Kind;
+}
+
+uint64_t RedundancyInfo::numSuppressibleBlocks() const {
+  uint64_t N = 0;
+  for (const BlockReduxInfo &BI : Info)
+    if (BI.Kind != BlockRedux::Stateful)
+      ++N;
+  return N;
+}

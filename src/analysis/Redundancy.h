@@ -1,0 +1,95 @@
+//===- analysis/Redundancy.h - Instrumentation-redundancy info --*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-block instrumentation-redundancy classification: for each basic
+/// block of the static CFG, decides whether a tool callback's payload in
+/// that block is loop-invariant (hoistable to a preheader), affine-
+/// aggregatable (one `counter += trip x k` update at a flush boundary),
+/// or must stay per-iteration (stateful).
+///
+/// The classification is *advisory*: the JIT (pin/Compiler.cpp, behind
+/// PinVmConfig::Redux / -spredux) only batches analysis calls that are
+/// additionally (a) declared aggregation-eligible by the tool
+/// (Tool::instrKind()), (b) inserted through insertAggregableCall with
+/// pure-immediate arguments, and (c) located in a block classified
+/// Aggregatable or Hoistable here. Deferred calls are replayed as one
+/// aggregate invocation at every tool-observable boundary, so tool output
+/// stays byte-identical whether suppression is on or off — even when this
+/// classification over- or under-approximates the real loop structure.
+///
+/// Conservatism rules (see the satellite regression tests):
+///  * irreducible regions are never hoistable or aggregatable;
+///  * single-block self-loops aggregate but never hoist (they have no
+///    body distinct from the header, so there is no preheader insertion
+///    point that runs once per iteration set);
+///  * loops containing calls, indirect branches, or syscalls stay
+///    stateful (a syscall is a tool-observable boundary every iteration,
+///    and calls clobber any invariance argument).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_ANALYSIS_REDUNDANCY_H
+#define SUPERPIN_ANALYSIS_REDUNDANCY_H
+
+#include "analysis/Loops.h"
+
+#include <string>
+#include <vector>
+
+namespace spin::analysis {
+
+/// What the JIT may do with immediate-payload analysis calls in a block.
+enum class BlockRedux : uint8_t {
+  Stateful,     ///< per-iteration; never suppress
+  Aggregatable, ///< defer + aggregate at flush boundaries
+  Hoistable,    ///< aggregatable, and invariant payloads could run once
+                ///< per loop entry from a preheader
+};
+
+/// Schema-stable lowercase name ("stateful", "aggregatable", "hoistable").
+const char *blockReduxName(BlockRedux K);
+
+/// Classification of one block, with the reason string the spin_lint
+/// -redux-report mode prints.
+struct BlockReduxInfo {
+  BlockRedux Kind = BlockRedux::Stateful;
+  uint32_t LoopId = InvalidLoop; ///< innermost loop, if any
+  std::string Why;
+};
+
+/// Dominators + loop forest + per-block classification for one program.
+/// Holds a pointer to the Cfg, which must outlive this object (the
+/// engines keep both inside the same ProgramAnalysis-scoped storage).
+class RedundancyInfo {
+public:
+  explicit RedundancyInfo(const Cfg &G);
+
+  const Cfg &cfg() const { return *G; }
+  const DomTree &domTree() const { return DT; }
+  const LoopForest &forest() const { return Forest; }
+
+  const BlockReduxInfo &block(uint32_t Id) const { return Info[Id]; }
+  uint32_t numBlocks() const { return static_cast<uint32_t>(Info.size()); }
+
+  /// Classification of the block containing guest address \p Pc;
+  /// Stateful for addresses outside the text segment.
+  BlockRedux classifyPc(uint64_t Pc) const;
+
+  /// Blocks eligible for suppression (Aggregatable or Hoistable).
+  uint64_t numSuppressibleBlocks() const;
+
+private:
+  const Cfg *G;
+  DomTree DT;
+  LoopForest Forest;
+  std::vector<BlockReduxInfo> Info;
+};
+
+} // namespace spin::analysis
+
+#endif // SUPERPIN_ANALYSIS_REDUNDANCY_H

@@ -59,6 +59,12 @@ struct CostModel {
   Ticks AnalysisCallPerArg = 50;
   /// Cost of an inlined InsertIfCall predicate (no call, no spill).
   Ticks InlinedCheckCost = 150;
+  /// Redundancy suppression (-spredux): per-iteration cost of a deferred
+  /// (Batched) analysis call — the recompiled trace bumps an in-register
+  /// pending counter instead of spilling into a full analysis call; the
+  /// deferred work is repaid as one ordinary analysis call per pending
+  /// site at each flush boundary.
+  Ticks ReduxDeferCost = 5;
   /// Extra consistency-check cost per trace entry when slices share a
   /// code cache (the Section 8 future-work feature).
   Ticks SharedCacheCheckCost = 40;

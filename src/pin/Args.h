@@ -59,6 +59,18 @@ using ArgValues = uint64_t[MaxAnalysisArgs];
 /// bind member functions/lambdas, which std::function carries.
 using AnalysisFn = std::function<void(const uint64_t *Args)>;
 
+/// The batched form of an aggregation-eligible analysis routine
+/// (Ins::insertAggregableCall): must satisfy, for every Args and Count,
+///
+///   Agg(Args, Count)  ==  Count consecutive calls of Fn(Args)
+///
+/// observed through the tool's state (e.g. `Icount += A[0] * Count`).
+/// The redundancy-suppressing JIT replays deferred iterations through
+/// this at flush boundaries; the contract is what keeps -spredux runs
+/// byte-identical to unsuppressed ones.
+using AggregateFn =
+    std::function<void(const uint64_t *Args, uint64_t Count)>;
+
 /// An InsertIfCall predicate: nonzero means "run the Then call".
 using PredicateFn = std::function<uint64_t(const uint64_t *Args)>;
 

@@ -7,6 +7,7 @@
 
 #include "pin/Compiler.h"
 
+#include "analysis/Redundancy.h"
 #include "pin/Tool.h"
 #include "vm/Program.h"
 
@@ -19,7 +20,8 @@ using namespace spin::vm;
 std::unique_ptr<CompiledTrace>
 spin::pin::compileTrace(const Program &Prog, uint64_t StartPc,
                         const os::CostModel &Model, Tool *UserTool,
-                        CompilerLimits Limits) {
+                        CompilerLimits Limits,
+                        const analysis::RedundancyInfo *Redux) {
   assert(Prog.fetch(StartPc) && "trace start outside text segment");
   auto T = std::make_unique<CompiledTrace>();
   T->StartPc = StartPc;
@@ -60,6 +62,22 @@ spin::pin::compileTrace(const Program &Prog, uint64_t StartPc,
   if (UserTool && !T->Steps.empty()) {
     Trace View(*T);
     UserTool->instrumentTrace(View);
+  }
+
+  // Redundancy-suppression marks (the hot-trace recompile form). All
+  // three gates must agree — tool eligibility, call-site shape, and the
+  // static block classification — before a site may be deferred.
+  if (Redux) {
+    T->ReduxApplied = true;
+    if (UserTool && UserTool->instrKind() != InstrKind::Stateful) {
+      for (TraceStep &Step : T->Steps) {
+        if (Redux->classifyPc(Step.Pc) == analysis::BlockRedux::Stateful)
+          continue;
+        for (CallSite &Site : Step.Calls)
+          if (Site.Agg && !Site.If)
+            Site.Batched = true;
+      }
+    }
   }
   return T;
 }

@@ -20,6 +20,10 @@
 
 #include <memory>
 
+namespace spin::analysis {
+class RedundancyInfo;
+}
+
 namespace spin::vm {
 class Program;
 }
@@ -44,11 +48,20 @@ struct CompilerLimits {
 /// assigns basic-block boundaries, computes the compile cost, and lets
 /// \p UserTool (if non-null) insert analysis calls.
 ///
+/// When \p Redux is non-null (the hot-trace recompile path behind
+/// -spredux), a post-instrumentation pass marks Batched every call site
+/// that is (a) declared eligible by the tool (Tool::instrKind() !=
+/// Stateful), (b) inserted via Ins::insertAggregableCall (has an Agg, no
+/// predicate, immediate-only arguments), and (c) on an instruction whose
+/// static block classifies Aggregatable or Hoistable. The resulting
+/// trace sets ReduxApplied so the VM recompiles each hot trace once.
+///
 /// \pre \p StartPc addresses a valid text instruction.
 std::unique_ptr<CompiledTrace>
 compileTrace(const vm::Program &Prog, uint64_t StartPc,
              const os::CostModel &Model, Tool *UserTool,
-             CompilerLimits Limits = CompilerLimits());
+             CompilerLimits Limits = CompilerLimits(),
+             const analysis::RedundancyInfo *Redux = nullptr);
 
 } // namespace spin::pin
 

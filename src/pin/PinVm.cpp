@@ -32,6 +32,29 @@ bool PinVm::dispatch(TickLedger &Ledger) {
   ++NumTraceEntries;
   Ticks CompileHere = 0;
   CompiledTrace *T = Cache.lookup(Proc.Cpu.Pc);
+  if (T && Config.Redux && !T->ReduxApplied &&
+      T->Entries >= Config.ReduxHotThreshold) {
+    // Hot trace: recompile once with redundancy-suppression marks, at full
+    // compile price (this is extra work the optimization chooses to do, so
+    // no shared-JIT adopt discount applies). Flush pending aggregates
+    // first — they hold pointers into the call sites the replacement
+    // destroys.
+    flushRedux(Ledger);
+    std::unique_ptr<CompiledTrace> Fresh =
+        compileTrace(Proc.program(), Proc.Cpu.Pc, Model, UserTool,
+                     Config.Limits, Config.Redux);
+    Fresh->Entries = T->Entries;
+    Ticks Cost = Fresh->CompileCost;
+    Ledger.charge(Cost);
+    RecompileTicks += Cost;
+    CompileHere = Cost;
+    ++NumTracesRecompiled;
+    if (Config.Trace)
+      Config.Trace->instant(Config.TraceLane, obs::EventKind::JitCompile,
+                            Config.TraceClock ? Config.TraceClock() : 0,
+                            Fresh->Steps.size());
+    T = Cache.insert(std::move(Fresh));
+  }
   if (!T) {
     if (!Proc.program().fetch(Proc.Cpu.Pc))
       return false;
@@ -54,6 +77,7 @@ bool PinVm::dispatch(TickLedger &Ledger) {
                             Fresh->Steps.size());
     T = Cache.insert(std::move(Fresh));
   }
+  ++T->Entries;
   if (Config.Prof) {
     Config.Prof->charge(prof::Cause::JitExecute, DispatchCost);
     if (CompileHere)
@@ -117,6 +141,36 @@ void PinVm::runAnalysisCalls(const TraceStep &Step, TickLedger &Ledger,
   for (const CallSite &Site : Step.Calls) {
     if (Site.After != After)
       continue;
+    if (Site.Batched && Config.Redux) {
+      // Deferred iteration: bump the pending count at a fraction of the
+      // call cost; the full call is repaid at the next flush boundary.
+      Ticks FullCost = Model.AnalysisCallBase +
+                       Site.Args.size() * Model.AnalysisCallPerArg +
+                       Site.FnUserCost;
+      Ledger.charge(Model.ReduxDeferCost);
+      ++NumCallsSuppressed;
+      SavedTicks += static_cast<int64_t>(FullCost) -
+                    static_cast<int64_t>(Model.ReduxDeferCost);
+      if (Config.Prof)
+        Config.Prof->noteRedux(/*Suppressed=*/1, /*Flushes=*/0,
+                               static_cast<int64_t>(FullCost) -
+                                   static_cast<int64_t>(Model.ReduxDeferCost));
+      PendingAgg *P = nullptr;
+      for (PendingAgg &E : Pending)
+        if (E.Site == &Site) {
+          P = &E;
+          break;
+        }
+      if (!P) {
+        Pending.push_back(PendingAgg{&Site, 0, {}});
+        P = &Pending.back();
+        // Immediate-only arguments (insertAggregableCall enforces it), so
+        // capturing at first deferral loses nothing.
+        evalArgs(Site.Args, Step, P->Values);
+      }
+      ++P->Count;
+      continue;
+    }
     if (Site.If) {
       Ledger.charge(Model.InlinedCheckCost + Site.IfUserCost);
       ++NumInlinedChecks;
@@ -133,6 +187,29 @@ void PinVm::runAnalysisCalls(const TraceStep &Step, TickLedger &Ledger,
     evalArgs(Site.Args, Step, Values);
     Site.Fn(Values);
   }
+}
+
+void PinVm::flushRedux(TickLedger &Ledger) {
+  if (Pending.empty())
+    return;
+  for (PendingAgg &P : Pending) {
+    Ticks Cost = Model.AnalysisCallBase +
+                 P.Site->Args.size() * Model.AnalysisCallPerArg +
+                 P.Site->FnUserCost;
+    Ledger.charge(Cost);
+    SavedTicks -= static_cast<int64_t>(Cost);
+    ++NumAnalysisCalls;
+    ++NumReduxFlushes;
+    // Flushes run outside run()'s attribution brackets, so charge the
+    // profile directly.
+    if (Config.Prof) {
+      Config.Prof->charge(prof::Cause::InstrAnalysis, Cost);
+      Config.Prof->noteRedux(/*Suppressed=*/0, /*Flushes=*/1,
+                             -static_cast<int64_t>(Cost));
+    }
+    P.Site->Agg(P.Values, P.Count);
+  }
+  Pending.clear();
 }
 
 void PinVm::seedFromCfg(TickLedger &Ledger) {
@@ -168,11 +245,14 @@ VmStop PinVm::run(TickLedger &Ledger) {
   while (Ledger.hasBudget()) {
     if (StopRequested) {
       StopRequested = false;
+      flushRedux(Ledger);
       return VmStop::ToolStop;
     }
     if (!CurTrace) {
-      if (!dispatch(Ledger))
+      if (!dispatch(Ledger)) {
+        flushRedux(Ledger);
         return VmStop::BadPc;
+      }
       continue; // Re-check budget after paying dispatch/compile cost.
     }
     assert(CurStep < CurTrace->Steps.size() && "trace cursor out of range");
@@ -183,8 +263,10 @@ VmStop PinVm::run(TickLedger &Ledger) {
     //    the armed address; a match means this instruction belongs to the
     //    next slice and must not execute or be counted here.
     if (Detect && Step.Pc == ArmedPc) {
-      if (Detect(Ledger))
+      if (Detect(Ledger)) {
+        flushRedux(Ledger);
         return VmStop::Detected;
+      }
     }
 
     // 2. IPOINT_BEFORE analysis calls. Attribution brackets analysis with
@@ -205,7 +287,9 @@ VmStop PinVm::run(TickLedger &Ledger) {
     if (Status == ExecStatus::Syscall) {
       // Leave the cursor past this trace; the environment services the
       // syscall and the next run() dispatches at the post-syscall pc.
+      // Pending aggregates must land before the tool observes the syscall.
       CurTrace = nullptr;
+      flushRedux(Ledger);
       return VmStop::Syscall;
     }
     Ledger.charge(Config.InstCost + Model.PinDispatchPerInst);
@@ -215,8 +299,10 @@ VmStop PinVm::run(TickLedger &Ledger) {
     ++Retired;
     if (CapRemaining != ~uint64_t(0) && CapRemaining != 0)
       --CapRemaining;
-    if (Status == ExecStatus::Halt)
+    if (Status == ExecStatus::Halt) {
+      flushRedux(Ledger);
       return VmStop::BadPc; // Guests must exit via syscall.
+    }
 
     // 4. IPOINT_AFTER analysis calls (post-execution state).
     Ticks AfterBase = Config.Prof ? Ledger.totalCharged() : 0;
@@ -241,8 +327,12 @@ VmStop PinVm::run(TickLedger &Ledger) {
     // 6. Guest-thread quantum: once the cap is spent, stop at the first
     //    dynamic basic-block boundary (a retired control-flow instruction)
     //    so preemption never splits a block (see Process::noteRetired).
-    if (CapRemaining == 0 && Step.Inst->isControlFlow())
+    if (CapRemaining == 0 && Step.Inst->isControlFlow()) {
+      flushRedux(Ledger);
       return VmStop::InstCap;
+    }
   }
+  // Budget pauses are not tool-observable: pending aggregates survive the
+  // pause and flush at the next architectural stop.
   return VmStop::Budget;
 }

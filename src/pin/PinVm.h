@@ -33,6 +33,7 @@
 
 namespace spin::analysis {
 class Cfg;
+class RedundancyInfo;
 }
 
 namespace spin::obs {
@@ -75,6 +76,18 @@ struct PinVmConfig {
   /// stalling execution trace by trace. Seeding happens inside run() —
   /// after armDetection() — so seeded traces respect the slice boundary.
   const analysis::Cfg *SeedCfg = nullptr;
+  /// Instrumentation-redundancy suppression (-spredux): when set, traces
+  /// that stay hot past ReduxHotThreshold entries are recompiled once
+  /// with Batched marks on eligible call sites (see compileTrace). A
+  /// batched site charges Model.ReduxDeferCost per iteration instead of a
+  /// full analysis call and accumulates a pending count; at every
+  /// tool-observable VM exit (syscall, detection, tool stop, quantum cap,
+  /// bad pc — everything except a plain budget pause) the VM replays each
+  /// pending site as one full-cost Agg(Args, Count) call, so tool output
+  /// is byte-identical with the flag off by construction.
+  const analysis::RedundancyInfo *Redux = nullptr;
+  /// Trace-entry count after which a redux-eligible trace is recompiled.
+  uint32_t ReduxHotThreshold = 16;
   /// Observability (src/obs): when set, the VM emits a "jit.compile"
   /// instant per on-demand trace compile and one "jit.seed" instant per
   /// batch seed, on \p TraceLane, timestamped via \p TraceClock (the
@@ -152,6 +165,17 @@ public:
   /// tracesCompiled(), which keeps meaning on-demand compile stalls).
   uint64_t tracesSeeded() const { return NumTracesSeeded; }
   os::Ticks seedTicks() const { return SeedTicks; }
+  // Redundancy suppression (-spredux; all zero when it is off).
+  uint64_t analysisCallsSuppressed() const { return NumCallsSuppressed; }
+  uint64_t reduxFlushes() const { return NumReduxFlushes; }
+  uint64_t tracesRecompiled() const { return NumTracesRecompiled; }
+  os::Ticks recompileTicks() const { return RecompileTicks; }
+  /// Net ticks the deferral saved (deferred-call discounts minus flush
+  /// repayments); clamped at zero for degenerate loops that flush every
+  /// iteration.
+  os::Ticks reduxSavedTicks() const {
+    return SavedTicks > 0 ? static_cast<os::Ticks>(SavedTicks) : 0;
+  }
   const CodeCache &cache() const { return Cache; }
 
 private:
@@ -177,6 +201,26 @@ private:
   bool Seeded = false;
   uint64_t NumTracesSeeded = 0;
   os::Ticks SeedTicks = 0;
+  uint64_t NumCallsSuppressed = 0;
+  uint64_t NumReduxFlushes = 0;
+  uint64_t NumTracesRecompiled = 0;
+  os::Ticks RecompileTicks = 0;
+  int64_t SavedTicks = 0;
+
+  /// One deferred (Batched) call site awaiting flush: the argument values
+  /// captured at first deferral (immediate-only, so any capture point
+  /// yields the same values) and the iteration count accumulated since.
+  struct PendingAgg {
+    const CallSite *Site;
+    uint64_t Count;
+    uint64_t Values[MaxAnalysisArgs];
+  };
+  std::vector<PendingAgg> Pending;
+
+  /// Replays every pending deferred site as one full-cost aggregate call.
+  /// Must run before any tool-observable stop and before any cached trace
+  /// is replaced (Pending holds pointers into trace call sites).
+  void flushRedux(os::TickLedger &Ledger);
 
   /// One-shot batch compile of all reachable static block leaders.
   void seedFromCfg(os::TickLedger &Ledger);

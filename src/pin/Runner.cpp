@@ -224,6 +224,11 @@ private:
     Report.CompileTicks = Vm.compileTicks();
     Report.TracesSeeded = Vm.tracesSeeded();
     Report.SeedTicks = Vm.seedTicks();
+    Report.CallsSuppressed = Vm.analysisCallsSuppressed();
+    Report.ReduxFlushes = Vm.reduxFlushes();
+    Report.TracesRecompiled = Vm.tracesRecompiled();
+    Report.RecompileTicks = Vm.recompileTicks();
+    Report.ReduxSavedTicks = Vm.reduxSavedTicks();
     RawStringOstream OS(Report.FiniOutput);
     ToolInstance->onFini(OS);
   }

@@ -44,6 +44,14 @@ struct RunReport {
   // their batch-compile cost.
   uint64_t TracesSeeded = 0;
   os::Ticks SeedTicks = 0;
+  // Redundancy suppression (PinVmConfig::Redux, -spredux): deferred
+  // analysis calls, aggregate replays, hot-trace recompiles, and the net
+  // ticks the deferral saved.
+  uint64_t CallsSuppressed = 0;
+  uint64_t ReduxFlushes = 0;
+  uint64_t TracesRecompiled = 0;
+  os::Ticks RecompileTicks = 0;
+  os::Ticks ReduxSavedTicks = 0;
 };
 
 /// Runs \p Prog uninstrumented on one CPU of the simulated machine.

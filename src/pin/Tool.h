@@ -31,6 +31,23 @@ class RawOstream;
 
 namespace spin::pin {
 
+/// How a tool's analysis payloads relate to the instrumented iteration
+/// stream — the tool's aggregation-eligibility declaration consumed by
+/// the redundancy-suppressing JIT (-spredux, analysis/Redundancy.h).
+enum class InstrKind : uint8_t {
+  /// Payloads depend on per-iteration state or ordering (cache
+  /// simulators, memory tracers): never suppress. The safe default.
+  Stateful,
+  /// Payloads are additive and order-insensitive (counters): N deferred
+  /// iterations may be replayed as one Agg(Args, N) call at a flush
+  /// boundary (icount, opcode mix, branch-profile totals).
+  Aggregatable,
+  /// Payloads are idempotent per loop visit: one call per loop entry
+  /// would suffice. Treated like Aggregatable by the runtime (an
+  /// aggregate replay subsumes an idempotent one).
+  Invariant,
+};
+
 /// How a shared area combines slice-local contributions at slice end
 /// (the autoMerge argument of SP_CreateSharedArea).
 enum class AutoMerge : uint8_t {
@@ -84,6 +101,13 @@ public:
   virtual ~Tool();
 
   virtual std::string_view name() const = 0;
+
+  /// Aggregation eligibility (see InstrKind). Tools whose analysis
+  /// routines are pure additive counters opt in by returning Aggregatable
+  /// and inserting their calls via Ins::insertAggregableCall; everything
+  /// else inherits Stateful and is never suppressed, regardless of flags
+  /// or static classification.
+  virtual InstrKind instrKind() const { return InstrKind::Stateful; }
 
   /// Called when the JIT compiles a new trace; insert analysis calls here.
   virtual void instrumentTrace(Trace &T) = 0;

@@ -41,6 +41,22 @@ void Ins::insertAfterCall(AnalysisFn Fn, std::vector<Arg> Args,
   step().Calls.push_back(std::move(Site));
 }
 
+void Ins::insertAggregableCall(AnalysisFn Fn, AggregateFn Agg,
+                               std::vector<Arg> Args, os::Ticks UserCost) {
+  assert(Args.size() <= MaxAnalysisArgs && "too many analysis arguments");
+#ifndef NDEBUG
+  for (const Arg &A : Args)
+    assert(A.Kind == ArgKind::Uint64 &&
+           "aggregable calls take immediate arguments only");
+#endif
+  CallSite Site;
+  Site.Fn = std::move(Fn);
+  Site.Agg = std::move(Agg);
+  Site.Args = std::move(Args);
+  Site.FnUserCost = UserCost;
+  step().Calls.push_back(std::move(Site));
+}
+
 void Ins::insertIfCall(PredicateFn If, std::vector<Arg> Args,
                        os::Ticks UserCost) {
   assert(Args.size() <= MaxAnalysisArgs && "too many analysis arguments");

@@ -39,6 +39,14 @@ struct CallSite {
   /// IPOINT_AFTER: run after the instruction executes, with arguments
   /// evaluated against post-execution state. Not allowed on syscalls.
   bool After = false;
+  /// Batched form (insertAggregableCall); empty for ordinary sites.
+  /// Contract: Agg(Args, N) must equal N consecutive Fn(Args) calls.
+  AggregateFn Agg;
+  /// Set by the redux compile pass (Compiler.cpp with a RedundancyInfo):
+  /// the VM defers this site into a pending count instead of calling Fn,
+  /// and replays it through Agg at the next flush boundary. Only ever set
+  /// on sites with Agg, no predicate, and pure-immediate arguments.
+  bool Batched = false;
 };
 
 /// One guest instruction within a compiled trace.
@@ -58,6 +66,13 @@ struct CompiledTrace {
 
   /// Index of the first step of basic block \p B.
   std::vector<uint32_t> BblStart;
+
+  /// Dispatches into this trace; drives the redux hot-trace recompile
+  /// threshold (PinVmConfig::ReduxHotThreshold).
+  uint64_t Entries = 0;
+  /// Compiled with redundancy marks (the recompiled hot form, or the
+  /// tool/classifier found nothing to batch — either way, final).
+  bool ReduxApplied = false;
 };
 
 class Bbl;
@@ -94,6 +109,15 @@ public:
   /// (which the VM never executes itself).
   void insertAfterCall(AnalysisFn Fn, std::vector<Arg> Args,
                        os::Ticks UserCost = 100);
+
+  /// Aggregation-eligible insertCall (IPOINT_BEFORE): like insertCall,
+  /// but additionally supplies the batched form \p Agg with the contract
+  /// Agg(Args, N) == N consecutive Fn(Args) calls. All arguments must be
+  /// immediates (Arg::imm) — iteration-varying argument kinds cannot be
+  /// replayed from a flush boundary. Without -spredux (or when the block
+  /// is classified stateful) the site behaves exactly like insertCall.
+  void insertAggregableCall(AnalysisFn Fn, AggregateFn Agg,
+                            std::vector<Arg> Args, os::Ticks UserCost = 100);
 
   /// Pin's INS_InsertIfCall: \p If is inlined at this instruction; pair it
   /// with insertThenCall. Asserts if called twice without a Then.

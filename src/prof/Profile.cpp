@@ -52,6 +52,11 @@ void SliceProfile::rewindAttempt(const SliceProfile &AttemptStart) {
     Causes[I] = AttemptStart.Causes[I];
   }
   Causes[causeIndex(Cause::RetryWaste)] += Waste;
+  // The dead attempt's deferred calls never produced tool-visible output;
+  // its redux telemetry is rewound with the rest of the attribution.
+  ReduxSuppressed = AttemptStart.ReduxSuppressed;
+  ReduxFlushes = AttemptStart.ReduxFlushes;
+  ReduxSaved = AttemptStart.ReduxSaved;
   // Block costs of the dead attempt are discarded rather than kept: the
   // retry re-executes the same blocks, and double-counting them would
   // inflate per-block slowdowns. The ticks themselves survive in the
@@ -92,6 +97,30 @@ os::Ticks ProfileCollector::totalCause(Cause C) const {
   os::Ticks Sum = 0;
   forEachLane(
       [&](const std::string &, const SliceProfile &P) { Sum += P.cause(C); });
+  return Sum;
+}
+
+uint64_t ProfileCollector::totalReduxSuppressed() const {
+  uint64_t Sum = 0;
+  forEachLane([&](const std::string &, const SliceProfile &P) {
+    Sum += P.reduxSuppressed();
+  });
+  return Sum;
+}
+
+uint64_t ProfileCollector::totalReduxFlushes() const {
+  uint64_t Sum = 0;
+  forEachLane([&](const std::string &, const SliceProfile &P) {
+    Sum += P.reduxFlushes();
+  });
+  return Sum;
+}
+
+os::Ticks ProfileCollector::totalReduxSaved() const {
+  os::Ticks Sum = 0;
+  forEachLane([&](const std::string &, const SliceProfile &P) {
+    Sum += P.reduxSavedTicks();
+  });
   return Sum;
 }
 
@@ -142,6 +171,12 @@ void ProfileCollector::writeJson(RawOstream &OS, unsigned TopN) const {
     J.field("share", shareOf(totalCause(C), Attributed));
     J.endObject();
   }
+  J.endObject();
+
+  J.key("redux").beginObject();
+  J.field("calls_suppressed", totalReduxSuppressed());
+  J.field("flushes", totalReduxFlushes());
+  J.field("saved_ticks", totalReduxSaved());
   J.endObject();
 
   J.key("lanes").beginArray();
@@ -206,4 +241,7 @@ void ProfileCollector::exportStatistics(StatisticRegistry &Stats) const {
   }
   Stats.counter("prof.lanes") += 1 + Slices.size();
   Stats.counter("prof.blocks") += mergedBlocks().size();
+  Stats.counter("prof.redux.calls_suppressed") += totalReduxSuppressed();
+  Stats.counter("prof.redux.flushes") += totalReduxFlushes();
+  Stats.counter("prof.redux.saved_ticks") += totalReduxSaved();
 }

@@ -118,6 +118,15 @@ public:
     B.NativeTicks += NativeT;
   }
 
+  /// Redundancy-suppression telemetry (-spredux): \p Suppressed deferred
+  /// analysis calls, \p Flushes aggregate replays, and the net tick delta
+  /// \p SavedDelta (positive on deferral, negative on repayment).
+  void noteRedux(uint64_t Suppressed, uint64_t Flushes, int64_t SavedDelta) {
+    ReduxSuppressed += Suppressed;
+    ReduxFlushes += Flushes;
+    ReduxSaved += SavedDelta;
+  }
+
   /// Rewinds cause and block attribution to \p AttemptStart (a copy taken
   /// when the attempt began), folding everything charged since into
   /// retry.waste. Consumed and native totals are kept — the ticks were
@@ -128,6 +137,12 @@ public:
   os::Ticks attributedTicks() const;
   os::Ticks nativeTicks() const { return Native; }
   os::Ticks consumedTicks() const { return Consumed; }
+  uint64_t reduxSuppressed() const { return ReduxSuppressed; }
+  uint64_t reduxFlushes() const { return ReduxFlushes; }
+  /// Net ticks redundancy suppression saved, clamped at zero.
+  os::Ticks reduxSavedTicks() const {
+    return ReduxSaved > 0 ? static_cast<os::Ticks>(ReduxSaved) : 0;
+  }
   const std::unordered_map<uint64_t, BlockProfile> &blocks() const {
     return Blocks;
   }
@@ -136,6 +151,9 @@ private:
   std::array<os::Ticks, NumCauses> Causes{};
   os::Ticks Native = 0;
   os::Ticks Consumed = 0;
+  uint64_t ReduxSuppressed = 0;
+  uint64_t ReduxFlushes = 0;
+  int64_t ReduxSaved = 0;
   std::unordered_map<uint64_t, BlockProfile> Blocks;
 };
 
@@ -160,6 +178,9 @@ public:
   os::Ticks totalNative() const;
   os::Ticks totalAttributed() const;
   os::Ticks totalCause(Cause C) const;
+  uint64_t totalReduxSuppressed() const;
+  uint64_t totalReduxFlushes() const;
+  os::Ticks totalReduxSaved() const;
 
   /// All block records merged across lanes (dedup by pc), sorted by
   /// descending instrumented cost, ties by ascending pc.

@@ -38,6 +38,7 @@
 #include "superpin/Engine.h"
 
 #include "analysis/Passes.h"
+#include "analysis/Redundancy.h"
 #include "fault/FaultPlan.h"
 #include "obs/TraceRecorder.h"
 #include "os/Kernel.h"
@@ -123,6 +124,9 @@ struct Coordinator {
   /// Static CFG used to seed slice code caches
   /// (SpOptions::StaticTraceSeed); null when seeding is disabled.
   const analysis::Cfg *SeedCfg = nullptr;
+  /// Loop/redundancy classification consumed by every slice VM
+  /// (SpOptions::Redux); null when suppression is disabled.
+  const analysis::RedundancyInfo *Redux = nullptr;
 
   /// Capture sink (-sprecord); null when capture is off.
   CaptureSink *Sink = nullptr;
@@ -378,6 +382,7 @@ private:
     if (C.Opts.SharedCodeCache)
       Cfg.SharedJit = &C.SharedJit;
     Cfg.SeedCfg = C.SeedCfg; // null unless -spseed
+    Cfg.Redux = C.Redux;     // null unless -spredux
     if (C.Prof)
       Cfg.Prof = &C.Prof->slice(Num);
     if (C.Tr) {
@@ -769,6 +774,11 @@ private:
     C.Report.CompileTicks += Vm->compileTicks();
     C.Report.TracesSeeded += Vm->tracesSeeded();
     C.Report.SeedTicks += Vm->seedTicks();
+    C.Report.CallsSuppressed += Vm->analysisCallsSuppressed();
+    C.Report.ReduxFlushes += Vm->reduxFlushes();
+    C.Report.TracesRecompiled += Vm->tracesRecompiled();
+    C.Report.RecompileTicks += Vm->recompileTicks();
+    C.Report.ReduxSavedTicks += Vm->reduxSavedTicks();
     // Re-judge everything the dead attempt charged as retry.waste, then
     // add the kill itself.
     if (Prof && AttemptBase)
@@ -906,6 +916,11 @@ private:
     C.Report.CompileTicks += Vm->compileTicks();
     C.Report.TracesSeeded += Vm->tracesSeeded();
     C.Report.SeedTicks += Vm->seedTicks();
+    C.Report.CallsSuppressed += Vm->analysisCallsSuppressed();
+    C.Report.ReduxFlushes += Vm->reduxFlushes();
+    C.Report.TracesRecompiled += Vm->tracesRecompiled();
+    C.Report.RecompileTicks += Vm->recompileTicks();
+    C.Report.ReduxSavedTicks += Vm->reduxSavedTicks();
     // Coverage: how much of the window the final attempt successfully
     // instrumented. A failed attempt that overran contributes nothing
     // (its prefix cannot be trusted past the divergence point).
@@ -1414,8 +1429,13 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   // Ahead-of-time analysis (shared by both execution modes). Built once
   // per run; the engine only reads it.
   std::optional<analysis::ProgramAnalysis> Static;
-  if (Opts.StaticSyscallPrediction || Opts.StaticTraceSeed)
+  if (Opts.StaticSyscallPrediction || Opts.StaticTraceSeed || Opts.Redux)
     Static.emplace(analysis::analyzeProgram(Prog));
+  // Loop forest + block redundancy classification (-spredux), derived from
+  // the shared static CFG. Outlives both execution modes below.
+  std::optional<analysis::RedundancyInfo> Redux;
+  if (Opts.Redux)
+    Redux.emplace(Static->G);
 
   if (!Opts.Enabled) {
     // -sp 0: degrade to traditional serial Pin (paper Section 5) and
@@ -1425,6 +1445,8 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
     PinVmConfig Config;
     if (Opts.StaticTraceSeed)
       Config.SeedCfg = &Static->G;
+    if (Redux)
+      Config.Redux = &*Redux;
     if (Opts.Profile)
       Config.Prof = &Opts.Profile->master();
     pin::RunReport Serial =
@@ -1444,6 +1466,11 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
     Report.CompileTicks = Serial.CompileTicks;
     Report.TracesSeeded = Serial.TracesSeeded;
     Report.SeedTicks = Serial.SeedTicks;
+    Report.CallsSuppressed = Serial.CallsSuppressed;
+    Report.ReduxFlushes = Serial.ReduxFlushes;
+    Report.TracesRecompiled = Serial.TracesRecompiled;
+    Report.RecompileTicks = Serial.RecompileTicks;
+    Report.ReduxSavedTicks = Serial.ReduxSavedTicks;
     if (Static)
       Report.StaticSyscallSites = Static->SyscallSites.numSites();
     Report.PeakParallelism = 1;
@@ -1469,6 +1496,8 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
       C.SysMap = &Static->SyscallSites;
     if (Opts.StaticTraceSeed)
       C.SeedCfg = &Static->G;
+    if (Redux)
+      C.Redux = &*Redux;
   }
   C.MasterId = Sched.addTask(std::make_unique<MasterTask>(C));
   Sched.runToCompletion();

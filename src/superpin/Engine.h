@@ -114,6 +114,13 @@ struct SpRunReport {
   uint64_t TracesSeeded = 0;          ///< slice traces precompiled from leaders
   os::Ticks SeedTicks = 0;            ///< batch-seeding JIT cost
 
+  // --- Redundancy suppression (SpOptions::Redux, -spredux) ---------------
+  uint64_t CallsSuppressed = 0;  ///< analysis calls deferred to a flush
+  uint64_t ReduxFlushes = 0;     ///< aggregate replays at flush boundaries
+  uint64_t TracesRecompiled = 0; ///< hot traces recompiled with marks
+  os::Ticks RecompileTicks = 0;  ///< JIT cost of those recompiles
+  os::Ticks ReduxSavedTicks = 0; ///< net ticks the deferral saved
+
   // --- Fault injection & recovery (src/fault) ---------------------------
   // All zero (and absent from reports) unless SpOptions::Fault is set.
   uint64_t FaultsInjected = 0;   ///< slices the plan actually faulted

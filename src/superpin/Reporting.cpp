@@ -70,6 +70,13 @@ void spin::sp::printReport(const SpRunReport &Report, const CostModel &Model,
        << Report.MasterInsts << " insts, breaker "
        << (Report.BreakerTripped ? "TRIPPED" : "armed") << "\n";
   }
+  // Only with -spredux activity, so redux-off reports stay byte-identical
+  // to before the suppression subsystem existed.
+  if (Report.CallsSuppressed || Report.TracesRecompiled)
+    OS << "redux: " << Report.CallsSuppressed << " calls suppressed, "
+       << Report.ReduxFlushes << " flushes, " << Report.TracesRecompiled
+       << " traces recompiled (" << Sec(Report.RecompileTicks) << "s), saved "
+       << Sec(Report.ReduxSavedTicks) << "s\n";
   OS << "signature: " << Report.Signature.QuickChecks << " quick / "
      << Report.Signature.FullChecks << " full / "
      << Report.Signature.StackChecks << " stack / "
@@ -108,6 +115,11 @@ void spin::sp::exportStatistics(const SpRunReport &Report,
   Stats.counter("superpin.jit.ticks") = Report.CompileTicks;
   Stats.counter("superpin.jit.seeded") = Report.TracesSeeded;
   Stats.counter("superpin.jit.seedticks") = Report.SeedTicks;
+  Stats.counter("superpin.redux.suppressed") = Report.CallsSuppressed;
+  Stats.counter("superpin.redux.flushes") = Report.ReduxFlushes;
+  Stats.counter("superpin.redux.recompiled") = Report.TracesRecompiled;
+  Stats.counter("superpin.redux.recompileticks") = Report.RecompileTicks;
+  Stats.counter("superpin.redux.savedticks") = Report.ReduxSavedTicks;
   Stats.counter("superpin.static.sites") = Report.StaticSyscallSites;
   Stats.counter("superpin.sys.predicted") = Report.PredictedSyscallSites;
   Stats.counter("superpin.sys.trapclassified") = Report.TrapClassifiedSyscalls;

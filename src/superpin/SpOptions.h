@@ -95,6 +95,16 @@ struct SpOptions {
   /// before it starts executing (PinVmConfig::SeedCfg), trading one
   /// up-front JIT burst for the per-trace first-execution compile stalls.
   bool StaticTraceSeed = false;
+  /// -spredux: instrumentation-redundancy suppression. Static loop
+  /// analysis (analysis/Redundancy.h) classifies each basic block; hot
+  /// traces are recompiled once with deferral marks on eligible call
+  /// sites of Aggregatable tools, which then batch per-iteration counter
+  /// calls and replay them as one Agg(Args, N) call per flush boundary.
+  /// Tool output stays byte-identical with the flag off (the aggregate
+  /// contract is Agg(a, N) == N applications of the plain call); only
+  /// virtual-time cost changes. Honoured by both the SuperPin and the
+  /// serial-Pin path.
+  bool Redux = false;
 
   // --- Persistent capture & deferred replay (src/replay) ----------------
   /// -sprecord: when non-null, the engine streams every slice window,

@@ -28,6 +28,12 @@ public:
 
   std::string_view name() const override { return "branchprofile"; }
 
+  /// All counters are additive. The taken counter needs the dynamic
+  /// Arg::branchTaken() value, so that site stays a plain insertCall (the
+  /// runtime only batches immediate-argument sites); the no-argument
+  /// call/ret/indirect counters opt into -spredux batching.
+  InstrKind instrKind() const override { return InstrKind::Aggregatable; }
+
   void instrumentTrace(Trace &T) override {
     for (uint32_t I = 0; I != T.numIns(); ++I) {
       Ins In = T.insAt(I);
@@ -41,11 +47,17 @@ public:
             },
             {Arg::branchTaken()});
       } else if (In.isCall()) {
-        In.insertCall([this](const uint64_t *) { ++Counters[2]; }, {});
+        In.insertAggregableCall(
+            [this](const uint64_t *) { ++Counters[2]; },
+            [this](const uint64_t *, uint64_t N) { Counters[2] += N; }, {});
       } else if (In.isRet()) {
-        In.insertCall([this](const uint64_t *) { ++Counters[3]; }, {});
+        In.insertAggregableCall(
+            [this](const uint64_t *) { ++Counters[3]; },
+            [this](const uint64_t *, uint64_t N) { Counters[3] += N; }, {});
       } else if (In.inst().isIndirect()) {
-        In.insertCall([this](const uint64_t *) { ++Counters[4]; }, {});
+        In.insertAggregableCall(
+            [this](const uint64_t *) { ++Counters[4]; },
+            [this](const uint64_t *, uint64_t N) { Counters[4] += N; }, {});
       }
     }
   }

@@ -27,6 +27,16 @@ public:
 
   std::string_view name() const override { return "composite"; }
 
+  /// A composite is only as batchable as its least batchable member: any
+  /// Stateful sub-tool vetoes -spredux suppression for the whole group
+  /// (eligibility is declared per tool, and the compiler sees one tool).
+  InstrKind instrKind() const override {
+    for (const auto &Sub : SubTools)
+      if (Sub->instrKind() == InstrKind::Stateful)
+        return InstrKind::Stateful;
+    return InstrKind::Aggregatable;
+  }
+
   void instrumentTrace(Trace &T) override {
     for (auto &Sub : SubTools)
       Sub->instrumentTrace(T);

@@ -31,6 +31,12 @@ public:
 
   std::string_view name() const override { return "dcache"; }
 
+  /// Cache simulation is order- and state-dependent (each access mutates
+  /// replacement state), so the tool must see every iteration: exempt
+  /// from -spredux suppression. Stateful is the inherited default; the
+  /// override documents that the exemption is deliberate.
+  InstrKind instrKind() const override { return InstrKind::Stateful; }
+
   void instrumentTrace(Trace &T) override {
     for (uint32_t I = 0; I != T.numIns(); ++I) {
       Ins In = T.insAt(I);

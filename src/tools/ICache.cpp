@@ -31,6 +31,10 @@ public:
 
   std::string_view name() const override { return "icache"; }
 
+  /// Cache simulation is order- and state-dependent: exempt from -spredux
+  /// suppression (the inherited default, made explicit on purpose).
+  InstrKind instrKind() const override { return InstrKind::Stateful; }
+
   void instrumentTrace(Trace &T) override {
     // The fetch stream: every instruction accesses the cache at its pc.
     // Guest instructions are InstSize bytes, so consecutive instructions

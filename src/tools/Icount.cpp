@@ -33,20 +33,24 @@ public:
                                                          : "icount2";
   }
 
+  /// Pure additive counting: N deferred iterations fold into one
+  /// Icount += A[0] * N, so the tool opts into -spredux batching.
+  InstrKind instrKind() const override { return InstrKind::Aggregatable; }
+
   void instrumentTrace(Trace &T) override {
+    auto Fn = [this](const uint64_t *A) { Icount += A[0]; };
+    auto Agg = [this](const uint64_t *A, uint64_t N) { Icount += A[0] * N; };
     if (Granularity == IcountGranularity::Instruction) {
       // icount1: a counter call at every single instruction.
       for (uint32_t I = 0; I != T.numIns(); ++I)
-        T.insAt(I).insertCall([this](const uint64_t *A) { Icount += A[0]; },
-                              {Arg::imm(1)});
+        T.insAt(I).insertAggregableCall(Fn, Agg, {Arg::imm(1)});
       return;
     }
     // icount2: BBL granularity, adding BBL_NumIns at each block head.
     for (uint32_t B = 0; B != T.numBbls(); ++B) {
       Bbl Block = T.bblAt(B);
-      Block.insHead().insertCall(
-          [this](const uint64_t *A) { Icount += A[0]; },
-          {Arg::imm(Block.numIns())});
+      Block.insHead().insertAggregableCall(Fn, Agg,
+                                           {Arg::imm(Block.numIns())});
     }
   }
 

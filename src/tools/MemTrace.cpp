@@ -22,6 +22,11 @@ public:
 
   std::string_view name() const override { return "memtrace"; }
 
+  /// The trace log is ordered per-access data — collapsing N iterations
+  /// into one record would lose the log itself: exempt from -spredux
+  /// suppression (the inherited default, made explicit on purpose).
+  InstrKind instrKind() const override { return InstrKind::Stateful; }
+
   void instrumentTrace(Trace &T) override {
     for (uint32_t I = 0; I != T.numIns(); ++I) {
       Ins In = T.insAt(I);

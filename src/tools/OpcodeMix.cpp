@@ -26,11 +26,17 @@ public:
 
   std::string_view name() const override { return "opcodemix"; }
 
+  /// Histogram bumps are additive per opcode, so N deferred iterations
+  /// fold into one Counts[op] += N: eligible for -spredux batching.
+  InstrKind instrKind() const override { return InstrKind::Aggregatable; }
+
   void instrumentTrace(Trace &T) override {
     for (uint32_t I = 0; I != T.numIns(); ++I) {
       Ins In = T.insAt(I);
-      In.insertCall([this](const uint64_t *A) { ++Counts[A[0]]; },
-                    {Arg::imm(static_cast<uint64_t>(In.inst().Op))});
+      In.insertAggregableCall(
+          [this](const uint64_t *A) { ++Counts[A[0]]; },
+          [this](const uint64_t *A, uint64_t N) { Counts[A[0]] += N; },
+          {Arg::imm(static_cast<uint64_t>(In.inst().Op))});
     }
   }
 

@@ -82,6 +82,79 @@ counter: .word64 0
   return mustAssemble(Src, "memcounter");
 }
 
+/// Two counted loops, one nested in the other. The inner loop is a
+/// single-block self-loop (depth 2); the outer loop is a three-block
+/// reducible loop (depth 1). Runs Outer x Inner inner iterations.
+inline vm::Program makeNestedLoops(unsigned Outer, unsigned Inner) {
+  std::string Src = R"(
+main:
+  movi r1, )" + std::to_string(Outer) +
+                    R"(
+  movi r5, 0
+outer:
+  movi r2, )" + std::to_string(Inner) +
+                    R"(
+inner:
+  addi r2, r2, -1
+  bne r2, r5, inner
+  addi r1, r1, -1
+  bne r1, r5, outer
+  movi r0, 0
+  movi r1, 0
+  syscall
+)";
+  return mustAssemble(Src, "nested");
+}
+
+/// One loop header fed by two distinct back edges (latches): natural-loop
+/// discovery must merge them into a single Loop, as LLVM's LoopInfo does.
+inline vm::Program makeSharedHeaderLoop(unsigned N) {
+  std::string Src = R"(
+main:
+  movi r1, )" + std::to_string(N) +
+                    R"(
+  movi r5, 0
+  movi r6, 5
+head:
+  addi r1, r1, -1
+  beq r1, r6, latch2
+  bne r1, r5, head
+  jmp done
+latch2:
+  jmp head
+done:
+  movi r0, 0
+  movi r1, 0
+  syscall
+)";
+  return mustAssemble(Src, "sharedheader");
+}
+
+/// The classic irreducible region: a two-block cycle (a <-> b) entered at
+/// both blocks from the entry branch, so neither dominates the other and
+/// no natural loop forms. Terminates because r1 counts up to r2.
+inline vm::Program makeIrreducible() {
+  std::string Src = R"(
+main:
+  movi r1, 0
+  movi r2, 4
+  beq r1, r2, b
+a:
+  addi r1, r1, 1
+  bge r1, r2, done
+  jmp b
+b:
+  addi r1, r1, 1
+  bge r1, r2, done
+  jmp a
+done:
+  movi r0, 0
+  movi r1, 0
+  syscall
+)";
+  return mustAssemble(Src, "irreducible");
+}
+
 } // namespace spin::test
 
 #endif // SUPERPIN_TESTS_TESTPROGRAMS_H

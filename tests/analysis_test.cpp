@@ -13,7 +13,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Loops.h"
 #include "analysis/Passes.h"
+#include "analysis/Redundancy.h"
 #include "os/DirectRun.h"
 #include "os/Syscalls.h"
 #include "pin/Runner.h"
@@ -437,6 +439,246 @@ TEST(Format, InstructionIssueHasPcAndDisassembly) {
   EXPECT_NE(S.find("pc 0x"), std::string::npos) << S;
   EXPECT_NE(S.find(disassemble(P.Text[3])), std::string::npos) << S;
   EXPECT_NE(S.find("something odd"), std::string::npos) << S;
+}
+
+// --- Dominator tree ------------------------------------------------------
+
+/// Block id of the block starting at label \p Label, or aborts the test.
+uint32_t blockAt(const Cfg &G, const Program &P, const char *Label) {
+  std::optional<uint32_t> B = G.blockOfPc(P.Symbols.at(Label));
+  EXPECT_TRUE(B.has_value()) << Label;
+  return B ? *B : InvalidBlock;
+}
+
+TEST(DomTree, CountdownChainGolden) {
+  Program P = makeCountdown(5);
+  Cfg G = buildCfg(P);
+  DomTree DT(G);
+  uint32_t Entry = blockAt(G, P, "main");
+  uint32_t LoopB = blockAt(G, P, "loop");
+  EXPECT_EQ(DT.idom(Entry), InvalidBlock) << "roots have no idom";
+  EXPECT_EQ(DT.idom(LoopB), Entry);
+  for (uint32_t B = 0; B != G.numBlocks(); ++B) {
+    EXPECT_TRUE(DT.reachable(B));
+    EXPECT_TRUE(DT.dominates(Entry, B)) << "entry dominates everything";
+  }
+  uint32_t Exit = G.blockOfIndex(P.Text.size() - 1);
+  EXPECT_TRUE(DT.dominates(LoopB, Exit));
+  EXPECT_FALSE(DT.dominates(Exit, LoopB));
+  EXPECT_TRUE(DT.dominates(LoopB, LoopB)) << "dominance is reflexive";
+}
+
+TEST(DomTree, NestedLoopsIdomChain) {
+  Program P = makeNestedLoops(3, 4);
+  Cfg G = buildCfg(P);
+  DomTree DT(G);
+  uint32_t Entry = blockAt(G, P, "main");
+  uint32_t Outer = blockAt(G, P, "outer");
+  uint32_t Inner = blockAt(G, P, "inner");
+  EXPECT_EQ(DT.idom(Outer), Entry);
+  EXPECT_EQ(DT.idom(Inner), Outer);
+  EXPECT_TRUE(DT.dominates(Outer, Inner));
+  EXPECT_FALSE(DT.dominates(Inner, Outer));
+}
+
+TEST(DomTree, ThreadRootsDoNotDominateEachOther) {
+  // Two entry roots (main + the created thread) hang off the virtual
+  // super-root: queries across the trees answer false, not loop.
+  Program P = mustAssemble(R"(
+main:
+  movi r0, 4
+  movi r1, 4096
+  syscall
+  addi r2, r0, 4096
+  movi r1, worker
+  movi r0, 11
+  syscall
+  movi r0, 0
+  movi r1, 0
+  syscall
+worker:
+  movi r0, 12
+  syscall
+)",
+                           "threads");
+  Cfg G = buildCfg(P);
+  DomTree DT(G);
+  uint32_t Entry = blockAt(G, P, "main");
+  uint32_t Worker = blockAt(G, P, "worker");
+  EXPECT_TRUE(DT.reachable(Worker));
+  EXPECT_EQ(DT.idom(Worker), InvalidBlock) << "thread entry is a root";
+  EXPECT_FALSE(DT.dominates(Entry, Worker));
+  EXPECT_FALSE(DT.dominates(Worker, Entry));
+}
+
+// --- Natural-loop forest -------------------------------------------------
+
+TEST(Loops, CountdownIsASelfLoopWithIvAndTrip) {
+  Program P = makeCountdown(7);
+  Cfg G = buildCfg(P);
+  DomTree DT(G);
+  LoopForest F(G, DT);
+  ASSERT_EQ(F.numLoops(), 1u);
+  const Loop &L = F.loop(0);
+  EXPECT_EQ(L.Header, blockAt(G, P, "loop"));
+  EXPECT_TRUE(L.SelfLoop);
+  EXPECT_EQ(L.Blocks.size(), 1u);
+  ASSERT_EQ(L.Latches.size(), 1u);
+  EXPECT_EQ(L.Latches[0], L.Header);
+  EXPECT_EQ(L.Depth, 1u);
+  EXPECT_EQ(L.Parent, InvalidLoop);
+  EXPECT_FALSE(L.HasCallOrSyscall);
+  const Loop::InductionVar *IV = L.findIV(1);
+  ASSERT_NE(IV, nullptr) << "r1 is the only addi-written register";
+  EXPECT_EQ(IV->Step, -1);
+  EXPECT_EQ(L.EstTrip, std::optional<uint64_t>(7));
+  EXPECT_EQ(F.innermostLoopOf(L.Header), 0u);
+  EXPECT_FALSE(F.hasIrreducibleRegions());
+}
+
+TEST(Loops, NestedLoopsNestWithDepths) {
+  Program P = makeNestedLoops(4, 6);
+  Cfg G = buildCfg(P);
+  DomTree DT(G);
+  LoopForest F(G, DT);
+  ASSERT_EQ(F.numLoops(), 2u);
+  uint32_t OuterHdr = blockAt(G, P, "outer");
+  uint32_t InnerHdr = blockAt(G, P, "inner");
+  const Loop *Outer = nullptr;
+  const Loop *Inner = nullptr;
+  uint32_t OuterId = InvalidLoop;
+  uint32_t InnerId = InvalidLoop;
+  for (uint32_t I = 0; I != F.numLoops(); ++I) {
+    if (F.loop(I).Header == OuterHdr) {
+      Outer = &F.loop(I);
+      OuterId = I;
+    } else if (F.loop(I).Header == InnerHdr) {
+      Inner = &F.loop(I);
+      InnerId = I;
+    }
+  }
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Outer->Depth, 1u);
+  EXPECT_EQ(Outer->Parent, InvalidLoop);
+  EXPECT_EQ(Outer->Blocks.size(), 3u);
+  EXPECT_FALSE(Outer->SelfLoop);
+  EXPECT_EQ(Inner->Depth, 2u);
+  EXPECT_EQ(Inner->Parent, OuterId);
+  EXPECT_TRUE(Inner->SelfLoop);
+  EXPECT_TRUE(Outer->contains(InnerHdr));
+  EXPECT_EQ(F.innermostLoopOf(InnerHdr), InnerId)
+      << "innermost query prefers the deeper loop";
+  EXPECT_EQ(F.innermostLoopOf(OuterHdr), OuterId);
+  // r1 steps only in the outer body, r2 only in the inner body.
+  EXPECT_NE(Outer->findIV(1), nullptr);
+  EXPECT_NE(Inner->findIV(2), nullptr);
+}
+
+TEST(Loops, SharedHeaderBackEdgesMergeIntoOneLoop) {
+  Program P = makeSharedHeaderLoop(10);
+  Cfg G = buildCfg(P);
+  DomTree DT(G);
+  LoopForest F(G, DT);
+  ASSERT_EQ(F.numLoops(), 1u);
+  const Loop &L = F.loop(0);
+  EXPECT_EQ(L.Header, blockAt(G, P, "head"));
+  EXPECT_EQ(L.Latches.size(), 2u) << "both back edges feed one Loop";
+  EXPECT_EQ(L.Blocks.size(), 3u);
+  EXPECT_FALSE(L.SelfLoop);
+  EXPECT_FALSE(F.hasIrreducibleRegions());
+}
+
+TEST(Loops, IrreducibleRegionFormsNoLoopAndIsFlagged) {
+  Program P = makeIrreducible();
+  Cfg G = buildCfg(P);
+  DomTree DT(G);
+  LoopForest F(G, DT);
+  EXPECT_EQ(F.numLoops(), 0u) << "no dominating header, no natural loop";
+  EXPECT_TRUE(F.hasIrreducibleRegions());
+  uint32_t A = blockAt(G, P, "a");
+  uint32_t B = blockAt(G, P, "b");
+  EXPECT_TRUE(F.inIrreducibleRegion(A));
+  EXPECT_TRUE(F.inIrreducibleRegion(B));
+  EXPECT_FALSE(F.inIrreducibleRegion(blockAt(G, P, "main")));
+  EXPECT_FALSE(DT.dominates(A, B));
+  EXPECT_FALSE(DT.dominates(B, A));
+}
+
+// --- Redundancy classification -------------------------------------------
+
+TEST(Redundancy, SelfLoopAggregatesButNeverHoists) {
+  Program P = makeCountdown(5);
+  Cfg G = buildCfg(P);
+  RedundancyInfo RI(G);
+  uint32_t LoopB = blockAt(G, P, "loop");
+  EXPECT_EQ(RI.block(LoopB).Kind, BlockRedux::Aggregatable);
+  EXPECT_EQ(RI.block(blockAt(G, P, "main")).Kind, BlockRedux::Stateful)
+      << "straight-line code outside loops is never suppressed";
+  EXPECT_EQ(RI.numSuppressibleBlocks(), 1u);
+  EXPECT_EQ(RI.classifyPc(P.Symbols.at("loop")),
+            BlockRedux::Aggregatable);
+}
+
+TEST(Redundancy, ReducibleMultiBlockLoopsHoist) {
+  Program P = makeNestedLoops(3, 3);
+  Cfg G = buildCfg(P);
+  RedundancyInfo RI(G);
+  EXPECT_EQ(RI.block(blockAt(G, P, "inner")).Kind,
+            BlockRedux::Aggregatable);
+  EXPECT_EQ(RI.block(blockAt(G, P, "outer")).Kind, BlockRedux::Hoistable);
+  Program M = makeMemCounterLoop(8);
+  Cfg GM = buildCfg(M);
+  RedundancyInfo RM(GM);
+  EXPECT_EQ(RM.block(blockAt(GM, M, "loop")).Kind, BlockRedux::Hoistable)
+      << "memory traffic alone does not veto (calls stay byte-identical "
+         "via deferred aggregation)";
+}
+
+TEST(Redundancy, IrreducibleRegionsAreNeverSuppressible) {
+  Program P = makeIrreducible();
+  Cfg G = buildCfg(P);
+  RedundancyInfo RI(G);
+  EXPECT_EQ(RI.block(blockAt(G, P, "a")).Kind, BlockRedux::Stateful);
+  EXPECT_EQ(RI.block(blockAt(G, P, "b")).Kind, BlockRedux::Stateful);
+  EXPECT_EQ(RI.numSuppressibleBlocks(), 0u);
+  EXPECT_NE(RI.block(blockAt(G, P, "a")).Why.find("irreducible"),
+            std::string::npos);
+}
+
+TEST(Redundancy, LoopsWithCallsStayStateful) {
+  Program P = mustAssemble(R"(
+main:
+  movi r1, 5
+  movi r5, 0
+loop:
+  call fn
+  addi r1, r1, -1
+  bne r1, r5, loop
+  movi r0, 0
+  movi r1, 0
+  syscall
+fn:
+  movi r3, 1
+  ret
+)",
+                           "callloop");
+  Cfg G = buildCfg(P);
+  RedundancyInfo RI(G);
+  EXPECT_EQ(RI.block(blockAt(G, P, "loop")).Kind, BlockRedux::Stateful);
+}
+
+TEST(Redundancy, ClassifyPcRejectsForeignAddresses) {
+  Program P = makeCountdown(3);
+  Cfg G = buildCfg(P);
+  RedundancyInfo RI(G);
+  EXPECT_EQ(RI.classifyPc(0), BlockRedux::Stateful);
+  EXPECT_EQ(RI.classifyPc(AddressLayout::TextBase + 2),
+            BlockRedux::Stateful)
+      << "misaligned";
+  EXPECT_EQ(RI.classifyPc(Program::addressOfIndex(P.Text.size())),
+            BlockRedux::Stateful)
+      << "one past the end";
 }
 
 // --- Engine integration --------------------------------------------------

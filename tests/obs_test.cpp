@@ -528,6 +528,9 @@ TEST(Reporting, ExportedStatisticNamesAreGolden) {
       "superpin.sig.stack",       "superpin.sig.matches",
       "superpin.jit.traces",      "superpin.jit.ticks",
       "superpin.jit.seeded",      "superpin.jit.seedticks",
+      "superpin.redux.suppressed", "superpin.redux.flushes",
+      "superpin.redux.recompiled", "superpin.redux.recompileticks",
+      "superpin.redux.savedticks",
       "superpin.static.sites",    "superpin.sys.predicted",
       "superpin.sys.trapclassified", "superpin.cow.master",
       "superpin.cow.slices",         "superpin.fault.injected",

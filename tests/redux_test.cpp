@@ -1,0 +1,279 @@
+//===- tests/redux_test.cpp - Redundancy-suppression integration tests ----===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end coverage for -spredux (PinVmConfig::Redux / SpOptions::Redux):
+// the on/off byte-identical tool-output matrix across workloads x tools on
+// both the serial-Pin and SuperPin paths, the suppression/recompile
+// counters, and the runtime conservatism regressions (stateful tools,
+// irreducible regions, and composite vetoes suppress nothing).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Passes.h"
+#include "analysis/Redundancy.h"
+#include "pin/Runner.h"
+#include "superpin/Engine.h"
+#include "tools/BranchProfile.h"
+#include "tools/Composite.h"
+#include "tools/DCache.h"
+#include "tools/Icount.h"
+#include "tools/MemTrace.h"
+#include "tools/OpcodeMix.h"
+#include "workloads/Spec2000.h"
+
+#include "TestPrograms.h"
+#include "gtest/gtest.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+using namespace spin;
+using namespace spin::analysis;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::sp;
+using namespace spin::test;
+using namespace spin::tools;
+using namespace spin::vm;
+using namespace spin::workloads;
+
+namespace {
+
+/// Tools carry run-local state (e.g. memtrace's shared result log), so
+/// every run gets a freshly made factory, never a reused one.
+using FactoryMaker = std::function<ToolFactory()>;
+
+struct NamedTool {
+  const char *Name;
+  FactoryMaker Make;
+  bool Suppressible; ///< instrKind() != Stateful
+};
+
+std::vector<NamedTool> toolMatrix() {
+  return {
+      {"icount-inst",
+       [] { return makeIcountTool(IcountGranularity::Instruction); }, true},
+      {"icount-bb",
+       [] { return makeIcountTool(IcountGranularity::BasicBlock); }, true},
+      {"opcodemix", [] { return makeOpcodeMixTool(); }, true},
+      {"branchprofile", [] { return makeBranchProfileTool(); }, true},
+      {"dcache", [] { return makeDCacheTool(DCacheConfig()); }, false},
+      {"memtrace",
+       [] { return makeMemTraceTool(std::make_shared<MemTraceResult>()); },
+       false},
+  };
+}
+
+struct NamedProgram {
+  const char *Name;
+  Program Prog;
+};
+
+std::vector<NamedProgram> workloadMatrix() {
+  std::vector<NamedProgram> W;
+  W.push_back({"countdown", makeCountdown(2000)});
+  W.push_back({"nested", makeNestedLoops(60, 40)});
+  W.push_back({"memcounter", makeMemCounterLoop(500)});
+  W.push_back({"sharedheader", makeSharedHeaderLoop(200)});
+  W.push_back({"irreducible", makeIrreducible()});
+  return W;
+}
+
+/// A generated workload with calls and mixed syscalls: exercises the
+/// flush-at-syscall boundary and realistic (mostly stateful) loops.
+Program generatedWorkload() {
+  GenParams P;
+  P.Name = "redux-gen";
+  P.TargetInsts = 200'000;
+  P.NumFuncs = 4;
+  P.BlocksPerFunc = 4;
+  P.AluPerBlock = 3;
+  P.WorkingSetBytes = 1 << 14;
+  P.SyscallMask = 15;
+  P.Mix = SysMix::Mixed;
+  return generateWorkload(P);
+}
+
+// --- Serial path ---------------------------------------------------------
+
+TEST(Redux, SerialMatrixIsByteIdentical) {
+  CostModel Model;
+  for (const NamedProgram &W : workloadMatrix()) {
+    Cfg G = buildCfg(W.Prog);
+    RedundancyInfo RI(G);
+    for (const NamedTool &T : toolMatrix()) {
+      RunReport Off =
+          runSerialPin(W.Prog, Model, Model.TicksPerInst, T.Make());
+      PinVmConfig Config;
+      Config.Redux = &RI;
+      RunReport On =
+          runSerialPin(W.Prog, Model, Model.TicksPerInst, T.Make(), Config);
+      SCOPED_TRACE(std::string(W.Name) + " x " + T.Name);
+      EXPECT_EQ(On.FiniOutput, Off.FiniOutput);
+      EXPECT_EQ(On.Output, Off.Output);
+      EXPECT_EQ(On.Insts, Off.Insts);
+      EXPECT_EQ(On.ExitCode, Off.ExitCode);
+      EXPECT_EQ(Off.CallsSuppressed, 0u) << "off run must not suppress";
+      if (!T.Suppressible)
+        EXPECT_EQ(On.CallsSuppressed, 0u) << "stateful tools are exempt";
+    }
+  }
+}
+
+TEST(Redux, SuppressionEngagesOnHotSelfLoop) {
+  CostModel Model;
+  Program P = makeCountdown(5000);
+  Cfg G = buildCfg(P);
+  RedundancyInfo RI(G);
+  PinVmConfig Config;
+  Config.Redux = &RI;
+  RunReport On = runSerialPin(P, Model, Model.TicksPerInst,
+                              makeIcountTool(IcountGranularity::Instruction),
+                              Config);
+  RunReport Off = runSerialPin(
+      P, Model, Model.TicksPerInst,
+      makeIcountTool(IcountGranularity::Instruction));
+  EXPECT_EQ(On.FiniOutput, Off.FiniOutput);
+  EXPECT_GT(On.TracesRecompiled, 0u) << "hot trace must recompile";
+  EXPECT_GT(On.RecompileTicks, 0u);
+  EXPECT_GT(On.CallsSuppressed, 0u);
+  EXPECT_GT(On.ReduxFlushes, 0u) << "deferred calls must be replayed";
+  EXPECT_GT(On.ReduxSavedTicks, 0u);
+  EXPECT_LT(On.CpuTicks, Off.CpuTicks)
+      << "suppression must actually cut instrumentation work";
+}
+
+TEST(Redux, ColdTracesAreNeverRecompiled) {
+  // Fewer loop iterations than the hot threshold: classification exists
+  // but no trace ever crosses the recompile bar, so nothing changes.
+  CostModel Model;
+  Program P = makeCountdown(4);
+  Cfg G = buildCfg(P);
+  RedundancyInfo RI(G);
+  PinVmConfig Config;
+  Config.Redux = &RI;
+  Config.ReduxHotThreshold = 1000;
+  RunReport On = runSerialPin(P, Model, Model.TicksPerInst,
+                              makeIcountTool(IcountGranularity::Instruction),
+                              Config);
+  EXPECT_EQ(On.TracesRecompiled, 0u);
+  EXPECT_EQ(On.CallsSuppressed, 0u);
+}
+
+TEST(Redux, IrreducibleRegionSuppressesNothingAtRuntime) {
+  // Force immediate recompilation (threshold 1) so the conservative
+  // classification — not coldness — is what prevents suppression.
+  CostModel Model;
+  Program P = makeIrreducible();
+  Cfg G = buildCfg(P);
+  RedundancyInfo RI(G);
+  ASSERT_EQ(RI.numSuppressibleBlocks(), 0u);
+  PinVmConfig Config;
+  Config.Redux = &RI;
+  Config.ReduxHotThreshold = 1;
+  RunReport On = runSerialPin(P, Model, Model.TicksPerInst,
+                              makeIcountTool(IcountGranularity::Instruction),
+                              Config);
+  RunReport Off = runSerialPin(
+      P, Model, Model.TicksPerInst,
+      makeIcountTool(IcountGranularity::Instruction));
+  EXPECT_GT(On.TracesRecompiled, 0u);
+  EXPECT_EQ(On.CallsSuppressed, 0u);
+  EXPECT_EQ(On.FiniOutput, Off.FiniOutput);
+}
+
+TEST(Redux, CompositeWithStatefulMemberIsExempt) {
+  CostModel Model;
+  Program P = makeCountdown(1000);
+  Cfg G = buildCfg(P);
+  RedundancyInfo RI(G);
+  auto MakeComposite = [] {
+    std::vector<ToolFactory> Subs;
+    Subs.push_back(makeIcountTool(IcountGranularity::Instruction));
+    Subs.push_back(makeMemTraceTool(std::make_shared<MemTraceResult>()));
+    return makeCompositeTool(std::move(Subs));
+  };
+  PinVmConfig Config;
+  Config.Redux = &RI;
+  Config.ReduxHotThreshold = 1;
+  RunReport On =
+      runSerialPin(P, Model, Model.TicksPerInst, MakeComposite(), Config);
+  RunReport Off =
+      runSerialPin(P, Model, Model.TicksPerInst, MakeComposite());
+  EXPECT_EQ(On.CallsSuppressed, 0u)
+      << "one stateful sub-tool vetoes the whole composite";
+  EXPECT_EQ(On.FiniOutput, Off.FiniOutput);
+}
+
+TEST(Redux, SyscallsFlushMidRun) {
+  // A generated workload with syscalls sprinkled through the code: every
+  // syscall is a tool-observable boundary, so output must match exactly
+  // even though flushes happen mid-run, not just at exit.
+  CostModel Model;
+  Program P = generatedWorkload();
+  Cfg G = buildCfg(P);
+  RedundancyInfo RI(G);
+  PinVmConfig Config;
+  Config.Redux = &RI;
+  Config.ReduxHotThreshold = 1;
+  for (const NamedTool &T : toolMatrix()) {
+    RunReport Off = runSerialPin(P, Model, Model.TicksPerInst, T.Make());
+    RunReport On =
+        runSerialPin(P, Model, Model.TicksPerInst, T.Make(), Config);
+    SCOPED_TRACE(T.Name);
+    EXPECT_EQ(On.FiniOutput, Off.FiniOutput);
+    EXPECT_EQ(On.Syscalls, Off.Syscalls);
+  }
+}
+
+// --- SuperPin path -------------------------------------------------------
+
+SpOptions fastOptions() {
+  SpOptions Opts;
+  Opts.SliceMs = 50;
+  return Opts;
+}
+
+TEST(Redux, SuperPinMatrixIsByteIdentical) {
+  CostModel Model;
+  std::vector<NamedProgram> Programs;
+  Programs.push_back({"generated", generatedWorkload()});
+  Programs.push_back({"countdown", makeCountdown(2000)});
+  Programs.push_back({"nested", makeNestedLoops(60, 40)});
+  for (const NamedProgram &W : Programs) {
+    for (const NamedTool &T : toolMatrix()) {
+      SpOptions Off = fastOptions();
+      SpRunReport A = runSuperPin(W.Prog, T.Make(), Off, Model);
+      SpOptions On = fastOptions();
+      On.Redux = true;
+      SpRunReport B = runSuperPin(W.Prog, T.Make(), On, Model);
+      SCOPED_TRACE(std::string(W.Name) + " x " + T.Name);
+      EXPECT_EQ(B.FiniOutput, A.FiniOutput);
+      EXPECT_EQ(B.Output, A.Output);
+      EXPECT_EQ(B.SliceInsts, A.SliceInsts);
+      EXPECT_EQ(B.NumSlices, A.NumSlices);
+      EXPECT_TRUE(B.PartitionOk);
+      EXPECT_EQ(A.CallsSuppressed, 0u);
+    }
+  }
+}
+
+TEST(Redux, SuperPinCountersFlowIntoReport) {
+  CostModel Model;
+  Program P = makeCountdown(5000);
+  SpOptions On = fastOptions();
+  On.Redux = true;
+  SpRunReport R = runSuperPin(
+      P, makeIcountTool(IcountGranularity::Instruction), On, Model);
+  EXPECT_GT(R.TracesRecompiled, 0u);
+  EXPECT_GT(R.CallsSuppressed, 0u);
+  EXPECT_GT(R.ReduxFlushes, 0u);
+  EXPECT_GT(R.ReduxSavedTicks, 0u);
+}
+
+} // namespace
