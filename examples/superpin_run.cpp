@@ -123,6 +123,10 @@ int main(int Argc, char **Argv) {
       "instructions past the window length before the watchdog kills");
   Opt<uint64_t> Cpus(Registry, "cpus", 8, "physical cores");
   Opt<uint64_t> Vcpus(Registry, "vcpus", 8, "scheduling contexts");
+  Opt<bool> FiniOnly(Registry, "fini-only", false,
+                     "print only the tool's fini output (the part that is "
+                     "byte-identical across -sp/-spredux settings; for CI "
+                     "diffs)");
   Opt<bool> Report(Registry, "report", false, "print the full run report");
   Opt<bool> Timeline(Registry, "timeline", false,
                      "print the Figure 1 slice timeline");
@@ -179,10 +183,11 @@ int main(int Argc, char **Argv) {
     });
     writeFile(SpProfOut.value() + ".folded",
               [&](RawOstream &OS) { Profile.writeFolded(OS); });
-    outs() << "profile: " << formatWithCommas(Profile.totalAttributed())
-           << " attributed + " << formatWithCommas(Profile.totalNative())
-           << " native of " << formatWithCommas(Profile.totalConsumed())
-           << " ticks -> " << SpProfOut.value() << "\n";
+    if (!FiniOnly)
+      outs() << "profile: " << formatWithCommas(Profile.totalAttributed())
+             << " attributed + " << formatWithCommas(Profile.totalNative())
+             << " native of " << formatWithCommas(Profile.totalConsumed())
+             << " ticks -> " << SpProfOut.value() << "\n";
   };
 
   if (!Sp) {
@@ -201,9 +206,10 @@ int main(int Argc, char **Argv) {
     pin::RunReport Rep = pin::runSerialPin(Prog, Model, InstCost,
                                            makeTool(ToolName), SerialCfg);
     outs() << Rep.FiniOutput;
-    outs() << "serial pin: "
-           << formatFixed(Model.ticksToSeconds(Rep.WallTicks), 2) << "s, "
-           << formatWithCommas(Rep.Insts) << " instructions\n";
+    if (!FiniOnly)
+      outs() << "serial pin: "
+             << formatFixed(Model.ticksToSeconds(Rep.WallTicks), 2) << "s, "
+             << formatWithCommas(Rep.Insts) << " instructions\n";
     WriteProfile();
     outs().flush();
     return 0;
@@ -246,38 +252,41 @@ int main(int Argc, char **Argv) {
 
   sp::SpRunReport Rep = sp::runSuperPin(Prog, makeTool(ToolName), Opts, Model);
   outs() << Rep.FiniOutput;
-  outs() << "superpin: "
-         << formatFixed(Model.ticksToSeconds(Rep.WallTicks), 2) << "s ("
-         << "native " << formatFixed(Model.ticksToSeconds(Rep.NativeTicks), 2)
-         << " + fork&others "
-         << formatFixed(Model.ticksToSeconds(Rep.ForkOthersTicks), 2)
-         << " + sleep " << formatFixed(Model.ticksToSeconds(Rep.SleepTicks), 2)
-         << " + pipeline "
-         << formatFixed(Model.ticksToSeconds(Rep.PipelineTicks), 2) << ")\n";
-  outs() << "slices: " << Rep.NumSlices << " (" << Rep.TimeoutSlices
-         << " timeout, " << Rep.SyscallSlices << " syscall), partition "
-         << (Rep.PartitionOk ? "exact" : "BROKEN") << "\n";
-  outs() << "syscalls: " << Rep.RecordedSyscalls << " recorded, "
-         << Rep.PlaybackSyscalls << " played back, "
-         << Rep.DuplicatedSyscalls << " duplicated, "
-         << Rep.ForcedSliceSyscalls << " forced slices\n";
-  outs() << "signature: " << Rep.Signature.QuickChecks << " quick, "
-         << Rep.Signature.FullChecks << " full, " << Rep.Signature.Matches
-         << " matches\n";
-  if (Rep.FaultsInjected || Rep.RetriedSlices || Rep.QuarantinedSlices ||
-      Rep.LostSlices || Rep.BreakerTripped)
-    outs() << "faults: " << Rep.FaultsInjected << " injected, "
-           << Rep.RecoveredSlices << " recovered, " << Rep.LostSlices
-           << " lost, coverage " << Rep.CoverageInsts << "/"
-           << Rep.MasterInsts << " insts"
-           << (Rep.BreakerTripped ? ", breaker TRIPPED" : "") << "\n";
-  if (Report) {
-    outs() << "\n";
-    sp::printReport(Rep, Model, outs());
-  }
-  if (Timeline) {
-    outs() << "\n";
-    sp::printTimeline(Rep, Model, outs());
+  if (!FiniOnly) {
+    outs() << "superpin: "
+           << formatFixed(Model.ticksToSeconds(Rep.WallTicks), 2) << "s ("
+           << "native " << formatFixed(Model.ticksToSeconds(Rep.NativeTicks), 2)
+           << " + fork&others "
+           << formatFixed(Model.ticksToSeconds(Rep.ForkOthersTicks), 2)
+           << " + sleep "
+           << formatFixed(Model.ticksToSeconds(Rep.SleepTicks), 2)
+           << " + pipeline "
+           << formatFixed(Model.ticksToSeconds(Rep.PipelineTicks), 2) << ")\n";
+    outs() << "slices: " << Rep.NumSlices << " (" << Rep.TimeoutSlices
+           << " timeout, " << Rep.SyscallSlices << " syscall), partition "
+           << (Rep.PartitionOk ? "exact" : "BROKEN") << "\n";
+    outs() << "syscalls: " << Rep.RecordedSyscalls << " recorded, "
+           << Rep.PlaybackSyscalls << " played back, "
+           << Rep.DuplicatedSyscalls << " duplicated, "
+           << Rep.ForcedSliceSyscalls << " forced slices\n";
+    outs() << "signature: " << Rep.Signature.QuickChecks << " quick, "
+           << Rep.Signature.FullChecks << " full, " << Rep.Signature.Matches
+           << " matches\n";
+    if (Rep.FaultsInjected || Rep.RetriedSlices || Rep.QuarantinedSlices ||
+        Rep.LostSlices || Rep.BreakerTripped)
+      outs() << "faults: " << Rep.FaultsInjected << " injected, "
+             << Rep.RecoveredSlices << " recovered, " << Rep.LostSlices
+             << " lost, coverage " << Rep.CoverageInsts << "/"
+             << Rep.MasterInsts << " insts"
+             << (Rep.BreakerTripped ? ", breaker TRIPPED" : "") << "\n";
+    if (Report) {
+      outs() << "\n";
+      sp::printReport(Rep, Model, outs());
+    }
+    if (Timeline) {
+      outs() << "\n";
+      sp::printTimeline(Rep, Model, outs());
+    }
   }
   if (!TracePath.value().empty())
     writeFile(TracePath, [&](RawOstream &OS) {

@@ -70,11 +70,20 @@ spin::pin::compileTrace(const Program &Prog, uint64_t StartPc,
   if (Redux) {
     T->ReduxApplied = true;
     if (UserTool && UserTool->instrKind() != InstrKind::Stateful) {
+      // insertAggregableCall asserts immediate-only arguments, but that
+      // check vanishes in NDEBUG builds; re-verify here so a buggy tool
+      // can never batch a site whose argument values vary per iteration.
+      auto AllImmediate = [](const std::vector<Arg> &Args) {
+        for (const Arg &A : Args)
+          if (A.Kind != ArgKind::Uint64)
+            return false;
+        return true;
+      };
       for (TraceStep &Step : T->Steps) {
         if (Redux->classifyPc(Step.Pc) == analysis::BlockRedux::Stateful)
           continue;
         for (CallSite &Site : Step.Calls)
-          if (Site.Agg && !Site.If)
+          if (Site.Agg && !Site.If && AllImmediate(Site.Args))
             Site.Batched = true;
       }
     }

@@ -44,6 +44,14 @@ bool PinVm::dispatch(TickLedger &Ledger) {
         compileTrace(Proc.program(), Proc.Cpu.Pc, Model, UserTool,
                      Config.Limits, Config.Redux);
     Fresh->Entries = T->Entries;
+    // Give every batched site a dense VM-wide slot so each deferred
+    // iteration indexes its pending entry directly instead of scanning.
+    // Safe because code caches are exclusive to one VM (SharedJit shares
+    // only compiled pcs, never trace objects).
+    for (TraceStep &Step : Fresh->Steps)
+      for (CallSite &Site : Step.Calls)
+        if (Site.Batched)
+          Site.BatchSlot = NumBatchSlots++;
     Ticks Cost = Fresh->CompileCost;
     Ledger.charge(Cost);
     RecompileTicks += Cost;
@@ -155,20 +163,17 @@ void PinVm::runAnalysisCalls(const TraceStep &Step, TickLedger &Ledger,
         Config.Prof->noteRedux(/*Suppressed=*/1, /*Flushes=*/0,
                                static_cast<int64_t>(FullCost) -
                                    static_cast<int64_t>(Model.ReduxDeferCost));
-      PendingAgg *P = nullptr;
-      for (PendingAgg &E : Pending)
-        if (E.Site == &Site) {
-          P = &E;
-          break;
-        }
-      if (!P) {
-        Pending.push_back(PendingAgg{&Site, 0, {}});
-        P = &Pending.back();
-        // Immediate-only arguments (insertAggregableCall enforces it), so
+      if (PendingBySlot.size() < NumBatchSlots)
+        PendingBySlot.resize(NumBatchSlots);
+      PendingAgg &P = PendingBySlot[Site.BatchSlot];
+      if (P.Count == 0) {
+        P.Site = &Site;
+        // Immediate-only arguments (the compiler gate verifies it), so
         // capturing at first deferral loses nothing.
-        evalArgs(Site.Args, Step, P->Values);
+        evalArgs(Site.Args, Step, P.Values);
+        ActiveSlots.push_back(Site.BatchSlot);
       }
-      ++P->Count;
+      ++P.Count;
       continue;
     }
     if (Site.If) {
@@ -190,9 +195,10 @@ void PinVm::runAnalysisCalls(const TraceStep &Step, TickLedger &Ledger,
 }
 
 void PinVm::flushRedux(TickLedger &Ledger) {
-  if (Pending.empty())
+  if (ActiveSlots.empty())
     return;
-  for (PendingAgg &P : Pending) {
+  for (uint32_t Slot : ActiveSlots) {
+    PendingAgg &P = PendingBySlot[Slot];
     Ticks Cost = Model.AnalysisCallBase +
                  P.Site->Args.size() * Model.AnalysisCallPerArg +
                  P.Site->FnUserCost;
@@ -208,8 +214,9 @@ void PinVm::flushRedux(TickLedger &Ledger) {
                              -static_cast<int64_t>(Cost));
     }
     P.Site->Agg(P.Values, P.Count);
+    P.Count = 0;
   }
-  Pending.clear();
+  ActiveSlots.clear();
 }
 
 void PinVm::seedFromCfg(TickLedger &Ledger) {

@@ -210,16 +210,25 @@ private:
   /// One deferred (Batched) call site awaiting flush: the argument values
   /// captured at first deferral (immediate-only, so any capture point
   /// yields the same values) and the iteration count accumulated since.
+  /// Count == 0 means the slot is idle and Site/Values are stale.
   struct PendingAgg {
-    const CallSite *Site;
-    uint64_t Count;
+    const CallSite *Site = nullptr;
+    uint64_t Count = 0;
     uint64_t Values[MaxAnalysisArgs];
   };
-  std::vector<PendingAgg> Pending;
+  /// Deferred-aggregate table indexed by CallSite::BatchSlot: O(1) per
+  /// deferred iteration on the hottest VM path (a linear scan here is
+  /// O(sites^2) per loop iteration with per-instruction tools).
+  std::vector<PendingAgg> PendingBySlot;
+  /// Slots with Count > 0, in first-deferral order (the flush replay
+  /// order, matching the old insertion-ordered pending list).
+  std::vector<uint32_t> ActiveSlots;
+  /// Batch slots handed out so far (recompiled hot traces only).
+  uint32_t NumBatchSlots = 0;
 
   /// Replays every pending deferred site as one full-cost aggregate call.
   /// Must run before any tool-observable stop and before any cached trace
-  /// is replaced (Pending holds pointers into trace call sites).
+  /// is replaced (active slots hold pointers into trace call sites).
   void flushRedux(os::TickLedger &Ledger);
 
   /// One-shot batch compile of all reachable static block leaders.

@@ -47,6 +47,11 @@ struct CallSite {
   /// and replays it through Agg at the next flush boundary. Only ever set
   /// on sites with Agg, no predicate, and pure-immediate arguments.
   bool Batched = false;
+  /// Dense index into the owning VM's deferred-aggregate table, assigned
+  /// by PinVm when the hot trace is recompiled with redux marks (code
+  /// caches are exclusive to one VM, so VM-wide indices are safe).
+  /// Meaningless unless Batched.
+  uint32_t BatchSlot = 0;
 };
 
 /// One guest instruction within a compiled trace.
