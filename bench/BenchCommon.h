@@ -46,7 +46,7 @@ public:
                     "workload duration scale factor"};
   Opt<uint64_t> SliceMs{Registry, "spmsec", 100,
                         "timeslice interval in virtual ms"};
-  Opt<uint64_t> MaxSlices{Registry, "spmp", 8, "max running slices"};
+  Opt<uint64_t> MaxSlices{Registry, "spslices", 8, "max running slices"};
   Opt<uint64_t> SysRecs{Registry, "spsysrecs", 1000,
                         "max syscall records per slice (0 disables)"};
   Opt<uint64_t> PhysCpus{Registry, "cpus", 8, "physical cores"};

@@ -7,7 +7,7 @@
 //
 // Figure 6: gcc runtime vs. timeslice interval, decomposed into the
 // paper's stacked components: native execution, fork & other losses,
-// master sleep (stalls at -spmp), and the post-exit pipeline drain.
+// master sleep (stalls at -spslices), and the post-exit pipeline drain.
 // Paper result: fork/sleep overheads shrink as slices grow while the
 // pipeline delay grows; the net runtime falls and levels off.
 //

@@ -12,22 +12,85 @@
 // physical core count), modest beyond (SMT sharing also slows the
 // master, so it is not quite real time).
 //
+// -host 1 reproduces the figure on real hardware: the virtual-time sweep
+// above *predicts* what parallel slice execution buys; the host sweep
+// runs the same workload with -spmp worker counts 0,1,2,4,8 (0 = the
+// serial engine) and prints measured wall-clock seconds next to the
+// virtual-time model's prediction. The virtual runtime column is
+// constant across worker counts by construction — host workers change
+// which thread executes a slice body, never the modeled timeline.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+
+#include <chrono>
+#include <thread>
 
 using namespace spin;
 using namespace spin::bench;
 using namespace spin::tools;
 using namespace spin::workloads;
 
+/// Wall-clock seconds consumed by \p Fn.
+template <typename Fn> static double measureSeconds(Fn &&F) {
+  auto T0 = std::chrono::steady_clock::now();
+  F();
+  std::chrono::duration<double> D = std::chrono::steady_clock::now() - T0;
+  return D.count();
+}
+
+/// The -host mode: sweep real -spmp worker counts under a fixed slice
+/// limit and report measured wall seconds against the model's prediction.
+static int runHostSweep(BenchFlags &Flags, const os::CostModel &Model,
+                        const WorkloadInfo &Info, const vm::Program &Prog) {
+  outs() << "Figure 7 (host): -spmp worker count vs measured wall time for "
+         << Info.Name << " (icount1), "
+         << std::thread::hardware_concurrency() << " host cores\n\n";
+  Table T;
+  T.addColumn("Workers");
+  T.addColumn("Wall(s)");
+  T.addColumn("vs serial");
+  T.addColumn("Model(s)");
+  T.addColumn("Dispatched");
+
+  double SerialWall = 0;
+  for (unsigned Workers : {0u, 1u, 2u, 4u, 8u}) {
+    sp::SpOptions Opts = Flags.spOptions(Info);
+    Opts.HostWorkers = Workers;
+    sp::SpRunReport Rep;
+    double Wall = measureSeconds([&] {
+      Rep = sp::runSuperPin(
+          Prog, makeIcountTool(IcountGranularity::Instruction), Opts, Model);
+    });
+    if (Workers == 0)
+      SerialWall = Wall;
+    T.startRow();
+    T.cell(uint64_t(Workers));
+    T.cell(Wall, 3);
+    T.cellPercent(SerialWall > 0 ? Wall / SerialWall : 1.0, 0);
+    T.cell(Model.ticksToSeconds(Rep.WallTicks), 2);
+    T.cell(Rep.HostDispatchedSlices);
+  }
+  emit(T, Flags);
+  outs() << "\nModel(s) is the virtual-time prediction and is identical for "
+            "every worker count; Wall(s) is measured host time (one sample, "
+            "machine-dependent).\n";
+  return 0;
+}
+
 int main(int Argc, char **Argv) {
   BenchFlags Flags;
+  Opt<bool> Host{Flags.Registry, "host", false,
+                 "sweep real -spmp worker counts and measure wall-clock "
+                 "seconds instead of sweeping the virtual slice limit"};
   Flags.parse(Argc, Argv);
   os::CostModel Model;
   const WorkloadInfo &Info = findWorkload(
       Flags.Only.value().empty() ? "gcc" : Flags.Only.value());
   vm::Program Prog = buildWorkload(Info, Flags.Scale);
+  if (Host)
+    return runHostSweep(Flags, Model, Info, Prog);
   os::Ticks Native =
       pin::runNative(Prog, Model, instCost(Model, Info)).WallTicks;
 

@@ -15,9 +15,18 @@
 //
 // With -baseline the run is diffed against the committed document and the
 // process exits 2 when any deterministic metric (slowdown-vs-native or an
-// attribution share) regresses past -maxreg. Host wall seconds are
-// recorded for context but never gated — only virtual-time metrics are
-// deterministic across machines.
+// attribution share) regresses past -maxreg. Whole-run host wall seconds
+// are recorded for context but never gated against the baseline — only
+// virtual-time metrics are deterministic across machines.
+//
+// The host-parallel gate (-hostgate, default on) is the one wall-clock
+// check: each telemetry workload's SuperPin run is re-timed serial vs
+// -spmp (min of -hostsamples samples each) on *this* machine. On a
+// multi-core host the -spmp run must beat serial; on a single-core host
+// (nothing to parallelize onto) it must stay within -maxhostover of
+// serial. Either failure — or any virtual-tick divergence between the
+// serial and -spmp runs, which is a determinism bug on every machine —
+// exits 2.
 //
 // The per-workload attribution profile is also written as a folded-stack
 // file (<out>.folded) loadable by flamegraph.pl-style tools.
@@ -38,11 +47,13 @@
 #include "tools/Icount.h"
 #include "workloads/Spec2000.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace spin;
@@ -68,6 +79,13 @@ struct WorkloadRun {
   double SlowdownPin = 0.0;
   double SlowdownSp = 0.0;
   double HostSeconds = 0.0;
+  // Host-parallel wall-time comparison (-spmp): min-of-N wall seconds of
+  // the same SuperPin run serial vs on HostWorkers worker threads, plus
+  // the virtual-tick parity check between the two (must always hold).
+  unsigned HostWorkers = 0;
+  double SerialSpSeconds = 0.0;
+  double ParallelSpSeconds = 0.0;
+  bool HostTicksMatch = true;
   prof::ProfileCollector Profile;
   StatisticRegistry Metrics;
 };
@@ -225,9 +243,13 @@ os::Ticks workloadInstCost(const os::CostModel &Model,
 }
 
 /// Runs the native / serial-Pin / SuperPin triple with the attribution
-/// profiler attached to the instrumented runs.
+/// profiler attached to the instrumented runs, then re-times the SuperPin
+/// run serial vs -spmp \p HostWorkers (min of \p HostSamples wall-clock
+/// samples each; the profiler is detached so timing measures the engine,
+/// not attribution bookkeeping).
 WorkloadRun runWorkload(const workloads::WorkloadInfo &Info, double Scale,
-                        const os::CostModel &Model) {
+                        const os::CostModel &Model, unsigned HostWorkers,
+                        unsigned HostSamples) {
   WorkloadRun R;
   R.Name = Info.Name;
   auto Start = std::chrono::steady_clock::now();
@@ -256,6 +278,33 @@ WorkloadRun runWorkload(const workloads::WorkloadInfo &Info, double Scale,
   }
   sp::exportStatistics(Rep, R.Metrics);
   R.Profile.exportStatistics(R.Metrics);
+
+  if (HostWorkers) {
+    R.HostWorkers = HostWorkers;
+    auto TimedSp = [&](unsigned Workers, os::Ticks &TicksOut) {
+      sp::SpOptions TimedOpts;
+      TimedOpts.Cpi = Info.Cpi;
+      TimedOpts.HostWorkers = Workers;
+      auto T0 = std::chrono::steady_clock::now();
+      sp::SpRunReport TimedRep = sp::runSuperPin(
+          Prog, tools::makeIcountTool(tools::IcountGranularity::BasicBlock),
+          TimedOpts, Model);
+      TicksOut = TimedRep.WallTicks;
+      return elapsedSince(T0);
+    };
+    R.SerialSpSeconds = R.ParallelSpSeconds = 1e30;
+    for (unsigned I = 0; I < HostSamples; ++I) {
+      os::Ticks SerialTicks = 0, ParallelTicks = 0;
+      R.SerialSpSeconds =
+          std::min(R.SerialSpSeconds, TimedSp(0, SerialTicks));
+      R.ParallelSpSeconds =
+          std::min(R.ParallelSpSeconds, TimedSp(HostWorkers, ParallelTicks));
+      // The -spmp contract: host workers never change the virtual
+      // timeline. A mismatch is a determinism bug, gated hard below.
+      if (SerialTicks != R.SpTicks || ParallelTicks != R.SpTicks)
+        R.HostTicksMatch = false;
+    }
+  }
   R.HostSeconds = elapsedSince(Start);
   return R;
 }
@@ -311,6 +360,18 @@ int main(int Argc, char **Argv) {
                                 "committed BENCH_*.json to gate against");
   Opt<double> MaxReg(Registry, "maxreg", 0.10,
                      "max relative regression before the gate fails");
+  Opt<bool> HostGate(Registry, "hostgate", true,
+                     "gate -spmp wall time against serial (strict win "
+                     "required on multi-core hosts, bounded overhead on "
+                     "single-core ones); exit 2 on failure");
+  Opt<uint64_t> HostWorkersOpt(Registry, "hostworkers", 4,
+                               "-spmp worker count for the wall-time "
+                               "comparison (0 skips it)");
+  Opt<uint64_t> HostSamples(Registry, "hostsamples", 3,
+                            "wall-time samples per side (min is kept)");
+  Opt<double> MaxHostOver(Registry, "maxhostover", 2.0,
+                          "single-core hosts: max tolerated -spmp/serial "
+                          "wall ratio");
   Opt<std::string> GitSha(Registry, "gitsha", "",
                           "git revision to record (default: git rev-parse)");
   Opt<std::string> Date(Registry, "date", "",
@@ -355,13 +416,21 @@ int main(int Argc, char **Argv) {
 
   os::CostModel Model;
 
-  // Deterministic in-process telemetry.
+  // Deterministic in-process telemetry. The wall-time comparison clamps
+  // the worker count to the host's core count: gating -spmp 4 on a
+  // 1-core machine would measure nothing but oversubscription thrash.
+  unsigned Workers = static_cast<unsigned>(uint64_t(HostWorkersOpt));
+  unsigned Cores = std::max(1u, std::thread::hardware_concurrency());
+  if (Workers > Cores)
+    Workers = Cores;
+  unsigned Samples = std::max<unsigned>(
+      1, static_cast<unsigned>(uint64_t(HostSamples)));
   std::vector<WorkloadRun> Runs;
   for (const workloads::WorkloadInfo *Info : Infos) {
     outs() << "telemetry: " << Info->Name << " (scale "
            << formatFixed(RunScale, 2) << ")\n";
     outs().flush();
-    Runs.push_back(runWorkload(*Info, RunScale, Model));
+    Runs.push_back(runWorkload(*Info, RunScale, Model, Workers, Samples));
   }
 
   // External bench binaries: one row per workload through -only so the
@@ -445,6 +514,14 @@ int main(int Argc, char **Argv) {
       W.field("slowdown_pin", R.SlowdownPin);
       W.field("slowdown_sp", R.SlowdownSp);
       W.field("host_seconds", R.HostSeconds);
+      if (R.HostWorkers) {
+        // Wall-clock context for the host-parallel gate; machine-dependent
+        // by nature, so the baseline diff never keys on these.
+        W.field("host_workers", static_cast<uint64_t>(R.HostWorkers));
+        W.field("sp_wall_serial_seconds", R.SerialSpSeconds);
+        W.field("sp_wall_spmp_seconds", R.ParallelSpSeconds);
+        W.field("host_ticks_match", R.HostTicksMatch);
+      }
       W.key("attribution");
       writeAttribution(W, R.Profile);
       W.key("metrics");
@@ -520,6 +597,54 @@ int main(int Argc, char **Argv) {
     prof::printCompareResult(Result, outs());
     outs().flush();
     if (!Result.ok())
+      return 2;
+  }
+
+  // Host-parallel wall-time gate: measured on this machine, against this
+  // run's own serial timing (never against the committed baseline). On a
+  // multi-core host -spmp must win outright; a single-core host has
+  // nothing to parallelize onto, so only bounded overhead is required.
+  // Virtual-tick parity between serial and -spmp is gated unconditionally.
+  if (HostGate && Workers) {
+    bool MultiCore = std::thread::hardware_concurrency() > 1;
+    bool Failed = false;
+    double SerialSum = 0, ParallelSum = 0;
+    for (const WorkloadRun &R : Runs) {
+      double Ratio = R.SerialSpSeconds > 0
+                         ? R.ParallelSpSeconds / R.SerialSpSeconds
+                         : 1.0;
+      SerialSum += R.SerialSpSeconds;
+      ParallelSum += R.ParallelSpSeconds;
+      const char *Verdict = "ok";
+      if (!R.HostTicksMatch) {
+        Verdict = "FAIL (virtual ticks diverged between serial and -spmp)";
+        Failed = true;
+      }
+      outs() << "hostgate: " << R.Name << " serial "
+             << formatFixed(R.SerialSpSeconds, 3) << "s vs -spmp "
+             << R.HostWorkers << " " << formatFixed(R.ParallelSpSeconds, 3)
+             << "s (ratio " << formatFixed(Ratio, 2) << "): " << Verdict
+             << "\n";
+    }
+    // The wall-time verdict uses the aggregate across workloads: the
+    // smoke workloads individually run for milliseconds, where per-run
+    // jitter swamps any per-workload threshold.
+    double Ratio = SerialSum > 0 ? ParallelSum / SerialSum : 1.0;
+    const char *Verdict = "ok";
+    if (MultiCore && Ratio >= 1.0) {
+      Verdict = "FAIL (-spmp did not beat serial on a multi-core host)";
+      Failed = true;
+    } else if (!MultiCore && Ratio > MaxHostOver) {
+      Verdict = "FAIL (single-core overhead bound exceeded)";
+      Failed = true;
+    }
+    outs() << "hostgate: aggregate serial " << formatFixed(SerialSum, 3)
+           << "s vs -spmp " << Workers << " " << formatFixed(ParallelSum, 3)
+           << "s (ratio " << formatFixed(Ratio, 2) << ", "
+           << (MultiCore ? "multi-core" : "single-core") << "): " << Verdict
+           << "\n";
+    outs().flush();
+    if (Failed)
       return 2;
   }
   outs().flush();

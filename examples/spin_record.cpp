@@ -11,7 +11,7 @@
 //   spin_record -workload gcc -tool icount2 -sprecord gcc.sprl
 //   spin_replay -log gcc.sprl            # re-execute it (spin_replay.cpp)
 //
-// -spdefer additionally enables deferred-slice mode: when all -spmp
+// -spdefer additionally enables deferred-slice mode: when all -spslices
 // workers are busy the master spills the just-closed window to the log
 // instead of stalling, and the spilled slices drain after it exits.
 //
@@ -56,11 +56,11 @@ int main(int Argc, char **Argv) {
                             "SPEC2000 workload name");
   Opt<double> Scale(Registry, "scale", 0.3, "workload duration scale");
   Opt<uint64_t> SpMsec(Registry, "spmsec", 100, "timeslice milliseconds");
-  Opt<uint64_t> SpMp(Registry, "spmp", 8, "max running slices");
+  Opt<uint64_t> SpSlices(Registry, "spslices", 8, "max running slices");
   Opt<uint64_t> SpSysrecs(Registry, "spsysrecs", 1000,
                           "max syscall records per slice (0 disables)");
   Opt<bool> SpDefer(Registry, "spdefer", false,
-                    "spill slices instead of stalling at -spmp");
+                    "spill slices instead of stalling at -spslices");
   Opt<bool> Report(Registry, "report", false, "print the full run report");
   Opt<bool> Help(Registry, "help", false, "print options");
 
@@ -81,7 +81,7 @@ int main(int Argc, char **Argv) {
   replay::CaptureWriter Writer;
   sp::SpOptions Opts;
   Opts.SliceMs = SpMsec;
-  Opts.MaxSlices = static_cast<uint32_t>(uint64_t(SpMp));
+  Opts.MaxSlices = static_cast<uint32_t>(uint64_t(SpSlices));
   Opts.MaxSysRecs = SpSysrecs;
   Opts.Cpi = Info.Cpi;
   Opts.Capture = &Writer;

@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "host/WorkerPool.h"
 #include "prof/Profile.h"
 #include "replay/ReplayEngine.h"
 #include "superpin/SpOptions.h"
@@ -97,6 +98,10 @@ int main(int Argc, char **Argv) {
   Opt<bool> SkipCorrupt(
       Registry, "skip-corrupt", false,
       "recover intact slices from a damaged log via the sidecar index");
+  Opt<std::string> SpMp(Registry, "spmp", "0",
+                        "host worker threads for slice re-execution (0 = run "
+                        "on this thread; \"auto\" = host core count; parity "
+                        "and fini output are identical for every value)");
   Opt<bool> SpProf(Registry, "spprof", false,
                    "attribute replay virtual time to overhead causes");
   Opt<std::string> SpProfOut(Registry, "spprof-out", "spprof.json",
@@ -115,6 +120,32 @@ int main(int Argc, char **Argv) {
     Registry.printHelp(outs());
     return 0;
   }
+
+  // -spmp parses exactly as in superpin_run; validation rides the same
+  // SpOptions::validate() rules (worker-count cap).
+  uint32_t HostWorkers = 0;
+  if (SpMp.value() == "auto") {
+    HostWorkers = sp::SpOptions::HostWorkersAuto;
+  } else {
+    char *End = nullptr;
+    unsigned long N = std::strtoul(SpMp.value().c_str(), &End, 10);
+    if (End == SpMp.value().c_str() || *End != '\0') {
+      errs() << "error: -spmp expects a worker count or \"auto\", got '"
+             << SpMp.value() << "'\n";
+      return 1;
+    }
+    HostWorkers = static_cast<uint32_t>(N);
+  }
+  {
+    sp::SpOptions MpOpts;
+    MpOpts.HostWorkers = HostWorkers;
+    if (std::string Bad = MpOpts.validate(); !Bad.empty()) {
+      errs() << "error: " << Bad << "\n";
+      return 1;
+    }
+  }
+  if (HostWorkers == sp::SpOptions::HostWorkersAuto)
+    HostWorkers = host::WorkerPool::clampWorkers(HostWorkers);
 
   replay::LogDiagnosis Diag;
   std::vector<uint32_t> Skipped;
@@ -190,6 +221,7 @@ int main(int Argc, char **Argv) {
   prof::ProfileCollector Profile;
   if (SpProf)
     Engine.setProfile(&Profile);
+  Engine.setHostWorkers(HostWorkers);
   replay::ReplayReport Rep =
       Slices.value().empty()
           ? Engine.replayAll(makeTool(ToolName))
@@ -202,6 +234,9 @@ int main(int Argc, char **Argv) {
          << Rep.DuplicatedSyscalls << " duplicated\n";
   outs() << "parity: " << Rep.ParityOk << " ok, " << Rep.ParityFailed
          << " failed\n";
+  // Gated like superpin_run's host line: -spmp 0 output stays byte-stable.
+  if (HostWorkers)
+    outs() << "host: " << HostWorkers << " workers\n";
   for (const replay::ReplaySliceResult &R : Rep.Slices)
     if (!R.ParityOk)
       outs() << "  slice " << R.Num << ": "

@@ -7,12 +7,13 @@
 //
 // A command-line driver in the spirit of `pin -t tool -sp 1 -- app`:
 //
-//   superpin_run -tool icount2 -workload gcc -sp 1 -spmsec 100 -spmp 8
+//   superpin_run -tool icount2 -workload gcc -sp 1 -spmsec 100 -spslices 8
 //
-// Switches mirror the paper's Section 5 (-sp, -spmsec, -spmp, -spsysrecs)
-// plus this reproduction's extensions (-spmemsig, -spsharedcc,
-// -spquickcheck, -spadaptive, -spsyspredict, -spseed). With -sp 0 the
-// tool runs under classic serial Pin instead.
+// Switches mirror the paper's Section 5 (-sp, -spmsec, -spslices,
+// -spsysrecs) plus this reproduction's extensions (-spmemsig, -spsharedcc,
+// -spquickcheck, -spadaptive, -spsyspredict, -spseed, and -spmp N for
+// host-parallel slice execution on N real threads). With -sp 0 the tool
+// runs under classic serial Pin instead.
 //
 //===----------------------------------------------------------------------===//
 
@@ -92,7 +93,11 @@ int main(int Argc, char **Argv) {
   Opt<double> Scale(Registry, "scale", 0.3, "workload duration scale");
   Opt<bool> Sp(Registry, "sp", true, "use SuperPin (0 = serial Pin)");
   Opt<uint64_t> SpMsec(Registry, "spmsec", 100, "timeslice milliseconds");
-  Opt<uint64_t> SpMp(Registry, "spmp", 8, "max running slices");
+  Opt<uint64_t> SpSlices(Registry, "spslices", 8, "max running slices");
+  Opt<std::string> SpMp(Registry, "spmp", "0",
+                        "host worker threads for slice bodies (0 = run on "
+                        "the sim thread; \"auto\" = host core count; output "
+                        "is byte-identical for every value)");
   Opt<uint64_t> SpSysrecs(Registry, "spsysrecs", 1000,
                           "max syscall records per slice (0 disables)");
   Opt<bool> SpQuick(Registry, "spquickcheck", true,
@@ -217,7 +222,19 @@ int main(int Argc, char **Argv) {
 
   sp::SpOptions Opts;
   Opts.SliceMs = SpMsec;
-  Opts.MaxSlices = static_cast<uint32_t>(uint64_t(SpMp));
+  Opts.MaxSlices = static_cast<uint32_t>(uint64_t(SpSlices));
+  if (SpMp.value() == "auto") {
+    Opts.HostWorkers = sp::SpOptions::HostWorkersAuto;
+  } else {
+    char *End = nullptr;
+    unsigned long N = std::strtoul(SpMp.value().c_str(), &End, 10);
+    if (End == SpMp.value().c_str() || *End != '\0') {
+      errs() << "error: -spmp expects a worker count or \"auto\", got '"
+             << SpMp.value() << "'\n";
+      return 1;
+    }
+    Opts.HostWorkers = static_cast<uint32_t>(N);
+  }
   Opts.MaxSysRecs = SpSysrecs;
   Opts.QuickCheck = SpQuick;
   Opts.MemSignature = SpMemsig;
@@ -272,6 +289,13 @@ int main(int Argc, char **Argv) {
     outs() << "signature: " << Rep.Signature.QuickChecks << " quick, "
            << Rep.Signature.FullChecks << " full, " << Rep.Signature.Matches
            << " matches\n";
+    // Host telemetry is wall-clock (nondeterministic), so it only appears
+    // when -spmp is on — flags-off output stays byte-stable.
+    if (Rep.HostWorkers)
+      outs() << "host: " << Rep.HostWorkers << " workers, "
+             << Rep.HostDispatchedSlices << " bodies dispatched, "
+             << formatWithCommas(Rep.HostStreamEvents) << " stream events, "
+             << formatFixed(Rep.HostBodySeconds, 3) << "s body wall time\n";
     if (Rep.FaultsInjected || Rep.RetriedSlices || Rep.QuarantinedSlices ||
         Rep.LostSlices || Rep.BreakerTripped)
       outs() << "faults: " << Rep.FaultsInjected << " injected, "

@@ -1,0 +1,320 @@
+//===- host/ChargeStream.h - Worker->sim virtual-time stream ----*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bridge that lets a slice body run on a real host thread while the
+/// virtual-time engine stays the deterministic oracle.
+///
+/// The serial engine interleaves a slice's work with virtual time through
+/// exactly two ledger operations: hasBudget() checks (which gate progress
+/// and decide where a slice pauses between scheduler quanta) and charge()
+/// calls (which are linear — between two checks only the sum matters).
+/// Host-parallel mode exploits that: the worker executes the whole slice
+/// body once against an always-budgeted recording ledger whose ChargeTap
+/// emits the canonical check/charge sequence into this stream, and the
+/// simulation thread replays the stream against the slice's *real* ledger,
+/// reproducing the serial virtual timeline tick for tick — same pause
+/// points, same window boundaries, same merge order, byte-identical tool
+/// fini output.
+///
+/// Canonical form (what the recorder emits):
+///  * ChargeRun {Sum, Count} — Count repetitions of "budget-gate, then
+///    charge Sum ticks". Consecutive equal segments are run-length merged;
+///    consecutive checks with no charge between them collapse to one
+///    (no state changes between them, so they must agree); zero charges
+///    are dropped (no state effect).
+///  * Charge {Sum} — an ungated charge (before the first check; charges
+///    never require budget, overflow just becomes debt).
+///  * Done / Fail — terminal; the slice object now holds the body's end
+///    state. Terminals are processed by the replayer immediately,
+///    regardless of remaining budget, matching the serial loop-exit
+///    semantics (`while (hasBudget() && !EndReached)` leaves the loop in
+///    the same step either way).
+///
+/// Transport is a grow-on-demand chunked SPSC stream: the producer bump-
+/// allocates events into 4 KiB chunk slabs from a per-stream arena and
+/// never blocks (a bounded ring could deadlock: the sim thread blocks
+/// replaying slice k while every worker blocks pushing into the full ring
+/// of a later-replayed slice). The consumer blocks on a futex-style
+/// atomic wait when it outruns the producer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_HOST_CHARGESTREAM_H
+#define SUPERPIN_HOST_CHARGESTREAM_H
+
+#include "os/Scheduler.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace spin::host {
+
+/// One replayable unit of the recorded virtual-time schedule.
+struct ChargeEvent {
+  enum class Kind : uint8_t {
+    ChargeRun, ///< Count x (budget-gate, charge Sum)
+    Charge,    ///< ungated charge of Sum ticks
+    Done,      ///< body finished normally (window end reached)
+    Fail,      ///< body detected a slice failure (recovery runs sim-side)
+  };
+  uint64_t Sum = 0;
+  uint32_t Count = 0;
+  Kind EventKind = Kind::ChargeRun;
+};
+
+/// Unbounded chunked single-producer/single-consumer event stream.
+/// Producer: exactly one worker thread. Consumer: the simulation thread.
+class ChargeStream {
+  /// One slab: events are published by bumping the stream-wide Published
+  /// counter (release), never by mutating the slab after the fact.
+  struct Chunk {
+    static constexpr uint32_t Cap = 256; // 4 KiB of events per slab
+    ChargeEvent Events[Cap];
+    std::atomic<Chunk *> Next{nullptr};
+  };
+
+public:
+  ChargeStream() {
+    Slabs.push_back(std::make_unique<Chunk>());
+    Head = Tail = Slabs.back().get();
+  }
+
+  //===--- producer side (worker thread) ----------------------------------===//
+
+  void push(const ChargeEvent &E) {
+    uint32_t Idx = ProducerCount % Chunk::Cap;
+    if (Idx == 0 && ProducerCount != 0) {
+      Slabs.push_back(std::make_unique<Chunk>());
+      Chunk *Fresh = Slabs.back().get();
+      // Publish the link before any event in the new chunk becomes
+      // visible through Published (release pairs with consumer acquire).
+      Tail->Next.store(Fresh, std::memory_order_release);
+      Tail = Fresh;
+    }
+    Tail->Events[Idx] = E;
+    ++ProducerCount;
+    Published.store(ProducerCount, std::memory_order_seq_cst);
+    if (ConsumerWaiting.load(std::memory_order_seq_cst))
+      Published.notify_one();
+  }
+
+  //===--- consumer side (simulation thread) ------------------------------===//
+
+  /// Blocks until at least one unconsumed event is available, then returns
+  /// a reference to it without consuming it. The producer always ends a
+  /// stream with a terminal event, so this cannot block forever.
+  const ChargeEvent &peek() {
+    waitFor(Consumed + 1);
+    // The chunk hop is deferred to here, NOT done in advance(): the
+    // producer allocates and links the next chunk lazily, on the push of
+    // its first event. Only once that event is published (checked by
+    // waitFor just above; its seq_cst store happens after the release
+    // store of Next) is the link guaranteed non-null.
+    if (NeedHop) {
+      Head = Head->Next.load(std::memory_order_acquire);
+      assert(Head && "published event but chunk link missing");
+      NeedHop = false;
+    }
+    return Head->Events[Consumed % Chunk::Cap];
+  }
+
+  /// True if peek() would not block.
+  bool available() const {
+    return Published.load(std::memory_order_acquire) > Consumed;
+  }
+
+  /// Consumes the event last returned by peek().
+  void advance() {
+    assert(available() && "advance without a peeked event");
+    ++Consumed;
+    if (Consumed % Chunk::Cap == 0)
+      NeedHop = true;
+  }
+
+  /// Events published so far (telemetry; producer side).
+  uint64_t eventCount() const {
+    return Published.load(std::memory_order_relaxed);
+  }
+  /// Arena footprint in bytes (telemetry).
+  uint64_t arenaBytes() const { return Slabs.size() * sizeof(Chunk); }
+
+  /// Frees the event arena. Only legal once the producer has retired (its
+  /// completion record was drained from the CompletionQueue) and the
+  /// consumer has replayed the terminal event.
+  void releaseArena() {
+    Slabs.clear();
+    Head = Tail = nullptr;
+  }
+
+private:
+  void waitFor(uint64_t Target) {
+    uint64_t P = Published.load(std::memory_order_acquire);
+    if (P >= Target)
+      return;
+    // Brief spin: the producer is usually mid-burst.
+    for (int I = 0; I < 256 && P < Target; ++I)
+      P = Published.load(std::memory_order_acquire);
+    while (P < Target) {
+      ConsumerWaiting.store(true, std::memory_order_seq_cst);
+      P = Published.load(std::memory_order_seq_cst);
+      if (P >= Target) {
+        ConsumerWaiting.store(false, std::memory_order_relaxed);
+        return;
+      }
+      Published.wait(P, std::memory_order_seq_cst);
+      ConsumerWaiting.store(false, std::memory_order_relaxed);
+      P = Published.load(std::memory_order_acquire);
+    }
+  }
+
+  // Producer-owned.
+  std::vector<std::unique_ptr<Chunk>> Slabs; ///< the per-stream arena
+  Chunk *Tail = nullptr;
+  uint64_t ProducerCount = 0;
+
+  // Shared.
+  std::atomic<uint64_t> Published{0};
+  std::atomic<bool> ConsumerWaiting{false};
+
+  // Consumer-owned.
+  Chunk *Head = nullptr;
+  uint64_t Consumed = 0;
+  bool NeedHop = false; ///< crossed a chunk boundary; hop at next peek()
+};
+
+/// A ChargeTap that canonicalises a worker's raw check/charge sequence
+/// into ChargeEvents (see file comment for the canonical form) and feeds
+/// them to a ChargeStream. Attach to an always-budgeted recording ledger
+/// via TickLedger::setTap().
+class RecordingTap final : public os::ChargeTap {
+public:
+  explicit RecordingTap(ChargeStream &Out) : Out(Out) {}
+
+  void onCheck() override {
+    closeSegment();
+    CurChecked = true;
+  }
+
+  void onCharge(os::Ticks Cost) override {
+    if (Cost == 0)
+      return; // no state effect; dropping keeps segments canonical
+    CurSum += Cost;
+  }
+
+  /// Flushes everything pending and appends the terminal event. Must be
+  /// the recorder's last use of the stream.
+  void finish(bool Failed) {
+    closeSegment();
+    CurChecked = false;
+    flushRun();
+    ChargeEvent T;
+    T.EventKind = Failed ? ChargeEvent::Kind::Fail : ChargeEvent::Kind::Done;
+    Out.push(T);
+  }
+
+private:
+  /// Ends the current segment at a boundary (the next check, or finish).
+  void closeSegment() {
+    if (CurSum == 0) {
+      // A check with no charges collapses into the next check (or into
+      // the terminal, which is processed regardless of budget).
+      return;
+    }
+    if (CurChecked) {
+      if (RunCount != 0 && RunSum == CurSum &&
+          RunCount != ~uint32_t(0)) { // RLE-merge equal gated segments
+        ++RunCount;
+      } else {
+        flushRun();
+        RunSum = CurSum;
+        RunCount = 1;
+      }
+    } else {
+      flushRun(); // keep stream order: pending run precedes this charge
+      ChargeEvent E;
+      E.EventKind = ChargeEvent::Kind::Charge;
+      E.Sum = CurSum;
+      E.Count = 1;
+      Out.push(E);
+    }
+    CurSum = 0;
+  }
+
+  void flushRun() {
+    if (RunCount == 0)
+      return;
+    ChargeEvent E;
+    E.EventKind = ChargeEvent::Kind::ChargeRun;
+    E.Sum = RunSum;
+    E.Count = RunCount;
+    Out.push(E);
+    RunCount = 0;
+  }
+
+  ChargeStream &Out;
+  uint64_t CurSum = 0;   ///< charges since the last boundary
+  bool CurChecked = false; ///< current segment opened with a gate
+  uint64_t RunSum = 0;   ///< pending RLE run of gated segments
+  uint32_t RunCount = 0;
+};
+
+/// Replays a ChargeStream against the slice's real ledger on the
+/// simulation thread. Drives the identical budget-gate/charge sequence the
+/// serial engine would have produced; returns control to the scheduler at
+/// exactly the serial pause points.
+class StreamReplayer {
+public:
+  explicit StreamReplayer(ChargeStream &In) : In(In) {}
+
+  enum class Step : uint8_t {
+    NeedBudget, ///< gate refused: yield, resume here next scheduler step
+    Done,       ///< terminal Done consumed
+    Fail,       ///< terminal Fail consumed
+  };
+
+  /// Replays until the ledger runs dry at a gate or a terminal appears.
+  /// May block (host time, never virtual time) waiting for the worker.
+  Step replay(os::TickLedger &Ledger) {
+    while (true) {
+      const ChargeEvent &E = In.peek();
+      switch (E.EventKind) {
+      case ChargeEvent::Kind::ChargeRun:
+        while (RunDone < E.Count) {
+          if (!Ledger.hasBudget())
+            return Step::NeedBudget; // gate re-evaluated next step
+          Ledger.charge(E.Sum);
+          ++RunDone;
+        }
+        RunDone = 0;
+        In.advance();
+        break;
+      case ChargeEvent::Kind::Charge:
+        Ledger.charge(E.Sum);
+        In.advance();
+        break;
+      case ChargeEvent::Kind::Done:
+        In.advance();
+        return Step::Done;
+      case ChargeEvent::Kind::Fail:
+        In.advance();
+        return Step::Fail;
+      }
+    }
+  }
+
+private:
+  ChargeStream &In;
+  uint32_t RunDone = 0; ///< progress inside the current RLE run
+};
+
+} // namespace spin::host
+
+#endif // SUPERPIN_HOST_CHARGESTREAM_H

@@ -1,0 +1,90 @@
+//===- host/CompletionQueue.h - MPSC ordered slice completions --*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The many-producer/single-consumer slice-completion queue. Workers push
+/// a completion record as the *last* action of a slice job (after the
+/// terminal ChargeEvent); the simulation thread drains records strictly in
+/// slice-merge order, regardless of the order host threads finish in —
+/// this is what keeps the merge sequence (and therefore all shared-state
+/// folds and the tool fini output) deterministic, and it doubles as the
+/// retire barrier: once a slice's record is drained, its worker has
+/// returned from every touch of the slice's ChargeStream, so the stream
+/// arena can be freed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_HOST_COMPLETIONQUEUE_H
+#define SUPERPIN_HOST_COMPLETIONQUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace spin::host {
+
+/// What a worker reports when it retires a slice body.
+struct SliceCompletion {
+  uint32_t SliceNum = 0;     ///< slice (window) number
+  uint32_t Worker = 0;       ///< worker index that ran the body
+  bool Failed = false;       ///< body ended with a detected failure
+  uint64_t StreamEvents = 0; ///< ChargeEvents published (telemetry)
+  uint64_t ArenaBytes = 0;   ///< stream arena footprint (telemetry)
+  double HostSeconds = 0;    ///< wall-clock seconds the body took
+};
+
+/// MPSC queue with keyed, ordered drain: producers push in any order;
+/// the single consumer asks for specific slice numbers in merge order and
+/// blocks until each arrives.
+class CompletionQueue {
+public:
+  void push(const SliceCompletion &C) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Ready.emplace(C.SliceNum, C);
+    }
+    Cv.notify_one();
+  }
+
+  /// Blocks until the record for \p SliceNum is present, removes and
+  /// returns it. Host-time blocking only; never affects virtual time.
+  SliceCompletion pop(uint32_t SliceNum) {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Ready.count(SliceNum) != 0; });
+    auto It = Ready.find(SliceNum);
+    SliceCompletion C = It->second;
+    Ready.erase(It);
+    return C;
+  }
+
+  /// Non-blocking variant for tests and opportunistic drains.
+  bool tryPop(uint32_t SliceNum, SliceCompletion &Out) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Ready.find(SliceNum);
+    if (It == Ready.end())
+      return false;
+    Out = It->second;
+    Ready.erase(It);
+    return true;
+  }
+
+  /// Records currently queued (telemetry/tests).
+  size_t pending() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Ready.size();
+  }
+
+private:
+  mutable std::mutex M;
+  std::condition_variable Cv;
+  std::map<uint32_t, SliceCompletion> Ready;
+};
+
+} // namespace spin::host
+
+#endif // SUPERPIN_HOST_COMPLETIONQUEUE_H

@@ -1,0 +1,71 @@
+//===- host/WorkerPool.cpp - std::thread slice-body worker pool -----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "host/WorkerPool.h"
+
+#include <utility>
+
+namespace spin::host {
+
+WorkerPool::WorkerPool(unsigned N, JobHook Hook) : Hook(std::move(Hook)) {
+  if (N == 0)
+    N = 1;
+  Contexts.resize(N);
+  Threads.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    Contexts[I].Worker = I;
+    Threads.emplace_back([this, I] { workerMain(I); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  Cv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkerPool::submit(Job J) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Queue.push_back(std::move(J));
+  }
+  Cv.notify_one();
+}
+
+unsigned WorkerPool::clampWorkers(unsigned Requested) {
+  if (Requested != ~0u)
+    return Requested;
+  unsigned Hw = std::thread::hardware_concurrency();
+  return Hw == 0 ? 1 : Hw;
+}
+
+void WorkerPool::workerMain(unsigned Index) {
+  WorkerContext &Ctx = Contexts[Index];
+  while (true) {
+    Job J;
+    uint64_t Seq;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      Cv.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      Seq = NextJobSeq++;
+    }
+    if (Hook)
+      Hook(Index, Seq);
+    J(Ctx);
+    ++Ctx.JobsRun;
+  }
+}
+
+} // namespace spin::host

@@ -1,0 +1,83 @@
+//===- host/WorkerPool.h - std::thread slice-body worker pool ---*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size pool of host threads that execute slice bodies submitted
+/// by the simulation thread (-spmp <N>). Jobs are coarse — one per slice
+/// window — and carry their own per-slice context; the pool only provides
+/// threads, a FIFO queue, and a per-worker context (index + scratch
+/// statistics). Determinism never depends on which worker runs a job or
+/// in what order jobs finish: ordering-critical state flows through each
+/// slice's ChargeStream and the CompletionQueue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_HOST_WORKERPOOL_H
+#define SUPERPIN_HOST_WORKERPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spin::host {
+
+/// Per-worker slice context, passed to every job the worker runs.
+struct WorkerContext {
+  unsigned Worker = 0;   ///< worker index in [0, size())
+  uint64_t JobsRun = 0;  ///< jobs this worker has completed (telemetry)
+};
+
+class WorkerPool {
+public:
+  /// A slice-body job. Runs on exactly one worker thread.
+  using Job = std::function<void(WorkerContext &)>;
+
+  /// Test shim: when set (before any submit), runs on the worker thread
+  /// immediately before each job — host_test uses it to adversarially
+  /// delay chosen workers and prove completion order does not depend on
+  /// finish order. \p JobSeq is the submission sequence number.
+  using JobHook = std::function<void(unsigned Worker, uint64_t JobSeq)>;
+
+  /// Spawns \p N threads. \p N must be >= 1.
+  explicit WorkerPool(unsigned N, JobHook Hook = nullptr);
+
+  /// Drains the queue and joins every thread.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// Enqueues a job (FIFO). Callable from the simulation thread only.
+  void submit(Job J);
+
+  unsigned size() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Clamps a requested worker count: "auto" (represented as ~0u) becomes
+  /// std::thread::hardware_concurrency() (at least 1).
+  static unsigned clampWorkers(unsigned Requested);
+
+private:
+  void workerMain(unsigned Index);
+
+  std::vector<std::thread> Threads;
+  std::vector<WorkerContext> Contexts;
+  JobHook Hook;
+
+  std::mutex M;
+  std::condition_variable Cv;
+  std::deque<Job> Queue;
+  uint64_t NextJobSeq = 0;
+  bool Stopping = false;
+};
+
+} // namespace spin::host
+
+#endif // SUPERPIN_HOST_WORKERPOOL_H

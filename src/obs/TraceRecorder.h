@@ -45,7 +45,7 @@ namespace spin::obs {
 /// the trace schema (tests pin them).
 enum class EventKind : uint8_t {
   MasterRun,     ///< span: the master application executing natively
-  MasterStall,   ///< span: master sleeping at the -spmp limit
+  MasterStall,   ///< span: master sleeping at the -spslices limit
   SliceFork,     ///< instant (master lane): COW fork of a new slice
   SliceSleep,    ///< span (slice lane): waiting for the window to close
   SliceRun,      ///< span (slice lane): executing instrumented code

@@ -17,6 +17,7 @@ using namespace spin;
 using namespace spin::os;
 
 SimTask::~SimTask() = default;
+ChargeTap::~ChargeTap() = default;
 
 Scheduler::Scheduler(const CostModel &Model, unsigned PhysCpus,
                      unsigned VirtCpus)

@@ -58,6 +58,21 @@ public:
   virtual TaskStep step(Ticks Budget) = 0;
 };
 
+/// Observer of a TickLedger's charge/check sequence. Host-parallel mode
+/// (src/host) records the sequence a worker thread produces against an
+/// always-budgeted ledger, then replays the same sequence against the
+/// slice's real ledger on the simulation thread; because charges are
+/// linear, only the sums between budget checks matter, so the recording
+/// coalesces them (see host/ChargeStream.h).
+class ChargeTap {
+public:
+  virtual ~ChargeTap();
+  /// hasBudget() was consulted.
+  virtual void onCheck() = 0;
+  /// charge(Cost) was applied.
+  virtual void onCharge(Ticks Cost) = 0;
+};
+
 /// Grant-consumption bookkeeping for SimTask implementations. An action
 /// whose cost exceeds the remaining grant is applied immediately but its
 /// unpaid cost carries over as debt into the next step, so expensive
@@ -73,13 +88,19 @@ public:
   }
 
   /// True while the task may take another action this step.
-  bool hasBudget() const { return Debt == 0 && Used < Budget; }
+  bool hasBudget() const {
+    if (Tap)
+      Tap->onCheck();
+    return Debt == 0 && Used < Budget;
+  }
 
   /// Remaining ticks in this step's grant (0 when in debt).
   Ticks remaining() const { return Debt == 0 ? Budget - Used : 0; }
 
   /// Charges \p Cost ticks; overflow beyond the grant becomes debt.
   void charge(Ticks Cost) {
+    if (Tap)
+      Tap->onCharge(Cost);
     TotalCharged += Cost;
     Ticks Avail = Budget - Used;
     if (Cost <= Avail) {
@@ -98,11 +119,17 @@ public:
   /// debt, so attribution code brackets opaque calls with this instead.
   Ticks totalCharged() const { return TotalCharged; }
 
+  /// Attaches (or detaches, with nullptr) a charge/check observer. Only
+  /// host-parallel recording ledgers set this; it is null on every ledger
+  /// the scheduler steps directly.
+  void setTap(ChargeTap *T) { Tap = T; }
+
 private:
   Ticks Debt = 0;
   Ticks Budget = 0;
   Ticks Used = 0;
   Ticks TotalCharged = 0;
+  ChargeTap *Tap = nullptr;
 };
 
 /// The discrete-time multiprocessor.

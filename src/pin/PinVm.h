@@ -146,6 +146,20 @@ public:
   /// signature detector compares this against the recorded quantum).
   uint64_t runCapRemaining() const { return CapRemaining; }
 
+  /// Redirects attribution (host-parallel mode points it at a worker-local
+  /// profile for the body's duration, folding into the lane at retire).
+  void setProfSink(prof::SliceProfile *P) { Config.Prof = P; }
+
+  /// Replaces the trace sink. Host-parallel mode passes nullptr for the
+  /// body's duration: the recorder and the virtual clock are simulation-
+  /// thread state a worker must not touch (the body's jit.* instants are
+  /// suppressed, documented in INTERNALS.md).
+  void setTraceSink(obs::TraceRecorder *T) {
+    Config.Trace = T;
+    if (!T)
+      Config.TraceClock = nullptr;
+  }
+
   /// Executes until the ledger runs out or an architectural event occurs.
   VmStop run(os::TickLedger &Ledger);
 

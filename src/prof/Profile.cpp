@@ -64,6 +64,20 @@ void SliceProfile::rewindAttempt(const SliceProfile &AttemptStart) {
   Blocks = AttemptStart.Blocks;
 }
 
+void SliceProfile::foldAttribution(const SliceProfile &Body) {
+  for (unsigned I = 0; I != NumCauses; ++I)
+    Causes[I] += Body.Causes[I];
+  Native += Body.Native;
+  ReduxSuppressed += Body.ReduxSuppressed;
+  ReduxFlushes += Body.ReduxFlushes;
+  ReduxSaved += Body.ReduxSaved;
+  for (const auto &[Pc, B] : Body.Blocks) {
+    BlockProfile &D = Blocks[Pc];
+    D.Pc = Pc;
+    D.mergeFrom(B);
+  }
+}
+
 const SliceProfile *ProfileCollector::findSlice(uint32_t Num) const {
   auto It = Slices.find(Num);
   return It == Slices.end() ? nullptr : &It->second;

@@ -133,6 +133,15 @@ public:
   /// genuinely spent; only their cause was re-judged as waste.
   void rewindAttempt(const SliceProfile &AttemptStart);
 
+  /// Folds another profile's attribution into this lane: causes, native,
+  /// blocks, and redux telemetry are added; Consumed is deliberately NOT
+  /// (host-parallel mode charges a slice body to a worker-local profile
+  /// and folds it here at retire, while the consumed total accrues on the
+  /// simulation thread as the body's recorded charges are replayed against
+  /// the lane's real ledger — adding Body's zero consumed keeps the
+  /// consumed == native + attributed invariant exact).
+  void foldAttribution(const SliceProfile &Body);
+
   os::Ticks cause(Cause C) const { return Causes[causeIndex(C)]; }
   os::Ticks attributedTicks() const;
   os::Ticks nativeTicks() const { return Native; }

@@ -25,6 +25,8 @@
 
 #include "replay/ReplayEngine.h"
 
+#include "host/CompletionQueue.h"
+#include "host/WorkerPool.h"
 #include "obs/TraceRecorder.h"
 #include "os/Kernel.h"
 #include "os/Scheduler.h"
@@ -37,6 +39,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <deque>
 
 using namespace spin;
 using namespace spin::os;
@@ -170,9 +173,61 @@ void ReplayEngine::applyWindow(const SliceCaptureData &W) {
                Now, W.Num);
 }
 
-ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
-                                            const ToolFactory &Factory,
-                                            SharedAreaRegistry &Areas) {
+/// Everything one slice re-execution needs across the prepare / body /
+/// finish split. Heap-allocated and address-stable: the detection and
+/// end-slice hooks capture pointers into it, and under -spmp the body
+/// half runs on a host worker while the engine prepares later slices.
+struct ReplayEngine::SliceRun {
+  ReplaySliceResult Res;
+  uint32_t Lane = 0;
+  std::optional<Process> Proc;
+  std::optional<SliceServices> Services;
+  std::unique_ptr<Tool> ToolInst;
+  std::unique_ptr<CodeCache> Cache;
+  std::unique_ptr<PinVm> Vm;
+  prof::SliceProfile *SliceProf = nullptr;
+
+  // The recorded in-window stream; a trailing Boundary entry (if any) is
+  // the window's end marker, counted but never executed by the slice.
+  size_t InWindow = 0;
+  size_t SysPos = 0;
+
+  TickLedger Ledger;
+  SignatureStats SigSt;
+  bool End = false;
+  // Runaway guard: a missed boundary (e.g. a tool that perturbs control
+  // flow) must surface as divergence, not an endless loop.
+  uint64_t RunawayCap = 0;
+  /// Virtual ticks the body consumed; folded into the engine clock at
+  /// finish time when the body ran on a worker (the worker must never
+  /// touch the engine clock itself).
+  Ticks BodyTicks = 0;
+  /// Host mode only: extra references to every page the fork shares with
+  /// the master, held until this run retires. Serial replay gets the same
+  /// guarantee for free — the master cannot advance (and privatize pages)
+  /// while a body runs on its own thread — so pinning keeps the body's
+  /// COW-copy charge sequence identical and makes the in-place-write /
+  /// COW-read race between the fast-forwarding master and the worker
+  /// impossible (see GuestMemory::pinPages).
+  std::vector<std::shared_ptr<const void>> PagePins;
+
+  void diverge(std::string Why) {
+    Res.Diverged = true;
+    Res.Note = std::move(Why);
+    End = true;
+    Vm->disarmDetection();
+  }
+  void endSlice(SliceEndKind Kind) {
+    Res.EndKind = Kind;
+    End = true;
+    Vm->disarmDetection();
+  }
+};
+
+std::unique_ptr<ReplayEngine::SliceRun>
+ReplayEngine::prepareSlice(const SliceCaptureData &W,
+                           const ToolFactory &Factory,
+                           SharedAreaRegistry &Areas) {
   fastForwardTo(W.Num);
   if (hashMachineState(*Master, Interp->instructionsRetired()) !=
       W.StartStateHash)
@@ -180,65 +235,62 @@ ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
                      "capture at slice " + std::to_string(W.Num) +
                      "'s fork point");
 
-  ReplaySliceResult Res;
-  Res.Num = W.Num;
+  auto Run = std::make_unique<SliceRun>();
+  SliceRun *R = Run.get();
+  R->Res.Num = W.Num;
 
-  uint32_t Lane = obs::TraceRecorder::sliceLane(W.Num);
+  R->Lane = obs::TraceRecorder::sliceLane(W.Num);
   if (Trace) {
-    Trace->setLaneName(Lane, "replay-slice-" + std::to_string(W.Num));
-    Trace->begin(Lane, obs::EventKind::ReplaySlice, Now, W.Num);
+    Trace->setLaneName(R->Lane, "replay-slice-" + std::to_string(W.Num));
+    Trace->begin(R->Lane, obs::EventKind::ReplaySlice, Now, W.Num);
   }
 
-  Process Proc = Master->fork(NextPid++);
-  Proc.Mem.discardRange(AddressLayout::BubbleBase,
-                        SpBubblePages * vm::PageSize);
-  SliceServices Services(Areas, W.Num);
-  std::unique_ptr<Tool> ToolInst = Factory(Services);
-  CodeCache Cache;
+  R->Proc.emplace(Master->fork(NextPid++));
+  R->Proc->Mem.discardRange(AddressLayout::BubbleBase,
+                            SpBubblePages * vm::PageSize);
+  R->Services.emplace(Areas, W.Num);
+  R->ToolInst = Factory(*R->Services);
+  R->Cache = std::make_unique<CodeCache>();
   PinVmConfig Cfg;
   Cfg.InstCost = InstCost;
   Cfg.SliceNum = W.Num;
-  prof::SliceProfile *SliceProf = Prof ? &Prof->slice(W.Num) : nullptr;
-  Cfg.Prof = SliceProf;
+  R->SliceProf = Prof ? &Prof->slice(W.Num) : nullptr;
+  Cfg.Prof = R->SliceProf;
   if (Trace) {
     Cfg.Trace = Trace;
-    Cfg.TraceLane = Lane;
+    Cfg.TraceLane = R->Lane;
     Cfg.TraceClock = [this] { return Now; };
   }
-  PinVm Vm(Proc, Model, ToolInst.get(), Cache, Cfg);
-  Services.setEndSliceHook([&Vm] { Vm.requestStop(); });
-  ToolInst->onSliceBegin(W.Num);
+  R->Vm = std::make_unique<PinVm>(*R->Proc, Model, R->ToolInst.get(),
+                                  *R->Cache, Cfg);
+  R->Services->setEndSliceHook([R] { R->Vm->requestStop(); });
+  R->ToolInst->onSliceBegin(W.Num);
 
-  // The recorded in-window stream; a trailing Boundary entry (if any) is
-  // the window's end marker, counted but never executed by the slice.
-  size_t InWindow = W.Sys.size();
-  if (InWindow && W.Sys.back().Kind == CapturedSysKind::Boundary)
-    --InWindow;
-  size_t SysPos = 0;
+  R->InWindow = W.Sys.size();
+  if (R->InWindow && W.Sys.back().Kind == CapturedSysKind::Boundary)
+    --R->InWindow;
 
-  TickLedger Ledger;
-  SignatureStats SigSt;
-  bool End = false;
   if (W.EndKind == SliceEndKind::Signature) {
-    auto Hook = [&](TickLedger &L) {
+    auto Hook = [this, R, &W](TickLedger &L) {
       // Mirrors SliceTask::installDetection: the boundary state includes
       // the recorded syscalls' effects, so detection is meaningless (and
       // known false) while any are pending — but the check still runs and
       // is charged, as in the paper.
-      if (SysPos != InWindow) {
+      if (R->SysPos != R->InWindow) {
         if (Cap.QuickCheck) {
           L.charge(Model.InlinedCheckCost);
-          ++SigSt.QuickChecks;
+          ++R->SigSt.QuickChecks;
         } else {
           L.charge(Model.SigFullCheckCost);
-          ++SigSt.FullChecks;
+          ++R->SigSt.FullChecks;
         }
         return false;
       }
-      return checkSignature(W.Sig, Proc, Model, Cap.QuickCheck,
-                            Vm.runCapRemaining(), L, SigSt);
+      return checkSignature(W.Sig, *R->Proc, Model, Cap.QuickCheck,
+                            R->Vm->runCapRemaining(), L, R->SigSt);
     };
-    Vm.armDetection(W.Sig.Pc, [Hook, SliceProf](TickLedger &L) {
+    prof::SliceProfile *SliceProf = R->SliceProf;
+    R->Vm->armDetection(W.Sig.Pc, [Hook, SliceProf](TickLedger &L) {
       if (!SliceProf)
         return Hook(L);
       Ticks Base = L.totalCharged();
@@ -248,109 +300,118 @@ ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
     });
   }
 
-  auto Diverge = [&](std::string Why) {
-    Res.Diverged = true;
-    Res.Note = std::move(Why);
-    End = true;
-    Vm.disarmDetection();
-  };
-  auto EndSlice = [&](SliceEndKind Kind) {
-    Res.EndKind = Kind;
-    End = true;
-    Vm.disarmDetection();
-  };
+  R->RunawayCap = W.ExpectedInsts * 2 + 10'000;
+  return Run;
+}
 
-  // Runaway guard: a missed boundary (e.g. a tool that perturbs control
-  // flow) must surface as divergence, not an endless loop.
-  uint64_t RunawayCap = W.ExpectedInsts * 2 + 10'000;
-
-  while (!End) {
-    Ledger.beginStep(ReplayStepTicks);
-    Vm.setRunCap(Proc.quantumExpired() ? 0 : Proc.quantumLeft());
-    uint64_t Before = Vm.retired();
-    VmStop Stop = Vm.run(Ledger);
-    Proc.noteRetired(Vm.retired() - Before);
+void ReplayEngine::runSliceBody(SliceRun &R, const SliceCaptureData &W,
+                                bool HostThread) {
+  while (!R.End) {
+    R.Ledger.beginStep(ReplayStepTicks);
+    R.Vm->setRunCap(R.Proc->quantumExpired() ? 0 : R.Proc->quantumLeft());
+    uint64_t Before = R.Vm->retired();
+    VmStop Stop = R.Vm->run(R.Ledger);
+    R.Proc->noteRetired(R.Vm->retired() - Before);
     switch (Stop) {
     case VmStop::Budget:
     case VmStop::InstCap:
       break;
     case VmStop::Detected:
-      EndSlice(SliceEndKind::Signature);
+      R.endSlice(SliceEndKind::Signature);
       break;
     case VmStop::ToolStop:
-      EndSlice(SliceEndKind::ToolStop);
+      R.endSlice(SliceEndKind::ToolStop);
       break;
     case VmStop::Syscall: {
-      uint64_t Number = pendingSyscallNumber(Proc);
-      ToolInst->onSyscall(Number);
-      if (SysPos < InWindow) {
-        const CapturedSyscall &CS = W.Sys[SysPos++];
+      uint64_t Number = pendingSyscallNumber(*R.Proc);
+      R.ToolInst->onSyscall(Number);
+      if (R.SysPos < R.InWindow) {
+        const CapturedSyscall &CS = W.Sys[R.SysPos++];
         if (CS.Effects.Number != Number) {
-          Diverge("syscall sequence diverged from the capture");
+          R.diverge("syscall sequence diverged from the capture");
           break;
         }
         if (CS.Kind == CapturedSysKind::Playback) {
-          playbackSyscall(Proc, CS.Effects);
-          ++Res.PlaybackSyscalls;
+          playbackSyscall(*R.Proc, CS.Effects);
+          ++R.Res.PlaybackSyscalls;
           if (Trace)
-            Trace->instant(Lane, obs::EventKind::SysPlayback, Now, Number);
+            Trace->instant(R.Lane, obs::EventKind::SysPlayback, Now, Number);
         } else {
           SystemContext Ctx;
           Ctx.SuppressOutput = true;
           Ctx.Trace = Trace;
-          Ctx.TraceLane = Lane;
-          Ctx.TraceNow = Now;
-          serviceSyscall(Proc, Ctx, nullptr);
-          ++Res.DuplicatedSyscalls;
+          Ctx.TraceLane = R.Lane;
+          // Trace is always null on a host thread; guarding the clock read
+          // keeps workers from racing the engine clock the calling thread
+          // advances during master reconstruction.
+          Ctx.TraceNow = Trace ? Now : 0;
+          serviceSyscall(*R.Proc, Ctx, nullptr);
+          ++R.Res.DuplicatedSyscalls;
         }
-        Vm.noteSyscallRetired();
-        Proc.noteRetired(1);
-        if (Proc.Status == ProcStatus::Exited)
-          EndSlice(SliceEndKind::AppExit);
+        R.Vm->noteSyscallRetired();
+        R.Proc->noteRetired(1);
+        if (R.Proc->Status == ProcStatus::Exited)
+          R.endSlice(SliceEndKind::AppExit);
         break;
       }
-      if (SysPos < W.Sys.size()) {
+      if (R.SysPos < W.Sys.size()) {
         // The boundary marker: counted (its IPOINT_BEFORE analysis ran),
         // executed only by the master; the successor starts after it.
-        if (W.Sys[SysPos].Effects.Number != Number) {
-          Diverge("boundary syscall diverged from the capture");
+        if (W.Sys[R.SysPos].Effects.Number != Number) {
+          R.diverge("boundary syscall diverged from the capture");
           break;
         }
-        ++SysPos;
-        Vm.noteSyscallRetired();
-        EndSlice(SliceEndKind::SyscallBoundary);
+        ++R.SysPos;
+        R.Vm->noteSyscallRetired();
+        R.endSlice(SliceEndKind::SyscallBoundary);
         break;
       }
-      Diverge("overran the window into an unrecorded syscall");
+      R.diverge("overran the window into an unrecorded syscall");
       break;
     }
     case VmStop::BadPc:
-      Diverge("control left the text segment");
+      R.diverge("control left the text segment");
       break;
     }
-    if (Proc.quantumExpired() && !End &&
+    if (R.Proc->quantumExpired() && !R.End &&
         (Stop == VmStop::InstCap || Stop == VmStop::Syscall)) {
-      Proc.rotateThread();
-      Vm.noteContextSwitch();
+      R.Proc->rotateThread();
+      R.Vm->noteContextSwitch();
     }
-    if (!End && Vm.retired() > RunawayCap)
-      Diverge("ran past the window without reaching its boundary");
-    Now += Ledger.used();
-    if (SliceProf)
-      SliceProf->noteConsumed(Ledger.used());
+    if (!R.End && R.Vm->retired() > R.RunawayCap)
+      R.diverge("ran past the window without reaching its boundary");
+    R.BodyTicks += R.Ledger.used();
+    if (!HostThread)
+      Now += R.Ledger.used();
+    if (R.SliceProf)
+      R.SliceProf->noteConsumed(R.Ledger.used());
   }
+}
 
-  ToolInst->onSliceEnd(W.Num);
-  Services.mergeShadows();
-  Res.RetiredInsts = Vm.retired();
-  Res.ParityOk = !Res.Diverged && Res.EndKind == W.EndKind &&
-                 Res.RetiredInsts == W.RetiredInsts;
+ReplaySliceResult ReplayEngine::finishSlice(SliceRun &R,
+                                            const SliceCaptureData &W,
+                                            bool HostMode) {
+  if (HostMode)
+    Now += R.BodyTicks;
+  R.ToolInst->onSliceEnd(W.Num);
+  R.Services->mergeShadows();
+  R.Res.RetiredInsts = R.Vm->retired();
+  R.Res.ParityOk = !R.Res.Diverged && R.Res.EndKind == W.EndKind &&
+                   R.Res.RetiredInsts == W.RetiredInsts;
   if (Trace) {
-    Trace->end(Lane, obs::EventKind::ReplaySlice, Now, Vm.retired());
-    Trace->instant(Lane, obs::EventKind::ReplayParity, Now,
-                   Res.ParityOk ? 1 : 0);
+    Trace->end(R.Lane, obs::EventKind::ReplaySlice, Now, R.Vm->retired());
+    Trace->instant(R.Lane, obs::EventKind::ReplayParity, Now,
+                   R.Res.ParityOk ? 1 : 0);
   }
-  return Res;
+  return std::move(R.Res);
+}
+
+ReplaySliceResult ReplayEngine::replaySlice(const SliceCaptureData &W,
+                                            const ToolFactory &Factory,
+                                            SharedAreaRegistry &Areas) {
+  std::unique_ptr<SliceRun> R = prepareSlice(W, Factory, Areas);
+  runSliceBody(*R, W, /*HostThread=*/false);
+  return finishSlice(*R, W, /*HostMode=*/false);
 }
 
 ReplayReport ReplayEngine::replayAll(const ToolFactory &Factory) {
@@ -372,8 +433,7 @@ ReplayReport ReplayEngine::replay(const ToolFactory &Factory,
 
   ReplayReport Rep;
   SharedAreaRegistry Areas;
-  for (uint32_t Num : Nums) {
-    ReplaySliceResult Res = replaySlice(Cap.Slices[Num], Factory, Areas);
+  auto Accumulate = [&Rep](ReplaySliceResult Res) {
     ++Rep.SlicesReplayed;
     Rep.ReplayedInsts += Res.RetiredInsts;
     Rep.PlaybackSyscalls += Res.PlaybackSyscalls;
@@ -383,6 +443,58 @@ ReplayReport ReplayEngine::replay(const ToolFactory &Factory,
     else
       ++Rep.ParityFailed;
     Rep.Slices.push_back(std::move(Res));
+  };
+
+  // Tracing forces serial: replay trace timestamps come from the single
+  // engine-wide clock, which slice bodies advance step by step.
+  if (HostWorkers == 0 || Trace) {
+    for (uint32_t Num : Nums)
+      Accumulate(replaySlice(Cap.Slices[Num], Factory, Areas));
+  } else {
+    // Host-parallel re-execution: bodies run on the pool while this thread
+    // keeps preparing later slices (master reconstruction, forks, tool
+    // construction) and retires finished bodies strictly in ascending
+    // slice order — merge order, and with it all shared-area folds and the
+    // fini output, never depends on host finish order.
+    struct Pending {
+      uint32_t Num;
+      std::unique_ptr<SliceRun> Run;
+    };
+    // Declared before the pool: its destructor joins the workers, whose
+    // jobs reference the queue and the pending runs.
+    host::CompletionQueue Done;
+    std::deque<Pending> InFlight;
+    host::WorkerPool Pool(HostWorkers);
+    // Each pending slice holds a COW fork of the master; keep just enough
+    // in flight to cover prepare latency without hoarding forks.
+    const size_t MaxInFlight = Pool.size() + 2;
+    auto RetireFront = [&] {
+      Pending P = std::move(InFlight.front());
+      InFlight.pop_front();
+      Done.pop(P.Num);
+      Accumulate(finishSlice(*P.Run, Cap.Slices[P.Num], /*HostMode=*/true));
+    };
+    for (uint32_t Num : Nums) {
+      while (InFlight.size() >= MaxInFlight)
+        RetireFront();
+      std::unique_ptr<SliceRun> Run =
+          prepareSlice(Cap.Slices[Num], Factory, Areas);
+      // Pin the fork's pages for the body's lifetime so neither side of a
+      // shared page can ever write it in place while the other COW-copies
+      // it (the master keeps fast-forwarding while this body runs).
+      Run->PagePins = Run->Proc->Mem.pinPages();
+      SliceRun *R = Run.get();
+      InFlight.push_back(Pending{Num, std::move(Run)});
+      Pool.submit([this, R, Num, &Done](host::WorkerContext &WC) {
+        runSliceBody(*R, Cap.Slices[Num], /*HostThread=*/true);
+        host::SliceCompletion C;
+        C.SliceNum = Num;
+        C.Worker = WC.Worker;
+        Done.push(C);
+      });
+    }
+    while (!InFlight.empty())
+      RetireFront();
   }
 
   // Fini over the merged areas, exactly like MasterTask::runFini.

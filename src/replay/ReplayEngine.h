@@ -33,6 +33,7 @@
 #include "superpin/SharedAreas.h"
 #include "vm/Interpreter.h"
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -101,6 +102,16 @@ public:
   /// clock. Attribution charges nothing, exactly as in the live engine.
   void setProfile(prof::ProfileCollector *Collector) { Prof = Collector; }
 
+  /// Re-executes slice bodies on \p N host worker threads (-spmp; 0 =
+  /// everything on the calling thread). Master reconstruction, forks, tool
+  /// construction, and merges stay on the calling thread and slices retire
+  /// in ascending slice order regardless of host finish order, so parity
+  /// results, shared-area folds, profiles, and fini output are
+  /// byte-identical for every N. Forced serial while a trace recorder is
+  /// attached: replay trace timestamps come from the single engine-wide
+  /// clock, which slice bodies advance.
+  void setHostWorkers(unsigned N) { HostWorkers = N; }
+
 private:
   const RunCapture &Cap;
   const os::CostModel &Model;
@@ -108,6 +119,7 @@ private:
 
   obs::TraceRecorder *Trace = nullptr;
   prof::ProfileCollector *Prof = nullptr;
+  unsigned HostWorkers = 0;
   /// Replay's deterministic clock (replay runs outside the live
   /// scheduler): advances by the cost-model price of executed work.
   os::Ticks Now = 0;
@@ -128,6 +140,28 @@ private:
   ReplaySliceResult replaySlice(const sp::SliceCaptureData &W,
                                 const pin::ToolFactory &Factory,
                                 sp::SharedAreaRegistry &Areas);
+
+  /// In-flight state of one slice re-execution, split so the body loop can
+  /// run on a host worker between the (calling-thread) prepare and finish
+  /// halves. Heap-allocated: the detection hook and end-slice hook capture
+  /// stable pointers into it.
+  struct SliceRun;
+
+  /// Calling thread: fast-forwards the master to \p W's fork point,
+  /// validates the start-state hash, forks the slice process, and builds
+  /// its tool/VM (including shared-area creation and detection arming).
+  std::unique_ptr<SliceRun> prepareSlice(const sp::SliceCaptureData &W,
+                                         const pin::ToolFactory &Factory,
+                                         sp::SharedAreaRegistry &Areas);
+  /// The slice body loop. Worker-safe when \p HostThread: touches only the
+  /// SliceRun's own state (never the engine clock, trace, or master).
+  void runSliceBody(SliceRun &R, const sp::SliceCaptureData &W,
+                    bool HostThread);
+  /// Calling thread, in ascending slice order: merges shadows, judges
+  /// parity, and (when \p HostMode) folds the body's consumed ticks into
+  /// the engine clock.
+  ReplaySliceResult finishSlice(SliceRun &R, const sp::SliceCaptureData &W,
+                                bool HostMode);
 };
 
 } // namespace spin::replay

@@ -40,6 +40,9 @@
 #include "analysis/Passes.h"
 #include "analysis/Redundancy.h"
 #include "fault/FaultPlan.h"
+#include "host/ChargeStream.h"
+#include "host/CompletionQueue.h"
+#include "host/WorkerPool.h"
 #include "obs/TraceRecorder.h"
 #include "os/Kernel.h"
 #include "os/Process.h"
@@ -55,7 +58,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <memory>
 #include <optional>
 
 using namespace spin;
@@ -95,6 +100,36 @@ enum class WindowRoute : uint8_t {
 };
 
 class SliceTask;
+
+/// Run-report deltas produced by slice-body code (the code that executes
+/// a window: runSlice, handleSyscall, the detection hook, failAttempt,
+/// memory-event listeners). The body always accumulates here instead of
+/// writing Coordinator state directly so the identical code can run on a
+/// host worker thread (-spmp) without racing the simulation thread; the
+/// sim thread folds the deltas into SpRunReport at merge. Every field is
+/// an additive counter (or a bucket histogram), so fold order cannot
+/// change the final report.
+struct BodyStats {
+  uint64_t PlaybackSyscalls = 0;
+  uint64_t DuplicatedSyscalls = 0;
+  uint64_t ReexecutedSyscalls = 0;
+  uint64_t SliceCowCopies = 0;
+  uint64_t WastedSliceInsts = 0;
+  uint64_t WatchdogKills = 0;
+  uint64_t PlaybackDivergences = 0;
+  // Dead-attempt VM statistics folded at failAttempt (a retry rebuilds
+  // the VM, so they must be banked before it dies).
+  uint64_t TracesCompiled = 0;
+  Ticks CompileTicks = 0;
+  uint64_t TracesSeeded = 0;
+  Ticks SeedTicks = 0;
+  uint64_t CallsSuppressed = 0;
+  uint64_t ReduxFlushes = 0;
+  uint64_t TracesRecompiled = 0;
+  Ticks RecompileTicks = 0;
+  Ticks ReduxSavedTicks = 0;
+  Histogram SigCheckDist; ///< folds into SpRunReport::SigCheckDistHist
+};
 
 /// Shared mutable state of one SuperPin run.
 struct Coordinator {
@@ -145,6 +180,19 @@ struct Coordinator {
   /// tick-identical to unprofiled ones.
   prof::ProfileCollector *Prof = nullptr;
 
+  /// Worker -> sim completion queue (meaningful only with Pool): drained
+  /// strictly in slice order at each body's retire point; doubles as the
+  /// barrier after which a slice's stream arena may be freed. Declared
+  /// before Pool so the pool's destructor (which joins every worker)
+  /// runs first — a worker may still be returning from its final push
+  /// when the run completes.
+  host::CompletionQueue Completion;
+  /// Host-parallel worker pool (-spmp, src/host); null runs every slice
+  /// body on the simulation thread. Never consulted for virtual-time
+  /// decisions: dispatched bodies record their check/charge sequence and
+  /// the sim thread replays it, so results are byte-identical either way.
+  std::unique_ptr<host::WorkerPool> Pool;
+
   Scheduler::TaskId MasterId = 0;
   std::vector<SliceTask *> Slices;
   std::vector<Scheduler::TaskId> SliceIds;
@@ -171,7 +219,7 @@ struct Coordinator {
   void sliceEnded() {
     assert(RunningSlices > 0 && "slice end underflow");
     --RunningSlices;
-    Sched.wake(MasterId); // Possibly stalled at -spmp.
+    Sched.wake(MasterId); // Possibly stalled at -spslices.
   }
 
   /// Master exited: release every deferred slice into the pipeline phase.
@@ -210,6 +258,8 @@ public:
         Label("slice-" + std::to_string(Num)) {
     if (C.Prof)
       Prof = &C.Prof->slice(Num);
+    BodyProf = Prof;
+    Tb = C.Tr;
     if (C.Fault)
       Fault = C.Fault->forSlice(Num);
     Services.emplace(C.Areas, Num);
@@ -250,7 +300,7 @@ public:
 
   /// Called by the master when this slice's window closes; wakes the
   /// task. Only from this point on does the slice count as "running" for
-  /// the -spmp stall limit (a slice sleeping for its window consumes no
+  /// the -spslices stall limit (a slice sleeping for its window consumes no
   /// CPU, matching the paper's "maximum number of running slices").
   ///
   /// Non-live routes park the window instead: the slice does not count as
@@ -286,14 +336,24 @@ public:
     }
     ++C.RunningSlices;
     CountedRunning = true;
+    // Host-parallel mode: hand the body to a worker thread. Stall-fault
+    // slices stay on the sim thread — an injected stall burns whatever
+    // budget the current step granted, which only exists sim-side.
+    if (C.Pool && !faultArmed(fault::FaultKind::SliceStall))
+      dispatchHostBody();
     C.Sched.wake(C.SliceIds[Num]);
   }
 
   TaskStep step(Ticks Budget) override {
     Ledger.beginStep(Budget);
-    CurLedger = &Ledger;
+    // While a worker owns the body, CurLedger stays pinned to the
+    // recording ledger (memory events fire on the worker); the sim side
+    // only replays charges and must not retarget it.
+    if (!HostActive)
+      CurLedger = &Ledger;
     TaskStatus St = stepImpl();
-    CurLedger = nullptr;
+    if (!HostActive)
+      CurLedger = nullptr;
     if (Prof)
       Prof->noteConsumed(Ledger.used());
     return {Ledger.used(), St};
@@ -302,16 +362,16 @@ public:
   void onCowCopy(uint64_t) override {
     if (CurLedger) {
       CurLedger->charge(C.Model.CowCopyPageCost);
-      if (Prof)
-        Prof->charge(prof::Cause::Fork, C.Model.CowCopyPageCost);
+      if (BodyProf)
+        BodyProf->charge(prof::Cause::Fork, C.Model.CowCopyPageCost);
     }
-    ++C.Report.SliceCowCopies;
+    ++BS.SliceCowCopies;
   }
   void onPageAlloc(uint64_t) override {
     if (CurLedger) {
       CurLedger->charge(C.Model.PageAllocCost);
-      if (Prof)
-        Prof->charge(prof::Cause::Fork, C.Model.PageAllocCost);
+      if (BodyProf)
+        BodyProf->charge(prof::Cause::Fork, C.Model.PageAllocCost);
     }
   }
 
@@ -351,6 +411,36 @@ private:
   /// Attribution snapshot at attempt start (fault runs with -spprof):
   /// failAttempt rewinds to it, re-judging the attempt as retry.waste.
   std::optional<prof::SliceProfile> AttemptBase;
+
+  // --- Dual-mode body plumbing (src/host, -spmp) ------------------------
+  // Body code (runSlice, handleSyscall, the detection hook, failAttempt,
+  // memory-event listeners) charges and reports through these pointers so
+  // the identical code runs on the sim thread or on a worker.
+  /// Ledger the body charges: &Ledger serially, &RecLedger on a worker.
+  TickLedger *ExecLedger = &Ledger;
+  /// Attribution sink for body charges: the lane profile serially, the
+  /// worker-local HostProf while a worker owns the body.
+  prof::SliceProfile *BodyProf = nullptr;
+  /// Trace sink for body instants: C.Tr serially, null while a worker
+  /// owns the body (the recorder and the virtual clock are sim-thread
+  /// state; body-side slice-lane instants are suppressed under -spmp,
+  /// see INTERNALS.md).
+  obs::TraceRecorder *Tb = nullptr;
+  /// Run-report deltas the body accumulates; flushed at doMerge.
+  BodyStats BS;
+
+  // --- Host-parallel state (meaningful only between dispatch/retire) ----
+  /// True while a worker owns the body (Proc/Vm/Tool/BS/Window). The sim
+  /// thread must not touch those fields until retireHostBody.
+  bool HostActive = false;
+  std::optional<host::ChargeStream> Stream;
+  std::optional<host::RecordingTap> Rec;
+  std::optional<host::StreamReplayer> Replayer;
+  /// Always-budgeted ledger the worker charges; its tap canonicalises the
+  /// body's check/charge sequence into Stream for sim-side replay.
+  TickLedger RecLedger;
+  /// Worker-local attribution; folded into the lane profile at retire.
+  std::optional<prof::SliceProfile> HostProf;
 
   // --- Fault state (inert unless C.Fault) -------------------------------
   std::optional<fault::FaultSpec> Fault; ///< this slice's planned fault
@@ -421,12 +511,25 @@ private:
             Info.EndKind = endKindOf(Window->EndKind);
           }
         }
-        if (!EndReached && !Relaxed)
+        // Host-dispatched bodies arm detection on the worker (hostBody);
+        // the sim thread must not touch the VM while the worker owns it.
+        if (!HostActive && !EndReached && !Relaxed)
           installDetection();
         Ph = Phase::Running;
         break;
       case Phase::Running:
-        runSlice();
+        if (HostActive) {
+          // The body runs (or already ran) on a worker; replay its
+          // recorded check/charge sequence against the real ledger so
+          // this slice pauses and resumes at exactly the tick boundaries
+          // a sim-thread execution would have hit.
+          host::StreamReplayer::Step R = Replayer->replay(Ledger);
+          if (R == host::StreamReplayer::Step::NeedBudget)
+            return TaskStatus::Runnable;
+          retireHostBody(R == host::StreamReplayer::Step::Fail);
+        } else {
+          runSlice();
+        }
         if (AttemptFailed) {
           resolveFailure();
           break; // Re-enter: retry, quarantine wait, or merge a failure.
@@ -492,13 +595,13 @@ private:
         }
         return false;
       }
-      if (C.Tr && !SigSearchOpen) {
+      if (Tb && !SigSearchOpen) {
         SigSearchOpen = true;
-        C.Tr->begin(lane(), obs::EventKind::SigSearch, C.Sched.now());
+        Tb->begin(lane(), obs::EventKind::SigSearch, C.Sched.now());
       }
       uint64_t Ret = Vm->retired();
       uint64_t Exp = Window->ExpectedInsts;
-      C.Report.SigCheckDistHist.record(Exp > Ret ? Exp - Ret : Ret - Exp);
+      BS.SigCheckDist.record(Exp > Ret ? Exp - Ret : Ret - Exp);
       return checkSignature(Window->Sig, Proc, C.Model, C.Opts.QuickCheck,
                             Vm->runCapRemaining(), L, SigSt);
     };
@@ -506,11 +609,11 @@ private:
     // signature comparisons) is §4.4 signature-search overhead; bracket
     // with totalCharged() because checkSignature charges internally.
     Vm->armDetection(Window->Sig.Pc, [this, Hook](TickLedger &L) {
-      if (!Prof)
+      if (!BodyProf)
         return Hook(L);
       Ticks Base = L.totalCharged();
       bool Found = Hook(L);
-      Prof->charge(prof::Cause::SigSearch, L.totalCharged() - Base);
+      BodyProf->charge(prof::Cause::SigSearch, L.totalCharged() - Base);
       return Found;
     });
   }
@@ -522,16 +625,18 @@ private:
   }
 
   void runSlice() {
-    while (Ledger.hasBudget() && !EndReached) {
+    while (ExecLedger->hasBudget() && !EndReached) {
       // Injected stall: the slice burns scheduling budget without
-      // retiring anything until the stall watchdog fires.
+      // retiring anything until the stall watchdog fires. Never runs on
+      // a worker (completeWindow keeps stall-armed slices sim-side): the
+      // burn depends on the live step budget, which only exists here.
       if (faultArmed(fault::FaultKind::SliceStall)) {
         noteFaultFired();
-        Ticks Burn = Ledger.remaining();
+        Ticks Burn = ExecLedger->remaining();
         StallTicks += Burn;
-        Ledger.charge(Burn);
-        if (Prof) // Stalled progress is recovery waste by definition.
-          Prof->charge(prof::Cause::RetryWaste, Burn);
+        ExecLedger->charge(Burn);
+        if (BodyProf) // Stalled progress is recovery waste by definition.
+          BodyProf->charge(prof::Cause::RetryWaste, Burn);
         if (StallTicks > stallLimit())
           failAttempt(FailReason::Stall);
         return;
@@ -554,7 +659,7 @@ private:
       }
       Vm->setRunCap(Cap);
       uint64_t Before = Vm->retired();
-      VmStop Stop = Vm->run(Ledger);
+      VmStop Stop = Vm->run(*ExecLedger);
       Proc.noteRetired(Vm->retired() - Before);
       switch (Stop) {
       case VmStop::Budget:
@@ -612,16 +717,17 @@ private:
   /// way duplicable calls always run ("on-demand re-execution").
   void reexecuteSyscall() {
     SystemContext Ctx;
-    Ctx.NowMs = C.Sched.nowMs();
+    Ctx.NowMs = bodyNowMs();
     Ctx.SuppressOutput = true;
-    Ctx.Trace = C.Tr;
+    Ctx.Trace = Tb;
     Ctx.TraceLane = lane();
-    Ctx.TraceNow = C.Sched.now();
+    Ctx.TraceNow = Tb ? C.Sched.now() : 0;
     serviceSyscall(Proc, Ctx, nullptr);
-    Ledger.charge(C.InstCost + C.Model.SyscallCost);
-    if (Prof)
-      Prof->charge(prof::Cause::SysPlayback, C.InstCost + C.Model.SyscallCost);
-    ++C.Report.ReexecutedSyscalls;
+    ExecLedger->charge(C.InstCost + C.Model.SyscallCost);
+    if (BodyProf)
+      BodyProf->charge(prof::Cause::SysPlayback,
+                       C.InstCost + C.Model.SyscallCost);
+    ++BS.ReexecutedSyscalls;
     Vm->noteSyscallRetired();
     Proc.noteRetired(1);
     if (Proc.Status == ProcStatus::Exited)
@@ -675,31 +781,31 @@ private:
       ++SysPos;
       if (WS.IsPlayback) {
         playbackSyscall(Proc, WS.Effects);
-        Ledger.charge(C.InstCost + C.Model.SyscallPlaybackCost);
-        if (Prof)
-          Prof->charge(prof::Cause::SysPlayback,
-                       C.InstCost + C.Model.SyscallPlaybackCost);
+        ExecLedger->charge(C.InstCost + C.Model.SyscallPlaybackCost);
+        if (BodyProf)
+          BodyProf->charge(prof::Cause::SysPlayback,
+                           C.InstCost + C.Model.SyscallPlaybackCost);
         ++Info.PlayedBackSyscalls;
-        ++C.Report.PlaybackSyscalls;
-        if (C.Tr)
-          C.Tr->instant(lane(), obs::EventKind::SysPlayback, C.Sched.now(),
-                        WS.Effects.Number);
+        ++BS.PlaybackSyscalls;
+        if (Tb)
+          Tb->instant(lane(), obs::EventKind::SysPlayback, C.Sched.now(),
+                      WS.Effects.Number);
       } else {
         // Duplicable: re-execute against this slice's forked kernel state
         // with output suppressed.
         SystemContext Ctx;
-        Ctx.NowMs = C.Sched.nowMs();
+        Ctx.NowMs = bodyNowMs();
         Ctx.SuppressOutput = true;
-        Ctx.Trace = C.Tr;
+        Ctx.Trace = Tb;
         Ctx.TraceLane = lane();
-        Ctx.TraceNow = C.Sched.now();
+        Ctx.TraceNow = Tb ? C.Sched.now() : 0;
         serviceSyscall(Proc, Ctx, nullptr);
-        Ledger.charge(C.InstCost + C.Model.SyscallCost);
-        if (Prof)
-          Prof->charge(prof::Cause::SysPlayback,
-                       C.InstCost + C.Model.SyscallCost);
+        ExecLedger->charge(C.InstCost + C.Model.SyscallCost);
+        if (BodyProf)
+          BodyProf->charge(prof::Cause::SysPlayback,
+                           C.InstCost + C.Model.SyscallCost);
         ++Info.DuplicatedSyscalls;
-        ++C.Report.DuplicatedSyscalls;
+        ++BS.DuplicatedSyscalls;
       }
       Vm->noteSyscallRetired();
       Proc.noteRetired(1);
@@ -740,9 +846,9 @@ private:
     Info.EndKind = Kind;
     EndReached = true;
     Vm->disarmDetection();
-    if (C.Tr && SigSearchOpen) {
+    if (Tb && SigSearchOpen) {
       SigSearchOpen = false;
-      C.Tr->end(lane(), obs::EventKind::SigSearch, C.Sched.now());
+      Tb->end(lane(), obs::EventKind::SigSearch, C.Sched.now());
     }
   }
 
@@ -765,40 +871,50 @@ private:
     assert(C.Fault && "attempts only fail under an active fault plan");
     AttemptFailed = true;
     Vm->disarmDetection();
-    if (C.Tr && SigSearchOpen) {
+    if (Tb && SigSearchOpen) {
       SigSearchOpen = false;
-      C.Tr->end(lane(), obs::EventKind::SigSearch, C.Sched.now());
+      Tb->end(lane(), obs::EventKind::SigSearch, C.Sched.now());
     }
-    C.Report.WastedSliceInsts += Vm->retired();
-    C.Report.TracesCompiled += Vm->tracesCompiled();
-    C.Report.CompileTicks += Vm->compileTicks();
-    C.Report.TracesSeeded += Vm->tracesSeeded();
-    C.Report.SeedTicks += Vm->seedTicks();
-    C.Report.CallsSuppressed += Vm->analysisCallsSuppressed();
-    C.Report.ReduxFlushes += Vm->reduxFlushes();
-    C.Report.TracesRecompiled += Vm->tracesRecompiled();
-    C.Report.RecompileTicks += Vm->recompileTicks();
-    C.Report.ReduxSavedTicks += Vm->reduxSavedTicks();
+    BS.WastedSliceInsts += Vm->retired();
+    BS.TracesCompiled += Vm->tracesCompiled();
+    BS.CompileTicks += Vm->compileTicks();
+    BS.TracesSeeded += Vm->tracesSeeded();
+    BS.SeedTicks += Vm->seedTicks();
+    BS.CallsSuppressed += Vm->analysisCallsSuppressed();
+    BS.ReduxFlushes += Vm->reduxFlushes();
+    BS.TracesRecompiled += Vm->tracesRecompiled();
+    BS.RecompileTicks += Vm->recompileTicks();
+    BS.ReduxSavedTicks += Vm->reduxSavedTicks();
     // Re-judge everything the dead attempt charged as retry.waste, then
     // add the kill itself.
-    if (Prof && AttemptBase)
-      Prof->rewindAttempt(*AttemptBase);
-    Ledger.charge(C.Model.SliceKillCost);
-    if (Prof)
-      Prof->charge(prof::Cause::RetryWaste, C.Model.SliceKillCost);
+    if (BodyProf) {
+      if (HostActive) {
+        // The worker-local profile started empty at dispatch, so an empty
+        // rewind base re-judges exactly what this attempt charged — the
+        // same delta a serial rewind to AttemptBase computes (the lane
+        // gains nothing between the snapshot and the dispatch).
+        prof::SliceProfile Empty;
+        BodyProf->rewindAttempt(Empty);
+      } else if (AttemptBase) {
+        BodyProf->rewindAttempt(*AttemptBase);
+      }
+    }
+    ExecLedger->charge(C.Model.SliceKillCost);
+    if (BodyProf)
+      BodyProf->charge(prof::Cause::RetryWaste, C.Model.SliceKillCost);
     switch (R) {
     case FailReason::Watchdog:
     case FailReason::Stall:
-      ++C.Report.WatchdogKills;
-      if (C.Tr)
-        C.Tr->instant(lane(), obs::EventKind::WatchdogKill, C.Sched.now(),
-                      Vm->retired());
+      ++BS.WatchdogKills;
+      if (Tb)
+        Tb->instant(lane(), obs::EventKind::WatchdogKill, C.Sched.now(),
+                    Vm->retired());
       break;
     case FailReason::Divergence:
-      ++C.Report.PlaybackDivergences;
-      if (C.Tr)
-        C.Tr->instant(lane(), obs::EventKind::PlaybackDivergence,
-                      C.Sched.now(), SysPos);
+      ++BS.PlaybackDivergences;
+      if (Tb)
+        Tb->instant(lane(), obs::EventKind::PlaybackDivergence,
+                    C.Sched.now(), SysPos);
       break;
     case FailReason::Crash:
       break; // The retry/quarantine instants tell the story.
@@ -832,7 +948,7 @@ private:
   /// for the post-exit drain to grant a final relaxed re-execution.
   void quarantine() {
     if (CountedRunning) {
-      C.sliceEnded(); // Free the -spmp worker the dead attempt held.
+      C.sliceEnded(); // Free the -spslices slot the dead attempt held.
       CountedRunning = false;
     }
     Quarantined = true;
@@ -886,7 +1002,114 @@ private:
       installDetection();
   }
 
+  /// Virtual wall-clock for body-visible syscall contexts. A worker must
+  /// not read the sim clock; none of the duplicable syscalls consume
+  /// NowMs, so 0 is safe there (the byte-identity tests pin this down).
+  uint64_t bodyNowMs() const { return HostActive ? 0 : C.Sched.nowMs(); }
+
+  /// Hands this slice's body to the worker pool (-spmp). Called by
+  /// completeWindow on the sim thread, before the slice's next step; from
+  /// here until retireHostBody the worker owns Proc/Vm/Tool/Window/BS and
+  /// the sim thread only replays the recorded charge stream.
+  void dispatchHostBody() {
+    Stream.emplace();
+    Rec.emplace(*Stream);
+    Replayer.emplace(*Stream);
+    RecLedger = TickLedger();
+    RecLedger.setTap(&*Rec);
+    // One always-budgeted step: the body runs to its end in a single
+    // pass, recording where the budget gates were; real budgeting
+    // happens when the sim thread replays the stream.
+    RecLedger.beginStep(~Ticks(0));
+    ExecLedger = &RecLedger;
+    CurLedger = &RecLedger; // Memory events now fire on the worker.
+    Tb = nullptr;           // Recorder and sim clock are off-limits there.
+    Vm->setTraceSink(nullptr);
+    if (Prof) {
+      HostProf.emplace();
+      BodyProf = &*HostProf;
+      Vm->setProfSink(&*HostProf);
+    }
+    HostActive = true;
+    ++C.Report.HostDispatchedSlices;
+    C.Pool->submit([this](host::WorkerContext &WC) { hostBody(WC); });
+  }
+
+  /// The slice body, on a worker thread. Mirrors the serial attempt-0
+  /// path: arm detection, run the window to its end or first failure.
+  /// The terminal stream event is the worker's last touch of shared
+  /// state; the completion record is pushed after it, so the sim's
+  /// retire-time pop doubles as the barrier for freeing the arena.
+  void hostBody(host::WorkerContext &WC) {
+    auto T0 = std::chrono::steady_clock::now();
+    installDetection();
+    runSlice();
+    bool BodyFailed = AttemptFailed;
+    Rec->finish(BodyFailed);
+    host::SliceCompletion SC;
+    SC.SliceNum = Num;
+    SC.Worker = WC.Worker;
+    SC.Failed = BodyFailed;
+    SC.StreamEvents = Stream->eventCount();
+    SC.ArenaBytes = Stream->arenaBytes();
+    SC.HostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    C.Completion.push(SC);
+  }
+
+  /// Sim-side retire: the replayed stream reached its terminal, so the
+  /// worker has already made its last touch of this slice's state (the
+  /// completion pop proves it has returned). Restores sim-thread
+  /// plumbing and folds worker-local attribution into the lane profile.
+  void retireHostBody(bool BodyFailed) {
+    host::SliceCompletion SC = C.Completion.pop(Num);
+    assert(SC.Failed == BodyFailed && "stream/completion disagree");
+    (void)BodyFailed;
+    C.Report.HostStreamEvents += SC.StreamEvents;
+    C.Report.HostArenaBytes = std::max(C.Report.HostArenaBytes, SC.ArenaBytes);
+    C.Report.HostBodySeconds += SC.HostSeconds;
+    Stream->releaseArena();
+    HostActive = false;
+    ExecLedger = &Ledger;
+    CurLedger = &Ledger; // Mid-step: the rest of this step is sim-side.
+    Tb = C.Tr;
+    if (Prof) {
+      Prof->foldAttribution(*HostProf);
+      Vm->setProfSink(Prof);
+      HostProf.reset();
+      BodyProf = Prof;
+    }
+    // The trace sink stays detached: a clean body's VM never runs again,
+    // and a failed one is rebuilt by beginAttempt with full sim plumbing.
+  }
+
+  /// Folds the body's accumulated report deltas into the run report.
+  /// Runs exactly once per slice, at merge (every window reaches doMerge,
+  /// including failed and drained ones), always on the sim thread.
+  void flushBodyStats() {
+    C.Report.PlaybackSyscalls += BS.PlaybackSyscalls;
+    C.Report.DuplicatedSyscalls += BS.DuplicatedSyscalls;
+    C.Report.ReexecutedSyscalls += BS.ReexecutedSyscalls;
+    C.Report.SliceCowCopies += BS.SliceCowCopies;
+    C.Report.WastedSliceInsts += BS.WastedSliceInsts;
+    C.Report.WatchdogKills += BS.WatchdogKills;
+    C.Report.PlaybackDivergences += BS.PlaybackDivergences;
+    C.Report.TracesCompiled += BS.TracesCompiled;
+    C.Report.CompileTicks += BS.CompileTicks;
+    C.Report.TracesSeeded += BS.TracesSeeded;
+    C.Report.SeedTicks += BS.SeedTicks;
+    C.Report.CallsSuppressed += BS.CallsSuppressed;
+    C.Report.ReduxFlushes += BS.ReduxFlushes;
+    C.Report.TracesRecompiled += BS.TracesRecompiled;
+    C.Report.RecompileTicks += BS.RecompileTicks;
+    C.Report.ReduxSavedTicks += BS.ReduxSavedTicks;
+    C.Report.SigCheckDistHist.mergeFrom(BS.SigCheckDist);
+    BS = BodyStats();
+  }
+
   void doMerge() {
+    flushBodyStats();
     // §4.5: merges run in slice order; the coordinator guarantees it.
     Ledger.charge(C.Model.MergeBaseCost +
                   C.Areas.totalBytes() * C.Model.MergePerByteCost);
@@ -1486,6 +1709,16 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   // Normalize: a disabled plan is exactly like no plan, so the whole
   // recovery apparatus stays inert and flags-off runs are byte-identical.
   C.Fault = Opts.Fault && Opts.Fault->enabled() ? Opts.Fault : nullptr;
+  // -spmp: bring up the host worker pool. The pool never affects the
+  // virtual timeline (bodies record, the sim thread replays), so every
+  // worker count produces the same report modulo the Host* telemetry.
+  if (Opts.HostWorkers != 0) {
+    unsigned N = Opts.HostWorkers == SpOptions::HostWorkersAuto
+                     ? host::WorkerPool::clampWorkers(~0u)
+                     : Opts.HostWorkers;
+    C.Pool = std::make_unique<host::WorkerPool>(N, Opts.HostJobHook);
+    Report.HostWorkers = C.Pool->size();
+  }
   if (C.Tr)
     Sched.setTrace(C.Tr);
   if (C.Sink)

@@ -74,7 +74,7 @@ struct SpRunReport {
   os::Ticks MasterExitTicks = 0; ///< when the master application exited
   os::Ticks NativeTicks = 0;     ///< master productive execution
   os::Ticks ForkOthersTicks = 0; ///< fork, COW, control, contention losses
-  os::Ticks SleepTicks = 0;      ///< master stalled at -spmp
+  os::Ticks SleepTicks = 0;      ///< master stalled at -spslices
   os::Ticks PipelineTicks = 0;   ///< post-exit drain of remaining slices
 
   // --- Master -------------------------------------------------------
@@ -159,6 +159,18 @@ struct SpRunReport {
   uint64_t TracesCompiled = 0;
   os::Ticks CompileTicks = 0;
   unsigned PeakParallelism = 0;
+
+  // --- Host-parallel execution (src/host, -spmp) ------------------------
+  // All zero when HostWorkers == 0. Virtual-time results are byte-
+  // identical either way; only these host-side telemetry fields (and real
+  // wall time) change. HostBodySeconds is wall-clock and therefore the
+  // one nondeterministic field in the report — report printers must gate
+  // it behind HostWorkers so flags-off output stays byte-stable.
+  unsigned HostWorkers = 0;        ///< resolved -spmp worker count
+  uint64_t HostDispatchedSlices = 0; ///< slice bodies run on the pool
+  uint64_t HostStreamEvents = 0;   ///< charge-stream events replayed
+  uint64_t HostArenaBytes = 0;     ///< peak single-stream arena footprint
+  double HostBodySeconds = 0;      ///< summed wall seconds of worker bodies
 };
 
 /// Runs \p Prog under SuperPin with the Pintool \p Factory builds (one

@@ -16,8 +16,18 @@ std::string SpOptions::validate() const {
   // The serial path (-sp 0) ignores the slice knobs, but a nonsensical
   // value is still a user error worth flagging before a long run.
   if (MaxSlices == 0)
-    return "-spmp must be at least 1 (0 running slices can never make "
+    return "-spslices must be at least 1 (0 running slices can never make "
            "progress; use -sp 0 for serial Pin)";
+  // Host-parallel execution (-spmp). HostWorkersAuto is resolved by the
+  // engine against hardware_concurrency(); any other huge value is a
+  // typo, not a machine.
+  if (HostWorkers != HostWorkersAuto && HostWorkers > 1024)
+    return "-spmp worker count is implausibly large (max 1024; use "
+           "-spmp auto for the host core count)";
+  if (HostWorkers != 0 && SharedCodeCache)
+    return "-spmp cannot be combined with -spsharedcc (the shared code "
+           "cache is not thread-safe; slices would race on trace "
+           "publication)";
   if (SliceMs == 0)
     return "-spmsec must be at least 1 (a zero-length timeslice would "
            "spawn unbounded zero-work slices)";

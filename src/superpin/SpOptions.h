@@ -11,8 +11,9 @@
 ///
 ///   -sp 1          -> Enabled
 ///   -spmsec 1000   -> SliceMs
-///   -spmp 8        -> MaxSlices
+///   -spslices 8    -> MaxSlices
 ///   -spsysrecs 1000-> MaxSysRecs (0 disables record/playback)
+///   -spmp N        -> HostWorkers (0 = serial; "auto" = host core count)
 ///
 /// Extensions (all default-off or paper-default):
 ///   -spquickcheck  -> QuickCheck (ablation of the §4.4 two-register check)
@@ -26,6 +27,7 @@
 #define SUPERPIN_SUPERPIN_SPOPTIONS_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace spin::obs {
@@ -51,9 +53,31 @@ struct SpOptions {
   /// -spmsec: timeslice interval in virtual milliseconds.
   uint64_t SliceMs = 1000;
 
-  /// -spmp: maximum number of simultaneously running slices; the master
-  /// stalls when the limit is reached.
+  /// -spslices: maximum number of simultaneously running slices; the
+  /// master stalls when the limit is reached. Deliberately decoupled from
+  /// HostWorkers: this knob shapes the *virtual* timeline (window
+  /// boundaries depend on it), while HostWorkers only changes which host
+  /// thread executes a slice body.
   uint32_t MaxSlices = 8;
+
+  /// Sentinel for "-spmp auto": resolve to the host's core count.
+  static constexpr uint32_t HostWorkersAuto = ~uint32_t(0);
+
+  /// -spmp: host-parallel slice execution (src/host). 0 (the default)
+  /// runs everything on the simulation thread, byte-identical to builds
+  /// without the subsystem. N >= 1 executes live slice bodies on a pool
+  /// of N std::threads; the virtual-time engine remains the oracle (each
+  /// body's check/charge sequence is recorded and replayed against the
+  /// slice's real ledger), so output is byte-identical to -spmp 0 for
+  /// every N. HostWorkersAuto clamps to hardware_concurrency().
+  uint32_t HostWorkers = 0;
+
+  /// Test-only shim (host_test's adversarial slow-worker harness): runs on
+  /// the worker thread immediately before each dispatched slice body, with
+  /// the worker index and the job submission sequence number. Null in
+  /// production. Determinism must never depend on it — the tests inject
+  /// pathological delays here and assert byte-identical output.
+  std::function<void(unsigned Worker, uint64_t JobSeq)> HostJobHook;
 
   /// -spsysrecs: maximum recorded syscalls per slice; 0 disables
   /// record/playback so every replayable syscall forces a new slice.
@@ -112,7 +136,7 @@ struct SpOptions {
   /// superpin/Capture.h; replay::CaptureWriter is the standard impl).
   /// Ignored when Enabled is false (serial Pin has no windows to capture).
   CaptureSink *Capture = nullptr;
-  /// -spdefer: when the -spmp worker limit is hit, spill the just-closed
+  /// -spdefer: when the -spslices limit is hit, spill the just-closed
   /// slice window instead of stalling the master; spilled slices drain
   /// after the master exits. SleepTicks stays zero at the cost of a longer
   /// pipeline phase; Reporting gains spilled/drained counters.
@@ -156,9 +180,10 @@ struct SpOptions {
   double BreakerFailRate = 0.5;
   uint32_t BreakerMinWindows = 8;
 
-  /// Checks the option set for values the engine cannot honour (-spmp 0,
-  /// -spmsec 0, -spsysrecs overflow, ...). Returns an empty string when
-  /// valid, otherwise a one-line diagnostic naming the offending flag.
+  /// Checks the option set for values the engine cannot honour
+  /// (-spslices 0, -spmsec 0, -spsysrecs overflow, invalid -spmp worker
+  /// counts, ...). Returns an empty string when valid, otherwise a
+  /// one-line diagnostic naming the offending flag.
   std::string validate() const;
 };
 

@@ -21,6 +21,14 @@ GuestMemory GuestMemory::fork() const {
   return Child;
 }
 
+std::vector<std::shared_ptr<const void>> GuestMemory::pinPages() const {
+  std::vector<std::shared_ptr<const void>> Pins;
+  Pins.reserve(Pages.size());
+  for (const auto &[PageNum, Ptr] : Pages)
+    Pins.emplace_back(Ptr);
+  return Pins;
+}
+
 uint64_t GuestMemory::numSharedPages() const {
   uint64_t Shared = 0;
   for (const auto &[PageNum, Ptr] : Pages)

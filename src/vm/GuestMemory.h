@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace spin::vm {
 
@@ -88,6 +89,18 @@ public:
   /// bubble release. Partial pages at the ends are zero-filled rather than
   /// dropped.
   void discardRange(uint64_t Addr, uint64_t Size);
+
+  /// Opaque extra references to every currently materialized page. While
+  /// a pin set lives, no page it covers can reach sole ownership, so every
+  /// write to it — from this memory or any fork sharing it — takes the
+  /// copy-on-write path instead of mutating in place. This is what makes
+  /// cross-thread COW safe: the sole-ownership test (use_count() == 1)
+  /// carries no acquire ordering, so an in-place write after the other
+  /// side's COW copy would race with that copy's read. Host-parallel
+  /// replay pins a fork's pages for a slice body's lifetime; it also keeps
+  /// the body's charge sequence identical to serial replay, where the
+  /// not-yet-advanced master holds the same references.
+  std::vector<std::shared_ptr<const void>> pinPages() const;
 
 private:
   struct Page {

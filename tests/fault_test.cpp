@@ -374,7 +374,7 @@ TEST(Validation, RejectsZeroRunningSlices) {
   SpOptions Opts = faultOptions();
   Opts.MaxSlices = 0;
   EXPECT_EQ(Opts.validate(),
-            "-spmp must be at least 1 (0 running slices can never make "
+            "-spslices must be at least 1 (0 running slices can never make "
             "progress; use -sp 0 for serial Pin)");
 }
 

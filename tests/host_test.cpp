@@ -1,0 +1,416 @@
+//===- tests/host_test.cpp - Host-parallel execution tests ----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The src/host subsystem (-spmp) and its engine integration. The contract
+// under test everywhere: host workers change which thread executes a slice
+// body and nothing else — tool fini output, application output, virtual
+// ticks, slice accounting, fault recovery, and replay parity are all
+// byte-identical between -spmp 0 and -spmp N for every N, regardless of
+// how adversarially the workers are scheduled.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultPlan.h"
+#include "host/ChargeStream.h"
+#include "host/CompletionQueue.h"
+#include "host/WorkerPool.h"
+#include "replay/CaptureWriter.h"
+#include "replay/ReplayEngine.h"
+#include "superpin/Engine.h"
+#include "superpin/SpOptions.h"
+#include "tools/DCache.h"
+#include "tools/Icount.h"
+#include "tools/OpcodeMix.h"
+#include "workloads/Spec2000.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace spin;
+using namespace spin::host;
+using namespace spin::os;
+using namespace spin::pin;
+using namespace spin::sp;
+using namespace spin::tools;
+using namespace spin::vm;
+
+namespace {
+
+// --- WorkerPool ----------------------------------------------------------
+
+TEST(WorkerPool, RunsEveryJobAcrossWorkers) {
+  std::atomic<int> Ran{0};
+  {
+    WorkerPool Pool(4);
+    ASSERT_EQ(Pool.size(), 4u);
+    for (int I = 0; I < 100; ++I)
+      Pool.submit([&Ran](WorkerContext &) { ++Ran; });
+  } // the destructor drains the queue before joining
+  EXPECT_EQ(Ran.load(), 100);
+}
+
+TEST(WorkerPool, JobHookSeesEverySubmissionSequence) {
+  std::mutex M;
+  std::set<uint64_t> Seqs;
+  std::set<unsigned> Workers;
+  {
+    WorkerPool Pool(2, [&](unsigned Worker, uint64_t Seq) {
+      std::lock_guard<std::mutex> Lock(M);
+      Seqs.insert(Seq);
+      Workers.insert(Worker);
+    });
+    for (int I = 0; I < 50; ++I)
+      Pool.submit([](WorkerContext &) {});
+  }
+  EXPECT_EQ(Seqs.size(), 50u);
+  EXPECT_EQ(*Seqs.begin(), 0u);
+  EXPECT_EQ(*Seqs.rbegin(), 49u);
+  for (unsigned W : Workers)
+    EXPECT_LT(W, 2u);
+}
+
+TEST(WorkerPool, ClampWorkersResolvesAutoToHostCores) {
+  EXPECT_EQ(WorkerPool::clampWorkers(3), 3u);
+  EXPECT_GE(WorkerPool::clampWorkers(~0u), 1u);
+}
+
+// --- CompletionQueue -----------------------------------------------------
+
+TEST(CompletionQueue, KeyedPopDrainsInMergeOrderRegardlessOfFinishOrder) {
+  CompletionQueue Q;
+  // Four producers push interleaved slice numbers in descending order
+  // with staggered delays; the consumer still drains 0..19 in order.
+  std::vector<std::thread> Producers;
+  for (unsigned P = 0; P < 4; ++P)
+    Producers.emplace_back([&Q, P] {
+      for (int N = 4; N >= 0; --N) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100 * P));
+        SliceCompletion C;
+        C.SliceNum = P + 4 * static_cast<uint32_t>(N);
+        C.Worker = P;
+        Q.push(C);
+      }
+    });
+  for (uint32_t Num = 0; Num < 20; ++Num) {
+    SliceCompletion C = Q.pop(Num);
+    EXPECT_EQ(C.SliceNum, Num);
+  }
+  for (std::thread &T : Producers)
+    T.join();
+  EXPECT_EQ(Q.pending(), 0u);
+}
+
+TEST(CompletionQueue, TryPopOnlyYieldsThePresentRecord) {
+  CompletionQueue Q;
+  SliceCompletion C;
+  EXPECT_FALSE(Q.tryPop(0, C));
+  SliceCompletion In;
+  In.SliceNum = 7;
+  In.Failed = true;
+  Q.push(In);
+  EXPECT_FALSE(Q.tryPop(0, C));
+  ASSERT_TRUE(Q.tryPop(7, C));
+  EXPECT_TRUE(C.Failed);
+  EXPECT_EQ(Q.pending(), 0u);
+}
+
+// --- ChargeStream / RecordingTap / StreamReplayer ------------------------
+
+TEST(ChargeStream, RecordingTapCanonicalizesSegments) {
+  ChargeStream S;
+  RecordingTap Tap(S);
+  // Ungated charge before the first check.
+  Tap.onCharge(3);
+  // Two equal gated segments RLE-merge; a third with a different sum
+  // starts a new run.
+  Tap.onCheck();
+  Tap.onCharge(5);
+  Tap.onCheck();
+  Tap.onCharge(2);
+  Tap.onCharge(3); // sums within a segment accumulate: 5 again
+  Tap.onCheck();
+  Tap.onCharge(7);
+  // Budget checks with no charges between them collapse; zero charges
+  // are dropped.
+  Tap.onCheck();
+  Tap.onCheck();
+  Tap.onCharge(0);
+  Tap.finish(/*Failed=*/false);
+
+  const ChargeEvent &E1 = S.peek();
+  EXPECT_EQ(E1.EventKind, ChargeEvent::Kind::Charge);
+  EXPECT_EQ(E1.Sum, 3u);
+  S.advance();
+  const ChargeEvent &E2 = S.peek();
+  EXPECT_EQ(E2.EventKind, ChargeEvent::Kind::ChargeRun);
+  EXPECT_EQ(E2.Sum, 5u);
+  EXPECT_EQ(E2.Count, 2u);
+  S.advance();
+  const ChargeEvent &E3 = S.peek();
+  EXPECT_EQ(E3.EventKind, ChargeEvent::Kind::ChargeRun);
+  EXPECT_EQ(E3.Sum, 7u);
+  EXPECT_EQ(E3.Count, 1u);
+  S.advance();
+  const ChargeEvent &E4 = S.peek();
+  EXPECT_EQ(E4.EventKind, ChargeEvent::Kind::Done);
+  S.advance();
+  EXPECT_FALSE(S.available());
+}
+
+TEST(ChargeStream, ReplayerPausesAtTheGateAndResumes) {
+  ChargeStream S;
+  ChargeEvent Run;
+  Run.EventKind = ChargeEvent::Kind::ChargeRun;
+  Run.Sum = 10;
+  Run.Count = 5;
+  S.push(Run);
+  ChargeEvent Done;
+  Done.EventKind = ChargeEvent::Kind::Done;
+  S.push(Done);
+
+  StreamReplayer R(S);
+  TickLedger L;
+  // 25-tick grant: three charges fit (the third overdraws into debt),
+  // then the fourth gate refuses.
+  L.beginStep(25);
+  EXPECT_EQ(R.replay(L), StreamReplayer::Step::NeedBudget);
+  EXPECT_EQ(L.totalCharged(), 30u);
+  // Next step pays the debt and finishes the run; the terminal is
+  // consumed in the same step.
+  L.beginStep(25);
+  EXPECT_EQ(R.replay(L), StreamReplayer::Step::Done);
+  EXPECT_EQ(L.totalCharged(), 50u);
+  EXPECT_FALSE(S.available());
+}
+
+TEST(ChargeStream, CrossChunkThreadedStreamReplaysEveryEvent) {
+  // 2000 events span several 256-event chunks; the producer runs on its
+  // own thread to exercise the publish/hop ordering.
+  constexpr uint64_t N = 2000;
+  ChargeStream S;
+  std::thread Producer([&S] {
+    for (uint64_t I = 0; I < N; ++I) {
+      ChargeEvent E;
+      E.EventKind = ChargeEvent::Kind::Charge;
+      E.Sum = I + 1;
+      E.Count = 1;
+      S.push(E);
+    }
+    ChargeEvent Done;
+    Done.EventKind = ChargeEvent::Kind::Done;
+    S.push(Done);
+  });
+  StreamReplayer R(S);
+  TickLedger L;
+  L.beginStep(~Ticks(0));
+  EXPECT_EQ(R.replay(L), StreamReplayer::Step::Done);
+  Producer.join();
+  EXPECT_EQ(L.totalCharged(), N * (N + 1) / 2);
+  EXPECT_EQ(S.eventCount(), N + 1);
+  EXPECT_GT(S.arenaBytes(), 0u);
+  S.releaseArena();
+}
+
+// --- Engine integration: -spmp byte-identity -----------------------------
+
+using FactoryMaker = std::function<ToolFactory()>;
+
+struct NamedTool {
+  const char *Name;
+  FactoryMaker Make;
+};
+
+std::vector<NamedTool> toolMatrix() {
+  return {
+      {"icount-bb",
+       [] { return makeIcountTool(IcountGranularity::BasicBlock); }},
+      {"opcodemix", [] { return makeOpcodeMixTool(); }},
+      {"dcache", [] { return makeDCacheTool(DCacheConfig()); }},
+  };
+}
+
+std::vector<const char *> workloadMatrix() { return {"gzip", "vpr", "mcf"}; }
+
+SpOptions hostOptions(const char *Workload, uint32_t Workers) {
+  SpOptions Opts;
+  Opts.SliceMs = 50; // many slices even at small scales
+  Opts.Cpi = workloads::findWorkload(Workload).Cpi;
+  Opts.HostWorkers = Workers;
+  return Opts;
+}
+
+/// Asserts that \p Host reproduced \p Serial exactly on every
+/// deterministic channel.
+void expectIdentical(const SpRunReport &Serial, const SpRunReport &Host) {
+  EXPECT_EQ(Host.FiniOutput, Serial.FiniOutput);
+  EXPECT_EQ(Host.Output, Serial.Output);
+  EXPECT_EQ(Host.WallTicks, Serial.WallTicks);
+  EXPECT_EQ(Host.SleepTicks, Serial.SleepTicks);
+  EXPECT_EQ(Host.NumSlices, Serial.NumSlices);
+  EXPECT_EQ(Host.SliceInsts, Serial.SliceInsts);
+  // Equality, not truth: fault runs legitimately lose slices (coverage
+  // gaps), and the host path must reproduce even that verdict exactly.
+  EXPECT_EQ(Host.PartitionOk, Serial.PartitionOk);
+}
+
+TEST(HostParallel, FiniMatrixIsByteIdenticalAcrossWorkerCounts) {
+  CostModel Model;
+  for (const char *Name : workloadMatrix()) {
+    Program Prog =
+        workloads::buildWorkload(workloads::findWorkload(Name), 0.1);
+    for (const NamedTool &T : toolMatrix()) {
+      SpRunReport Serial =
+          runSuperPin(Prog, T.Make(), hostOptions(Name, 0), Model);
+      EXPECT_TRUE(Serial.PartitionOk);
+      EXPECT_EQ(Serial.HostWorkers, 0u);
+      EXPECT_EQ(Serial.HostDispatchedSlices, 0u);
+      for (uint32_t Workers : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE(std::string(Name) + " x " + T.Name + " x -spmp " +
+                     std::to_string(Workers));
+        SpRunReport Host =
+            runSuperPin(Prog, T.Make(), hostOptions(Name, Workers), Model);
+        expectIdentical(Serial, Host);
+        EXPECT_EQ(Host.HostWorkers, Workers);
+        EXPECT_GT(Host.HostDispatchedSlices, 0u);
+      }
+    }
+  }
+}
+
+TEST(HostParallel, AdversarialWorkerDelaysCannotPerturbOutput) {
+  CostModel Model;
+  Program Prog =
+      workloads::buildWorkload(workloads::findWorkload("gzip"), 0.1);
+  SpRunReport Serial = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock),
+      hostOptions("gzip", 0), Model);
+
+  // Three pathological schedules: early jobs finish last, one worker is
+  // an order of magnitude slower than the rest, and jittered delays.
+  std::vector<std::function<void(unsigned, uint64_t)>> Schedules = {
+      [](unsigned, uint64_t Seq) {
+        if (Seq < 8)
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(2 * (8 - Seq)));
+      },
+      [](unsigned Worker, uint64_t) {
+        if (Worker == 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      },
+      [](unsigned, uint64_t Seq) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(300 * (Seq % 7)));
+      },
+  };
+  for (size_t I = 0; I < Schedules.size(); ++I) {
+    SCOPED_TRACE("schedule " + std::to_string(I));
+    SpOptions Opts = hostOptions("gzip", 4);
+    Opts.HostJobHook = Schedules[I];
+    SpRunReport Host = runSuperPin(
+        Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts, Model);
+    expectIdentical(Serial, Host);
+    EXPECT_GT(Host.HostDispatchedSlices, 0u);
+  }
+}
+
+// --- Fault recovery on worker threads ------------------------------------
+
+TEST(HostParallel, FaultLadderMatchesSerialRecovery) {
+  CostModel Model;
+  Program Prog =
+      workloads::buildWorkload(workloads::findWorkload("gzip"), 0.1);
+  for (uint64_t Seed : {1u, 7u, 11u}) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    fault::FaultPlan Plan(Seed, /*Rate=*/0.6);
+    SpOptions SerialOpts = hostOptions("gzip", 0);
+    SerialOpts.Fault = &Plan;
+    SpRunReport Serial = runSuperPin(
+        Prog, makeIcountTool(IcountGranularity::BasicBlock), SerialOpts,
+        Model);
+    SpOptions HostOpts = hostOptions("gzip", 4);
+    HostOpts.Fault = &Plan;
+    SpRunReport Host = runSuperPin(
+        Prog, makeIcountTool(IcountGranularity::BasicBlock), HostOpts,
+        Model);
+    expectIdentical(Serial, Host);
+    EXPECT_EQ(Host.FaultsInjected, Serial.FaultsInjected);
+    EXPECT_EQ(Host.RetriedSlices, Serial.RetriedSlices);
+    EXPECT_EQ(Host.QuarantinedSlices, Serial.QuarantinedSlices);
+    EXPECT_EQ(Host.LostSlices, Serial.LostSlices);
+    EXPECT_EQ(Host.BreakerTripped, Serial.BreakerTripped);
+    EXPECT_GT(Serial.FaultsInjected, 0u) << "seed drew no faults; the "
+                                            "ladder was not exercised";
+  }
+}
+
+// --- Option validation ----------------------------------------------------
+
+TEST(HostParallel, ValidateRejectsImplausibleWorkerCounts) {
+  SpOptions Opts;
+  Opts.HostWorkers = 1025;
+  EXPECT_NE(Opts.validate().find("-spmp"), std::string::npos);
+  Opts.HostWorkers = 1024;
+  EXPECT_TRUE(Opts.validate().empty());
+  Opts.HostWorkers = SpOptions::HostWorkersAuto;
+  EXPECT_TRUE(Opts.validate().empty());
+  Opts.HostWorkers = 0;
+  EXPECT_TRUE(Opts.validate().empty());
+}
+
+TEST(HostParallel, ValidateRejectsSharedCodeCacheCombination) {
+  SpOptions Opts;
+  Opts.HostWorkers = 2;
+  Opts.SharedCodeCache = true;
+  EXPECT_NE(Opts.validate().find("-spsharedcc"), std::string::npos);
+  Opts.HostWorkers = 0;
+  EXPECT_TRUE(Opts.validate().empty());
+}
+
+// --- Host-parallel replay -------------------------------------------------
+
+TEST(HostParallel, ReplayMatchesSerialReplayExactly) {
+  CostModel Model;
+  Program Prog =
+      workloads::buildWorkload(workloads::findWorkload("vpr"), 0.1);
+  replay::CaptureWriter Writer;
+  SpOptions Opts;
+  Opts.SliceMs = 50;
+  Opts.Cpi = workloads::findWorkload("vpr").Cpi;
+  Opts.Capture = &Writer;
+  SpRunReport Live = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts, Model);
+  ASSERT_TRUE(Live.PartitionOk);
+  replay::RunCapture Cap = Writer.take();
+  ASSERT_GT(Cap.Slices.size(), 2u);
+
+  replay::ReplayEngine SerialEngine(Cap, Model);
+  replay::ReplayReport Serial = SerialEngine.replayAll(
+      makeIcountTool(IcountGranularity::BasicBlock));
+
+  for (unsigned Workers : {1u, 4u}) {
+    SCOPED_TRACE("replay -spmp " + std::to_string(Workers));
+    replay::ReplayEngine HostEngine(Cap, Model);
+    HostEngine.setHostWorkers(Workers);
+    replay::ReplayReport Host = HostEngine.replayAll(
+        makeIcountTool(IcountGranularity::BasicBlock));
+    EXPECT_EQ(Host.FiniOutput, Serial.FiniOutput);
+    EXPECT_EQ(Host.ParityOk, Serial.ParityOk);
+    EXPECT_EQ(Host.ParityFailed, 0u);
+    EXPECT_EQ(Host.ReplayedInsts, Serial.ReplayedInsts);
+    EXPECT_EQ(Host.PlaybackSyscalls, Serial.PlaybackSyscalls);
+    EXPECT_EQ(Host.DuplicatedSyscalls, Serial.DuplicatedSyscalls);
+  }
+}
+
+} // namespace

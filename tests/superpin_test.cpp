@@ -193,7 +193,7 @@ TEST(SuperPin, ForceSliceSyscallsCreateBoundaries) {
 }
 
 TEST(SuperPin, MaxSlicesOneSerializes) {
-  // -spmp 1: the master must stall; the run still completes correctly.
+  // -spslices 1: the master must stall; the run still completes correctly.
   Program Prog = smallWorkload(150'000);
   SpOptions Opts = testOptions();
   Opts.MaxSlices = 1;
@@ -203,7 +203,7 @@ TEST(SuperPin, MaxSlicesOneSerializes) {
       Opts, testModel());
   DirectRunResult Native = runDirect(Prog);
   EXPECT_EQ(SpResult->Total, Native.Insts);
-  EXPECT_GT(Rep.SleepTicks, 0u) << "master should stall at -spmp 1";
+  EXPECT_GT(Rep.SleepTicks, 0u) << "master should stall at -spslices 1";
 }
 
 TEST(SuperPin, TimeBucketsSumToWall) {
