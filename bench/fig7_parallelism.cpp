@@ -24,6 +24,8 @@
 
 #include "BenchCommon.h"
 
+#include "obs/HostTraceRecorder.h"
+
 #include <chrono>
 #include <thread>
 
@@ -51,6 +53,8 @@ static int runHostSweep(BenchFlags &Flags, const os::CostModel &Model,
   T.addColumn("Workers");
   T.addColumn("Wall(s)");
   T.addColumn("vs serial");
+  T.addColumn("Eff%");
+  T.addColumn("Stall");
   T.addColumn("Model(s)");
   T.addColumn("Dispatched");
 
@@ -58,6 +62,12 @@ static int runHostSweep(BenchFlags &Flags, const os::CostModel &Model,
   for (unsigned Workers : {0u, 1u, 2u, 4u, 8u}) {
     sp::SpOptions Opts = Flags.spOptions(Info);
     Opts.HostWorkers = Workers;
+    // Attribution recorder per point: efficiency says how much of the
+    // ideal speedup the pool delivered; the dominant stall says where
+    // the rest of the workers' wall time went.
+    obs::HostTraceRecorder HostTrace;
+    if (Workers)
+      Opts.HostTrace = &HostTrace;
     sp::SpRunReport Rep;
     double Wall = measureSeconds([&] {
       Rep = sp::runSuperPin(
@@ -69,13 +79,20 @@ static int runHostSweep(BenchFlags &Flags, const os::CostModel &Model,
     T.cell(uint64_t(Workers));
     T.cell(Wall, 3);
     T.cellPercent(SerialWall > 0 ? Wall / SerialWall : 1.0, 0);
+    if (Workers && SerialWall > 0 && Wall > 0)
+      T.cellPercent(SerialWall / (Wall * double(Workers)), 0);
+    else
+      T.cell("-");
+    T.cell(Workers ? obs::hostSpanName(Rep.HostAttr.dominantStall()) : "-");
     T.cell(Model.ticksToSeconds(Rep.WallTicks), 2);
     T.cell(Rep.HostDispatchedSlices);
   }
   emit(T, Flags);
   outs() << "\nModel(s) is the virtual-time prediction and is identical for "
             "every worker count; Wall(s) is measured host time (one sample, "
-            "machine-dependent).\n";
+            "machine-dependent). Eff% = serial wall / (wall x workers): the "
+            "fraction of ideal speedup realized; Stall is where the "
+            "non-body worker time predominantly went.\n";
   return 0;
 }
 

@@ -33,6 +33,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/HostTraceRecorder.h"
 #include "obs/Metrics.h"
 #include "pin/Runner.h"
 #include "prof/Bench.h"
@@ -86,6 +87,12 @@ struct WorkloadRun {
   double SerialSpSeconds = 0.0;
   double ParallelSpSeconds = 0.0;
   bool HostTicksMatch = true;
+  // Pool wall-time attribution from a separate instrumented -spmp run
+  // (the timed samples above run with the recorder detached). Shares of
+  // summed worker lifetime; machine-dependent, never gated on.
+  double HostBodyShare = 0.0;
+  double HostUtilizationPct = 0.0;
+  std::string HostDominantStall;
   prof::ProfileCollector Profile;
   StatisticRegistry Metrics;
 };
@@ -304,6 +311,31 @@ WorkloadRun runWorkload(const workloads::WorkloadInfo &Info, double Scale,
       if (SerialTicks != R.SpTicks || ParallelTicks != R.SpTicks)
         R.HostTicksMatch = false;
     }
+    // One more -spmp run with the wall-clock recorder attached, outside
+    // the timed samples, to attribute where the pool's time went.
+    {
+      obs::HostTraceRecorder HostTrace;
+      sp::SpOptions AttrOpts;
+      AttrOpts.Cpi = Info.Cpi;
+      AttrOpts.HostWorkers = HostWorkers;
+      AttrOpts.HostTrace = &HostTrace;
+      sp::SpRunReport AttrRep = sp::runSuperPin(
+          Prog, tools::makeIcountTool(tools::IcountGranularity::BasicBlock),
+          AttrOpts, Model);
+      const obs::HostAttribution &Attr = AttrRep.HostAttr;
+      uint64_t Life = 0, Body = 0;
+      for (const obs::HostLaneAttribution &L : Attr.Workers) {
+        Life += L.LifetimeNs;
+        Body += L.BodyNs;
+      }
+      if (Life) {
+        R.HostBodyShare = static_cast<double>(Body) /
+                          static_cast<double>(Life);
+        R.HostUtilizationPct = 100.0 * R.HostBodyShare;
+      }
+      if (!Attr.Workers.empty())
+        R.HostDominantStall = obs::hostSpanName(Attr.dominantStall());
+    }
   }
   R.HostSeconds = elapsedSince(Start);
   return R;
@@ -521,6 +553,9 @@ int main(int Argc, char **Argv) {
         W.field("sp_wall_serial_seconds", R.SerialSpSeconds);
         W.field("sp_wall_spmp_seconds", R.ParallelSpSeconds);
         W.field("host_ticks_match", R.HostTicksMatch);
+        W.field("host_utilization_pct", R.HostUtilizationPct);
+        W.field("host_body_share", R.HostBodyShare);
+        W.field("host_dominant_stall", R.HostDominantStall);
       }
       W.key("attribution");
       writeAttribution(W, R.Profile);

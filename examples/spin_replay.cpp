@@ -19,6 +19,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "host/WorkerPool.h"
+#include "obs/HostTraceRecorder.h"
+#include "obs/TraceRecorder.h"
 #include "prof/Profile.h"
 #include "replay/ReplayEngine.h"
 #include "superpin/SpOptions.h"
@@ -30,6 +32,7 @@
 #include "tools/OpcodeMix.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 
@@ -102,6 +105,16 @@ int main(int Argc, char **Argv) {
                         "host worker threads for slice re-execution (0 = run "
                         "on this thread; \"auto\" = host core count; parity "
                         "and fini output are identical for every value)");
+  Opt<std::string> TracePath(Registry, "sptrace", "",
+                             "write a Chrome-trace JSON of replay's virtual "
+                             "timeline (forces serial replay under -spmp)");
+  Opt<std::string> HostTracePath(
+      Registry, "sphosttrace", "",
+      "write a dual-axis Chrome-trace JSON with per-worker wall-clock "
+      "tracks (requires -spmp)");
+  Opt<bool> HostStats(Registry, "sphoststats", false,
+                      "print the per-worker wall-time attribution table "
+                      "(requires -spmp)");
   Opt<bool> SpProf(Registry, "spprof", false,
                    "attribute replay virtual time to overhead causes");
   Opt<std::string> SpProfOut(Registry, "spprof-out", "spprof.json",
@@ -146,6 +159,17 @@ int main(int Argc, char **Argv) {
   }
   if (HostWorkers == sp::SpOptions::HostWorkersAuto)
     HostWorkers = host::WorkerPool::clampWorkers(HostWorkers);
+  if ((!HostTracePath.value().empty() || HostStats) && HostWorkers == 0) {
+    errs() << "error: -sphosttrace/-sphoststats require -spmp (there is no "
+              "worker pool to observe on the serial path)\n";
+    return 1;
+  }
+  if (!HostTracePath.value().empty() && !TracePath.value().empty()) {
+    errs() << "error: -sphosttrace cannot be combined with -sptrace here: "
+              "-sptrace forces serial replay, which has no worker pool to "
+              "observe\n";
+    return 1;
+  }
 
   replay::LogDiagnosis Diag;
   std::vector<uint32_t> Skipped;
@@ -222,6 +246,12 @@ int main(int Argc, char **Argv) {
   if (SpProf)
     Engine.setProfile(&Profile);
   Engine.setHostWorkers(HostWorkers);
+  obs::TraceRecorder Trace;
+  if (!TracePath.value().empty())
+    Engine.setTrace(&Trace);
+  obs::HostTraceRecorder HostTrace;
+  if (!HostTracePath.value().empty() || HostStats)
+    Engine.setHostTrace(&HostTrace);
   replay::ReplayReport Rep =
       Slices.value().empty()
           ? Engine.replayAll(makeTool(ToolName))
@@ -237,11 +267,43 @@ int main(int Argc, char **Argv) {
   // Gated like superpin_run's host line: -spmp 0 output stays byte-stable.
   if (HostWorkers)
     outs() << "host: " << HostWorkers << " workers\n";
+  if (HostStats) {
+    const obs::HostAttribution Attr = HostTrace.attribution();
+    for (const obs::HostLaneAttribution &L : Attr.Workers) {
+      char Line[160];
+      std::snprintf(Line, sizeof(Line),
+                    "  worker-%u: %5.1f%% body, %5.1f%% dispatch-wait, "
+                    "%5.1f%% merge-wait, %5.1f%% idle, %5.1f%% retire "
+                    "(%" PRIu64 " bodies)\n",
+                    L.Worker,
+                    100.0 * double(L.BodyNs) / double(L.LifetimeNs ? L.LifetimeNs : 1),
+                    100.0 * double(L.DispatchWaitNs) / double(L.LifetimeNs ? L.LifetimeNs : 1),
+                    100.0 * double(L.MergeWaitNs) / double(L.LifetimeNs ? L.LifetimeNs : 1),
+                    100.0 * double(L.IdleNs) / double(L.LifetimeNs ? L.LifetimeNs : 1),
+                    100.0 * double(L.RetireNs) / double(L.LifetimeNs ? L.LifetimeNs : 1),
+                    L.Bodies);
+      outs() << Line;
+    }
+    if (!Attr.Workers.empty())
+      outs() << "  pool: dominant stall "
+             << obs::hostSpanName(Attr.dominantStall()) << "\n";
+  }
   for (const replay::ReplaySliceResult &R : Rep.Slices)
     if (!R.ParityOk)
       outs() << "  slice " << R.Num << ": "
              << (R.Diverged ? R.Note : "icount/end-kind mismatch")
              << " (retired " << R.RetiredInsts << ")\n";
+  if (!TracePath.value().empty())
+    writeFile(TracePath, [&](RawOstream &OS) {
+      Trace.writeChromeTrace(OS, Model.TicksPerMs);
+    });
+  // The host trace stands alone here: the virtual recorder is never
+  // attached alongside it (it would force replay serial), so the file
+  // carries only the pid-2 wall-clock axis.
+  if (!HostTracePath.value().empty())
+    writeFile(HostTracePath, [&](RawOstream &OS) {
+      Trace.writeChromeTrace(OS, Model.TicksPerMs, &HostTrace);
+    });
   if (SpProf) {
     writeFile(SpProfOut, [&](RawOstream &OS) {
       Profile.writeJson(OS, static_cast<unsigned>(uint64_t(SpProfTopN)));

@@ -21,6 +21,7 @@
 #include "analysis/Redundancy.h"
 #include "fault/FaultPlan.h"
 #include "obs/Metrics.h"
+#include "obs/HostTraceRecorder.h"
 #include "obs/TraceRecorder.h"
 #include "pin/PinVm.h"
 #include "pin/Runner.h"
@@ -142,6 +143,13 @@ int main(int Argc, char **Argv) {
                          "trace ring-buffer capacity (events)");
   Opt<bool> TraceWall(Registry, "sptracewall", false,
                       "also stamp trace events with host wall time");
+  Opt<std::string> HostTracePath(
+      Registry, "sphosttrace", "",
+      "write a dual-axis Chrome trace here: virtual-time tracks plus one "
+      "wall-clock track per -spmp worker and host counter tracks");
+  Opt<bool> HostStats(Registry, "sphoststats", false,
+                      "print the per-worker wall-time attribution table "
+                      "(body/dispatch-wait/merge-wait/idle/retire)");
   Opt<std::string> MetricsPath(Registry, "spmetrics", "",
                                "write the spmetrics-v1 JSON document here");
   Opt<bool> SpProf(Registry, "spprof", false,
@@ -254,18 +262,23 @@ int main(int Argc, char **Argv) {
   fault::FaultPlan Plan(SpFaultSeed, SpFault);
   if (Plan.enabled())
     Opts.Fault = &Plan;
-  if (std::string Bad = Opts.validate(); !Bad.empty()) {
-    errs() << "error: " << Bad << "\n";
-    return 1;
-  }
 
   obs::TraceRecorder Trace(static_cast<size_t>(uint64_t(TraceCap)));
   if (TraceWall)
     Trace.enableWallClock();
-  if (!TracePath.value().empty())
+  // -sphosttrace implies virtual tracing too: the dual-axis document
+  // carries both timelines, and virtual tracing is output-neutral.
+  if (!TracePath.value().empty() || !HostTracePath.value().empty())
     Opts.Trace = &Trace;
+  obs::HostTraceRecorder HostTrace;
+  if (!HostTracePath.value().empty() || HostStats)
+    Opts.HostTrace = &HostTrace;
   if (SpProf)
     Opts.Profile = &Profile;
+  if (std::string Bad = Opts.validate(); !Bad.empty()) {
+    errs() << "error: " << Bad << "\n";
+    return 1;
+  }
 
   sp::SpRunReport Rep = sp::runSuperPin(Prog, makeTool(ToolName), Opts, Model);
   outs() << Rep.FiniOutput;
@@ -290,8 +303,9 @@ int main(int Argc, char **Argv) {
            << Rep.Signature.FullChecks << " full, " << Rep.Signature.Matches
            << " matches\n";
     // Host telemetry is wall-clock (nondeterministic), so it only appears
-    // when -spmp is on — flags-off output stays byte-stable.
-    if (Rep.HostWorkers)
+    // when -spmp is on — flags-off output stays byte-stable. -sphoststats
+    // prints the same aggregate atop its table, so skip it here then.
+    if (Rep.HostWorkers && !HostStats)
       outs() << "host: " << Rep.HostWorkers << " workers, "
              << Rep.HostDispatchedSlices << " bodies dispatched, "
              << formatWithCommas(Rep.HostStreamEvents) << " stream events, "
@@ -303,6 +317,10 @@ int main(int Argc, char **Argv) {
              << " lost, coverage " << Rep.CoverageInsts << "/"
              << Rep.MasterInsts << " insts"
              << (Rep.BreakerTripped ? ", breaker TRIPPED" : "") << "\n";
+    if (HostStats && !Report) {
+      outs() << "\n";
+      sp::printHostStats(Rep, outs());
+    }
     if (Report) {
       outs() << "\n";
       sp::printReport(Rep, Model, outs());
@@ -315,6 +333,10 @@ int main(int Argc, char **Argv) {
   if (!TracePath.value().empty())
     writeFile(TracePath, [&](RawOstream &OS) {
       Trace.writeChromeTrace(OS, Model.TicksPerMs);
+    });
+  if (!HostTracePath.value().empty())
+    writeFile(HostTracePath, [&](RawOstream &OS) {
+      Trace.writeChromeTrace(OS, Model.TicksPerMs, &HostTrace);
     });
   if (!MetricsPath.value().empty())
     writeFile(MetricsPath, [&](RawOstream &OS) {

@@ -52,6 +52,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -98,6 +99,8 @@ public:
       // visible through Published (release pairs with consumer acquire).
       Tail->Next.store(Fresh, std::memory_order_release);
       Tail = Fresh;
+      if (GrowthHook)
+        GrowthHook(Slabs.size() * sizeof(Chunk));
     }
     Tail->Events[Idx] = E;
     ++ProducerCount;
@@ -146,6 +149,23 @@ public:
   /// Arena footprint in bytes (telemetry).
   uint64_t arenaBytes() const { return Slabs.size() * sizeof(Chunk); }
 
+  /// Observability shim: called on the producer thread each time the
+  /// arena grows by a slab, with the new footprint in bytes. Must be set
+  /// before the producer starts (the engine sets it at dispatch, before
+  /// the worker job is submitted).
+  void setGrowthHook(std::function<void(uint64_t)> Hook) {
+    GrowthHook = std::move(Hook);
+  }
+
+  /// Observability shim: called on the consumer thread with true when a
+  /// peek() outruns the producer and enters the blocking wait (after the
+  /// brief spin fails), and false when the wait ends. Never fires on the
+  /// non-starved fast path, so attaching it costs one predicted branch.
+  /// Must be set before the consumer's first peek().
+  void setStarveHook(std::function<void(bool)> Hook) {
+    StarveHook = std::move(Hook);
+  }
+
   /// Frees the event arena. Only legal once the producer has retired (its
   /// completion record was drained from the CompletionQueue) and the
   /// consumer has replayed the terminal event.
@@ -162,29 +182,37 @@ private:
     // Brief spin: the producer is usually mid-burst.
     for (int I = 0; I < 256 && P < Target; ++I)
       P = Published.load(std::memory_order_acquire);
+    if (P >= Target)
+      return;
+    if (StarveHook)
+      StarveHook(true);
     while (P < Target) {
       ConsumerWaiting.store(true, std::memory_order_seq_cst);
       P = Published.load(std::memory_order_seq_cst);
       if (P >= Target) {
         ConsumerWaiting.store(false, std::memory_order_relaxed);
-        return;
+        break;
       }
       Published.wait(P, std::memory_order_seq_cst);
       ConsumerWaiting.store(false, std::memory_order_relaxed);
       P = Published.load(std::memory_order_acquire);
     }
+    if (StarveHook)
+      StarveHook(false);
   }
 
   // Producer-owned.
   std::vector<std::unique_ptr<Chunk>> Slabs; ///< the per-stream arena
   Chunk *Tail = nullptr;
   uint64_t ProducerCount = 0;
+  std::function<void(uint64_t)> GrowthHook; ///< set before producer starts
 
   // Shared.
   std::atomic<uint64_t> Published{0};
   std::atomic<bool> ConsumerWaiting{false};
 
   // Consumer-owned.
+  std::function<void(bool)> StarveHook; ///< set before first peek()
   Chunk *Head = nullptr;
   uint64_t Consumed = 0;
   bool NeedHop = false; ///< crossed a chunk boundary; hop at next peek()

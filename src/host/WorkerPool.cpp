@@ -7,11 +7,15 @@
 
 #include "host/WorkerPool.h"
 
+#include "obs/HostTraceRecorder.h"
+
+#include <algorithm>
 #include <utility>
 
 namespace spin::host {
 
-WorkerPool::WorkerPool(unsigned N, JobHook Hook) : Hook(std::move(Hook)) {
+WorkerPool::WorkerPool(unsigned N, JobHook Hook, obs::HostTraceRecorder *Rec)
+    : Hook(std::move(Hook)), Rec(Rec) {
   if (N == 0)
     N = 1;
   Contexts.resize(N);
@@ -33,9 +37,15 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::submit(Job J) {
+  QueuedJob Q;
+  Q.J = std::move(J);
+  if (Rec) {
+    Q.SubmitNs = Rec->nowNs();
+    Rec->counterHere(obs::HostCounterKind::QueueDepth, Rec->addQueueDepth(+1));
+  }
   {
     std::lock_guard<std::mutex> Lock(M);
-    Queue.push_back(std::move(J));
+    Queue.push_back(std::move(Q));
   }
   Cv.notify_one();
 }
@@ -49,22 +59,59 @@ unsigned WorkerPool::clampWorkers(unsigned Requested) {
 
 void WorkerPool::workerMain(unsigned Index) {
   WorkerContext &Ctx = Contexts[Index];
+  // Contiguous attribution: every clock read closes one span and opens
+  // the next, so per-kind wall time sums to the lane lifetime exactly.
+  uint64_t Prev = 0;
+  if (Rec) {
+    Rec->bindThread(Index);
+    Prev = Rec->nowNs();
+    Rec->laneStarted(Index, Prev);
+  }
   while (true) {
-    Job J;
+    QueuedJob Q;
     uint64_t Seq;
     {
       std::unique_lock<std::mutex> Lock(M);
       Cv.wait(Lock, [&] { return Stopping || !Queue.empty(); });
       if (Queue.empty())
-        return; // Stopping and drained
-      J = std::move(Queue.front());
+        break; // Stopping and drained
+      Q = std::move(Queue.front());
       Queue.pop_front();
       Seq = NextJobSeq++;
     }
+    uint64_t Pick = 0;
+    if (Rec) {
+      Pick = Rec->nowNs();
+      // Idle until the job was submitted, dispatch-wait from then until
+      // pickup. SubmitNs precedes Pick in real time; clamp to [Prev,
+      // Pick] so a job queued while this worker was busy charges the
+      // whole gap to dispatch-wait.
+      uint64_t Boundary = std::clamp(Q.SubmitNs, Prev, Pick);
+      Rec->span(Index, obs::HostSpanKind::Idle, Prev, Boundary);
+      Rec->span(Index, obs::HostSpanKind::DispatchWait, Boundary, Pick);
+      Rec->counterHere(obs::HostCounterKind::QueueDepth,
+                       Rec->addQueueDepth(-1));
+      Ctx.BodyEndNs = 0;
+      Ctx.BodyArg = 0;
+    }
     if (Hook)
       Hook(Index, Seq);
-    J(Ctx);
+    Q.J(Ctx);
     ++Ctx.JobsRun;
+    if (Rec) {
+      uint64_t End = Rec->nowNs();
+      uint64_t BodyEnd =
+          Ctx.BodyEndNs ? std::clamp(Ctx.BodyEndNs, Pick, End) : End;
+      uint64_t Arg = Ctx.BodyArg ? Ctx.BodyArg : Seq;
+      Rec->span(Index, obs::HostSpanKind::Body, Pick, BodyEnd, Arg);
+      Rec->span(Index, obs::HostSpanKind::Retire, BodyEnd, End, Arg);
+      Prev = End;
+    }
+  }
+  if (Rec) {
+    uint64_t Stop = Rec->nowNs();
+    Rec->span(Index, obs::HostSpanKind::Idle, Prev, Stop);
+    Rec->laneStopped(Index, Stop);
   }
 }
 

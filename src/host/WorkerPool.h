@@ -27,12 +27,24 @@
 #include <thread>
 #include <vector>
 
+namespace spin::obs {
+class HostTraceRecorder;
+}
+
 namespace spin::host {
 
 /// Per-worker slice context, passed to every job the worker runs.
 struct WorkerContext {
   unsigned Worker = 0;   ///< worker index in [0, size())
   uint64_t JobsRun = 0;  ///< jobs this worker has completed (telemetry)
+  /// When host tracing is attached, a job may stamp the instant (recorder
+  /// nowNs) its slice body finished; the pool then attributes the rest of
+  /// the job (stream finish + completion publish) as retire time. Reset
+  /// to 0 before every job; 0 means "whole job is body".
+  uint64_t BodyEndNs = 0;
+  /// Optional label the job gives its body span (the engine stores the
+  /// slice number); the submission sequence is used when left at 0.
+  uint64_t BodyArg = 0;
 };
 
 class WorkerPool {
@@ -46,8 +58,12 @@ public:
   /// finish order. \p JobSeq is the submission sequence number.
   using JobHook = std::function<void(unsigned Worker, uint64_t JobSeq)>;
 
-  /// Spawns \p N threads. \p N must be >= 1.
-  explicit WorkerPool(unsigned N, JobHook Hook = nullptr);
+  /// Spawns \p N threads. \p N must be >= 1. When \p Rec is non-null the
+  /// pool records per-worker wall-clock spans (idle / dispatch-wait /
+  /// body / retire) and queue-depth samples into it; Rec->initLanes()
+  /// must have been called for at least \p N workers beforehand.
+  explicit WorkerPool(unsigned N, JobHook Hook = nullptr,
+                      obs::HostTraceRecorder *Rec = nullptr);
 
   /// Drains the queue and joins every thread.
   ~WorkerPool();
@@ -65,15 +81,21 @@ public:
   static unsigned clampWorkers(unsigned Requested);
 
 private:
+  struct QueuedJob {
+    Job J;
+    uint64_t SubmitNs = 0; ///< recorder nowNs at submit (0 = untraced)
+  };
+
   void workerMain(unsigned Index);
 
   std::vector<std::thread> Threads;
   std::vector<WorkerContext> Contexts;
   JobHook Hook;
+  obs::HostTraceRecorder *Rec;
 
   std::mutex M;
   std::condition_variable Cv;
-  std::deque<Job> Queue;
+  std::deque<QueuedJob> Queue;
   uint64_t NextJobSeq = 0;
   bool Stopping = false;
 };

@@ -1,0 +1,318 @@
+//===- obs/HostTraceRecorder.cpp - Wall-clock worker-pool tracing ---------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/HostTraceRecorder.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spin;
+using namespace spin::obs;
+
+const char *spin::obs::hostSpanName(HostSpanKind K) {
+  switch (K) {
+  case HostSpanKind::Body:
+    return "host.body";
+  case HostSpanKind::DispatchWait:
+    return "host.dispatchwait";
+  case HostSpanKind::MergeWait:
+    return "host.mergewait";
+  case HostSpanKind::Idle:
+    return "host.idle";
+  case HostSpanKind::Retire:
+    return "host.retire";
+  case HostSpanKind::SimReplay:
+    return "host.sim.replay";
+  case HostSpanKind::SimRetire:
+    return "host.sim.retire";
+  }
+  return "unknown";
+}
+
+const char *spin::obs::hostCounterName(HostCounterKind K) {
+  switch (K) {
+  case HostCounterKind::QueueDepth:
+    return "host.queue.depth";
+  case HostCounterKind::InFlight:
+    return "host.inflight";
+  case HostCounterKind::ArenaBytes:
+    return "host.arena.bytes";
+  case HostCounterKind::CompletionDepth:
+    return "host.completion.depth";
+  }
+  return "unknown";
+}
+
+namespace {
+// Which recorder (if any) the current thread is bound to, and its lane.
+// Per-thread, not per-recorder: a thread serves one pool at a time.
+thread_local const HostTraceRecorder *BoundRecorder = nullptr;
+thread_local unsigned BoundLaneIdx = 0;
+} // namespace
+
+HostTraceRecorder::HostTraceRecorder(size_t SpansPerLane,
+                                     size_t CountersPerLane)
+    : SpansPerLane(SpansPerLane ? SpansPerLane : 1),
+      CountersPerLane(CountersPerLane ? CountersPerLane : 1),
+      Epoch(std::chrono::steady_clock::now()) {}
+
+void HostTraceRecorder::initLanes(unsigned Workers) {
+  assert(Lanes.empty() && "initLanes called twice");
+  WorkerCount = Workers;
+  Lanes.resize(static_cast<size_t>(Workers) + 1);
+  for (Lane &L : Lanes) {
+    L.Spans.reserve(SpansPerLane);
+    L.Counters.reserve(CountersPerLane);
+  }
+}
+
+uint64_t HostTraceRecorder::nowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+void HostTraceRecorder::bindThread(unsigned Lane) {
+  assert(Lane < Lanes.size() && "bindThread before initLanes");
+  BoundRecorder = this;
+  BoundLaneIdx = Lane;
+}
+
+int HostTraceRecorder::boundLane() const {
+  return BoundRecorder == this ? static_cast<int>(BoundLaneIdx) : -1;
+}
+
+void HostTraceRecorder::laneStarted(unsigned Lane, uint64_t Ns) {
+  assert(Lane < Lanes.size());
+  Lanes[Lane].StartNs = Ns;
+}
+
+void HostTraceRecorder::laneStopped(unsigned Lane, uint64_t Ns) {
+  assert(Lane < Lanes.size());
+  Lanes[Lane].StopNs = Ns;
+}
+
+void HostTraceRecorder::span(unsigned Lane, HostSpanKind K, uint64_t BeginNs,
+                             uint64_t EndNs, uint64_t Arg) {
+  assert(Lane < Lanes.size());
+  assert(BeginNs <= EndNs && "span runs backwards");
+  struct Lane &L = Lanes[Lane];
+  if (K < HostSpanKind::SimReplay) {
+    L.KindNs[static_cast<size_t>(K)] += EndNs - BeginNs;
+    if (K == HostSpanKind::Body)
+      ++L.Bodies;
+  }
+  if (BeginNs == EndNs)
+    return; // accounted, but not worth a ring slot
+  HostSpan S;
+  S.BeginNs = BeginNs;
+  S.EndNs = EndNs;
+  S.Arg = Arg;
+  S.Kind = K;
+  if (L.Spans.size() < SpansPerLane) {
+    L.Spans.push_back(S);
+    return;
+  }
+  L.Spans[L.Head] = S;
+  L.Head = (L.Head + 1) % SpansPerLane;
+  ++L.DroppedSpans;
+}
+
+void HostTraceRecorder::counter(unsigned Lane, HostCounterKind K, uint64_t Ns,
+                                uint64_t Value) {
+  assert(Lane < Lanes.size());
+  struct Lane &L = Lanes[Lane];
+  HostCounterSample S;
+  S.Ns = Ns;
+  S.Value = Value;
+  S.Kind = K;
+  if (L.Counters.size() < CountersPerLane) {
+    L.Counters.push_back(S);
+    return;
+  }
+  L.Counters[L.CounterHead] = S;
+  L.CounterHead = (L.CounterHead + 1) % CountersPerLane;
+}
+
+void HostTraceRecorder::counterHere(HostCounterKind K, uint64_t Value) {
+  if (BoundRecorder != this)
+    return;
+  counter(BoundLaneIdx, K, nowNs(), Value);
+}
+
+uint64_t HostTraceRecorder::addQueueDepth(int64_t Delta) {
+  int64_t V = QueueDepth.fetch_add(Delta, std::memory_order_relaxed) + Delta;
+  return V < 0 ? 0 : static_cast<uint64_t>(V);
+}
+
+uint64_t HostTraceRecorder::addCompletionDepth(int64_t Delta) {
+  int64_t V =
+      CompletionDepth.fetch_add(Delta, std::memory_order_relaxed) + Delta;
+  return V < 0 ? 0 : static_cast<uint64_t>(V);
+}
+
+uint64_t HostTraceRecorder::droppedSpans() const {
+  uint64_t N = 0;
+  for (const Lane &L : Lanes)
+    N += L.DroppedSpans;
+  return N;
+}
+
+std::vector<HostSpan> HostTraceRecorder::spanSnapshot(unsigned Lane) const {
+  assert(Lane < Lanes.size());
+  const struct Lane &L = Lanes[Lane];
+  std::vector<HostSpan> Out;
+  Out.reserve(L.Spans.size());
+  for (size_t I = 0; I != L.Spans.size(); ++I)
+    Out.push_back(L.Spans[(L.Head + I) % L.Spans.size()]);
+  return Out;
+}
+
+std::vector<HostCounterSample> HostTraceRecorder::counterSnapshot() const {
+  std::vector<HostCounterSample> Out;
+  for (unsigned Lane = 0; Lane != Lanes.size(); ++Lane) {
+    const struct Lane &L = Lanes[Lane];
+    for (size_t I = 0; I != L.Counters.size(); ++I)
+      Out.push_back(L.Counters[(L.CounterHead + I) % L.Counters.size()]);
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const HostCounterSample &A, const HostCounterSample &B) {
+                     return A.Ns < B.Ns;
+                   });
+  return Out;
+}
+
+std::string HostTraceRecorder::laneName(unsigned Lane) const {
+  if (Lane == simLane())
+    return "sim";
+  return "worker-" + std::to_string(Lane);
+}
+
+HostSpanKind HostAttribution::dominantStall() const {
+  HostSpanKind Best = HostSpanKind::Body;
+  uint64_t BestNs = 0;
+  for (HostSpanKind K :
+       {HostSpanKind::DispatchWait, HostSpanKind::MergeWait, HostSpanKind::Idle,
+        HostSpanKind::Retire}) {
+    uint64_t Ns = totalNs(K);
+    if (Ns > BestNs) {
+      BestNs = Ns;
+      Best = K;
+    }
+  }
+  return BestNs ? Best : HostSpanKind::Body;
+}
+
+uint64_t HostAttribution::totalNs(HostSpanKind K) const {
+  uint64_t N = 0;
+  for (const HostLaneAttribution &L : Workers) {
+    switch (K) {
+    case HostSpanKind::Body:
+      N += L.BodyNs;
+      break;
+    case HostSpanKind::DispatchWait:
+      N += L.DispatchWaitNs;
+      break;
+    case HostSpanKind::MergeWait:
+      N += L.MergeWaitNs;
+      break;
+    case HostSpanKind::Idle:
+      N += L.IdleNs;
+      break;
+    case HostSpanKind::Retire:
+      N += L.RetireNs;
+      break;
+    default:
+      break;
+    }
+  }
+  return N;
+}
+
+namespace {
+/// Sorted, disjoint interval list (ns). Built from the sim lane's blocked
+/// spans; queried to carve merge-wait out of worker idle time.
+struct IntervalSet {
+  std::vector<std::pair<uint64_t, uint64_t>> Iv;
+
+  void build(const std::vector<HostSpan> &Spans) {
+    for (const HostSpan &S : Spans)
+      if (S.Kind == HostSpanKind::SimReplay || S.Kind == HostSpanKind::SimRetire)
+        Iv.emplace_back(S.BeginNs, S.EndNs);
+    std::sort(Iv.begin(), Iv.end());
+    // Coalesce overlapping/adjacent intervals.
+    size_t Out = 0;
+    for (size_t I = 0; I != Iv.size(); ++I) {
+      if (Out && Iv[I].first <= Iv[Out - 1].second)
+        Iv[Out - 1].second = std::max(Iv[Out - 1].second, Iv[I].second);
+      else
+        Iv[Out++] = Iv[I];
+    }
+    Iv.resize(Out);
+  }
+
+  /// Total overlap of [B, E) with the set.
+  uint64_t overlap(uint64_t B, uint64_t E) const {
+    uint64_t N = 0;
+    auto It = std::upper_bound(
+        Iv.begin(), Iv.end(), std::make_pair(B, ~uint64_t(0)),
+        [](const auto &A, const auto &X) { return A.first < X.first; });
+    if (It != Iv.begin())
+      --It;
+    for (; It != Iv.end() && It->first < E; ++It) {
+      uint64_t Lo = std::max(B, It->first);
+      uint64_t Hi = std::min(E, It->second);
+      if (Lo < Hi)
+        N += Hi - Lo;
+    }
+    return N;
+  }
+};
+} // namespace
+
+HostAttribution HostTraceRecorder::attribution() const {
+  HostAttribution A;
+  if (Lanes.empty())
+    return A;
+
+  IntervalSet SimBlocked;
+  SimBlocked.build(spanSnapshot(simLane()));
+
+  uint64_t MinStart = ~uint64_t(0), MaxStop = 0;
+  for (unsigned W = 0; W != WorkerCount; ++W) {
+    const Lane &L = Lanes[W];
+    HostLaneAttribution LA;
+    LA.Worker = W;
+    LA.BodyNs = L.KindNs[static_cast<size_t>(HostSpanKind::Body)];
+    LA.DispatchWaitNs = L.KindNs[static_cast<size_t>(HostSpanKind::DispatchWait)];
+    LA.IdleNs = L.KindNs[static_cast<size_t>(HostSpanKind::Idle)];
+    LA.RetireNs = L.KindNs[static_cast<size_t>(HostSpanKind::Retire)];
+    LA.LifetimeNs = L.StopNs > L.StartNs ? L.StopNs - L.StartNs : 0;
+    LA.Bodies = L.Bodies;
+    // Carve merge-wait out of idle: the part of each retained idle span
+    // during which the sim thread was blocked on worker data. The split
+    // moves nanoseconds between the two buckets, so the per-lane sum is
+    // untouched; dropped idle spans simply stay counted as idle.
+    uint64_t Merge = 0;
+    for (const HostSpan &S : spanSnapshot(W))
+      if (S.Kind == HostSpanKind::Idle)
+        Merge += SimBlocked.overlap(S.BeginNs, S.EndNs);
+    if (Merge > LA.IdleNs)
+      Merge = LA.IdleNs;
+    LA.MergeWaitNs = Merge;
+    LA.IdleNs -= Merge;
+    if (L.StopNs || L.StartNs) {
+      MinStart = std::min(MinStart, L.StartNs);
+      MaxStop = std::max(MaxStop, L.StopNs);
+    }
+    A.Workers.push_back(LA);
+  }
+  if (MaxStop > MinStart && MinStart != ~uint64_t(0))
+    A.PoolLifetimeNs = MaxStop - MinStart;
+  return A;
+}

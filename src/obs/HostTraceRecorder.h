@@ -1,0 +1,223 @@
+//===- obs/HostTraceRecorder.h - Wall-clock worker-pool tracing -*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Host-side wall-clock observability for the -spmp worker pool: every
+/// worker thread records contiguous monotonic-clock spans into its own
+/// lane (a fixed-capacity single-writer ring), and the simulation thread
+/// records its merge-side waits into one extra "sim" lane. Lanes are
+/// merged only at report time, so the hot path is an array store plus a
+/// clock read — no locks, no allocation, no cross-thread contention.
+///
+/// Every worker wall nanosecond is attributed to exactly one of five
+/// causes — body / dispatch-wait / merge-wait / idle / retire — with the
+/// exact invariant (mirroring src/prof's per-lane tick invariant) that the
+/// per-kind sums add up to the lane's lifetime. The invariant survives
+/// ring overflow because per-kind totals are accumulated at record time;
+/// only the exported span list is windowed.
+///
+/// Taxonomy:
+///  - body:          executing a slice body (fork + instrumented run)
+///  - dispatch-wait: a job was queued but the worker had not picked it up
+///  - merge-wait:    worker idle while the sim thread was blocked draining
+///                   another slice's charge stream or completion record
+///                   (computed at report time by intersecting worker idle
+///                   spans with the sim lane's blocked spans)
+///  - idle:          no work available and the sim thread was not blocked
+///  - retire:        stream finish + completion publish after the body
+///
+/// The recorder never charges virtual time: attaching it cannot change
+/// -spmp results, only describe them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_OBS_HOSTTRACERECORDER_H
+#define SUPERPIN_OBS_HOSTTRACERECORDER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spin::obs {
+
+/// What a host wall-clock span was spent on. The first five kinds are the
+/// worker attribution taxonomy; the Sim* kinds live on the sim lane and
+/// mark intervals where the simulation thread was blocked on worker data.
+enum class HostSpanKind : uint8_t {
+  Body,         ///< worker: executing a slice body
+  DispatchWait, ///< worker: job queued, not yet picked up
+  MergeWait,    ///< worker: idle while the sim thread was merge-blocked
+  Idle,         ///< worker: no work queued
+  Retire,       ///< worker: stream finish + completion publish
+  SimReplay,    ///< sim lane: replaying a slice's charge stream
+  SimRetire,    ///< sim lane: blocked popping a slice completion
+};
+
+/// Stable dotted name for \p K (e.g. "host.body"). Part of the trace
+/// schema; tests pin the names.
+const char *hostSpanName(HostSpanKind K);
+
+/// Shared host gauges sampled into counter tracks.
+enum class HostCounterKind : uint8_t {
+  QueueDepth,      ///< jobs submitted but not yet picked up
+  InFlight,        ///< slices dispatched but not yet retired
+  ArenaBytes,      ///< a charge stream's arena after a slab growth
+  CompletionDepth, ///< completions published but not yet popped
+};
+
+/// Stable dotted name for \p K (e.g. "host.queue.depth").
+const char *hostCounterName(HostCounterKind K);
+
+/// One recorded wall-clock span, epoch-relative nanoseconds.
+struct HostSpan {
+  uint64_t BeginNs = 0;
+  uint64_t EndNs = 0;
+  uint64_t Arg = 0; ///< kind-specific payload (slice number)
+  HostSpanKind Kind = HostSpanKind::Idle;
+};
+
+/// One counter sample (value as of \p Ns).
+struct HostCounterSample {
+  uint64_t Ns = 0;
+  uint64_t Value = 0;
+  HostCounterKind Kind = HostCounterKind::QueueDepth;
+};
+
+/// Per-worker wall-time attribution. All fields in nanoseconds since the
+/// recorder epoch; the invariant attributedNs() == LifetimeNs is exact.
+struct HostLaneAttribution {
+  unsigned Worker = 0;
+  uint64_t BodyNs = 0;
+  uint64_t DispatchWaitNs = 0;
+  uint64_t MergeWaitNs = 0;
+  uint64_t IdleNs = 0;
+  uint64_t RetireNs = 0;
+  uint64_t LifetimeNs = 0; ///< lane stop - lane start
+  uint64_t Bodies = 0;     ///< body spans recorded (jobs run)
+
+  uint64_t attributedNs() const {
+    return BodyNs + DispatchWaitNs + MergeWaitNs + IdleNs + RetireNs;
+  }
+  /// Body share of the lane lifetime in percent (0 when unstarted).
+  double utilizationPct() const {
+    return LifetimeNs ? 100.0 * static_cast<double>(BodyNs) /
+                            static_cast<double>(LifetimeNs)
+                      : 0.0;
+  }
+};
+
+/// The merged report-time view: one entry per worker plus pool totals.
+struct HostAttribution {
+  std::vector<HostLaneAttribution> Workers;
+  uint64_t PoolLifetimeNs = 0; ///< latest lane stop - earliest lane start
+
+  /// The stall cause (non-body kind) with the largest summed share across
+  /// workers; HostSpanKind::Body when there are no lanes.
+  HostSpanKind dominantStall() const;
+  /// Summed nanoseconds for \p K across all workers.
+  uint64_t totalNs(HostSpanKind K) const;
+};
+
+/// Per-thread span/counter recorder for the host worker pool. One lane
+/// per worker plus a final "sim" lane for the simulation thread; each
+/// lane has exactly one writer, so recording needs no synchronization
+/// (the merge happens after WorkerPool join, which publishes every lane
+/// via the thread::join happens-before edge). Only the shared gauges
+/// (queue depth, completion depth) are atomics.
+class HostTraceRecorder {
+public:
+  static constexpr size_t DefaultSpansPerLane = 1 << 15;
+  static constexpr size_t DefaultCountersPerLane = 1 << 12;
+
+  explicit HostTraceRecorder(size_t SpansPerLane = DefaultSpansPerLane,
+                             size_t CountersPerLane = DefaultCountersPerLane);
+
+  /// Sizes the recorder for \p Workers worker lanes plus the sim lane.
+  /// Must be called (once) before the pool threads start.
+  void initLanes(unsigned Workers);
+
+  unsigned workers() const { return WorkerCount; }
+  /// Lane index of the simulation thread (== workers()).
+  unsigned simLane() const { return WorkerCount; }
+  unsigned lanes() const { return static_cast<unsigned>(Lanes.size()); }
+
+  /// Nanoseconds since the recorder epoch (std::chrono::steady_clock).
+  uint64_t nowNs() const;
+
+  /// Binds the calling thread to \p Lane so counterHere() lands in the
+  /// right ring. Workers bind at thread start; the engine binds the sim
+  /// thread before dispatching.
+  void bindThread(unsigned Lane);
+  /// Lane bound to the calling thread, or -1.
+  int boundLane() const;
+
+  /// Marks the start / end of \p Lane's lifetime. Spans outside
+  /// [start, stop] never occur; attribution uses stop - start.
+  void laneStarted(unsigned Lane, uint64_t Ns);
+  void laneStopped(unsigned Lane, uint64_t Ns);
+
+  /// Records one span into \p Lane. Single writer per lane; zero-length
+  /// spans still accumulate (zero) into the attribution totals but are
+  /// not pushed into the ring.
+  void span(unsigned Lane, HostSpanKind K, uint64_t BeginNs, uint64_t EndNs,
+            uint64_t Arg = 0);
+
+  /// Counter sample into \p Lane's ring.
+  void counter(unsigned Lane, HostCounterKind K, uint64_t Ns, uint64_t Value);
+  /// Counter sample into the calling thread's bound lane (no-op when the
+  /// thread is unbound — e.g. a pool used without host tracing).
+  void counterHere(HostCounterKind K, uint64_t Value);
+
+  /// Shared gauges: adjusts and returns the new value (clamped at 0).
+  uint64_t addQueueDepth(int64_t Delta);
+  uint64_t addCompletionDepth(int64_t Delta);
+
+  /// Spans overwritten after a lane ring wrapped (sum over lanes).
+  uint64_t droppedSpans() const;
+
+  /// Retained spans of \p Lane, oldest first.
+  std::vector<HostSpan> spanSnapshot(unsigned Lane) const;
+  /// Retained counter samples across all lanes, sorted by time.
+  std::vector<HostCounterSample> counterSnapshot() const;
+
+  /// Lane display name ("worker-3", "sim").
+  std::string laneName(unsigned Lane) const;
+
+  /// Computes the merged attribution. Call only after every lane writer
+  /// has stopped (pool destroyed, sim lane stopped). Worker MergeWait is
+  /// carved out of Idle by intersecting retained idle spans with the sim
+  /// lane's blocked spans; the per-lane sum stays exactly LifetimeNs.
+  HostAttribution attribution() const;
+
+private:
+  struct Lane {
+    std::vector<HostSpan> Spans; ///< ring storage
+    size_t Head = 0;
+    uint64_t DroppedSpans = 0;
+    std::vector<HostCounterSample> Counters; ///< ring storage
+    size_t CounterHead = 0;
+    uint64_t StartNs = 0;
+    uint64_t StopNs = 0;
+    // Record-time per-kind totals: exact even when the span ring wraps.
+    uint64_t KindNs[5] = {0, 0, 0, 0, 0};
+    uint64_t Bodies = 0;
+  };
+
+  size_t SpansPerLane;
+  size_t CountersPerLane;
+  unsigned WorkerCount = 0;
+  std::vector<Lane> Lanes;
+  std::chrono::steady_clock::time_point Epoch;
+  std::atomic<int64_t> QueueDepth{0};
+  std::atomic<int64_t> CompletionDepth{0};
+};
+
+} // namespace spin::obs
+
+#endif // SUPERPIN_OBS_HOSTTRACERECORDER_H

@@ -7,6 +7,7 @@
 
 #include "obs/TraceRecorder.h"
 
+#include "obs/HostTraceRecorder.h"
 #include "support/Json.h"
 #include "support/RawOstream.h"
 
@@ -151,8 +152,8 @@ void TraceRecorder::clear() {
   Dropped = 0;
 }
 
-void TraceRecorder::writeChromeTrace(RawOstream &OS,
-                                     os::Ticks TicksPerMs) const {
+void TraceRecorder::writeChromeTrace(RawOstream &OS, os::Ticks TicksPerMs,
+                                     const HostTraceRecorder *Host) const {
   // Chrome trace "ts" is microseconds; 1 virtual ms = TicksPerMs ticks.
   double UsPerTick = 1000.0 / static_cast<double>(TicksPerMs ? TicksPerMs : 1);
   JsonWriter W(OS);
@@ -217,6 +218,67 @@ void TraceRecorder::writeChromeTrace(RawOstream &OS,
       W.field("wall_ns", E.WallNs);
     W.endObject();
     W.endObject();
+  }
+
+  // Second axis: host wall-clock lanes from the -spmp worker pool. These
+  // live on their own pid so Perfetto shows virtual determinism (pid 1)
+  // and host concurrency (pid 2) side by side. Host timestamps are
+  // epoch-relative nanoseconds rendered as trace microseconds.
+  if (Host) {
+    auto HostMeta = [&](const char *Name, uint32_t Tid, bool HasTid) {
+      W.beginObject();
+      W.field("name", Name);
+      W.field("ph", "M");
+      W.field("pid", 2);
+      if (HasTid)
+        W.field("tid", Tid);
+    };
+    HostMeta("process_name", 0, false);
+    W.key("args").beginObject().field("name", "superpin-host").endObject();
+    W.endObject();
+    for (uint32_t Lane = 0; Lane != Host->lanes(); ++Lane) {
+      HostMeta("thread_name", Lane, true);
+      W.key("args").beginObject().field("name", Host->laneName(Lane));
+      W.endObject();
+      W.endObject();
+      HostMeta("thread_sort_index", Lane, true);
+      W.key("args").beginObject().field("sort_index", Lane).endObject();
+      W.endObject();
+    }
+
+    auto HostEvent = [&](const char *Name, const char *Ph, uint32_t Tid,
+                         uint64_t Ns) {
+      W.beginObject();
+      W.field("name", Name);
+      W.field("cat", "host");
+      W.field("ph", Ph);
+      W.field("pid", 2);
+      W.field("tid", Tid);
+      W.field("ts", static_cast<double>(Ns) / 1000.0);
+    };
+    for (uint32_t Lane = 0; Lane != Host->lanes(); ++Lane) {
+      for (const HostSpan &S : Host->spanSnapshot(Lane)) {
+        HostEvent(hostSpanName(S.Kind), "B", Lane, S.BeginNs);
+        W.key("args").beginObject();
+        W.field("slice", S.Arg);
+        W.field("ns", S.BeginNs);
+        W.endObject();
+        W.endObject();
+        HostEvent(hostSpanName(S.Kind), "E", Lane, S.EndNs);
+        W.key("args").beginObject();
+        W.field("slice", S.Arg);
+        W.field("ns", S.EndNs);
+        W.endObject();
+        W.endObject();
+      }
+    }
+    for (const HostCounterSample &S : Host->counterSnapshot()) {
+      HostEvent(hostCounterName(S.Kind), "C", 0, S.Ns);
+      W.key("args").beginObject();
+      W.field("value", S.Value);
+      W.endObject();
+      W.endObject();
+    }
   }
 
   W.endArray();

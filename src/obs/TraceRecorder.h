@@ -41,6 +41,8 @@ class RawOstream;
 
 namespace spin::obs {
 
+class HostTraceRecorder;
+
 /// What happened. Kinds are stable identifiers: their names are part of
 /// the trace schema (tests pin them).
 enum class EventKind : uint8_t {
@@ -134,8 +136,13 @@ public:
 
   /// Writes the retained events as a Chrome trace-event JSON document.
   /// \p TicksPerMs converts tick stamps to trace microseconds
-  /// (os::CostModel::TicksPerMs).
-  void writeChromeTrace(RawOstream &OS, os::Ticks TicksPerMs) const;
+  /// (os::CostModel::TicksPerMs). When \p Host is non-null the document
+  /// is dual-axis: the virtual-time tracks stay on pid 1 and the host
+  /// recorder's wall-clock worker lanes (tid = worker id) plus its
+  /// counter tracks are emitted as a second process (pid 2). With a null
+  /// \p Host the output is byte-identical to the single-axis export.
+  void writeChromeTrace(RawOstream &OS, os::Ticks TicksPerMs,
+                        const HostTraceRecorder *Host = nullptr) const;
 
 private:
   size_t Capacity;

@@ -27,6 +27,7 @@
 
 #include "host/CompletionQueue.h"
 #include "host/WorkerPool.h"
+#include "obs/HostTraceRecorder.h"
 #include "obs/TraceRecorder.h"
 #include "os/Kernel.h"
 #include "os/Scheduler.h"
@@ -446,7 +447,14 @@ ReplayReport ReplayEngine::replay(const ToolFactory &Factory,
   };
 
   // Tracing forces serial: replay trace timestamps come from the single
-  // engine-wide clock, which slice bodies advance step by step.
+  // engine-wide clock, which slice bodies advance step by step. Never
+  // downgrade silently — the user asked for workers they will not get.
+  if (HostWorkers != 0 && Trace && !WarnedSerialTrace) {
+    WarnedSerialTrace = true;
+    errs() << "warning: -sptrace forces serial replay; ignoring -spmp "
+           << HostWorkers << " (trace timestamps come from the single "
+           << "engine-wide clock, which slice bodies advance)\n";
+  }
   if (HostWorkers == 0 || Trace) {
     for (uint32_t Num : Nums)
       Accumulate(replaySlice(Cap.Slices[Num], Factory, Areas));
@@ -464,37 +472,58 @@ ReplayReport ReplayEngine::replay(const ToolFactory &Factory,
     // jobs reference the queue and the pending runs.
     host::CompletionQueue Done;
     std::deque<Pending> InFlight;
-    host::WorkerPool Pool(HostWorkers);
-    // Each pending slice holds a COW fork of the master; keep just enough
-    // in flight to cover prepare latency without hoarding forks.
-    const size_t MaxInFlight = Pool.size() + 2;
-    auto RetireFront = [&] {
-      Pending P = std::move(InFlight.front());
-      InFlight.pop_front();
-      Done.pop(P.Num);
-      Accumulate(finishSlice(*P.Run, Cap.Slices[P.Num], /*HostMode=*/true));
-    };
-    for (uint32_t Num : Nums) {
-      while (InFlight.size() >= MaxInFlight)
-        RetireFront();
-      std::unique_ptr<SliceRun> Run =
-          prepareSlice(Cap.Slices[Num], Factory, Areas);
-      // Pin the fork's pages for the body's lifetime so neither side of a
-      // shared page can ever write it in place while the other COW-copies
-      // it (the master keeps fast-forwarding while this body runs).
-      Run->PagePins = Run->Proc->Mem.pinPages();
-      SliceRun *R = Run.get();
-      InFlight.push_back(Pending{Num, std::move(Run)});
-      Pool.submit([this, R, Num, &Done](host::WorkerContext &WC) {
-        runSliceBody(*R, Cap.Slices[Num], /*HostThread=*/true);
-        host::SliceCompletion C;
-        C.SliceNum = Num;
-        C.Worker = WC.Worker;
-        Done.push(C);
-      });
+    if (HostTrace) {
+      // Lanes must exist before the pool threads start; this (calling)
+      // thread takes the sim lane for its merge-side waits.
+      HostTrace->initLanes(HostWorkers);
+      HostTrace->bindThread(HostTrace->simLane());
+      HostTrace->laneStarted(HostTrace->simLane(), HostTrace->nowNs());
     }
-    while (!InFlight.empty())
-      RetireFront();
+    {
+      host::WorkerPool Pool(HostWorkers, nullptr, HostTrace);
+      // Each pending slice holds a COW fork of the master; keep just
+      // enough in flight to cover prepare latency without hoarding forks.
+      const size_t MaxInFlight = Pool.size() + 2;
+      auto RetireFront = [&] {
+        Pending P = std::move(InFlight.front());
+        InFlight.pop_front();
+        uint64_t HB0 = HostTrace ? HostTrace->nowNs() : 0;
+        Done.pop(P.Num);
+        if (HostTrace)
+          HostTrace->span(HostTrace->simLane(), obs::HostSpanKind::SimRetire,
+                          HB0, HostTrace->nowNs(), P.Num);
+        Accumulate(finishSlice(*P.Run, Cap.Slices[P.Num], /*HostMode=*/true));
+      };
+      for (uint32_t Num : Nums) {
+        while (InFlight.size() >= MaxInFlight)
+          RetireFront();
+        std::unique_ptr<SliceRun> Run =
+            prepareSlice(Cap.Slices[Num], Factory, Areas);
+        // Pin the fork's pages for the body's lifetime so neither side of
+        // a shared page can ever write it in place while the other
+        // COW-copies it (the master keeps fast-forwarding while this body
+        // runs).
+        Run->PagePins = Run->Proc->Mem.pinPages();
+        SliceRun *R = Run.get();
+        InFlight.push_back(Pending{Num, std::move(Run)});
+        Pool.submit([this, R, Num, &Done](host::WorkerContext &WC) {
+          runSliceBody(*R, Cap.Slices[Num], /*HostThread=*/true);
+          if (HostTrace) {
+            WC.BodyEndNs = HostTrace->nowNs();
+            WC.BodyArg = Num;
+          }
+          host::SliceCompletion C;
+          C.SliceNum = Num;
+          C.Worker = WC.Worker;
+          Done.push(C);
+        });
+      }
+      while (!InFlight.empty())
+        RetireFront();
+      // Pool destructor joins the workers here, publishing every lane.
+    }
+    if (HostTrace)
+      HostTrace->laneStopped(HostTrace->simLane(), HostTrace->nowNs());
   }
 
   // Fini over the merged areas, exactly like MasterTask::runFini.

@@ -39,6 +39,7 @@
 #include <vector>
 
 namespace spin::obs {
+class HostTraceRecorder;
 class TraceRecorder;
 }
 
@@ -109,8 +110,17 @@ public:
   /// results, shared-area folds, profiles, and fini output are
   /// byte-identical for every N. Forced serial while a trace recorder is
   /// attached: replay trace timestamps come from the single engine-wide
-  /// clock, which slice bodies advance.
+  /// clock, which slice bodies advance. The forced downgrade warns once
+  /// on stderr per engine instead of silently degrading.
   void setHostWorkers(unsigned N) { HostWorkers = N; }
+
+  /// Attaches a host wall-clock recorder (obs/HostTraceRecorder.h): the
+  /// parallel replay path records per-worker spans and pool gauges into
+  /// it. Ignored on the serial path (there is no pool to observe), and in
+  /// particular when a trace recorder forces replay serial.
+  void setHostTrace(obs::HostTraceRecorder *Recorder) {
+    HostTrace = Recorder;
+  }
 
 private:
   const RunCapture &Cap;
@@ -119,7 +129,10 @@ private:
 
   obs::TraceRecorder *Trace = nullptr;
   prof::ProfileCollector *Prof = nullptr;
+  obs::HostTraceRecorder *HostTrace = nullptr;
   unsigned HostWorkers = 0;
+  /// The -sptrace-forces-serial warning fired (it prints once per engine).
+  bool WarnedSerialTrace = false;
   /// Replay's deterministic clock (replay runs outside the live
   /// scheduler): advances by the cost-model price of executed work.
   os::Ticks Now = 0;

@@ -180,6 +180,17 @@ struct Coordinator {
   /// tick-identical to unprofiled ones.
   prof::ProfileCollector *Prof = nullptr;
 
+  /// Host wall-clock recorder (-sphosttrace/-sphoststats); null when off
+  /// or when Pool is null. Wall-clock only: never consulted for virtual
+  /// time, so -spmp results are byte-identical with it attached.
+  obs::HostTraceRecorder *HostTr = nullptr;
+  /// Slices dispatched to the pool but not yet retired (sim-thread-only
+  /// gauge sampled into HostTr's in-flight counter track).
+  uint32_t HostInFlight = 0;
+  /// Start of the sim thread's in-progress charge-stream starve wait
+  /// (only the sim thread touches it; set/consumed by the starve hook).
+  uint64_t SimStarveBeginNs = 0;
+
   /// Worker -> sim completion queue (meaningful only with Pool): drained
   /// strictly in slice order at each body's retire point; doubles as the
   /// barrier after which a slice's stream arena may be freed. Declared
@@ -522,7 +533,10 @@ private:
           // The body runs (or already ran) on a worker; replay its
           // recorded check/charge sequence against the real ledger so
           // this slice pauses and resumes at exactly the tick boundaries
-          // a sim-thread execution would have hit.
+          // a sim-thread execution would have hit. When the replay
+          // outruns the worker's published events, the stream's starve
+          // hook (set at dispatch) records a SimReplay span; worker idle
+          // time overlapping those spans becomes merge-wait.
           host::StreamReplayer::Step R = Replayer->replay(Ledger);
           if (R == host::StreamReplayer::Step::NeedBudget)
             return TaskStatus::Runnable;
@@ -1032,6 +1046,31 @@ private:
     }
     HostActive = true;
     ++C.Report.HostDispatchedSlices;
+    if (C.HostTr) {
+      // Arena-growth samples land in the lane of whichever worker runs
+      // the body (counterHere resolves the thread binding); the in-flight
+      // gauge is sampled here on the sim lane.
+      Stream->setGrowthHook([HT = C.HostTr](uint64_t Bytes) {
+        HT->counterHere(obs::HostCounterKind::ArenaBytes, Bytes);
+      });
+      // SimReplay spans mark genuine starvation only: the hook fires when
+      // the sim thread's replay outruns this worker's published events
+      // and enters the blocking wait. The non-starved replay fast path
+      // stays unobserved — bracketing every replay() call would put two
+      // clock reads in the scheduler's per-quantum loop (measurable; see
+      // bench/micro_hostobs) and would bury the sim lane's ring in
+      // sub-microsecond spans.
+      Stream->setStarveHook(
+          [HT = C.HostTr, &Co = C, Num = Num](bool Enter) {
+            if (Enter)
+              Co.SimStarveBeginNs = HT->nowNs();
+            else
+              HT->span(HT->simLane(), obs::HostSpanKind::SimReplay,
+                       Co.SimStarveBeginNs, HT->nowNs(), Num);
+          });
+      ++C.HostInFlight;
+      C.HostTr->counterHere(obs::HostCounterKind::InFlight, C.HostInFlight);
+    }
     C.Pool->submit([this](host::WorkerContext &WC) { hostBody(WC); });
   }
 
@@ -1045,6 +1084,12 @@ private:
     installDetection();
     runSlice();
     bool BodyFailed = AttemptFailed;
+    if (C.HostTr) {
+      // Everything after this stamp (stream finish, completion publish)
+      // is the job's retire tail; the pool splits the job span here.
+      WC.BodyEndNs = C.HostTr->nowNs();
+      WC.BodyArg = Num;
+    }
     Rec->finish(BodyFailed);
     host::SliceCompletion SC;
     SC.SliceNum = Num;
@@ -1056,6 +1101,9 @@ private:
         std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
             .count();
     C.Completion.push(SC);
+    if (C.HostTr)
+      C.HostTr->counterHere(obs::HostCounterKind::CompletionDepth,
+                            C.HostTr->addCompletionDepth(+1));
   }
 
   /// Sim-side retire: the replayed stream reached its terminal, so the
@@ -1063,12 +1111,26 @@ private:
   /// completion pop proves it has returned). Restores sim-thread
   /// plumbing and folds worker-local attribution into the lane profile.
   void retireHostBody(bool BodyFailed) {
+    uint64_t HB0 = C.HostTr ? C.HostTr->nowNs() : 0;
     host::SliceCompletion SC = C.Completion.pop(Num);
+    if (C.HostTr) {
+      C.HostTr->span(C.HostTr->simLane(), obs::HostSpanKind::SimRetire, HB0,
+                     C.HostTr->nowNs(), Num);
+      C.HostTr->counterHere(obs::HostCounterKind::CompletionDepth,
+                            C.HostTr->addCompletionDepth(-1));
+      --C.HostInFlight;
+      C.HostTr->counterHere(obs::HostCounterKind::InFlight, C.HostInFlight);
+    }
     assert(SC.Failed == BodyFailed && "stream/completion disagree");
     (void)BodyFailed;
     C.Report.HostStreamEvents += SC.StreamEvents;
     C.Report.HostArenaBytes = std::max(C.Report.HostArenaBytes, SC.ArenaBytes);
     C.Report.HostBodySeconds += SC.HostSeconds;
+    if (SC.Worker < C.Report.HostWorkerTable.size()) {
+      SpRunReport::HostWorkerStats &WS = C.Report.HostWorkerTable[SC.Worker];
+      ++WS.Bodies;
+      WS.BodySeconds += SC.HostSeconds;
+    }
     Stream->releaseArena();
     HostActive = false;
     ExecLedger = &Ledger;
@@ -1716,8 +1778,19 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
     unsigned N = Opts.HostWorkers == SpOptions::HostWorkersAuto
                      ? host::WorkerPool::clampWorkers(~0u)
                      : Opts.HostWorkers;
-    C.Pool = std::make_unique<host::WorkerPool>(N, Opts.HostJobHook);
+    if (Opts.HostTrace) {
+      // Lanes must exist before the first pool thread starts; the sim
+      // thread binds to the extra lane for its merge-side spans.
+      C.HostTr = Opts.HostTrace;
+      C.HostTr->initLanes(N);
+      C.HostTr->bindThread(C.HostTr->simLane());
+      C.HostTr->laneStarted(C.HostTr->simLane(), C.HostTr->nowNs());
+    }
+    C.Pool = std::make_unique<host::WorkerPool>(N, Opts.HostJobHook, C.HostTr);
     Report.HostWorkers = C.Pool->size();
+    Report.HostWorkerTable.resize(C.Pool->size());
+    for (unsigned W = 0; W != C.Pool->size(); ++W)
+      Report.HostWorkerTable[W].Worker = W;
   }
   if (C.Tr)
     Sched.setTrace(C.Tr);
@@ -1734,6 +1807,20 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   }
   C.MasterId = Sched.addTask(std::make_unique<MasterTask>(C));
   Sched.runToCompletion();
+
+  // Tear the pool down before finalizing the report: the joins publish
+  // every worker lane, after which the merged wall-clock attribution can
+  // be folded in (worker idle overlapping sim blocked spans = merge-wait).
+  if (C.Pool) {
+    C.Pool.reset();
+    if (C.HostTr) {
+      C.HostTr->laneStopped(C.HostTr->simLane(), C.HostTr->nowNs());
+      Report.HostAttr = C.HostTr->attribution();
+      for (const obs::HostLaneAttribution &L : Report.HostAttr.Workers)
+        Report.HostUtilizationHist.record(
+            static_cast<uint64_t>(L.utilizationPct() + 0.5));
+    }
+  }
 
   Report.WallTicks = Sched.now();
   Report.PipelineTicks = Report.WallTicks - Report.MasterExitTicks;

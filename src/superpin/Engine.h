@@ -17,6 +17,7 @@
 #ifndef SUPERPIN_SUPERPIN_ENGINE_H
 #define SUPERPIN_SUPERPIN_ENGINE_H
 
+#include "obs/HostTraceRecorder.h"
 #include "os/CostModel.h"
 #include "pin/Tool.h"
 #include "superpin/Signature.h"
@@ -171,6 +172,26 @@ struct SpRunReport {
   uint64_t HostStreamEvents = 0;   ///< charge-stream events replayed
   uint64_t HostArenaBytes = 0;     ///< peak single-stream arena footprint
   double HostBodySeconds = 0;      ///< summed wall seconds of worker bodies
+
+  /// Per-worker host telemetry (one entry per pool worker, indexed by
+  /// worker id). Empty when HostWorkers == 0; Bodies/BodySeconds are
+  /// always filled on -spmp runs. Wall-clock, so printers gate on
+  /// HostWorkers like HostBodySeconds.
+  struct HostWorkerStats {
+    unsigned Worker = 0;
+    uint64_t Bodies = 0;    ///< slice bodies this worker ran
+    double BodySeconds = 0; ///< summed wall seconds of those bodies
+  };
+  std::vector<HostWorkerStats> HostWorkerTable;
+
+  /// Wall-time attribution from obs::HostTraceRecorder: every worker
+  /// nanosecond charged to body / dispatch-wait / merge-wait / idle /
+  /// retire with an exact per-lane sum-to-lifetime invariant. Empty
+  /// unless SpOptions::HostTrace was attached.
+  obs::HostAttribution HostAttr;
+  /// Per-worker pool utilization (body share of lane lifetime, percent).
+  /// One sample per worker; empty unless HostTrace was attached.
+  Histogram HostUtilizationHist;
 };
 
 /// Runs \p Prog under SuperPin with the Pintool \p Factory builds (one

@@ -11,6 +11,7 @@
 #include "support/RawOstream.h"
 #include "support/Statistic.h"
 #include "support/StringExtras.h"
+#include "support/Table.h"
 
 #include <algorithm>
 #include <string>
@@ -85,6 +86,54 @@ void spin::sp::printReport(const SpRunReport &Report, const CostModel &Model,
      << Sec(Report.CompileTicks) << "s), COW " << Report.MasterCowCopies
      << " master / " << Report.SliceCowCopies << " slice, peak parallelism "
      << Report.PeakParallelism << "\n";
+  // Only on -spmp runs (wall-clock fields are nondeterministic), so
+  // serial reports stay byte-identical to before the host subsystem.
+  printHostStats(Report, OS);
+}
+
+void spin::sp::printHostStats(const SpRunReport &Report, RawOstream &OS) {
+  if (!Report.HostWorkers)
+    return;
+  OS << "host: " << Report.HostWorkers << " workers, "
+     << Report.HostDispatchedSlices << " bodies dispatched, "
+     << Report.HostStreamEvents << " stream events, "
+     << formatFixed(Report.HostBodySeconds, 3) << "s body wall time\n";
+  bool HaveAttr = !Report.HostAttr.Workers.empty();
+  Table T;
+  T.addColumn("worker", Table::Align::Left);
+  T.addColumn("bodies");
+  T.addColumn("body(s)");
+  if (HaveAttr) {
+    T.addColumn("body%");
+    T.addColumn("dispatch%");
+    T.addColumn("merge%");
+    T.addColumn("idle%");
+    T.addColumn("retire%");
+  }
+  for (const SpRunReport::HostWorkerStats &WS : Report.HostWorkerTable) {
+    T.startRow();
+    T.cell("worker-" + std::to_string(WS.Worker));
+    T.cell(WS.Bodies);
+    T.cell(WS.BodySeconds, 3);
+    if (HaveAttr && WS.Worker < Report.HostAttr.Workers.size()) {
+      const obs::HostLaneAttribution &L = Report.HostAttr.Workers[WS.Worker];
+      double Life =
+          L.LifetimeNs ? static_cast<double>(L.LifetimeNs) : 1.0;
+      T.cellPercent(static_cast<double>(L.BodyNs) / Life);
+      T.cellPercent(static_cast<double>(L.DispatchWaitNs) / Life);
+      T.cellPercent(static_cast<double>(L.MergeWaitNs) / Life);
+      T.cellPercent(static_cast<double>(L.IdleNs) / Life);
+      T.cellPercent(static_cast<double>(L.RetireNs) / Life);
+    }
+  }
+  T.print(OS);
+  if (HaveAttr)
+    OS << "pool: lifetime "
+       << formatFixed(static_cast<double>(Report.HostAttr.PoolLifetimeNs) /
+                          1e9,
+                      3)
+       << "s, dominant stall "
+       << obs::hostSpanName(Report.HostAttr.dominantStall()) << "\n";
 }
 
 void spin::sp::exportStatistics(const SpRunReport &Report,
@@ -142,6 +191,32 @@ void spin::sp::exportStatistics(const SpRunReport &Report,
   Stats.histogram("superpin.hist.slice.waitticks") = Report.SliceWaitHist;
   Stats.histogram("superpin.hist.sig.checkdist") = Report.SigCheckDistHist;
   Stats.histogram("superpin.hist.slice.attempts") = Report.SliceAttemptsHist;
+  // Host wall-clock gauges exist only on -spmp runs (and the attribution
+  // set only when a HostTraceRecorder was attached); the gate keeps the
+  // default export list — pinned by the golden-names test — unchanged.
+  if (Report.HostWorkers) {
+    Stats.counter("host.workers") = Report.HostWorkers;
+    Stats.counter("host.dispatched.slices") = Report.HostDispatchedSlices;
+    Stats.counter("host.stream.events") = Report.HostStreamEvents;
+    Stats.counter("host.arena.peakbytes") = Report.HostArenaBytes;
+    Stats.counter("host.body.us") =
+        static_cast<uint64_t>(Report.HostBodySeconds * 1e6);
+    if (!Report.HostAttr.Workers.empty()) {
+      Stats.counter("host.pool.lifetime.ns") = Report.HostAttr.PoolLifetimeNs;
+      Stats.counter("host.attr.body.ns") =
+          Report.HostAttr.totalNs(obs::HostSpanKind::Body);
+      Stats.counter("host.attr.dispatchwait.ns") =
+          Report.HostAttr.totalNs(obs::HostSpanKind::DispatchWait);
+      Stats.counter("host.attr.mergewait.ns") =
+          Report.HostAttr.totalNs(obs::HostSpanKind::MergeWait);
+      Stats.counter("host.attr.idle.ns") =
+          Report.HostAttr.totalNs(obs::HostSpanKind::Idle);
+      Stats.counter("host.attr.retire.ns") =
+          Report.HostAttr.totalNs(obs::HostSpanKind::Retire);
+      Stats.histogram("superpin.hist.host.utilization") =
+          Report.HostUtilizationHist;
+    }
+  }
 }
 
 void spin::sp::printTimeline(const SpRunReport &Report,

@@ -30,8 +30,17 @@ namespace spin::sp {
 void printReport(const SpRunReport &Report, const os::CostModel &Model,
                  RawOstream &OS);
 
+/// Prints the -spmp host-execution section: the aggregate host line, a
+/// column-aligned per-worker table (bodies run, body wall seconds), and —
+/// when the report carries HostTraceRecorder attribution — the five-way
+/// wall-time taxonomy shares plus the pool's dominant stall cause.
+/// No-op when Report.HostWorkers == 0, keeping serial output byte-stable.
+void printHostStats(const SpRunReport &Report, RawOstream &OS);
+
 /// Exports the report's scalar metrics into \p Stats (names are stable
-/// and dotted, e.g. "superpin.slices.timeout").
+/// and dotted, e.g. "superpin.slices.timeout"). Host gauges ("host.*",
+/// the utilization histogram) are emitted only when Report.HostWorkers
+/// is nonzero, so the default name set is unchanged.
 void exportStatistics(const SpRunReport &Report, StatisticRegistry &Stats);
 
 /// Renders the Figure 1 timeline: one lane for the master and one per

@@ -28,6 +28,9 @@ std::string SpOptions::validate() const {
     return "-spmp cannot be combined with -spsharedcc (the shared code "
            "cache is not thread-safe; slices would race on trace "
            "publication)";
+  if (HostTrace && HostWorkers == 0)
+    return "-sphosttrace/-sphoststats require -spmp (there is no worker "
+           "pool to observe on the serial path)";
   if (SliceMs == 0)
     return "-spmsec must be at least 1 (a zero-length timeslice would "
            "spawn unbounded zero-work slices)";

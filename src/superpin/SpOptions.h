@@ -31,6 +31,7 @@
 #include <string>
 
 namespace spin::obs {
+class HostTraceRecorder;
 class TraceRecorder;
 }
 
@@ -157,6 +158,13 @@ struct SpOptions {
   /// with profiling on or off. Honoured by both the SuperPin and the
   /// serial-Pin path.
   prof::ProfileCollector *Profile = nullptr;
+  /// -sphosttrace/-sphoststats: when non-null (and HostWorkers != 0),
+  /// the engine records per-worker wall-clock spans and pool gauges into
+  /// this host recorder (obs/HostTraceRecorder.h) and folds the merged
+  /// attribution into the run report. Wall-clock only: attaching it
+  /// never charges virtual time, so -spmp results are tick- and
+  /// byte-identical with host tracing on or off.
+  obs::HostTraceRecorder *HostTrace = nullptr;
 
   // --- Fault injection & recovery (src/fault) ---------------------------
   /// -spfault/-spfaultseed: when non-null and enabled(), the engine

@@ -1,0 +1,392 @@
+//===- tests/hostobs_test.cpp - Host observability tests ------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The host wall-clock observability layer (obs/HostTraceRecorder.h) and
+// its engine/replay wiring. The load-bearing property, tested here the
+// same way prof_test pins the per-lane tick invariant: every worker wall
+// nanosecond is attributed to exactly one of body / dispatch-wait /
+// merge-wait / idle / retire, and the five sums add up to the lane's
+// lifetime exactly — after synthetic span streams, after ring overflow,
+// and after real -spmp engine and replay runs. Also covered: the recorder
+// primitives (binding, gauges, ring drops), the -sptrace-forces-serial
+// warning, report table consistency, and tracing neutrality (attaching
+// the recorder cannot change -spmp results).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/HostTraceRecorder.h"
+#include "obs/TraceRecorder.h"
+
+#include "replay/CaptureWriter.h"
+#include "replay/ReplayEngine.h"
+#include "superpin/Engine.h"
+#include "superpin/Reporting.h"
+#include "support/RawOstream.h"
+#include "tools/Icount.h"
+#include "workloads/Spec2000.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <thread>
+
+using namespace spin;
+using namespace spin::obs;
+using namespace spin::os;
+using namespace spin::sp;
+using namespace spin::tools;
+using namespace spin::vm;
+
+namespace {
+
+// --- Recorder primitives -------------------------------------------------
+
+TEST(HostTraceRecorder, NamesAreStable) {
+  EXPECT_STREQ(hostSpanName(HostSpanKind::Body), "host.body");
+  EXPECT_STREQ(hostSpanName(HostSpanKind::DispatchWait), "host.dispatchwait");
+  EXPECT_STREQ(hostSpanName(HostSpanKind::MergeWait), "host.mergewait");
+  EXPECT_STREQ(hostSpanName(HostSpanKind::Idle), "host.idle");
+  EXPECT_STREQ(hostSpanName(HostSpanKind::Retire), "host.retire");
+  EXPECT_STREQ(hostSpanName(HostSpanKind::SimReplay), "host.sim.replay");
+  EXPECT_STREQ(hostSpanName(HostSpanKind::SimRetire), "host.sim.retire");
+  EXPECT_STREQ(hostCounterName(HostCounterKind::QueueDepth),
+               "host.queue.depth");
+  EXPECT_STREQ(hostCounterName(HostCounterKind::InFlight), "host.inflight");
+  EXPECT_STREQ(hostCounterName(HostCounterKind::ArenaBytes),
+               "host.arena.bytes");
+  EXPECT_STREQ(hostCounterName(HostCounterKind::CompletionDepth),
+               "host.completion.depth");
+}
+
+TEST(HostTraceRecorder, LaneLayoutAndNames) {
+  HostTraceRecorder Rec;
+  Rec.initLanes(3);
+  EXPECT_EQ(Rec.workers(), 3u);
+  EXPECT_EQ(Rec.simLane(), 3u);
+  EXPECT_EQ(Rec.lanes(), 4u);
+  EXPECT_EQ(Rec.laneName(0), "worker-0");
+  EXPECT_EQ(Rec.laneName(2), "worker-2");
+  EXPECT_EQ(Rec.laneName(3), "sim");
+}
+
+TEST(HostTraceRecorder, ThreadBinding) {
+  HostTraceRecorder Rec;
+  Rec.initLanes(2);
+  EXPECT_EQ(Rec.boundLane(), -1);
+  Rec.bindThread(1);
+  EXPECT_EQ(Rec.boundLane(), 1);
+  // Binding is per thread: another thread starts unbound.
+  int Other = 0;
+  std::thread T([&] { Other = Rec.boundLane(); });
+  T.join();
+  EXPECT_EQ(Other, -1);
+}
+
+TEST(HostTraceRecorder, CounterHereIsNoOpWhenUnbound) {
+  HostTraceRecorder Rec;
+  Rec.initLanes(1);
+  Rec.counterHere(HostCounterKind::QueueDepth, 5);
+  EXPECT_TRUE(Rec.counterSnapshot().empty());
+  Rec.bindThread(0);
+  Rec.counterHere(HostCounterKind::QueueDepth, 5);
+  ASSERT_EQ(Rec.counterSnapshot().size(), 1u);
+  EXPECT_EQ(Rec.counterSnapshot()[0].Value, 5u);
+}
+
+TEST(HostTraceRecorder, GaugesClampAtZero) {
+  HostTraceRecorder Rec;
+  EXPECT_EQ(Rec.addQueueDepth(+1), 1u);
+  EXPECT_EQ(Rec.addQueueDepth(+1), 2u);
+  EXPECT_EQ(Rec.addQueueDepth(-1), 1u);
+  EXPECT_EQ(Rec.addQueueDepth(-5), 0u);
+  EXPECT_EQ(Rec.addCompletionDepth(-1), 0u);
+}
+
+TEST(HostTraceRecorder, SpanRingDropsOldestButKeepsExactTotals) {
+  // A tiny ring: totals must stay exact even when nearly every span is
+  // dropped from the exported window.
+  HostTraceRecorder Rec(/*SpansPerLane=*/8, /*CountersPerLane=*/4);
+  Rec.initLanes(1);
+  Rec.laneStarted(0, 0);
+  const uint64_t Spans = 100;
+  for (uint64_t I = 0; I != Spans; ++I)
+    Rec.span(0, I % 2 ? HostSpanKind::Body : HostSpanKind::Idle, I * 10,
+             I * 10 + 10, I);
+  Rec.laneStopped(0, Spans * 10);
+  EXPECT_EQ(Rec.spanSnapshot(0).size(), 8u);
+  EXPECT_EQ(Rec.droppedSpans(), Spans - 8);
+
+  HostAttribution Attr = Rec.attribution();
+  ASSERT_EQ(Attr.Workers.size(), 1u);
+  const HostLaneAttribution &L = Attr.Workers[0];
+  EXPECT_EQ(L.BodyNs, 50 * 10u);
+  EXPECT_EQ(L.IdleNs, 50 * 10u);
+  EXPECT_EQ(L.Bodies, 50u);
+  EXPECT_EQ(L.LifetimeNs, Spans * 10);
+  EXPECT_EQ(L.attributedNs(), L.LifetimeNs);
+}
+
+// --- Attribution ---------------------------------------------------------
+
+TEST(HostAttribution, SyntheticLanesSumExactly) {
+  HostTraceRecorder Rec;
+  Rec.initLanes(2);
+  Rec.laneStarted(0, 100);
+  Rec.span(0, HostSpanKind::DispatchWait, 100, 130);
+  Rec.span(0, HostSpanKind::Body, 130, 800, 7);
+  Rec.span(0, HostSpanKind::Retire, 800, 850);
+  Rec.span(0, HostSpanKind::Idle, 850, 1000);
+  Rec.laneStopped(0, 1000);
+  Rec.laneStarted(1, 100);
+  Rec.span(1, HostSpanKind::Idle, 100, 1100);
+  Rec.laneStopped(1, 1100);
+  Rec.laneStarted(Rec.simLane(), 100);
+  Rec.laneStopped(Rec.simLane(), 1100);
+
+  HostAttribution Attr = Rec.attribution();
+  ASSERT_EQ(Attr.Workers.size(), 2u);
+  EXPECT_EQ(Attr.Workers[0].BodyNs, 670u);
+  EXPECT_EQ(Attr.Workers[0].DispatchWaitNs, 30u);
+  EXPECT_EQ(Attr.Workers[0].RetireNs, 50u);
+  EXPECT_EQ(Attr.Workers[0].IdleNs, 150u);
+  EXPECT_EQ(Attr.Workers[0].attributedNs(), Attr.Workers[0].LifetimeNs);
+  EXPECT_EQ(Attr.Workers[1].IdleNs, 1000u);
+  EXPECT_EQ(Attr.Workers[1].attributedNs(), 1000u);
+  EXPECT_EQ(Attr.PoolLifetimeNs, 1000u); // max stop 1100 - min start 100
+  EXPECT_EQ(Attr.dominantStall(), HostSpanKind::Idle);
+  EXPECT_EQ(Attr.totalNs(HostSpanKind::Body), 670u);
+  EXPECT_EQ(Attr.Workers[0].Bodies, 1u);
+  EXPECT_NEAR(Attr.Workers[0].utilizationPct(), 100.0 * 670.0 / 900.0, 1e-9);
+}
+
+TEST(HostAttribution, MergeWaitIsCarvedOutOfIdleBySimOverlap) {
+  HostTraceRecorder Rec;
+  Rec.initLanes(1);
+  Rec.laneStarted(0, 0);
+  Rec.span(0, HostSpanKind::Body, 0, 400);
+  Rec.span(0, HostSpanKind::Idle, 400, 1000);
+  Rec.laneStopped(0, 1000);
+  // Sim blocked 500..700 (replay) and 650..900 (retire): the overlap with
+  // the worker's idle span is [500, 900) = 400ns of merge-wait.
+  Rec.laneStarted(Rec.simLane(), 0);
+  Rec.span(Rec.simLane(), HostSpanKind::SimReplay, 500, 700, 1);
+  Rec.span(Rec.simLane(), HostSpanKind::SimRetire, 650, 900, 2);
+  Rec.laneStopped(Rec.simLane(), 1000);
+
+  HostAttribution Attr = Rec.attribution();
+  ASSERT_EQ(Attr.Workers.size(), 1u);
+  const HostLaneAttribution &L = Attr.Workers[0];
+  EXPECT_EQ(L.MergeWaitNs, 400u);
+  EXPECT_EQ(L.IdleNs, 200u); // 600 idle - 400 carved out
+  EXPECT_EQ(L.BodyNs, 400u);
+  // The carve moves nanoseconds between causes, never creates them.
+  EXPECT_EQ(L.attributedNs(), L.LifetimeNs);
+}
+
+TEST(HostAttribution, EmptyRecorderIsWellFormed) {
+  HostTraceRecorder Rec;
+  HostAttribution Attr = Rec.attribution();
+  EXPECT_TRUE(Attr.Workers.empty());
+  EXPECT_EQ(Attr.PoolLifetimeNs, 0u);
+  EXPECT_EQ(Attr.dominantStall(), HostSpanKind::Body);
+}
+
+// --- Engine integration --------------------------------------------------
+
+SpOptions hostObsOptions(const char *Workload, uint32_t Workers) {
+  SpOptions Opts;
+  Opts.SliceMs = 50; // many slices even at small scales
+  Opts.Cpi = workloads::findWorkload(Workload).Cpi;
+  Opts.HostWorkers = Workers;
+  return Opts;
+}
+
+TEST(HostObsEngine, AttributionSumsToLaneLifetimeExactly) {
+  CostModel Model;
+  Program Prog =
+      workloads::buildWorkload(workloads::findWorkload("gzip"), 0.1);
+  HostTraceRecorder Rec;
+  SpOptions Opts = hostObsOptions("gzip", 4);
+  Opts.HostTrace = &Rec;
+  SpRunReport Rep = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts, Model);
+  ASSERT_TRUE(Rep.PartitionOk);
+
+  // The tentpole invariant, on a real run: every worker wall nanosecond
+  // lands in exactly one taxonomy bucket.
+  ASSERT_EQ(Rep.HostAttr.Workers.size(), 4u);
+  uint64_t Bodies = 0;
+  for (const HostLaneAttribution &L : Rep.HostAttr.Workers) {
+    SCOPED_TRACE("worker " + std::to_string(L.Worker));
+    EXPECT_EQ(L.attributedNs(), L.LifetimeNs);
+    EXPECT_GT(L.LifetimeNs, 0u);
+    Bodies += L.Bodies;
+  }
+  EXPECT_EQ(Bodies, Rep.HostDispatchedSlices);
+  EXPECT_GT(Rep.HostAttr.PoolLifetimeNs, 0u);
+  EXPECT_EQ(Rep.HostUtilizationHist.count(), 4u);
+}
+
+TEST(HostObsEngine, WorkerTableMatchesAggregates) {
+  CostModel Model;
+  Program Prog =
+      workloads::buildWorkload(workloads::findWorkload("mcf"), 0.1);
+  HostTraceRecorder Rec;
+  SpOptions Opts = hostObsOptions("mcf", 2);
+  Opts.HostTrace = &Rec;
+  SpRunReport Rep = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts, Model);
+  ASSERT_EQ(Rep.HostWorkerTable.size(), 2u);
+  uint64_t Bodies = 0;
+  double Seconds = 0;
+  for (const SpRunReport::HostWorkerStats &WS : Rep.HostWorkerTable) {
+    Bodies += WS.Bodies;
+    Seconds += WS.BodySeconds;
+  }
+  EXPECT_EQ(Bodies, Rep.HostDispatchedSlices);
+  EXPECT_NEAR(Seconds, Rep.HostBodySeconds, 1e-9);
+}
+
+TEST(HostObsEngine, RecorderCannotPerturbResults) {
+  CostModel Model;
+  Program Prog =
+      workloads::buildWorkload(workloads::findWorkload("gzip"), 0.1);
+  SpRunReport Plain = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock),
+      hostObsOptions("gzip", 4), Model);
+  HostTraceRecorder Rec;
+  SpOptions Opts = hostObsOptions("gzip", 4);
+  Opts.HostTrace = &Rec;
+  SpRunReport Traced = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts, Model);
+  EXPECT_EQ(Traced.FiniOutput, Plain.FiniOutput);
+  EXPECT_EQ(Traced.Output, Plain.Output);
+  EXPECT_EQ(Traced.WallTicks, Plain.WallTicks);
+  EXPECT_EQ(Traced.NumSlices, Plain.NumSlices);
+  EXPECT_EQ(Traced.HostDispatchedSlices, Plain.HostDispatchedSlices);
+}
+
+TEST(HostObsEngine, ValidateRequiresWorkersForHostTrace) {
+  HostTraceRecorder Rec;
+  SpOptions Opts;
+  Opts.HostTrace = &Rec;
+  Opts.HostWorkers = 0;
+  EXPECT_NE(Opts.validate().find("-sphosttrace"), std::string::npos);
+  Opts.HostWorkers = 2;
+  EXPECT_TRUE(Opts.validate().empty());
+}
+
+TEST(HostObsEngine, HostStatsPrintIsGatedOnWorkers) {
+  SpRunReport Serial;
+  std::string Text;
+  RawStringOstream OS(Text);
+  printHostStats(Serial, OS);
+  OS.flush();
+  EXPECT_TRUE(Text.empty());
+
+  SpRunReport Host;
+  Host.HostWorkers = 2;
+  Host.HostWorkerTable.resize(2);
+  Host.HostWorkerTable[0].Worker = 0;
+  Host.HostWorkerTable[1].Worker = 1;
+  std::string HostText;
+  RawStringOstream HostOS(HostText);
+  printHostStats(Host, HostOS);
+  HostOS.flush();
+  EXPECT_NE(HostText.find("host: 2 workers"), std::string::npos);
+  EXPECT_NE(HostText.find("worker-1"), std::string::npos);
+}
+
+// --- Replay integration --------------------------------------------------
+
+replay::RunCapture captureRun(const CostModel &Model) {
+  Program Prog =
+      workloads::buildWorkload(workloads::findWorkload("gzip"), 0.1);
+  replay::CaptureWriter Writer;
+  SpOptions Opts;
+  Opts.SliceMs = 50;
+  Opts.Cpi = workloads::findWorkload("gzip").Cpi;
+  Opts.Capture = &Writer;
+  SpRunReport Live = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts, Model);
+  EXPECT_TRUE(Live.PartitionOk);
+  return Writer.take();
+}
+
+TEST(HostObsReplay, ParallelReplayAttributionSumsExactly) {
+  CostModel Model;
+  replay::RunCapture Cap = captureRun(Model);
+  ASSERT_GT(Cap.Slices.size(), 2u);
+
+  HostTraceRecorder Rec;
+  replay::ReplayEngine Engine(Cap, Model);
+  Engine.setHostWorkers(2);
+  Engine.setHostTrace(&Rec);
+  replay::ReplayReport Rep =
+      Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
+  EXPECT_TRUE(Rep.allOk());
+
+  HostAttribution Attr = Rec.attribution();
+  ASSERT_EQ(Attr.Workers.size(), 2u);
+  uint64_t Bodies = 0;
+  for (const HostLaneAttribution &L : Attr.Workers) {
+    SCOPED_TRACE("worker " + std::to_string(L.Worker));
+    EXPECT_EQ(L.attributedNs(), L.LifetimeNs);
+    Bodies += L.Bodies;
+  }
+  EXPECT_EQ(Bodies, Rep.SlicesReplayed);
+}
+
+TEST(HostObsReplay, SerialTraceDowngradeWarnsOncePerEngine) {
+  CostModel Model;
+  replay::RunCapture Cap = captureRun(Model);
+
+  obs::TraceRecorder Trace;
+  replay::ReplayEngine Engine(Cap, Model);
+  Engine.setHostWorkers(4);
+  Engine.setTrace(&Trace);
+
+  testing::internal::CaptureStderr();
+  Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
+  std::string First = testing::internal::GetCapturedStderr();
+  EXPECT_NE(First.find("warning: -sptrace forces serial replay"),
+            std::string::npos);
+  EXPECT_NE(First.find("-spmp 4"), std::string::npos);
+
+  // Second replay on the same engine: the warning must not repeat.
+  testing::internal::CaptureStderr();
+  Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
+  std::string Second = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(Second.find("warning:"), std::string::npos);
+}
+
+TEST(HostObsReplay, NoWarningWithoutTraceOrWithoutWorkers) {
+  CostModel Model;
+  replay::RunCapture Cap = captureRun(Model);
+
+  {
+    // Workers without trace: the parallel path runs, nothing to warn.
+    replay::ReplayEngine Engine(Cap, Model);
+    Engine.setHostWorkers(2);
+    testing::internal::CaptureStderr();
+    Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
+    EXPECT_EQ(testing::internal::GetCapturedStderr().find("warning:"),
+              std::string::npos);
+  }
+  {
+    // Trace without workers: serial was requested, no downgrade.
+    obs::TraceRecorder Trace;
+    replay::ReplayEngine Engine(Cap, Model);
+    Engine.setTrace(&Trace);
+    testing::internal::CaptureStderr();
+    Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
+    EXPECT_EQ(testing::internal::GetCapturedStderr().find("warning:"),
+              std::string::npos);
+  }
+}
+
+} // namespace

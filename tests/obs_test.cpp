@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/HostTraceRecorder.h"
 #include "obs/Metrics.h"
 #include "obs/TraceRecorder.h"
 
@@ -31,6 +32,7 @@
 #include "gtest/gtest.h"
 
 #include <map>
+#include <set>
 
 using namespace spin;
 using namespace spin::obs;
@@ -329,6 +331,119 @@ TEST(TraceRecorder, ChromeExportIsValidBalancedJson) {
   EXPECT_TRUE(SawCounter);
 }
 
+// --- Dual-axis (virtual + host wall-clock) export ------------------------
+
+/// Fills \p Host with \p Workers lanes carrying one body span each plus a
+/// queue-depth sample, the shape the dual-axis export sees after a real
+/// -spmp run. (Fills in place: the recorder's atomics make it immovable.)
+void fillHostRecorder(HostTraceRecorder &Host, unsigned Workers) {
+  Host.initLanes(Workers);
+  for (unsigned W = 0; W != Workers; ++W) {
+    Host.laneStarted(W, 100);
+    Host.span(W, HostSpanKind::DispatchWait, 100, 200);
+    Host.span(W, HostSpanKind::Body, 200, 900, /*Arg=*/W);
+    Host.span(W, HostSpanKind::Retire, 900, 950);
+    Host.counter(W, HostCounterKind::QueueDepth, 150, 1);
+    Host.laneStopped(W, 1000);
+  }
+  Host.laneStarted(Host.simLane(), 100);
+  Host.span(Host.simLane(), HostSpanKind::SimRetire, 910, 990, 0);
+  Host.laneStopped(Host.simLane(), 1000);
+}
+
+TEST(TraceRecorder, DualAxisExportIsValidAndBalancedPerTrack) {
+  TraceRecorder Rec;
+  Rec.setLaneName(0, "master");
+  Rec.begin(0, EventKind::MasterRun, 0);
+  Rec.end(0, EventKind::MasterRun, 500);
+  HostTraceRecorder Host;
+  fillHostRecorder(Host, 4);
+
+  std::string Text;
+  RawStringOstream OS(Text);
+  Rec.writeChromeTrace(OS, os::CostModel().TicksPerMs, &Host);
+  OS.flush();
+
+  std::string Err;
+  std::optional<JsonValue> Doc = parseJson(Text, &Err);
+  ASSERT_TRUE(Doc.has_value()) << Err;
+  const JsonValue *Events = Doc->get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+
+  // Spans must balance per (pid, tid): host worker tids reuse small
+  // integers, so the virtual axis (pid 1) and host axis (pid 2) only
+  // separate under the compound key.
+  std::map<std::pair<uint64_t, uint64_t>, int64_t> Depth;
+  std::set<uint64_t> HostSpanTids;
+  bool SawQueueDepth = false, SawHostProcessName = false;
+  std::set<std::string> HostSpanNames;
+  for (const JsonValue &E : Events->array()) {
+    uint64_t Pid = E.get("pid") ? E.get("pid")->asUInt() : 0;
+    uint64_t Tid = E.get("tid") ? E.get("tid")->asUInt() : 0;
+    const std::string Ph = E.get("ph")->asString();
+    if (Ph == "B") {
+      ++Depth[{Pid, Tid}];
+      if (Pid == 2) {
+        HostSpanTids.insert(Tid);
+        HostSpanNames.insert(E.get("name")->asString());
+      }
+    } else if (Ph == "E") {
+      int64_t D = --Depth[{Pid, Tid}];
+      EXPECT_GE(D, 0);
+    } else if (Ph == "C" && Pid == 2 &&
+               E.get("name")->asString() == "host.queue.depth") {
+      SawQueueDepth = true;
+    } else if (Ph == "M" && Pid == 2 &&
+               E.get("name")->asString() == "process_name") {
+      SawHostProcessName = true;
+    }
+  }
+  for (const auto &[Key, D] : Depth)
+    EXPECT_EQ(D, 0) << "unbalanced spans on pid " << Key.first << " tid "
+                    << Key.second;
+  // 4 worker tracks plus the sim lane.
+  EXPECT_EQ(HostSpanTids.size(), 5u);
+  EXPECT_TRUE(SawQueueDepth);
+  EXPECT_TRUE(SawHostProcessName);
+  // Span names round-trip through hostSpanName.
+  EXPECT_TRUE(HostSpanNames.count("host.body"));
+  EXPECT_TRUE(HostSpanNames.count("host.dispatchwait"));
+  EXPECT_TRUE(HostSpanNames.count("host.retire"));
+  EXPECT_TRUE(HostSpanNames.count("host.sim.retire"));
+}
+
+TEST(TraceRecorder, DualAxisExportKeepsVirtualAxisByteIdentical) {
+  // The Host parameter must be purely additive: with it null the export
+  // is the exact golden bytes, with it set the virtual-axis prefix is
+  // unchanged (dual-axis appends, never rewrites).
+  TraceRecorder Rec;
+  Rec.setLaneName(0, "master");
+  Rec.begin(0, EventKind::MasterRun, 0);
+  Rec.instant(0, EventKind::SliceFork, 50, 0);
+  Rec.end(0, EventKind::MasterRun, 500);
+
+  std::string Plain, Dual;
+  {
+    RawStringOstream OS(Plain);
+    Rec.writeChromeTrace(OS, os::CostModel().TicksPerMs);
+  }
+  {
+    HostTraceRecorder Host;
+    fillHostRecorder(Host, 2);
+    RawStringOstream OS(Dual);
+    Rec.writeChromeTrace(OS, os::CostModel().TicksPerMs, &Host);
+  }
+  EXPECT_NE(Plain, Dual);
+  // The host axis is appended after the last virtual event: the plain
+  // export minus its closing brackets must be a byte-exact prefix of the
+  // dual export.
+  size_t Close = Plain.rfind(']');
+  ASSERT_NE(Close, std::string::npos);
+  std::string Prefix = Plain.substr(0, Close);
+  EXPECT_EQ(Dual.compare(0, Prefix.size(), Prefix), 0)
+      << "dual-axis export rewrote the virtual axis";
+}
+
 // --- Metrics documents ---------------------------------------------------
 
 TEST(Metrics, RegistryJsonRoundTrips) {
@@ -556,6 +671,56 @@ TEST(Reporting, ExportedStatisticNamesAreGolden) {
   I = 0;
   for (const StatisticRegistry::HistEntry &H : Stats.histogramEntries())
     EXPECT_EQ(H.Name, ExpectedHists[I++]) << "histogram order changed";
+}
+
+TEST(Reporting, HostStatisticsAppearOnlyOnHostRuns) {
+  // The default name set above must not change when host fields are
+  // populated only as far as serial runs populate them; the host.* block
+  // appears exactly when HostWorkers is set.
+  SpRunReport Serial;
+  StatisticRegistry SerialStats;
+  exportStatistics(Serial, SerialStats);
+  for (const StatisticRegistry::Entry &E : SerialStats.entries())
+    EXPECT_EQ(E.Name.find("host."), std::string::npos);
+
+  SpRunReport Rep;
+  Rep.HostWorkers = 2;
+  Rep.HostDispatchedSlices = 7;
+  Rep.HostStreamEvents = 100;
+  Rep.HostArenaBytes = 4096;
+  Rep.HostBodySeconds = 0.5;
+  obs::HostLaneAttribution L;
+  L.Worker = 0;
+  L.BodyNs = 600;
+  L.DispatchWaitNs = 100;
+  L.MergeWaitNs = 100;
+  L.IdleNs = 150;
+  L.RetireNs = 50;
+  L.LifetimeNs = 1000;
+  Rep.HostAttr.Workers.push_back(L);
+  Rep.HostAttr.PoolLifetimeNs = 1000;
+  Rep.HostUtilizationHist.record(60);
+
+  StatisticRegistry Stats;
+  exportStatistics(Rep, Stats);
+  std::map<std::string, uint64_t> ByName;
+  for (const StatisticRegistry::Entry &E : Stats.entries())
+    ByName[E.Name] = E.Value;
+  EXPECT_EQ(ByName.at("host.workers"), 2u);
+  EXPECT_EQ(ByName.at("host.dispatched.slices"), 7u);
+  EXPECT_EQ(ByName.at("host.stream.events"), 100u);
+  EXPECT_EQ(ByName.at("host.arena.peakbytes"), 4096u);
+  EXPECT_EQ(ByName.at("host.pool.lifetime.ns"), 1000u);
+  EXPECT_EQ(ByName.at("host.attr.body.ns"), 600u);
+  EXPECT_EQ(ByName.at("host.attr.dispatchwait.ns"), 100u);
+  EXPECT_EQ(ByName.at("host.attr.mergewait.ns"), 100u);
+  EXPECT_EQ(ByName.at("host.attr.idle.ns"), 150u);
+  EXPECT_EQ(ByName.at("host.attr.retire.ns"), 50u);
+  bool SawHist = false;
+  for (const StatisticRegistry::HistEntry &H : Stats.histogramEntries())
+    if (H.Name == "superpin.hist.host.utilization")
+      SawHist = true;
+  EXPECT_TRUE(SawHist);
 }
 
 TEST(Reporting, RunMetricsJsonParsesAndMatchesReport) {
