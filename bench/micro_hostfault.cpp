@@ -1,0 +1,113 @@
+//===- bench/micro_hostfault.cpp - Containment overhead check -------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Asserts that the host fault-containment machinery — the cancellation
+// token checked at every budget gate the worker records, and the timed
+// (rather than untimed) stream waits on the sim thread — costs less than
+// 5% wall time on a fault-free -spmp run. Compares the default watchdog
+// configuration against SpOptions::HostWatchdogOff, which strips both:
+// the recording ledger gets no token and the replayer waits without a
+// deadline. Takes the minimum of N samples of each (minimum, not mean:
+// scheduling noise only ever adds time) and fails loudly when the
+// watchdog-on minimum exceeds the watchdog-off minimum by the budget.
+//
+// A standalone pass/fail binary rather than a google-benchmark harness so
+// CI can run it directly and gate on the exit code:
+//
+//   micro_hostfault              # PASS/FAIL, exit 0/1
+//   micro_hostfault -samples 7 -budget 5.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "superpin/Engine.h"
+#include "support/CommandLine.h"
+#include "support/RawOstream.h"
+#include "support/StringExtras.h"
+#include "tools/Icount.h"
+#include "workloads/Generator.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace spin;
+using namespace spin::tools;
+
+/// Wall-clock seconds consumed by \p Fn.
+template <typename Fn> static double measureSeconds(Fn &&F) {
+  auto T0 = std::chrono::steady_clock::now();
+  F();
+  std::chrono::duration<double> D = std::chrono::steady_clock::now() - T0;
+  return D.count();
+}
+
+int main(int Argc, char **Argv) {
+  OptionRegistry Registry;
+  Opt<uint64_t> Samples(Registry, "samples", 9,
+                        "timed samples per configuration (min-of-N)");
+  Opt<std::string> Budget(Registry, "budget", "5.0",
+                          "maximum containment overhead in percent");
+  Opt<uint64_t> Workers(Registry, "workers", 4, "-spmp worker count");
+  Opt<bool> Help(Registry, "help", false, "print options");
+  std::string Err;
+  if (!Registry.parse(Argc, Argv, Err)) {
+    errs() << "error: " << Err << "\n";
+    return 1;
+  }
+  if (Help) {
+    Registry.printHelp(outs());
+    return 0;
+  }
+  double BudgetPct = std::strtod(Budget.value().c_str(), nullptr);
+
+  // A body-heavy workload with many short slices: the cancellation check
+  // fires at every budget gate the bodies record, so per-gate cost is
+  // what dominates any containment overhead. Big enough that each run is
+  // several hundred ms — a scheduling-noise spike must not read as
+  // containment overhead.
+  workloads::GenParams P;
+  P.Name = "micro-hostfault";
+  P.TargetInsts = 1u << 23;
+  P.NumFuncs = 8;
+  P.BlocksPerFunc = 8;
+  P.WorkingSetBytes = 1 << 16;
+  vm::Program Prog = workloads::generateWorkload(P);
+  os::CostModel Model;
+
+  auto OneRun = [&](bool WithWatchdog) {
+    sp::SpOptions Opts;
+    Opts.SliceMs = 20; // many short slices: maximum dispatch pressure
+    Opts.HostWorkers = static_cast<uint32_t>(uint64_t(Workers));
+    Opts.HostWatchdogMs =
+        WithWatchdog ? 0 : sp::SpOptions::HostWatchdogOff;
+    return measureSeconds([&] {
+      sp::runSuperPin(Prog, makeIcountTool(IcountGranularity::Instruction),
+                      Opts, Model);
+    });
+  };
+
+  // Alternate off/on samples so machine-load drift lands on both sides
+  // equally; min-of-N absorbs the first (cold) pair and any noise spikes
+  // (scheduling noise only ever adds time).
+  double Off = 1e30, On = 1e30;
+  for (uint64_t I = 0; I != uint64_t(Samples); ++I) {
+    Off = std::min(Off, OneRun(false));
+    On = std::min(On, OneRun(true));
+  }
+  double OverheadPct = Off > 0 ? (On - Off) / Off * 100.0 : 0.0;
+
+  outs() << "containment overhead: watchdog-off " << formatFixed(Off, 4)
+         << "s, watchdog-on " << formatFixed(On, 4) << "s -> "
+         << formatFixed(OverheadPct, 2) << "% (budget "
+         << formatFixed(BudgetPct, 1) << "%, min of "
+         << uint64_t(Samples) << " samples, -spmp "
+         << uint64_t(Workers) << ")\n";
+  bool Pass = OverheadPct < BudgetPct;
+  outs() << (Pass ? "PASS" : "FAIL") << ": containment overhead "
+         << (Pass ? "within" : "exceeds") << " budget\n";
+  outs().flush();
+  return Pass ? 0 : 1;
+}

@@ -32,6 +32,7 @@
 #include "tools/OpcodeMix.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -115,6 +116,10 @@ int main(int Argc, char **Argv) {
   Opt<bool> HostStats(Registry, "sphoststats", false,
                       "print the per-worker wall-time attribution table "
                       "(requires -spmp)");
+  Opt<uint64_t> SpHostWatchdog(
+      Registry, "sphostwatchdog", 0,
+      "wall-clock ms before a silent -spmp worker is declared dead and its "
+      "slice re-executes on this thread (0 = wait forever)");
   Opt<bool> SpProf(Registry, "spprof", false,
                    "attribute replay virtual time to overhead causes");
   Opt<std::string> SpProfOut(Registry, "spprof-out", "spprof.json",
@@ -141,10 +146,17 @@ int main(int Argc, char **Argv) {
     HostWorkers = sp::SpOptions::HostWorkersAuto;
   } else {
     char *End = nullptr;
-    unsigned long N = std::strtoul(SpMp.value().c_str(), &End, 10);
+    errno = 0;
+    unsigned long long N = std::strtoull(SpMp.value().c_str(), &End, 10);
     if (End == SpMp.value().c_str() || *End != '\0') {
       errs() << "error: -spmp expects a worker count or \"auto\", got '"
              << SpMp.value() << "'\n";
+      return 1;
+    }
+    // Reject rather than truncate: 4294967297 must not silently become 1.
+    if (errno == ERANGE || N >= sp::SpOptions::HostWorkersAuto) {
+      errs() << "error: -spmp " << SpMp.value()
+             << " overflows the worker count\n";
       return 1;
     }
     HostWorkers = static_cast<uint32_t>(N);
@@ -246,6 +258,7 @@ int main(int Argc, char **Argv) {
   if (SpProf)
     Engine.setProfile(&Profile);
   Engine.setHostWorkers(HostWorkers);
+  Engine.setHostWatchdogMs(SpHostWatchdog);
   obs::TraceRecorder Trace;
   if (!TracePath.value().empty())
     Engine.setTrace(&Trace);
@@ -267,6 +280,12 @@ int main(int Argc, char **Argv) {
   // Gated like superpin_run's host line: -spmp 0 output stays byte-stable.
   if (HostWorkers)
     outs() << "host: " << HostWorkers << " workers\n";
+  if (Rep.HostWorkerExceptions || Rep.HostWatchdogKills ||
+      Rep.HostFallbackSlices)
+    outs() << "host faults: " << Rep.HostWorkerExceptions
+           << " worker exceptions, " << Rep.HostWatchdogKills
+           << " watchdog kills, " << Rep.HostFallbackSlices
+           << " slices re-executed serially\n";
   if (HostStats) {
     const obs::HostAttribution Attr = HostTrace.attribution();
     for (const obs::HostLaneAttribution &L : Attr.Workers) {

@@ -40,6 +40,7 @@
 #include "tools/OpcodeMix.h"
 #include "workloads/Spec2000.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -122,6 +123,17 @@ int main(int Argc, char **Argv) {
                       "per-slice fault-injection probability (0 disables)");
   Opt<uint64_t> SpFaultSeed(Registry, "spfaultseed", 1,
                             "deterministic seed for the fault plan");
+  Opt<double> SpHostFault(Registry, "sphostfault", 0.0,
+                          "per-slice host-fault probability (worker "
+                          "exception/hang/stream truncation; only fires on "
+                          "bodies dispatched under -spmp, 0 disables)");
+  Opt<uint64_t> SpHostWatchdog(
+      Registry, "sphostwatchdog", 0,
+      "wall-clock ms before a silent -spmp worker is declared dead and the "
+      "slice re-executes sim-side (0 = derive from slice length)");
+  Opt<uint64_t> SpHostBreaker(Registry, "sphostbreaker", 3,
+                              "worker failures before -spmp degrades to "
+                              "sim-thread execution for the rest of the run");
   Opt<uint64_t> SpRetries(Registry, "spretries", 2,
                           "re-fork attempts per failed slice window");
   Opt<uint64_t> SpWatchdogMargin(
@@ -235,10 +247,17 @@ int main(int Argc, char **Argv) {
     Opts.HostWorkers = sp::SpOptions::HostWorkersAuto;
   } else {
     char *End = nullptr;
-    unsigned long N = std::strtoul(SpMp.value().c_str(), &End, 10);
+    errno = 0;
+    unsigned long long N = std::strtoull(SpMp.value().c_str(), &End, 10);
     if (End == SpMp.value().c_str() || *End != '\0') {
       errs() << "error: -spmp expects a worker count or \"auto\", got '"
              << SpMp.value() << "'\n";
+      return 1;
+    }
+    // Reject rather than truncate: 4294967297 must not silently become 1.
+    if (errno == ERANGE || N >= sp::SpOptions::HostWorkersAuto) {
+      errs() << "error: -spmp " << SpMp.value()
+             << " overflows the worker count\n";
       return 1;
     }
     Opts.HostWorkers = static_cast<uint32_t>(N);
@@ -259,7 +278,10 @@ int main(int Argc, char **Argv) {
   Opts.Cpi = Info.Cpi;
   Opts.RetryBudget = static_cast<uint32_t>(uint64_t(SpRetries));
   Opts.WatchdogMarginInsts = SpWatchdogMargin;
+  Opts.HostWatchdogMs = SpHostWatchdog;
+  Opts.HostBreakerLimit = static_cast<uint32_t>(uint64_t(SpHostBreaker));
   fault::FaultPlan Plan(SpFaultSeed, SpFault);
+  Plan.setHostRate(SpHostFault);
   if (Plan.enabled())
     Opts.Fault = &Plan;
 
@@ -310,6 +332,13 @@ int main(int Argc, char **Argv) {
              << Rep.HostDispatchedSlices << " bodies dispatched, "
              << formatWithCommas(Rep.HostStreamEvents) << " stream events, "
              << formatFixed(Rep.HostBodySeconds, 3) << "s body wall time\n";
+    if (Rep.HostFaultsInjected || Rep.HostWorkerExceptions ||
+        Rep.HostWatchdogKills || Rep.HostFallbackSlices || Rep.HostDegraded)
+      outs() << "host faults: " << Rep.HostFaultsInjected << " injected, "
+             << Rep.HostWorkerExceptions << " worker exceptions, "
+             << Rep.HostWatchdogKills << " watchdog kills, "
+             << Rep.HostFallbackSlices << " slices fell back to sim"
+             << (Rep.HostDegraded ? ", pool DEGRADED" : "") << "\n";
     if (Rep.FaultsInjected || Rep.RetriedSlices || Rep.QuarantinedSlices ||
         Rep.LostSlices || Rep.BreakerTripped)
       outs() << "faults: " << Rep.FaultsInjected << " injected, "

@@ -26,6 +26,12 @@ const char *spin::fault::faultKindName(FaultKind Kind) {
     return "spill-loss";
   case FaultKind::SliceStall:
     return "slice-stall";
+  case FaultKind::WorkerException:
+    return "worker-exception";
+  case FaultKind::WorkerHang:
+    return "worker-hang";
+  case FaultKind::StreamTruncation:
+    return "stream-truncation";
   }
   return "unknown";
 }
@@ -55,5 +61,34 @@ std::optional<FaultSpec> FaultPlan::forSlice(uint32_t SliceNum) const {
   // ~30% of seeded faults are persistent: they survive every retry and
   // follow the window into quarantine, exercising the whole ladder.
   Spec.FailAttempts = Rng.nextBool(0.3) ? ~0u : 1;
+  return Spec;
+}
+
+std::optional<FaultSpec> FaultPlan::hostForSlice(uint32_t SliceNum) const {
+  auto It = ExplicitHost.find(SliceNum);
+  if (It != ExplicitHost.end())
+    return It->second;
+  if (HostRate <= 0.0)
+    return std::nullopt;
+
+  // A separate salt keeps the host draw independent of the sim draw for
+  // the same (Seed, SliceNum) — adding a host rate never changes which
+  // sim faults fire, so existing seeded sweeps stay bit-stable.
+  SplitMix64 Rng(Seed ^ (uint64_t(SliceNum) * 0x9e3779b97f4a7c15ULL +
+                         0x632be59bd9b4e019ULL));
+  if (!Rng.nextBool(HostRate))
+    return std::nullopt;
+
+  FaultSpec Spec;
+  Spec.Slice = SliceNum;
+  Spec.Kind = static_cast<FaultKind>(
+      NumFaultKinds + static_cast<unsigned>(Rng.nextBelow(NumHostFaultKinds)));
+  // For StreamTruncation: how many charge events survive before the cut.
+  Spec.AtInst = Rng.nextInRange(1, 64);
+  Spec.SysIndex = 0;
+  // Host faults hit the substrate, not the window: a retry (serial
+  // re-execution on the sim thread) always runs clean, so the seeded draw
+  // is transient by construction.
+  Spec.FailAttempts = 1;
   return Spec;
 }

@@ -53,10 +53,42 @@ enum class FaultKind : uint8_t {
   /// The slice stalls: it burns its whole scheduling budget without
   /// retiring instructions until the stall watchdog kills the attempt.
   SliceStall,
+
+  // Host-fault kinds: failures of the *host* execution substrate under
+  // -spmp, not of the simulated slice. They only ever fire on a run that
+  // actually dispatched the slice to a worker (a serial run of the same
+  // seed is the clean baseline containment must reproduce byte-for-byte),
+  // and they are drawn from a separate seeded stream (hostForSlice) so
+  // adding them never perturbs the existing six-kind sim draw.
+
+  /// The worker's slice body throws a C++ exception at body start; the
+  /// host containment layer must catch it, publish a Fail terminal, and
+  /// route recovery through the sim-side ladder.
+  WorkerException,
+  /// The worker hangs (cooperatively: it spins on the cancellation token
+  /// instead of running the body) until the host watchdog cancels it.
+  WorkerHang,
+  /// The worker's charge stream is silently truncated after
+  /// FaultSpec::AtInst events — terminal included — so the sim thread
+  /// starves mid-replay and the watchdog must declare the body dead.
+  StreamTruncation,
 };
 
-/// Number of distinct FaultKind values (for seeded draws and matrices).
+/// Number of distinct sim-side FaultKind values (for seeded draws and
+/// matrices). Host kinds are deliberately outside this range: the seeded
+/// sim draw must stay stable across the host-fault addition.
 inline constexpr unsigned NumFaultKinds = 6;
+
+/// Number of host-fault kinds (WorkerException..StreamTruncation).
+inline constexpr unsigned NumHostFaultKinds = 3;
+
+/// First host-fault kind, for iterating the host range.
+inline constexpr FaultKind FirstHostFaultKind = FaultKind::WorkerException;
+
+/// True for the host-execution fault kinds.
+inline constexpr bool isHostFaultKind(FaultKind Kind) {
+  return static_cast<unsigned>(Kind) >= NumFaultKinds;
+}
 
 /// Stable lower-case name for reports and traces, e.g. "slice-crash".
 const char *faultKindName(FaultKind Kind);
@@ -95,22 +127,45 @@ public:
   FaultPlan(uint64_t Seed, double Rate);
 
   /// Pins \p Spec onto slice Spec.Slice, overriding any seeded draw.
+  /// Host-fault kinds go through addHost() — the two draws are separate
+  /// maps so a slice can carry both a sim fault and a host fault.
   void add(const FaultSpec &Spec) { Explicit[Spec.Slice] = Spec; }
 
-  /// The fault for slice \p SliceNum, if any. Pure: same answer every
-  /// call, independent of call order across slices.
+  /// Pins a host-fault \p Spec (Kind must be a host kind) onto its slice,
+  /// overriding any seeded host draw.
+  void addHost(const FaultSpec &Spec) { ExplicitHost[Spec.Slice] = Spec; }
+
+  /// Sets the seeded host-fault rate; drawn independently of the sim rate
+  /// from a differently-salted PRNG stream.
+  void setHostRate(double R) { HostRate = R; }
+
+  /// The sim-side fault for slice \p SliceNum, if any. Pure: same answer
+  /// every call, independent of call order across slices.
   std::optional<FaultSpec> forSlice(uint32_t SliceNum) const;
 
+  /// The host-execution fault for slice \p SliceNum, if any. Pure, and
+  /// drawn independently of forSlice. Only meaningful on runs that
+  /// dispatch bodies to host workers; serial runs ignore it.
+  std::optional<FaultSpec> hostForSlice(uint32_t SliceNum) const;
+
   /// True when the plan can ever inject a fault.
-  bool enabled() const { return !Explicit.empty() || Rate > 0.0; }
+  bool enabled() const {
+    return !Explicit.empty() || Rate > 0.0 || hostEnabled();
+  }
+
+  /// True when the plan can ever inject a host-execution fault.
+  bool hostEnabled() const { return !ExplicitHost.empty() || HostRate > 0.0; }
 
   uint64_t seed() const { return Seed; }
   double rate() const { return Rate; }
+  double hostRate() const { return HostRate; }
 
 private:
   uint64_t Seed = 0;
   double Rate = 0.0;
+  double HostRate = 0.0;
   std::map<uint32_t, FaultSpec> Explicit;
+  std::map<uint32_t, FaultSpec> ExplicitHost;
 };
 
 } // namespace fault

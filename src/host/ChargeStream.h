@@ -51,12 +51,23 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 namespace spin::host {
+
+/// Monotonic wall clock for host watchdog deadlines, in nanoseconds.
+/// Host time only — never feeds virtual time.
+inline uint64_t monotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// One replayable unit of the recorded virtual-time schedule.
 struct ChargeEvent {
@@ -127,6 +138,26 @@ public:
       NeedHop = false;
     }
     return Head->Events[Consumed % Chunk::Cap];
+  }
+
+  /// Bounded peek: like peek(), but gives up after starving for
+  /// \p TimeoutNs of wall time (host watchdog). Returns nullptr on
+  /// timeout — the stream is untouched and a later peek()/peekFor() may
+  /// still succeed, so a false alarm is recoverable. The timeout clock
+  /// starts only when this wait actually starves (any published event
+  /// resets it), making the watchdog a bound on producer silence, not on
+  /// body length; the non-starved fast path never reads the wall clock.
+  /// C++20 atomic waits have no timed variant, so the starved path polls
+  /// with micro-sleeps — already a slow path, never on fault-free runs.
+  const ChargeEvent *peekFor(uint64_t TimeoutNs) {
+    if (!waitForTimeout(Consumed + 1, TimeoutNs))
+      return nullptr;
+    if (NeedHop) {
+      Head = Head->Next.load(std::memory_order_acquire);
+      assert(Head && "published event but chunk link missing");
+      NeedHop = false;
+    }
+    return &Head->Events[Consumed % Chunk::Cap];
   }
 
   /// True if peek() would not block.
@@ -201,6 +232,35 @@ private:
       StarveHook(false);
   }
 
+  /// Timeout-bounded wait; true when the target published, false when
+  /// the wait starved for \p TimeoutNs first. The deadline is computed
+  /// only after the brief spin fails, so the fast path costs no clock
+  /// read.
+  bool waitForTimeout(uint64_t Target, uint64_t TimeoutNs) {
+    uint64_t P = Published.load(std::memory_order_acquire);
+    if (P >= Target)
+      return true;
+    for (int I = 0; I < 256 && P < Target; ++I)
+      P = Published.load(std::memory_order_acquire);
+    if (P >= Target)
+      return true;
+    if (StarveHook)
+      StarveHook(true);
+    uint64_t DeadlineNs = monotonicNowNs() + TimeoutNs;
+    bool Ok = true;
+    while (P < Target) {
+      if (monotonicNowNs() >= DeadlineNs) {
+        Ok = false;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      P = Published.load(std::memory_order_acquire);
+    }
+    if (StarveHook)
+      StarveHook(false);
+    return Ok;
+  }
+
   // Producer-owned.
   std::vector<std::unique_ptr<Chunk>> Slabs; ///< the per-stream arena
   Chunk *Tail = nullptr;
@@ -245,10 +305,30 @@ public:
     flushRun();
     ChargeEvent T;
     T.EventKind = Failed ? ChargeEvent::Kind::Fail : ChargeEvent::Kind::Done;
-    Out.push(T);
+    emit(T);
   }
 
+  /// Fault injection (StreamTruncation): silently drop every event —
+  /// including the terminal — once \p Events have been pushed. The body
+  /// runs to completion but the consumer starves mid-stream, exactly the
+  /// shape a worker dying between publishes would leave behind.
+  void setTruncateAfter(uint64_t Events) { TruncateAfter = Events; }
+
+  /// True once truncation actually dropped an event — the stream really
+  /// is missing its tail (a body short enough to finish under the
+  /// threshold emits its terminal and the injected fault is a no-op).
+  bool truncated() const { return Dropped; }
+
 private:
+  void emit(const ChargeEvent &E) {
+    if (Pushed >= TruncateAfter) {
+      Dropped = true;
+      return;
+    }
+    ++Pushed;
+    Out.push(E);
+  }
+
   /// Ends the current segment at a boundary (the next check, or finish).
   void closeSegment() {
     if (CurSum == 0) {
@@ -271,7 +351,7 @@ private:
       E.EventKind = ChargeEvent::Kind::Charge;
       E.Sum = CurSum;
       E.Count = 1;
-      Out.push(E);
+      emit(E);
     }
     CurSum = 0;
   }
@@ -283,7 +363,7 @@ private:
     E.EventKind = ChargeEvent::Kind::ChargeRun;
     E.Sum = RunSum;
     E.Count = RunCount;
-    Out.push(E);
+    emit(E);
     RunCount = 0;
   }
 
@@ -292,6 +372,9 @@ private:
   bool CurChecked = false; ///< current segment opened with a gate
   uint64_t RunSum = 0;   ///< pending RLE run of gated segments
   uint32_t RunCount = 0;
+  uint64_t Pushed = 0;   ///< events pushed so far (truncation accounting)
+  uint64_t TruncateAfter = ~uint64_t(0); ///< injected truncation threshold
+  bool Dropped = false;  ///< truncation dropped at least one event
 };
 
 /// Replays a ChargeStream against the slice's real ledger on the
@@ -306,13 +389,29 @@ public:
     NeedBudget, ///< gate refused: yield, resume here next scheduler step
     Done,       ///< terminal Done consumed
     Fail,       ///< terminal Fail consumed
+    Starve,     ///< a wait starved past the timeout: worker presumed dead
   };
 
   /// Replays until the ledger runs dry at a gate or a terminal appears.
   /// May block (host time, never virtual time) waiting for the worker.
-  Step replay(os::TickLedger &Ledger) {
+  /// With a nonzero \p TimeoutNs, any single wait that starves for that
+  /// long with the producer silent returns Step::Starve instead of
+  /// blocking forever — the host watchdog's detection point. The timeout
+  /// bounds producer *silence*, not total body length: it restarts at
+  /// every published event, so a healthy long body never trips it as long
+  /// as it keeps publishing. The replayer stays resumable after a Starve
+  /// (nothing was consumed), so a false alarm is recoverable.
+  Step replay(os::TickLedger &Ledger, uint64_t TimeoutNs = 0) {
     while (true) {
-      const ChargeEvent &E = In.peek();
+      const ChargeEvent *PE;
+      if (TimeoutNs) {
+        PE = In.peekFor(TimeoutNs);
+        if (!PE)
+          return Step::Starve;
+      } else {
+        PE = &In.peek();
+      }
+      const ChargeEvent &E = *PE;
       switch (E.EventKind) {
       case ChargeEvent::Kind::ChargeRun:
         while (RunDone < E.Count) {

@@ -21,6 +21,7 @@
 #ifndef SUPERPIN_HOST_COMPLETIONQUEUE_H
 #define SUPERPIN_HOST_COMPLETIONQUEUE_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -33,6 +34,9 @@ struct SliceCompletion {
   uint32_t SliceNum = 0;     ///< slice (window) number
   uint32_t Worker = 0;       ///< worker index that ran the body
   bool Failed = false;       ///< body ended with a detected failure
+  bool Exception = false;    ///< body threw; containment runs sim-side
+  bool Cancelled = false;    ///< body exited through the cancel token
+  bool Truncated = false;    ///< body's stream was truncated (injection)
   uint64_t StreamEvents = 0; ///< ChargeEvents published (telemetry)
   uint64_t ArenaBytes = 0;   ///< stream arena footprint (telemetry)
   double HostSeconds = 0;    ///< wall-clock seconds the body took
@@ -60,6 +64,21 @@ public:
     SliceCompletion C = It->second;
     Ready.erase(It);
     return C;
+  }
+
+  /// Bounded pop for containment paths: waits at most \p TimeoutMs for
+  /// \p SliceNum's record. True (with \p Out filled) on arrival, false on
+  /// timeout — the caller decides whether a missing record is fatal (a
+  /// genuinely wedged worker) or just slow.
+  bool popFor(uint32_t SliceNum, uint64_t TimeoutMs, SliceCompletion &Out) {
+    std::unique_lock<std::mutex> Lock(M);
+    if (!Cv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs),
+                     [&] { return Ready.count(SliceNum) != 0; }))
+      return false;
+    auto It = Ready.find(SliceNum);
+    Out = It->second;
+    Ready.erase(It);
+    return true;
   }
 
   /// Non-blocking variant for tests and opportunistic drains.

@@ -50,11 +50,21 @@ void WorkerPool::submit(Job J) {
   Cv.notify_one();
 }
 
-unsigned WorkerPool::clampWorkers(unsigned Requested) {
-  if (Requested != ~0u)
-    return Requested;
+unsigned WorkerPool::clampWorkers(unsigned Requested, bool *WasClamped) {
+  if (WasClamped)
+    *WasClamped = false;
   unsigned Hw = std::thread::hardware_concurrency();
-  return Hw == 0 ? 1 : Hw;
+  if (Hw == 0)
+    Hw = 1;
+  if (Requested == ~0u)
+    return Hw;
+  unsigned Cap = Hw > (~0u / MaxWorkersPerCore) ? ~0u
+                                                : Hw * MaxWorkersPerCore;
+  if (Requested <= Cap)
+    return Requested;
+  if (WasClamped)
+    *WasClamped = true;
+  return Cap;
 }
 
 void WorkerPool::workerMain(unsigned Index) {
@@ -96,7 +106,18 @@ void WorkerPool::workerMain(unsigned Index) {
     }
     if (Hook)
       Hook(Index, Seq);
-    Q.J(Ctx);
+    // Last-resort isolation: a job's own containment (the engine's
+    // try/catch around the slice body) should make this unreachable, but
+    // an escape here used to be std::terminate for the whole process. The
+    // job's stream terminal and completion record were already published
+    // (or the sim-side watchdog will declare the slice dead); either way
+    // the worst a swallowed escape can cost is one slice, so recycle the
+    // lane and keep serving.
+    try {
+      Q.J(Ctx);
+    } catch (...) {
+      CaughtExceptions.fetch_add(1, std::memory_order_relaxed);
+    }
     ++Ctx.JobsRun;
     if (Rec) {
       uint64_t End = Rec->nowNs();

@@ -19,6 +19,7 @@
 #ifndef SUPERPIN_HOST_WORKERPOOL_H
 #define SUPERPIN_HOST_WORKERPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -76,9 +77,24 @@ public:
 
   unsigned size() const { return static_cast<unsigned>(Threads.size()); }
 
+  /// Exceptions the pool's last-resort handler has swallowed (see
+  /// workerMain). Nonzero means some job's own containment failed to
+  /// catch — the lane was recycled rather than the process terminated.
+  uint64_t exceptionsCaught() const {
+    return CaughtExceptions.load(std::memory_order_relaxed);
+  }
+
   /// Clamps a requested worker count: "auto" (represented as ~0u) becomes
-  /// std::thread::hardware_concurrency() (at least 1).
-  static unsigned clampWorkers(unsigned Requested);
+  /// std::thread::hardware_concurrency() (at least 1); an explicit request
+  /// is capped at MaxWorkersPerCore x hardware_concurrency() — thousands
+  /// of slice-body threads only ever add context-switch overhead and
+  /// memory, never parallelism. \p WasClamped (optional) reports whether
+  /// the request was reduced, so callers can warn exactly once.
+  static unsigned clampWorkers(unsigned Requested,
+                               bool *WasClamped = nullptr);
+
+  /// Oversubscription cap multiplier used by clampWorkers.
+  static constexpr unsigned MaxWorkersPerCore = 4;
 
 private:
   struct QueuedJob {
@@ -98,6 +114,7 @@ private:
   std::deque<QueuedJob> Queue;
   uint64_t NextJobSeq = 0;
   bool Stopping = false;
+  std::atomic<uint64_t> CaughtExceptions{0};
 };
 
 } // namespace spin::host

@@ -33,6 +33,20 @@ const char *spin::obs::hostSpanName(HostSpanKind K) {
   return "unknown";
 }
 
+const char *spin::obs::hostInstantName(HostInstantKind K) {
+  switch (K) {
+  case HostInstantKind::WorkerException:
+    return "host.fault.exception";
+  case HostInstantKind::WatchdogKill:
+    return "host.fault.watchdog";
+  case HostInstantKind::BodyCancel:
+    return "host.fault.cancel";
+  case HostInstantKind::PoolDegrade:
+    return "host.pool.degrade";
+  }
+  return "unknown";
+}
+
 const char *spin::obs::hostCounterName(HostCounterKind K) {
   switch (K) {
   case HostCounterKind::QueueDepth:
@@ -123,6 +137,24 @@ void HostTraceRecorder::span(unsigned Lane, HostSpanKind K, uint64_t BeginNs,
   ++L.DroppedSpans;
 }
 
+void HostTraceRecorder::instant(unsigned Lane, HostInstantKind K, uint64_t Ns,
+                                uint64_t Arg) {
+  assert(Lane < Lanes.size());
+  struct Lane &L = Lanes[Lane];
+  HostInstant I;
+  I.Ns = Ns;
+  I.Arg = Arg;
+  I.Lane = Lane;
+  I.Kind = K;
+  // Fault markers are rare; reuse the counter ring capacity as the cap.
+  if (L.Instants.size() < CountersPerLane) {
+    L.Instants.push_back(I);
+    return;
+  }
+  L.Instants[L.InstantHead] = I;
+  L.InstantHead = (L.InstantHead + 1) % CountersPerLane;
+}
+
 void HostTraceRecorder::counter(unsigned Lane, HostCounterKind K, uint64_t Ns,
                                 uint64_t Value) {
   assert(Lane < Lanes.size());
@@ -182,6 +214,18 @@ std::vector<HostCounterSample> HostTraceRecorder::counterSnapshot() const {
   }
   std::stable_sort(Out.begin(), Out.end(),
                    [](const HostCounterSample &A, const HostCounterSample &B) {
+                     return A.Ns < B.Ns;
+                   });
+  return Out;
+}
+
+std::vector<HostInstant> HostTraceRecorder::instantSnapshot() const {
+  std::vector<HostInstant> Out;
+  for (const Lane &L : Lanes)
+    for (size_t I = 0; I != L.Instants.size(); ++I)
+      Out.push_back(L.Instants[(L.InstantHead + I) % L.Instants.size()]);
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const HostInstant &A, const HostInstant &B) {
                      return A.Ns < B.Ns;
                    });
   return Out;

@@ -74,6 +74,21 @@ enum class HostCounterKind : uint8_t {
 /// Stable dotted name for \p K (e.g. "host.queue.depth").
 const char *hostCounterName(HostCounterKind K);
 
+/// Host-side point events: fault-containment markers (src/fault host
+/// kinds, the -sphostwatchdog ladder, the host circuit breaker). Instants
+/// carry no duration and never participate in the lane attribution
+/// invariant.
+enum class HostInstantKind : uint8_t {
+  WorkerException, ///< a dispatched body died to a C++ exception
+  WatchdogKill,    ///< sim thread declared a body dead on the wall clock
+  BodyCancel,      ///< a body exited through the cooperative cancel token
+  PoolDegrade,     ///< host circuit breaker degraded the run to sim-thread
+};
+
+/// Stable dotted name for \p K (e.g. "host.fault.watchdog"). Part of the
+/// trace schema; tests pin the names.
+const char *hostInstantName(HostInstantKind K);
+
 /// One recorded wall-clock span, epoch-relative nanoseconds.
 struct HostSpan {
   uint64_t BeginNs = 0;
@@ -87,6 +102,14 @@ struct HostCounterSample {
   uint64_t Ns = 0;
   uint64_t Value = 0;
   HostCounterKind Kind = HostCounterKind::QueueDepth;
+};
+
+/// One recorded point event (epoch-relative ns).
+struct HostInstant {
+  uint64_t Ns = 0;
+  uint64_t Arg = 0; ///< kind-specific payload (slice number, failure count)
+  uint32_t Lane = 0;
+  HostInstantKind Kind = HostInstantKind::WatchdogKill;
 };
 
 /// Per-worker wall-time attribution. All fields in nanoseconds since the
@@ -168,6 +191,11 @@ public:
   void span(unsigned Lane, HostSpanKind K, uint64_t BeginNs, uint64_t EndNs,
             uint64_t Arg = 0);
 
+  /// Point event into \p Lane's ring (fault containment markers). Same
+  /// single-writer-per-lane discipline as span().
+  void instant(unsigned Lane, HostInstantKind K, uint64_t Ns,
+               uint64_t Arg = 0);
+
   /// Counter sample into \p Lane's ring.
   void counter(unsigned Lane, HostCounterKind K, uint64_t Ns, uint64_t Value);
   /// Counter sample into the calling thread's bound lane (no-op when the
@@ -185,6 +213,8 @@ public:
   std::vector<HostSpan> spanSnapshot(unsigned Lane) const;
   /// Retained counter samples across all lanes, sorted by time.
   std::vector<HostCounterSample> counterSnapshot() const;
+  /// Retained point events across all lanes, sorted by time.
+  std::vector<HostInstant> instantSnapshot() const;
 
   /// Lane display name ("worker-3", "sim").
   std::string laneName(unsigned Lane) const;
@@ -202,6 +232,8 @@ private:
     uint64_t DroppedSpans = 0;
     std::vector<HostCounterSample> Counters; ///< ring storage
     size_t CounterHead = 0;
+    std::vector<HostInstant> Instants; ///< ring storage (fault markers)
+    size_t InstantHead = 0;
     uint64_t StartNs = 0;
     uint64_t StopNs = 0;
     // Record-time per-kind totals: exact even when the span ring wraps.

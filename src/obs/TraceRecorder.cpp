@@ -279,6 +279,17 @@ void TraceRecorder::writeChromeTrace(RawOstream &OS, os::Ticks TicksPerMs,
       W.endObject();
       W.endObject();
     }
+    // Fault-containment markers render as thread-scoped instants on the
+    // lane that observed them (worker kills and cancels land on the sim
+    // lane — detection is sim-side).
+    for (const HostInstant &I : Host->instantSnapshot()) {
+      HostEvent(hostInstantName(I.Kind), "i", I.Lane, I.Ns);
+      W.field("s", "t");
+      W.key("args").beginObject();
+      W.field("arg", I.Arg);
+      W.endObject();
+      W.endObject();
+    }
   }
 
   W.endArray();

@@ -39,6 +39,21 @@ Process Process::fork(uint64_t ChildPid) const {
   return Child;
 }
 
+Process Process::snapshot(uint64_t ChildPid) const {
+  Process Child(*Prog);
+  Child.Cpu = Cpu;
+  Child.Mem = Mem.clone();
+  Child.Kern = Kern;
+  Child.Kern.Pid = ChildPid;
+  Child.Status = Status;
+  Child.ExitCode = ExitCode;
+  Child.Threads = Threads;
+  Child.CurThread = CurThread;
+  Child.LiveThreads = LiveThreads;
+  Child.QuantumLeft = QuantumLeft;
+  return Child;
+}
+
 uint64_t Process::spawnThread(uint64_t Pc, uint64_t Sp) {
   ThreadSlot Slot;
   Slot.Cpu.Pc = Pc;

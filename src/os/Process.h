@@ -66,6 +66,13 @@ public:
   /// COW fork. The caller assigns the child's pid.
   Process fork(uint64_t ChildPid) const;
 
+  /// Deep-copy checkpoint: like fork() but with physically duplicated
+  /// memory (GuestMemory::clone), so holding the snapshot cannot change
+  /// which of the source's future writes COW-copy. Used by host-fault
+  /// containment, which must checkpoint without perturbing the virtual
+  /// timeline.
+  Process snapshot(uint64_t ChildPid) const;
+
   const vm::Program &program() const { return *Prog; }
 
   // --- Threads ----------------------------------------------------------

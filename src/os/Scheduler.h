@@ -25,6 +25,7 @@
 
 #include "os/CostModel.h"
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -87,11 +88,21 @@ public:
     Debt -= Used;
   }
 
-  /// True while the task may take another action this step.
+  /// True while the task may take another action this step. A cancelled
+  /// ledger reports no budget at every gate, which is how a host worker's
+  /// body is asked to stop: the body's own budget-check loop exits at its
+  /// next gate without any new unwinding path through the VM.
   bool hasBudget() const {
+    if (Cancel && Cancel->load(std::memory_order_relaxed))
+      return false;
     if (Tap)
       Tap->onCheck();
     return Debt == 0 && Used < Budget;
+  }
+
+  /// True once the attached cancellation token (if any) fired.
+  bool cancelled() const {
+    return Cancel && Cancel->load(std::memory_order_relaxed);
   }
 
   /// Remaining ticks in this step's grant (0 when in debt).
@@ -124,12 +135,20 @@ public:
   /// the scheduler steps directly.
   void setTap(ChargeTap *T) { Tap = T; }
 
+  /// Attaches (or detaches, with nullptr) a cooperative cancellation
+  /// token. Another thread stores true to make every subsequent
+  /// hasBudget() return false; relaxed loads keep the fault-free cost to
+  /// one predicted branch per gate. Only host-parallel recording ledgers
+  /// set this.
+  void setCancelToken(const std::atomic<bool> *T) { Cancel = T; }
+
 private:
   Ticks Debt = 0;
   Ticks Budget = 0;
   Ticks Used = 0;
   Ticks TotalCharged = 0;
   ChargeTap *Tap = nullptr;
+  const std::atomic<bool> *Cancel = nullptr;
 };
 
 /// The discrete-time multiprocessor.

@@ -472,6 +472,12 @@ ReplayReport ReplayEngine::replay(const ToolFactory &Factory,
     // jobs reference the queue and the pending runs.
     host::CompletionQueue Done;
     std::deque<Pending> InFlight;
+    // Runs abandoned by the watchdog. A declared-dead worker may still be
+    // executing its body, so its SliceRun must outlive the pool join;
+    // parking it here (before the pool, destroyed after it) keeps the
+    // zombie's state valid without blocking containment.
+    std::vector<std::unique_ptr<SliceRun>> Zombies;
+    HostCancel.store(false, std::memory_order_relaxed);
     if (HostTrace) {
       // Lanes must exist before the pool threads start; this (calling)
       // thread takes the sim lane for its merge-side waits.
@@ -488,10 +494,36 @@ ReplayReport ReplayEngine::replay(const ToolFactory &Factory,
         Pending P = std::move(InFlight.front());
         InFlight.pop_front();
         uint64_t HB0 = HostTrace ? HostTrace->nowNs() : 0;
-        Done.pop(P.Num);
+        host::SliceCompletion SC;
+        bool Got = HostWatchdogMs ? Done.popFor(P.Num, HostWatchdogMs, SC)
+                                  : (SC = Done.pop(P.Num), true);
         if (HostTrace)
           HostTrace->span(HostTrace->simLane(), obs::HostSpanKind::SimRetire,
                           HB0, HostTrace->nowNs(), P.Num);
+        if (!Got) {
+          // Watchdog: the worker never completed this body. Flag every
+          // cooperative hang to stand down (so the pool can still join),
+          // park the possibly-still-running body's state, and re-execute
+          // the slice from scratch on this thread. The zombie never
+          // reaches finishSlice, so the shared areas only ever see the
+          // serial re-execution — merge order and folds stay exact.
+          HostCancel.store(true, std::memory_order_seq_cst);
+          ++Rep.HostWatchdogKills;
+          ++Rep.HostFallbackSlices;
+          errs() << "replay: slice " << P.Num << " worker timed out after "
+                 << HostWatchdogMs << " ms; re-executing serially\n";
+          Zombies.push_back(std::move(P.Run));
+          Accumulate(replaySlice(Cap.Slices[P.Num], Factory, Areas));
+          return;
+        }
+        if (SC.Exception) {
+          // The body died to a C++ exception on the worker; its partial
+          // state is dead weight. Containment is a fresh serial run.
+          ++Rep.HostWorkerExceptions;
+          ++Rep.HostFallbackSlices;
+          Accumulate(replaySlice(Cap.Slices[P.Num], Factory, Areas));
+          return;
+        }
         Accumulate(finishSlice(*P.Run, Cap.Slices[P.Num], /*HostMode=*/true));
       };
       for (uint32_t Num : Nums) {
@@ -507,7 +539,17 @@ ReplayReport ReplayEngine::replay(const ToolFactory &Factory,
         SliceRun *R = Run.get();
         InFlight.push_back(Pending{Num, std::move(Run)});
         Pool.submit([this, R, Num, &Done](host::WorkerContext &WC) {
-          runSliceBody(*R, Cap.Slices[Num], /*HostThread=*/true);
+          // Exception isolation: a throwing body (or test hook) must not
+          // unwind into the pool lane — it publishes a flagged completion
+          // and the retire loop re-executes the slice serially.
+          bool Threw = false;
+          try {
+            if (HostBodyHook)
+              HostBodyHook(Num);
+            runSliceBody(*R, Cap.Slices[Num], /*HostThread=*/true);
+          } catch (...) {
+            Threw = true;
+          }
           if (HostTrace) {
             WC.BodyEndNs = HostTrace->nowNs();
             WC.BodyArg = Num;
@@ -515,6 +557,8 @@ ReplayReport ReplayEngine::replay(const ToolFactory &Factory,
           host::SliceCompletion C;
           C.SliceNum = Num;
           C.Worker = WC.Worker;
+          C.Failed = Threw;
+          C.Exception = Threw;
           Done.push(C);
         });
       }

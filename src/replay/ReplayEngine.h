@@ -33,6 +33,8 @@
 #include "superpin/SharedAreas.h"
 #include "vm/Interpreter.h"
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -74,6 +76,11 @@ struct ReplayReport {
   uint64_t DuplicatedSyscalls = 0;
   std::string FiniOutput; ///< replay tool's Fini over the merged areas
   std::vector<ReplaySliceResult> Slices;
+
+  // Host fault containment (-spmp only; always 0 on the serial path).
+  uint64_t HostWorkerExceptions = 0; ///< bodies that died to a C++ exception
+  uint64_t HostWatchdogKills = 0;    ///< bodies declared dead on the wall clock
+  uint64_t HostFallbackSlices = 0;   ///< slices re-executed on this thread
 
   bool allOk() const { return ParityFailed == 0; }
 };
@@ -122,6 +129,25 @@ public:
     HostTrace = Recorder;
   }
 
+  /// Host watchdog (-sphostwatchdog): wall-clock milliseconds the retire
+  /// loop waits for a dispatched body's completion before declaring the
+  /// worker dead and re-executing the slice on the calling thread. 0
+  /// (default) waits forever — replay bodies are finite by construction,
+  /// so the watchdog is opt-in here, unlike the live engine.
+  void setHostWatchdogMs(uint64_t Ms) { HostWatchdogMs = Ms; }
+
+  /// Test-only: runs on the worker at body start (before the body loop),
+  /// with the slice number. A throwing hook exercises exception
+  /// containment; a hook that spins until hostCancelRequested() exercises
+  /// the watchdog ladder end to end.
+  void setHostBodyHook(std::function<void(uint32_t)> H) {
+    HostBodyHook = std::move(H);
+  }
+
+  /// Set once the watchdog declares any worker dead. Cooperative hang
+  /// hooks poll it so a contained run can still join its pool cleanly.
+  const std::atomic<bool> &hostCancelRequested() const { return HostCancel; }
+
 private:
   const RunCapture &Cap;
   const os::CostModel &Model;
@@ -131,6 +157,9 @@ private:
   prof::ProfileCollector *Prof = nullptr;
   obs::HostTraceRecorder *HostTrace = nullptr;
   unsigned HostWorkers = 0;
+  uint64_t HostWatchdogMs = 0;
+  std::function<void(uint32_t)> HostBodyHook;
+  std::atomic<bool> HostCancel{false};
   /// The -sptrace-forces-serial warning fired (it prints once per engine).
   bool WarnedSerialTrace = false;
   /// Replay's deterministic clock (replay runs outside the live

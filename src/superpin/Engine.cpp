@@ -57,11 +57,14 @@
 #include "vm/Interpreter.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cmath>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <thread>
 
 using namespace spin;
 using namespace spin::os;
@@ -70,6 +73,13 @@ using namespace spin::sp;
 using namespace spin::vm;
 
 namespace {
+
+/// Pid for the containment checkpoint fork on pool runs without a fault
+/// plan. The checkpoint never executes under this pid (a containment
+/// re-fork reuses the dead attempt's own pid), and it must not consume
+/// Coordinator::NextPid: pids are guest-visible through getpid, so the
+/// draw sequence has to match the -spmp 0 run exactly.
+constexpr uint64_t ContainmentShadowPid = ~uint64_t(0);
 
 /// One syscall the master performed inside a slice's window: either a
 /// recorded-effects playback entry or a "re-execute it yourself" marker
@@ -117,6 +127,11 @@ struct BodyStats {
   uint64_t WastedSliceInsts = 0;
   uint64_t WatchdogKills = 0;
   uint64_t PlaybackDivergences = 0;
+  /// Faults this window's plan actually fired (0 or 1; noteFaultFired's
+  /// FaultCounted latch). Routed through BodyStats because the firing
+  /// point may run on a worker thread: writing Report.FaultsInjected
+  /// there would race the sim thread.
+  uint64_t FaultsFired = 0;
   // Dead-attempt VM statistics folded at failAttempt (a retry rebuilds
   // the VM, so they must be banked before it dies).
   uint64_t TracesCompiled = 0;
@@ -225,6 +240,17 @@ struct Coordinator {
   uint32_t ClosedWindows = 0;
   uint32_t FailedWindows = 0;
 
+  // --- Host fault containment (meaningful only with Pool) ---------------
+  /// Resolved -sphostwatchdog deadline in nanoseconds: how long the sim
+  /// thread lets a dispatched body's charge stream starve before
+  /// declaring the worker dead.
+  uint64_t HostWatchdogNs = 0;
+  /// Worker deaths and watchdog kills so far (host breaker input).
+  uint32_t HostFailures = 0;
+  /// Host breaker tripped: no further bodies are dispatched; every later
+  /// window runs on the sim thread.
+  bool HostDegraded = false;
+
   bool allMerged() const { return MergedCount == Slices.size(); }
 
   void sliceEnded() {
@@ -256,6 +282,27 @@ struct Coordinator {
     }
   }
 
+  /// A dispatched body died (worker exception, cancelled hang, truncated
+  /// stream). After SpOptions::HostBreakerLimit of them, stop dispatching
+  /// and degrade the rest of the run to sim-thread execution with a
+  /// single warning; in-flight bodies drain naturally. Output is
+  /// byte-identical either way — containment already re-executed every
+  /// dead body's window serially, so degradation only changes which host
+  /// thread runs future bodies.
+  void noteHostFailure() {
+    ++HostFailures;
+    if (HostDegraded || HostFailures < Opts.HostBreakerLimit)
+      return;
+    HostDegraded = true;
+    Report.HostDegraded = true;
+    errs() << "superpin: host circuit breaker tripped after " << HostFailures
+           << " worker failures; degrading -spmp to sim-thread execution "
+              "(output is unaffected)\n";
+    if (HostTr)
+      HostTr->instant(HostTr->simLane(), obs::HostInstantKind::PoolDegrade,
+                      HostTr->nowNs(), HostFailures);
+  }
+
   void sliceMerged();
 };
 
@@ -271,8 +318,14 @@ public:
       Prof = &C.Prof->slice(Num);
     BodyProf = Prof;
     Tb = C.Tr;
-    if (C.Fault)
+    if (C.Fault) {
       Fault = C.Fault->forSlice(Num);
+      // Host-substrate faults hit dispatched bodies only: without a pool
+      // the draw is pointless (and the serial run of the same flags is
+      // the containment tests' byte-identity baseline).
+      if (C.Pool)
+        HostFault = C.Fault->hostForSlice(Num);
+    }
     Services.emplace(C.Areas, Num);
     ToolInst = C.Factory(*Services);
     Vm.emplace(Proc, C.Model, ToolInst.get(), PrivateCache,
@@ -290,7 +343,12 @@ public:
     Proc.Mem.discardRange(AddressLayout::BubbleBase,
                           SpBubblePages * vm::PageSize);
     // Fault runs: checkpoint the post-bubble start state so a failed
-    // attempt can re-fork exactly what the first attempt saw.
+    // attempt can re-fork exactly what the first attempt saw. Pool runs
+    // without a plan take their containment checkpoint at dispatch time
+    // instead (dispatchHostBody) — as a deep copy, because a COW fork
+    // held across the body would inflate page use counts and change
+    // which writes take the charged copy-on-write path, breaking
+    // -spmp/-spmp 0 byte identity.
     if (C.Fault)
       StartState.emplace(Proc.fork(C.NextPid++));
     Services->setEndSliceHook([this] { Vm->requestStop(); });
@@ -349,9 +407,15 @@ public:
     CountedRunning = true;
     // Host-parallel mode: hand the body to a worker thread. Stall-fault
     // slices stay on the sim thread — an injected stall burns whatever
-    // budget the current step granted, which only exists sim-side.
-    if (C.Pool && !faultArmed(fault::FaultKind::SliceStall))
-      dispatchHostBody();
+    // budget the current step granted, which only exists sim-side. A
+    // tripped host breaker keeps every later body sim-side too. Either
+    // way the degradation is counted, never silent.
+    if (C.Pool) {
+      if (!C.HostDegraded && !faultArmed(fault::FaultKind::SliceStall))
+        dispatchHostBody();
+      else
+        ++C.Report.HostFallbackSlices;
+    }
     C.Sched.wake(C.SliceIds[Num]);
   }
 
@@ -453,6 +517,20 @@ private:
   /// Worker-local attribution; folded into the lane profile at retire.
   std::optional<prof::SliceProfile> HostProf;
 
+  // --- Host fault containment state (src/fault host kinds, -spmp) -------
+  /// Injected host-substrate fault for this slice (worker-exception,
+  /// worker-hang, stream-truncation), drawn at construction and armed at
+  /// dispatch. Null without a plan, a host rate, or a pool.
+  std::optional<fault::FaultSpec> HostFault;
+  /// Cooperative cancellation token. The sim thread sets it when the
+  /// host watchdog declares this body dead; the worker's recording
+  /// ledger checks it at every budget gate (TickLedger::setCancelToken),
+  /// so the body exits at its next gate with no new unwinding path.
+  std::atomic<bool> HostCancel{false};
+  /// Set by the worker at body entry. Until then the job is only queued,
+  /// and a starving replay is backpressure the watchdog must not punish.
+  std::atomic<bool> HostBodyStarted{false};
+
   // --- Fault state (inert unless C.Fault) -------------------------------
   std::optional<fault::FaultSpec> Fault; ///< this slice's planned fault
   bool FaultCounted = false;  ///< FaultsInjected incremented already
@@ -473,7 +551,8 @@ private:
     if (FaultCounted)
       return;
     FaultCounted = true;
-    ++C.Report.FaultsInjected;
+    // Via BodyStats, not Report: the firing point may be on a worker.
+    ++BS.FaultsFired;
   }
 
   static PinVmConfig makeConfig(Coordinator &C, uint32_t Num) {
@@ -536,11 +615,26 @@ private:
           // a sim-thread execution would have hit. When the replay
           // outruns the worker's published events, the stream's starve
           // hook (set at dispatch) records a SimReplay span; worker idle
-          // time overlapping those spans becomes merge-wait.
-          host::StreamReplayer::Step R = Replayer->replay(Ledger);
+          // time overlapping those spans becomes merge-wait. A wait that
+          // starves past the host watchdog deadline means the worker is
+          // dead (hung, truncated stream, or silently gone): contain it
+          // and re-execute the window here.
+          host::StreamReplayer::Step R =
+              Replayer->replay(Ledger, C.HostWatchdogNs);
           if (R == host::StreamReplayer::Step::NeedBudget)
             return TaskStatus::Runnable;
-          retireHostBody(R == host::StreamReplayer::Step::Fail);
+          if (R == host::StreamReplayer::Step::Starve) {
+            // Only a body that actually started can be hung. A job still
+            // sitting in the pool queue (backlog, adversarial dispatch
+            // delays, CPU oversubscription) is backpressure, not a fault:
+            // keep waiting — other sim-side tasks run in the meantime.
+            if (!HostBodyStarted.load(std::memory_order_acquire))
+              return TaskStatus::Runnable;
+            containAfterStarve();
+            return TaskStatus::Runnable; // Body re-runs sim-side next step.
+          }
+          if (retireHostBody(R == host::StreamReplayer::Step::Fail))
+            return TaskStatus::Runnable; // Contained: same deal.
         } else {
           runSlice();
         }
@@ -1026,6 +1120,14 @@ private:
   /// here until retireHostBody the worker owns Proc/Vm/Tool/Window/BS and
   /// the sim thread only replays the recorded charge stream.
   void dispatchHostBody() {
+    // Containment checkpoint: if a worker dies mid-body, the window is
+    // re-executed sim-side from this state. Fault runs already hold the
+    // ctor checkpoint; otherwise take a DEEP copy — it shares no pages,
+    // so unlike fork() it cannot inflate COW use counts and perturb the
+    // body's charged copy sequence. The copy is pure host-side work: no
+    // virtual time, no pid draw (getpid must match the -spmp 0 run).
+    if (!StartState)
+      StartState.emplace(Proc.snapshot(ContainmentShadowPid));
     Stream.emplace();
     Rec.emplace(*Stream);
     Replayer.emplace(*Stream);
@@ -1035,6 +1137,13 @@ private:
     // pass, recording where the budget gates were; real budgeting
     // happens when the sim thread replays the stream.
     RecLedger.beginStep(~Ticks(0));
+    // Cancellation token: once the sim thread flips it, every budget
+    // gate the body reaches returns false and runSlice exits cleanly.
+    // Pointless without the watchdog (nothing ever flips it), so a
+    // disabled watchdog also skips the per-gate token check.
+    HostCancel.store(false, std::memory_order_relaxed);
+    HostBodyStarted.store(false, std::memory_order_relaxed);
+    RecLedger.setCancelToken(C.HostWatchdogNs ? &HostCancel : nullptr);
     ExecLedger = &RecLedger;
     CurLedger = &RecLedger; // Memory events now fire on the worker.
     Tb = nullptr;           // Recorder and sim clock are off-limits there.
@@ -1046,6 +1155,16 @@ private:
     }
     HostActive = true;
     ++C.Report.HostDispatchedSlices;
+    // Arm the injected host fault (sim thread, deterministic). Exception
+    // and hang fire unconditionally once dispatched, so they count here;
+    // truncation only counts if it actually cuts the stream, which the
+    // completion record reports at containment time.
+    if (HostFault) {
+      if (HostFault->Kind == fault::FaultKind::StreamTruncation)
+        Rec->setTruncateAfter(HostFault->AtInst);
+      else
+        ++C.Report.HostFaultsInjected;
+    }
     if (C.HostTr) {
       // Arena-growth samples land in the lane of whichever worker runs
       // the body (counterHere resolves the thread binding); the in-flight
@@ -1081,20 +1200,55 @@ private:
   /// retire-time pop doubles as the barrier for freeing the arena.
   void hostBody(host::WorkerContext &WC) {
     auto T0 = std::chrono::steady_clock::now();
-    installDetection();
-    runSlice();
+    // From here on a starving replay may legitimately blame this body;
+    // while it was only queued, starvation was the sim thread's own
+    // backlog. Release pairs with the watchdog's acquire load.
+    HostBodyStarted.store(true, std::memory_order_release);
+    bool Threw = false;
+    bool Hung = false;
+    if (HostFault && HostFault->Kind == fault::FaultKind::WorkerHang) {
+      // Injected hang: the body goes silent without publishing anything,
+      // exactly the shape of a deadlocked or livelocked worker. It
+      // spins until the sim-side watchdog cancels it — the test of the
+      // whole detection ladder, not of the body.
+      while (!HostCancel.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      Hung = true;
+    } else {
+      try {
+        if (HostFault && HostFault->Kind == fault::FaultKind::WorkerException)
+          throw std::runtime_error("injected worker exception");
+        installDetection();
+        runSlice();
+      } catch (...) {
+        // Exception isolation: a body that throws (tool bug, bad_alloc,
+        // injected) is contained to this slice. The stream gets a
+        // terminal Fail and the completion record carries the flag; the
+        // sim thread re-executes the window serially.
+        Threw = true;
+      }
+    }
     bool BodyFailed = AttemptFailed;
+    // A cancel-token exit leaves the body unfinished with no sim-side
+    // failure: runSlice returned because every gate went dry, not
+    // because the window ended or a sim fault fired.
+    bool Cancelled = Hung || (!Threw && !BodyFailed && !EndReached &&
+                              HostCancel.load(std::memory_order_acquire));
+    bool Contained = Threw || Cancelled;
     if (C.HostTr) {
       // Everything after this stamp (stream finish, completion publish)
       // is the job's retire tail; the pool splits the job span here.
       WC.BodyEndNs = C.HostTr->nowNs();
       WC.BodyArg = Num;
     }
-    Rec->finish(BodyFailed);
+    Rec->finish(BodyFailed || Contained);
     host::SliceCompletion SC;
     SC.SliceNum = Num;
     SC.Worker = WC.Worker;
-    SC.Failed = BodyFailed;
+    SC.Failed = BodyFailed || Contained;
+    SC.Exception = Threw;
+    SC.Cancelled = Cancelled;
+    SC.Truncated = Rec->truncated();
     SC.StreamEvents = Stream->eventCount();
     SC.ArenaBytes = Stream->arenaBytes();
     SC.HostSeconds =
@@ -1106,23 +1260,18 @@ private:
                             C.HostTr->addCompletionDepth(+1));
   }
 
-  /// Sim-side retire: the replayed stream reached its terminal, so the
-  /// worker has already made its last touch of this slice's state (the
-  /// completion pop proves it has returned). Restores sim-thread
-  /// plumbing and folds worker-local attribution into the lane profile.
-  void retireHostBody(bool BodyFailed) {
-    uint64_t HB0 = C.HostTr ? C.HostTr->nowNs() : 0;
-    host::SliceCompletion SC = C.Completion.pop(Num);
+  /// Folds a completion record's host telemetry into the run report and
+  /// updates the sim-lane gauges. Shared by the retire and containment
+  /// paths; \p PopNs stamps when the completion pop began.
+  void foldHostCompletion(const host::SliceCompletion &SC, uint64_t PopNs) {
     if (C.HostTr) {
-      C.HostTr->span(C.HostTr->simLane(), obs::HostSpanKind::SimRetire, HB0,
+      C.HostTr->span(C.HostTr->simLane(), obs::HostSpanKind::SimRetire, PopNs,
                      C.HostTr->nowNs(), Num);
       C.HostTr->counterHere(obs::HostCounterKind::CompletionDepth,
                             C.HostTr->addCompletionDepth(-1));
       --C.HostInFlight;
       C.HostTr->counterHere(obs::HostCounterKind::InFlight, C.HostInFlight);
     }
-    assert(SC.Failed == BodyFailed && "stream/completion disagree");
-    (void)BodyFailed;
     C.Report.HostStreamEvents += SC.StreamEvents;
     C.Report.HostArenaBytes = std::max(C.Report.HostArenaBytes, SC.ArenaBytes);
     C.Report.HostBodySeconds += SC.HostSeconds;
@@ -1131,19 +1280,151 @@ private:
       ++WS.Bodies;
       WS.BodySeconds += SC.HostSeconds;
     }
+  }
+
+  /// Restores sim-thread plumbing after the worker's last touch of this
+  /// slice's state (proved by the completion pop). \p DeadAttempt: the
+  /// body died without a sim-side failAttempt (exception or cancel), so
+  /// its worker-local attribution has not been re-judged as waste yet.
+  void restoreSimPlumbing(bool DeadAttempt) {
     Stream->releaseArena();
     HostActive = false;
     ExecLedger = &Ledger;
     CurLedger = &Ledger; // Mid-step: the rest of this step is sim-side.
     Tb = C.Tr;
     if (Prof) {
+      if (DeadAttempt) {
+        // The worker-local profile holds only this attempt's charges; an
+        // empty rewind base re-judges all of it as recovery waste (the
+        // same delta failAttempt computes on the worker).
+        prof::SliceProfile Empty;
+        HostProf->rewindAttempt(Empty);
+      }
       Prof->foldAttribution(*HostProf);
       Vm->setProfSink(Prof);
       HostProf.reset();
       BodyProf = Prof;
     }
     // The trace sink stays detached: a clean body's VM never runs again,
-    // and a failed one is rebuilt by beginAttempt with full sim plumbing.
+    // and a failed one is rebuilt (beginAttempt / containHostBody) with
+    // full sim plumbing.
+  }
+
+  /// Sim-side retire: the replayed stream reached its terminal, so the
+  /// worker has already made its last touch of this slice's state (the
+  /// completion pop proves it has returned). Returns true when the body
+  /// was contained (worker died; the window re-executes sim-side).
+  bool retireHostBody(bool BodyFailed) {
+    uint64_t HB0 = C.HostTr ? C.HostTr->nowNs() : 0;
+    host::SliceCompletion SC = C.Completion.pop(Num);
+    assert(SC.Failed == BodyFailed && "stream/completion disagree");
+    (void)BodyFailed;
+    foldHostCompletion(SC, HB0);
+    // A failed stream without a sim-side failure means the worker itself
+    // died (exception, or a cancel that raced a late finish) rather than
+    // the attempt: contain it instead of running the recovery ladder.
+    bool Contained = SC.Failed && !AttemptFailed;
+    restoreSimPlumbing(Contained);
+    if (Contained)
+      containHostBody(SC);
+    return Contained;
+  }
+
+  /// The replay starved past the host watchdog deadline: the worker is
+  /// hung, its stream was truncated, or it died without a terminal.
+  /// Cancel the body, wait (bounded) for the worker's completion record
+  /// — the barrier proving its last touch of this slice — then contain.
+  void containAfterStarve() {
+    HostCancel.store(true, std::memory_order_seq_cst);
+    ++C.Report.HostWatchdogKills;
+    if (C.HostTr)
+      C.HostTr->instant(C.HostTr->simLane(), obs::HostInstantKind::WatchdogKill,
+                        C.HostTr->nowNs(), Num);
+    // Generous drain bound: a cancelled worker only needs to reach its
+    // next budget gate and publish its completion record. Expiry means
+    // the worker is wedged beyond cooperative recovery (e.g. stuck
+    // inside a tool call that never charges); the slice state it owns
+    // can never be reclaimed safely, so this is fatal by design — the
+    // process must not silently corrupt or deadlock instead.
+    uint64_t DrainMs = C.Opts.hostWatchdogDeadlineMs() * 4 + 1000;
+    uint64_t HB0 = C.HostTr ? C.HostTr->nowNs() : 0;
+    host::SliceCompletion SC;
+    if (!C.Completion.popFor(Num, DrainMs, SC))
+      reportFatalError("slice " + std::to_string(Num) +
+                       ": worker unresponsive to cancellation after " +
+                       std::to_string(DrainMs) + " ms; cannot contain");
+    foldHostCompletion(SC, HB0);
+    // A worker that failed its attempt sim-side (terminal truncated away)
+    // already re-judged its own attribution in failAttempt.
+    restoreSimPlumbing(/*DeadAttempt=*/!AttemptFailed);
+    containHostBody(SC);
+  }
+
+  /// Containment core: the dispatched body is dead and the worker has
+  /// retired (completion popped, arena released, plumbing restored).
+  /// Classifies and counts the failure, then re-executes the window on
+  /// the sim thread as the SAME attempt: no retry budget is consumed, no
+  /// pid is drawn, and the window's body-side counters restart from
+  /// zero, so sim-fault behaviour, retry ladders, pid draws, and tool
+  /// output all match the -spmp 0 run of the same seed exactly. At most
+  /// one containment per slice is possible (a body is dispatched once),
+  /// so this cannot loop.
+  void containHostBody(const host::SliceCompletion &SC) {
+    if (SC.Truncated)
+      ++C.Report.HostFaultsInjected; // counted only when it actually cut
+    if (SC.Exception)
+      ++C.Report.HostWorkerExceptions;
+    if (SC.Cancelled)
+      ++C.Report.HostCancelledBodies;
+    ++C.Report.HostFallbackSlices;
+    C.noteHostFailure();
+    if (C.HostTr && (SC.Exception || SC.Cancelled))
+      C.HostTr->instant(C.HostTr->simLane(),
+                        SC.Exception ? obs::HostInstantKind::WorkerException
+                                     : obs::HostInstantKind::BodyCancel,
+                        C.HostTr->nowNs(), Num);
+    // The dead body's work is waste. Its replayed charge prefix already
+    // advanced this slice's virtual clock and stays charged (the honest
+    // cost of the failure — virtual timing legitimately differs from a
+    // clean serial run; tool output does not). Reset the window's
+    // body-side counters so the re-execution recounts playback /
+    // duplication / COW exactly as -spmp 0 would; only the fault-fired
+    // latch survives the reset (FaultCounted stays set, so a sim fault
+    // the dead body fired is still counted exactly once).
+    uint64_t FaultsFired = BS.FaultsFired;
+    uint64_t DeadRetired = Vm->retired();
+    BS = BodyStats();
+    BS.FaultsFired = FaultsFired;
+    BS.WastedSliceInsts = DeadRetired;
+    Info.PlayedBackSyscalls = 0;
+    Info.DuplicatedSyscalls = 0;
+    Ledger.charge(C.Model.SliceKillCost);
+    if (Prof)
+      Prof->charge(prof::Cause::RetryWaste, C.Model.SliceKillCost);
+    // Rebuild from the checkpoint, reusing the dead attempt's own pid:
+    // getpid is guest-visible and duplicable, so the re-execution must
+    // observe exactly the pid the -spmp 0 body would have.
+    uint64_t Pid = Proc.Kern.Pid;
+    AttemptFailed = false;
+    Vm.reset();
+    ToolInst.reset();
+    Services.reset();
+    PrivateCache.flush();
+    Proc = StartState->fork(Pid);
+    Proc.Mem.setListener(this);
+    Services.emplace(C.Areas, Num);
+    Services->setEndSliceHook([this] { Vm->requestStop(); });
+    ToolInst = C.Factory(*Services);
+    Vm.emplace(Proc, C.Model, ToolInst.get(), PrivateCache,
+               makeConfig(C, Num));
+    ToolInst->onSliceBegin(Num);
+    SysPos = 0;
+    EndReached = false;
+    StallTicks = 0;
+    if (Prof)
+      AttemptBase.emplace(*Prof); // Fresh rewind point, waste included.
+    if (!Relaxed) // Dispatched routes are always Live, but stay uniform.
+      installDetection();
   }
 
   /// Folds the body's accumulated report deltas into the run report.
@@ -1167,6 +1448,9 @@ private:
     C.Report.RecompileTicks += BS.RecompileTicks;
     C.Report.ReduxSavedTicks += BS.ReduxSavedTicks;
     C.Report.SigCheckDistHist.mergeFrom(BS.SigCheckDist);
+    // Sim faults fired by dispatched bodies fold in here rather than at
+    // the firing point, which may be on a worker thread.
+    C.Report.FaultsInjected += BS.FaultsFired;
     BS = BodyStats();
   }
 
@@ -1775,9 +2059,22 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   // virtual timeline (bodies record, the sim thread replays), so every
   // worker count produces the same report modulo the Host* telemetry.
   if (Opts.HostWorkers != 0) {
+    bool Clamped = false;
     unsigned N = Opts.HostWorkers == SpOptions::HostWorkersAuto
                      ? host::WorkerPool::clampWorkers(~0u)
-                     : Opts.HostWorkers;
+                     : host::WorkerPool::clampWorkers(Opts.HostWorkers,
+                                                      &Clamped);
+    if (Clamped)
+      errs() << "superpin: -spmp " << Opts.HostWorkers << " clamped to " << N
+             << " (4x hardware concurrency); more threads than that only "
+                "add scheduling overhead\n";
+    // Host watchdog: how long the sim thread lets a dispatched body's
+    // charge stream starve before declaring the worker dead. 0 = derive
+    // from the slice length and virtual watchdog margin (SpOptions);
+    // HostWatchdogOff = untimed waits and no cancellation plumbing.
+    C.HostWatchdogNs = Opts.HostWatchdogMs == SpOptions::HostWatchdogOff
+                           ? 0
+                           : Opts.hostWatchdogDeadlineMs() * 1'000'000ull;
     if (Opts.HostTrace) {
       // Lanes must exist before the first pool thread starts; the sim
       // thread binds to the extra lane for its merge-side spans.
@@ -1812,6 +2109,10 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   // every worker lane, after which the merged wall-clock attribution can
   // be folded in (worker idle overlapping sim blocked spans = merge-wait).
   if (C.Pool) {
+    // Exceptions that escaped a body wrapper (e.g. thrown while publishing
+    // the completion) are caught at the pool lane level; fold them in so
+    // the report never silently under-counts worker deaths.
+    Report.HostWorkerExceptions += C.Pool->exceptionsCaught();
     C.Pool.reset();
     if (C.HostTr) {
       C.HostTr->laneStopped(C.HostTr->simLane(), C.HostTr->nowNs());

@@ -141,6 +141,24 @@ struct SpRunReport {
   /// window failure rate crossed SpOptions::BreakerFailRate.
   bool BreakerTripped = false;
 
+  // --- Host fault containment (src/host + src/fault, -spmp) -------------
+  // All zero when HostWorkers == 0. Deterministic under seeded injection:
+  // host faults are drawn per slice from the plan, and containment always
+  // converges to the serial result, so these counters are bit-stable run
+  // to run for a fixed seed.
+  uint64_t HostFaultsInjected = 0;  ///< host-fault specs that actually fired
+  uint64_t HostWorkerExceptions = 0; ///< bodies that threw (caught + contained)
+  uint64_t HostWatchdogKills = 0;   ///< bodies declared dead on the wall clock
+  uint64_t HostCancelledBodies = 0; ///< bodies that exited via the cancel token
+  /// Slices that fell back from host to sim-thread execution for any
+  /// reason: stall-fault dispatch suppression, containment re-execution,
+  /// or post-degrade serial execution (satellite: no silent degradation).
+  uint64_t HostFallbackSlices = 0;
+  /// The host circuit breaker tripped: after SpOptions::HostBreakerLimit
+  /// worker deaths/timeouts the run degraded from -spmp to sim-thread
+  /// execution (one warning, byte-identical output).
+  bool HostDegraded = false;
+
   // --- Signature mechanism (§4.4) ---------------------------------------
   SignatureStats Signature;
 

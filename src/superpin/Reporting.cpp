@@ -98,6 +98,17 @@ void spin::sp::printHostStats(const SpRunReport &Report, RawOstream &OS) {
      << Report.HostDispatchedSlices << " bodies dispatched, "
      << Report.HostStreamEvents << " stream events, "
      << formatFixed(Report.HostBodySeconds, 3) << "s body wall time\n";
+  // Containment line only when something actually went wrong (or was
+  // injected), so healthy -spmp reports are unchanged.
+  if (Report.HostFaultsInjected || Report.HostWorkerExceptions ||
+      Report.HostWatchdogKills || Report.HostCancelledBodies ||
+      Report.HostFallbackSlices || Report.HostDegraded)
+    OS << "host faults: " << Report.HostFaultsInjected << " injected, "
+       << Report.HostWorkerExceptions << " worker exceptions, "
+       << Report.HostWatchdogKills << " watchdog kills, "
+       << Report.HostCancelledBodies << " bodies cancelled, "
+       << Report.HostFallbackSlices << " slices fell back to sim, pool "
+       << (Report.HostDegraded ? "DEGRADED" : "healthy") << "\n";
   bool HaveAttr = !Report.HostAttr.Workers.empty();
   Table T;
   T.addColumn("worker", Table::Align::Left);
@@ -201,6 +212,12 @@ void spin::sp::exportStatistics(const SpRunReport &Report,
     Stats.counter("host.arena.peakbytes") = Report.HostArenaBytes;
     Stats.counter("host.body.us") =
         static_cast<uint64_t>(Report.HostBodySeconds * 1e6);
+    Stats.counter("host.fault.injected") = Report.HostFaultsInjected;
+    Stats.counter("host.fault.exceptions") = Report.HostWorkerExceptions;
+    Stats.counter("host.fault.watchdogkills") = Report.HostWatchdogKills;
+    Stats.counter("host.fault.cancelled") = Report.HostCancelledBodies;
+    Stats.counter("host.fault.degraded") = Report.HostDegraded ? 1 : 0;
+    Stats.counter("superpin.host.fallback") = Report.HostFallbackSlices;
     if (!Report.HostAttr.Workers.empty()) {
       Stats.counter("host.pool.lifetime.ns") = Report.HostAttr.PoolLifetimeNs;
       Stats.counter("host.attr.body.ns") =

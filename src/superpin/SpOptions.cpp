@@ -51,5 +51,20 @@ std::string SpOptions::validate() const {
     return "circuit-breaker failure rate must be within [0, 1]";
   if (Fault && Fault->enabled() && Fault->rate() > 1.0)
     return "-spfault rate must be within [0, 1]";
+  // -sphostfault without -spmp is deliberately legal: host faults only
+  // hit dispatched bodies, so the serial run of the same flags never
+  // fires them — it is the byte-identity baseline the containment tests
+  // compare against.
+  if (Fault && Fault->hostRate() > 1.0)
+    return "-sphostfault rate must be within [0, 1]";
+  if (HostWatchdogMs != 0 && HostWorkers == 0)
+    return "-sphostwatchdog requires -spmp (there is no host execution to "
+           "watch on the serial path)";
+  if (HostWatchdogMs == HostWatchdogOff && Fault && Fault->hostEnabled())
+    return "disabling the host watchdog with host faults armed would "
+           "deadlock on the first injected hang or truncation";
+  if (HostBreakerLimit == 0)
+    return "host circuit-breaker limit must be at least 1 (0 would degrade "
+           "to serial before the first body ran; use -spmp 0 instead)";
   return {};
 }

@@ -188,6 +188,35 @@ struct SpOptions {
   double BreakerFailRate = 0.5;
   uint32_t BreakerMinWindows = 8;
 
+  // --- Host fault containment (-spmp robustness) ------------------------
+  /// -sphostwatchdog: wall-clock milliseconds the sim thread will starve
+  /// on a dispatched body's charge stream before declaring the worker
+  /// dead, cancelling the body, and re-executing the slice serially. 0
+  /// (the default) derives a deadline from the virtual watchdog margin:
+  /// 500ms + SliceMs * max(1, WatchdogMarginInsts / 1000). A false alarm
+  /// is correctness-safe (containment re-executes and stays
+  /// byte-identical); only wall time and fault counters change.
+  /// HostWatchdogOff disables the watchdog entirely — untimed stream
+  /// waits and no cancellation token — for debugger sessions where every
+  /// worker looks hung, and for benchmarking the containment machinery
+  /// itself. A disabled watchdog cannot contain a hung or silent worker.
+  uint64_t HostWatchdogMs = 0;
+  /// Sentinel for HostWatchdogMs: disable the host watchdog.
+  static constexpr uint64_t HostWatchdogOff = ~uint64_t(0);
+  /// Host circuit breaker: after this many worker deaths or watchdog
+  /// timeouts in one run, stop dispatching bodies to the pool and degrade
+  /// to sim-thread (serial) execution for the rest of the run, with a
+  /// single warning. Output stays byte-identical throughout.
+  uint32_t HostBreakerLimit = 3;
+
+  /// Resolved -sphostwatchdog deadline in milliseconds (never 0).
+  uint64_t hostWatchdogDeadlineMs() const {
+    if (HostWatchdogMs)
+      return HostWatchdogMs;
+    uint64_t Scale = WatchdogMarginInsts / 1000;
+    return 500 + SliceMs * (Scale ? Scale : 1);
+  }
+
   /// Checks the option set for values the engine cannot honour
   /// (-spslices 0, -spmsec 0, -spsysrecs overflow, invalid -spmp worker
   /// counts, ...). Returns an empty string when valid, otherwise a

@@ -21,6 +21,14 @@ GuestMemory GuestMemory::fork() const {
   return Child;
 }
 
+GuestMemory GuestMemory::clone() const {
+  GuestMemory Child;
+  Child.Pages.reserve(Pages.size());
+  for (const auto &[PageNum, Ptr] : Pages)
+    Child.Pages.emplace(PageNum, std::make_shared<Page>(*Ptr));
+  return Child;
+}
+
 std::vector<std::shared_ptr<const void>> GuestMemory::pinPages() const {
   std::vector<std::shared_ptr<const void>> Pins;
   Pins.reserve(Pages.size());

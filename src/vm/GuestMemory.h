@@ -55,6 +55,14 @@ public:
   /// the page-table copy; page contents are copied lazily on write.
   GuestMemory fork() const;
 
+  /// Deep copy: every page is physically duplicated, so the clone holds
+  /// no references into this memory and cannot perturb any COW use
+  /// count. O(pages * PageSize). This is what host-fault containment
+  /// checkpoints use — a fork() would keep the source's pages shared for
+  /// the checkpoint's lifetime and silently change which writes take the
+  /// (charged) copy-on-write path.
+  GuestMemory clone() const;
+
   /// Sets the event listener (not inherited by fork()).
   void setListener(MemoryEventListener *NewListener) {
     Listener = NewListener;

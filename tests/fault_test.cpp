@@ -364,6 +364,35 @@ TEST(Determinism, DisabledPlanIsIdenticalToNoPlan) {
   EXPECT_EQ(reportText(Bare).find("fault"), std::string::npos);
 }
 
+TEST(Determinism, SimFaultMatrixIsByteIdenticalUnderHostWorkers) {
+  // Every sim-side fault kind must recover identically whether the slice
+  // bodies run on the sim thread or on -spmp workers: the fault fires in
+  // the recorded charge stream, the retry ladder runs sim-side either way,
+  // and virtual time may not notice which thread executed the body.
+  for (unsigned K = 0; K != NumFaultKinds; ++K) {
+    FaultPlan Plan;
+    Plan.add(transientSpec(static_cast<FaultKind>(K)));
+    SpRunReport Serial = runWithPlan(&Plan);
+    for (uint32_t Workers : {2u, 4u}) {
+      SCOPED_TRACE(std::string(faultKindName(static_cast<FaultKind>(K))) +
+                   " x -spmp " + std::to_string(Workers));
+      SpOptions Opts = faultOptions();
+      Opts.HostWorkers = Workers;
+      SpRunReport Host = runWithPlan(&Plan, Opts);
+      EXPECT_EQ(Host.FiniOutput, Serial.FiniOutput);
+      EXPECT_EQ(Host.Output, Serial.Output);
+      EXPECT_EQ(Host.WallTicks, Serial.WallTicks);
+      EXPECT_EQ(Host.ExitCode, Serial.ExitCode);
+      EXPECT_EQ(Host.CoverageInsts, Serial.CoverageInsts);
+      EXPECT_EQ(Host.PartitionOk, Serial.PartitionOk);
+      EXPECT_EQ(Host.FaultsInjected, Serial.FaultsInjected);
+      EXPECT_EQ(Host.RecoveredSlices, Serial.RecoveredSlices);
+      EXPECT_EQ(Host.LostSlices, Serial.LostSlices);
+      expectAccounted(Host);
+    }
+  }
+}
+
 // --- SpOptions::validate() ------------------------------------------------
 
 TEST(Validation, DefaultOptionsAreValid) {

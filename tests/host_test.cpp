@@ -34,6 +34,7 @@
 #include <functional>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -281,7 +282,9 @@ TEST(HostParallel, FiniMatrixIsByteIdenticalAcrossWorkerCounts) {
         SpRunReport Host =
             runSuperPin(Prog, T.Make(), hostOptions(Name, Workers), Model);
         expectIdentical(Serial, Host);
-        EXPECT_EQ(Host.HostWorkers, Workers);
+        // Explicit counts are clamped to 4x hardware concurrency, so on
+        // small CI machines -spmp 8 may come up with fewer lanes.
+        EXPECT_EQ(Host.HostWorkers, WorkerPool::clampWorkers(Workers));
         EXPECT_GT(Host.HostDispatchedSlices, 0u);
       }
     }
@@ -354,6 +357,152 @@ TEST(HostParallel, FaultLadderMatchesSerialRecovery) {
   }
 }
 
+// --- Host fault containment ------------------------------------------------
+
+/// The identity channels a *contained* run must still reproduce against the
+/// serial run of the same flags. WallTicks is deliberately absent: the sim
+/// thread charges SliceKillCost for the contained host attempt, a price the
+/// serial baseline (whose pool never exists) does not pay.
+void expectContainedIdentical(const SpRunReport &Serial,
+                              const SpRunReport &Host) {
+  EXPECT_EQ(Host.FiniOutput, Serial.FiniOutput);
+  EXPECT_EQ(Host.Output, Serial.Output);
+  EXPECT_EQ(Host.ExitCode, Serial.ExitCode);
+  EXPECT_EQ(Host.NumSlices, Serial.NumSlices);
+  EXPECT_EQ(Host.CoverageInsts, Serial.CoverageInsts);
+  EXPECT_EQ(Host.PartitionOk, Serial.PartitionOk);
+}
+
+fault::FaultSpec hostFaultSpec(fault::FaultKind Kind, uint32_t Slice) {
+  fault::FaultSpec S;
+  S.Kind = Kind;
+  S.Slice = Slice;
+  S.AtInst = 5; // StreamTruncation: drop the stream after five events
+  return S;
+}
+
+SpRunReport runGzip(const SpOptions &Opts) {
+  CostModel Model;
+  Program Prog =
+      workloads::buildWorkload(workloads::findWorkload("gzip"), 0.1);
+  return runSuperPin(Prog, makeIcountTool(IcountGranularity::BasicBlock),
+                     Opts, Model);
+}
+
+TEST(HostFault, WorkerExceptionIsContainedByteIdentical) {
+  fault::FaultPlan Plan;
+  Plan.addHost(hostFaultSpec(fault::FaultKind::WorkerException, 1));
+  SpOptions SerialOpts = hostOptions("gzip", 0);
+  SerialOpts.Fault = &Plan;
+  SpRunReport Serial = runGzip(SerialOpts);
+  // Host faults model the execution substrate: without a pool there is
+  // nothing to fail, so the serial run of the same flags is clean.
+  EXPECT_EQ(Serial.HostFaultsInjected, 0u);
+  EXPECT_TRUE(Serial.PartitionOk);
+  for (uint32_t Workers : {2u, 4u, 8u}) {
+    SCOPED_TRACE("-spmp " + std::to_string(Workers));
+    SpOptions HostOpts = hostOptions("gzip", Workers);
+    HostOpts.Fault = &Plan;
+    SpRunReport Host = runGzip(HostOpts);
+    expectContainedIdentical(Serial, Host);
+    EXPECT_EQ(Host.HostFaultsInjected, 1u);
+    EXPECT_EQ(Host.HostWorkerExceptions, 1u);
+    EXPECT_GE(Host.HostFallbackSlices, 1u);
+    EXPECT_FALSE(Host.HostDegraded);
+  }
+}
+
+TEST(HostFault, HungWorkerIsKilledWithinTheWatchdogDeadline) {
+  fault::FaultPlan Plan;
+  Plan.addHost(hostFaultSpec(fault::FaultKind::WorkerHang, 1));
+  SpOptions SerialOpts = hostOptions("gzip", 0);
+  SerialOpts.Fault = &Plan;
+  SpRunReport Serial = runGzip(SerialOpts);
+  for (uint32_t Workers : {2u, 4u, 8u}) {
+    SCOPED_TRACE("-spmp " + std::to_string(Workers));
+    SpOptions HostOpts = hostOptions("gzip", Workers);
+    HostOpts.Fault = &Plan;
+    HostOpts.HostWatchdogMs = 50;
+    auto T0 = std::chrono::steady_clock::now();
+    SpRunReport Host = runGzip(HostOpts);
+    double Secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+    expectContainedIdentical(Serial, Host);
+    EXPECT_EQ(Host.HostFaultsInjected, 1u);
+    EXPECT_EQ(Host.HostWatchdogKills, 1u);
+    EXPECT_GE(Host.HostCancelledBodies, 1u);
+    EXPECT_GE(Host.HostFallbackSlices, 1u);
+    // The deadline is 50ms and the hung body polls the cancel token at
+    // millisecond granularity; anything near this bound means the run
+    // deadlocked on the dead worker rather than containing it. Generous
+    // for loaded CI and sanitizer builds.
+    EXPECT_LT(Secs, 30.0) << "containment stalled the run";
+  }
+}
+
+TEST(HostFault, TruncatedStreamStarvesReplayAndIsContained) {
+  fault::FaultPlan Plan;
+  Plan.addHost(hostFaultSpec(fault::FaultKind::StreamTruncation, 1));
+  SpOptions SerialOpts = hostOptions("gzip", 0);
+  SerialOpts.Fault = &Plan;
+  SpRunReport Serial = runGzip(SerialOpts);
+  for (uint32_t Workers : {2u, 4u}) {
+    SCOPED_TRACE("-spmp " + std::to_string(Workers));
+    SpOptions HostOpts = hostOptions("gzip", Workers);
+    HostOpts.Fault = &Plan;
+    HostOpts.HostWatchdogMs = 50;
+    SpRunReport Host = runGzip(HostOpts);
+    expectContainedIdentical(Serial, Host);
+    EXPECT_EQ(Host.HostFaultsInjected, 1u);
+    EXPECT_EQ(Host.HostWatchdogKills, 1u);
+    EXPECT_GE(Host.HostFallbackSlices, 1u);
+  }
+}
+
+TEST(HostFault, BreakerDegradesPoolToSimExecution) {
+  fault::FaultPlan Plan;
+  Plan.addHost(hostFaultSpec(fault::FaultKind::WorkerException, 0));
+  SpOptions SerialOpts = hostOptions("gzip", 0);
+  SerialOpts.Fault = &Plan;
+  SpRunReport Serial = runGzip(SerialOpts);
+  SpOptions HostOpts = hostOptions("gzip", 4);
+  HostOpts.Fault = &Plan;
+  HostOpts.HostBreakerLimit = 1;
+  SpRunReport Host = runGzip(HostOpts);
+  expectContainedIdentical(Serial, Host);
+  EXPECT_TRUE(Host.HostDegraded);
+  EXPECT_EQ(Host.HostWorkerExceptions, 1u);
+  // Every slice either went to the pool or fell back to the sim thread
+  // (the contained slice did both), and the degraded pool stopped taking
+  // new bodies.
+  EXPECT_GE(Host.HostDispatchedSlices + Host.HostFallbackSlices,
+            uint64_t(Host.NumSlices));
+  EXPECT_LT(Host.HostDispatchedSlices, uint64_t(Host.NumSlices));
+}
+
+TEST(HostFault, SeededHostFaultSweepMatchesSerialOutput) {
+  for (uint64_t Seed : {3u, 9u}) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    // Sim faults and host faults together: the sim ladder fires in both
+    // runs, the host ladder only under -spmp, and the outputs must agree.
+    fault::FaultPlan Plan(Seed, /*Rate=*/0.3);
+    Plan.setHostRate(0.5);
+    SpOptions SerialOpts = hostOptions("gzip", 0);
+    SerialOpts.Fault = &Plan;
+    SpRunReport Serial = runGzip(SerialOpts);
+    SpOptions HostOpts = hostOptions("gzip", 4);
+    HostOpts.Fault = &Plan;
+    HostOpts.HostWatchdogMs = 100;
+    SpRunReport Host = runGzip(HostOpts);
+    expectContainedIdentical(Serial, Host);
+    EXPECT_EQ(Host.FaultsInjected, Serial.FaultsInjected);
+    EXPECT_EQ(Host.LostSlices, Serial.LostSlices);
+    EXPECT_GT(Host.HostFaultsInjected, 0u)
+        << "seed drew no host faults; containment was not exercised";
+  }
+}
+
 // --- Option validation ----------------------------------------------------
 
 TEST(HostParallel, ValidateRejectsImplausibleWorkerCounts) {
@@ -411,6 +560,82 @@ TEST(HostParallel, ReplayMatchesSerialReplayExactly) {
     EXPECT_EQ(Host.PlaybackSyscalls, Serial.PlaybackSyscalls);
     EXPECT_EQ(Host.DuplicatedSyscalls, Serial.DuplicatedSyscalls);
   }
+}
+
+// --- Replay host-fault containment ---------------------------------------
+
+replay::RunCapture captureVpr() {
+  CostModel Model;
+  Program Prog =
+      workloads::buildWorkload(workloads::findWorkload("vpr"), 0.1);
+  replay::CaptureWriter Writer;
+  SpOptions Opts;
+  Opts.SliceMs = 50;
+  Opts.Cpi = workloads::findWorkload("vpr").Cpi;
+  Opts.Capture = &Writer;
+  SpRunReport Live = runSuperPin(
+      Prog, makeIcountTool(IcountGranularity::BasicBlock), Opts, Model);
+  EXPECT_TRUE(Live.PartitionOk);
+  return Writer.take();
+}
+
+TEST(HostParallel, ReplayContainsThrowingWorkerBodies) {
+  CostModel Model;
+  replay::RunCapture Cap = captureVpr();
+  ASSERT_GT(Cap.Slices.size(), 2u);
+  replay::ReplayEngine SerialEngine(Cap, Model);
+  replay::ReplayReport Serial = SerialEngine.replayAll(
+      makeIcountTool(IcountGranularity::BasicBlock));
+
+  replay::ReplayEngine HostEngine(Cap, Model);
+  HostEngine.setHostWorkers(4);
+  HostEngine.setHostBodyHook([](uint32_t Num) {
+    if (Num == 1)
+      throw std::runtime_error("injected replay body fault");
+  });
+  replay::ReplayReport Host = HostEngine.replayAll(
+      makeIcountTool(IcountGranularity::BasicBlock));
+  EXPECT_EQ(Host.HostWorkerExceptions, 1u);
+  EXPECT_EQ(Host.HostFallbackSlices, 1u);
+  // The serial re-execution restores full parity: the contained slice is
+  // indistinguishable from one that replayed on a worker.
+  EXPECT_EQ(Host.FiniOutput, Serial.FiniOutput);
+  EXPECT_EQ(Host.ParityOk, Serial.ParityOk);
+  EXPECT_EQ(Host.ParityFailed, 0u);
+  EXPECT_EQ(Host.ReplayedInsts, Serial.ReplayedInsts);
+}
+
+TEST(HostParallel, ReplayWatchdogRecoversHungWorker) {
+  CostModel Model;
+  replay::RunCapture Cap = captureVpr();
+  ASSERT_GT(Cap.Slices.size(), 2u);
+  replay::ReplayEngine SerialEngine(Cap, Model);
+  replay::ReplayReport Serial = SerialEngine.replayAll(
+      makeIcountTool(IcountGranularity::BasicBlock));
+
+  replay::ReplayEngine HostEngine(Cap, Model);
+  HostEngine.setHostWorkers(2);
+  HostEngine.setHostWatchdogMs(50);
+  // A cooperative hang: the body spins until the watchdog's cancellation
+  // request, so the pool can still join cleanly after containment.
+  HostEngine.setHostBodyHook([&HostEngine](uint32_t Num) {
+    if (Num != 1)
+      return;
+    while (!HostEngine.hostCancelRequested().load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  auto T0 = std::chrono::steady_clock::now();
+  replay::ReplayReport Host = HostEngine.replayAll(
+      makeIcountTool(IcountGranularity::BasicBlock));
+  double Secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  EXPECT_EQ(Host.HostWatchdogKills, 1u);
+  EXPECT_EQ(Host.HostFallbackSlices, 1u);
+  EXPECT_EQ(Host.FiniOutput, Serial.FiniOutput);
+  EXPECT_EQ(Host.ParityOk, Serial.ParityOk);
+  EXPECT_EQ(Host.ParityFailed, 0u);
+  EXPECT_LT(Secs, 30.0) << "the hung worker stalled replay";
 }
 
 } // namespace
