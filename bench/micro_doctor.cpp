@@ -1,0 +1,116 @@
+//===- bench/micro_doctor.cpp - Tracing + diagnosis overhead check --------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Asserts that the critical-path diagnosis layer costs less than 5% wall
+// time on an -spmp run: the "on" side attaches a TraceRecorder (stitched
+// per-slice staging on the parallel path) and runs the spin_doctor
+// analysis over the finished report; the "off" side runs the same engine
+// configuration bare. Min-of-N with alternating samples, like the other
+// micro_* gates (minimum, not mean: scheduling noise only ever adds
+// time).
+//
+// A standalone pass/fail binary so CI can gate on the exit code:
+//
+//   micro_doctor               # PASS/FAIL, exit 0/1
+//   micro_doctor -samples 7 -budget 5.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Doctor.h"
+#include "obs/TraceRecorder.h"
+#include "superpin/Engine.h"
+#include "superpin/Reporting.h"
+#include "support/CommandLine.h"
+#include "support/RawOstream.h"
+#include "support/StringExtras.h"
+#include "tools/Icount.h"
+#include "workloads/Generator.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace spin;
+using namespace spin::tools;
+
+/// Wall-clock seconds consumed by \p Fn.
+template <typename Fn> static double measureSeconds(Fn &&F) {
+  auto T0 = std::chrono::steady_clock::now();
+  F();
+  std::chrono::duration<double> D = std::chrono::steady_clock::now() - T0;
+  return D.count();
+}
+
+int main(int Argc, char **Argv) {
+  OptionRegistry Registry;
+  Opt<uint64_t> Samples(Registry, "samples", 9,
+                        "timed samples per configuration (min-of-N)");
+  Opt<std::string> Budget(Registry, "budget", "5.0",
+                          "maximum tracing+diagnosis overhead in percent");
+  Opt<uint64_t> Workers(Registry, "workers", 4, "-spmp worker count");
+  Opt<bool> Help(Registry, "help", false, "print options");
+  std::string Err;
+  if (!Registry.parse(Argc, Argv, Err)) {
+    errs() << "error: " << Err << "\n";
+    return 1;
+  }
+  if (Help) {
+    Registry.printHelp(outs());
+    return 0;
+  }
+  double BudgetPct = std::strtod(Budget.value().c_str(), nullptr);
+
+  // A body-heavy workload with many short slices: every trace event on the
+  // parallel path rides the per-slice staging buffers and the merge-order
+  // stitch, so this configuration maximizes the machinery under test.
+  workloads::GenParams P;
+  P.Name = "micro-doctor";
+  P.TargetInsts = 1u << 23;
+  P.NumFuncs = 8;
+  P.BlocksPerFunc = 8;
+  P.WorkingSetBytes = 1 << 16;
+  vm::Program Prog = workloads::generateWorkload(P);
+  os::CostModel Model;
+
+  auto OneRun = [&](bool WithDiagnosis) {
+    sp::SpOptions Opts;
+    Opts.SliceMs = 20; // many short slices: maximum staging pressure
+    Opts.HostWorkers = static_cast<uint32_t>(uint64_t(Workers));
+    obs::TraceRecorder Rec;
+    if (WithDiagnosis)
+      Opts.Trace = &Rec;
+    return measureSeconds([&] {
+      sp::SpRunReport Rep = sp::runSuperPin(
+          Prog, makeIcountTool(IcountGranularity::Instruction), Opts, Model);
+      if (WithDiagnosis) {
+        obs::DoctorReport Diag = obs::diagnose(sp::doctorInput(Rep, Opts));
+        // Consume the diagnosis so the analysis cannot be optimized away.
+        if (!Diag.Valid)
+          std::exit(1);
+      }
+    });
+  };
+
+  // Alternate off/on samples so machine-load drift lands on both sides
+  // equally; min-of-N absorbs the first (cold) pair and any noise spikes.
+  double Off = 1e30, On = 1e30;
+  for (uint64_t I = 0; I != uint64_t(Samples); ++I) {
+    Off = std::min(Off, OneRun(false));
+    On = std::min(On, OneRun(true));
+  }
+  double OverheadPct = Off > 0 ? (On - Off) / Off * 100.0 : 0.0;
+
+  outs() << "doctor overhead: bare " << formatFixed(Off, 4)
+         << "s, traced+diagnosed " << formatFixed(On, 4) << "s -> "
+         << formatFixed(OverheadPct, 2) << "% (budget "
+         << formatFixed(BudgetPct, 1) << "%, min of " << uint64_t(Samples)
+         << " samples, -spmp " << uint64_t(Workers) << ")\n";
+  bool Pass = OverheadPct < BudgetPct;
+  outs() << (Pass ? "PASS" : "FAIL") << ": stitched tracing + diagnosis "
+         << (Pass ? "within" : "exceeds") << " budget\n";
+  outs().flush();
+  return Pass ? 0 : 1;
+}

@@ -33,6 +33,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Doctor.h"
 #include "obs/HostTraceRecorder.h"
 #include "obs/Metrics.h"
 #include "pin/Runner.h"
@@ -93,6 +94,13 @@ struct WorkloadRun {
   double HostBodyShare = 0.0;
   double HostUtilizationPct = 0.0;
   std::string HostDominantStall;
+  // spin_doctor critical-path diagnosis of the profiled SuperPin run,
+  // plus the predicted-vs-actual check: the Amdahl model's wall at 2x
+  // parallelism against a real re-run at doubled -spslices (both
+  // deterministic virtual ticks, so the baseline could gate them).
+  obs::DoctorReport Doctor;
+  os::Ticks ActualWall2x = 0;
+  double ActualSpeedup2x = 0.0;
   prof::ProfileCollector Profile;
   StatisticRegistry Metrics;
 };
@@ -285,6 +293,24 @@ WorkloadRun runWorkload(const workloads::WorkloadInfo &Info, double Scale,
   }
   sp::exportStatistics(Rep, R.Metrics);
   R.Profile.exportStatistics(R.Metrics);
+
+  // Doctor diagnosis of the profiled run, then the honesty check: re-run
+  // with the parallelism knob actually doubled and compare the measured
+  // wall against the Amdahl prediction. Virtual ticks are deterministic,
+  // so predicted-vs-actual is a property of the model, not the machine.
+  R.Doctor = obs::diagnose(sp::doctorInput(Rep, Opts));
+  {
+    sp::SpOptions Opts2x;
+    Opts2x.Cpi = Info.Cpi;
+    Opts2x.MaxSlices = Opts.MaxSlices * 2;
+    sp::SpRunReport Rep2x = sp::runSuperPin(
+        Prog, tools::makeIcountTool(tools::IcountGranularity::BasicBlock),
+        Opts2x, Model);
+    R.ActualWall2x = Rep2x.WallTicks;
+    if (Rep2x.WallTicks)
+      R.ActualSpeedup2x = static_cast<double>(R.SpTicks) /
+                          static_cast<double>(Rep2x.WallTicks);
+  }
 
   if (HostWorkers) {
     R.HostWorkers = HostWorkers;
@@ -556,6 +582,35 @@ int main(int Argc, char **Argv) {
         W.field("host_utilization_pct", R.HostUtilizationPct);
         W.field("host_body_share", R.HostBodyShare);
         W.field("host_dominant_stall", R.HostDominantStall);
+      }
+      // spin_doctor summary: where the critical path says the time went
+      // and whether its scaling prediction held up against the doubled-
+      // parallelism re-run. critical_coverage must stay ~1.0 (the path
+      // partitions [0, wall] exactly); predicted-vs-actual quantifies the
+      // Amdahl model's honesty per workload.
+      if (R.Doctor.Valid) {
+        W.key("doctor").beginObject();
+        W.field("critical_ticks",
+                static_cast<uint64_t>(R.Doctor.CriticalTicks));
+        W.field("critical_coverage",
+                R.Doctor.WallTicks
+                    ? static_cast<double>(R.Doctor.CriticalTicks) /
+                          static_cast<double>(R.Doctor.WallTicks)
+                    : 0.0);
+        W.field("serial_fraction", R.Doctor.SerialFraction);
+        if (!R.Doctor.Bottlenecks.empty())
+          W.field("top_bottleneck", R.Doctor.Bottlenecks.front().Kind);
+        W.field("predicted_wall_2x_ticks",
+                static_cast<uint64_t>(R.Doctor.PredictedWall2x));
+        W.field("predicted_speedup_2x", R.Doctor.PredictedSpeedup2x);
+        W.field("actual_wall_2x_ticks",
+                static_cast<uint64_t>(R.ActualWall2x));
+        W.field("actual_speedup_2x", R.ActualSpeedup2x);
+        W.key("recommended_flags").beginArray();
+        for (const std::string &F : R.Doctor.RecommendedFlags)
+          W.value(F);
+        W.endArray();
+        W.endObject();
       }
       W.key("attribution");
       writeAttribution(W, R.Profile);

@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "host/WorkerPool.h"
+#include "obs/Doctor.h"
 #include "obs/HostTraceRecorder.h"
 #include "obs/TraceRecorder.h"
 #include "prof/Profile.h"
@@ -108,7 +109,8 @@ int main(int Argc, char **Argv) {
                         "and fini output are identical for every value)");
   Opt<std::string> TracePath(Registry, "sptrace", "",
                              "write a Chrome-trace JSON of replay's virtual "
-                             "timeline (forces serial replay under -spmp)");
+                             "timeline (byte-identical for every -spmp "
+                             "value)");
   Opt<std::string> HostTracePath(
       Registry, "sphosttrace", "",
       "write a dual-axis Chrome-trace JSON with per-worker wall-clock "
@@ -127,6 +129,11 @@ int main(int Argc, char **Argv) {
                              "<path>.folded)");
   Opt<uint64_t> SpProfTopN(Registry, "spprof-topn", 20,
                            "hot blocks to keep in the spprof-v1 export");
+  Opt<bool> SpDoctor(Registry, "spdoctor", false,
+                     "print the spin_doctor diagnosis of the replay (serial "
+                     "prepare/body chain, what host workers would buy)");
+  Opt<std::string> SpDoctorOut(Registry, "spdoctor-out", "",
+                               "write the spdoctor-v1 JSON diagnosis here");
   Opt<bool> Help(Registry, "help", false, "print options");
 
   std::string Err;
@@ -176,13 +183,6 @@ int main(int Argc, char **Argv) {
               "worker pool to observe on the serial path)\n";
     return 1;
   }
-  if (!HostTracePath.value().empty() && !TracePath.value().empty()) {
-    errs() << "error: -sphosttrace cannot be combined with -sptrace here: "
-              "-sptrace forces serial replay, which has no worker pool to "
-              "observe\n";
-    return 1;
-  }
-
   replay::LogDiagnosis Diag;
   std::vector<uint32_t> Skipped;
   std::optional<replay::RunCapture> Cap =
@@ -316,13 +316,29 @@ int main(int Argc, char **Argv) {
     writeFile(TracePath, [&](RawOstream &OS) {
       Trace.writeChromeTrace(OS, Model.TicksPerMs);
     });
-  // The host trace stands alone here: the virtual recorder is never
-  // attached alongside it (it would force replay serial), so the file
-  // carries only the pid-2 wall-clock axis.
+  // Dual-axis export: when -sptrace is also given the file carries the
+  // deterministic virtual axis (pid 1) next to the wall-clock axis
+  // (pid 2); otherwise only the host axis has events.
   if (!HostTracePath.value().empty())
     writeFile(HostTracePath, [&](RawOstream &OS) {
       Trace.writeChromeTrace(OS, Model.TicksPerMs, &HostTrace);
     });
+  if (SpDoctor || !SpDoctorOut.value().empty()) {
+    obs::ReplayDoctorInput In;
+    In.WallTicks = Rep.WallTicks;
+    In.HostWorkers = HostWorkers;
+    for (const replay::ReplaySliceResult &R : Rep.Slices)
+      In.Slices.push_back({R.Num, R.PrepTicks, R.BodyTicks});
+    obs::DoctorReport Diag = obs::diagnoseReplay(In);
+    if (SpDoctor) {
+      outs() << "\n";
+      obs::printDoctorReport(Diag, Model.TicksPerMs, outs());
+    }
+    if (!SpDoctorOut.value().empty())
+      writeFile(SpDoctorOut, [&](RawOstream &OS) {
+        obs::writeDoctorJson(Diag, Model.TicksPerMs, OS);
+      });
+  }
   if (SpProf) {
     writeFile(SpProfOut, [&](RawOstream &OS) {
       Profile.writeJson(OS, static_cast<unsigned>(uint64_t(SpProfTopN)));

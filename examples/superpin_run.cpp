@@ -173,6 +173,16 @@ int main(int Argc, char **Argv) {
                            "hot blocks to keep in the spprof-v1 export");
   Opt<std::string> StatsJsonPath(Registry, "stats-json", "",
                                  "dump the final statistics registry as JSON");
+  Opt<bool> SpDoctor(Registry, "spdoctor", false,
+                     "print the spin_doctor critical-path diagnosis (top "
+                     "bottlenecks, predicted scaling, recommended flags)");
+  Opt<std::string> SpDoctorOut(Registry, "spdoctor-out", "",
+                               "write the spdoctor-v1 JSON diagnosis here");
+  Opt<std::string> SpFlightRec(
+      Registry, "spflightrec", "",
+      "arm the postmortem flight recorder: a containment event, breaker "
+      "trip, or watchdog kill dumps a trace/counters/doctor bundle into "
+      "this directory (clean runs write nothing)");
   Opt<bool> Help(Registry, "help", false, "print options");
   Opt<bool> List(Registry, "list", false, "list available workloads");
 
@@ -297,6 +307,7 @@ int main(int Argc, char **Argv) {
     Opts.HostTrace = &HostTrace;
   if (SpProf)
     Opts.Profile = &Profile;
+  Opts.FlightDir = SpFlightRec;
   if (std::string Bad = Opts.validate(); !Bad.empty()) {
     errs() << "error: " << Bad << "\n";
     return 1;
@@ -379,6 +390,17 @@ int main(int Argc, char **Argv) {
         Profile.exportStatistics(Stats);
       obs::writeRegistryJson(Stats, OS);
     });
+  if (SpDoctor || !SpDoctorOut.value().empty()) {
+    obs::DoctorReport Diag = obs::diagnose(sp::doctorInput(Rep, Opts));
+    if (SpDoctor) {
+      outs() << "\n";
+      obs::printDoctorReport(Diag, Model.TicksPerMs, outs());
+    }
+    if (!SpDoctorOut.value().empty())
+      writeFile(SpDoctorOut, [&](RawOstream &OS) {
+        obs::writeDoctorJson(Diag, Model.TicksPerMs, OS);
+      });
+  }
   WriteProfile();
   outs().flush();
   return 0;

@@ -47,6 +47,7 @@
 #ifndef SUPERPIN_HOST_CHARGESTREAM_H
 #define SUPERPIN_HOST_CHARGESTREAM_H
 
+#include "obs/TraceRecorder.h"
 #include "os/Scheduler.h"
 
 #include <atomic>
@@ -76,10 +77,25 @@ struct ChargeEvent {
     Charge,    ///< ungated charge of Sum ticks
     Done,      ///< body finished normally (window end reached)
     Fail,      ///< body detected a slice failure (recovery runs sim-side)
+    Gate,      ///< standalone budget-gate (no charge; precedes a Trace
+               ///< marker whose gating check charged nothing yet)
+    Trace,     ///< trace marker: Sum = event arg, Count = packed
+               ///< obs::EventKind | obs::EventPhase << 8 (see packTrace)
   };
   uint64_t Sum = 0;
   uint32_t Count = 0;
   Kind EventKind = Kind::ChargeRun;
+
+  /// Packs a trace marker's kind/phase into the Count field.
+  static uint32_t packTrace(obs::EventKind K, obs::EventPhase Ph) {
+    return static_cast<uint32_t>(K) | (static_cast<uint32_t>(Ph) << 8);
+  }
+  obs::EventKind traceKind() const {
+    return static_cast<obs::EventKind>(Count & 0xff);
+  }
+  obs::EventPhase tracePhase() const {
+    return static_cast<obs::EventPhase>((Count >> 8) & 0xff);
+  }
 };
 
 /// Unbounded chunked single-producer/single-consumer event stream.
@@ -297,6 +313,34 @@ public:
     CurSum += Cost;
   }
 
+  /// Interleaves a trace marker into the stream at its exact position in
+  /// the canonical check/charge sequence. The replayer re-emits it on the
+  /// sim thread stamped with the replay-position virtual clock — which is
+  /// exactly the timestamp (and ring position) the serial engine would
+  /// have produced, so traces stay byte-identical across worker counts.
+  void noteTrace(obs::EventKind K, obs::EventPhase Ph, uint64_t Arg) {
+    // If the segment's opening check has gated no charge yet, the marker
+    // needs an explicit Gate: folding it into a later ChargeRun would
+    // stamp it one step early whenever the preceding charges exactly
+    // exhausted the budget.
+    bool NeedGate = CurChecked && CurSum == 0;
+    closeSegment();
+    flushRun();
+    // Either way the pending check is now spent (Gate below, or the
+    // segment close); a charge after the marker must not re-gate.
+    CurChecked = false;
+    if (NeedGate) {
+      ChargeEvent G;
+      G.EventKind = ChargeEvent::Kind::Gate;
+      emit(G);
+    }
+    ChargeEvent E;
+    E.EventKind = ChargeEvent::Kind::Trace;
+    E.Sum = Arg;
+    E.Count = ChargeEvent::packTrace(K, Ph);
+    emit(E);
+  }
+
   /// Flushes everything pending and appends the terminal event. Must be
   /// the recorder's last use of the stream.
   void finish(bool Failed) {
@@ -392,6 +436,15 @@ public:
     Starve,     ///< a wait starved past the timeout: worker presumed dead
   };
 
+  /// Sink for Trace markers encountered mid-replay, invoked on the sim
+  /// thread at the marker's replay position (stamp with the scheduler's
+  /// current virtual time). Must be set before the first replay() when
+  /// the stream may carry markers.
+  void setTraceFn(
+      std::function<void(obs::EventKind, obs::EventPhase, uint64_t)> Fn) {
+    OnTrace = std::move(Fn);
+  }
+
   /// Replays until the ledger runs dry at a gate or a terminal appears.
   /// May block (host time, never virtual time) waiting for the worker.
   /// With a nonzero \p TimeoutNs, any single wait that starves for that
@@ -433,6 +486,16 @@ public:
       case ChargeEvent::Kind::Fail:
         In.advance();
         return Step::Fail;
+      case ChargeEvent::Kind::Gate:
+        if (!Ledger.hasBudget())
+          return Step::NeedBudget; // nothing consumed; resumable
+        In.advance();
+        break;
+      case ChargeEvent::Kind::Trace:
+        if (OnTrace)
+          OnTrace(E.traceKind(), E.tracePhase(), E.Sum);
+        In.advance();
+        break;
       }
     }
   }
@@ -440,6 +503,7 @@ public:
 private:
   ChargeStream &In;
   uint32_t RunDone = 0; ///< progress inside the current RLE run
+  std::function<void(obs::EventKind, obs::EventPhase, uint64_t)> OnTrace;
 };
 
 } // namespace spin::host

@@ -1,0 +1,150 @@
+//===- obs/CriticalPath.cpp - Span-graph critical-path analysis -----------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/CriticalPath.h"
+
+#include <algorithm>
+
+namespace spin::obs {
+
+const char *cpKindName(CpKind K) {
+  switch (K) {
+  case CpKind::MasterRun:
+    return "master.run";
+  case CpKind::MasterStall:
+    return "master.stall";
+  case CpKind::Fork:
+    return "fork";
+  case CpKind::WindowWait:
+    return "window.wait";
+  case CpKind::SliceBody:
+    return "slice.body";
+  case CpKind::MergeWait:
+    return "merge.wait";
+  case CpKind::Merge:
+    return "merge";
+  case CpKind::Drain:
+    return "drain";
+  }
+  return "unknown";
+}
+
+bool cpKindIsSerial(CpKind K) {
+  switch (K) {
+  case CpKind::MasterRun:
+  case CpKind::Fork:
+  case CpKind::Merge:
+  case CpKind::Drain:
+    return true;
+  case CpKind::MasterStall:
+  case CpKind::WindowWait:
+  case CpKind::SliceBody:
+  case CpKind::MergeWait:
+    return false;
+  }
+  return true;
+}
+
+CpResult analyzeCriticalPath(const CpGraph &G, uint32_t Source,
+                             uint32_t Sink) {
+  CpResult R;
+  const std::vector<CpNode> &Nodes = G.nodes();
+  const std::vector<CpEdge> &Edges = G.edges();
+  uint32_t N = static_cast<uint32_t>(Nodes.size());
+  if (Source >= N || Sink >= N) {
+    R.Error = "source or sink node index out of range";
+    return R;
+  }
+  for (const CpEdge &E : Edges)
+    if (E.From >= N || E.To >= N) {
+      R.Error = "edge references a node index out of range";
+      return R;
+    }
+
+  // Kahn toposort purely as a cycle check: the walk itself only needs
+  // predecessor lists, but a cyclic "DAG" would loop it forever.
+  {
+    std::vector<uint32_t> InDeg(N, 0);
+    for (const CpEdge &E : Edges)
+      ++InDeg[E.To];
+    std::vector<std::vector<uint32_t>> Succ(N);
+    for (uint32_t I = 0; I < Edges.size(); ++I)
+      Succ[Edges[I].From].push_back(Edges[I].To);
+    std::vector<uint32_t> Ready;
+    for (uint32_t I = 0; I < N; ++I)
+      if (InDeg[I] == 0)
+        Ready.push_back(I);
+    uint32_t Seen = 0;
+    while (!Ready.empty()) {
+      uint32_t V = Ready.back();
+      Ready.pop_back();
+      ++Seen;
+      for (uint32_t S : Succ[V])
+        if (--InDeg[S] == 0)
+          Ready.push_back(S);
+    }
+    if (Seen != N) {
+      R.Error = "graph has a cycle";
+      return R;
+    }
+  }
+
+  // Per-node incoming edge lists, and each node's binding (latest-source)
+  // predecessor. Ties break toward the lowest edge index so the result is
+  // a pure function of the graph.
+  std::vector<std::vector<uint32_t>> In(N);
+  for (uint32_t I = 0; I < Edges.size(); ++I)
+    In[Edges[I].To].push_back(I);
+  std::vector<int64_t> Binding(N, -1);
+  for (uint32_t V = 0; V < N; ++V)
+    for (uint32_t EI : In[V]) {
+      if (Nodes[Edges[EI].From].Time > Nodes[Edges[EI].To].Time) {
+        R.Error = "edge '" + Nodes[Edges[EI].From].Label + "' -> '" +
+                  Nodes[Edges[EI].To].Label + "' runs backward in time";
+        return R;
+      }
+      if (Binding[V] < 0 ||
+          Nodes[Edges[EI].From].Time > Nodes[Edges[Binding[V]].From].Time)
+        Binding[V] = EI;
+    }
+
+  // Slack for every edge: distance from its source's completion to the
+  // target's binding time (how much later the source could have been).
+  R.Slack.resize(Edges.size(), 0);
+  for (uint32_t V = 0; V < N; ++V) {
+    if (Binding[V] < 0)
+      continue;
+    os::Ticks BindTime = Nodes[Edges[Binding[V]].From].Time;
+    for (uint32_t EI : In[V])
+      R.Slack[EI] = BindTime - Nodes[Edges[EI].From].Time;
+  }
+
+  // Binding-predecessor walk, sink back to source.
+  std::vector<CpSegment> Rev;
+  uint32_t V = Sink;
+  while (V != Source) {
+    if (Binding[V] < 0) {
+      R.Error = "node '" + Nodes[V].Label +
+                "' reached by the critical walk has no predecessor";
+      return R;
+    }
+    uint32_t EI = static_cast<uint32_t>(Binding[V]);
+    const CpEdge &E = Edges[EI];
+    Rev.push_back({EI, Nodes[E.From].Time, Nodes[V].Time});
+    V = E.From;
+  }
+  std::reverse(Rev.begin(), Rev.end());
+  R.Path = std::move(Rev);
+
+  for (const CpSegment &S : R.Path)
+    R.KindTicks[static_cast<unsigned>(Edges[S.Edge].Kind)] += S.ticks();
+  R.TotalTicks = Nodes[Sink].Time - Nodes[Source].Time;
+  R.Valid = true;
+  return R;
+}
+
+} // namespace spin::obs

@@ -1,0 +1,134 @@
+//===- obs/CriticalPath.h - Span-graph critical-path analysis ---*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Critical-path extraction over a dependency DAG of timestamped events.
+/// Nodes are observed completion instants (a fork, a window close, a slice
+/// body end, a merge); edges are the dependencies that had to resolve
+/// before the target instant could happen, tagged with what the engine was
+/// doing while the dependency ran.
+///
+/// The analysis walks backward from the sink, at every node following the
+/// *binding* predecessor — the one that completed last and therefore
+/// actually determined the node's time. The walk partitions the interval
+/// [t(source), t(sink)] into contiguous labeled segments, so per-kind
+/// attribution sums to the measured span exactly (no residual bucket).
+/// Every non-binding edge gets a slack value: how much later its source
+/// could have completed without moving the target.
+///
+/// Lives in obs/ below the engines (depends only on support/ and the os/
+/// tick type), so the live engine, the replay engine, and tests can all
+/// feed it graphs; Doctor.h turns the result into a diagnosis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_OBS_CRITICALPATH_H
+#define SUPERPIN_OBS_CRITICALPATH_H
+
+#include "os/CostModel.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spin::obs {
+
+/// What the run was doing while a dependency edge elapsed. The set covers
+/// both engines: a live run uses all eight; replay uses MasterRun (window
+/// reconstruction), SliceBody, and Drain. Names (cpKindName) are part of
+/// the spdoctor-v1 schema and append-only.
+enum class CpKind : uint8_t {
+  MasterRun,   ///< master executing a window (dispatch edge)
+  MasterStall, ///< master blocked at the -spslices limit
+  Fork,        ///< fork + COW cost at slice spawn
+  WindowWait,  ///< slice asleep until its window closed
+  SliceBody,   ///< instrumented body execution (charge-replay edge)
+  MergeWait,   ///< retire blocked on the in-order predecessor merge
+  Merge,       ///< the merge itself
+  Drain,       ///< post-exit pipeline drain + fini
+};
+
+inline constexpr unsigned NumCpKinds = 8;
+
+/// Stable dotted name of \p K ("master.run", "slice.body", ...).
+const char *cpKindName(CpKind K);
+
+/// True for kinds that stay serial no matter how many slice slots or host
+/// workers the run gets (master execution, forks, merges, fini); the
+/// complement is the pool-limited time an Amdahl scale-up can shrink.
+bool cpKindIsSerial(CpKind K);
+
+struct CpNode {
+  std::string Label; ///< "spawn#3", "merge#7", ... (report text)
+  os::Ticks Time = 0; ///< observed completion time of this instant
+};
+
+struct CpEdge {
+  uint32_t From = 0;
+  uint32_t To = 0;
+  CpKind Kind = CpKind::MasterRun;
+  uint32_t Slice = ~0u; ///< owning slice number, ~0u = master/run-level
+};
+
+/// A dependency DAG under construction. Nodes carry observed times; edges
+/// say which earlier instants gated which later ones.
+class CpGraph {
+public:
+  uint32_t addNode(std::string Label, os::Ticks Time) {
+    Nodes.push_back({std::move(Label), Time});
+    return static_cast<uint32_t>(Nodes.size() - 1);
+  }
+  void addEdge(uint32_t From, uint32_t To, CpKind Kind, uint32_t Slice = ~0u) {
+    Edges.push_back({From, To, Kind, Slice});
+  }
+
+  const std::vector<CpNode> &nodes() const { return Nodes; }
+  const std::vector<CpEdge> &edges() const { return Edges; }
+
+private:
+  std::vector<CpNode> Nodes;
+  std::vector<CpEdge> Edges;
+};
+
+/// One segment of the critical path, in source-to-sink order. The interval
+/// [Begin, End] is the part of the run this edge's dependency gated.
+struct CpSegment {
+  uint32_t Edge = 0; ///< index into CpGraph::edges()
+  os::Ticks Begin = 0;
+  os::Ticks End = 0;
+  os::Ticks ticks() const { return End - Begin; }
+};
+
+struct CpResult {
+  bool Valid = false;
+  std::string Error; ///< why the analysis failed, when !Valid
+
+  /// t(sink) - t(source); equals the sum of Path segment durations.
+  os::Ticks TotalTicks = 0;
+  /// The critical path, source to sink.
+  std::vector<CpSegment> Path;
+  /// Critical ticks per edge kind; sums to TotalTicks.
+  std::array<os::Ticks, NumCpKinds> KindTicks{};
+  /// Per-edge slack, indexed like CpGraph::edges(): how much later the
+  /// edge's source could have completed without delaying its target
+  /// (0 for every edge whose source was the target's binding predecessor).
+  std::vector<os::Ticks> Slack;
+};
+
+/// Runs the binding-predecessor walk from \p Sink back to \p Source.
+/// Fails (Valid = false) when an index is out of range, the graph has a
+/// cycle, a node reached by the walk has no predecessor and is not
+/// \p Source, or an edge runs backward in time by more than 0 ticks
+/// (observed schedules are monotone along dependencies).
+/// Deterministic: ties between equally-late predecessors break toward the
+/// lowest edge index.
+CpResult analyzeCriticalPath(const CpGraph &G, uint32_t Source, uint32_t Sink);
+
+} // namespace spin::obs
+
+#endif // SUPERPIN_OBS_CRITICALPATH_H

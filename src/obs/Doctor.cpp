@@ -1,0 +1,479 @@
+//===- obs/Doctor.cpp - spin_doctor run diagnosis -------------------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Doctor.h"
+
+#include "obs/HostTraceRecorder.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <map>
+
+namespace spin::obs {
+
+namespace {
+
+double shareOf(os::Ticks Part, os::Ticks Whole) {
+  return Whole ? static_cast<double>(Part) / static_cast<double>(Whole) : 0.0;
+}
+
+/// The five-way host-attribution bucket a critical CpKind maps onto: what
+/// the worker pool would be doing while that dependency elapsed.
+HostSpanKind hostBucketOf(CpKind K) {
+  switch (K) {
+  case CpKind::SliceBody:
+    return HostSpanKind::Body;
+  case CpKind::MasterRun:
+  case CpKind::Fork:
+    return HostSpanKind::DispatchWait;
+  case CpKind::MergeWait:
+    return HostSpanKind::MergeWait;
+  case CpKind::MasterStall:
+  case CpKind::WindowWait:
+    return HostSpanKind::Idle;
+  case CpKind::Merge:
+  case CpKind::Drain:
+    return HostSpanKind::Retire;
+  }
+  return HostSpanKind::Idle;
+}
+
+struct Hint {
+  const char *Text;
+  std::vector<const char *> Flags;
+};
+
+Hint hintFor(CpKind K, bool Replay) {
+  if (Replay) {
+    switch (K) {
+    case CpKind::MasterRun:
+      return {"serial master reconstruction (fast-forward) bounds the "
+              "pipeline; shorter capture windows shrink it, workers do not",
+              {}};
+    case CpKind::SliceBody:
+      return {"instrumented body re-execution dominates; host workers "
+              "pipeline it",
+              {"-spmp"}};
+    default:
+      return {"merge / fini tail of the replay pipeline", {}};
+    }
+  }
+  switch (K) {
+  case CpKind::MasterRun:
+    return {"the uninstrumented master is the floor; the run is "
+            "application-limited (SuperPin's good case)",
+            {}};
+  case CpKind::MasterStall:
+    return {"master stalled at the -spslices limit; raise -spslices or "
+            "spill windows with -spdefer",
+            {"-spslices", "-spdefer"}};
+  case CpKind::Fork:
+    return {"fork/COW overhead on the dispatch path; lengthen timeslices "
+            "with -spmsec",
+            {"-spmsec"}};
+  case CpKind::WindowWait:
+    return {"slices idle waiting for their window to close; shorten "
+            "timeslices with -spmsec",
+            {"-spmsec"}};
+  case CpKind::SliceBody:
+    return {"instrumented slice bodies gate retire; add parallelism "
+            "(-spslices, -spmp) or cut instrumentation cost (-spredux)",
+            {"-spslices", "-spmp", "-spredux"}};
+  case CpKind::MergeWait:
+    return {"in-order retire convoy: slices finish out of order and wait "
+            "on predecessors; more slots smooth the pipeline",
+            {"-spslices"}};
+  case CpKind::Merge:
+    return {"merge cost on the retire path; fewer, longer slices "
+            "(-spmsec) amortize it",
+            {"-spmsec"}};
+  case CpKind::Drain:
+    return {"post-exit drain tail (fini + remaining windows); more "
+            "workers shorten it",
+            {"-spmp"}};
+  }
+  return {"", {}};
+}
+
+/// Fills everything derivable from KindTicks: host view, Amdahl fit,
+/// bottlenecks, and flag recommendations.
+void finishReport(DoctorReport &R, bool Replay) {
+  R.CriticalTicks = 0;
+  for (os::Ticks T : R.KindTicks)
+    R.CriticalTicks += T;
+
+  // Five-way host-attribution view, in taxonomy order.
+  static constexpr HostSpanKind HostOrder[] = {
+      HostSpanKind::Body, HostSpanKind::DispatchWait, HostSpanKind::MergeWait,
+      HostSpanKind::Idle, HostSpanKind::Retire};
+  std::array<os::Ticks, 5> HostTicks{};
+  for (unsigned I = 0; I < NumCpKinds; ++I)
+    HostTicks[static_cast<unsigned>(
+        hostBucketOf(static_cast<CpKind>(I)))] += R.KindTicks[I];
+  for (HostSpanKind K : HostOrder)
+    R.HostBuckets.push_back({hostSpanName(K),
+                             HostTicks[static_cast<unsigned>(K)],
+                             shareOf(HostTicks[static_cast<unsigned>(K)],
+                                     R.CriticalTicks)});
+
+  // Amdahl fit from the measured serial fraction.
+  for (unsigned I = 0; I < NumCpKinds; ++I)
+    (cpKindIsSerial(static_cast<CpKind>(I)) ? R.SerialTicks
+                                            : R.ParallelTicks) +=
+        R.KindTicks[I];
+  R.SerialFraction = shareOf(R.SerialTicks, R.CriticalTicks);
+  R.PredictedWall2x = R.SerialTicks + R.ParallelTicks / 2;
+  R.PredictedWall4x = R.SerialTicks + R.ParallelTicks / 4;
+  if (R.PredictedWall2x)
+    R.PredictedSpeedup2x =
+        static_cast<double>(R.WallTicks) /
+        static_cast<double>(R.PredictedWall2x);
+  if (R.PredictedWall4x)
+    R.PredictedSpeedup4x =
+        static_cast<double>(R.WallTicks) /
+        static_cast<double>(R.PredictedWall4x);
+
+  // Top 3 bottlenecks by critical share; ties keep taxonomy order.
+  std::vector<unsigned> Kinds;
+  for (unsigned I = 0; I < NumCpKinds; ++I)
+    if (R.KindTicks[I])
+      Kinds.push_back(I);
+  std::stable_sort(Kinds.begin(), Kinds.end(), [&](unsigned A, unsigned B) {
+    return R.KindTicks[A] > R.KindTicks[B];
+  });
+  if (Kinds.size() > 3)
+    Kinds.resize(3);
+  for (unsigned I : Kinds) {
+    Hint H = hintFor(static_cast<CpKind>(I), Replay);
+    R.Bottlenecks.push_back({cpKindName(static_cast<CpKind>(I)),
+                             R.KindTicks[I],
+                             shareOf(R.KindTicks[I], R.CriticalTicks),
+                             H.Text});
+    for (const char *F : H.Flags)
+      if (std::find(R.RecommendedFlags.begin(), R.RecommendedFlags.end(),
+                    F) == R.RecommendedFlags.end())
+        R.RecommendedFlags.push_back(F);
+  }
+}
+
+} // namespace
+
+DoctorReport diagnose(const DoctorInput &In) {
+  DoctorReport R;
+  R.Engine = "live";
+  R.WallTicks = In.WallTicks;
+  R.Slices = static_cast<unsigned>(In.Slices.size());
+  R.MaxSlices = In.MaxSlices;
+  R.HostWorkers = In.HostWorkers;
+
+  // Build the dependency DAG over the observed schedule. Every edge is a
+  // real dependency: the master chain gates spawns, the successor's spawn
+  // closes a window, the body gates its merge, and retire is in-order.
+  // maybeEdge drops an edge whose observed times run backward (e.g. a
+  // signature recorded a tick before the fork charge) — the remaining
+  // parallel edge keeps the node reachable.
+  CpGraph G;
+  auto MaybeEdge = [&](uint32_t From, uint32_t To, CpKind K,
+                       uint32_t Slice = ~0u) {
+    if (G.nodes()[From].Time <= G.nodes()[To].Time)
+      G.addEdge(From, To, K, Slice);
+  };
+
+  uint32_t Start = G.addNode("start", 0);
+  size_t N = In.Slices.size();
+  std::vector<uint32_t> Spawn(N), Ready(N), End(N), Merge(N);
+  for (size_t I = 0; I < N; ++I) {
+    const DoctorSliceInput &S = In.Slices[I];
+    std::string Tag = std::to_string(S.Num);
+    Spawn[I] = G.addNode("spawn#" + Tag, S.SpawnTime);
+    Ready[I] = G.addNode("ready#" + Tag, S.ReadyTime);
+    End[I] = G.addNode("end#" + Tag, S.EndTime);
+    Merge[I] = G.addNode("merge#" + Tag, S.MergeTime);
+  }
+  uint32_t MasterExit = G.addNode("master-exit", In.MasterExitTicks);
+  uint32_t RunEnd = G.addNode("run-end", In.WallTicks);
+
+  if (N == 0) {
+    MaybeEdge(Start, MasterExit, CpKind::MasterRun);
+  } else {
+    // Master dispatch chain: start -> spawn#0 -> ... -> master exit. The
+    // per-gap kind is MasterRun; the run/fork/stall split happens on the
+    // aggregate below (the schedule records when the master forked, not
+    // why a gap was long).
+    MaybeEdge(Start, Spawn[0], CpKind::MasterRun);
+    for (size_t I = 0; I + 1 < N; ++I)
+      MaybeEdge(Spawn[I], Spawn[I + 1], CpKind::MasterRun,
+                In.Slices[I].Num);
+    MaybeEdge(Spawn[N - 1], MasterExit, CpKind::MasterRun,
+              In.Slices[N - 1].Num);
+
+    for (size_t I = 0; I < N; ++I) {
+      uint32_t Num = In.Slices[I].Num;
+      // A window closes when its successor spawns (or the master exits);
+      // the slice also has to exist. Whichever resolved later binds.
+      MaybeEdge(Spawn[I], Ready[I], CpKind::WindowWait, Num);
+      MaybeEdge(I + 1 < N ? Spawn[I + 1] : MasterExit, Ready[I],
+                CpKind::WindowWait, Num);
+      MaybeEdge(Ready[I], End[I], CpKind::SliceBody, Num);
+      MaybeEdge(End[I], Merge[I], CpKind::Merge, Num);
+      if (I > 0)
+        MaybeEdge(Merge[I - 1], Merge[I], CpKind::MergeWait, Num);
+    }
+    MaybeEdge(Merge[N - 1], RunEnd, CpKind::Drain);
+  }
+  MaybeEdge(MasterExit, RunEnd, CpKind::Drain);
+
+  CpResult Cp = analyzeCriticalPath(G, Start, RunEnd);
+  if (!Cp.Valid) {
+    R.Error = Cp.Error;
+    return R;
+  }
+  R.KindTicks = Cp.KindTicks;
+
+  // Split the critical master-dispatch time into run / fork / stall by
+  // the run's reported phase ratios (Figure 6: the pre-exit master time
+  // is exactly Native + ForkOthers + Sleep).
+  os::Ticks MasterPhases =
+      In.NativeTicks + In.ForkOthersTicks + In.SleepTicks;
+  os::Ticks M = R.KindTicks[static_cast<unsigned>(CpKind::MasterRun)];
+  if (M && MasterPhases) {
+    os::Ticks ForkPart = static_cast<os::Ticks>(
+        static_cast<double>(M) * shareOf(In.ForkOthersTicks, MasterPhases));
+    os::Ticks StallPart = static_cast<os::Ticks>(
+        static_cast<double>(M) * shareOf(In.SleepTicks, MasterPhases));
+    R.KindTicks[static_cast<unsigned>(CpKind::MasterRun)] =
+        M - ForkPart - StallPart;
+    R.KindTicks[static_cast<unsigned>(CpKind::Fork)] += ForkPart;
+    R.KindTicks[static_cast<unsigned>(CpKind::MasterStall)] += StallPart;
+  }
+
+  // spprof cause view: distribute each critical segment over the owning
+  // lane's cause profile. Slice-body segments use the slice lane (fully
+  // attributed by construction); master-chain segments use the master
+  // lane's native + causes; waiting segments land in "wait".
+  if (!In.CauseNames.empty()) {
+    size_t C = In.CauseNames.size();
+    std::vector<double> CauseAcc(C, 0.0);
+    double NativeAcc = 0, WaitAcc = 0, UnattrAcc = 0;
+    std::map<uint32_t, size_t> SliceIndex;
+    for (size_t I = 0; I < N; ++I)
+      SliceIndex[In.Slices[I].Num] = I;
+    uint64_t MasterTotal = In.MasterNativeCauseTicks;
+    for (uint64_t T : In.MasterCauseTicks)
+      MasterTotal += T;
+    for (const CpSegment &S : Cp.Path) {
+      const CpEdge &E = G.edges()[S.Edge];
+      double T = static_cast<double>(S.ticks());
+      if (E.Kind == CpKind::SliceBody) {
+        auto It = SliceIndex.find(E.Slice);
+        uint64_t Total = 0;
+        if (It != SliceIndex.end())
+          for (uint64_t V : In.Slices[It->second].CauseTicks)
+            Total += V;
+        if (Total) {
+          const std::vector<uint64_t> &CT = In.Slices[It->second].CauseTicks;
+          for (size_t I = 0; I < C && I < CT.size(); ++I)
+            CauseAcc[I] += T * shareOf(CT[I], Total);
+        } else {
+          UnattrAcc += T;
+        }
+      } else if (E.Kind == CpKind::MasterRun && MasterTotal) {
+        NativeAcc += T * shareOf(In.MasterNativeCauseTicks, MasterTotal);
+        for (size_t I = 0; I < C && I < In.MasterCauseTicks.size(); ++I)
+          CauseAcc[I] += T * shareOf(In.MasterCauseTicks[I], MasterTotal);
+      } else {
+        WaitAcc += T;
+      }
+    }
+    auto AddBucket = [&](const std::string &Name, double Ticks) {
+      os::Ticks T = static_cast<os::Ticks>(Ticks + 0.5);
+      if (T)
+        R.CauseBuckets.push_back(
+            {Name, T, shareOf(T, In.WallTicks ? In.WallTicks : 1)});
+    };
+    AddBucket("native", NativeAcc);
+    for (size_t I = 0; I < C; ++I)
+      AddBucket(In.CauseNames[I], CauseAcc[I]);
+    AddBucket("wait", WaitAcc);
+    AddBucket("unattributed", UnattrAcc);
+  }
+
+  finishReport(R, /*Replay=*/false);
+  R.Valid = true;
+  return R;
+}
+
+DoctorReport diagnoseReplay(const ReplayDoctorInput &In) {
+  DoctorReport R;
+  R.Engine = "replay";
+  R.WallTicks = In.WallTicks;
+  R.Slices = static_cast<unsigned>(In.Slices.size());
+  R.HostWorkers = In.HostWorkers;
+
+  // Replay's virtual clock is serial: prepare and body tiles alternate.
+  // Rebuild that timeline as a chain; the diagnosis then says how much of
+  // it a worker pool can pipeline (bodies) vs not (reconstruction).
+  CpGraph G;
+  uint32_t Start = G.addNode("start", 0);
+  uint32_t Prev = Start;
+  os::Ticks T = 0;
+  for (const ReplayDoctorInput::Slice &S : In.Slices) {
+    std::string Tag = std::to_string(S.Num);
+    T += S.PrepTicks;
+    uint32_t Prep = G.addNode("prep#" + Tag, T);
+    G.addEdge(Prev, Prep, CpKind::MasterRun, S.Num);
+    T += S.BodyTicks;
+    uint32_t Body = G.addNode("body#" + Tag, T);
+    G.addEdge(Prep, Body, CpKind::SliceBody, S.Num);
+    Prev = Body;
+  }
+  os::Ticks Wall = In.WallTicks >= T ? In.WallTicks : T;
+  R.WallTicks = Wall;
+  uint32_t RunEnd = G.addNode("run-end", Wall);
+  G.addEdge(Prev, RunEnd, CpKind::Drain);
+
+  CpResult Cp = analyzeCriticalPath(G, Start, RunEnd);
+  if (!Cp.Valid) {
+    R.Error = Cp.Error;
+    return R;
+  }
+  R.KindTicks = Cp.KindTicks;
+  finishReport(R, /*Replay=*/true);
+  R.Valid = true;
+  return R;
+}
+
+static void writeBuckets(JsonWriter &W, std::string_view Key,
+                         const std::vector<DoctorBucket> &Buckets) {
+  W.key(Key).beginObject();
+  for (const DoctorBucket &B : Buckets) {
+    W.key(B.Name).beginObject();
+    W.field("ticks", static_cast<uint64_t>(B.Ticks));
+    W.field("share", B.Share);
+    W.endObject();
+  }
+  W.endObject();
+}
+
+void writeDoctorJson(const DoctorReport &R, os::Ticks TicksPerMs,
+                     RawOstream &OS) {
+  JsonWriter W(OS);
+  W.beginObject();
+  W.field("schema", DoctorSchema);
+  W.field("engine", R.Engine);
+  W.field("valid", R.Valid);
+  if (!R.Valid) {
+    W.field("error", R.Error);
+    W.endObject();
+    OS << '\n';
+    return;
+  }
+  double PerMs = TicksPerMs ? static_cast<double>(TicksPerMs) : 1.0;
+  W.field("wall_ticks", static_cast<uint64_t>(R.WallTicks));
+  W.field("wall_ms", static_cast<double>(R.WallTicks) / PerMs);
+  W.field("critical_ticks", static_cast<uint64_t>(R.CriticalTicks));
+  W.field("critical_coverage", shareOf(R.CriticalTicks, R.WallTicks));
+  W.field("slices", static_cast<uint64_t>(R.Slices));
+  W.field("max_slices", static_cast<uint64_t>(R.MaxSlices));
+  W.field("host_workers", static_cast<uint64_t>(R.HostWorkers));
+  W.key("critical").beginObject();
+  for (unsigned I = 0; I < NumCpKinds; ++I) {
+    W.key(cpKindName(static_cast<CpKind>(I))).beginObject();
+    W.field("ticks", static_cast<uint64_t>(R.KindTicks[I]));
+    W.field("share", shareOf(R.KindTicks[I], R.CriticalTicks));
+    W.endObject();
+  }
+  W.endObject();
+  writeBuckets(W, "host_attribution", R.HostBuckets);
+  if (!R.CauseBuckets.empty())
+    writeBuckets(W, "causes", R.CauseBuckets);
+  W.key("amdahl").beginObject();
+  W.field("serial_ticks", static_cast<uint64_t>(R.SerialTicks));
+  W.field("parallel_ticks", static_cast<uint64_t>(R.ParallelTicks));
+  W.field("serial_fraction", R.SerialFraction);
+  W.field("predicted_wall_2x_ticks", static_cast<uint64_t>(R.PredictedWall2x));
+  W.field("predicted_speedup_2x", R.PredictedSpeedup2x);
+  W.field("predicted_wall_4x_ticks", static_cast<uint64_t>(R.PredictedWall4x));
+  W.field("predicted_speedup_4x", R.PredictedSpeedup4x);
+  W.endObject();
+  W.key("bottlenecks").beginArray();
+  for (const DoctorBottleneck &B : R.Bottlenecks) {
+    W.beginObject();
+    W.field("kind", B.Kind);
+    W.field("ticks", static_cast<uint64_t>(B.Ticks));
+    W.field("share", B.Share);
+    W.field("hint", B.Hint);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("recommended_flags").beginArray();
+  for (const std::string &F : R.RecommendedFlags)
+    W.value(F);
+  W.endArray();
+  W.endObject();
+  OS << '\n';
+}
+
+void printDoctorReport(const DoctorReport &R, os::Ticks TicksPerMs,
+                       RawOstream &OS) {
+  OS << "spin_doctor (" << DoctorSchema << ", " << R.Engine << " engine)\n";
+  if (!R.Valid) {
+    OS << "  diagnosis unavailable: " << R.Error << "\n";
+    return;
+  }
+  double PerMs = TicksPerMs ? static_cast<double>(TicksPerMs) : 1.0;
+  OS << "  wall " << formatFixed(static_cast<double>(R.WallTicks) / PerMs, 2)
+     << " ms (" << uint64_t(R.WallTicks) << " ticks), " << R.Slices
+     << " slices, critical path covers "
+     << formatFixed(100.0 * shareOf(R.CriticalTicks, R.WallTicks), 1)
+     << "% of wall\n";
+  OS << "  critical time:";
+  bool First = true;
+  for (unsigned I = 0; I < NumCpKinds; ++I) {
+    if (!R.KindTicks[I])
+      continue;
+    OS << (First ? " " : " | ") << cpKindName(static_cast<CpKind>(I)) << " "
+       << formatFixed(100.0 * shareOf(R.KindTicks[I], R.CriticalTicks), 1)
+       << "%";
+    First = false;
+  }
+  OS << "\n";
+  if (!R.CauseBuckets.empty()) {
+    OS << "  cause view (spprof):";
+    First = true;
+    for (const DoctorBucket &B : R.CauseBuckets) {
+      OS << (First ? " " : " | ") << B.Name << " "
+         << formatFixed(100.0 * B.Share, 1) << "%";
+      First = false;
+    }
+    OS << "\n";
+  }
+  OS << "  top bottlenecks:\n";
+  unsigned Rank = 1;
+  for (const DoctorBottleneck &B : R.Bottlenecks)
+    OS << "    " << Rank++ << ". " << B.Kind << " "
+       << formatFixed(100.0 * B.Share, 1) << "% - " << B.Hint << "\n";
+  OS << "  scaling (Amdahl, measured serial fraction "
+     << formatFixed(R.SerialFraction, 2) << "): predicted wall at 2x "
+     << formatFixed(static_cast<double>(R.PredictedWall2x) / PerMs, 2)
+     << " ms (speedup " << formatFixed(R.PredictedSpeedup2x, 2)
+     << "x), at 4x "
+     << formatFixed(static_cast<double>(R.PredictedWall4x) / PerMs, 2)
+     << " ms (speedup " << formatFixed(R.PredictedSpeedup4x, 2) << "x)\n";
+  OS << "  recommended flags:";
+  if (R.RecommendedFlags.empty()) {
+    OS << " none (application-limited)";
+  } else {
+    for (const std::string &F : R.RecommendedFlags)
+      OS << " " << F;
+  }
+  OS << "\n";
+}
+
+} // namespace spin::obs

@@ -1,0 +1,170 @@
+//===- obs/Doctor.h - spin_doctor run diagnosis -----------------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bottleneck analyzer behind -spdoctor: turns one run's observed
+/// slice schedule into a critical-path diagnosis (CriticalPath.h), then
+/// into answers a user can act on — where every critical tick went (the
+/// CpKind taxonomy, the five-way host-attribution view, and the spprof
+/// 8-cause taxonomy when a profile was attached), an Amdahl-style scaling
+/// model fitted from the measured serial fraction (predicted wall at 2x
+/// and 4x the run's parallelism), the top bottlenecks, and the flags most
+/// likely to help.
+///
+/// Attribution is exact by construction: the critical path partitions
+/// [0, wall], so the per-kind ticks sum to the measured wall time with no
+/// residual. Exported as a versioned "spdoctor-v1" JSON document and as a
+/// human-readable report section.
+///
+/// Inputs are plain structs (not SpRunReport / ReplayReport) because obs/
+/// sits below both engines; superpin/Reporting.h and spin_replay build
+/// them from their reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_OBS_DOCTOR_H
+#define SUPERPIN_OBS_DOCTOR_H
+
+#include "obs/CriticalPath.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spin {
+class RawOstream;
+}
+
+namespace spin::obs {
+
+/// Current diagnosis schema identifier.
+inline constexpr const char *DoctorSchema = "spdoctor-v1";
+
+/// One slice's observed schedule, straight from the live engine's
+/// SliceInfo. CauseTicks, when the run carried a profiler, is the slice
+/// lane's per-cause tick totals, parallel to DoctorInput::CauseNames.
+struct DoctorSliceInput {
+  uint32_t Num = 0;
+  os::Ticks SpawnTime = 0;
+  os::Ticks ReadyTime = 0;
+  os::Ticks EndTime = 0;
+  os::Ticks MergeTime = 0;
+  uint32_t Attempts = 1;
+  std::vector<uint64_t> CauseTicks;
+};
+
+/// A live SuperPin run, flattened for diagnosis. Slices must be sorted by
+/// ascending Num (merge order). The three master phase totals split the
+/// critical master-dispatch time into run / fork-overhead / stall shares
+/// (the schedule records when the master forked, not why a gap was long).
+struct DoctorInput {
+  os::Ticks WallTicks = 0;
+  os::Ticks MasterExitTicks = 0;
+  os::Ticks NativeTicks = 0;
+  os::Ticks ForkOthersTicks = 0;
+  os::Ticks SleepTicks = 0;
+  unsigned MaxSlices = 0;   ///< -spslices in effect (the parallelism knob)
+  unsigned HostWorkers = 0; ///< resolved -spmp count (0 = serial host)
+  /// spprof cause taxonomy in effect; empty when no profile was attached.
+  std::vector<std::string> CauseNames;
+  /// Master lane attribution (parallel to CauseNames) + its native ticks.
+  std::vector<uint64_t> MasterCauseTicks;
+  uint64_t MasterNativeCauseTicks = 0;
+  std::vector<DoctorSliceInput> Slices;
+};
+
+/// A replay pipeline run: per slice, the serial-clock cost of master
+/// reconstruction (prepare) and of the instrumented body. Replay's virtual
+/// clock is serial by definition, so the diagnosis answers "what would
+/// host workers buy" rather than "why wasn't the virtual run faster".
+struct ReplayDoctorInput {
+  os::Ticks WallTicks = 0;
+  unsigned HostWorkers = 0;
+  struct Slice {
+    uint32_t Num = 0;
+    os::Ticks PrepTicks = 0;
+    os::Ticks BodyTicks = 0;
+  };
+  std::vector<Slice> Slices;
+};
+
+/// One named share of the critical time.
+struct DoctorBucket {
+  std::string Name;
+  os::Ticks Ticks = 0;
+  double Share = 0; ///< of CriticalTicks
+};
+
+struct DoctorBottleneck {
+  std::string Kind; ///< cpKindName of the dominant edge kind
+  os::Ticks Ticks = 0;
+  double Share = 0;
+  std::string Hint; ///< one-line "what this means / what to try"
+};
+
+struct DoctorReport {
+  bool Valid = false;
+  std::string Error;
+  std::string Engine; ///< "live" or "replay"
+
+  os::Ticks WallTicks = 0;
+  /// Critical-path total; equals WallTicks (exact partition).
+  os::Ticks CriticalTicks = 0;
+  unsigned Slices = 0;
+  unsigned MaxSlices = 0;
+  unsigned HostWorkers = 0;
+
+  /// Critical ticks per CpKind (live runs split the master-dispatch time
+  /// into run/fork/stall by the reported phase ratios); sums to
+  /// CriticalTicks.
+  std::array<os::Ticks, NumCpKinds> KindTicks{};
+  /// The same critical time mapped onto the five-way host-attribution
+  /// taxonomy (host.body / host.dispatchwait / host.mergewait / host.idle
+  /// / host.retire); sums to CriticalTicks.
+  std::vector<DoctorBucket> HostBuckets;
+  /// spprof 8-cause split of the critical time, plus the pseudo-buckets
+  /// "native" (uninstrumented master work) and "wait" (critical time that
+  /// is waiting, not execution). Empty when the run carried no profile.
+  std::vector<DoctorBucket> CauseBuckets;
+
+  /// Amdahl fit: Serial is critical time in inherently serial kinds
+  /// (cpKindIsSerial), Parallel the rest; predicted wall at k-times this
+  /// run's parallelism is Serial + Parallel / k.
+  os::Ticks SerialTicks = 0;
+  os::Ticks ParallelTicks = 0;
+  double SerialFraction = 0;
+  os::Ticks PredictedWall2x = 0;
+  os::Ticks PredictedWall4x = 0;
+  double PredictedSpeedup2x = 1.0;
+  double PredictedSpeedup4x = 1.0;
+
+  /// Top bottlenecks by critical share, largest first (at most 3).
+  std::vector<DoctorBottleneck> Bottlenecks;
+  /// Flags the bottleneck hints point at, deduplicated, dominant first.
+  std::vector<std::string> RecommendedFlags;
+};
+
+/// Diagnoses a live run.
+DoctorReport diagnose(const DoctorInput &In);
+
+/// Diagnoses a replay pipeline run.
+DoctorReport diagnoseReplay(const ReplayDoctorInput &In);
+
+/// Writes the "spdoctor-v1" JSON document. \p TicksPerMs converts the
+/// headline tick figures to milliseconds (os::CostModel::TicksPerMs).
+void writeDoctorJson(const DoctorReport &R, os::Ticks TicksPerMs,
+                     RawOstream &OS);
+
+/// Prints the human-readable report section (top bottlenecks, predicted
+/// scaling, recommended flags).
+void printDoctorReport(const DoctorReport &R, os::Ticks TicksPerMs,
+                       RawOstream &OS);
+
+} // namespace spin::obs
+
+#endif // SUPERPIN_OBS_DOCTOR_H

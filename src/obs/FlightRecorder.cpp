@@ -1,0 +1,131 @@
+//===- obs/FlightRecorder.cpp - Postmortem flight recorder ----------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/FlightRecorder.h"
+
+#include "obs/Metrics.h"
+#include "obs/TraceRecorder.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+namespace spin::obs {
+
+FlightRecorder::FlightRecorder(std::string Dir, os::Ticks TicksPerMs)
+    : Dir(std::move(Dir)), TicksPerMs(TicksPerMs) {}
+
+void FlightRecorder::recordEvent(std::string Kind, uint32_t Slice,
+                                 uint32_t Attempt, os::Ticks Now,
+                                 std::string Detail) {
+  std::lock_guard<std::mutex> Lock(EventsLock);
+  Events.push_back(
+      {std::move(Kind), Slice, Attempt, Now, std::move(Detail)});
+  ensureDir();
+  Armed.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::ensureDir() {
+  if (DirReady || !Err.empty())
+    return;
+  if (::mkdir(Dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    Err = "cannot create flight-recorder directory '" + Dir +
+          "': " + std::strerror(errno);
+    return;
+  }
+  DirReady = true;
+}
+
+void FlightRecorder::writeFile(const std::string &Name,
+                               const std::string &Text) {
+  if (!DirReady)
+    return;
+  std::string Path = Dir + "/" + Name;
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Err.empty())
+      Err = "cannot write '" + Path + "': " + std::strerror(errno);
+    return;
+  }
+  std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  Files.push_back(Name);
+}
+
+void FlightRecorder::writeTrace(const TraceRecorder &Trace,
+                                const HostTraceRecorder *Host) {
+  if (!triggered())
+    return;
+  std::string Doc;
+  {
+    RawStringOstream OS(Doc);
+    Trace.writeChromeTrace(OS, TicksPerMs, Host);
+  }
+  writeFile("trace.json", Doc);
+}
+
+void FlightRecorder::writeCounters(const StatisticRegistry &Stats) {
+  if (!triggered())
+    return;
+  std::string Doc;
+  {
+    RawStringOstream OS(Doc);
+    writeRegistryJson(Stats, OS);
+  }
+  writeFile("counters.json", Doc);
+}
+
+void FlightRecorder::writeDoctor(const DoctorReport &R) {
+  if (!triggered())
+    return;
+  std::string Doc;
+  {
+    RawStringOstream OS(Doc);
+    writeDoctorJson(R, TicksPerMs, OS);
+  }
+  writeFile("doctor.json", Doc);
+}
+
+void FlightRecorder::writeManifest() {
+  if (!triggered())
+    return;
+  std::string Doc;
+  {
+    RawStringOstream OS(Doc);
+    JsonWriter W(OS);
+    W.beginObject();
+    W.field("schema", "spflight-v1");
+    W.field("events_recorded", static_cast<uint64_t>(Events.size()));
+    W.key("events").beginArray();
+    for (const Event &E : Events) {
+      W.beginObject();
+      W.field("kind", E.Kind);
+      if (E.Slice != ~0u) {
+        W.field("slice", static_cast<uint64_t>(E.Slice));
+        W.field("attempt", static_cast<uint64_t>(E.Attempt));
+      }
+      W.field("ticks", static_cast<uint64_t>(E.Now));
+      if (!E.Detail.empty())
+        W.field("detail", E.Detail);
+      W.endObject();
+    }
+    W.endArray();
+    W.key("files").beginArray();
+    for (const std::string &F : Files)
+      W.value(F);
+    W.endArray();
+    W.endObject();
+    OS << '\n';
+  }
+  writeFile("MANIFEST.json", Doc);
+}
+
+} // namespace spin::obs

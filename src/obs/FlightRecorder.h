@@ -1,0 +1,109 @@
+//===- obs/FlightRecorder.h - Postmortem flight recorder --------*- C++ -*-===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The postmortem flight recorder behind -spflightrec: when a run hits a
+/// containment event — a worker exception, a watchdog kill, a circuit-
+/// breaker trip, a host degradation — the engine records the event here,
+/// and at teardown the recorder dumps a self-contained evidence bundle to
+/// its directory:
+///
+///   MANIFEST.json  - "spflight-v1": trigger events + file inventory
+///   trace.json     - the retained trace-ring window (Chrome trace JSON)
+///   counters.json  - spmetrics-v1 counter/histogram snapshot
+///   doctor.json    - the spdoctor-v1 diagnosis of the wounded run
+///
+/// A run with no triggering event writes nothing (the directory is only
+/// created on the first event), so arming the recorder on every run is
+/// free. All writes are best-effort: a filesystem error is remembered in
+/// error() and reported once, never thrown — the recorder must not turn a
+/// contained fault into a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERPIN_OBS_FLIGHTRECORDER_H
+#define SUPERPIN_OBS_FLIGHTRECORDER_H
+
+#include "obs/Doctor.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spin {
+class StatisticRegistry;
+}
+
+namespace spin::obs {
+
+class HostTraceRecorder;
+class TraceRecorder;
+
+class FlightRecorder {
+public:
+  /// \p Dir is the bundle directory (created on the first event);
+  /// \p TicksPerMs converts tick stamps in the dumped artifacts.
+  FlightRecorder(std::string Dir, os::Ticks TicksPerMs);
+
+  /// Records one triggering event: \p Kind is a stable identifier
+  /// ("host.exception", "host.contained", "host.watchdog", "watchdog.kill",
+  /// "breaker.trip", "host.degraded", ...), \p Slice the failing slice
+  /// number (~0u =
+  /// run-level), \p Attempt its attempt count at the time, \p Now the
+  /// virtual clock, and \p Detail free-form context. The first event
+  /// creates the bundle directory and arms the teardown dump. Thread-safe:
+  /// containment events fire from worker threads as well as the sim
+  /// thread (cold path — a mutex is fine).
+  void recordEvent(std::string Kind, uint32_t Slice, uint32_t Attempt,
+                   os::Ticks Now, std::string Detail);
+
+  /// True once any event was recorded (the bundle will be written).
+  bool triggered() const { return Armed.load(std::memory_order_acquire); }
+
+  // Teardown dumps, called by the engine/CLI once the run has wound down.
+  // Each is a no-op unless triggered().
+  void writeTrace(const TraceRecorder &Trace,
+                  const HostTraceRecorder *Host = nullptr);
+  void writeCounters(const StatisticRegistry &Stats);
+  void writeDoctor(const DoctorReport &R);
+  /// Writes MANIFEST.json last: the trigger events, the failing-slice
+  /// identity/attempt history, and the inventory of files actually
+  /// written.
+  void writeManifest();
+
+  const std::string &dir() const { return Dir; }
+  uint64_t eventCount() const { return Events.size(); }
+  /// First filesystem error, empty when every write landed.
+  const std::string &error() const { return Err; }
+
+private:
+  struct Event {
+    std::string Kind;
+    uint32_t Slice = ~0u;
+    uint32_t Attempt = 0;
+    os::Ticks Now = 0;
+    std::string Detail;
+  };
+
+  void ensureDir();
+  void writeFile(const std::string &Name, const std::string &Text);
+
+  std::string Dir;
+  os::Ticks TicksPerMs;
+  std::mutex EventsLock; ///< guards Events + ensureDir during the run
+  std::atomic<bool> Armed{false};
+  std::vector<Event> Events;
+  std::vector<std::string> Files; ///< bundle files written so far
+  bool DirReady = false;
+  std::string Err;
+};
+
+} // namespace spin::obs
+
+#endif // SUPERPIN_OBS_FLIGHTRECORDER_H

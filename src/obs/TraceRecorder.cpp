@@ -64,6 +64,12 @@ const char *spin::obs::eventName(EventKind K) {
     return "fault.divergence";
   case EventKind::BreakerTrip:
     return "fault.breaker";
+  case EventKind::SlicesRetired:
+    return "sp.slices.retired";
+  case EventKind::LiveForks:
+    return "sp.forks.live";
+  case EventKind::DeferBacklog:
+    return "sp.defer.backlog";
   }
   return "unknown";
 }
@@ -93,6 +99,9 @@ const char *spin::obs::eventCategory(EventKind K) {
   case EventKind::ReplayParity:
     return "replay";
   case EventKind::Parallelism:
+  case EventKind::SlicesRetired:
+  case EventKind::LiveForks:
+  case EventKind::DeferBacklog:
     return "sched";
   case EventKind::WatchdogKill:
   case EventKind::SliceRetry:
@@ -220,6 +229,20 @@ void TraceRecorder::writeChromeTrace(RawOstream &OS, os::Ticks TicksPerMs,
     W.endObject();
   }
 
+  // Self-describing truncation: the ring's dropped count rides in the
+  // artifact itself, so a wrapped buffer is visible without the CLI run
+  // that produced it (0 = the window is complete).
+  W.beginObject();
+  W.field("name", "obs.trace.dropped");
+  W.field("cat", "meta");
+  W.field("ph", "i");
+  W.field("s", "p"); // process-scoped
+  W.field("pid", 1);
+  W.field("tid", 0);
+  W.field("ts", 0.0);
+  W.key("args").beginObject().field("dropped", Dropped).endObject();
+  W.endObject();
+
   // Second axis: host wall-clock lanes from the -spmp worker pool. These
   // live on their own pid so Perfetto shows virtual determinism (pid 1)
   // and host concurrency (pid 2) side by side. Host timestamps are
@@ -290,6 +313,14 @@ void TraceRecorder::writeChromeTrace(RawOstream &OS, os::Ticks TicksPerMs,
       W.endObject();
       W.endObject();
     }
+    // The host axis carries its own truncation marker, mirroring
+    // obs.trace.dropped on the virtual axis.
+    HostEvent("host.trace.droppedspans", "i", 0, 0);
+    W.field("s", "p");
+    W.key("args").beginObject();
+    W.field("dropped", Host->droppedSpans());
+    W.endObject();
+    W.endObject();
   }
 
   W.endArray();

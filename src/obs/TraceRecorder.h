@@ -69,6 +69,9 @@ enum class EventKind : uint8_t {
   SliceQuarantine, ///< instant (slice lane): window parked for post-exit rerun
   PlaybackDivergence, ///< instant (slice lane): playback verification failed
   BreakerTrip,   ///< instant (master lane): circuit breaker engaged
+  SlicesRetired, ///< counter: slices merged so far
+  LiveForks,     ///< counter: slices concurrently alive (forked, unmerged)
+  DeferBacklog,  ///< counter: spilled windows awaiting the post-exit drain
 };
 
 /// Stable dotted name for \p K (e.g. "slice.run").
@@ -89,19 +92,19 @@ struct TraceEvent {
   EventPhase Phase = EventPhase::Instant;
 };
 
-class TraceRecorder {
+/// Where trace events go. The engine layers emit through this interface so
+/// a dispatched slice body (-spmp) can be pointed at a per-slice staging
+/// sink — its events are interleaved into the body's charge stream and
+/// stitched into the master recorder by the sim thread at replay position,
+/// keeping the exported trace byte-identical for every worker count.
+class TraceSink {
 public:
-  static constexpr size_t DefaultCapacity = 1 << 16;
-  static constexpr uint32_t MasterLane = 0;
+  virtual ~TraceSink() = default;
 
-  /// Lane of slice \p Num (lane 0 is the master).
-  static uint32_t sliceLane(uint32_t Num) { return Num + 1; }
-
-  explicit TraceRecorder(size_t Capacity = DefaultCapacity);
-
-  /// Also stamp events with host wall time (std::chrono::steady_clock).
-  /// Off by default: tick-only traces are bit-reproducible.
-  void enableWallClock() { WallClock = true; }
+  /// Records one event. \p Ts is the emitter's virtual clock; staging
+  /// sinks may ignore it (the replaying sim thread restamps).
+  virtual void push(uint32_t Lane, EventKind K, EventPhase Ph, os::Ticks Ts,
+                    uint64_t Arg) = 0;
 
   void begin(uint32_t Lane, EventKind K, os::Ticks Ts, uint64_t Arg = 0) {
     push(Lane, K, EventPhase::Begin, Ts, Arg);
@@ -116,6 +119,25 @@ public:
   void counter(EventKind K, os::Ticks Ts, uint64_t Value) {
     push(0, K, EventPhase::Counter, Ts, Value);
   }
+};
+
+class TraceRecorder : public TraceSink {
+public:
+  static constexpr size_t DefaultCapacity = 1 << 16;
+  static constexpr uint32_t MasterLane = 0;
+
+  /// Lane of slice \p Num (lane 0 is the master).
+  static uint32_t sliceLane(uint32_t Num) { return Num + 1; }
+
+  explicit TraceRecorder(size_t Capacity = DefaultCapacity);
+
+  /// Also stamp events with host wall time (std::chrono::steady_clock).
+  /// Off by default: tick-only traces are bit-reproducible.
+  void enableWallClock() { WallClock = true; }
+
+  /// Appends to the ring (the TraceSink emission entry point).
+  void push(uint32_t Lane, EventKind K, EventPhase Ph, os::Ticks Ts,
+            uint64_t Arg) override;
 
   /// Names lane \p Lane in the exported trace ("master", "slice-3", ...).
   void setLaneName(uint32_t Lane, std::string Name);
@@ -152,9 +174,6 @@ private:
   bool WallClock = false;
   std::string ProcessName = "superpin";
   std::vector<std::string> LaneNames; ///< indexed by lane, "" = unnamed
-
-  void push(uint32_t Lane, EventKind K, EventPhase Ph, os::Ticks Ts,
-            uint64_t Arg);
 };
 
 } // namespace spin::obs

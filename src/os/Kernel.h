@@ -30,7 +30,7 @@ class ByteWriter;
 } // namespace spin
 
 namespace spin::obs {
-class TraceRecorder;
+class TraceSink;
 }
 
 namespace spin::os {
@@ -48,7 +48,7 @@ struct SystemContext {
   std::string *OutputBuf = nullptr;
   /// When non-null, serviceSyscall emits a "sys.service" instant on
   /// \p TraceLane at \p TraceNow (the caller's virtual timestamp).
-  obs::TraceRecorder *Trace = nullptr;
+  obs::TraceSink *Trace = nullptr;
   uint32_t TraceLane = 0;
   Ticks TraceNow = 0;
 };

@@ -37,7 +37,7 @@ class RedundancyInfo;
 }
 
 namespace spin::obs {
-class TraceRecorder;
+class TraceSink;
 }
 
 namespace spin::prof {
@@ -92,7 +92,7 @@ struct PinVmConfig {
   /// instant per on-demand trace compile and one "jit.seed" instant per
   /// batch seed, on \p TraceLane, timestamped via \p TraceClock (the
   /// environment's virtual-time source; 0 when absent).
-  obs::TraceRecorder *Trace = nullptr;
+  obs::TraceSink *Trace = nullptr;
   uint32_t TraceLane = 0;
   std::function<os::Ticks()> TraceClock;
   /// Overhead attribution (src/prof): when set, every tick this VM charges
@@ -150,14 +150,14 @@ public:
   /// profile for the body's duration, folding into the lane at retire).
   void setProfSink(prof::SliceProfile *P) { Config.Prof = P; }
 
-  /// Replaces the trace sink. Host-parallel mode passes nullptr for the
-  /// body's duration: the recorder and the virtual clock are simulation-
-  /// thread state a worker must not touch (the body's jit.* instants are
-  /// suppressed, documented in INTERNALS.md).
-  void setTraceSink(obs::TraceRecorder *T) {
+  /// Replaces the trace sink. Host-parallel mode points it at a per-slice
+  /// staging sink for the body's duration: the master recorder and the
+  /// virtual clock are simulation-thread state a worker must not touch, so
+  /// the body's jit.* instants ride the charge stream and are restamped by
+  /// the replaying sim thread (null clock — staging ignores timestamps).
+  void setTraceSink(obs::TraceSink *T) {
     Config.Trace = T;
-    if (!T)
-      Config.TraceClock = nullptr;
+    Config.TraceClock = nullptr;
   }
 
   /// Executes until the ledger runs out or an architectural event occurs.

@@ -53,6 +53,36 @@ using namespace spin::vm;
 /// scheduler, so the "budget" only bounds work between loop iterations.
 static constexpr Ticks ReplayStepTicks = 1'000'000'000;
 
+namespace {
+
+/// One trace event staged during a host-parallel replay, with a tick
+/// offset relative to its segment start (prepare start or body start)
+/// instead of an absolute timestamp. Stitching rebases the offset onto
+/// the merge-order stitch clock, which replays the serial timeline.
+struct StagedTraceEvent {
+  Ticks Offset;
+  uint64_t Arg;
+  uint32_t Lane;
+  obs::EventKind Kind;
+  obs::EventPhase Phase;
+};
+
+/// TraceSink that appends to a SliceRun-owned staging vector. The Ts the
+/// caller passes is already a segment-relative offset.
+class StagingSink final : public obs::TraceSink {
+public:
+  explicit StagingSink(std::vector<StagedTraceEvent> &Out) : Out(Out) {}
+  void push(uint32_t Lane, obs::EventKind K, obs::EventPhase Ph, Ticks Ts,
+            uint64_t Arg) override {
+    Out.push_back({Ts, Arg, Lane, K, Ph});
+  }
+
+private:
+  std::vector<StagedTraceEvent> &Out;
+};
+
+} // namespace
+
 ReplayEngine::ReplayEngine(const RunCapture &Cap, const CostModel &Model)
     : Cap(Cap), Model(Model),
       InstCost(static_cast<Ticks>(
@@ -92,9 +122,14 @@ void ReplayEngine::applyWindow(const SliceCaptureData &W) {
   if (Interp->instructionsRetired() != W.StartIndex)
     reportFatalError("replay: window " + std::to_string(W.Num) +
                      " does not start at the master's position");
-  if (Trace)
-    Trace->begin(obs::TraceRecorder::MasterLane,
-                 obs::EventKind::ReplayForward, Now, W.Num);
+  // Under staged tracing, master-reconstruction events go to the current
+  // slice's prepare buffer with offsets relative to the prepare start.
+  obs::TraceSink *Sink =
+      PrepSink ? PrepSink : static_cast<obs::TraceSink *>(Trace);
+  auto TraceTs = [this] { return PrepSink ? Now - PrepStartNow : Now; };
+  if (Sink)
+    Sink->begin(obs::TraceRecorder::MasterLane, obs::EventKind::ReplayForward,
+                TraceTs(), W.Num);
   uint64_t End = W.StartIndex + W.ExpectedInsts;
   size_t SysPos = 0;
   while (Interp->instructionsRetired() < End &&
@@ -136,9 +171,9 @@ void ReplayEngine::applyWindow(const SliceCaptureData &W) {
       if (Reexecute) {
         SystemContext Ctx;
         Ctx.SuppressOutput = true;
-        Ctx.Trace = Trace;
+        Ctx.Trace = Sink;
         Ctx.TraceLane = obs::TraceRecorder::MasterLane;
-        Ctx.TraceNow = Now;
+        Ctx.TraceNow = TraceTs();
         serviceSyscall(*Master, Ctx, nullptr);
       } else {
         playbackSyscall(*Master, CS.Effects);
@@ -169,9 +204,9 @@ void ReplayEngine::applyWindow(const SliceCaptureData &W) {
     reportFatalError("replay: window " + std::to_string(W.Num) + " ended with " +
                      std::to_string(W.Sys.size() - SysPos) +
                      " unconsumed syscall records");
-  if (Trace)
-    Trace->end(obs::TraceRecorder::MasterLane, obs::EventKind::ReplayForward,
-               Now, W.Num);
+  if (Sink)
+    Sink->end(obs::TraceRecorder::MasterLane, obs::EventKind::ReplayForward,
+              TraceTs(), W.Num);
 }
 
 /// Everything one slice re-execution needs across the prepare / body /
@@ -211,6 +246,13 @@ struct ReplayEngine::SliceRun {
   /// COW-read race between the fast-forwarding master and the worker
   /// impossible (see GuestMemory::pinPages).
   std::vector<std::shared_ptr<const void>> PagePins;
+  /// Staged tracing (-sptrace with -spmp): prepare-segment events (master
+  /// reconstruction + the ReplaySlice begin) and body-segment events, with
+  /// offsets relative to their segment start; stitched in merge order at
+  /// finish time. Body staging is worker-written, SliceRun-owned state.
+  std::vector<StagedTraceEvent> PrepEvents, BodyEvents;
+  std::optional<StagingSink> PrepStage, BodyStage;
+  Ticks PrepTicks = 0;
 
   void diverge(std::string Why) {
     Res.Diverged = true;
@@ -229,6 +271,17 @@ std::unique_ptr<ReplayEngine::SliceRun>
 ReplayEngine::prepareSlice(const SliceCaptureData &W,
                            const ToolFactory &Factory,
                            SharedAreaRegistry &Areas) {
+  auto Run = std::make_unique<SliceRun>();
+  SliceRun *R = Run.get();
+  R->Res.Num = W.Num;
+  const Ticks PrepBegin = Now;
+  if (StagingTrace) {
+    R->PrepStage.emplace(R->PrepEvents);
+    R->BodyStage.emplace(R->BodyEvents);
+    PrepSink = &*R->PrepStage;
+    PrepStartNow = Now;
+  }
+
   fastForwardTo(W.Num);
   if (hashMachineState(*Master, Interp->instructionsRetired()) !=
       W.StartStateHash)
@@ -236,14 +289,16 @@ ReplayEngine::prepareSlice(const SliceCaptureData &W,
                      "capture at slice " + std::to_string(W.Num) +
                      "'s fork point");
 
-  auto Run = std::make_unique<SliceRun>();
-  SliceRun *R = Run.get();
-  R->Res.Num = W.Num;
-
   R->Lane = obs::TraceRecorder::sliceLane(W.Num);
   if (Trace) {
+    // Lane naming goes straight to the recorder: names render in lane
+    // order regardless of registration order, so this is stitch-safe.
     Trace->setLaneName(R->Lane, "replay-slice-" + std::to_string(W.Num));
-    Trace->begin(R->Lane, obs::EventKind::ReplaySlice, Now, W.Num);
+    if (StagingTrace)
+      R->PrepStage->begin(R->Lane, obs::EventKind::ReplaySlice,
+                          Now - PrepStartNow, W.Num);
+    else
+      Trace->begin(R->Lane, obs::EventKind::ReplaySlice, Now, W.Num);
   }
 
   R->Proc.emplace(Master->fork(NextPid++));
@@ -258,9 +313,16 @@ ReplayEngine::prepareSlice(const SliceCaptureData &W,
   R->SliceProf = Prof ? &Prof->slice(W.Num) : nullptr;
   Cfg.Prof = R->SliceProf;
   if (Trace) {
-    Cfg.Trace = Trace;
     Cfg.TraceLane = R->Lane;
-    Cfg.TraceClock = [this] { return Now; };
+    if (StagingTrace) {
+      // The body's jit.* instants stage with BodyTicks offsets; the clock
+      // lambda reads only SliceRun state, so it is worker-safe.
+      Cfg.Trace = &*R->BodyStage;
+      Cfg.TraceClock = [R] { return R->BodyTicks; };
+    } else {
+      Cfg.Trace = Trace;
+      Cfg.TraceClock = [this] { return Now; };
+    }
   }
   R->Vm = std::make_unique<PinVm>(*R->Proc, Model, R->ToolInst.get(),
                                   *R->Cache, Cfg);
@@ -302,6 +364,9 @@ ReplayEngine::prepareSlice(const SliceCaptureData &W,
   }
 
   R->RunawayCap = W.ExpectedInsts * 2 + 10'000;
+  R->PrepTicks = Now - PrepBegin;
+  if (StagingTrace)
+    PrepSink = nullptr;
   return Run;
 }
 
@@ -335,17 +400,25 @@ void ReplayEngine::runSliceBody(SliceRun &R, const SliceCaptureData &W,
         if (CS.Kind == CapturedSysKind::Playback) {
           playbackSyscall(*R.Proc, CS.Effects);
           ++R.Res.PlaybackSyscalls;
-          if (Trace)
+          // Staged body events carry BodyTicks offsets (worker-safe:
+          // SliceRun-owned state only); the direct path stamps the engine
+          // clock, which only the serial path may read.
+          if (R.BodyStage)
+            R.BodyStage->instant(R.Lane, obs::EventKind::SysPlayback,
+                                 R.BodyTicks, Number);
+          else if (Trace)
             Trace->instant(R.Lane, obs::EventKind::SysPlayback, Now, Number);
         } else {
           SystemContext Ctx;
           Ctx.SuppressOutput = true;
-          Ctx.Trace = Trace;
           Ctx.TraceLane = R.Lane;
-          // Trace is always null on a host thread; guarding the clock read
-          // keeps workers from racing the engine clock the calling thread
-          // advances during master reconstruction.
-          Ctx.TraceNow = Trace ? Now : 0;
+          if (R.BodyStage) {
+            Ctx.Trace = &*R.BodyStage;
+            Ctx.TraceNow = R.BodyTicks;
+          } else {
+            Ctx.Trace = Trace;
+            Ctx.TraceNow = Trace ? Now : 0;
+          }
           serviceSyscall(*R.Proc, Ctx, nullptr);
           ++R.Res.DuplicatedSyscalls;
         }
@@ -397,12 +470,32 @@ ReplaySliceResult ReplayEngine::finishSlice(SliceRun &R,
   R.ToolInst->onSliceEnd(W.Num);
   R.Services->mergeShadows();
   R.Res.RetiredInsts = R.Vm->retired();
+  R.Res.PrepTicks = R.PrepTicks;
+  R.Res.BodyTicks = R.BodyTicks;
   R.Res.ParityOk = !R.Res.Diverged && R.Res.EndKind == W.EndKind &&
                    R.Res.RetiredInsts == W.RetiredInsts;
   if (Trace) {
-    Trace->end(R.Lane, obs::EventKind::ReplaySlice, Now, R.Vm->retired());
-    Trace->instant(R.Lane, obs::EventKind::ReplayParity, Now,
-                   R.Res.ParityOk ? 1 : 0);
+    if (StagingTrace) {
+      // Stitch in merge order: prepare events, then body events, each
+      // rebased onto the stitch clock. StitchNow tiles [prepare)[body)
+      // exactly as serial replay's engine clock would, so the recorder's
+      // contents — and the trace JSON — are byte-identical for every
+      // worker count.
+      for (const StagedTraceEvent &E : R.PrepEvents)
+        Trace->push(E.Lane, E.Kind, E.Phase, StitchNow + E.Offset, E.Arg);
+      StitchNow += R.PrepTicks;
+      for (const StagedTraceEvent &E : R.BodyEvents)
+        Trace->push(E.Lane, E.Kind, E.Phase, StitchNow + E.Offset, E.Arg);
+      StitchNow += R.BodyTicks;
+      Trace->end(R.Lane, obs::EventKind::ReplaySlice, StitchNow,
+                 R.Vm->retired());
+      Trace->instant(R.Lane, obs::EventKind::ReplayParity, StitchNow,
+                     R.Res.ParityOk ? 1 : 0);
+    } else {
+      Trace->end(R.Lane, obs::EventKind::ReplaySlice, Now, R.Vm->retired());
+      Trace->instant(R.Lane, obs::EventKind::ReplayParity, Now,
+                     R.Res.ParityOk ? 1 : 0);
+    }
   }
   return std::move(R.Res);
 }
@@ -446,16 +539,7 @@ ReplayReport ReplayEngine::replay(const ToolFactory &Factory,
     Rep.Slices.push_back(std::move(Res));
   };
 
-  // Tracing forces serial: replay trace timestamps come from the single
-  // engine-wide clock, which slice bodies advance step by step. Never
-  // downgrade silently — the user asked for workers they will not get.
-  if (HostWorkers != 0 && Trace && !WarnedSerialTrace) {
-    WarnedSerialTrace = true;
-    errs() << "warning: -sptrace forces serial replay; ignoring -spmp "
-           << HostWorkers << " (trace timestamps come from the single "
-           << "engine-wide clock, which slice bodies advance)\n";
-  }
-  if (HostWorkers == 0 || Trace) {
+  if (HostWorkers == 0) {
     for (uint32_t Num : Nums)
       Accumulate(replaySlice(Cap.Slices[Num], Factory, Areas));
   } else {
@@ -478,6 +562,13 @@ ReplayReport ReplayEngine::replay(const ToolFactory &Factory,
     // zombie's state valid without blocking containment.
     std::vector<std::unique_ptr<SliceRun>> Zombies;
     HostCancel.store(false, std::memory_order_relaxed);
+    // Staged tracing: bodies record into SliceRun-owned buffers and the
+    // retire loop stitches them here, in merge order, onto a stitch clock
+    // seeded from the serial position. Byte-identity with serial replay
+    // holds fault-free; a contained slice's re-execution re-forwards the
+    // master, which the stitch clock charges like any other prepare.
+    StagingTrace = Trace != nullptr;
+    StitchNow = Now;
     if (HostTrace) {
       // Lanes must exist before the pool threads start; this (calling)
       // thread takes the sim lane for its merge-side waits.
@@ -568,7 +659,10 @@ ReplayReport ReplayEngine::replay(const ToolFactory &Factory,
     }
     if (HostTrace)
       HostTrace->laneStopped(HostTrace->simLane(), HostTrace->nowNs());
+    StagingTrace = false;
   }
+
+  Rep.WallTicks = Now;
 
   // Fini over the merged areas, exactly like MasterTask::runFini.
   SliceServices FiniServices(Areas, static_cast<uint32_t>(Cap.Slices.size()),

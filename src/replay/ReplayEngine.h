@@ -43,6 +43,7 @@
 namespace spin::obs {
 class HostTraceRecorder;
 class TraceRecorder;
+class TraceSink;
 }
 
 namespace spin::prof {
@@ -64,6 +65,11 @@ struct ReplaySliceResult {
   std::string Note;
   uint64_t PlaybackSyscalls = 0;
   uint64_t DuplicatedSyscalls = 0;
+  /// Deterministic virtual ticks of the prepare segment (master
+  /// fast-forward, fork, tool/VM construction) and the body loop; the two
+  /// tile replay's clock and feed the -spdoctor replay diagnosis.
+  os::Ticks PrepTicks = 0;
+  os::Ticks BodyTicks = 0;
 };
 
 /// Aggregate outcome of a replay() call.
@@ -74,6 +80,9 @@ struct ReplayReport {
   uint64_t ReplayedInsts = 0;
   uint64_t PlaybackSyscalls = 0;
   uint64_t DuplicatedSyscalls = 0;
+  /// Replay's deterministic clock at the end of the run (identical for
+  /// every -spmp worker count; wall time is not).
+  os::Ticks WallTicks = 0;
   std::string FiniOutput; ///< replay tool's Fini over the merged areas
   std::vector<ReplaySliceResult> Slices;
 
@@ -101,7 +110,10 @@ public:
   /// Attaches a trace recorder: replay emits ReplayForward spans (master
   /// lane) while rebuilding windows, a ReplaySlice span plus a parity
   /// instant per slice, and syscall-playback / JIT-compile instants, all
-  /// on replay's own deterministic tick clock.
+  /// on replay's own deterministic tick clock. Under -spmp the events are
+  /// staged per slice and stitched in merge order onto a stitch clock that
+  /// replays the serial timeline, so the trace is byte-identical for every
+  /// worker count.
   void setTrace(obs::TraceRecorder *Recorder);
 
   /// Attaches an overhead-attribution collector (-spprof): master
@@ -114,17 +126,13 @@ public:
   /// everything on the calling thread). Master reconstruction, forks, tool
   /// construction, and merges stay on the calling thread and slices retire
   /// in ascending slice order regardless of host finish order, so parity
-  /// results, shared-area folds, profiles, and fini output are
-  /// byte-identical for every N. Forced serial while a trace recorder is
-  /// attached: replay trace timestamps come from the single engine-wide
-  /// clock, which slice bodies advance. The forced downgrade warns once
-  /// on stderr per engine instead of silently degrading.
+  /// results, shared-area folds, profiles, fini output, and (via staged
+  /// stitching) trace output are byte-identical for every N.
   void setHostWorkers(unsigned N) { HostWorkers = N; }
 
   /// Attaches a host wall-clock recorder (obs/HostTraceRecorder.h): the
   /// parallel replay path records per-worker spans and pool gauges into
-  /// it. Ignored on the serial path (there is no pool to observe), and in
-  /// particular when a trace recorder forces replay serial.
+  /// it. Ignored on the serial path (there is no pool to observe).
   void setHostTrace(obs::HostTraceRecorder *Recorder) {
     HostTrace = Recorder;
   }
@@ -160,11 +168,21 @@ private:
   uint64_t HostWatchdogMs = 0;
   std::function<void(uint32_t)> HostBodyHook;
   std::atomic<bool> HostCancel{false};
-  /// The -sptrace-forces-serial warning fired (it prints once per engine).
-  bool WarnedSerialTrace = false;
   /// Replay's deterministic clock (replay runs outside the live
   /// scheduler): advances by the cost-model price of executed work.
   os::Ticks Now = 0;
+
+  // Deterministic parallel tracing (-sptrace with -spmp): while the host
+  // pool runs, every trace event is staged in its SliceRun with an offset
+  // relative to its segment (prepare / body) and stitched into the master
+  // recorder at retire time. StitchNow tiles [prepare)[body) per slice in
+  // merge order, reproducing the serial timeline exactly; prepare-side
+  // emitters (applyWindow) write through PrepSink with offsets relative to
+  // PrepStartNow while it is set.
+  bool StagingTrace = false;
+  os::Ticks StitchNow = 0;
+  obs::TraceSink *PrepSink = nullptr;
+  os::Ticks PrepStartNow = 0;
 
   // Master reconstruction state: windows [0, NextWindow) applied.
   std::optional<os::Process> Master;

@@ -43,6 +43,8 @@
 #include "host/ChargeStream.h"
 #include "host/CompletionQueue.h"
 #include "host/WorkerPool.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Metrics.h"
 #include "obs/TraceRecorder.h"
 #include "os/Kernel.h"
 #include "os/Process.h"
@@ -51,9 +53,11 @@
 #include "pin/Runner.h"
 #include "prof/Profile.h"
 #include "superpin/Capture.h"
+#include "superpin/Reporting.h"
 #include "superpin/SharedAreas.h"
 #include "support/ErrorHandling.h"
 #include "support/RawOstream.h"
+#include "support/Statistic.h"
 #include "vm/Interpreter.h"
 
 #include <algorithm>
@@ -195,6 +199,11 @@ struct Coordinator {
   /// tick-identical to unprofiled ones.
   prof::ProfileCollector *Prof = nullptr;
 
+  /// Postmortem flight recorder (-spflightrec); null when off. Armed by
+  /// the first containment event / breaker trip / watchdog kill; the
+  /// bundle itself is dumped at run teardown when the full report exists.
+  obs::FlightRecorder *Flight = nullptr;
+
   /// Host wall-clock recorder (-sphosttrace/-sphoststats); null when off
   /// or when Pool is null. Wall-clock only: never consulted for virtual
   /// time, so -spmp results are byte-identical with it attached.
@@ -239,6 +248,9 @@ struct Coordinator {
   bool BreakerTripped = false;
   uint32_t ClosedWindows = 0;
   uint32_t FailedWindows = 0;
+  /// Spilled windows (-spdefer) not yet resumed by the post-exit drain
+  /// (sampled into the sp.defer.backlog counter track).
+  uint32_t DeferBacklogCount = 0;
 
   // --- Host fault containment (meaningful only with Pool) ---------------
   /// Resolved -sphostwatchdog deadline in nanoseconds: how long the sim
@@ -279,6 +291,11 @@ struct Coordinator {
       if (Tr)
         Tr->instant(obs::TraceRecorder::MasterLane,
                     obs::EventKind::BreakerTrip, Sched.now(), FailedWindows);
+      if (Flight)
+        Flight->recordEvent("breaker.trip", ~0u, 0, Sched.now(),
+                            std::to_string(FailedWindows) + " of " +
+                                std::to_string(ClosedWindows) +
+                                " windows failed");
     }
   }
 
@@ -301,9 +318,33 @@ struct Coordinator {
     if (HostTr)
       HostTr->instant(HostTr->simLane(), obs::HostInstantKind::PoolDegrade,
                       HostTr->nowNs(), HostFailures);
+    if (Flight)
+      Flight->recordEvent("host.degraded", ~0u, 0, Sched.now(),
+                          std::to_string(HostFailures) +
+                              " worker failures tripped the host breaker");
   }
 
   void sliceMerged();
+};
+
+/// Per-slice staging sink for dispatched bodies (-spmp -sptrace): trace
+/// events the body emits are interleaved into its charge stream at their
+/// exact canonical position (RecordingTap::noteTrace). The sim thread's
+/// replayer re-emits them into the master recorder stamped with the
+/// replay-position virtual clock — the timestamp and ring position the
+/// serial engine would have produced — so the exported trace stays
+/// byte-identical for every worker count. Lane and Ts are ignored here:
+/// the lane is constant per slice and the clock is sim-thread state.
+class StagingTraceSink final : public obs::TraceSink {
+public:
+  explicit StagingTraceSink(host::RecordingTap &Tap) : Tap(Tap) {}
+  void push(uint32_t, obs::EventKind K, obs::EventPhase Ph, os::Ticks,
+            uint64_t Arg) override {
+    Tap.noteTrace(K, Ph, Arg);
+  }
+
+private:
+  host::RecordingTap &Tap;
 };
 
 /// An instrumented timeslice (paper Section 3): a COW fork of the master
@@ -496,11 +537,11 @@ private:
   /// Attribution sink for body charges: the lane profile serially, the
   /// worker-local HostProf while a worker owns the body.
   prof::SliceProfile *BodyProf = nullptr;
-  /// Trace sink for body instants: C.Tr serially, null while a worker
-  /// owns the body (the recorder and the virtual clock are sim-thread
-  /// state; body-side slice-lane instants are suppressed under -spmp,
-  /// see INTERNALS.md).
-  obs::TraceRecorder *Tb = nullptr;
+  /// Trace sink for body instants: C.Tr serially, the per-slice staging
+  /// sink while a worker owns the body (events ride the charge stream
+  /// and are restamped by the replaying sim thread, so the exported
+  /// trace is byte-identical across worker counts).
+  obs::TraceSink *Tb = nullptr;
   /// Run-report deltas the body accumulates; flushed at doMerge.
   BodyStats BS;
 
@@ -511,6 +552,8 @@ private:
   std::optional<host::ChargeStream> Stream;
   std::optional<host::RecordingTap> Rec;
   std::optional<host::StreamReplayer> Replayer;
+  /// Body-visible trace sink while a worker owns the body (-sptrace).
+  std::optional<StagingTraceSink> Staging;
   /// Always-budgeted ledger the worker charges; its tap canonicalises the
   /// body's check/charge sequence into Stream for sim-side replay.
   TickLedger RecLedger;
@@ -584,11 +627,16 @@ private:
           return TaskStatus::Blocked;
         if (Route != WindowRoute::Live) {
           Info.ReadyTime = C.Sched.now(); // Drain start = resume moment.
+          if (Route == WindowRoute::Deferred && C.DeferBacklogCount)
+            --C.DeferBacklogCount;
           if (C.Tr) {
             C.Tr->end(lane(), obs::EventKind::SliceSleep, Info.ReadyTime);
-            if (Route == WindowRoute::Deferred)
+            if (Route == WindowRoute::Deferred) {
               C.Tr->instant(lane(), obs::EventKind::DeferDrain,
                             Info.ReadyTime, Num);
+              C.Tr->counter(obs::EventKind::DeferBacklog, Info.ReadyTime,
+                            C.DeferBacklogCount);
+            }
             C.Tr->begin(lane(), obs::EventKind::SliceRun, Info.ReadyTime);
           }
           if (Route == WindowRoute::Quarantine)
@@ -705,7 +753,7 @@ private:
       }
       if (Tb && !SigSearchOpen) {
         SigSearchOpen = true;
-        Tb->begin(lane(), obs::EventKind::SigSearch, C.Sched.now());
+        Tb->begin(lane(), obs::EventKind::SigSearch, bodyNow());
       }
       uint64_t Ret = Vm->retired();
       uint64_t Exp = Window->ExpectedInsts;
@@ -829,7 +877,7 @@ private:
     Ctx.SuppressOutput = true;
     Ctx.Trace = Tb;
     Ctx.TraceLane = lane();
-    Ctx.TraceNow = Tb ? C.Sched.now() : 0;
+    Ctx.TraceNow = Tb ? bodyNow() : 0;
     serviceSyscall(Proc, Ctx, nullptr);
     ExecLedger->charge(C.InstCost + C.Model.SyscallCost);
     if (BodyProf)
@@ -896,7 +944,7 @@ private:
         ++Info.PlayedBackSyscalls;
         ++BS.PlaybackSyscalls;
         if (Tb)
-          Tb->instant(lane(), obs::EventKind::SysPlayback, C.Sched.now(),
+          Tb->instant(lane(), obs::EventKind::SysPlayback, bodyNow(),
                       WS.Effects.Number);
       } else {
         // Duplicable: re-execute against this slice's forked kernel state
@@ -906,7 +954,7 @@ private:
         Ctx.SuppressOutput = true;
         Ctx.Trace = Tb;
         Ctx.TraceLane = lane();
-        Ctx.TraceNow = Tb ? C.Sched.now() : 0;
+        Ctx.TraceNow = Tb ? bodyNow() : 0;
         serviceSyscall(Proc, Ctx, nullptr);
         ExecLedger->charge(C.InstCost + C.Model.SyscallCost);
         if (BodyProf)
@@ -956,7 +1004,7 @@ private:
     Vm->disarmDetection();
     if (Tb && SigSearchOpen) {
       SigSearchOpen = false;
-      Tb->end(lane(), obs::EventKind::SigSearch, C.Sched.now());
+      Tb->end(lane(), obs::EventKind::SigSearch, bodyNow());
     }
   }
 
@@ -981,7 +1029,7 @@ private:
     Vm->disarmDetection();
     if (Tb && SigSearchOpen) {
       SigSearchOpen = false;
-      Tb->end(lane(), obs::EventKind::SigSearch, C.Sched.now());
+      Tb->end(lane(), obs::EventKind::SigSearch, bodyNow());
     }
     BS.WastedSliceInsts += Vm->retired();
     BS.TracesCompiled += Vm->tracesCompiled();
@@ -1015,14 +1063,18 @@ private:
     case FailReason::Stall:
       ++BS.WatchdogKills;
       if (Tb)
-        Tb->instant(lane(), obs::EventKind::WatchdogKill, C.Sched.now(),
+        Tb->instant(lane(), obs::EventKind::WatchdogKill, bodyNow(),
                     Vm->retired());
+      if (C.Flight)
+        C.Flight->recordEvent("watchdog.kill", Num, Info.Attempts, bodyNow(),
+                              std::to_string(Vm->retired()) +
+                                  " insts retired when killed");
       break;
     case FailReason::Divergence:
       ++BS.PlaybackDivergences;
       if (Tb)
         Tb->instant(lane(), obs::EventKind::PlaybackDivergence,
-                    C.Sched.now(), SysPos);
+                    bodyNow(), SysPos);
       break;
     case FailReason::Crash:
       break; // The retry/quarantine instants tell the story.
@@ -1046,6 +1098,9 @@ private:
       if (C.Tr)
         C.Tr->instant(lane(), obs::EventKind::SliceRetry, C.Sched.now(),
                       Attempt);
+      if (C.Flight)
+        C.Flight->recordEvent("slice.retry", Num, Attempt, C.Sched.now(),
+                              "attempt failed; re-forked from the checkpoint");
       beginAttempt();
       return; // Still Running; runSlice continues with the fresh fork.
     }
@@ -1072,6 +1127,10 @@ private:
       C.Tr->end(lane(), obs::EventKind::SliceRun, C.Sched.now());
       C.Tr->begin(lane(), obs::EventKind::SliceSleep, C.Sched.now());
     }
+    if (C.Flight)
+      C.Flight->recordEvent("slice.quarantine", Num, Attempt, C.Sched.now(),
+                            "retry budget exhausted; parked for the "
+                            "post-exit relaxed re-execution");
     if (C.MasterExited)
       C.startDrain(); // The drain signal already passed; raise it now.
     Ph = Phase::WaitDrain;
@@ -1115,6 +1174,11 @@ private:
   /// NowMs, so 0 is safe there (the byte-identity tests pin this down).
   uint64_t bodyNowMs() const { return HostActive ? 0 : C.Sched.nowMs(); }
 
+  /// Virtual timestamp for body-side trace emission. On a worker the
+  /// staging sink ignores it (the replayer restamps at replay position),
+  /// and the sim clock is off-limits there anyway.
+  Ticks bodyNow() const { return HostActive ? 0 : C.Sched.now(); }
+
   /// Hands this slice's body to the worker pool (-spmp). Called by
   /// completeWindow on the sim thread, before the slice's next step; from
   /// here until retireHostBody the worker owns Proc/Vm/Tool/Window/BS and
@@ -1146,8 +1210,23 @@ private:
     RecLedger.setCancelToken(C.HostWatchdogNs ? &HostCancel : nullptr);
     ExecLedger = &RecLedger;
     CurLedger = &RecLedger; // Memory events now fire on the worker.
-    Tb = nullptr;           // Recorder and sim clock are off-limits there.
-    Vm->setTraceSink(nullptr);
+    // The master recorder and the sim clock are off-limits on a worker.
+    // With tracing on, the body emits into a staging sink that rides the
+    // charge stream; the replayer below re-emits each marker into C.Tr at
+    // its replay position, reproducing the serial timestamps and ring
+    // order exactly. With tracing off, body emission is simply dark.
+    if (C.Tr) {
+      Staging.emplace(*Rec);
+      Tb = &*Staging;
+      Vm->setTraceSink(&*Staging);
+      Replayer->setTraceFn(
+          [this](obs::EventKind K, obs::EventPhase Ph, uint64_t Arg) {
+            C.Tr->push(lane(), K, Ph, C.Sched.now(), Arg);
+          });
+    } else {
+      Tb = nullptr;
+      Vm->setTraceSink(nullptr);
+    }
     if (Prof) {
       HostProf.emplace();
       BodyProf = &*HostProf;
@@ -1305,9 +1384,14 @@ private:
       HostProf.reset();
       BodyProf = Prof;
     }
-    // The trace sink stays detached: a clean body's VM never runs again,
-    // and a failed one is rebuilt (beginAttempt / containHostBody) with
-    // full sim plumbing.
+    // Drop the staging sink: a clean body's VM never runs again, and a
+    // failed one is rebuilt (beginAttempt / containHostBody) with full
+    // sim plumbing via makeConfig. Detach the VM first so no stale
+    // pointer survives the optional's reset.
+    if (Staging) {
+      Vm->setTraceSink(nullptr);
+      Staging.reset();
+    }
   }
 
   /// Sim-side retire: the replayed stream reached its terminal, so the
@@ -1340,6 +1424,11 @@ private:
     if (C.HostTr)
       C.HostTr->instant(C.HostTr->simLane(), obs::HostInstantKind::WatchdogKill,
                         C.HostTr->nowNs(), Num);
+    if (C.Flight)
+      C.Flight->recordEvent("host.watchdog", Num, Info.Attempts, C.Sched.now(),
+                            "charge stream starved past " +
+                                std::to_string(C.Opts.hostWatchdogDeadlineMs()) +
+                                " ms; worker declared dead");
     // Generous drain bound: a cancelled worker only needs to reach its
     // next budget gate and publish its completion record. Expiry means
     // the worker is wedged beyond cooperative recovery (e.g. stuck
@@ -1374,6 +1463,12 @@ private:
       ++C.Report.HostFaultsInjected; // counted only when it actually cut
     if (SC.Exception)
       ++C.Report.HostWorkerExceptions;
+    if (C.Flight)
+      C.Flight->recordEvent(SC.Exception ? "host.exception" : "host.contained",
+                            Num, Info.Attempts, C.Sched.now(),
+                            SC.Exception ? "worker body threw; contained"
+                                         : "dead body contained; window "
+                                           "re-executes on the sim thread");
     if (SC.Cancelled)
       ++C.Report.HostCancelledBodies;
     ++C.Report.HostFallbackSlices;
@@ -1476,9 +1571,14 @@ private:
       Recs += WS.IsPlayback ? 1 : 0;
     C.Report.SliceSysRecsHist.record(Recs);
     C.Report.SliceAttemptsHist.record(Info.Attempts);
-    if (C.Tr)
+    if (C.Tr) {
       C.Tr->instant(lane(), obs::EventKind::SliceMerge, Info.MergeTime,
                     Vm->retired());
+      C.Tr->counter(obs::EventKind::SlicesRetired, Info.MergeTime,
+                    C.MergedCount + 1);
+      C.Tr->counter(obs::EventKind::LiveForks, Info.MergeTime,
+                    C.Slices.size() - (C.MergedCount + 1));
+    }
     C.Report.SliceInsts += Vm->retired();
     C.Report.Signature.mergeFrom(SigSt);
     C.Report.TracesCompiled += Vm->tracesCompiled();
@@ -1934,10 +2034,14 @@ private:
                      C.Model.SpillSliceCost + Bytes * C.Model.SpillPerByteCost);
       if (Route == WindowRoute::Deferred) {
         ++C.Report.SpilledSlices;
-        if (C.Tr)
+        ++C.DeferBacklogCount;
+        if (C.Tr) {
           C.Tr->instant(obs::TraceRecorder::MasterLane,
                         obs::EventKind::DeferSpill, C.Sched.now(),
                         C.Slices.size() - 1);
+          C.Tr->counter(obs::EventKind::DeferBacklog, C.Sched.now(),
+                        C.DeferBacklogCount);
+        }
       }
     }
     if (C.Sink) {
@@ -1971,6 +2075,9 @@ private:
     C.Slices.push_back(Slice.get());
     C.SliceIds.push_back(C.Sched.addTask(std::move(Slice)));
     ++C.Report.NumSlices;
+    if (C.Tr) // Live forks: forked-so-far minus merged-so-far.
+      C.Tr->counter(obs::EventKind::LiveForks, C.Sched.now(),
+                    C.Slices.size() - C.MergedCount);
     if (C.Sink) {
       PendingCap = SliceCaptureData();
       PendingCap.Num = Num;
@@ -2052,6 +2159,20 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   C.Sink = Opts.Capture;
   C.Tr = Opts.Trace;
   C.Prof = Opts.Profile;
+  // -spflightrec: arm the postmortem recorder. When no -sptrace recorder
+  // was attached, keep an engine-internal ring so a triggered bundle still
+  // carries the retained trace window (emission charges no virtual time,
+  // so arming stays tick-identical).
+  std::optional<obs::FlightRecorder> Flight;
+  std::optional<obs::TraceRecorder> FlightTrace;
+  if (!Opts.FlightDir.empty()) {
+    Flight.emplace(Opts.FlightDir, Model.TicksPerMs);
+    C.Flight = &*Flight;
+    if (!C.Tr) {
+      FlightTrace.emplace();
+      C.Tr = &*FlightTrace;
+    }
+  }
   // Normalize: a disabled plan is exactly like no plan, so the whole
   // recovery apparatus stays inert and flags-off runs are byte-identical.
   C.Fault = Opts.Fault && Opts.Fault->enabled() ? Opts.Fault : nullptr;
@@ -2143,6 +2264,38 @@ SpRunReport spin::sp::runSuperPin(const Program &Prog,
   }
   if (Cursor != Report.MasterInsts)
     Report.PartitionOk = false;
+
+  // Trace-ring telemetry: fold the recorders' drop counts into the report
+  // (exported as obs.trace.dropped / host.trace.droppedspans, gated on the
+  // attachment flags so the default counter-name set is unchanged).
+  if (C.Tr) {
+    Report.TraceAttached = true;
+    Report.TraceDropped = C.Tr->dropped();
+  }
+  if (C.HostTr) {
+    Report.HostTraceAttached = true;
+    Report.HostTraceDropped = C.HostTr->droppedSpans();
+  }
+
+  // Postmortem bundle (-spflightrec): a containment event, breaker trip,
+  // or watchdog kill armed the recorder during the run; now that the full
+  // report exists, dump the evidence and name the directory on stderr.
+  if (Flight && Flight->triggered()) {
+    StatisticRegistry Stats;
+    exportStatistics(Report, Stats);
+    Flight->writeCounters(Stats);
+    if (C.Tr)
+      Flight->writeTrace(*C.Tr, C.HostTr);
+    Flight->writeDoctor(obs::diagnose(doctorInput(Report, Opts)));
+    Flight->writeManifest();
+    if (!Flight->error().empty())
+      errs() << "superpin: flight recorder: " << Flight->error() << "\n";
+    else
+      errs() << "superpin: flight recorder bundle written to '"
+             << Flight->dir() << "' (" << Flight->eventCount()
+             << " events)\n";
+  }
+
   if (C.Sink)
     C.Sink->onRunEnd(Report);
   return Report;

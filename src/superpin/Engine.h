@@ -159,6 +159,15 @@ struct SpRunReport {
   /// execution (one warning, byte-identical output).
   bool HostDegraded = false;
 
+  // --- Trace-ring telemetry (src/obs, -sptrace / -sphosttrace) ----------
+  // Attachment flags gate the export so the default counter-name set is
+  // unchanged on runs without recorders; the dropped counts make a
+  // wrapped (truncated) ring visible in the artifacts themselves.
+  bool TraceAttached = false;
+  uint64_t TraceDropped = 0; ///< TraceRecorder events overwritten (ring wrap)
+  bool HostTraceAttached = false;
+  uint64_t HostTraceDropped = 0; ///< HostTraceRecorder spans overwritten
+
   // --- Signature mechanism (§4.4) ---------------------------------------
   SignatureStats Signature;
 

@@ -8,6 +8,7 @@
 #include "superpin/Reporting.h"
 
 #include "obs/Metrics.h"
+#include "prof/Profile.h"
 #include "support/RawOstream.h"
 #include "support/Statistic.h"
 #include "support/StringExtras.h"
@@ -202,6 +203,12 @@ void spin::sp::exportStatistics(const SpRunReport &Report,
   Stats.histogram("superpin.hist.slice.waitticks") = Report.SliceWaitHist;
   Stats.histogram("superpin.hist.sig.checkdist") = Report.SigCheckDistHist;
   Stats.histogram("superpin.hist.slice.attempts") = Report.SliceAttemptsHist;
+  // Trace-ring truncation telemetry, gated on attachment so runs without
+  // recorders keep the golden default name set.
+  if (Report.TraceAttached)
+    Stats.counter("obs.trace.dropped") = Report.TraceDropped;
+  if (Report.HostTraceAttached)
+    Stats.counter("host.trace.droppedspans") = Report.HostTraceDropped;
   // Host wall-clock gauges exist only on -spmp runs (and the attribution
   // set only when a HostTraceRecorder was attached); the gate keeps the
   // default export list — pinned by the golden-names test — unchanged.
@@ -280,6 +287,44 @@ void spin::sp::printTimeline(const SpRunReport &Report,
     OS.indent(S.Num + 1 < 10 ? 7 : (S.Num + 1 < 100 ? 6 : 5));
     OS << Row << '\n';
   }
+}
+
+obs::DoctorInput spin::sp::doctorInput(const SpRunReport &Report,
+                                       const SpOptions &Opts) {
+  obs::DoctorInput In;
+  In.WallTicks = Report.WallTicks;
+  In.MasterExitTicks = Report.MasterExitTicks;
+  In.NativeTicks = Report.NativeTicks;
+  In.ForkOthersTicks = Report.ForkOthersTicks;
+  In.SleepTicks = Report.SleepTicks;
+  In.MaxSlices = Opts.MaxSlices;
+  In.HostWorkers = Report.HostWorkers;
+  if (Opts.Profile) {
+    for (unsigned I = 0; I < prof::NumCauses; ++I)
+      In.CauseNames.push_back(
+          prof::causeName(static_cast<prof::Cause>(I)));
+    const prof::SliceProfile &M = Opts.Profile->masterProfile();
+    In.MasterNativeCauseTicks = M.nativeTicks();
+    for (unsigned I = 0; I < prof::NumCauses; ++I)
+      In.MasterCauseTicks.push_back(
+          M.cause(static_cast<prof::Cause>(I)));
+  }
+  In.Slices.reserve(Report.Slices.size());
+  for (const SliceInfo &S : Report.Slices) {
+    obs::DoctorSliceInput D;
+    D.Num = S.Num;
+    D.SpawnTime = S.SpawnTime;
+    D.ReadyTime = S.ReadyTime;
+    D.EndTime = S.EndTime;
+    D.MergeTime = S.MergeTime;
+    D.Attempts = S.Attempts;
+    if (Opts.Profile)
+      if (const prof::SliceProfile *P = Opts.Profile->findSlice(S.Num))
+        for (unsigned I = 0; I < prof::NumCauses; ++I)
+          D.CauseTicks.push_back(P->cause(static_cast<prof::Cause>(I)));
+    In.Slices.push_back(std::move(D));
+  }
+  return In;
 }
 
 void spin::sp::writeRunMetricsJson(const SpRunReport &Report,

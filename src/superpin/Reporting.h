@@ -16,6 +16,7 @@
 #ifndef SUPERPIN_SUPERPIN_REPORTING_H
 #define SUPERPIN_SUPERPIN_REPORTING_H
 
+#include "obs/Doctor.h"
 #include "superpin/Engine.h"
 
 namespace spin {
@@ -57,6 +58,12 @@ void printTimeline(const SpRunReport &Report, const os::CostModel &Model,
 /// breakdown (wall/native/forkothers/sleep/pipeline) in ticks and seconds.
 void writeRunMetricsJson(const SpRunReport &Report, const os::CostModel &Model,
                          RawOstream &OS);
+
+/// Flattens \p Report into the obs::Doctor input for -spdoctor: the slice
+/// schedule, the master phase totals, the parallelism knobs from \p Opts,
+/// and — when \p Opts.Profile was attached — the spprof cause taxonomy per
+/// lane. Pass the result to obs::diagnose().
+obs::DoctorInput doctorInput(const SpRunReport &Report, const SpOptions &Opts);
 
 } // namespace spin::sp
 

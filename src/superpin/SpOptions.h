@@ -166,6 +166,15 @@ struct SpOptions {
   /// byte-identical with host tracing on or off.
   obs::HostTraceRecorder *HostTrace = nullptr;
 
+  /// -spflightrec: when non-empty, arm the postmortem flight recorder
+  /// (obs/FlightRecorder.h). The first containment event, breaker trip,
+  /// or watchdog kill creates this directory; at run teardown the engine
+  /// dumps a self-contained bundle there (retained trace window, counter
+  /// snapshot, failing-slice event log, spin_doctor diagnosis) and names
+  /// the directory on stderr. Clean runs create nothing. Purely
+  /// observational: arming it never charges virtual time.
+  std::string FlightDir;
+
   // --- Fault injection & recovery (src/fault) ---------------------------
   /// -spfault/-spfaultseed: when non-null and enabled(), the engine
   /// consults this plan per slice and injects the planned faults. A null

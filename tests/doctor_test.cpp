@@ -1,0 +1,571 @@
+//===- tests/doctor_test.cpp - Critical-path diagnosis tests --------------===//
+//
+// Part of the SuperPin reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The -spdoctor diagnosis layer: the binding-predecessor critical-path
+// walk (obs/CriticalPath.h) over golden synthetic graphs with known
+// answers, the live/replay diagnoses (obs/Doctor.h) whose attribution
+// must sum to the wall time exactly, the spdoctor-v1 JSON document, the
+// attachment-gated trace-drop counters, and the postmortem flight
+// recorder (obs/FlightRecorder.h) — clean runs write nothing, triggered
+// runs dump a parseable bundle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/CriticalPath.h"
+#include "obs/Doctor.h"
+#include "obs/FlightRecorder.h"
+#include "obs/TraceRecorder.h"
+
+#include "superpin/Engine.h"
+#include "superpin/Reporting.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+#include "support/Statistic.h"
+#include "tools/Icount.h"
+#include "workloads/Generator.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace spin;
+using namespace spin::obs;
+using namespace spin::os;
+
+namespace {
+
+os::Ticks kindTicksSum(const std::array<os::Ticks, NumCpKinds> &K) {
+  os::Ticks Sum = 0;
+  for (os::Ticks T : K)
+    Sum += T;
+  return Sum;
+}
+
+// --- Critical-path walk: golden graphs -----------------------------------
+
+TEST(CriticalPath, LinearChainPartitionsExactly) {
+  CpGraph G;
+  uint32_t Start = G.addNode("start", 0);
+  uint32_t A = G.addNode("a", 10);
+  uint32_t B = G.addNode("b", 30);
+  uint32_t Sink = G.addNode("sink", 100);
+  G.addEdge(Start, A, CpKind::MasterRun);
+  G.addEdge(A, B, CpKind::Fork);
+  G.addEdge(B, Sink, CpKind::SliceBody);
+
+  CpResult R = analyzeCriticalPath(G, Start, Sink);
+  ASSERT_TRUE(R.Valid) << R.Error;
+  EXPECT_EQ(R.TotalTicks, 100u);
+  ASSERT_EQ(R.Path.size(), 3u);
+  // Source-to-sink order, contiguous segments covering [0, 100].
+  EXPECT_EQ(R.Path[0].Begin, 0u);
+  EXPECT_EQ(R.Path[0].End, 10u);
+  EXPECT_EQ(R.Path[1].Begin, 10u);
+  EXPECT_EQ(R.Path[1].End, 30u);
+  EXPECT_EQ(R.Path[2].Begin, 30u);
+  EXPECT_EQ(R.Path[2].End, 100u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::MasterRun)], 10u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::Fork)], 20u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::SliceBody)], 70u);
+  EXPECT_EQ(kindTicksSum(R.KindTicks), R.TotalTicks);
+  for (os::Ticks S : R.Slack)
+    EXPECT_EQ(S, 0u); // a chain has no slack anywhere
+}
+
+TEST(CriticalPath, BindingPredecessorWinsAndSlackIsMeasured) {
+  // Diamond: the sink's two predecessors finished at 40 (a) and 70 (b);
+  // b bound the sink, so the path runs through b and a's edge carries
+  // 30 ticks of slack.
+  CpGraph G;
+  uint32_t Start = G.addNode("start", 0);
+  uint32_t A = G.addNode("a", 40);
+  uint32_t B = G.addNode("b", 70);
+  uint32_t Sink = G.addNode("sink", 80);
+  G.addEdge(Start, A, CpKind::MasterRun); // edge 0
+  G.addEdge(Start, B, CpKind::Fork);      // edge 1
+  G.addEdge(A, Sink, CpKind::Merge);      // edge 2: slack 30
+  G.addEdge(B, Sink, CpKind::SliceBody);  // edge 3: binding
+
+  CpResult R = analyzeCriticalPath(G, Start, Sink);
+  ASSERT_TRUE(R.Valid) << R.Error;
+  ASSERT_EQ(R.Path.size(), 2u);
+  EXPECT_EQ(R.Path[0].Edge, 1u);
+  EXPECT_EQ(R.Path[1].Edge, 3u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::Fork)], 70u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::SliceBody)], 10u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::Merge)], 0u);
+  EXPECT_EQ(kindTicksSum(R.KindTicks), 80u);
+  ASSERT_EQ(R.Slack.size(), 4u);
+  EXPECT_EQ(R.Slack[2], 30u);
+  EXPECT_EQ(R.Slack[3], 0u);
+}
+
+TEST(CriticalPath, TiesBreakTowardLowestEdgeIndex) {
+  // Both predecessors of the sink completed at 50: the walk must pick the
+  // lower edge index deterministically.
+  CpGraph G;
+  uint32_t Start = G.addNode("start", 0);
+  uint32_t A = G.addNode("a", 50);
+  uint32_t B = G.addNode("b", 50);
+  uint32_t Sink = G.addNode("sink", 60);
+  G.addEdge(Start, A, CpKind::MasterRun);
+  G.addEdge(Start, B, CpKind::Fork);
+  G.addEdge(A, Sink, CpKind::Merge);     // edge 2: wins the tie
+  G.addEdge(B, Sink, CpKind::SliceBody); // edge 3
+  CpResult R = analyzeCriticalPath(G, Start, Sink);
+  ASSERT_TRUE(R.Valid) << R.Error;
+  ASSERT_EQ(R.Path.size(), 2u);
+  EXPECT_EQ(R.Path[1].Edge, 2u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::MasterRun)], 50u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::Merge)], 10u);
+}
+
+TEST(CriticalPath, CycleIsRejected) {
+  CpGraph G;
+  uint32_t Start = G.addNode("start", 0);
+  uint32_t X = G.addNode("x", 10);
+  uint32_t Y = G.addNode("y", 10);
+  uint32_t Sink = G.addNode("sink", 20);
+  G.addEdge(Start, X, CpKind::MasterRun);
+  G.addEdge(X, Y, CpKind::MasterRun);
+  G.addEdge(Y, X, CpKind::MasterRun);
+  G.addEdge(X, Sink, CpKind::Drain);
+  CpResult R = analyzeCriticalPath(G, Start, Sink);
+  EXPECT_FALSE(R.Valid);
+  EXPECT_NE(R.Error.find("cycle"), std::string::npos) << R.Error;
+}
+
+TEST(CriticalPath, BackwardEdgeIsRejected) {
+  CpGraph G;
+  uint32_t Start = G.addNode("start", 0);
+  uint32_t A = G.addNode("a", 50);
+  uint32_t Sink = G.addNode("sink", 40);
+  G.addEdge(Start, A, CpKind::MasterRun);
+  G.addEdge(A, Sink, CpKind::Drain);
+  CpResult R = analyzeCriticalPath(G, Start, Sink);
+  EXPECT_FALSE(R.Valid);
+  EXPECT_NE(R.Error.find("backward"), std::string::npos) << R.Error;
+}
+
+TEST(CriticalPath, OutOfRangeIndicesAreRejected) {
+  CpGraph G;
+  uint32_t Start = G.addNode("start", 0);
+  uint32_t Sink = G.addNode("sink", 10);
+  G.addEdge(Start, 99, CpKind::MasterRun);
+  EXPECT_FALSE(analyzeCriticalPath(G, Start, Sink).Valid);
+
+  CpGraph G2;
+  G2.addNode("only", 0);
+  EXPECT_FALSE(analyzeCriticalPath(G2, 0, 7).Valid);
+}
+
+TEST(CriticalPath, UnreachableSinkIsRejected) {
+  CpGraph G;
+  uint32_t Start = G.addNode("start", 0);
+  uint32_t Sink = G.addNode("sink", 10); // no incoming edges
+  CpResult R = analyzeCriticalPath(G, Start, Sink);
+  EXPECT_FALSE(R.Valid);
+  EXPECT_NE(R.Error.find("no predecessor"), std::string::npos) << R.Error;
+}
+
+// --- Live diagnosis over a synthetic schedule ----------------------------
+
+/// Two slices, a master that exits at 600, a drain tail to 1000. Phase
+/// totals 300/150/150 split the 600 critical master ticks 2:1:1 exactly
+/// (powers-of-two shares, so no float truncation in the expectations).
+DoctorInput syntheticLiveInput() {
+  DoctorInput In;
+  In.WallTicks = 1000;
+  In.MasterExitTicks = 600;
+  In.NativeTicks = 300;
+  In.ForkOthersTicks = 150;
+  In.SleepTicks = 150;
+  In.MaxSlices = 4;
+  In.HostWorkers = 2;
+  DoctorSliceInput S0;
+  S0.Num = 0;
+  S0.SpawnTime = 100;
+  S0.ReadyTime = 300;
+  S0.EndTime = 500;
+  S0.MergeTime = 520;
+  DoctorSliceInput S1;
+  S1.Num = 1;
+  S1.SpawnTime = 300;
+  S1.ReadyTime = 600;
+  S1.EndTime = 900;
+  S1.MergeTime = 940;
+  In.Slices = {S0, S1};
+  return In;
+}
+
+TEST(Doctor, SyntheticLiveAttributionIsExact) {
+  DoctorReport R = diagnose(syntheticLiveInput());
+  ASSERT_TRUE(R.Valid) << R.Error;
+  EXPECT_EQ(R.Engine, "live");
+  EXPECT_EQ(R.Slices, 2u);
+
+  // The partition is exact: critical == wall, kinds sum to critical.
+  EXPECT_EQ(R.CriticalTicks, 1000u);
+  EXPECT_EQ(R.WallTicks, 1000u);
+  EXPECT_EQ(kindTicksSum(R.KindTicks), R.CriticalTicks);
+
+  // Golden per-kind attribution: the critical walk crosses the master
+  // chain (600, split 300/150/150 by the phase ratios), slice 1's body
+  // (300), its merge (40) and the drain tail (60).
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::MasterRun)], 300u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::Fork)], 150u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::MasterStall)], 150u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::SliceBody)], 300u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::Merge)], 40u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::Drain)], 60u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::WindowWait)], 0u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::MergeWait)], 0u);
+
+  // Host-attribution view sums to the critical time too.
+  os::Ticks HostSum = 0;
+  for (const DoctorBucket &B : R.HostBuckets)
+    HostSum += B.Ticks;
+  EXPECT_EQ(HostSum, R.CriticalTicks);
+
+  // Amdahl fit: serial = master.run + fork + merge + drain = 550.
+  EXPECT_EQ(R.SerialTicks, 550u);
+  EXPECT_EQ(R.ParallelTicks, 450u);
+  EXPECT_DOUBLE_EQ(R.SerialFraction, 0.55);
+  EXPECT_EQ(R.PredictedWall2x, 775u);
+  EXPECT_EQ(R.PredictedWall4x, 662u);
+  EXPECT_DOUBLE_EQ(R.PredictedSpeedup2x, 1000.0 / 775.0);
+
+  // Bottlenecks are ranked by share, capped at 3, and point at flags.
+  ASSERT_EQ(R.Bottlenecks.size(), 3u);
+  EXPECT_EQ(R.Bottlenecks[0].Kind, "master.run");
+  EXPECT_EQ(R.Bottlenecks[1].Kind, "slice.body");
+  EXPECT_GE(R.Bottlenecks[0].Ticks, R.Bottlenecks[1].Ticks);
+  EXPECT_GE(R.Bottlenecks[1].Ticks, R.Bottlenecks[2].Ticks);
+  EXPECT_FALSE(R.Bottlenecks[1].Hint.empty());
+  EXPECT_NE(std::find(R.RecommendedFlags.begin(), R.RecommendedFlags.end(),
+                      "-spmp"),
+            R.RecommendedFlags.end());
+}
+
+TEST(Doctor, EmptyScheduleDiagnosesMasterOnly) {
+  DoctorInput In;
+  In.WallTicks = 500;
+  In.MasterExitTicks = 400;
+  In.NativeTicks = 400;
+  DoctorReport R = diagnose(In);
+  ASSERT_TRUE(R.Valid) << R.Error;
+  EXPECT_EQ(R.CriticalTicks, 500u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::MasterRun)], 400u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::Drain)], 100u);
+}
+
+TEST(Doctor, CauseViewDistributesCriticalBodyTime) {
+  DoctorInput In = syntheticLiveInput();
+  In.CauseNames = {"analysis", "dispatch"};
+  // Slice 1 (the critical body) split 3:1; slice 0 never binds.
+  In.Slices[0].CauseTicks = {10, 10};
+  In.Slices[1].CauseTicks = {300, 100};
+  In.MasterCauseTicks = {50, 50};
+  In.MasterNativeCauseTicks = 500;
+  DoctorReport R = diagnose(In);
+  ASSERT_TRUE(R.Valid) << R.Error;
+  ASSERT_FALSE(R.CauseBuckets.empty());
+  // native + causes + wait covers the wall (within per-bucket rounding).
+  os::Ticks Sum = 0;
+  for (const DoctorBucket &B : R.CauseBuckets)
+    Sum += B.Ticks;
+  EXPECT_NEAR(static_cast<double>(Sum), 1000.0, R.CauseBuckets.size());
+  // The critical slice body (300 ticks) lands 3:1 on the two causes.
+  os::Ticks Analysis = 0;
+  for (const DoctorBucket &B : R.CauseBuckets)
+    if (B.Name == "analysis")
+      Analysis = B.Ticks;
+  EXPECT_GE(Analysis, 225u); // >= slice 1's 3/4 share of 300
+}
+
+// --- Replay diagnosis -----------------------------------------------------
+
+TEST(Doctor, ReplayChainAttributionIsExact) {
+  ReplayDoctorInput In;
+  In.WallTicks = 900;
+  In.HostWorkers = 2;
+  In.Slices = {{0, 100, 400}, {1, 50, 300}};
+  DoctorReport R = diagnoseReplay(In);
+  ASSERT_TRUE(R.Valid) << R.Error;
+  EXPECT_EQ(R.Engine, "replay");
+  EXPECT_EQ(R.CriticalTicks, 900u);
+  EXPECT_EQ(kindTicksSum(R.KindTicks), 900u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::MasterRun)], 150u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::SliceBody)], 700u);
+  EXPECT_EQ(R.KindTicks[unsigned(CpKind::Drain)], 50u);
+  EXPECT_EQ(R.SerialTicks, 200u);
+  EXPECT_EQ(R.ParallelTicks, 700u);
+  EXPECT_EQ(R.PredictedWall2x, 550u);
+  // The body-dominated replay diagnosis recommends host workers.
+  EXPECT_NE(std::find(R.RecommendedFlags.begin(), R.RecommendedFlags.end(),
+                      "-spmp"),
+            R.RecommendedFlags.end());
+}
+
+TEST(Doctor, ReplayWallShorterThanChainIsClamped) {
+  // A WallTicks below the chain sum (stale field) must not produce a
+  // backward drain edge; the diagnosis clamps wall up to the chain end.
+  ReplayDoctorInput In;
+  In.WallTicks = 10;
+  In.Slices = {{0, 100, 400}};
+  DoctorReport R = diagnoseReplay(In);
+  ASSERT_TRUE(R.Valid) << R.Error;
+  EXPECT_EQ(R.WallTicks, 500u);
+  EXPECT_EQ(R.CriticalTicks, 500u);
+}
+
+// --- spdoctor-v1 JSON document -------------------------------------------
+
+TEST(Doctor, JsonDocumentParsesAndIsExact) {
+  DoctorReport R = diagnose(syntheticLiveInput());
+  ASSERT_TRUE(R.Valid);
+  std::string Doc;
+  {
+    RawStringOstream OS(Doc);
+    writeDoctorJson(R, /*TicksPerMs=*/100, OS);
+  }
+  std::string Err;
+  std::optional<JsonValue> V = parseJson(Doc, &Err);
+  ASSERT_TRUE(V.has_value()) << Err;
+  EXPECT_EQ(V->get("schema")->asString(), "spdoctor-v1");
+  EXPECT_EQ(V->get("engine")->asString(), "live");
+  EXPECT_TRUE(V->get("valid")->asBool());
+  EXPECT_EQ(V->get("wall_ticks")->asUInt(), 1000u);
+  EXPECT_DOUBLE_EQ(V->get("critical_coverage")->asDouble(), 1.0);
+  // The per-kind critical object sums back to critical_ticks.
+  const JsonValue *Crit = V->get("critical");
+  ASSERT_NE(Crit, nullptr);
+  uint64_t Sum = 0;
+  for (const auto &[Name, Node] : Crit->members())
+    Sum += Node.get("ticks")->asUInt();
+  EXPECT_EQ(Sum, V->get("critical_ticks")->asUInt());
+  ASSERT_NE(V->get("amdahl"), nullptr);
+  EXPECT_EQ(V->get("amdahl")->get("serial_ticks")->asUInt(), 550u);
+  EXPECT_FALSE(V->get("bottlenecks")->array().empty());
+}
+
+TEST(Doctor, InvalidDiagnosisStillEmitsWellFormedJson) {
+  DoctorReport R;
+  R.Engine = "live";
+  R.Error = "graph has a cycle";
+  std::string Doc;
+  {
+    RawStringOstream OS(Doc);
+    writeDoctorJson(R, 100, OS);
+  }
+  std::optional<JsonValue> V = parseJson(Doc);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_FALSE(V->get("valid")->asBool());
+  EXPECT_EQ(V->get("error")->asString(), "graph has a cycle");
+}
+
+// --- Live engine integration ---------------------------------------------
+
+vm::Program testProgram() {
+  workloads::GenParams P;
+  P.Name = "doctor-test";
+  P.TargetInsts = 1u << 18;
+  P.NumFuncs = 4;
+  P.BlocksPerFunc = 6;
+  P.WorkingSetBytes = 1 << 12;
+  return workloads::generateWorkload(P);
+}
+
+sp::SpRunReport runEngine(uint32_t HostWorkers, obs::TraceRecorder *Trace,
+                          sp::SpOptions *OutOpts = nullptr) {
+  vm::Program Prog = testProgram();
+  sp::SpOptions Opts;
+  Opts.SliceMs = 2; // several slices even at this size
+  Opts.HostWorkers = HostWorkers;
+  Opts.Trace = Trace;
+  os::CostModel Model;
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, tools::makeIcountTool(tools::IcountGranularity::BasicBlock), Opts,
+      Model);
+  if (OutOpts)
+    *OutOpts = Opts;
+  return Rep;
+}
+
+TEST(DoctorEngine, LiveDiagnosisCoversWallExactly) {
+  sp::SpOptions Opts;
+  sp::SpRunReport Rep = runEngine(0, nullptr, &Opts);
+  DoctorReport R = diagnose(sp::doctorInput(Rep, Opts));
+  ASSERT_TRUE(R.Valid) << R.Error;
+  EXPECT_GT(R.Slices, 1u);
+  // The headline acceptance property: attribution sums to the measured
+  // wall with no residual (coverage is exactly 100%).
+  EXPECT_EQ(R.CriticalTicks, Rep.WallTicks);
+  EXPECT_EQ(kindTicksSum(R.KindTicks), R.CriticalTicks);
+  os::Ticks HostSum = 0;
+  for (const DoctorBucket &B : R.HostBuckets)
+    HostSum += B.Ticks;
+  EXPECT_EQ(HostSum, R.CriticalTicks);
+  EXPECT_EQ(R.SerialTicks + R.ParallelTicks, R.CriticalTicks);
+}
+
+TEST(DoctorEngine, DiagnosisIsWorkerCountInvariant) {
+  // The virtual schedule is deterministic under -spmp, so the diagnosis —
+  // derived only from virtual times — must be byte-identical for any
+  // worker count.
+  auto DocFor = [](uint32_t Workers) {
+    sp::SpOptions Opts;
+    sp::SpRunReport Rep = runEngine(Workers, nullptr, &Opts);
+    DoctorReport R = diagnose(sp::doctorInput(Rep, Opts));
+    R.HostWorkers = 0; // the one field that names the pool size itself
+    std::string Doc;
+    RawStringOstream OS(Doc);
+    writeDoctorJson(R, 100'000, OS);
+    return Doc;
+  };
+  std::string Serial = DocFor(0);
+  EXPECT_EQ(Serial, DocFor(2));
+  EXPECT_EQ(Serial, DocFor(4));
+}
+
+TEST(DoctorEngine, DroppedCounterIsGatedOnAttachment) {
+  auto HasCounter = [](const StatisticRegistry &Stats, std::string_view Name) {
+    for (const StatisticRegistry::Entry &E : Stats.entries())
+      if (E.Name == Name)
+        return true;
+    return false;
+  };
+
+  // Bare run: the default counter name set must not grow.
+  sp::SpRunReport Bare = runEngine(0, nullptr);
+  EXPECT_FALSE(Bare.TraceAttached);
+  StatisticRegistry BareStats;
+  sp::exportStatistics(Bare, BareStats);
+  EXPECT_FALSE(HasCounter(BareStats, "obs.trace.dropped"));
+  EXPECT_FALSE(HasCounter(BareStats, "host.trace.droppedspans"));
+
+  // Traced run: the drop counter appears (zero or not), so dashboards can
+  // tell "no drops" from "no recorder".
+  obs::TraceRecorder Rec;
+  sp::SpRunReport Traced = runEngine(0, &Rec);
+  EXPECT_TRUE(Traced.TraceAttached);
+  StatisticRegistry TracedStats;
+  sp::exportStatistics(Traced, TracedStats);
+  EXPECT_TRUE(HasCounter(TracedStats, "obs.trace.dropped"));
+  EXPECT_EQ(TracedStats.get("obs.trace.dropped"), Traced.TraceDropped);
+}
+
+// --- Flight recorder ------------------------------------------------------
+
+std::string tempBundleDir(const char *Tag) {
+  return ::testing::TempDir() + "spflight-" + Tag + "-" +
+         std::to_string(::getpid());
+}
+
+bool dirExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode);
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+TEST(FlightRecorderTest, CleanRunWritesNothing) {
+  std::string Dir = tempBundleDir("clean");
+  FlightRecorder F(Dir, 100);
+  EXPECT_FALSE(F.triggered());
+  // Teardown dumps are all no-ops without a trigger.
+  StatisticRegistry Stats;
+  F.writeCounters(Stats);
+  F.writeDoctor(diagnose(syntheticLiveInput()));
+  F.writeManifest();
+  EXPECT_FALSE(dirExists(Dir));
+  EXPECT_TRUE(F.error().empty());
+}
+
+TEST(FlightRecorderTest, TriggeredRunDumpsParseableBundle) {
+  std::string Dir = tempBundleDir("armed");
+  FlightRecorder F(Dir, 100);
+  F.recordEvent("breaker.trip", 3, 2, 4500, "2 of 3 windows failed");
+  EXPECT_TRUE(F.triggered());
+  EXPECT_EQ(F.eventCount(), 1u);
+
+  StatisticRegistry Stats;
+  Stats.counter("superpin.slices.total") = 3;
+  F.writeCounters(Stats);
+  F.writeDoctor(diagnose(syntheticLiveInput()));
+  F.writeManifest();
+  ASSERT_TRUE(F.error().empty()) << F.error();
+
+  std::optional<JsonValue> M = parseJson(slurp(Dir + "/MANIFEST.json"));
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->get("schema")->asString(), "spflight-v1");
+  const std::vector<JsonValue> &Events = M->get("events")->array();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].get("kind")->asString(), "breaker.trip");
+  EXPECT_EQ(Events[0].get("slice")->asUInt(), 3u);
+  EXPECT_EQ(Events[0].get("detail")->asString(), "2 of 3 windows failed");
+  // The inventory lists exactly the files that were written, and each one
+  // parses.
+  bool SawDoctor = false;
+  for (const JsonValue &File : M->get("files")->array()) {
+    EXPECT_TRUE(parseJson(slurp(Dir + "/" + File.asString())).has_value())
+        << File.asString();
+    SawDoctor |= File.asString() == "doctor.json";
+  }
+  EXPECT_TRUE(SawDoctor);
+}
+
+TEST(FlightRecorderTest, ConcurrentEventsAreAllRetained) {
+  // Containment events fire from host worker threads; the recorder must
+  // not lose or corrupt any under contention (TSan tier exercises this).
+  std::string Dir = tempBundleDir("mt");
+  FlightRecorder F(Dir, 100);
+  constexpr unsigned Threads = 4, PerThread = 64;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&F, T] {
+      for (unsigned I = 0; I < PerThread; ++I)
+        F.recordEvent("host.contained", T, I, I, "stress");
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+  EXPECT_TRUE(F.triggered());
+  EXPECT_EQ(F.eventCount(), uint64_t(Threads) * PerThread);
+  F.writeManifest();
+  std::optional<JsonValue> M = parseJson(slurp(Dir + "/MANIFEST.json"));
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->get("events")->array().size(), size_t(Threads) * PerThread);
+}
+
+TEST(FlightRecorderTest, EngineCleanRunWithFlightDirWritesNothing) {
+  // Arming the recorder on a healthy run is free: no directory, no output
+  // perturbation (the byte-identity half is covered by the CLI smoke and
+  // the worker-invariance test above).
+  std::string Dir = tempBundleDir("engine");
+  vm::Program Prog = testProgram();
+  sp::SpOptions Opts;
+  Opts.SliceMs = 2;
+  Opts.FlightDir = Dir;
+  os::CostModel Model;
+  sp::SpRunReport Rep = sp::runSuperPin(
+      Prog, tools::makeIcountTool(tools::IcountGranularity::BasicBlock), Opts,
+      Model);
+  EXPECT_GT(Rep.Slices.size(), 1u);
+  EXPECT_FALSE(dirExists(Dir));
+}
+
+} // namespace

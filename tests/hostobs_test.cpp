@@ -341,52 +341,56 @@ TEST(HostObsReplay, ParallelReplayAttributionSumsExactly) {
   EXPECT_EQ(Bodies, Rep.SlicesReplayed);
 }
 
-TEST(HostObsReplay, SerialTraceDowngradeWarnsOncePerEngine) {
+/// Replays the whole capture with \p Workers host workers and a trace
+/// recorder attached, returning the exported Chrome-trace JSON.
+static std::string replayTraceJson(const replay::RunCapture &Cap,
+                                   const CostModel &Model, unsigned Workers) {
+  obs::TraceRecorder Trace;
+  replay::ReplayEngine Engine(Cap, Model);
+  Engine.setHostWorkers(Workers);
+  Engine.setTrace(&Trace);
+  replay::ReplayReport Rep =
+      Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
+  EXPECT_TRUE(Rep.allOk());
+  std::string Json;
+  RawStringOstream OS(Json);
+  Trace.writeChromeTrace(OS, Model.TicksPerMs);
+  OS.flush();
+  return Json;
+}
+
+TEST(HostObsReplay, ParallelTraceIsByteIdenticalAcrossWorkerCounts) {
+  CostModel Model;
+  replay::RunCapture Cap = captureRun(Model);
+  ASSERT_GT(Cap.Slices.size(), 2u);
+
+  // Staged stitching replays the serial timeline exactly: the trace JSON
+  // must not change by a single byte when bodies move onto host workers.
+  std::string Serial = replayTraceJson(Cap, Model, 0);
+  EXPECT_NE(Serial.find("replay.slice"), std::string::npos);
+  EXPECT_NE(Serial.find("replay.forward"), std::string::npos);
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE("workers " + std::to_string(Workers));
+    EXPECT_EQ(replayTraceJson(Cap, Model, Workers), Serial);
+  }
+}
+
+TEST(HostObsReplay, ParallelTraceReplayIsSilent) {
   CostModel Model;
   replay::RunCapture Cap = captureRun(Model);
 
+  // -sptrace no longer downgrades -spmp to serial; the combination runs
+  // the pool and warns about nothing.
   obs::TraceRecorder Trace;
   replay::ReplayEngine Engine(Cap, Model);
   Engine.setHostWorkers(4);
   Engine.setTrace(&Trace);
-
   testing::internal::CaptureStderr();
-  Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
-  std::string First = testing::internal::GetCapturedStderr();
-  EXPECT_NE(First.find("warning: -sptrace forces serial replay"),
+  replay::ReplayReport Rep =
+      Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
+  EXPECT_EQ(testing::internal::GetCapturedStderr().find("warning:"),
             std::string::npos);
-  EXPECT_NE(First.find("-spmp 4"), std::string::npos);
-
-  // Second replay on the same engine: the warning must not repeat.
-  testing::internal::CaptureStderr();
-  Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
-  std::string Second = testing::internal::GetCapturedStderr();
-  EXPECT_EQ(Second.find("warning:"), std::string::npos);
-}
-
-TEST(HostObsReplay, NoWarningWithoutTraceOrWithoutWorkers) {
-  CostModel Model;
-  replay::RunCapture Cap = captureRun(Model);
-
-  {
-    // Workers without trace: the parallel path runs, nothing to warn.
-    replay::ReplayEngine Engine(Cap, Model);
-    Engine.setHostWorkers(2);
-    testing::internal::CaptureStderr();
-    Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
-    EXPECT_EQ(testing::internal::GetCapturedStderr().find("warning:"),
-              std::string::npos);
-  }
-  {
-    // Trace without workers: serial was requested, no downgrade.
-    obs::TraceRecorder Trace;
-    replay::ReplayEngine Engine(Cap, Model);
-    Engine.setTrace(&Trace);
-    testing::internal::CaptureStderr();
-    Engine.replayAll(makeIcountTool(IcountGranularity::BasicBlock));
-    EXPECT_EQ(testing::internal::GetCapturedStderr().find("warning:"),
-              std::string::npos);
-  }
+  EXPECT_TRUE(Rep.allOk());
 }
 
 } // namespace
